@@ -1,0 +1,86 @@
+//! E3-scale: the §IV-A resource-allocation checker vs. VM count and
+//! hardware size. The k-VM model multiplies the variables by k and
+//! adds O(k²·n) exclusivity clauses; this tracks how the SAT queries
+//! scale with both.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhsc_bench::scaled_feature_model;
+use llhsc_fm::MultiModel;
+
+fn bench_vs_vm_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc/vs_vms");
+    group.sample_size(10);
+    // 8 exclusive CPUs in group0, so up to 8 VMs fit.
+    let fm = scaled_feature_model(4, 8);
+    for &vms in &[2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(vms), &vms, |b, &vms| {
+            b.iter(|| {
+                let mut mm = MultiModel::new(&fm, vms);
+                assert!(mm.check());
+                std::hint::black_box(mm.num_vms())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_vs_model_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc/vs_features");
+    group.sample_size(10);
+    for &groups in &[4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(groups),
+            &groups,
+            |b, &groups| {
+                let fm = scaled_feature_model(groups, 4);
+                b.iter(|| {
+                    let mut mm = MultiModel::new(&fm, 2);
+                    assert!(mm.check());
+                    std::hint::black_box(mm.num_vms())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_completion_and_rejection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alloc/running_example");
+    group.sample_size(20);
+    let fm = llhsc::running_example::feature_model();
+    let veth0 = fm.by_name("veth0").expect("feature");
+    let veth1 = fm.by_name("veth1").expect("feature");
+
+    group.bench_function("complete_two_vms", |b| {
+        b.iter(|| {
+            let mut mm = MultiModel::new(&fm, 2);
+            std::hint::black_box(mm.complete(&[vec![veth0], vec![veth1]]).is_ok())
+        });
+    });
+    group.bench_function("reject_double_allocation", |b| {
+        b.iter(|| {
+            let mut mm = MultiModel::new(&fm, 2);
+            std::hint::black_box(mm.complete(&[vec![veth0], vec![veth0]]).is_err())
+        });
+    });
+    // Incremental reuse: one model, many queries (the paper's
+    // "constraints can be added incrementally to the same solver").
+    group.bench_function("incremental_10_queries", |b| {
+        b.iter(|| {
+            let mut mm = MultiModel::new(&fm, 2);
+            for _ in 0..5 {
+                assert!(mm.complete(&[vec![veth0], vec![veth1]]).is_ok());
+                assert!(mm.complete(&[vec![veth0], vec![veth0]]).is_err());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_vs_vm_count,
+    bench_vs_model_size,
+    bench_completion_and_rejection
+);
+criterion_main!(benches);

@@ -1,0 +1,122 @@
+//! Bit-blasting cost vs. address width — the 64→32-bit story of §IV-C
+//! in solver terms: gate counts (and hence SAT effort) grow with the
+//! bit-vector width, which is why the checker fixes one width (65) and
+//! why the paper highlights Z3's bit-blasting as the decision engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhsc_smt::{CheckResult, Context};
+
+/// One overlap query between two symbolic regions at a given width.
+fn overlap_query(width: u32) -> CheckResult {
+    let mut ctx = Context::new();
+    let b1 = ctx.bv_var("b1", width);
+    let s1 = ctx.bv_var("s1", width);
+    let b2 = ctx.bv_var("b2", width);
+    let s2 = ctx.bv_var("s2", width);
+    let e1 = ctx.bv_add(b1, s1);
+    let e2 = ctx.bv_add(b2, s2);
+    let o1 = ctx.bv_ult(b1, e2);
+    let o2 = ctx.bv_ult(b2, e1);
+    let overlap = ctx.and([o1, o2]);
+    ctx.assert(overlap);
+    // Pin region 1 and ask for any colliding region 2.
+    let c1 = ctx.bv_const(0x4000, width.min(64));
+    let c1 = if width > 64 { ctx.bv_zero_ext(c1, width - width.min(64)) } else { c1 };
+    let sz = ctx.bv_const(0x1000, width.min(64));
+    let sz = if width > 64 { ctx.bv_zero_ext(sz, width - width.min(64)) } else { sz };
+    let eq1 = ctx.eq(b1, c1);
+    let eq2 = ctx.eq(s1, sz);
+    ctx.assert(eq1);
+    ctx.assert(eq2);
+    ctx.check()
+}
+
+fn bench_overlap_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitblast/overlap_width");
+    group.sample_size(10);
+    for &width in &[16u32, 32, 64, 65, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                assert_eq!(overlap_query(w), CheckResult::Sat);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_multiplier(c: &mut Criterion) {
+    // Factoring via the shift-add multiplier: the hardest gate network
+    // in the crate, as a stress point.
+    let mut group = c.benchmark_group("bitblast/factor");
+    group.sample_size(10);
+    for &width in &[8u32, 10, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| {
+                let mut ctx = Context::new();
+                let x = ctx.bv_var("x", w);
+                let y = ctx.bv_var("y", w);
+                let p = ctx.bv_mul(x, y);
+                let target = ctx.bv_const(143, w); // 11 × 13
+                let eq = ctx.eq(p, target);
+                ctx.assert(eq);
+                let one = ctx.bv_const(1, w);
+                let gx = ctx.bv_ugt(x, one);
+                let gy = ctx.bv_ugt(y, one);
+                ctx.assert(gx);
+                ctx.assert(gy);
+                assert_eq!(ctx.check(), CheckResult::Sat);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_vs_fresh(c: &mut Criterion) {
+    // Ablation from DESIGN.md: push/pop reuse vs. a fresh context per
+    // query — the reason llhsc keeps one growing solver instance.
+    let mut group = c.benchmark_group("bitblast/incremental");
+    group.sample_size(10);
+    let queries: Vec<u128> = (0..20).map(|i| 0x1000 + i * 0x100).collect();
+
+    group.bench_function("one_context_push_pop", |b| {
+        b.iter(|| {
+            let mut ctx = Context::new();
+            let x = ctx.bv_var("x", 64);
+            let lim = ctx.bv_const(0x10_0000, 64);
+            let inside = ctx.bv_ult(x, lim);
+            ctx.assert(inside);
+            for &q in &queries {
+                ctx.push();
+                let v = ctx.bv_const(q, 64);
+                let eq = ctx.eq(x, v);
+                ctx.assert(eq);
+                assert_eq!(ctx.check(), CheckResult::Sat);
+                ctx.pop();
+            }
+        });
+    });
+    group.bench_function("fresh_context_per_query", |b| {
+        b.iter(|| {
+            for &q in &queries {
+                let mut ctx = Context::new();
+                let x = ctx.bv_var("x", 64);
+                let lim = ctx.bv_const(0x10_0000, 64);
+                let inside = ctx.bv_ult(x, lim);
+                ctx.assert(inside);
+                let v = ctx.bv_const(q, 64);
+                let eq = ctx.eq(x, v);
+                ctx.assert(eq);
+                assert_eq!(ctx.check(), CheckResult::Sat);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overlap_width,
+    bench_multiplier,
+    bench_incremental_vs_fresh
+);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! E4-scale: delta ordering and application vs. delta count — the
+//! product-derivation cost of §III-B.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhsc_bench::scaled_deltas;
+use llhsc_delta::ProductLine;
+
+fn bench_derive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta/derive");
+    group.sample_size(20);
+    for &n in &[8usize, 32, 128] {
+        let (core, deltas) = scaled_deltas(n);
+        let line = ProductLine::new(core, deltas);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &line, |b, line| {
+            b.iter(|| {
+                let p = line.derive(&[]).expect("derives");
+                assert_eq!(p.order.len(), n);
+                std::hint::black_box(p.tree.size())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_only(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta/order");
+    group.sample_size(20);
+    for &n in &[8usize, 32, 128] {
+        let (core, deltas) = scaled_deltas(n);
+        let line = ProductLine::new(core, deltas);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &line, |b, line| {
+            b.iter(|| std::hint::black_box(line.order(&[]).expect("orders").len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_deltas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta/parse");
+    group.sample_size(20);
+    group.bench_function("listing4_running_example", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                llhsc_delta::DeltaModule::parse_all(llhsc::running_example::DELTAS)
+                    .expect("parses")
+                    .len(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_running_example_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delta/running_example");
+    group.sample_size(20);
+    let line = llhsc::running_example::product_line();
+    for (label, sel) in [
+        ("vm1", vec!["memory", "veth0", "uart@20000000", "uart@30000000", "cpu@0"]),
+        ("vm2", vec!["memory", "veth1", "uart@20000000", "uart@30000000", "cpu@1"]),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &sel, |b, sel| {
+            b.iter(|| std::hint::black_box(line.derive(sel).expect("derives").tree.size()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_derive,
+    bench_order_only,
+    bench_parse_deltas,
+    bench_running_example_products
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E1-scale: DTS parsing, printing and FDT encode/decode throughput
+//! vs. tree size — the `dtc`-substrate costs that bound every pipeline
+//! run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use llhsc_bench::synthetic_board;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts/parse");
+    group.sample_size(20);
+    for &devices in &[10usize, 100, 1000] {
+        let src = synthetic_board(devices);
+        group.throughput(Throughput::Bytes(src.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &src, |b, src| {
+            b.iter(|| std::hint::black_box(llhsc_dts::parse(src).expect("parses").size()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_print(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts/print");
+    group.sample_size(20);
+    for &devices in &[10usize, 100, 1000] {
+        let tree = llhsc_dts::parse(&synthetic_board(devices)).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(llhsc_dts::print(tree).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fdt_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts/fdt_encode");
+    group.sample_size(20);
+    for &devices in &[10usize, 100, 1000] {
+        let tree = llhsc_dts::parse(&synthetic_board(devices)).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &tree, |b, tree| {
+            b.iter(|| std::hint::black_box(llhsc_dts::fdt::encode(tree).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fdt_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts/fdt_decode");
+    group.sample_size(20);
+    for &devices in &[10usize, 100, 1000] {
+        let blob =
+            llhsc_dts::fdt::encode(&llhsc_dts::parse(&synthetic_board(devices)).expect("parses"));
+        group.throughput(Throughput::Bytes(blob.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &blob, |b, blob| {
+            b.iter(|| std::hint::black_box(llhsc_dts::fdt::decode(blob).expect("decodes").size()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_collection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts/collect_regions");
+    group.sample_size(20);
+    for &devices in &[10usize, 100, 1000] {
+        let tree = llhsc_dts::parse(&synthetic_board(devices)).expect("parses");
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &tree, |b, tree| {
+            b.iter(|| {
+                std::hint::black_box(
+                    llhsc_dts::cells::collect_regions(tree).expect("decodes").len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_print,
+    bench_fdt_encode,
+    bench_fdt_decode,
+    bench_region_collection
+);
+criterion_main!(benches);

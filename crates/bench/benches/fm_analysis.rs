@@ -1,0 +1,98 @@
+//! E2-scale: feature-model analyses vs. model size — the paper's claim
+//! that SPL variability "is efficiently handled by the SAT-solver"
+//! (§VI, citing Mendonca et al.).
+//!
+//! Measures validity checking, product counting (All-SAT) and dead
+//! feature detection on CustomSBC-shaped models of growing size, plus
+//! the actual running-example model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhsc_bench::scaled_feature_model;
+use llhsc_fm::Analyzer;
+
+fn bench_is_valid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/is_valid");
+    group.sample_size(10);
+    for &groups in &[4usize, 8, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(groups),
+            &groups,
+            |b, &groups| {
+                let fm = scaled_feature_model(groups, 4);
+                let mut an = Analyzer::new(&fm);
+                // A valid product: the first option of every group.
+                let sel: Vec<_> = std::iter::once(fm.root())
+                    .chain(fm.ids().filter(|&id| {
+                        let f = fm.feature(id);
+                        f.name.starts_with("group") || f.name.ends_with("opt0")
+                    }))
+                    .collect();
+                b.iter(|| std::hint::black_box(an.is_valid(&sel)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_count_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/count_products");
+    group.sample_size(10);
+    for &groups in &[2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(groups),
+            &groups,
+            |b, &groups| {
+                let fm = scaled_feature_model(groups, 4);
+                b.iter(|| {
+                    let mut an = Analyzer::new(&fm);
+                    std::hint::black_box(an.count_products())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dead_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm/dead_features");
+    group.sample_size(10);
+    for &groups in &[4usize, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(groups),
+            &groups,
+            |b, &groups| {
+                let fm = scaled_feature_model(groups, 4);
+                b.iter(|| {
+                    let mut an = Analyzer::new(&fm);
+                    std::hint::black_box(an.dead_features().len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_custom_sbc(c: &mut Criterion) {
+    // The paper's own Fig. 1a model: all 12 products enumerated.
+    let mut group = c.benchmark_group("fm/custom_sbc");
+    group.sample_size(20);
+    group.bench_function("enumerate_12_products", |b| {
+        let fm = llhsc::running_example::feature_model();
+        b.iter(|| {
+            let mut an = Analyzer::new(&fm);
+            let products = an.products();
+            assert_eq!(products.len(), 12);
+            std::hint::black_box(products.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_is_valid,
+    bench_count_products,
+    bench_dead_features,
+    bench_custom_sbc
+);
+criterion_main!(benches);

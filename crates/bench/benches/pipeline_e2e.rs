@@ -1,0 +1,91 @@
+//! E10-scale: the full Fig. 2 workflow, against its ablations — the
+//! dtc-like baseline (no checkers), the dt-schema-like baseline
+//! (syntactic only) and the full llhsc pipeline. The delta between the
+//! bars is the price of the guarantees each level adds; the *verdicts*
+//! differ too (only the full pipeline rejects the paper's bugs), which
+//! the E-series tests pin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llhsc::{running_example, Pipeline};
+use llhsc_schema::{check_structural, SyntacticChecker};
+
+fn bench_pipeline_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/modes");
+    group.sample_size(10);
+    let input = running_example::pipeline_input();
+
+    group.bench_function("full_llhsc", |b| {
+        let pipeline = Pipeline::new();
+        b.iter(|| {
+            let out = pipeline.run(&input).expect("valid");
+            std::hint::black_box(out.vm_c.len())
+        });
+    });
+    group.bench_function("dt_schema_mode", |b| {
+        let pipeline = Pipeline {
+            skip_semantic: true,
+            ..Pipeline::new()
+        };
+        b.iter(|| {
+            let out = pipeline.run(&input).expect("valid");
+            std::hint::black_box(out.vm_c.len())
+        });
+    });
+    group.bench_function("dtc_mode", |b| {
+        let pipeline = Pipeline {
+            skip_semantic: true,
+            skip_syntactic: true,
+            ..Pipeline::new()
+        };
+        b.iter(|| {
+            let out = pipeline.run(&input).expect("valid");
+            std::hint::black_box(out.vm_c.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_failing_run(c: &mut Criterion) {
+    // Rejection is usually cheaper than acceptance (the first unsat
+    // core aborts the stage); measure it explicitly.
+    let mut group = c.benchmark_group("pipeline/reject");
+    group.sample_size(10);
+    let mut input = running_example::pipeline_input();
+    input.deltas.retain(|d| d.name != "d4");
+    group.bench_function("truncation_bug", |b| {
+        let pipeline = Pipeline::new();
+        b.iter(|| {
+            let err = pipeline.run(&input).expect_err("must reject");
+            std::hint::black_box(err.diagnostics.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_checkers_standalone(c: &mut Criterion) {
+    // The two syntactic checkers head to head on the running example
+    // (structural evaluation vs. SMT encoding + solving).
+    let mut group = c.benchmark_group("pipeline/syntactic_checkers");
+    group.sample_size(20);
+    let tree = running_example::core_tree();
+    let schemas = running_example::schemas();
+    group.bench_function("structural_dt_schema_like", |b| {
+        b.iter(|| std::hint::black_box(check_structural(&tree, &schemas).len()));
+    });
+    group.bench_function("smt_constraints_llhsc", |b| {
+        b.iter(|| {
+            let report = SyntacticChecker::new(&tree, &schemas).check();
+            assert!(report.is_ok());
+            std::hint::black_box(report.rules_checked)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pipeline_modes,
+    bench_failing_run,
+    bench_checkers_standalone
+);
+criterion_main!(benches);

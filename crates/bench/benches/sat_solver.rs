@@ -1,0 +1,83 @@
+//! Substrate sanity: CDCL solver throughput on random 3-SAT (below,
+//! at and above the phase transition) and pigeonhole instances.
+//!
+//! Supports the paper's reliance on "off-the-shelf satisfiability
+//! solvers": all llhsc constraint classes reduce to instances far
+//! easier than these.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llhsc_bench::{pigeonhole, random_3sat};
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/random3sat");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 150] {
+        for &(label, ratio) in &[("easy", 3.0), ("phase", 4.26), ("over", 5.5)] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(n, ratio),
+                |b, &(n, ratio)| {
+                    let cnf = random_3sat(n, ratio, 0xbec + n as u64);
+                    b.iter(|| {
+                        let mut solver = cnf.to_solver();
+                        std::hint::black_box(solver.solve())
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole");
+    group.sample_size(10);
+    for &holes in &[5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(holes), &holes, |b, &holes| {
+            let cnf = pigeonhole(holes);
+            b.iter(|| {
+                let mut solver = cnf.to_solver();
+                std::hint::black_box(solver.solve())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_solver_ablations(c: &mut Criterion) {
+    // DESIGN.md ablations: restarts off / clause minimisation off.
+    use llhsc_sat::{Solver, SolverConfig};
+    let mut group = c.benchmark_group("sat/ablations");
+    group.sample_size(10);
+    let cnf = random_3sat(120, 4.26, 0x5eed);
+    let configs: [(&str, SolverConfig); 3] = [
+        ("default", SolverConfig::default()),
+        (
+            "no_restarts",
+            SolverConfig {
+                disable_restarts: true,
+                ..SolverConfig::default()
+            },
+        ),
+        (
+            "no_minimisation",
+            SolverConfig {
+                disable_minimisation: true,
+                ..SolverConfig::default()
+            },
+        ),
+    ];
+    for (label, config) in configs {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut solver = Solver::with_config(config.clone());
+                cnf.load_into(&mut solver);
+                std::hint::black_box(solver.solve())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_random_3sat, bench_pigeonhole, bench_solver_ablations);
+criterion_main!(benches);

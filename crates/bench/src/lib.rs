@@ -1,0 +1,235 @@
+//! Workload generators shared by the llhsc benchmark harness.
+//!
+//! The paper's evaluation (§V) is qualitative — a running example — so
+//! the bench suite measures the *scaling claims made in prose*: SAT
+//! solving of feature models "is easy" (Mendonca et al.), formula (7) is pairwise in
+//! the number of regions, bit-blasting cost grows with address width,
+//! and the incremental pipeline beats re-solving from scratch. Every
+//! generator here is deterministic (seeded) so runs are comparable.
+
+use llhsc_dts::{DeviceTree, Property};
+use llhsc_fm::{FeatureModel, GroupKind};
+use llhsc_sat::{Cnf, Lit, Var};
+
+/// A tiny deterministic PRNG (SplitMix64), so benches do not depend on
+/// `rand` internals staying stable across versions.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Random 3-SAT at clause ratio `ratio` (4.26 ≈ phase transition).
+pub fn random_3sat(vars: usize, ratio: f64, seed: u64) -> Cnf {
+    let mut rng = SplitMix64::new(seed);
+    let mut cnf = Cnf::new();
+    let vs: Vec<Var> = (0..vars).map(|_| cnf.new_var()).collect();
+    let clauses = (vars as f64 * ratio) as usize;
+    for _ in 0..clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vs[rng.below(vars as u64) as usize];
+                Lit::new(v, rng.bool())
+            })
+            .collect();
+        cnf.add_clause(lits);
+    }
+    cnf
+}
+
+/// The (unsatisfiable) pigeonhole principle PHP(n+1, n).
+#[allow(clippy::needless_range_loop)] // the h/i/j index form mirrors the formula
+pub fn pigeonhole(holes: usize) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    let p: Vec<Vec<Lit>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| Lit::pos(cnf.new_var())).collect())
+        .collect();
+    for row in &p {
+        cnf.add_clause(row.iter().copied());
+    }
+    for h in 0..holes {
+        for i in 0..pigeons {
+            for j in (i + 1)..pigeons {
+                cnf.add_clause([!p[i][h], !p[j][h]]);
+            }
+        }
+    }
+    cnf
+}
+
+/// A feature model shaped like the CustomSBC one, scaled: `groups` XOR
+/// groups of `width` alternatives each under the root, plus one
+/// `requires` cross-constraint per group.
+pub fn scaled_feature_model(groups: usize, width: usize) -> FeatureModel {
+    let mut fm = FeatureModel::new("ScaledSBC");
+    let root = fm.root();
+    let mut first_children = Vec::new();
+    for g in 0..groups {
+        let group = fm.add_mandatory(root, &format!("group{g}"));
+        fm.set_group(group, GroupKind::Xor);
+        fm.set_cross_vm_exclusive(group, g == 0);
+        let mut children = Vec::new();
+        for w in 0..width {
+            children.push(fm.add_optional(group, &format!("g{g}opt{w}")));
+        }
+        first_children.push(children[0]);
+    }
+    // Chain: picking group g's first option requires group g+1's first.
+    for pair in first_children.windows(2) {
+        fm.requires(pair[0], pair[1]);
+    }
+    fm
+}
+
+/// A synthetic board DTS with `devices` device nodes, each with a
+/// disjoint 4 KiB register window, plus a memory node and a CPU
+/// cluster.
+pub fn synthetic_board(devices: usize) -> String {
+    let mut out = String::from(
+        "/dts-v1/;\n/ {\n    #address-cells = <1>;\n    #size-cells = <1>;\n\
+         \n    memory@80000000 {\n        device_type = \"memory\";\n\
+                 reg = <0x80000000 0x40000000>;\n    };\n\
+         \n    cpus {\n        #address-cells = <1>;\n        #size-cells = <0>;\n\
+                 cpu@0 { compatible = \"arm,cortex-a53\"; device_type = \"cpu\";\n\
+                         enable-method = \"psci\"; reg = <0x0>; };\n    };\n",
+    );
+    for i in 0..devices {
+        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
+        out.push_str(&format!(
+            "\n    dev{i}@{base:x} {{\n        compatible = \"acme,dev\";\n\
+                     reg = <{base:#x} 0x1000>;\n        interrupts = <{irq}>;\n    }};\n",
+            irq = 32 + i
+        ));
+    }
+    out.push_str("};\n");
+    out
+}
+
+/// `n` region descriptors; if `collide`, the last one overlaps the
+/// first.
+pub fn regions(n: usize, collide: bool) -> Vec<llhsc::RegionRef> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let base = 0x1000_0000u128 + (i as u128) * 0x10_0000;
+        out.push(llhsc::RegionRef {
+            path: format!("/dev{i}"),
+            index: 0,
+            region: llhsc_dts::cells::RegEntry::new(base, 0x1000),
+            virtual_device: false,
+        });
+    }
+    if collide && n >= 2 {
+        out.last_mut().expect("n >= 2").region =
+            llhsc_dts::cells::RegEntry::new(0x1000_0000, 0x2000);
+    }
+    out
+}
+
+/// A product line with `n` deltas, each adding one device node under
+/// the root, all unconditionally active, linearly ordered by `after`.
+pub fn scaled_deltas(n: usize) -> (DeviceTree, Vec<llhsc_delta::DeltaModule>) {
+    let mut core = DeviceTree::new();
+    core.root.set_prop(Property::cells("#address-cells", [1]));
+    core.root.set_prop(Property::cells("#size-cells", [1]));
+    core.ensure("/soc");
+    let mut src = String::new();
+    for i in 0..n {
+        let after = if i == 0 {
+            String::new()
+        } else {
+            format!(" after dl{}", i - 1)
+        };
+        let base = 0x2000_0000u64 + (i as u64) * 0x1000;
+        src.push_str(&format!(
+            "delta dl{i}{after} {{ adds /soc {{ dev{i}@{base:x} {{ reg = <{base:#x} 0x1000>; }}; }}; }}\n"
+        ));
+    }
+    let deltas = llhsc_delta::DeltaModule::parse_all(&src).expect("generated deltas parse");
+    (core, deltas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhsc_sat::SolveResult;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        assert_eq!(pigeonhole(4).to_solver().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn random_3sat_shape() {
+        let cnf = random_3sat(20, 4.26, 1);
+        assert_eq!(cnf.num_vars(), 20);
+        assert_eq!(cnf.num_clauses(), (20.0 * 4.26) as usize);
+    }
+
+    #[test]
+    fn scaled_model_products() {
+        // g groups of w alternatives with a requires-chain on first
+        // options: the model is satisfiable and has products.
+        let fm = scaled_feature_model(3, 3);
+        let mut an = llhsc_fm::Analyzer::new(&fm);
+        assert!(!an.is_void());
+        assert!(an.count_products() > 0);
+    }
+
+    #[test]
+    fn synthetic_board_parses() {
+        let t = llhsc_dts::parse(&synthetic_board(10)).unwrap();
+        assert_eq!(t.size(), 14); // root + memory + cpus + cpu + 10 devs
+    }
+
+    #[test]
+    fn regions_collide_only_when_asked() {
+        let clean = regions(8, false);
+        assert!(llhsc::SemanticChecker::new().check_regions(&clean).is_empty());
+        let dirty = regions(8, true);
+        assert_eq!(llhsc::SemanticChecker::new().check_regions(&dirty).len(), 1);
+    }
+
+    #[test]
+    fn scaled_deltas_apply() {
+        let (core, deltas) = scaled_deltas(5);
+        let line = llhsc_delta::ProductLine::new(core, deltas);
+        let p = line.derive(&[]).unwrap();
+        assert_eq!(p.order.len(), 5);
+        assert!(p.tree.find("/soc/dev4@20004000").is_some());
+    }
+}

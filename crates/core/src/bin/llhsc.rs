@@ -1,0 +1,386 @@
+//! The `llhsc` command-line tool.
+//!
+//! ```text
+//! llhsc check <file.dts>     syntactic + semantic check of a DTS file
+//! llhsc dtb <file.dts> <out.dtb>   compile to a flattened blob
+//! llhsc dts <file.dtb>       decompile a blob to source (stdout)
+//! llhsc model <file.fm>      analyse a feature-model file
+//! llhsc build <project-dir>  run the full pipeline on a project
+//! llhsc products             analyse the running example feature model
+//! llhsc demo                 run the paper's running example end to end
+//! ```
+//!
+//! A *project directory* for `build` contains:
+//!
+//! * `core.dts` (+ any `.dtsi` files it includes),
+//! * `deltas.delta` — the delta modules (Listing 4 syntax),
+//! * `model.fm` — the feature model (see [`llhsc_fm::parse_model`]),
+//! * `vms.cfg` — one line per VM: `name: feature, feature, …`,
+//! * optionally `schemas/*.yaml` — extra binding schemas.
+//!
+//! Outputs are written to `<project-dir>/out/`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use llhsc::{Pipeline, SemanticChecker};
+use llhsc_dts::{parse_with_includes, FileProvider};
+use llhsc_fm::Analyzer;
+use llhsc_schema::{SchemaSet, SyntacticChecker};
+
+/// Resolves `/include/` against the directory of the main file.
+struct DirProvider {
+    dir: PathBuf,
+}
+
+impl FileProvider for DirProvider {
+    fn read(&self, name: &str) -> Option<String> {
+        std::fs::read_to_string(self.dir.join(name)).ok()
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "llhsc — DeviceTree syntax and semantic checker\n\
+         \n\
+         usage:\n\
+           llhsc check <file.dts>        check a DTS file\n\
+           llhsc dtb <file.dts> <out>    compile DTS to a DTB blob\n\
+           llhsc dts <file.dtb>          decompile a DTB blob\n\
+           llhsc model <file.fm>         analyse a feature-model file\n\
+           llhsc build <project-dir>     run the full pipeline on a project\n\
+           llhsc products                analyse the CustomSBC feature model\n\
+           llhsc demo                    run the paper's running example"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => cmd_check(Path::new(&args[1])),
+        Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
+        Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
+        Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
+        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1])),
+        Some("products") if args.len() == 1 => cmd_products(),
+        Some("demo") if args.len() == 1 => cmd_demo(),
+        _ => usage(),
+    }
+}
+
+fn cmd_model(path: &Path) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let model = match llhsc_fm::parse_model(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{model}");
+    let mut an = Analyzer::new(&model);
+    if an.is_void() {
+        println!("the model is VOID: it admits no products");
+        for why in an.explain_void() {
+            println!("  conflicting rule: {why}");
+        }
+        return ExitCode::FAILURE;
+    }
+    println!("valid products: {}", an.count_products());
+    let dead: Vec<&str> = an
+        .dead_features()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    if dead.is_empty() {
+        println!("dead features: none");
+    } else {
+        println!("dead features: {}", dead.join(", "));
+    }
+    let false_opt: Vec<&str> = an
+        .false_optional()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    if false_opt.is_empty() {
+        println!("false-optional features: none");
+    } else {
+        println!("false-optional features: {}", false_opt.join(", "));
+    }
+    let core: Vec<&str> = an
+        .core_features()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    println!("core features: {}", core.join(", "));
+    println!(
+        "maximum VMs under exclusive-resource partitioning: {}",
+        match llhsc_fm::MultiModel::max_vms(&model, 16) {
+            Some(m) => m.to_string(),
+            None => "0".to_string(),
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_build(dir: &Path) -> ExitCode {
+    let read = |name: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
+    };
+    let result = (|| -> Result<llhsc::PipelineOutput, String> {
+        let core_src = read("core.dts")?;
+        let provider = DirProvider {
+            dir: dir.to_path_buf(),
+        };
+        let core = parse_with_includes(&core_src, &provider)
+            .map_err(|e| format!("core.dts: {e}"))?;
+        let deltas = llhsc_delta::DeltaModule::parse_all(&read("deltas.delta")?)
+            .map_err(|e| format!("deltas.delta: {e}"))?;
+        let model =
+            llhsc_fm::parse_model(&read("model.fm")?).map_err(|e| format!("model.fm: {e}"))?;
+
+        let mut schemas = SchemaSet::standard();
+        if let Ok(entries) = std::fs::read_dir(dir.join("schemas")) {
+            for entry in entries.flatten() {
+                if entry.path().extension().is_some_and(|e| e == "yaml") {
+                    let text = std::fs::read_to_string(entry.path())
+                        .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                    let schema = llhsc_schema::Schema::parse(&text)
+                        .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                    schemas.push(schema);
+                }
+            }
+        }
+
+        let mut vms = Vec::new();
+        for (i, line) in read("vms.cfg")?.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, feats) = line
+                .split_once(':')
+                .ok_or_else(|| format!("vms.cfg line {}: expected 'name: features'", i + 1))?;
+            vms.push(llhsc::VmSpec {
+                name: name.trim().to_string(),
+                features: feats
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+            });
+        }
+        if vms.is_empty() {
+            return Err("vms.cfg defines no VMs".to_string());
+        }
+
+        let input = llhsc::PipelineInput {
+            core,
+            deltas,
+            model,
+            schemas,
+            vms,
+        };
+        Pipeline::new().run(&input).map_err(|e| e.to_string())
+    })();
+
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(out) => {
+            for d in &out.diagnostics {
+                println!("{d}");
+            }
+            let outdir = dir.join("out");
+            if let Err(e) = std::fs::create_dir_all(&outdir) {
+                eprintln!("error: cannot create {}: {e}", outdir.display());
+                return ExitCode::FAILURE;
+            }
+            let mut writes: Vec<(String, Vec<u8>)> = vec![
+                ("platform.dts".into(), out.platform_dts.clone().into_bytes()),
+                ("platform.c".into(), out.platform_c.clone().into_bytes()),
+                (
+                    "platform.dtb".into(),
+                    llhsc_dts::fdt::encode(&out.platform_tree),
+                ),
+            ];
+            for (i, dts) in out.vm_dts.iter().enumerate() {
+                writes.push((format!("vm{}.dts", i + 1), dts.clone().into_bytes()));
+                writes.push((
+                    format!("vm{}.dtb", i + 1),
+                    llhsc_dts::fdt::encode(&out.vm_trees[i]),
+                ));
+            }
+            for (i, c) in out.vm_c.iter().enumerate() {
+                writes.push((format!("vm{}.c", i + 1), c.clone().into_bytes()));
+            }
+            for (i, cfg) in out.vm_configs.iter().enumerate() {
+                writes.push((
+                    format!("vm{}.jailhouse.c", i + 1),
+                    cfg.to_jailhouse_cell().into_bytes(),
+                ));
+            }
+            for (name, bytes) in writes {
+                let path = outdir.join(&name);
+                if let Err(e) = std::fs::write(&path, bytes) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {}", path.display());
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let provider = DirProvider {
+        dir: path.parent().unwrap_or(Path::new(".")).to_path_buf(),
+    };
+    parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_check(path: &Path) -> ExitCode {
+    let tree = match load_tree(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error[parse]: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = false;
+
+    let syntactic = SyntacticChecker::new(&tree, &SchemaSet::standard()).check();
+    for v in &syntactic.violations {
+        eprintln!("error[syntactic]: {v}");
+        failed = true;
+    }
+
+    match SemanticChecker::new().check_tree(&tree) {
+        Ok(report) => {
+            for c in &report.collisions {
+                eprintln!("error[semantic]: {c}");
+                failed = true;
+            }
+            for (line, users) in &report.interrupt_conflicts {
+                eprintln!(
+                    "error[semantic]: interrupt line {line} claimed by {}",
+                    users.join(", ")
+                );
+                failed = true;
+            }
+            println!(
+                "checked {} nodes, {} regions, {} schema rules: {}",
+                tree.size(),
+                report.regions_checked,
+                syntactic.rules_checked,
+                if failed { "INVALID" } else { "ok" }
+            );
+        }
+        Err(e) => {
+            eprintln!("error[semantic]: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_dtb(input: &Path, output: &Path) -> ExitCode {
+    let tree = match load_tree(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error[parse]: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let blob = llhsc_dts::fdt::encode(&tree);
+    match std::fs::write(output, &blob) {
+        Ok(()) => {
+            println!("wrote {} bytes to {}", blob.len(), output.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", output.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_dts(input: &Path) -> ExitCode {
+    let blob = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    match llhsc_dts::fdt::decode_typed(&blob) {
+        Ok(tree) => {
+            print!("{}", llhsc_dts::print(&tree));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error[fdt]: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_products() -> ExitCode {
+    let model = llhsc::running_example::feature_model();
+    println!("{model}");
+    let mut an = Analyzer::new(&model);
+    let products = an.products();
+    println!("{} valid products:", products.len());
+    for (i, p) in products.iter().enumerate() {
+        println!("  {:2}: {}", i + 1, an.product_names(p).join(", "));
+    }
+    let core: Vec<String> = an
+        .core_features()
+        .into_iter()
+        .map(|id| model.name(id).to_string())
+        .collect();
+    println!("core features: {}", core.join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo() -> ExitCode {
+    let input = llhsc::running_example::pipeline_input();
+    match Pipeline::new().run(&input) {
+        Ok(out) => {
+            for d in &out.diagnostics {
+                println!("{d}");
+            }
+            println!("\n=== platform DTS ===\n{}", out.platform_dts);
+            for (i, dts) in out.vm_dts.iter().enumerate() {
+                println!("=== vm{} DTS ===\n{dts}", i + 1);
+            }
+            println!("=== platform config (Listing 3 shape) ===\n{}", out.platform_c);
+            for (i, c) in out.vm_c.iter().enumerate() {
+                println!("=== vm{} config (Listing 6 shape) ===\n{c}", i + 1);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprint!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! The end-to-end llhsc workflow of Fig. 2.
+//!
+//! Inputs: a core DTS module, delta modules, a feature model, binding
+//! schemas and one feature configuration per VM. The pipeline then
+//!
+//! 1. runs the **resource-allocation checker** (§IV-A): the per-VM
+//!    selections are completed and validated against the multi-product
+//!    model with exclusive-resource constraints,
+//! 2. **derives** one DTS per VM and the platform DTS (union of the VM
+//!    products) through the delta engine (§III-B),
+//! 3. runs the **syntactic checker** (§IV-B) against the schemas,
+//! 4. runs the **semantic checker** (§IV-C) on every derived tree,
+//! 5. **generates** the hypervisor configuration files (Listings 3/6).
+//!
+//! Any failure aborts with diagnostics; syntactic and semantic findings
+//! carry the provenance of the delta operations that touched the
+//! offending node, realising the paper's "traced back to the
+//! delta-module causing it".
+
+use llhsc_delta::{DeltaModule, DerivedProduct, ProductLine};
+use llhsc_dts::DeviceTree;
+use llhsc_fm::{FeatureModel, MultiModel};
+use llhsc_hypcfg::{PlatformConfig, VmConfig};
+use llhsc_schema::{SchemaSet, SyntacticChecker};
+
+use crate::report::{Diagnostic, Severity, Stage};
+use crate::semantic::SemanticChecker;
+
+/// One VM to configure: a name (used for image symbols) and its feature
+/// selection (may be partial; the allocation checker completes it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmSpec {
+    /// VM name, e.g. `vm1`.
+    pub name: String,
+    /// Selected feature names.
+    pub features: Vec<String>,
+}
+
+/// Everything the pipeline consumes.
+#[derive(Debug, Clone)]
+pub struct PipelineInput {
+    /// The core DTS module (Listing 1).
+    pub core: DeviceTree,
+    /// The delta modules (Listing 4).
+    pub deltas: Vec<DeltaModule>,
+    /// The feature model (Fig. 1a).
+    pub model: FeatureModel,
+    /// Binding schemas (§IV-B).
+    pub schemas: SchemaSet,
+    /// Per-VM feature configurations.
+    pub vms: Vec<VmSpec>,
+}
+
+/// Everything the pipeline produces on success.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Derived tree per VM.
+    pub vm_trees: Vec<DeviceTree>,
+    /// Derived platform tree (union product).
+    pub platform_tree: DeviceTree,
+    /// Rendered DTS text per VM.
+    pub vm_dts: Vec<String>,
+    /// Rendered platform DTS text.
+    pub platform_dts: String,
+    /// Extracted Bao VM configurations.
+    pub vm_configs: Vec<VmConfig>,
+    /// Extracted Bao platform configuration.
+    pub platform_config: PlatformConfig,
+    /// Rendered C sources per VM (Listing 6 shape).
+    pub vm_c: Vec<String>,
+    /// Rendered platform C source (Listing 3 shape).
+    pub platform_c: String,
+    /// Non-fatal findings (delta orders, warnings).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// A failed pipeline run: every error-level finding, plus whatever
+/// non-fatal diagnostics accumulated before the failure.
+#[derive(Debug, Clone)]
+pub struct PipelineError {
+    /// All diagnostics; at least one has [`Severity::Error`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "llhsc pipeline failed:")?;
+        for d in &self.diagnostics {
+            if d.severity == Severity::Error {
+                writeln!(f, "  {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The llhsc tool: runs the Fig. 2 workflow.
+#[derive(Debug)]
+pub struct Pipeline {
+    /// Skip the semantic checker (ablation: "dt-schema mode").
+    pub skip_semantic: bool,
+    /// Skip the syntactic checker (ablation: "dtc mode").
+    pub skip_syntactic: bool,
+    /// Warn when a region's base or size is not a multiple of this
+    /// (stage-2 translation granularity). `None` disables the check.
+    pub page_alignment: Option<u128>,
+}
+
+impl Default for Pipeline {
+    fn default() -> Pipeline {
+        Pipeline {
+            skip_semantic: false,
+            skip_syntactic: false,
+            page_alignment: Some(0x1000),
+        }
+    }
+}
+
+impl Pipeline {
+    /// A pipeline with every checker enabled.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Runs the workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] carrying diagnostics if any checker
+    /// rejects the configuration or any generation step fails.
+    pub fn run(&self, input: &PipelineInput) -> Result<PipelineOutput, PipelineError> {
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        let mut errors = false;
+
+        // ---- Stage 1: resource allocation (§IV-A) ----
+        let mut selections: Vec<Vec<llhsc_fm::FeatureId>> = Vec::new();
+        for (k, vm) in input.vms.iter().enumerate() {
+            let mut sel = Vec::new();
+            for f in &vm.features {
+                match input.model.by_name(f) {
+                    Some(id) => sel.push(id),
+                    None => {
+                        errors = true;
+                        diagnostics.push(
+                            Diagnostic::error(
+                                Stage::Allocation,
+                                format!("unknown feature {f:?} in configuration of {}", vm.name),
+                            )
+                            .for_vm(k),
+                        );
+                    }
+                }
+            }
+            selections.push(sel);
+        }
+        if errors {
+            return Err(PipelineError { diagnostics });
+        }
+
+        let mut multi = MultiModel::new(&input.model, input.vms.len());
+        let partitioning = match multi.complete(&selections) {
+            Ok(p) => p,
+            Err(e) => {
+                diagnostics.push(Diagnostic::error(
+                    Stage::Allocation,
+                    format!("resource allocation rejected: {e}"),
+                ));
+                return Err(PipelineError { diagnostics });
+            }
+        };
+
+        // ---- Stage 2: derive DTSs (§III-B) ----
+        let line = ProductLine::new(input.core.clone(), input.deltas.clone());
+        let mut vm_products: Vec<DerivedProduct> = Vec::new();
+        for (k, product) in partitioning.vms.iter().enumerate() {
+            let names: Vec<String> = product
+                .iter()
+                .map(|id| input.model.name(*id).to_string())
+                .collect();
+            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+            match line.derive(&refs) {
+                Ok(p) => {
+                    diagnostics.push(
+                        Diagnostic {
+                            severity: Severity::Info,
+                            stage: Stage::DeltaApplication,
+                            vm: Some(k),
+                            message: format!("delta application order: {}", p.order.join(" < ")),
+                            blamed: Vec::new(),
+                        },
+                    );
+                    vm_products.push(p);
+                }
+                Err(e) => {
+                    errors = true;
+                    diagnostics.push(
+                        Diagnostic::error(Stage::DeltaApplication, e.to_string()).for_vm(k),
+                    );
+                }
+            }
+        }
+        let platform_names: Vec<String> = partitioning
+            .platform
+            .iter()
+            .map(|id| input.model.name(*id).to_string())
+            .collect();
+        let platform_refs: Vec<&str> = platform_names.iter().map(String::as_str).collect();
+        let platform_product = match line.derive(&platform_refs) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                errors = true;
+                diagnostics.push(Diagnostic::error(Stage::DeltaApplication, e.to_string()));
+                None
+            }
+        };
+        if errors {
+            return Err(PipelineError { diagnostics });
+        }
+        let platform_product = platform_product.expect("checked above");
+
+        // ---- Stage 3+4: check every derived tree ----
+        let mut all: Vec<(Option<usize>, &DerivedProduct)> = vm_products
+            .iter()
+            .enumerate()
+            .map(|(k, p)| (Some(k), p))
+            .collect();
+        all.push((None, &platform_product));
+
+        for (vm, product) in &all {
+            if !self.skip_syntactic {
+                let report =
+                    SyntacticChecker::new(&product.tree, &input.schemas).check();
+                for v in report.violations {
+                    errors = true;
+                    let mut d = Diagnostic::error(Stage::Syntactic, v.to_string())
+                        .blame(product.blame_subtree(&v.path).into_iter().cloned().collect());
+                    d.vm = *vm;
+                    diagnostics.push(d);
+                }
+            }
+            if let Some(align) = self.page_alignment {
+                if let Ok(devices) = llhsc_dts::cells::collect_regions(&product.tree) {
+                    let refs: Vec<crate::semantic::RegionRef> = devices
+                        .iter()
+                        .flat_map(|d| {
+                            d.regions.iter().enumerate().map(move |(i, r)| {
+                                crate::semantic::RegionRef {
+                                    path: d.path.to_string(),
+                                    index: i,
+                                    region: *r,
+                                    virtual_device: false,
+                                }
+                            })
+                        })
+                        .collect();
+                    for bad in SemanticChecker::new().check_alignment(&refs, align) {
+                        let mut d = Diagnostic::warning(
+                            Stage::Semantic,
+                            format!(
+                                "{bad} is not {align:#x}-aligned; stage-2 mapping \
+                                 will round it to page boundaries"
+                            ),
+                        );
+                        d.vm = *vm;
+                        diagnostics.push(d);
+                    }
+                }
+            }
+            if !self.skip_semantic {
+                match SemanticChecker::new().check_tree(&product.tree) {
+                    Ok(report) => {
+                        for c in report.collisions {
+                            errors = true;
+                            let mut blamed: Vec<llhsc_delta::Provenance> = product
+                                .blame_subtree(&c.a.path)
+                                .into_iter()
+                                .cloned()
+                                .collect();
+                            blamed.extend(
+                                product.blame_subtree(&c.b.path).into_iter().cloned(),
+                            );
+                            blamed.dedup();
+                            let mut d = Diagnostic::error(Stage::Semantic, c.to_string())
+                                .blame(blamed);
+                            d.vm = *vm;
+                            diagnostics.push(d);
+                        }
+                        for (line_no, users) in report.interrupt_conflicts {
+                            errors = true;
+                            let mut d = Diagnostic::error(
+                                Stage::Semantic,
+                                format!(
+                                    "interrupt line {line_no} claimed by multiple devices: {}",
+                                    users.join(", ")
+                                ),
+                            );
+                            d.vm = *vm;
+                            diagnostics.push(d);
+                        }
+                    }
+                    Err(e) => {
+                        errors = true;
+                        let mut d = Diagnostic::error(Stage::Semantic, e.to_string());
+                        d.vm = *vm;
+                        diagnostics.push(d);
+                    }
+                }
+            }
+        }
+        if errors {
+            return Err(PipelineError { diagnostics });
+        }
+
+        // ---- Stage 4b: cross-tree coverage (§IV-C, 2-stage translation)
+        // Every VM memory region must be backed by platform memory.
+        match SemanticChecker::memory_regions(&platform_product.tree) {
+            Ok(platform_memory) => {
+                let checker = SemanticChecker::new();
+                for (k, product) in vm_products.iter().enumerate() {
+                    let Ok(vm_memory) = SemanticChecker::memory_regions(&product.tree)
+                    else {
+                        continue; // reg errors already reported above
+                    };
+                    for gap in checker.check_coverage(&vm_memory, &platform_memory) {
+                        errors = true;
+                        let blamed = product
+                            .blame_subtree(&gap.region.path)
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        diagnostics.push(
+                            Diagnostic::error(Stage::Semantic, gap.to_string())
+                                .for_vm(k)
+                                .blame(blamed),
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                errors = true;
+                diagnostics.push(Diagnostic::error(Stage::Semantic, e.to_string()));
+            }
+        }
+        if errors {
+            return Err(PipelineError { diagnostics });
+        }
+
+        // ---- Stage 5: generate configurations (§II-C) ----
+        let platform_config = match PlatformConfig::from_tree(&platform_product.tree) {
+            Ok(c) => c,
+            Err(e) => {
+                diagnostics.push(Diagnostic::error(Stage::Generation, e.to_string()));
+                return Err(PipelineError { diagnostics });
+            }
+        };
+        let mut vm_configs = Vec::new();
+        for (k, (spec, product)) in input.vms.iter().zip(&vm_products).enumerate() {
+            match VmConfig::from_tree(&product.tree, &spec.name) {
+                Ok(c) => vm_configs.push(c),
+                Err(e) => {
+                    errors = true;
+                    diagnostics
+                        .push(Diagnostic::error(Stage::Generation, e.to_string()).for_vm(k));
+                }
+            }
+        }
+        if errors {
+            return Err(PipelineError { diagnostics });
+        }
+
+        let vm_trees: Vec<DeviceTree> =
+            vm_products.iter().map(|p| p.tree.clone()).collect();
+        let vm_dts: Vec<String> = vm_trees.iter().map(llhsc_dts::print).collect();
+        let vm_c: Vec<String> = vm_configs.iter().map(VmConfig::to_c).collect();
+        Ok(PipelineOutput {
+            platform_dts: llhsc_dts::print(&platform_product.tree),
+            platform_tree: platform_product.tree,
+            vm_trees,
+            vm_dts,
+            platform_c: platform_config.to_c(),
+            platform_config,
+            vm_configs,
+            vm_c,
+            diagnostics,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::running_example;
+
+    #[test]
+    fn running_example_succeeds() {
+        let input = running_example::pipeline_input();
+        let out = Pipeline::new().run(&input).expect("pipeline succeeds");
+        assert_eq!(out.vm_trees.len(), 2);
+        // VM1 carries veth0@80000000, VM2 the 0x70000000 one.
+        assert!(out.vm_trees[0]
+            .find("/vEthernet/veth0@80000000")
+            .is_some());
+        assert!(out.vm_trees[1]
+            .find("/vEthernet/veth0@70000000")
+            .is_some());
+        // Exclusive CPUs: VM1 only cpu@0, VM2 only cpu@1.
+        assert!(out.vm_trees[0].find("/cpus/cpu@0").is_some());
+        assert!(out.vm_trees[0].find("/cpus/cpu@1").is_none());
+        assert!(out.vm_trees[1].find("/cpus/cpu@1").is_some());
+        assert!(out.vm_trees[1].find("/cpus/cpu@0").is_none());
+        // Platform is the union.
+        assert!(out.platform_tree.find("/cpus/cpu@0").is_some());
+        assert!(out.platform_tree.find("/cpus/cpu@1").is_some());
+        // Configs extracted.
+        assert_eq!(out.platform_config.cpu_num, 2);
+        assert_eq!(out.vm_configs[0].cpu_affinity, 0b01);
+        assert_eq!(out.vm_configs[1].cpu_affinity, 0b10);
+        assert!(out.platform_c.contains("struct platform_desc"));
+        assert!(out.vm_c[0].contains("VM_IMAGE(vm1, vm1image.bin);"));
+        // Delta orders reported.
+        let orders: Vec<&Diagnostic> = out
+            .diagnostics
+            .iter()
+            .filter(|d| d.stage == Stage::DeltaApplication)
+            .collect();
+        // Projected onto the Listing 4 deltas, VM1's order is
+        // d3 < d4 < d1 and VM2's is d3 < d4 < d2 (the running example
+        // adds drop_* housekeeping deltas that interleave).
+        let pos = |msg: &str, name: &str| msg.find(name).expect("delta in order");
+        let m1 = orders[0].message.as_str();
+        assert!(pos(m1, "d3") < pos(m1, "d4") && pos(m1, "d4") < pos(m1, "d1"), "{m1}");
+        let m2 = orders[1].message.as_str();
+        assert!(pos(m2, "d3") < pos(m2, "d4") && pos(m2, "d4") < pos(m2, "d2"), "{m2}");
+    }
+
+    #[test]
+    fn double_cpu_allocation_rejected() {
+        let mut input = running_example::pipeline_input();
+        input.vms[1].features = vec![
+            "memory".into(),
+            "cpu@0".into(), // also claimed by vm1
+            "uart@20000000".into(),
+        ];
+        let err = Pipeline::new().run(&input).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == Stage::Allocation && d.severity == Severity::Error));
+        assert!(err.to_string().contains("allocation"));
+    }
+
+    #[test]
+    fn unknown_feature_rejected() {
+        let mut input = running_example::pipeline_input();
+        input.vms[0].features.push("warp-drive".into());
+        let err = Pipeline::new().run(&input).unwrap_err();
+        assert!(err.diagnostics[0].message.contains("warp-drive"));
+    }
+
+    #[test]
+    fn mismatched_veth_cpu_rejected_by_allocation() {
+        let mut input = running_example::pipeline_input();
+        // veth0 requires cpu@0, but vm1 asks for cpu@1 + veth0.
+        input.vms[0].features = vec![
+            "memory".into(),
+            "cpu@1".into(),
+            "uart@20000000".into(),
+            "veth0".into(),
+        ];
+        input.vms[1].features = vec!["memory".into(), "uart@20000000".into()];
+        let err = Pipeline::new().run(&input).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == Stage::Allocation));
+    }
+
+    #[test]
+    fn semantic_error_blames_delta() {
+        // Sabotage d1 to put veth0 on top of a uart (physical clash is
+        // exempted for virtual devices, so collide two veths instead:
+        // give vm1 both veth0 and… simpler: make d1's veth physical by
+        // using a non-virtual compatible and colliding with memory).
+        let mut input = running_example::pipeline_input();
+        let deltas_src = running_example::DELTAS
+            .replace("compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+                     "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;");
+        input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
+        let err = Pipeline::new().run(&input).unwrap_err();
+        let semantic: Vec<&Diagnostic> = err
+            .diagnostics
+            .iter()
+            .filter(|d| d.stage == Stage::Semantic)
+            .collect();
+        assert!(!semantic.is_empty(), "{err}");
+        // The finding is traced back to the delta that added the node.
+        assert!(
+            semantic
+                .iter()
+                .any(|d| d.blamed.iter().any(|p| p.delta == "d1")),
+            "{semantic:?}"
+        );
+    }
+
+    #[test]
+    fn ablation_dt_schema_mode_misses_the_clash() {
+        // skip_semantic = the dt-schema baseline: the sabotage from
+        // `semantic_error_blames_delta` sails through syntactically…
+        let mut input = running_example::pipeline_input();
+        let deltas_src = running_example::DELTAS
+            .replace("compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+                     "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;");
+        input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
+        let ablated = Pipeline {
+            skip_semantic: true,
+            ..Pipeline::new()
+        };
+        assert!(
+            ablated.run(&input).is_ok(),
+            "dt-schema mode must not catch the address clash"
+        );
+        // …while the full pipeline rejects it (shown in the other test).
+    }
+
+    #[test]
+    fn syntactic_error_reported() {
+        // Remove the required id property from d1's veth binding.
+        let mut input = running_example::pipeline_input();
+        let deltas_src = running_example::DELTAS.replace("id = <0>;", "");
+        input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
+        let err = Pipeline::new().run(&input).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == Stage::Syntactic && d.message.contains("\"id\"")));
+    }
+
+    #[test]
+    fn three_vms_rejected() {
+        let mut input = running_example::pipeline_input();
+        input.vms.push(VmSpec {
+            name: "vm3".into(),
+            features: vec!["memory".into(), "uart@20000000".into()],
+        });
+        let err = Pipeline::new().run(&input).unwrap_err();
+        assert!(err
+            .diagnostics
+            .iter()
+            .any(|d| d.stage == Stage::Allocation));
+    }
+}

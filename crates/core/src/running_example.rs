@@ -1,0 +1,258 @@
+//! The paper's running example, packaged as reusable fixtures.
+//!
+//! Everything the paper's §I-A/§III/§V artifact contains: the core DTS
+//! (Listing 1) with its `cpus.dtsi`/`uarts.dtsi` includes, the delta
+//! modules (Listing 4), the CustomSBC feature model (Fig. 1a) and the
+//! schema set. Tests, examples and benches all build on these, and the
+//! `llhsc demo` CLI subcommand runs them end to end.
+//!
+//! Two places deliberately deviate from the listings as printed, both
+//! documented in `EXPERIMENTS.md`:
+//!
+//! * delta `d3` also sets `#address-cells`/`#size-cells` on the
+//!   `vEthernet` container (the DeviceTree spec does not inherit cell
+//!   counts, so without this the veth `reg` values would misparse under
+//!   the 2+1 defaults), and
+//! * delta `d4` additionally relays out the two UART `reg` properties
+//!   for the 32-bit addressing `d3` introduces, and is guarded on
+//!   `veth0 || veth1` like `d3` (applying the 32-bit relayout under
+//!   64-bit root cells is exactly the §IV-C truncation bug; the
+//!   verbatim-Listing-4 behaviour is exercised by the E7 tests).
+
+use llhsc_delta::{DeltaModule, ProductLine};
+use llhsc_dts::{parse_with_includes, DeviceTree, MapFileProvider};
+use llhsc_fm::{FeatureModel, GroupKind};
+use llhsc_schema::SchemaSet;
+
+use crate::pipeline::{PipelineInput, VmSpec};
+
+/// The main DTS of Listing 1 (includes `cpus.dtsi` and `uarts.dtsi`).
+pub const CORE_DTS: &str = r#"
+/dts-v1/;
+/include/ "cpus.dtsi"
+/include/ "uarts.dtsi"
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000
+               0x0 0x60000000 0x0 0x20000000>;
+    };
+};
+"#;
+
+/// The processor cluster binding of Listing 2.
+pub const CPUS_DTSI: &str = r#"
+/ {
+    cpus {
+        #address-cells = <0x1>;
+        #size-cells = <0x0>;
+        cpu@0 {
+            compatible = "arm,cortex-a53";
+            device_type = "cpu";
+            enable-method = "psci";
+            reg = <0x0>;
+        };
+        cpu@1 {
+            compatible = "arm,cortex-a53";
+            device_type = "cpu";
+            enable-method = "psci";
+            reg = <0x1>;
+        };
+    };
+};
+"#;
+
+/// The serial ports (referenced by Listing 6 as "from uarts.dtsi").
+pub const UARTS_DTSI: &str = r#"
+/ {
+    uart@20000000 {
+        compatible = "ns16550a";
+        reg = <0x0 0x20000000 0x0 0x1000>;
+    };
+    uart@30000000 {
+        compatible = "ns16550a";
+        reg = <0x0 0x30000000 0x0 0x1000>;
+    };
+};
+"#;
+
+/// The delta modules of Listing 4, completed per the module docs, plus
+/// the drop deltas that remove deselected optional devices.
+pub const DELTAS: &str = r#"
+delta d1 after d3 when veth0 {
+    adds binding vEthernet {
+        veth0@80000000 {
+            compatible = "veth";
+            reg = <0x80000000 0x10000000>;
+            id = <0>;
+        };
+    };
+}
+
+delta d2 after d3 when veth1 {
+    adds binding vEthernet {
+        veth0@70000000 {
+            compatible = "veth";
+            reg = <0x70000000 0x10000000>;
+            id = <1>;
+        };
+    };
+}
+
+delta d3 when (veth0 || veth1) {
+    modifies / {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        vEthernet {
+            #address-cells = <1>;
+            #size-cells = <1>;
+        };
+    };
+}
+
+delta d4 after d3 when memory && (veth0 || veth1) {
+    modifies memory@40000000 {
+        reg = <0x40000000 0x20000000
+               0x60000000 0x20000000>;
+    };
+    modifies uart@20000000 {
+        reg = <0x20000000 0x1000>;
+    };
+    modifies uart@30000000 {
+        reg = <0x30000000 0x1000>;
+    };
+}
+
+delta drop_uart0 when !uart@20000000 {
+    removes /uart@20000000;
+}
+
+delta drop_uart1 when !uart@30000000 {
+    removes /uart@30000000;
+}
+
+delta drop_cpu0 when !cpu@0 {
+    removes /cpus/cpu@0;
+}
+
+delta drop_cpu1 when !cpu@1 {
+    removes /cpus/cpu@1;
+}
+"#;
+
+/// Parses the core module with its includes resolved.
+pub fn core_tree() -> DeviceTree {
+    let mut files = MapFileProvider::new();
+    files.insert("cpus.dtsi", CPUS_DTSI);
+    files.insert("uarts.dtsi", UARTS_DTSI);
+    parse_with_includes(CORE_DTS, &files).expect("running example core parses")
+}
+
+/// Parses the delta modules.
+pub fn deltas() -> Vec<DeltaModule> {
+    DeltaModule::parse_all(DELTAS).expect("running example deltas parse")
+}
+
+/// The product line (core + deltas).
+pub fn product_line() -> ProductLine {
+    ProductLine::new(core_tree(), deltas())
+}
+
+/// The CustomSBC feature model of Fig. 1a. With `uarts` as an abstract
+/// OR group over the two physically present serial ports, `vEthernet`
+/// as an abstract optional XOR group and the two `requires` cross
+/// constraints, the model has the paper's **12 valid products**.
+pub fn feature_model() -> FeatureModel {
+    let mut fm = FeatureModel::new("CustomSBC");
+    let root = fm.root();
+    let _memory = fm.add_mandatory(root, "memory");
+    let cpus = fm.add_mandatory(root, "cpus");
+    fm.set_group(cpus, GroupKind::Xor);
+    fm.set_cross_vm_exclusive(cpus, true);
+    let cpu0 = fm.add_optional(cpus, "cpu@0");
+    let cpu1 = fm.add_optional(cpus, "cpu@1");
+    let uarts = fm.add_mandatory(root, "uarts");
+    fm.set_abstract(uarts, true);
+    fm.set_group(uarts, GroupKind::Or);
+    fm.add_optional(uarts, "uart@20000000");
+    fm.add_optional(uarts, "uart@30000000");
+    let veth = fm.add_optional(root, "vEthernet");
+    fm.set_abstract(veth, true);
+    fm.set_group(veth, GroupKind::Xor);
+    let veth0 = fm.add_optional(veth, "veth0");
+    let veth1 = fm.add_optional(veth, "veth1");
+    fm.requires(veth0, cpu0);
+    fm.requires(veth1, cpu1);
+    fm
+}
+
+/// The binding schemas for the example's devices.
+pub fn schemas() -> SchemaSet {
+    SchemaSet::standard()
+}
+
+/// The two VM feature configurations of Fig. 1b / Fig. 1c.
+pub fn vm_specs() -> Vec<VmSpec> {
+    vec![
+        VmSpec {
+            name: "vm1".to_string(),
+            features: vec![
+                "memory".into(),
+                "cpu@0".into(),
+                "uart@20000000".into(),
+                "uart@30000000".into(),
+                "veth0".into(),
+            ],
+        },
+        VmSpec {
+            name: "vm2".to_string(),
+            features: vec![
+                "memory".into(),
+                "cpu@1".into(),
+                "uart@20000000".into(),
+                "uart@30000000".into(),
+                "veth1".into(),
+            ],
+        },
+    ]
+}
+
+/// The complete pipeline input for the running example.
+pub fn pipeline_input() -> PipelineInput {
+    PipelineInput {
+        core: core_tree(),
+        deltas: deltas(),
+        model: feature_model(),
+        schemas: schemas(),
+        vms: vm_specs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhsc_fm::Analyzer;
+
+    #[test]
+    fn core_tree_has_all_devices() {
+        let t = core_tree();
+        assert!(t.find("/memory@40000000").is_some());
+        assert!(t.find("/cpus/cpu@0").is_some());
+        assert!(t.find("/cpus/cpu@1").is_some());
+        assert!(t.find("/uart@20000000").is_some());
+        assert!(t.find("/uart@30000000").is_some());
+    }
+
+    #[test]
+    fn model_has_12_products() {
+        let mut an = Analyzer::new(&feature_model());
+        assert_eq!(an.count_products(), 12);
+    }
+
+    #[test]
+    fn deltas_parse_to_eight_modules() {
+        assert_eq!(deltas().len(), 8);
+    }
+}

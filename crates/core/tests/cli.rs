@@ -1,0 +1,233 @@
+//! End-to-end tests of the `llhsc` command-line tool.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn llhsc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_llhsc"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("llhsc-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const VALID: &str = r#"
+/dts-v1/;
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000>;
+    };
+    uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+};
+"#;
+
+const CLASHING: &str = r#"
+/dts-v1/;
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x0 0x40000000 0x0 0x20000000>;
+    };
+    uart@40000000 { compatible = "ns16550a"; reg = <0x0 0x40000000 0x0 0x1000>; };
+};
+"#;
+
+#[test]
+fn no_args_prints_usage() {
+    let out = llhsc(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn check_accepts_valid_file() {
+    let path = write_temp("valid.dts", VALID);
+    let out = llhsc(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+}
+
+#[test]
+fn check_rejects_clash_with_nonzero_exit() {
+    let path = write_temp("clash.dts", CLASHING);
+    let out = llhsc(&["check", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[semantic]"), "{stderr}");
+    assert!(stderr.contains("collision"), "{stderr}");
+}
+
+#[test]
+fn check_resolves_includes_from_the_file_directory() {
+    let main = write_temp(
+        "main.dts",
+        "/dts-v1/;\n/include/ \"part.dtsi\"\n/ { };\n",
+    );
+    write_temp(
+        "part.dtsi",
+        "/ { #address-cells = <1>; #size-cells = <1>; \
+         memory@80000000 { device_type = \"memory\"; reg = <0x80000000 0x1000>; }; };",
+    );
+    let out = llhsc(&["check", main.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn dtb_then_dts_roundtrip() {
+    let src = write_temp("rt.dts", VALID);
+    let blob = write_temp("rt.dtb", ""); // will be overwritten
+    let out = llhsc(&["dtb", src.to_str().unwrap(), blob.to_str().unwrap()]);
+    assert!(out.status.success());
+    let out = llhsc(&["dts", blob.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memory@40000000"));
+    assert!(text.contains("uart@20000000"));
+}
+
+#[test]
+fn demo_runs_the_paper_pipeline() {
+    let out = llhsc(&["demo"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("platform DTS"));
+    assert!(text.contains("Listing 3 shape"));
+    assert!(text.contains("VM_IMAGE(vm1, vm1image.bin);"));
+}
+
+#[test]
+fn products_lists_twelve() {
+    let out = llhsc(&["products"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("12 valid products:"), "{text}");
+    assert!(text.contains("core features: CustomSBC, memory, cpus, uarts"));
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let out = llhsc(&["check", "/nonexistent/board.dts"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+const MODEL_FM: &str = r#"
+feature CustomSBC {
+    memory
+    cpus xor exclusive {
+        cpu@0?
+        cpu@1?
+    }
+    uarts abstract or {
+        uart@20000000?
+        uart@30000000?
+    }
+    vEthernet? abstract xor {
+        veth0?
+        veth1?
+    }
+}
+constraints {
+    veth0 requires cpu@0
+    veth1 requires cpu@1
+}
+"#;
+
+#[test]
+fn model_subcommand_analyses_fm_file() {
+    let path = write_temp("model.fm", MODEL_FM);
+    let out = llhsc(&["model", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("valid products: 12"), "{text}");
+    assert!(text.contains("dead features: none"));
+    assert!(text.contains("maximum VMs under exclusive-resource partitioning: 2"));
+}
+
+#[test]
+fn model_subcommand_reports_void() {
+    let path = write_temp(
+        "void.fm",
+        "feature R { a b }\nconstraints { a excludes b }",
+    );
+    let out = llhsc(&["model", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VOID"));
+}
+
+#[test]
+fn build_subcommand_runs_a_project() {
+    let dir = std::env::temp_dir().join(format!("llhsc-proj-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("project dir");
+    std::fs::write(dir.join("core.dts"), llhsc::running_example::CORE_DTS).unwrap();
+    std::fs::write(dir.join("cpus.dtsi"), llhsc::running_example::CPUS_DTSI).unwrap();
+    std::fs::write(dir.join("uarts.dtsi"), llhsc::running_example::UARTS_DTSI).unwrap();
+    std::fs::write(dir.join("deltas.delta"), llhsc::running_example::DELTAS).unwrap();
+    std::fs::write(dir.join("model.fm"), MODEL_FM).unwrap();
+    std::fs::write(
+        dir.join("vms.cfg"),
+        "# the Fig. 1 configurations\n\
+         vm1: memory, cpu@0, uart@20000000, uart@30000000, veth0\n\
+         vm2: memory, cpu@1, uart@20000000, uart@30000000, veth1\n",
+    )
+    .unwrap();
+    let out = llhsc(&["build", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    for f in [
+        "platform.dts",
+        "platform.c",
+        "platform.dtb",
+        "vm1.dts",
+        "vm2.dts",
+        "vm1.c",
+        "vm2.c",
+        "vm1.jailhouse.c",
+        "vm2.jailhouse.c",
+        "vm1.dtb",
+        "vm2.dtb",
+    ] {
+        assert!(dir.join("out").join(f).exists(), "missing out/{f}");
+    }
+    // The emitted DTB decodes.
+    let blob = std::fs::read(dir.join("out/vm1.dtb")).unwrap();
+    assert!(llhsc_dts::fdt::decode(&blob).is_ok());
+    // The Jailhouse cell config mentions the VM name.
+    let cell = std::fs::read_to_string(dir.join("out/vm1.jailhouse.c")).unwrap();
+    assert!(cell.contains("JAILHOUSE_CELL_DESC_SIGNATURE"));
+}
+
+#[test]
+fn build_rejects_invalid_project() {
+    let dir = std::env::temp_dir().join(format!("llhsc-proj-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("project dir");
+    std::fs::write(dir.join("core.dts"), llhsc::running_example::CORE_DTS).unwrap();
+    std::fs::write(dir.join("cpus.dtsi"), llhsc::running_example::CPUS_DTSI).unwrap();
+    std::fs::write(dir.join("uarts.dtsi"), llhsc::running_example::UARTS_DTSI).unwrap();
+    // Disable d4 (guard on a never-selected feature): the truncation bug.
+    let deltas: String = llhsc::running_example::DELTAS.replace(
+        "delta d4 after d3 when memory && (veth0 || veth1)",
+        "delta d4 after d3 when memory && never_selected",
+    );
+    std::fs::write(dir.join("deltas.delta"), deltas).unwrap();
+    std::fs::write(dir.join("model.fm"), MODEL_FM).unwrap();
+    std::fs::write(
+        dir.join("vms.cfg"),
+        "vm1: memory, cpu@0, uart@20000000, uart@30000000, veth0\n",
+    )
+    .unwrap();
+    let out = llhsc(&["build", dir.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("semantic"));
+}

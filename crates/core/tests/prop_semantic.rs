@@ -1,0 +1,99 @@
+//! Property tests: the SMT-based overlap/coverage checkers against
+//! naive interval arithmetic.
+
+use llhsc::{RegionRef, SemanticChecker};
+use llhsc_dts::cells::RegEntry;
+use proptest::prelude::*;
+
+fn arb_regions(max: usize) -> impl Strategy<Value = Vec<RegionRef>> {
+    prop::collection::vec(
+        (0u64..0x1_0000, 0u64..0x400, any::<bool>()),
+        1..=max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (base, size, virt))| RegionRef {
+                path: format!("/dev{i}"),
+                index: 0,
+                region: RegEntry::new(u128::from(base), u128::from(size)),
+                virtual_device: virt,
+            })
+            .collect()
+    })
+}
+
+fn naive_overlaps(a: &RegionRef, b: &RegionRef) -> bool {
+    a.virtual_device == b.virtual_device && a.region.overlaps(&b.region)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The solver finds exactly the pairs naive interval arithmetic
+    /// finds (restricted to same-class pairs).
+    #[test]
+    fn collisions_match_interval_arithmetic(refs in arb_regions(6)) {
+        let collisions = SemanticChecker::new().check_regions(&refs);
+        let mut expected = Vec::new();
+        for i in 0..refs.len() {
+            for j in (i + 1)..refs.len() {
+                if naive_overlaps(&refs[i], &refs[j]) {
+                    expected.push((refs[i].path.clone(), refs[j].path.clone()));
+                }
+            }
+        }
+        let mut got: Vec<(String, String)> = collisions
+            .iter()
+            .map(|c| (c.a.path.clone(), c.b.path.clone()))
+            .collect();
+        got.sort();
+        expected.sort();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Every reported witness really lies in both regions.
+    #[test]
+    fn witnesses_are_sound(refs in arb_regions(6)) {
+        for c in SemanticChecker::new().check_regions(&refs) {
+            prop_assert!(c.witness >= c.a.region.address);
+            prop_assert!(c.witness < c.a.region.end());
+            prop_assert!(c.witness >= c.b.region.address);
+            prop_assert!(c.witness < c.b.region.end());
+        }
+    }
+
+    /// Coverage agrees with naive subset checking, and gap witnesses
+    /// are sound (inside the inner region, outside all outer regions).
+    #[test]
+    fn coverage_matches_interval_arithmetic(
+        inner in arb_regions(4),
+        outer in arb_regions(4),
+    ) {
+        let checker = SemanticChecker::new();
+        let gaps = checker.check_coverage(&inner, &outer);
+        for r in &inner {
+            if r.region.size == 0 {
+                continue;
+            }
+            let covered = (r.region.address..r.region.end()).all(|x| {
+                outer
+                    .iter()
+                    .any(|o| x >= o.region.address && x < o.region.end())
+            });
+            let reported = gaps.iter().any(|g| g.region.path == r.path);
+            prop_assert_eq!(!covered, reported, "region {}", r.path);
+        }
+        for g in &gaps {
+            prop_assert!(g.witness >= g.region.region.address);
+            prop_assert!(g.witness < g.region.region.end());
+            for o in &outer {
+                prop_assert!(
+                    g.witness < o.region.address || g.witness >= o.region.end(),
+                    "witness {:#x} inside outer {}", g.witness, o.path
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Parser for the delta language of the paper's Listing 4.
+//!
+//! ```text
+//! delta d1 after d3 when veth0 {
+//!     adds binding vEthernet {
+//!         veth0@80000000 {
+//!             compatible = "veth";
+//!             reg = <0x80000000 0x10000000>;
+//!             id = <0>;
+//!         };
+//!     };
+//! }
+//! ```
+//!
+//! The node bodies inside `adds`/`modifies` are plain DTS syntax; they
+//! are delegated to the [`llhsc_dts`] parser by wrapping the raw block
+//! in a synthetic root node.
+
+use crate::module::{DeltaError, DeltaModule, DeltaOp, WhenExpr};
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b',' | b'.' | b'_' | b'+' | b'-' | b'@' | b'#')
+}
+
+impl<'a> Scanner<'a> {
+    fn new(src: &'a str) -> Scanner<'a> {
+        Scanner {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DeltaError {
+        DeltaError::Parse {
+            line: self.line,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.bump();
+                    self.bump();
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_trivia();
+        self.peek().is_none()
+    }
+
+    /// Reads an identifier usable in node paths (may contain commas,
+    /// e.g. vendor prefixes).
+    fn ident(&mut self) -> Result<String, DeltaError> {
+        self.skip_trivia();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err(format!(
+                "expected a name, found {:?}",
+                self.peek().map(|c| c as char)
+            )));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    /// Reads a keyword, delta name or feature name (no commas — those
+    /// separate `after` list entries).
+    fn word(&mut self) -> Result<String, DeltaError> {
+        self.skip_trivia();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_name_char(c) && c != b',' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if start == self.pos {
+            return Err(self.err(format!(
+                "expected a name, found {:?}",
+                self.peek().map(|c| c as char)
+            )));
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii")
+            .to_string())
+    }
+
+    /// Reads a node path: `/` alone, or `/`-separated names.
+    fn path(&mut self) -> Result<String, DeltaError> {
+        self.skip_trivia();
+        let mut out = String::new();
+        if self.peek() == Some(b'/') {
+            self.bump();
+            out.push('/');
+        }
+        loop {
+            self.skip_trivia();
+            match self.peek() {
+                Some(c) if is_name_char(c) => {
+                    let seg = self.ident()?;
+                    if !out.is_empty() && !out.ends_with('/') {
+                        out.push('/');
+                    }
+                    out.push_str(&seg);
+                    self.skip_trivia();
+                    if self.peek() == Some(b'/') {
+                        self.bump();
+                        continue;
+                    }
+                    break;
+                }
+                _ => break,
+            }
+        }
+        if out.is_empty() {
+            return Err(self.err("expected a node path"));
+        }
+        Ok(out)
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), DeltaError> {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected {:?}, found {:?}",
+                c as char,
+                self.peek().map(|x| x as char)
+            )))
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_trivia();
+        if self.peek() == Some(c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Captures the raw text of a `{ … }` block (brace returned
+    /// exclusive), tracking strings so braces in string literals do not
+    /// confuse the balance.
+    fn raw_block(&mut self) -> Result<String, DeltaError> {
+        self.expect(b'{')?;
+        let start = self.pos;
+        let mut depth = 1usize;
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated '{' block")),
+                Some(b'"') => {
+                    // Skip string literal.
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.err("unterminated string")),
+                            Some(b'\\') => {
+                                self.bump();
+                            }
+                            Some(b'"') => break,
+                            _ => {}
+                        }
+                    }
+                }
+                Some(b'{') => depth += 1,
+                Some(b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let text = std::str::from_utf8(&self.src[start..self.pos - 1])
+                            .expect("ascii")
+                            .to_string();
+                        return Ok(text);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // when-expression grammar: or := and ('||' and)*, and := unary
+    // ('&&' unary)*, unary := '!' unary | '(' or ')' | feature.
+    fn when_expr(&mut self) -> Result<WhenExpr, DeltaError> {
+        let mut left = self.when_and()?;
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b'|') && self.src.get(self.pos + 1) == Some(&b'|') {
+                self.bump();
+                self.bump();
+                let right = self.when_and()?;
+                left = WhenExpr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn when_and(&mut self) -> Result<WhenExpr, DeltaError> {
+        let mut left = self.when_unary()?;
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b'&') && self.src.get(self.pos + 1) == Some(&b'&') {
+                self.bump();
+                self.bump();
+                let right = self.when_unary()?;
+                left = WhenExpr::And(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn when_unary(&mut self) -> Result<WhenExpr, DeltaError> {
+        self.skip_trivia();
+        match self.peek() {
+            Some(b'!') => {
+                self.bump();
+                Ok(WhenExpr::Not(Box::new(self.when_unary()?)))
+            }
+            Some(b'(') => {
+                self.bump();
+                let inner = self.when_expr()?;
+                self.expect(b')')?;
+                Ok(inner)
+            }
+            Some(c) if is_name_char(c) => {
+                let name = self.word()?;
+                match name.as_str() {
+                    "true" => Ok(WhenExpr::True),
+                    "false" => Ok(WhenExpr::Not(Box::new(WhenExpr::True))),
+                    _ => Ok(WhenExpr::Feature(name)),
+                }
+            }
+            other => Err(self.err(format!(
+                "expected a when-expression, found {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+}
+
+/// Parses a DTS fragment (the body of an `adds`/`modifies` block) by
+/// wrapping it in a synthetic root.
+fn parse_fragment(delta: &str, body: &str) -> Result<llhsc_dts::Node, DeltaError> {
+    let wrapped = format!("/ {{ {body} }};");
+    let tree = llhsc_dts::parse(&wrapped).map_err(|e| DeltaError::Fragment {
+        delta: delta.to_string(),
+        message: e.to_string(),
+    })?;
+    Ok(tree.root)
+}
+
+/// Parses a document containing delta modules (Listing 4 syntax).
+///
+/// # Errors
+///
+/// Returns [`DeltaError::Parse`] / [`DeltaError::Fragment`] on bad
+/// input, and [`DeltaError::DuplicateName`] when two deltas share a
+/// name.
+pub fn parse_deltas(src: &str) -> Result<Vec<DeltaModule>, DeltaError> {
+    let mut s = Scanner::new(src);
+    let mut out: Vec<DeltaModule> = Vec::new();
+    while !s.at_end() {
+        let kw = s.word()?;
+        if kw != "delta" {
+            return Err(s.err(format!("expected 'delta', found {kw:?}")));
+        }
+        let name = s.word()?;
+        if out.iter().any(|d| d.name == name) {
+            return Err(DeltaError::DuplicateName { name });
+        }
+        let mut after = Vec::new();
+        let mut when = WhenExpr::True;
+        loop {
+            s.skip_trivia();
+            if s.peek() == Some(b'{') {
+                break;
+            }
+            let kw = s.word()?;
+            match kw.as_str() {
+                "after" => loop {
+                    after.push(s.word()?);
+                    if !s.eat(b',') {
+                        break;
+                    }
+                },
+                "when" => {
+                    when = s.when_expr()?;
+                }
+                other => {
+                    return Err(s.err(format!(
+                        "expected 'after', 'when' or '{{', found {other:?}"
+                    )))
+                }
+            }
+        }
+        s.expect(b'{')?;
+        let mut ops = Vec::new();
+        loop {
+            s.skip_trivia();
+            if s.eat(b'}') {
+                break;
+            }
+            let verb = s.word()?;
+            match verb.as_str() {
+                "adds" => {
+                    s.skip_trivia();
+                    // Optional 'binding' keyword (Listing 4 flavour).
+                    if s.peek().map(is_name_char).unwrap_or(false) {
+                        let save = (s.pos, s.line);
+                        let maybe = s.word()?;
+                        if maybe != "binding" {
+                            (s.pos, s.line) = save;
+                        }
+                    }
+                    let path = s.path()?;
+                    let body = s.raw_block()?;
+                    let fragment = parse_fragment(&name, &body)?;
+                    ops.push(DeltaOp::Adds { path, fragment });
+                    s.eat(b';');
+                }
+                "modifies" => {
+                    let path = s.path()?;
+                    let body = s.raw_block()?;
+                    let fragment = parse_fragment(&name, &body)?;
+                    ops.push(DeltaOp::Modifies { path, fragment });
+                    s.eat(b';');
+                }
+                "removes" => {
+                    let path = s.path()?;
+                    s.skip_trivia();
+                    let save = (s.pos, s.line);
+                    let maybe = if s.peek().map(is_name_char).unwrap_or(false) {
+                        s.word()?
+                    } else {
+                        String::new()
+                    };
+                    if maybe == "property" {
+                        let prop = s.ident()?;
+                        ops.push(DeltaOp::RemovesProperty { path, name: prop });
+                    } else {
+                        (s.pos, s.line) = save;
+                        ops.push(DeltaOp::RemovesNode { path });
+                    }
+                    s.expect(b';')?;
+                }
+                other => {
+                    return Err(s.err(format!(
+                        "expected 'adds', 'modifies' or 'removes', found {other:?}"
+                    )))
+                }
+            }
+        }
+        out.push(DeltaModule {
+            name,
+            after,
+            when,
+            ops,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// The paper's Listing 4, verbatim structure (with the vEthernet
+    /// cell sizes made explicit so child `reg` values parse under the
+    /// intended 1+1 layout — see EXPERIMENTS.md E4).
+    pub(crate) const LISTING_4: &str = r#"
+delta d1 after d3 when veth0 {
+    adds binding vEthernet {
+        veth0@80000000 {
+            compatible = "veth";
+            reg = <0x80000000 0x10000000>;
+            id = <0>;
+        };
+    };
+}
+
+delta d2 after d3 when veth1 {
+    adds binding vEthernet {
+        veth0@70000000 {
+            compatible = "veth";
+            reg = <0x70000000 0x10000000>;
+            id = <1>;
+        };
+    };
+}
+
+delta d3 when (veth0 || veth1) {
+    modifies / {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        vEthernet {
+            #address-cells = <1>;
+            #size-cells = <1>;
+        };
+    };
+}
+
+delta d4 after d3 when memory {
+    modifies memory@40000000 {
+        reg = <0x40000000 0x20000000
+               0x60000000 0x20000000>;
+    };
+}
+"#;
+
+    #[test]
+    fn parses_listing4() {
+        let ds = parse_deltas(LISTING_4).unwrap();
+        assert_eq!(ds.len(), 4);
+        let names: Vec<&str> = ds.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, vec!["d1", "d2", "d3", "d4"]);
+        assert_eq!(ds[0].after, vec!["d3"]);
+        assert_eq!(ds[0].when, WhenExpr::Feature("veth0".into()));
+        assert_eq!(
+            ds[2].when,
+            WhenExpr::Or(
+                Box::new(WhenExpr::Feature("veth0".into())),
+                Box::new(WhenExpr::Feature("veth1".into()))
+            )
+        );
+        assert_eq!(ds[3].after, vec!["d3"]);
+        // d1's op adds under vEthernet.
+        match &ds[0].ops[0] {
+            DeltaOp::Adds { path, fragment } => {
+                assert_eq!(path, "vEthernet");
+                assert_eq!(fragment.children.len(), 1);
+                assert_eq!(fragment.children[0].name, "veth0@80000000");
+                assert_eq!(
+                    fragment.children[0].prop_u32("id"),
+                    Some(0)
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // d3 modifies the root.
+        match &ds[2].ops[0] {
+            DeltaOp::Modifies { path, fragment } => {
+                assert_eq!(path, "/");
+                assert_eq!(fragment.prop_u32("#address-cells"), Some(1));
+                assert!(fragment.children.iter().any(|c| c.name == "vEthernet"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adds_without_binding_keyword() {
+        let ds = parse_deltas("delta d after x { adds /soc { timer { }; }; }").unwrap();
+        assert_eq!(ds[0].after, vec!["x"]);
+        match &ds[0].ops[0] {
+            DeltaOp::Adds { path, fragment } => {
+                assert_eq!(path, "/soc");
+                assert_eq!(fragment.children[0].name, "timer");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removes_variants() {
+        let ds = parse_deltas(
+            "delta d { removes /uart@0; removes memory@0 property reg; }",
+        )
+        .unwrap();
+        assert_eq!(
+            ds[0].ops,
+            vec![
+                DeltaOp::RemovesNode {
+                    path: "/uart@0".into()
+                },
+                DeltaOp::RemovesProperty {
+                    path: "memory@0".into(),
+                    name: "reg".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn when_operators() {
+        let ds =
+            parse_deltas("delta d when (a && !b) || c { modifies / { x = <1>; }; }").unwrap();
+        let sel_a: std::collections::BTreeSet<&str> = ["a"].into_iter().collect();
+        let sel_ab: std::collections::BTreeSet<&str> = ["a", "b"].into_iter().collect();
+        let sel_c: std::collections::BTreeSet<&str> = ["c"].into_iter().collect();
+        assert!(ds[0].when.eval(&sel_a));
+        assert!(!ds[0].when.eval(&sel_ab));
+        assert!(ds[0].when.eval(&sel_c));
+    }
+
+    #[test]
+    fn multiple_after() {
+        let ds = parse_deltas("delta d after a, b, c { modifies / { }; }").unwrap();
+        assert_eq!(ds[0].after, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = parse_deltas("delta d { } delta d { }");
+        assert!(matches!(r, Err(DeltaError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn bad_fragment_reported_with_delta_name() {
+        let r = parse_deltas("delta broken { modifies / { reg = <huh>; }; }");
+        match r {
+            Err(DeltaError::Fragment { delta, .. }) => assert_eq!(delta, "broken"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_lines() {
+        let r = parse_deltas("delta d {\n  frobs / { };\n}");
+        match r {
+            Err(DeltaError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_allowed() {
+        let ds = parse_deltas(
+            "// leading\ndelta d /* inline */ when x {\n  // op comment\n  modifies / { };\n}",
+        )
+        .unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn empty_document() {
+        assert!(parse_deltas("").unwrap().is_empty());
+        assert!(parse_deltas("  // nothing\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn strings_with_braces_in_fragment() {
+        let ds = parse_deltas(
+            "delta d { modifies / { model = \"weird{}brace\"; }; }",
+        )
+        .unwrap();
+        match &ds[0].ops[0] {
+            DeltaOp::Modifies { fragment, .. } => {
+                assert_eq!(fragment.prop_str("model"), Some("weird{}brace"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

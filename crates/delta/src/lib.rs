@@ -1,0 +1,51 @@
+//! Delta-oriented programming (DOP) for DeviceTree product lines —
+//! §III-B of the llhsc paper.
+//!
+//! A product line of DTS files consists of a *core module* (the running
+//! example's DTS) and a set of *delta modules* that add, modify or
+//! remove fragments. Each delta carries
+//!
+//! * a `when` clause — a propositional formula over feature names that
+//!   activates the delta for a given feature configuration, and
+//! * `after` clauses — a strict partial order constraining application
+//!   order among active deltas.
+//!
+//! This crate provides the delta language parser (the concrete syntax of
+//! the paper's Listing 4), activation and deterministic topological
+//! ordering, the application engine, and per-node *provenance* so that a
+//! checker error "can easily be traced back to the delta-module causing
+//! it" (§III-B).
+//!
+//! # Example
+//!
+//! ```
+//! use llhsc_delta::{DeltaModule, ProductLine};
+//!
+//! let core = llhsc_dts::parse("/ { memory@40000000 { }; };").unwrap();
+//! let deltas = DeltaModule::parse_all(r#"
+//! delta d3 when (veth0 || veth1) {
+//!     modifies / {
+//!         #address-cells = <1>;
+//!         #size-cells = <1>;
+//!         vEthernet { };
+//!     };
+//! }
+//! delta d1 after d3 when veth0 {
+//!     adds binding vEthernet {
+//!         veth0@80000000 { compatible = "veth"; };
+//!     };
+//! }
+//! "#).unwrap();
+//! let pl = ProductLine::new(core, deltas);
+//! let product = pl.derive(&["memory", "veth0"]).unwrap();
+//! assert_eq!(product.order, vec!["d3", "d1"]);
+//! assert!(product.tree.find("/vEthernet/veth0@80000000").is_some());
+//! ```
+
+mod apply;
+mod lang;
+mod module;
+
+pub use apply::{DerivedProduct, ProductLine, Provenance};
+pub use lang::parse_deltas;
+pub use module::{DeltaError, DeltaModule, DeltaOp, WhenExpr};

@@ -1,0 +1,290 @@
+//! Delta module data model.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::fmt;
+
+use llhsc_dts::Node;
+
+/// The activation condition of a delta: a propositional formula over
+/// feature names (the `when` clause of Listing 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WhenExpr {
+    /// Always active (no `when` clause).
+    True,
+    /// The named feature is selected.
+    Feature(String),
+    /// Negation.
+    Not(Box<WhenExpr>),
+    /// `&&`
+    And(Box<WhenExpr>, Box<WhenExpr>),
+    /// `||`
+    Or(Box<WhenExpr>, Box<WhenExpr>),
+}
+
+impl WhenExpr {
+    /// Evaluates the condition under a feature selection.
+    pub fn eval(&self, selected: &BTreeSet<&str>) -> bool {
+        match self {
+            WhenExpr::True => true,
+            WhenExpr::Feature(f) => selected.contains(f.as_str()),
+            WhenExpr::Not(e) => !e.eval(selected),
+            WhenExpr::And(a, b) => a.eval(selected) && b.eval(selected),
+            WhenExpr::Or(a, b) => a.eval(selected) || b.eval(selected),
+        }
+    }
+
+    /// All feature names mentioned.
+    pub fn features(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        fn rec(e: &WhenExpr, out: &mut BTreeSet<String>) {
+            match e {
+                WhenExpr::True => {}
+                WhenExpr::Feature(f) => {
+                    out.insert(f.clone());
+                }
+                WhenExpr::Not(x) => rec(x, out),
+                WhenExpr::And(a, b) | WhenExpr::Or(a, b) => {
+                    rec(a, out);
+                    rec(b, out);
+                }
+            }
+        }
+        rec(self, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for WhenExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WhenExpr::True => write!(f, "true"),
+            WhenExpr::Feature(n) => write!(f, "{n}"),
+            WhenExpr::Not(e) => write!(f, "!({e})"),
+            WhenExpr::And(a, b) => write!(f, "({a} && {b})"),
+            WhenExpr::Or(a, b) => write!(f, "({a} || {b})"),
+        }
+    }
+}
+
+/// One operation inside a delta module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// `adds binding <path> { <child nodes> }` — adds the given children
+    /// (and properties) under the existing node at `path`.
+    Adds {
+        /// Target node path (e.g. `vEthernet`, `/`).
+        path: String,
+        /// The fragment whose properties and children are added.
+        fragment: Node,
+    },
+    /// `modifies <path> { … }` — merges the fragment into the node at
+    /// `path` (properties overwrite, children merge recursively).
+    Modifies {
+        /// Target node path.
+        path: String,
+        /// The patch.
+        fragment: Node,
+    },
+    /// `removes <path>;` — deletes the node at `path`.
+    RemovesNode {
+        /// Node to delete.
+        path: String,
+    },
+    /// `removes <path> property <name>;` — deletes one property.
+    RemovesProperty {
+        /// Node whose property is deleted.
+        path: String,
+        /// Property name.
+        name: String,
+    },
+}
+
+impl DeltaOp {
+    /// The target path of this operation.
+    pub fn path(&self) -> &str {
+        match self {
+            DeltaOp::Adds { path, .. }
+            | DeltaOp::Modifies { path, .. }
+            | DeltaOp::RemovesNode { path }
+            | DeltaOp::RemovesProperty { path, .. } => path,
+        }
+    }
+
+    /// Short verb for diagnostics.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            DeltaOp::Adds { .. } => "adds",
+            DeltaOp::Modifies { .. } => "modifies",
+            DeltaOp::RemovesNode { .. } => "removes",
+            DeltaOp::RemovesProperty { .. } => "removes property",
+        }
+    }
+}
+
+/// A delta module: name, ordering constraints, activation condition and
+/// operations (Listing 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaModule {
+    /// Module name (`d1` … `d4`).
+    pub name: String,
+    /// Names of deltas that must apply before this one (`after`).
+    pub after: Vec<String>,
+    /// Activation condition (`when`).
+    pub when: WhenExpr,
+    /// Operations in source order.
+    pub ops: Vec<DeltaOp>,
+}
+
+impl DeltaModule {
+    /// Parses a document containing any number of delta modules (see
+    /// [`parse_deltas`](crate::parse_deltas)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaError`] on malformed input.
+    pub fn parse_all(src: &str) -> Result<Vec<DeltaModule>, DeltaError> {
+        crate::lang::parse_deltas(src)
+    }
+
+    /// Whether this delta activates under a feature selection.
+    pub fn active(&self, selected: &BTreeSet<&str>) -> bool {
+        self.when.eval(selected)
+    }
+}
+
+/// Errors across the delta crate: parsing, ordering, application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta language input was malformed.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// An embedded DTS fragment failed to parse.
+    Fragment {
+        /// Delta being parsed.
+        delta: String,
+        /// The DTS error rendered.
+        message: String,
+    },
+    /// Two deltas share a name.
+    DuplicateName {
+        /// The name.
+        name: String,
+    },
+    /// The `after` relation over active deltas has a cycle.
+    Cycle {
+        /// Deltas on the cycle.
+        involved: Vec<String>,
+    },
+    /// An operation targeted a path that does not exist; carries the
+    /// provenance needed to trace the failure to its delta.
+    MissingTarget {
+        /// The delta whose operation failed.
+        delta: String,
+        /// The operation verb.
+        op: String,
+        /// The missing path.
+        path: String,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Parse { line, message } => {
+                write!(f, "delta parse error at line {line}: {message}")
+            }
+            DeltaError::Fragment { delta, message } => {
+                write!(f, "delta {delta}: bad DTS fragment: {message}")
+            }
+            DeltaError::DuplicateName { name } => {
+                write!(f, "duplicate delta module name {name:?}")
+            }
+            DeltaError::Cycle { involved } => {
+                write!(f, "cycle in delta 'after' order involving {involved:?}")
+            }
+            DeltaError::MissingTarget { delta, op, path } => {
+                write!(
+                    f,
+                    "delta {delta}: {op} targets missing node {path:?} \
+                     (is an earlier delta missing from the configuration?)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DeltaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sel(names: &[&str]) -> BTreeSet<&'static str> {
+        // Tests only use static strings.
+        names
+            .iter()
+            .map(|s| -> &'static str { Box::leak(s.to_string().into_boxed_str()) })
+            .collect()
+    }
+
+    #[test]
+    fn when_eval() {
+        let e = WhenExpr::Or(
+            Box::new(WhenExpr::Feature("veth0".into())),
+            Box::new(WhenExpr::Feature("veth1".into())),
+        );
+        assert!(e.eval(&sel(&["veth0"])));
+        assert!(e.eval(&sel(&["veth1"])));
+        assert!(!e.eval(&sel(&["memory"])));
+        assert!(WhenExpr::True.eval(&sel(&[])));
+        let n = WhenExpr::Not(Box::new(WhenExpr::Feature("x".into())));
+        assert!(n.eval(&sel(&[])));
+        assert!(!n.eval(&sel(&["x"])));
+    }
+
+    #[test]
+    fn when_features_collected() {
+        let e = WhenExpr::And(
+            Box::new(WhenExpr::Feature("a".into())),
+            Box::new(WhenExpr::Not(Box::new(WhenExpr::Feature("b".into())))),
+        );
+        let fs = e.features();
+        assert!(fs.contains("a") && fs.contains("b"));
+        assert_eq!(fs.len(), 2);
+    }
+
+    #[test]
+    fn when_display() {
+        let e = WhenExpr::Or(
+            Box::new(WhenExpr::Feature("veth0".into())),
+            Box::new(WhenExpr::Feature("veth1".into())),
+        );
+        assert_eq!(e.to_string(), "(veth0 || veth1)");
+    }
+
+    #[test]
+    fn op_accessors() {
+        let op = DeltaOp::RemovesProperty {
+            path: "/memory".into(),
+            name: "reg".into(),
+        };
+        assert_eq!(op.path(), "/memory");
+        assert_eq!(op.verb(), "removes property");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DeltaError::MissingTarget {
+            delta: "d1".into(),
+            op: "adds".into(),
+            path: "vEthernet".into(),
+        };
+        assert!(e.to_string().contains("d1"));
+        assert!(e.to_string().contains("vEthernet"));
+    }
+}

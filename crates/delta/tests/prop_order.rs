@@ -1,0 +1,124 @@
+//! Property tests: the delta application order is a deterministic
+//! linear extension of the (active) `after` partial order.
+
+use llhsc_delta::{DeltaModule, ProductLine};
+use llhsc_dts::DeviceTree;
+use proptest::prelude::*;
+
+/// Generates an acyclic delta set: delta i may only list `after`
+/// dependencies on deltas with smaller indices, each guarded by one of
+/// three features.
+fn arb_deltas(max: usize) -> impl Strategy<Value = Vec<(Vec<usize>, u8)>> {
+    prop::collection::vec((prop::collection::vec(any::<prop::sample::Index>(), 0..3), 0u8..3), 1..=max)
+        .prop_map(|specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (deps, feat))| {
+                    let after: Vec<usize> = if i == 0 {
+                        Vec::new()
+                    } else {
+                        let mut d: Vec<usize> =
+                            deps.into_iter().map(|ix| ix.index(i)).collect();
+                        d.sort_unstable();
+                        d.dedup();
+                        d
+                    };
+                    (after, feat)
+                })
+                .collect()
+        })
+}
+
+fn build(specs: &[(Vec<usize>, u8)]) -> Vec<DeltaModule> {
+    let mut src = String::new();
+    for (i, (after, feat)) in specs.iter().enumerate() {
+        let after_clause = if after.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " after {}",
+                after
+                    .iter()
+                    .map(|j| format!("dl{j}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        src.push_str(&format!(
+            "delta dl{i}{after_clause} when f{feat} {{ modifies / {{ p{i} = <{i}>; }}; }}\n"
+        ));
+    }
+    DeltaModule::parse_all(&src).expect("generated deltas parse")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The computed order is a linear extension: every active `after`
+    /// dependency appears earlier.
+    #[test]
+    fn order_is_linear_extension(
+        specs in arb_deltas(10),
+        sel_mask in 0u8..8,
+    ) {
+        let deltas = build(&specs);
+        let line = ProductLine::new(DeviceTree::new(), deltas);
+        let selection: Vec<&str> = ["f0", "f1", "f2"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (sel_mask >> i) & 1 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        let order = line.order(&selection).expect("acyclic by construction");
+        let names: Vec<&str> = order.iter().map(|d| d.name.as_str()).collect();
+        for d in &order {
+            let my_pos = names.iter().position(|n| *n == d.name).expect("present");
+            for dep in &d.after {
+                if let Some(dep_pos) = names.iter().position(|n| n == dep) {
+                    prop_assert!(
+                        dep_pos < my_pos,
+                        "{} must come before {}", dep, d.name
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ordering and derivation are deterministic: two runs agree.
+    #[test]
+    fn order_is_deterministic(specs in arb_deltas(10), sel_mask in 0u8..8) {
+        let deltas = build(&specs);
+        let line = ProductLine::new(DeviceTree::new(), deltas);
+        let selection: Vec<&str> = ["f0", "f1", "f2"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (sel_mask >> i) & 1 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        let a = line.derive(&selection).expect("derives");
+        let b = line.derive(&selection).expect("derives");
+        prop_assert_eq!(a.order, b.order);
+        prop_assert_eq!(a.tree, b.tree);
+    }
+
+    /// Exactly the active deltas are applied: a delta's property marker
+    /// is on the root iff its guard feature was selected.
+    #[test]
+    fn activation_is_exact(specs in arb_deltas(8), sel_mask in 0u8..8) {
+        let deltas = build(&specs);
+        let line = ProductLine::new(DeviceTree::new(), deltas);
+        let selection: Vec<&str> = ["f0", "f1", "f2"]
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (sel_mask >> i) & 1 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        let product = line.derive(&selection).expect("derives");
+        for (i, (_, feat)) in specs.iter().enumerate() {
+            let active = (sel_mask >> feat) & 1 == 1;
+            let present = product.tree.root.prop(&format!("p{i}")).is_some();
+            prop_assert_eq!(active, present, "delta dl{}", i);
+        }
+    }
+}

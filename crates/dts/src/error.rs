@@ -1,0 +1,146 @@
+//! Error and source-position types.
+
+use std::error::Error;
+use std::fmt;
+
+/// A 1-based line/column source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Position {
+    /// 1-based line number (0 for "unknown").
+    pub line: u32,
+    /// 1-based column number (0 for "unknown").
+    pub column: u32,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(line: u32, column: u32) -> Position {
+        Position { line, column }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Errors produced while lexing, parsing or manipulating DeviceTree
+/// sources.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DtsError {
+    /// An unexpected character in the input stream.
+    Lex {
+        /// Where it happened.
+        at: Position,
+        /// What was found.
+        found: char,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// Where it happened.
+        at: Position,
+        /// The offending token text.
+        text: String,
+    },
+    /// An unterminated string or block comment.
+    Unterminated {
+        /// Where the construct started.
+        at: Position,
+        /// What kind of construct ("string", "comment", "byte string").
+        what: &'static str,
+    },
+    /// The parser expected one construct but found another.
+    Unexpected {
+        /// Where it happened.
+        at: Position,
+        /// What the parser wanted.
+        expected: String,
+        /// What it got.
+        found: String,
+    },
+    /// An `/include/` directive referenced a file the provider does not
+    /// know about.
+    MissingInclude {
+        /// Where the directive appeared.
+        at: Position,
+        /// The requested file name.
+        file: String,
+    },
+    /// Includes recurse beyond the nesting limit (cycle protection).
+    IncludeDepth {
+        /// The file that pushed past the limit.
+        file: String,
+    },
+    /// A `&label` reference did not resolve to any labelled node.
+    UnknownLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A path lookup failed.
+    NoSuchNode {
+        /// The path that failed to resolve.
+        path: String,
+    },
+    /// A property or node value was structurally invalid for the
+    /// requested interpretation (e.g. a `reg` that is not a cell array).
+    BadValue {
+        /// Node path.
+        path: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for DtsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtsError::Lex { at, found } => {
+                write!(f, "{at}: unexpected character {found:?}")
+            }
+            DtsError::BadNumber { at, text } => {
+                write!(f, "{at}: malformed number {text:?}")
+            }
+            DtsError::Unterminated { at, what } => {
+                write!(f, "{at}: unterminated {what}")
+            }
+            DtsError::Unexpected { at, expected, found } => {
+                write!(f, "{at}: expected {expected}, found {found}")
+            }
+            DtsError::MissingInclude { at, file } => {
+                write!(f, "{at}: include file {file:?} not found")
+            }
+            DtsError::IncludeDepth { file } => {
+                write!(f, "include nesting too deep (cycle?) at {file:?}")
+            }
+            DtsError::UnknownLabel { label } => {
+                write!(f, "reference to unknown label &{label}")
+            }
+            DtsError::NoSuchNode { path } => write!(f, "no node at path {path:?}"),
+            DtsError::BadValue { path, message } => {
+                write!(f, "{path}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for DtsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let p = Position::new(3, 7);
+        assert_eq!(p.to_string(), "3:7");
+        let e = DtsError::Unexpected {
+            at: p,
+            expected: "';'".into(),
+            found: "'}'".into(),
+        };
+        assert_eq!(e.to_string(), "3:7: expected ';', found '}'");
+        let e = DtsError::NoSuchNode { path: "/x".into() };
+        assert!(e.to_string().contains("/x"));
+    }
+}

@@ -1,0 +1,468 @@
+//! The DTS lexer.
+
+use crate::error::{DtsError, Position};
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub(crate) kind: TokenKind,
+    pub(crate) at: Position,
+}
+
+/// Token kinds of the DTS grammar subset used by the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// `/dts-v1/` version tag.
+    DtsV1,
+    /// `/include/` directive keyword.
+    Include,
+    /// `/delete-node/` directive keyword.
+    DeleteNode,
+    /// `/delete-property/` directive keyword.
+    DeleteProperty,
+    /// `/memreserve/` directive keyword.
+    MemReserve,
+    /// A name: node names (possibly with `@unit`), property names
+    /// (possibly with `#`, `-`, `,`, `.`), label names.
+    Ident(String),
+    /// `&label` reference.
+    Ref(String),
+    /// A quoted string literal (unescaped contents).
+    Str(String),
+    /// An integer literal inside a cell list.
+    Num(u64),
+    /// `label:` — the ident plus the colon.
+    Label(String),
+    LBrace,
+    RBrace,
+    Lt,
+    Gt,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Eq,
+    /// `/` — the root node name.
+    Slash,
+    Eof,
+}
+
+impl TokenKind {
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            TokenKind::DtsV1 => "'/dts-v1/'".into(),
+            TokenKind::Include => "'/include/'".into(),
+            TokenKind::DeleteNode => "'/delete-node/'".into(),
+            TokenKind::DeleteProperty => "'/delete-property/'".into(),
+            TokenKind::MemReserve => "'/memreserve/'".into(),
+            TokenKind::Ident(s) => format!("identifier {s:?}"),
+            TokenKind::Ref(s) => format!("reference &{s}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Num(n) => format!("number {n:#x}"),
+            TokenKind::Label(s) => format!("label {s}:"),
+            TokenKind::LBrace => "'{'".into(),
+            TokenKind::RBrace => "'}'".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::Gt => "'>'".into(),
+            TokenKind::LBracket => "'['".into(),
+            TokenKind::RBracket => "']'".into(),
+            TokenKind::Semi => "';'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::Slash => "'/'".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+pub(crate) struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    /// Inside `[ … ]` byte strings, bare tokens are hex bytes.
+    hex_mode: bool,
+}
+
+/// Characters permitted inside node/property names. The DeviceTree spec
+/// allows `a-zA-Z0-9,._+-` for property names and additionally `@` (unit
+/// address separator) and `#` in common practice.
+fn is_name_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || matches!(c, b',' | b'.' | b'_' | b'+' | b'-' | b'@' | b'#' | b'?')
+}
+
+impl<'a> Lexer<'a> {
+    pub(crate) fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            hex_mode: false,
+        }
+    }
+
+    fn here(&self) -> Position {
+        Position::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), DtsError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let at = self.here();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(DtsError::Unterminated { at, what: "comment" })
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<TokenKind, DtsError> {
+        let at = self.here();
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(DtsError::Unterminated { at, what: "string" }),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'0') => out.push('\0'),
+                    Some(c) => out.push(c as char),
+                    None => return Err(DtsError::Unterminated { at, what: "string" }),
+                },
+                Some(c) => out.push(c as char),
+            }
+        }
+    }
+
+    fn lex_number_or_name(&mut self) -> Result<TokenKind, DtsError> {
+        let at = self.here();
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if is_name_char(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ascii input")
+            .to_string();
+        // A label is a plain identifier immediately followed by ':'.
+        if self.peek() == Some(b':') && !text.is_empty() && !text.contains('@') {
+            self.bump();
+            return Ok(TokenKind::Label(text));
+        }
+        // Inside byte strings every bare token is hexadecimal.
+        if self.hex_mode {
+            return u64::from_str_radix(&text, 16)
+                .map(TokenKind::Num)
+                .map_err(|_| DtsError::BadNumber { at, text });
+        }
+        // Numbers: 0x…, or all-decimal digits.
+        if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+            return u64::from_str_radix(hex, 16)
+                .map(TokenKind::Num)
+                .map_err(|_| DtsError::BadNumber { at, text });
+        }
+        if !text.is_empty() && text.bytes().all(|c| c.is_ascii_digit()) {
+            return text
+                .parse::<u64>()
+                .map(TokenKind::Num)
+                .map_err(|_| DtsError::BadNumber { at, text });
+        }
+        Ok(TokenKind::Ident(text))
+    }
+
+    pub(crate) fn next_token(&mut self) -> Result<Token, DtsError> {
+        self.skip_trivia()?;
+        let at = self.here();
+        let Some(c) = self.peek() else {
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                at,
+            });
+        };
+        let kind = match c {
+            b'{' => {
+                self.bump();
+                TokenKind::LBrace
+            }
+            b'}' => {
+                self.bump();
+                TokenKind::RBrace
+            }
+            b'<' => {
+                self.bump();
+                TokenKind::Lt
+            }
+            b'>' => {
+                self.bump();
+                TokenKind::Gt
+            }
+            b'[' => {
+                self.bump();
+                self.hex_mode = true;
+                TokenKind::LBracket
+            }
+            b']' => {
+                self.bump();
+                self.hex_mode = false;
+                TokenKind::RBracket
+            }
+            b';' => {
+                self.bump();
+                TokenKind::Semi
+            }
+            b',' => {
+                self.bump();
+                TokenKind::Comma
+            }
+            b'=' => {
+                self.bump();
+                TokenKind::Eq
+            }
+            b'"' => self.lex_string()?,
+            b'&' => {
+                self.bump();
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if is_name_char(c) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii input")
+                    .to_string();
+                if name.is_empty() {
+                    return Err(DtsError::Lex { at, found: '&' });
+                }
+                TokenKind::Ref(name)
+            }
+            b'/' => {
+                // Either a directive /word/ or the bare root name '/'.
+                let rest = &self.src[self.pos + 1..];
+                let directive = |word: &[u8], rest: &[u8]| -> bool {
+                    rest.len() > word.len()
+                        && &rest[..word.len()] == word
+                        && rest[word.len()] == b'/'
+                };
+                if directive(b"dts-v1", rest) {
+                    for _ in 0.."/dts-v1/".len() {
+                        self.bump();
+                    }
+                    TokenKind::DtsV1
+                } else if directive(b"include", rest) {
+                    for _ in 0.."/include/".len() {
+                        self.bump();
+                    }
+                    TokenKind::Include
+                } else if directive(b"delete-node", rest) {
+                    for _ in 0.."/delete-node/".len() {
+                        self.bump();
+                    }
+                    TokenKind::DeleteNode
+                } else if directive(b"delete-property", rest) {
+                    for _ in 0.."/delete-property/".len() {
+                        self.bump();
+                    }
+                    TokenKind::DeleteProperty
+                } else if directive(b"memreserve", rest) {
+                    for _ in 0.."/memreserve/".len() {
+                        self.bump();
+                    }
+                    TokenKind::MemReserve
+                } else {
+                    self.bump();
+                    TokenKind::Slash
+                }
+            }
+            c if is_name_char(c) => self.lex_number_or_name()?,
+            c => {
+                return Err(DtsError::Lex {
+                    at,
+                    found: c as char,
+                })
+            }
+        };
+        Ok(Token { kind, at })
+    }
+
+    /// Lexes the whole input into a token vector ending with `Eof`.
+    pub(crate) fn tokenize(mut self) -> Result<Vec<Token>, DtsError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let done = t.kind == TokenKind::Eof;
+            out.push(t);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("/dts-v1/; / { };"),
+            vec![DtsV1, Semi, Slash, LBrace, RBrace, Semi, Eof]
+        );
+    }
+
+    #[test]
+    fn node_with_unit_address() {
+        let k = kinds("memory@40000000 { };");
+        assert_eq!(k[0], TokenKind::Ident("memory@40000000".into()));
+    }
+
+    #[test]
+    fn property_names_with_hash() {
+        let k = kinds("#address-cells = <2>;");
+        assert_eq!(k[0], TokenKind::Ident("#address-cells".into()));
+        assert_eq!(k[1], TokenKind::Eq);
+        assert_eq!(k[2], TokenKind::Lt);
+        assert_eq!(k[3], TokenKind::Num(2));
+        assert_eq!(k[4], TokenKind::Gt);
+    }
+
+    #[test]
+    fn numbers_hex_and_dec() {
+        assert_eq!(kinds("<0x40000000 12>")[1], TokenKind::Num(0x4000_0000));
+        assert_eq!(kinds("<0x40000000 12>")[2], TokenKind::Num(12));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""arm,cortex-a53""#)[0],
+            TokenKind::Str("arm,cortex-a53".into())
+        );
+        assert_eq!(kinds(r#""a\nb""#)[0], TokenKind::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn labels_and_refs() {
+        let k = kinds("uart0: uart@20000000 { }; &uart0 { };");
+        assert_eq!(k[0], TokenKind::Label("uart0".into()));
+        assert_eq!(k[1], TokenKind::Ident("uart@20000000".into()));
+        assert!(k.contains(&TokenKind::Ref("uart0".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let k = kinds("// line\n/* block\n comment */ foo");
+        assert_eq!(k[0], TokenKind::Ident("foo".into()));
+    }
+
+    #[test]
+    fn directives() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("/include/ \"cpus.dtsi\""),
+            vec![Include, Str("cpus.dtsi".into()), Eof]
+        );
+        assert_eq!(kinds("/delete-node/ foo;")[0], DeleteNode);
+        assert_eq!(kinds("/delete-property/ reg;")[0], DeleteProperty);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let r = Lexer::new("\"abc").tokenize();
+        assert!(matches!(r, Err(DtsError::Unterminated { what: "string", .. })));
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        let r = Lexer::new("/* abc").tokenize();
+        assert!(matches!(r, Err(DtsError::Unterminated { what: "comment", .. })));
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let r = Lexer::new("0xzz").tokenize();
+        assert!(matches!(r, Err(DtsError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!(toks[0].at, Position::new(1, 1));
+        assert_eq!(toks[1].at, Position::new(2, 3));
+    }
+
+    #[test]
+    fn byte_string_brackets() {
+        use TokenKind::*;
+        let k = kinds("[ 12 34 ]");
+        assert_eq!(k[0], LBracket);
+        assert_eq!(k[3], RBracket);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests: printer/parser and FDT codec round-trips over
+//! randomly generated trees.
+
+use llhsc_dts::{fdt, parse, print, Cell, DeviceTree, Node, PropValue, Property};
+use proptest::prelude::*;
+
+/// Names safe for nodes/properties in generated trees.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}".prop_map(|s| s)
+}
+
+fn arb_unit() -> impl Strategy<Value = Option<u32>> {
+    prop::option::of(0u32..=0xffff_ffff)
+}
+
+fn arb_prop() -> impl Strategy<Value = Property> {
+    let value = prop_oneof![
+        prop::collection::vec(any::<u32>(), 0..5)
+            .prop_map(|cs| PropValue::Cells(cs.into_iter().map(Cell::U32).collect())),
+        "[ -~&&[^\"\\\\]]{0,12}".prop_map(PropValue::Str),
+        prop::collection::vec(any::<u8>(), 1..6).prop_map(PropValue::Bytes),
+    ];
+    (arb_name(), prop::collection::vec(value, 0..3)).prop_map(|(name, values)| Property {
+        name,
+        values,
+    })
+}
+
+fn arb_node(depth: u32) -> BoxedStrategy<Node> {
+    let leaf = (arb_name(), arb_unit(), prop::collection::vec(arb_prop(), 0..4)).prop_map(
+        |(name, unit, props)| {
+            let full = match unit {
+                Some(u) => format!("{name}@{u:x}"),
+                None => name,
+            };
+            let mut n = Node::new(&full);
+            for p in props {
+                n.set_prop(p);
+            }
+            n
+        },
+    );
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        (leaf, prop::collection::vec(arb_node(depth - 1), 0..3))
+            .prop_map(|(mut n, children)| {
+                for c in children {
+                    // Avoid duplicate child names (they would merge on parse).
+                    if n.child(&c.name).is_none() {
+                        n.children.push(c);
+                    }
+                }
+                n
+            })
+            .boxed()
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = DeviceTree> {
+    prop::collection::vec(arb_node(2), 0..4).prop_map(|tops| {
+        let mut t = DeviceTree::new();
+        for n in tops {
+            if t.root.child(&n.name).is_none() {
+                t.root.children.push(n);
+            }
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// print → parse is the identity on trees.
+    #[test]
+    fn print_parse_roundtrip(tree in arb_tree()) {
+        let text = print(&tree);
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(tree, back);
+    }
+
+    /// encode → decode → encode is byte-stable.
+    #[test]
+    fn fdt_roundtrip_stable(tree in arb_tree()) {
+        let b1 = fdt::encode(&tree);
+        let t2 = fdt::decode(&b1).unwrap();
+        let b2 = fdt::encode(&t2);
+        prop_assert_eq!(b1, b2);
+    }
+
+    /// Decoding preserves the node skeleton (names and counts).
+    #[test]
+    fn fdt_preserves_structure(tree in arb_tree()) {
+        let back = fdt::decode(&fdt::encode(&tree)).unwrap();
+        prop_assert_eq!(back.size(), tree.size());
+        let orig: Vec<String> = tree.nodes().iter().map(|(p, _)| p.to_string()).collect();
+        let dec: Vec<String> = back.nodes().iter().map(|(p, _)| p.to_string()).collect();
+        prop_assert_eq!(orig, dec);
+    }
+
+    /// Truncating a blob anywhere never panics, only errors.
+    #[test]
+    fn fdt_truncation_never_panics(tree in arb_tree(), frac in 0.0f64..1.0) {
+        let blob = fdt::encode(&tree);
+        let cut = ((blob.len() as f64) * frac) as usize;
+        let _ = fdt::decode(&blob[..cut.min(blob.len().saturating_sub(1))]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Feature models with SAT-backed automated analysis and the paper's
+//! multi-product resource-allocation semantics.
+//!
+//! Implements §II-B and §IV-A of the llhsc paper:
+//!
+//! * FODA-style feature models — a feature tree with AND/OR/XOR group
+//!   decompositions, mandatory/optional/abstract features and cross-tree
+//!   constraints (`requires`, `excludes`, arbitrary propositional
+//!   formulas) — see [`FeatureModel`];
+//! * translation to propositional logic over one Boolean variable per
+//!   feature ([`encode`](FeatureModel::encode)), following Batory's
+//!   classic encoding;
+//! * the automated analyses the paper lists: void detection, product
+//!   validation, product counting/enumeration, dead and core features —
+//!   see [`Analyzer`];
+//! * the **multi-product** extension for static partitioning
+//!   ([`MultiModel`]): `k` VMs share one feature model, and designated
+//!   XOR groups become *exclusive resources* whose sub-features may be
+//!   selected by at most one VM (the Boolean formula of §IV-A). This is
+//!   what makes "allocating the same CPU to two VMs" unsatisfiable by
+//!   construction.
+//!
+//! # Example
+//!
+//! ```
+//! use llhsc_fm::{FeatureModel, GroupKind, Analyzer};
+//!
+//! let mut fm = FeatureModel::new("CustomSBC");
+//! let root = fm.root();
+//! let memory = fm.add_mandatory(root, "memory");
+//! let cpus = fm.add_mandatory(root, "cpus");
+//! fm.set_group(cpus, GroupKind::Xor);
+//! let cpu0 = fm.add_optional(cpus, "cpu@0");
+//! let _cpu1 = fm.add_optional(cpus, "cpu@1");
+//! let mut an = Analyzer::new(&fm);
+//! assert!(!an.is_void());
+//! assert!(an.is_valid(&[root, memory, cpus, cpu0]));
+//! assert_eq!(an.count_products(), 2); // pick cpu@0 or cpu@1
+//! ```
+
+mod analysis;
+mod model;
+mod multi;
+mod text;
+
+pub use analysis::{Analyzer, Product};
+pub use model::{CrossConstraint, Feature, FeatureId, FeatureModel, Formula, GroupKind};
+pub use multi::{AllocationError, MultiModel, Partitioning};
+pub use text::{parse_model, ParseModelError};

@@ -1,0 +1,532 @@
+//! Multi-product feature models for static partitioning (§IV-A).
+//!
+//! One hypervisor configuration with `k` VMs needs `k + 1` feature
+//! models: every VM instantiates the same base model, and the platform
+//! model is derived as the union of the VM selections. Static
+//! partitioning adds the paper's exclusive-resource constraint
+//!
+//! ```text
+//! (f₁¹ ∨ … ∨ fₙᵐ ⇔ f) ∧ ⋀ᵢ<ⱼ ¬(fᵢᵏ ∧ fⱼᵏ) ∧ ⋀ᵏ<ˡ ¬(fᵢᵏ ∧ fᵢˡ)
+//! ```
+//!
+//! for every XOR group marked
+//! [`cross_vm_exclusive`](crate::FeatureModel::set_cross_vm_exclusive):
+//! within a VM the children stay alternatives (the middle conjunct, from
+//! the base XOR encoding), and across VMs the same child may be selected
+//! at most once (the right conjunct). The left biconditional is realised
+//! by the platform-union definition.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use llhsc_smt::{CheckResult, Context, TermId};
+
+use crate::analysis::Product;
+use crate::model::{FeatureId, FeatureModel};
+
+/// A satisfying resource allocation: one product per VM plus the derived
+/// platform product (the union).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    /// Product selected by each VM, in VM order.
+    pub vms: Vec<Product>,
+    /// The platform product (union of the VM products).
+    pub platform: Product,
+}
+
+/// Why an allocation query failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationError {
+    /// The requested selections are jointly unsatisfiable; the payload
+    /// is the conflicting decisions (`vmK:feature` / `vmK:!feature`).
+    Unsatisfiable(Vec<String>),
+    /// A selection list was supplied for a VM index that does not exist.
+    WrongVmCount {
+        /// VMs in the model.
+        expected: usize,
+        /// Selection lists supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AllocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocationError::Unsatisfiable(core) => {
+                write!(f, "allocation is unsatisfiable; conflicting decisions: ")?;
+                for (i, c) in core.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                Ok(())
+            }
+            AllocationError::WrongVmCount { expected, got } => {
+                write!(f, "expected selections for {expected} VMs, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for AllocationError {}
+
+/// The `k + 1` model system: `k` VM copies of a base feature model plus
+/// the derived platform model, with exclusive-resource constraints.
+///
+/// ```
+/// use llhsc_fm::{FeatureModel, GroupKind, MultiModel};
+///
+/// let mut fm = FeatureModel::new("SBC");
+/// let root = fm.root();
+/// let cpus = fm.add_mandatory(root, "cpus");
+/// fm.set_group(cpus, GroupKind::Xor);
+/// fm.set_cross_vm_exclusive(cpus, true);
+/// fm.add_optional(cpus, "cpu@0");
+/// fm.add_optional(cpus, "cpu@1");
+/// // Two VMs fit (one CPU each); three cannot.
+/// assert!(MultiModel::new(&fm, 2).check());
+/// assert!(!MultiModel::new(&fm, 3).check());
+/// ```
+#[derive(Debug)]
+pub struct MultiModel {
+    model: FeatureModel,
+    num_vms: usize,
+    ctx: Context,
+    vm_vars: Vec<HashMap<FeatureId, TermId>>,
+    platform_vars: HashMap<FeatureId, TermId>,
+    ordered: Vec<FeatureId>,
+}
+
+impl MultiModel {
+    /// Instantiates the base model for `num_vms` VMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vms` is zero.
+    pub fn new(model: &FeatureModel, num_vms: usize) -> MultiModel {
+        assert!(num_vms > 0, "a hypervisor configuration needs at least one VM");
+        let mut ctx = Context::new();
+        let mut vm_vars = Vec::with_capacity(num_vms);
+        for k in 0..num_vms {
+            let vars = model.encode(&mut ctx, &format!("vm{}:", k + 1));
+            // Every VM is a complete product of the model.
+            ctx.assert(vars[&model.root()]);
+            vm_vars.push(vars);
+        }
+
+        // Platform model: union of the VM selections.
+        let mut platform_vars = HashMap::new();
+        for id in model.ids() {
+            let p = ctx.bool_var(&format!("platform:{}", model.name(id)));
+            let any_parts: Vec<TermId> = vm_vars.iter().map(|v| v[&id]).collect();
+            let any = ctx.or(any_parts);
+            let def = ctx.iff(p, any);
+            ctx.assert(def);
+            platform_vars.insert(id, p);
+        }
+
+        // Exclusive resources: a child of a marked group belongs to at
+        // most one VM.
+        for id in model.ids() {
+            let f = model.feature(id);
+            if !f.cross_vm_exclusive {
+                continue;
+            }
+            for &child in &f.children {
+                for k in 0..num_vms {
+                    for l in (k + 1)..num_vms {
+                        let both = ctx.and([vm_vars[k][&child], vm_vars[l][&child]]);
+                        let not_both = ctx.not(both);
+                        ctx.assert(not_both);
+                    }
+                }
+            }
+        }
+
+        MultiModel {
+            model: model.clone(),
+            num_vms,
+            ctx,
+            vm_vars,
+            platform_vars,
+            ordered: model.ids().collect(),
+        }
+    }
+
+    /// The number of VMs.
+    pub fn num_vms(&self) -> usize {
+        self.num_vms
+    }
+
+    /// Whether any allocation exists at all.
+    pub fn check(&mut self) -> bool {
+        self.ctx.check() == CheckResult::Sat
+    }
+
+    /// The largest VM count `1..=limit` for which the model still admits
+    /// an allocation, or `None` if even one VM is impossible.
+    pub fn max_vms(model: &FeatureModel, limit: usize) -> Option<usize> {
+        let mut best = None;
+        for m in 1..=limit {
+            if MultiModel::new(model, m).check() {
+                best = Some(m);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    fn exact_assumptions(&mut self, selections: &[Vec<FeatureId>]) -> Vec<TermId> {
+        let mut assumptions = Vec::new();
+        for (k, sel) in selections.iter().enumerate() {
+            let set: std::collections::BTreeSet<FeatureId> = sel.iter().copied().collect();
+            for id in &self.ordered {
+                let v = self.vm_vars[k][id];
+                if set.contains(id) {
+                    assumptions.push(v);
+                } else {
+                    assumptions.push(self.ctx.not(v));
+                }
+            }
+        }
+        assumptions
+    }
+
+    /// Validates one exact selection per VM (jointly, under the
+    /// exclusive-resource constraints).
+    ///
+    /// # Errors
+    ///
+    /// [`AllocationError::WrongVmCount`] if `selections.len()` differs
+    /// from the VM count; [`AllocationError::Unsatisfiable`] with the
+    /// conflicting decisions otherwise.
+    pub fn validate(
+        &mut self,
+        selections: &[Vec<FeatureId>],
+    ) -> Result<Partitioning, AllocationError> {
+        if selections.len() != self.num_vms {
+            return Err(AllocationError::WrongVmCount {
+                expected: self.num_vms,
+                got: selections.len(),
+            });
+        }
+        let assumptions = self.exact_assumptions(selections);
+        match self.ctx.check_assuming(&assumptions) {
+            CheckResult::Sat => Ok(self.extract_partitioning()),
+            CheckResult::Unsat => {
+                let core = self.ctx.unsat_core().to_vec();
+                Err(AllocationError::Unsatisfiable(
+                    self.describe_core(&core, selections),
+                ))
+            }
+        }
+    }
+
+    /// Completes partial per-VM selections into a full allocation (the
+    /// automatic CPU assignment of §IV-A), or reports the conflict.
+    ///
+    /// The completion is *greedily minimal*: beyond the requested
+    /// features, each VM only receives features the constraints force
+    /// on it (e.g. the CPU its veth requires) — optional extras stay
+    /// deselected.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MultiModel::validate`].
+    pub fn complete(
+        &mut self,
+        partial: &[Vec<FeatureId>],
+    ) -> Result<Partitioning, AllocationError> {
+        if partial.len() != self.num_vms {
+            return Err(AllocationError::WrongVmCount {
+                expected: self.num_vms,
+                got: partial.len(),
+            });
+        }
+        let mut assumptions = Vec::new();
+        for (k, sel) in partial.iter().enumerate() {
+            for id in sel {
+                assumptions.push(self.vm_vars[k][id]);
+            }
+        }
+        match self.ctx.check_assuming(&assumptions) {
+            CheckResult::Sat => {}
+            CheckResult::Unsat => {
+                let core = self.ctx.unsat_core().to_vec();
+                return Err(AllocationError::Unsatisfiable(
+                    self.describe_core(&core, partial),
+                ));
+            }
+        }
+        // Greedy minimisation: deselect everything not requested or
+        // forced, per VM, in deterministic order.
+        for (k, requested_list) in partial.iter().enumerate() {
+            let requested: std::collections::BTreeSet<FeatureId> =
+                requested_list.iter().copied().collect();
+            for id in self.ordered.clone() {
+                if requested.contains(&id) {
+                    continue;
+                }
+                let neg = self.ctx.not(self.vm_vars[k][&id]);
+                let mut attempt = assumptions.clone();
+                attempt.push(neg);
+                if self.ctx.check_assuming(&attempt) == CheckResult::Sat {
+                    assumptions = attempt;
+                }
+            }
+        }
+        match self.ctx.check_assuming(&assumptions) {
+            CheckResult::Sat => Ok(self.extract_partitioning()),
+            CheckResult::Unsat => unreachable!("minimised assumptions were satisfiable"),
+        }
+    }
+
+    /// Counts the distinct allocations (projected on all VM variables).
+    pub fn count_allocations(&mut self) -> usize {
+        let over: Vec<TermId> = self
+            .vm_vars
+            .iter()
+            .flat_map(|vars| self.ordered.iter().map(|id| vars[id]))
+            .collect();
+        self.ctx.count_models(&over)
+    }
+
+    fn extract_partitioning(&self) -> Partitioning {
+        let m = self.ctx.model().expect("called after Sat");
+        let mut vms = Vec::with_capacity(self.num_vms);
+        for vars in &self.vm_vars {
+            let mut p = Product::new();
+            for id in &self.ordered {
+                if m.eval_bool(vars[id]) == Some(true) {
+                    p.insert(*id);
+                }
+            }
+            vms.push(p);
+        }
+        let mut platform = Product::new();
+        for id in &self.ordered {
+            if m.eval_bool(self.platform_vars[id]) == Some(true) {
+                platform.insert(*id);
+            }
+        }
+        Partitioning { vms, platform }
+    }
+
+    fn describe_core(&self, core: &[TermId], selections: &[Vec<FeatureId>]) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, vars) in self.vm_vars.iter().enumerate() {
+            let chosen: std::collections::BTreeSet<FeatureId> = selections
+                .get(k)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            for id in &self.ordered {
+                let v = vars[id];
+                if core.contains(&v) {
+                    out.push(format!("vm{}:{}", k + 1, self.model.name(*id)));
+                } else {
+                    // Negated assumptions appear as Not(v); match by the
+                    // original decision.
+                    let _ = &chosen;
+                }
+            }
+        }
+        if out.is_empty() {
+            // Fall back to displaying raw core terms.
+            for t in core {
+                out.push(self.ctx.display(*t));
+            }
+        }
+        out
+    }
+
+    /// Names of the features in a product (sorted).
+    pub fn product_names(&self, product: &Product) -> Vec<String> {
+        product
+            .iter()
+            .map(|id| self.model.name(*id).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::tests::custom_sbc;
+    use crate::model::GroupKind;
+
+    fn names_of(fm: &FeatureModel, names: &[&str]) -> Vec<FeatureId> {
+        names.iter().map(|n| fm.by_name(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn two_vms_allocate() {
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        assert!(mm.check());
+    }
+
+    #[test]
+    fn fig1b_and_fig1c_together_valid() {
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        let vm1 = names_of(
+            &fm,
+            &[
+                "CustomSBC",
+                "memory",
+                "cpus",
+                "cpu@0",
+                "uarts",
+                "uart@20000000",
+                "uart@30000000",
+                "vEthernet",
+                "veth0",
+            ],
+        );
+        let vm2 = names_of(
+            &fm,
+            &[
+                "CustomSBC",
+                "memory",
+                "cpus",
+                "cpu@1",
+                "uarts",
+                "uart@20000000",
+                "uart@30000000",
+                "vEthernet",
+                "veth1",
+            ],
+        );
+        let part = mm.validate(&[vm1, vm2]).expect("valid partitioning");
+        // Platform is the union: contains both CPUs and both veths.
+        let platform_names = mm.product_names(&part.platform);
+        assert!(platform_names.contains(&"cpu@0".to_string()));
+        assert!(platform_names.contains(&"cpu@1".to_string()));
+        assert!(platform_names.contains(&"veth0".to_string()));
+        assert!(platform_names.contains(&"veth1".to_string()));
+    }
+
+    #[test]
+    fn same_cpu_in_two_vms_rejected() {
+        // "in static-partitioning it is unreasonable to allocate the
+        // same CPU to different VMs" (§IV-A).
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        let vm = names_of(
+            &fm,
+            &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+        );
+        let err = mm.validate(&[vm.clone(), vm]).unwrap_err();
+        match err {
+            AllocationError::Unsatisfiable(core) => {
+                assert!(
+                    core.iter().any(|c| c.contains("cpu@0")),
+                    "core should mention the doubly-allocated CPU: {core:?}"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_vms_is_two() {
+        // "the maximum number of VMs is two (m = 2)" (§IV-A).
+        let fm = custom_sbc();
+        assert_eq!(MultiModel::max_vms(&fm, 8), Some(2));
+    }
+
+    #[test]
+    fn ablation_without_exclusivity_double_allocation_passes() {
+        // Turning the §IV-A constraint off shows it is load-bearing.
+        let mut fm = custom_sbc();
+        let cpus = fm.by_name("cpus").unwrap();
+        fm.set_cross_vm_exclusive(cpus, false);
+        let mut mm = MultiModel::new(&fm, 2);
+        let vm = names_of(
+            &fm,
+            &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+        );
+        assert!(mm.validate(&[vm.clone(), vm]).is_ok());
+        // And more than two VMs become possible.
+        assert_eq!(MultiModel::max_vms(&fm, 4), Some(4));
+    }
+
+    #[test]
+    fn automatic_cpu_assignment() {
+        // Selecting only veth0 / veth1 forces the CPU assignment.
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        let v0 = names_of(&fm, &["veth0"]);
+        let v1 = names_of(&fm, &["veth1"]);
+        let part = mm.complete(&[v0, v1]).expect("completable");
+        let vm1 = mm.product_names(&part.vms[0]);
+        let vm2 = mm.product_names(&part.vms[1]);
+        assert!(vm1.contains(&"cpu@0".to_string()), "{vm1:?}");
+        assert!(vm2.contains(&"cpu@1".to_string()), "{vm2:?}");
+    }
+
+    #[test]
+    fn conflicting_completion_fails() {
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        let v0 = names_of(&fm, &["veth0"]);
+        // Both VMs demand veth0 -> both need cpu@0 -> exclusivity fails.
+        let err = mm.complete(&[v0.clone(), v0]).unwrap_err();
+        assert!(matches!(err, AllocationError::Unsatisfiable(_)));
+    }
+
+    #[test]
+    fn wrong_vm_count_reported() {
+        let fm = custom_sbc();
+        let mut mm = MultiModel::new(&fm, 2);
+        let err = mm.validate(&[Vec::new()]).unwrap_err();
+        assert_eq!(
+            err,
+            AllocationError::WrongVmCount {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert!(err.to_string().contains("expected selections for 2"));
+    }
+
+    #[test]
+    fn platform_union_definition() {
+        // A tiny model: one optional feature; vm1 selects it, vm2 not.
+        let mut fm = FeatureModel::new("R");
+        let r = fm.root();
+        let a = fm.add_optional(r, "a");
+        let mut mm = MultiModel::new(&fm, 2);
+        let part = mm
+            .validate(&[vec![r, a], vec![r]])
+            .expect("valid");
+        assert!(part.platform.contains(&a));
+        assert!(part.vms[0].contains(&a));
+        assert!(!part.vms[1].contains(&a));
+    }
+
+    #[test]
+    fn count_allocations_small_model() {
+        // One exclusive XOR pair, two VMs: vm1 takes x & vm2 takes y, or
+        // the reverse.
+        let mut fm = FeatureModel::new("R");
+        let r = fm.root();
+        let g = fm.add_mandatory(r, "g");
+        fm.set_group(g, GroupKind::Xor);
+        fm.set_cross_vm_exclusive(g, true);
+        fm.add_optional(g, "x");
+        fm.add_optional(g, "y");
+        let mut mm = MultiModel::new(&fm, 2);
+        assert_eq!(mm.count_allocations(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one VM")]
+    fn zero_vms_panics() {
+        let fm = custom_sbc();
+        let _ = MultiModel::new(&fm, 0);
+    }
+}

@@ -1,0 +1,419 @@
+//! A textual format for feature models, so models can live in files
+//! next to the DTS sources they constrain.
+//!
+//! ```text
+//! feature CustomSBC {
+//!     memory
+//!     cpus xor exclusive {
+//!         cpu@0?
+//!         cpu@1?
+//!     }
+//!     uarts abstract or {
+//!         uart@20000000?
+//!         uart@30000000?
+//!     }
+//!     vEthernet? abstract xor {
+//!         veth0?
+//!         veth1?
+//!     }
+//! }
+//!
+//! constraints {
+//!     veth0 requires cpu@0
+//!     veth1 requires cpu@1
+//! }
+//! ```
+//!
+//! A feature line is
+//! `name[?] [abstract] [or|xor|[min..max]] [exclusive] [{ … }]`:
+//! the trailing `?` marks the feature optional, `abstract` marks it
+//! artifact-free, `or`/`xor` set the group decomposition of its
+//! children, and `exclusive` marks the group's children as exclusive
+//! resources across VMs (§IV-A). Constraints are `a requires b` or
+//! `a excludes b`. `#` starts a line comment.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::model::{FeatureId, FeatureModel, GroupKind};
+
+/// Errors from the feature-model text parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "feature model, line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseModelError {}
+
+struct Tok {
+    line: usize,
+    text: String,
+}
+
+fn tokenize(src: &str) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("");
+        let mut cur = String::new();
+        for c in line.chars() {
+            match c {
+                '{' | '}' => {
+                    if !cur.is_empty() {
+                        out.push(Tok {
+                            line: lineno + 1,
+                            text: std::mem::take(&mut cur),
+                        });
+                    }
+                    out.push(Tok {
+                        line: lineno + 1,
+                        text: c.to_string(),
+                    });
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        out.push(Tok {
+                            line: lineno + 1,
+                            text: std::mem::take(&mut cur),
+                        });
+                    }
+                }
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            out.push(Tok {
+                line: lineno + 1,
+                text: cur,
+            });
+        }
+    }
+    out
+}
+
+/// Parses the textual feature-model format into a [`FeatureModel`].
+///
+/// # Errors
+///
+/// Returns [`ParseModelError`] with a line number on malformed input.
+pub fn parse_model(src: &str) -> Result<FeatureModel, ParseModelError> {
+    let toks = tokenize(src);
+    let mut pos = 0usize;
+    let err = |pos: usize, toks: &[Tok], message: String| ParseModelError {
+        line: toks
+            .get(pos.min(toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0),
+        message,
+    };
+
+    // 'feature' NAME '{' body '}'
+    if toks.get(pos).map(|t| t.text.as_str()) != Some("feature") {
+        return Err(err(pos, &toks, "expected 'feature'".into()));
+    }
+    pos += 1;
+    let root_name = toks
+        .get(pos)
+        .ok_or_else(|| err(pos, &toks, "expected root feature name".into()))?
+        .text
+        .clone();
+    pos += 1;
+
+    let mut fm = FeatureModel::new(&root_name);
+    let root = fm.root();
+    // The root may carry modifiers too (rarely useful, but uniform).
+    pos = parse_modifiers_and_body(&toks, pos, &mut fm, root, true)?;
+
+    // Optional constraints block.
+    if toks.get(pos).map(|t| t.text.as_str()) == Some("constraints") {
+        pos += 1;
+        if toks.get(pos).map(|t| t.text.as_str()) != Some("{") {
+            return Err(err(pos, &toks, "expected '{' after 'constraints'".into()));
+        }
+        pos += 1;
+        loop {
+            match toks.get(pos).map(|t| t.text.as_str()) {
+                Some("}") => {
+                    pos += 1;
+                    break;
+                }
+                Some(a) => {
+                    let a = a.to_string();
+                    let op = toks
+                        .get(pos + 1)
+                        .ok_or_else(|| err(pos, &toks, "expected 'requires'/'excludes'".into()))?
+                        .text
+                        .clone();
+                    let b = toks
+                        .get(pos + 2)
+                        .ok_or_else(|| err(pos, &toks, "expected a feature name".into()))?
+                        .text
+                        .clone();
+                    let fa = fm.by_name(&a).ok_or_else(|| {
+                        err(pos, &toks, format!("unknown feature {a:?} in constraint"))
+                    })?;
+                    let fb = fm.by_name(&b).ok_or_else(|| {
+                        err(pos + 2, &toks, format!("unknown feature {b:?} in constraint"))
+                    })?;
+                    match op.as_str() {
+                        "requires" => fm.requires(fa, fb),
+                        "excludes" => fm.excludes(fa, fb),
+                        other => {
+                            return Err(err(
+                                pos + 1,
+                                &toks,
+                                format!("unknown constraint operator {other:?}"),
+                            ))
+                        }
+                    }
+                    pos += 3;
+                }
+                None => {
+                    return Err(err(pos, &toks, "unterminated constraints block".into()))
+                }
+            }
+        }
+    }
+
+    if pos != toks.len() {
+        return Err(err(pos, &toks, format!("unexpected {:?}", toks[pos].text)));
+    }
+    Ok(fm)
+}
+
+/// Parses `[abstract] [or|xor] [exclusive] [ '{' feature* '}' ]` for the
+/// feature `target`; returns the next token index.
+fn parse_modifiers_and_body(
+    toks: &[Tok],
+    mut pos: usize,
+    fm: &mut FeatureModel,
+    target: FeatureId,
+    _is_root: bool,
+) -> Result<usize, ParseModelError> {
+    let err = |pos: usize, message: String| ParseModelError {
+        line: toks
+            .get(pos.min(toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0),
+        message,
+    };
+    loop {
+        match toks.get(pos).map(|t| t.text.as_str()) {
+            Some("abstract") => {
+                fm.set_abstract(target, true);
+                pos += 1;
+            }
+            Some("or") => {
+                fm.set_group(target, GroupKind::Or);
+                pos += 1;
+            }
+            Some("xor") => {
+                fm.set_group(target, GroupKind::Xor);
+                pos += 1;
+            }
+            Some("exclusive") => {
+                fm.set_cross_vm_exclusive(target, true);
+                pos += 1;
+            }
+            Some(tok) if tok.starts_with('[') && tok.ends_with(']') => {
+                let inner = &tok[1..tok.len() - 1];
+                let (lo, hi) = inner.split_once("..").ok_or_else(|| {
+                    err(pos, format!("bad cardinality {tok:?}, expected [min..max]"))
+                })?;
+                let min: u32 = lo.trim().parse().map_err(|_| {
+                    err(pos, format!("bad cardinality minimum in {tok:?}"))
+                })?;
+                let max: u32 = hi.trim().parse().map_err(|_| {
+                    err(pos, format!("bad cardinality maximum in {tok:?}"))
+                })?;
+                fm.set_group(target, GroupKind::Card { min, max });
+                pos += 1;
+            }
+            _ => break,
+        }
+    }
+    if toks.get(pos).map(|t| t.text.as_str()) != Some("{") {
+        return Ok(pos); // leaf feature
+    }
+    pos += 1;
+    loop {
+        match toks.get(pos).map(|t| t.text.as_str()) {
+            Some("}") => return Ok(pos + 1),
+            Some(name) => {
+                let (name, optional) = match name.strip_suffix('?') {
+                    Some(base) => (base.to_string(), true),
+                    None => (name.to_string(), false),
+                };
+                if name.is_empty()
+                    || matches!(name.as_str(), "abstract" | "or" | "xor" | "exclusive")
+                {
+                    return Err(err(pos, format!("bad feature name {:?}", toks[pos].text)));
+                }
+                if fm.by_name(&name).is_some() {
+                    return Err(err(pos, format!("duplicate feature name {name:?}")));
+                }
+                let child = if optional {
+                    fm.add_optional(target, &name)
+                } else {
+                    fm.add_mandatory(target, &name)
+                };
+                pos += 1;
+                pos = parse_modifiers_and_body(toks, pos, fm, child, false)?;
+            }
+            None => return Err(err(pos, "unterminated feature body".into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::Analyzer;
+
+    const CUSTOM_SBC: &str = r#"
+# The paper's Fig. 1a model.
+feature CustomSBC {
+    memory
+    cpus xor exclusive {
+        cpu@0?
+        cpu@1?
+    }
+    uarts abstract or {
+        uart@20000000?
+        uart@30000000?
+    }
+    vEthernet? abstract xor {
+        veth0?
+        veth1?
+    }
+}
+
+constraints {
+    veth0 requires cpu@0
+    veth1 requires cpu@1
+}
+"#;
+
+    #[test]
+    fn parses_custom_sbc_with_12_products() {
+        let fm = parse_model(CUSTOM_SBC).unwrap();
+        assert_eq!(fm.len(), 11);
+        let mut an = Analyzer::new(&fm);
+        assert_eq!(an.count_products(), 12);
+    }
+
+    #[test]
+    fn text_model_equals_programmatic_model() {
+        // The parsed model has the same products as the one built with
+        // the builder API in llhsc::running_example.
+        let parsed = parse_model(CUSTOM_SBC).unwrap();
+        let mut an = Analyzer::new(&parsed);
+        let products: Vec<Vec<String>> = an
+            .products()
+            .iter()
+            .map(|p| {
+                p.iter()
+                    .map(|id| parsed.name(*id).to_string())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(products.len(), 12);
+        // Spot-check a known product.
+        assert!(products.iter().any(|p| {
+            p.contains(&"cpu@0".to_string()) && p.contains(&"veth0".to_string())
+        }));
+    }
+
+    #[test]
+    fn modifiers_apply() {
+        let fm = parse_model("feature R { g xor exclusive { a? b? } c? abstract }").unwrap();
+        let g = fm.by_name("g").unwrap();
+        assert_eq!(fm.feature(g).group, GroupKind::Xor);
+        assert!(fm.feature(g).cross_vm_exclusive);
+        let c = fm.by_name("c").unwrap();
+        assert!(fm.feature(c).optional);
+        assert!(fm.feature(c).is_abstract);
+    }
+
+    #[test]
+    fn cardinality_groups() {
+        // Pick between 1 and 2 of the three sensors.
+        let fm = parse_model(
+            "feature R { sensors [1..2] { s0? s1? s2? } }",
+        )
+        .unwrap();
+        let sensors = fm.by_name("sensors").unwrap();
+        assert_eq!(
+            fm.feature(sensors).group,
+            GroupKind::Card { min: 1, max: 2 }
+        );
+        let mut an = Analyzer::new(&fm);
+        // C(3,1) + C(3,2) = 3 + 3 = 6 products.
+        assert_eq!(an.count_products(), 6);
+        assert!(fm.to_string().contains("[1..2]"));
+    }
+
+    #[test]
+    fn bad_cardinality_rejected() {
+        let e = parse_model("feature R { g [1..x] { a? } }").unwrap_err();
+        assert!(e.message.contains("maximum"));
+        let e = parse_model("feature R { g [12] { a? } }").unwrap_err();
+        assert!(e.message.contains("[min..max]"));
+    }
+
+    #[test]
+    fn excludes_constraint() {
+        let fm = parse_model(
+            "feature R { a? b? } constraints { a excludes b }",
+        )
+        .unwrap();
+        let mut an = Analyzer::new(&fm);
+        // Products: {}, {a}, {b} (root implied) = 3.
+        assert_eq!(an.count_products(), 3);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_model("feature R { a }\nconstraints {\n  a frobs a\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("frobs"));
+    }
+
+    #[test]
+    fn unknown_constraint_feature_rejected() {
+        let e = parse_model("feature R { a? }\nconstraints { a requires ghost }").unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    #[test]
+    fn duplicate_feature_rejected() {
+        let e = parse_model("feature R { a a }").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn unterminated_body_rejected() {
+        let e = parse_model("feature R { a").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn missing_feature_keyword_rejected() {
+        let e = parse_model("model R { }").unwrap_err();
+        assert!(e.message.contains("'feature'"));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let fm = parse_model("feature R{a?# trailing\n}").unwrap();
+        assert!(fm.by_name("a").is_some());
+    }
+}

@@ -1,0 +1,209 @@
+//! Property tests: SAT-based product enumeration against brute-force
+//! semantics of random feature models.
+
+use std::collections::BTreeSet;
+
+use llhsc_fm::{Analyzer, FeatureId, FeatureModel, GroupKind};
+use proptest::prelude::*;
+
+fn arb_group() -> impl Strategy<Value = GroupKind> {
+    prop_oneof![
+        Just(GroupKind::And),
+        Just(GroupKind::Or),
+        Just(GroupKind::Xor),
+        (0u32..3, 0u32..3).prop_map(|(a, b)| GroupKind::Card {
+            min: a.min(b),
+            max: a.max(b),
+        }),
+    ]
+}
+
+fn arb_model() -> impl Strategy<Value = (FeatureModel, Vec<FeatureId>)> {
+    (
+        prop::collection::vec((any::<u16>(), any::<bool>(), arb_group()), 1..8),
+        prop::collection::vec((0u16..8, 0u16..8), 0..3), // requires pairs
+        prop::collection::vec((0u16..8, 0u16..8), 0..2), // excludes pairs
+    )
+        .prop_map(|(specs, reqs, excls)| {
+            let mut fm = FeatureModel::new("root");
+            let mut ids = vec![fm.root()];
+            for (i, (praw, optional, group)) in specs.iter().enumerate() {
+                let parent = ids[*praw as usize % ids.len()];
+                let id = if *optional {
+                    fm.add_optional(parent, &format!("f{i}"))
+                } else {
+                    fm.add_mandatory(parent, &format!("f{i}"))
+                };
+                fm.set_group(id, *group);
+                ids.push(id);
+            }
+            for (a, b) in reqs {
+                let (a, b) = (
+                    ids[a as usize % ids.len()],
+                    ids[b as usize % ids.len()],
+                );
+                if a != b {
+                    fm.requires(a, b);
+                }
+            }
+            for (a, b) in excls {
+                let (a, b) = (
+                    ids[a as usize % ids.len()],
+                    ids[b as usize % ids.len()],
+                );
+                if a != b && a != fm.root() && b != fm.root() {
+                    fm.excludes(a, b);
+                }
+            }
+            (fm, ids)
+        })
+}
+
+/// Direct (non-SAT) semantics: checks a candidate selection against the
+/// feature-model rules.
+fn valid_by_rules(fm: &FeatureModel, sel: &BTreeSet<FeatureId>) -> bool {
+    if !sel.contains(&fm.root()) {
+        return false;
+    }
+    for id in fm.ids() {
+        let f = fm.feature(id);
+        if let Some(p) = f.parent {
+            if sel.contains(&id) && !sel.contains(&p) {
+                return false;
+            }
+        }
+        if f.children.is_empty() {
+            continue;
+        }
+        let chosen = f.children.iter().filter(|c| sel.contains(c)).count();
+        match f.group {
+            GroupKind::And => {
+                if sel.contains(&id) {
+                    for c in &f.children {
+                        if !fm.feature(*c).optional && !sel.contains(c) {
+                            return false;
+                        }
+                    }
+                } else {
+                    // children => parent is covered by the loop above;
+                    // mandatory-child iff also forbids child-selected-
+                    // without-parent (covered) and parent-deselected
+                    // means mandatory children deselected (covered too).
+                }
+            }
+            GroupKind::Or => {
+                if sel.contains(&id) && chosen == 0 {
+                    return false;
+                }
+            }
+            GroupKind::Xor => {
+                if sel.contains(&id) && chosen != 1 {
+                    return false;
+                }
+                if !sel.contains(&id) && chosen > 0 {
+                    return false;
+                }
+            }
+            GroupKind::Card { min, max } => {
+                if sel.contains(&id)
+                    && !(min as usize..=max as usize).contains(&chosen)
+                {
+                    return false;
+                }
+            }
+        }
+        // Mandatory And-children must also drag the parent in via iff.
+        if matches!(f.group, GroupKind::And) {
+            for c in &f.children {
+                if !fm.feature(*c).optional && sel.contains(c) && !sel.contains(&id) {
+                    return false;
+                }
+            }
+        }
+    }
+    for c in fm.constraints() {
+        match c {
+            llhsc_fm::CrossConstraint::Requires(a, b) => {
+                if sel.contains(a) && !sel.contains(b) {
+                    return false;
+                }
+            }
+            llhsc_fm::CrossConstraint::Excludes(a, b) => {
+                if sel.contains(a) && sel.contains(b) {
+                    return false;
+                }
+            }
+            llhsc_fm::CrossConstraint::Rule(_) => {}
+        }
+    }
+    true
+}
+
+fn brute_force_products(fm: &FeatureModel) -> BTreeSet<BTreeSet<FeatureId>> {
+    let ids: Vec<FeatureId> = fm.ids().collect();
+    let n = ids.len();
+    assert!(n <= 20, "brute force capped");
+    let mut out = BTreeSet::new();
+    for mask in 0u32..(1 << n) {
+        let sel: BTreeSet<FeatureId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> i) & 1 == 1)
+            .map(|(_, id)| *id)
+            .collect();
+        if valid_by_rules(fm, &sel) {
+            out.insert(sel);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The SAT enumeration agrees with brute-force rule semantics.
+    #[test]
+    fn enumeration_matches_rules((fm, _ids) in arb_model()) {
+        let expected = brute_force_products(&fm);
+        let mut an = Analyzer::new(&fm);
+        let got: BTreeSet<BTreeSet<FeatureId>> =
+            an.products().into_iter().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `is_valid` agrees with rule semantics on arbitrary selections.
+    #[test]
+    fn validity_matches_rules((fm, ids) in arb_model(), mask in any::<u32>()) {
+        let sel: BTreeSet<FeatureId> = ids
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| (mask >> (i % 32)) & 1 == 1)
+            .map(|(_, id)| *id)
+            .collect();
+        let expected = valid_by_rules(&fm, &sel);
+        let mut an = Analyzer::new(&fm);
+        let got = an.is_valid(&sel.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Dead features really never appear; core features always do.
+    #[test]
+    fn dead_and_core_consistent((fm, _ids) in arb_model()) {
+        let products = brute_force_products(&fm);
+        let mut an = Analyzer::new(&fm);
+        let dead: BTreeSet<FeatureId> = an.dead_features().into_iter().collect();
+        let core: BTreeSet<FeatureId> = an.core_features().into_iter().collect();
+        for p in &products {
+            for d in &dead {
+                prop_assert!(!p.contains(d));
+            }
+            for c in &core {
+                prop_assert!(p.contains(c));
+            }
+        }
+        if products.is_empty() {
+            // Void model: everything is dead and (vacuously) core.
+            prop_assert_eq!(dead.len(), fm.len());
+        }
+    }
+}

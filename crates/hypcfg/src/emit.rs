@@ -1,0 +1,242 @@
+//! C source emission reproducing the shapes of Listings 3 and 6.
+
+use std::fmt::Write as _;
+
+use crate::model::{PlatformConfig, VmConfig};
+
+impl PlatformConfig {
+    /// Renders the platform descriptor as Bao C source (Listing 3).
+    ///
+    /// ```
+    /// # use llhsc_hypcfg::{PlatformConfig, MemRegion, Cluster};
+    /// let p = PlatformConfig {
+    ///     cpu_num: 2,
+    ///     regions: vec![MemRegion { base: 0x4000_0000, size: 0x2000_0000 }],
+    ///     console_base: Some(0x2000_0000),
+    ///     clusters: vec![Cluster { core_num: vec![2] }],
+    /// };
+    /// assert!(p.to_c().contains(".cpu_num = 2,"));
+    /// ```
+    pub fn to_c(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#include <platform.h>\n\n");
+        out.push_str("struct platform_desc platform = {\n");
+        let _ = writeln!(out, "  .cpu_num = {},", self.cpu_num);
+        let _ = writeln!(out, "  .region_num = {},", self.regions.len());
+        out.push_str("  .regions = (struct mem_region[]) {\n");
+        for r in &self.regions {
+            let _ = writeln!(
+                out,
+                "    {{ .base = {:#010x}, .size = {:#010x} }},",
+                r.base, r.size
+            );
+        }
+        out.push_str("  },\n");
+        if let Some(console) = self.console_base {
+            out.push('\n');
+            let _ = writeln!(out, "  .console = {{ .base = {console:#010x} }},");
+        }
+        out.push('\n');
+        out.push_str("  .arch = {\n");
+        out.push_str("    .clusters = {\n");
+        for c in &self.clusters {
+            let cores = c
+                .core_num
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "      .num = {}, .core_num = (uint8_t[]) {{{cores}}}",
+                c.core_num.len()
+            );
+        }
+        out.push_str("    },\n");
+        out.push_str("  }\n");
+        out.push_str("};\n");
+        out
+    }
+}
+
+impl VmConfig {
+    /// Renders one VM configuration as Bao C source (Listing 6).
+    pub fn to_c(&self) -> String {
+        let mut out = String::new();
+        out.push_str("#include <config.h>\n\n");
+        let _ = writeln!(out, "VM_IMAGE({}, {});", self.image.name, self.image.file);
+        out.push('\n');
+        out.push_str("struct config config = {\n");
+        out.push_str("  CONFIG_HEADER\n");
+        out.push_str("  .vmlist_size = 1,\n");
+        out.push_str("  .vmlist = {\n");
+        out.push_str("    { .image = {\n");
+        let _ = writeln!(out, "        .base_addr = {:#010x},", self.image.base_addr);
+        let _ = writeln!(
+            out,
+            "        .load_addr = VM_IMAGE_OFFSET({}),",
+            self.image.name
+        );
+        let _ = writeln!(out, "        .size = VM_IMAGE_SIZE({})", self.image.name);
+        out.push_str("      }\n");
+        out.push_str("    },\n");
+        let _ = writeln!(out, "    .entry = {:#010x},", self.entry);
+        let _ = writeln!(out, "    .cpu_affinity = {:#b},", self.cpu_affinity);
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "    .platform = {{ .cpu_num = {}, .dev_num = {},",
+            self.cpu_num,
+            self.devs.len()
+        );
+        let _ = writeln!(out, "    .region_num = {},", self.regions.len());
+        out.push_str("    .regions = (struct mem_region[]) {\n");
+        for r in &self.regions {
+            let _ = writeln!(
+                out,
+                "      {{ .base = {:#010x}, .size = {:#010x} }},",
+                r.base, r.size
+            );
+        }
+        out.push_str("      },\n");
+        out.push_str("      .devs = (struct dev_region[]) {\n");
+        for d in &self.devs {
+            let _ = writeln!(
+                out,
+                "      {{ .pa = {:#010x},\n        .va = {:#010x}, .size = {:#x} }},",
+                d.pa, d.va, d.size
+            );
+        }
+        out.push_str("      },\n");
+        out.push_str("    },\n");
+        out.push('\n');
+        let _ = writeln!(out, "    .ipc_num = {},", self.ipcs.len());
+        out.push_str("    .ipcs = (struct ipc[]) {\n");
+        for ipc in &self.ipcs {
+            let _ = writeln!(
+                out,
+                "      {{ .base = {:#010x}, .size = {:#010x},\n        .shmem_id = {} }},",
+                ipc.base, ipc.size, ipc.shmem_id
+            );
+        }
+        out.push_str("    },\n");
+        out.push_str("  },\n");
+        out.push('\n');
+        let shmem = self.shmem_sizes();
+        let _ = writeln!(out, "  .shmemlist_size = {},", shmem.len());
+        out.push_str("  .shmemlist = (struct shmem[]) {\n");
+        for (i, size) in shmem.iter().enumerate() {
+            let _ = writeln!(out, "    [{i}] = {{ .size = {size:#010x} }},");
+        }
+        out.push_str("  },\n");
+        out.push_str("};\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage};
+
+    fn listing3_platform() -> PlatformConfig {
+        PlatformConfig {
+            cpu_num: 2,
+            regions: vec![
+                MemRegion {
+                    base: 0x4000_0000,
+                    size: 0x2000_0000,
+                },
+                MemRegion {
+                    base: 0x6000_0000,
+                    size: 0x2000_0000,
+                },
+            ],
+            console_base: Some(0x2000_0000),
+            clusters: vec![Cluster { core_num: vec![2] }],
+        }
+    }
+
+    #[test]
+    fn listing3_shape() {
+        let c = listing3_platform().to_c();
+        // The exact lines of Listing 3.
+        assert!(c.contains("#include <platform.h>"));
+        assert!(c.contains("struct platform_desc platform = {"));
+        assert!(c.contains(".cpu_num = 2,"));
+        assert!(c.contains(".region_num = 2,"));
+        assert!(c.contains("{ .base = 0x40000000, .size = 0x20000000 },"));
+        assert!(c.contains("{ .base = 0x60000000, .size = 0x20000000 },"));
+        assert!(c.contains(".console = { .base = 0x20000000 },"));
+        assert!(c.contains(".num = 1, .core_num = (uint8_t[]) {2}"));
+    }
+
+    #[test]
+    fn listing6_shape() {
+        let vm = VmConfig {
+            image: VmImage {
+                base_addr: 0x4000_0000,
+                name: "vm".into(),
+                file: "vmimage.bin".into(),
+            },
+            entry: 0x4000_0000,
+            cpu_affinity: 0b11,
+            cpu_num: 2,
+            regions: vec![
+                MemRegion {
+                    base: 0x4000_0000,
+                    size: 0x2000_0000,
+                },
+                MemRegion {
+                    base: 0x6000_0000,
+                    size: 0x2000_0000,
+                },
+            ],
+            devs: vec![
+                DevRegion {
+                    pa: 0x2000_0000,
+                    va: 0x2000_0000,
+                    size: 0x1000,
+                },
+                DevRegion {
+                    pa: 0x3000_0000,
+                    va: 0x3000_0000,
+                    size: 0x1000,
+                },
+            ],
+            ipcs: vec![IpcRegion {
+                base: 0x7000_0000,
+                size: 0x1_0000,
+                shmem_id: 0,
+            }],
+        };
+        let c = vm.to_c();
+        assert!(c.contains("#include <config.h>"));
+        assert!(c.contains("VM_IMAGE(vm, vmimage.bin);"));
+        assert!(c.contains(".base_addr = 0x40000000,"));
+        assert!(c.contains(".load_addr = VM_IMAGE_OFFSET(vm),"));
+        assert!(c.contains(".size = VM_IMAGE_SIZE(vm)"));
+        assert!(c.contains(".entry = 0x40000000,"));
+        assert!(c.contains(".cpu_affinity = 0b11,"));
+        assert!(c.contains(".platform = { .cpu_num = 2, .dev_num = 2,"));
+        assert!(c.contains(".region_num = 2,"));
+        assert!(c.contains("{ .pa = 0x20000000,\n        .va = 0x20000000, .size = 0x1000 },"));
+        assert!(c.contains(".ipc_num = 1,"));
+        assert!(c.contains("{ .base = 0x70000000, .size = 0x00010000,\n        .shmem_id = 0 },"));
+        assert!(c.contains(".shmemlist_size = 1,"));
+        assert!(c.contains("[0] = { .size = 0x00010000 },"));
+    }
+
+    #[test]
+    fn no_console_omits_block() {
+        let mut p = listing3_platform();
+        p.console_base = None;
+        assert!(!p.to_c().contains(".console"));
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let a = listing3_platform().to_c();
+        let b = listing3_platform().to_c();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,208 @@
+//! Jailhouse cell-configuration emission.
+//!
+//! The paper (§I) notes that besides Bao, "others like Jailhouse can
+//! also be supported": Jailhouse partitions a machine into *cells*,
+//! each described by a C configuration compiled into a binary blob.
+//! This module renders [`VmConfig`]/[`PlatformConfig`] as Jailhouse
+//! cell configuration sources — the root cell from the platform
+//! descriptor and one non-root cell per VM.
+
+use std::fmt::Write as _;
+
+use crate::model::{PlatformConfig, VmConfig};
+
+/// Memory-region permission flags in Jailhouse configurations.
+mod flags {
+    pub const RAM: &str =
+        "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE | JAILHOUSE_MEM_EXECUTE";
+    pub const DEVICE: &str = "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE | JAILHOUSE_MEM_IO";
+    pub const SHMEM: &str = "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE";
+}
+
+impl PlatformConfig {
+    /// Renders the Jailhouse *root cell* configuration for this
+    /// platform. The hypervisor carve-out is placed at the end of the
+    /// last memory region (Jailhouse convention).
+    pub fn to_jailhouse_root_cell(&self, name: &str) -> String {
+        let hyp_size: u64 = 0x60_0000; // 6 MiB, the upstream default
+        let (hyp_base, usable_regions) = match self.regions.last() {
+            Some(last) if last.size > hyp_size => {
+                (last.base + last.size - hyp_size, &self.regions[..])
+            }
+            _ => (0, &self.regions[..]),
+        };
+        let mut out = String::new();
+        out.push_str("#include <jailhouse/types.h>\n#include <jailhouse/cell-config.h>\n\n");
+        out.push_str("struct {\n");
+        out.push_str("\tstruct jailhouse_system header;\n");
+        out.push_str("\t__u64 cpus[1];\n");
+        let _ = writeln!(
+            out,
+            "\tstruct jailhouse_memory mem_regions[{}];",
+            usable_regions.len()
+        );
+        out.push_str("} __attribute__((packed)) config = {\n");
+        out.push_str("\t.header = {\n");
+        out.push_str("\t\t.signature = JAILHOUSE_SYSTEM_SIGNATURE,\n");
+        out.push_str("\t\t.revision = JAILHOUSE_CONFIG_REVISION,\n");
+        let _ = writeln!(out, "\t\t.hypervisor_memory = {{");
+        let _ = writeln!(out, "\t\t\t.phys_start = {hyp_base:#x},");
+        let _ = writeln!(out, "\t\t\t.size = {hyp_size:#x},");
+        out.push_str("\t\t},\n");
+        out.push_str("\t\t.root_cell = {\n");
+        let _ = writeln!(out, "\t\t\t.name = \"{name}\",");
+        out.push_str("\t\t\t.cpu_set_size = sizeof(config.cpus),\n");
+        let _ = writeln!(
+            out,
+            "\t\t\t.num_memory_regions = ARRAY_SIZE(config.mem_regions),"
+        );
+        out.push_str("\t\t},\n");
+        out.push_str("\t},\n");
+        let mask = (1u64 << self.cpu_num.min(63)) - 1;
+        let _ = writeln!(out, "\t.cpus = {{{mask:#x}}},");
+        out.push_str("\t.mem_regions = {\n");
+        for r in usable_regions {
+            let _ = writeln!(out, "\t\t{{");
+            let _ = writeln!(out, "\t\t\t.phys_start = {:#x},", r.base);
+            let _ = writeln!(out, "\t\t\t.virt_start = {:#x},", r.base);
+            let _ = writeln!(out, "\t\t\t.size = {:#x},", r.size);
+            let _ = writeln!(out, "\t\t\t.flags = {},", flags::RAM);
+            let _ = writeln!(out, "\t\t}},");
+        }
+        out.push_str("\t},\n};\n");
+        out
+    }
+}
+
+impl VmConfig {
+    /// Renders this VM as a Jailhouse *non-root cell* configuration:
+    /// RAM regions, pass-through device regions, and one shared-memory
+    /// region per IPC object.
+    pub fn to_jailhouse_cell(&self) -> String {
+        let total = self.regions.len() + self.devs.len() + self.ipcs.len();
+        let mut out = String::new();
+        out.push_str("#include <jailhouse/types.h>\n#include <jailhouse/cell-config.h>\n\n");
+        out.push_str("struct {\n");
+        out.push_str("\tstruct jailhouse_cell_desc cell;\n");
+        out.push_str("\t__u64 cpus[1];\n");
+        let _ = writeln!(out, "\tstruct jailhouse_memory mem_regions[{total}];");
+        out.push_str("} __attribute__((packed)) config = {\n");
+        out.push_str("\t.cell = {\n");
+        out.push_str("\t\t.signature = JAILHOUSE_CELL_DESC_SIGNATURE,\n");
+        out.push_str("\t\t.revision = JAILHOUSE_CONFIG_REVISION,\n");
+        let _ = writeln!(out, "\t\t.name = \"{}\",", self.image.name);
+        out.push_str("\t\t.flags = JAILHOUSE_CELL_PASSIVE_COMMREG,\n");
+        out.push_str("\t\t.cpu_set_size = sizeof(config.cpus),\n");
+        out.push_str("\t\t.num_memory_regions = ARRAY_SIZE(config.mem_regions),\n");
+        out.push_str("\t},\n");
+        let _ = writeln!(out, "\t.cpus = {{{:#x}}},", self.cpu_affinity);
+        out.push_str("\t.mem_regions = {\n");
+        for r in &self.regions {
+            let _ = writeln!(out, "\t\t/* RAM */ {{");
+            let _ = writeln!(out, "\t\t\t.phys_start = {:#x},", r.base);
+            let _ = writeln!(out, "\t\t\t.virt_start = {:#x},", r.base);
+            let _ = writeln!(out, "\t\t\t.size = {:#x},", r.size);
+            let _ = writeln!(out, "\t\t\t.flags = {} | JAILHOUSE_MEM_LOADABLE,", flags::RAM);
+            let _ = writeln!(out, "\t\t}},");
+        }
+        for d in &self.devs {
+            let _ = writeln!(out, "\t\t/* device */ {{");
+            let _ = writeln!(out, "\t\t\t.phys_start = {:#x},", d.pa);
+            let _ = writeln!(out, "\t\t\t.virt_start = {:#x},", d.va);
+            let _ = writeln!(out, "\t\t\t.size = {:#x},", d.size);
+            let _ = writeln!(out, "\t\t\t.flags = {},", flags::DEVICE);
+            let _ = writeln!(out, "\t\t}},");
+        }
+        for ipc in &self.ipcs {
+            let _ = writeln!(out, "\t\t/* shmem {} */ {{", ipc.shmem_id);
+            let _ = writeln!(out, "\t\t\t.phys_start = {:#x},", ipc.base);
+            let _ = writeln!(out, "\t\t\t.virt_start = {:#x},", ipc.base);
+            let _ = writeln!(out, "\t\t\t.size = {:#x},", ipc.size);
+            let _ = writeln!(out, "\t\t\t.flags = {},", flags::SHMEM);
+            let _ = writeln!(out, "\t\t}},");
+        }
+        out.push_str("\t},\n};\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{
+        Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage,
+    };
+
+    fn platform() -> PlatformConfig {
+        PlatformConfig {
+            cpu_num: 2,
+            regions: vec![
+                MemRegion {
+                    base: 0x4000_0000,
+                    size: 0x2000_0000,
+                },
+                MemRegion {
+                    base: 0x6000_0000,
+                    size: 0x2000_0000,
+                },
+            ],
+            console_base: Some(0x2000_0000),
+            clusters: vec![Cluster { core_num: vec![2] }],
+        }
+    }
+
+    fn vm() -> VmConfig {
+        VmConfig {
+            image: VmImage {
+                base_addr: 0x4000_0000,
+                name: "guest".into(),
+                file: "guestimage.bin".into(),
+            },
+            entry: 0x4000_0000,
+            cpu_affinity: 0b01,
+            cpu_num: 1,
+            regions: vec![MemRegion {
+                base: 0x4000_0000,
+                size: 0x2000_0000,
+            }],
+            devs: vec![DevRegion {
+                pa: 0x2000_0000,
+                va: 0x2000_0000,
+                size: 0x1000,
+            }],
+            ipcs: vec![IpcRegion {
+                base: 0x7000_0000,
+                size: 0x1_0000,
+                shmem_id: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn root_cell_shape() {
+        let c = platform().to_jailhouse_root_cell("custom-sbc");
+        assert!(c.contains("JAILHOUSE_SYSTEM_SIGNATURE"));
+        assert!(c.contains(".name = \"custom-sbc\","));
+        // Hypervisor carve-out at the end of the last bank.
+        assert!(c.contains(".phys_start = 0x7fa00000,"));
+        assert!(c.contains(".size = 0x600000,"));
+        assert!(c.contains(".cpus = {0x3},"));
+        assert!(c.contains("mem_regions[2]"));
+    }
+
+    #[test]
+    fn non_root_cell_shape() {
+        let c = vm().to_jailhouse_cell();
+        assert!(c.contains("JAILHOUSE_CELL_DESC_SIGNATURE"));
+        assert!(c.contains(".name = \"guest\","));
+        assert!(c.contains(".cpus = {0x1},"));
+        assert!(c.contains("mem_regions[3]")); // 1 RAM + 1 dev + 1 shmem
+        assert!(c.contains("JAILHOUSE_MEM_LOADABLE"));
+        assert!(c.contains("JAILHOUSE_MEM_IO"));
+        assert!(c.contains("/* shmem 0 */"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(vm().to_jailhouse_cell(), vm().to_jailhouse_cell());
+    }
+}

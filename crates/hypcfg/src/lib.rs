@@ -1,0 +1,56 @@
+//! Static-partitioning hypervisor configuration generation — the output
+//! stage of the llhsc pipeline (§II-C, §III-B, Listings 3 and 6).
+//!
+//! Bao is configured through C source files: one *platform* descriptor
+//! (Listing 3) and one *VM configuration* per guest (Listing 6). The
+//! paper generates both from checked DTS files by a source-to-source
+//! transformation. This crate provides:
+//!
+//! * a typed model of the two descriptor shapes ([`PlatformConfig`],
+//!   [`VmConfig`]),
+//! * extraction from a [`DeviceTree`](llhsc_dts::DeviceTree)
+//!   ([`PlatformConfig::from_tree`], [`VmConfig::from_tree`]) using the
+//!   same conventions as the running example (memory nodes become
+//!   regions, `cpus` children become cores, UARTs become pass-through
+//!   device regions, `veth` nodes become inter-VM IPC objects backed by
+//!   shared memory),
+//! * C source emitters reproducing the listing shapes
+//!   ([`PlatformConfig::to_c`], [`VmConfig::to_c`]), and
+//! * a QEMU command-line emitter ([`qemu_args`]) for the paper's remark
+//!   that the generated configurations also drive "other virtualization
+//!   solutions such as QEMU" (§V).
+//!
+//! # Example
+//!
+//! ```
+//! use llhsc_hypcfg::PlatformConfig;
+//!
+//! let tree = llhsc_dts::parse(r#"
+//! / {
+//!     #address-cells = <2>;
+//!     #size-cells = <2>;
+//!     memory@40000000 {
+//!         device_type = "memory";
+//!         reg = <0x0 0x40000000 0x0 0x20000000>;
+//!     };
+//!     cpus {
+//!         #address-cells = <1>;
+//!         #size-cells = <0>;
+//!         cpu@0 { device_type = "cpu"; reg = <0>; };
+//!     };
+//! };
+//! "#).unwrap();
+//! let platform = PlatformConfig::from_tree(&tree).unwrap();
+//! assert_eq!(platform.cpu_num, 1);
+//! assert!(platform.to_c().contains("struct platform_desc"));
+//! ```
+
+mod emit;
+mod extract;
+mod jailhouse;
+mod model;
+mod qemu;
+
+pub use extract::ExtractError;
+pub use model::{Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage};
+pub use qemu::{qemu_args, QemuMachine};

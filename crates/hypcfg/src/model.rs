@@ -1,0 +1,146 @@
+//! Typed models of the Bao descriptor shapes.
+
+/// One physical memory region (`struct mem_region`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemRegion {
+    /// Base physical address.
+    pub base: u64,
+    /// Length in bytes.
+    pub size: u64,
+}
+
+/// One pass-through device region (`struct dev_region`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DevRegion {
+    /// Physical address.
+    pub pa: u64,
+    /// Virtual address the guest sees (identity-mapped in the paper).
+    pub va: u64,
+    /// Length in bytes.
+    pub size: u64,
+}
+
+/// One inter-VM communication object (`struct ipc`), backed by a shared
+/// memory segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IpcRegion {
+    /// Guest-visible base address.
+    pub base: u64,
+    /// Length in bytes.
+    pub size: u64,
+    /// Index into the shared-memory list.
+    pub shmem_id: u32,
+}
+
+/// A CPU cluster (`.arch.clusters` in Listing 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cluster {
+    /// Cores per cluster, in cluster order.
+    pub core_num: Vec<u8>,
+}
+
+/// The Bao *platform* descriptor (Listing 3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformConfig {
+    /// Total CPU count.
+    pub cpu_num: u32,
+    /// Physical memory regions.
+    pub regions: Vec<MemRegion>,
+    /// Console (UART) base address, if any.
+    pub console_base: Option<u64>,
+    /// Cluster layout.
+    pub clusters: Vec<Cluster>,
+}
+
+/// The guest image description (`struct config .vmlist[i].image`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmImage {
+    /// Load base address inside the guest address space.
+    pub base_addr: u64,
+    /// Symbolic image name used in the `VM_IMAGE` macro.
+    pub name: String,
+    /// Image file name referenced by the macro.
+    pub file: String,
+}
+
+/// One VM's configuration (Listing 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Guest image.
+    pub image: VmImage,
+    /// Guest entry point.
+    pub entry: u64,
+    /// CPU affinity bitmap (bit `i` = physical CPU `i`).
+    pub cpu_affinity: u64,
+    /// CPUs assigned to the VM.
+    pub cpu_num: u32,
+    /// Guest memory regions.
+    pub regions: Vec<MemRegion>,
+    /// Pass-through devices.
+    pub devs: Vec<DevRegion>,
+    /// Inter-VM communication objects.
+    pub ipcs: Vec<IpcRegion>,
+}
+
+impl VmConfig {
+    /// Shared-memory segment sizes implied by the IPC list, indexed by
+    /// `shmem_id` (`.shmemlist` in Listing 6).
+    pub fn shmem_sizes(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for ipc in &self.ipcs {
+            let idx = ipc.shmem_id as usize;
+            if out.len() <= idx {
+                out.resize(idx + 1, 0);
+            }
+            out[idx] = out[idx].max(ipc.size);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shmem_sizes_from_ipcs() {
+        let vm = VmConfig {
+            image: VmImage {
+                base_addr: 0x4000_0000,
+                name: "vm".into(),
+                file: "vmimage.bin".into(),
+            },
+            entry: 0x4000_0000,
+            cpu_affinity: 0b11,
+            cpu_num: 2,
+            regions: vec![],
+            devs: vec![],
+            ipcs: vec![
+                IpcRegion {
+                    base: 0x7000_0000,
+                    size: 0x1_0000,
+                    shmem_id: 0,
+                },
+                IpcRegion {
+                    base: 0x7100_0000,
+                    size: 0x2_0000,
+                    shmem_id: 2,
+                },
+            ],
+        };
+        assert_eq!(vm.shmem_sizes(), vec![0x1_0000, 0, 0x2_0000]);
+    }
+
+    #[test]
+    fn region_ordering_derives() {
+        let a = MemRegion {
+            base: 0x4000_0000,
+            size: 1,
+        };
+        let b = MemRegion {
+            base: 0x6000_0000,
+            size: 1,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,161 @@
+//! QEMU command-line generation.
+//!
+//! §V of the paper notes the generated configurations "can be utilized
+//! not only in Bao hypervisor but also in other virtualization
+//! solutions such as QEMU", on aarch64 or RV64. This module renders a
+//! [`VmConfig`] as a QEMU invocation for either architecture.
+
+use crate::model::VmConfig;
+
+/// Target machine architecture for [`qemu_args`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QemuMachine {
+    /// `qemu-system-aarch64 -machine virt -cpu cortex-a53`
+    #[default]
+    Aarch64Virt,
+    /// `qemu-system-riscv64 -machine virt`
+    Rv64Virt,
+}
+
+impl QemuMachine {
+    /// The QEMU binary name.
+    pub fn binary(&self) -> &'static str {
+        match self {
+            QemuMachine::Aarch64Virt => "qemu-system-aarch64",
+            QemuMachine::Rv64Virt => "qemu-system-riscv64",
+        }
+    }
+}
+
+/// Renders a VM configuration as a QEMU argument vector (binary first).
+///
+/// Memory size is the sum of the VM's regions, rounded up to whole
+/// MiB; each IPC becomes an `ivshmem` device backed by a shared-memory
+/// object.
+///
+/// ```
+/// # use llhsc_hypcfg::{VmConfig, VmImage, MemRegion, qemu_args, QemuMachine};
+/// let vm = VmConfig {
+///     image: VmImage { base_addr: 0x4000_0000, name: "vm".into(), file: "vmimage.bin".into() },
+///     entry: 0x4000_0000,
+///     cpu_affinity: 0b1,
+///     cpu_num: 1,
+///     regions: vec![MemRegion { base: 0x4000_0000, size: 0x2000_0000 }],
+///     devs: vec![],
+///     ipcs: vec![],
+/// };
+/// let args = qemu_args(&vm, QemuMachine::Aarch64Virt);
+/// assert_eq!(args[0], "qemu-system-aarch64");
+/// assert!(args.contains(&"-smp".to_string()));
+/// ```
+pub fn qemu_args(vm: &VmConfig, machine: QemuMachine) -> Vec<String> {
+    let mut args: Vec<String> = vec![machine.binary().to_string()];
+    args.push("-machine".into());
+    args.push("virt".into());
+    if machine == QemuMachine::Aarch64Virt {
+        args.push("-cpu".into());
+        args.push("cortex-a53".into());
+    }
+    args.push("-smp".into());
+    args.push(vm.cpu_num.to_string());
+
+    let total_bytes: u64 = vm.regions.iter().map(|r| r.size).sum();
+    let mib = total_bytes.div_ceil(1024 * 1024).max(1);
+    args.push("-m".into());
+    args.push(format!("{mib}M"));
+
+    args.push("-kernel".into());
+    args.push(vm.image.file.clone());
+
+    for (i, _) in vm.devs.iter().enumerate() {
+        args.push("-serial".into());
+        args.push(if i == 0 {
+            "mon:stdio".into()
+        } else {
+            "null".into()
+        });
+    }
+
+    for ipc in &vm.ipcs {
+        args.push("-object".into());
+        args.push(format!(
+            "memory-backend-file,id=shmem{id},share=on,mem-path=/dev/shm/llhsc{id},size={size}",
+            id = ipc.shmem_id,
+            size = ipc.size
+        ));
+        args.push("-device".into());
+        args.push(format!(
+            "ivshmem-plain,memdev=shmem{id}",
+            id = ipc.shmem_id
+        ));
+    }
+
+    args.push("-nographic".into());
+    args
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DevRegion, IpcRegion, MemRegion, VmImage};
+
+    fn vm() -> VmConfig {
+        VmConfig {
+            image: VmImage {
+                base_addr: 0x4000_0000,
+                name: "vm".into(),
+                file: "vmimage.bin".into(),
+            },
+            entry: 0x4000_0000,
+            cpu_affinity: 0b11,
+            cpu_num: 2,
+            regions: vec![
+                MemRegion {
+                    base: 0x4000_0000,
+                    size: 0x2000_0000,
+                },
+                MemRegion {
+                    base: 0x6000_0000,
+                    size: 0x2000_0000,
+                },
+            ],
+            devs: vec![DevRegion {
+                pa: 0x2000_0000,
+                va: 0x2000_0000,
+                size: 0x1000,
+            }],
+            ipcs: vec![IpcRegion {
+                base: 0x7000_0000,
+                size: 0x1_0000,
+                shmem_id: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn aarch64_invocation() {
+        let args = qemu_args(&vm(), QemuMachine::Aarch64Virt);
+        assert_eq!(args[0], "qemu-system-aarch64");
+        assert!(args.windows(2).any(|w| w == ["-cpu", "cortex-a53"]));
+        assert!(args.windows(2).any(|w| w == ["-smp", "2"]));
+        // 1 GiB total memory.
+        assert!(args.windows(2).any(|w| w == ["-m", "1024M"]));
+        assert!(args.windows(2).any(|w| w == ["-kernel", "vmimage.bin"]));
+        assert!(args.iter().any(|a| a.contains("ivshmem-plain")));
+    }
+
+    #[test]
+    fn rv64_invocation_has_no_cpu_flag() {
+        let args = qemu_args(&vm(), QemuMachine::Rv64Virt);
+        assert_eq!(args[0], "qemu-system-riscv64");
+        assert!(!args.iter().any(|a| a == "-cpu"));
+    }
+
+    #[test]
+    fn minimum_memory_is_1m() {
+        let mut v = vm();
+        v.regions = vec![MemRegion { base: 0, size: 1 }];
+        let args = qemu_args(&v, QemuMachine::Aarch64Virt);
+        assert!(args.windows(2).any(|w| w == ["-m", "1M"]));
+    }
+}

@@ -1,0 +1,161 @@
+//! Clause storage.
+//!
+//! Clauses live in a single arena (`ClauseDb`) and are referred to by
+//! [`ClauseRef`] handles. The arena supports in-place garbage collection
+//! during learnt-clause database reductions.
+
+use crate::lit::Lit;
+
+/// Handle to a clause inside the solver's clause database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct ClauseRef(pub(crate) u32);
+
+/// Header + literal storage for one clause.
+#[derive(Debug, Clone)]
+pub(crate) struct Clause {
+    pub(crate) lits: Vec<Lit>,
+    /// Activity for learnt-clause reduction.
+    pub(crate) activity: f64,
+    /// Learnt clauses may be removed during DB reduction.
+    pub(crate) learnt: bool,
+    /// Marked for deletion by the reducer; swept lazily.
+    pub(crate) deleted: bool,
+    /// Literal-block distance at learning time (Glucose-style quality).
+    pub(crate) lbd: u32,
+}
+
+/// The clause arena.
+#[derive(Debug, Default)]
+pub(crate) struct ClauseDb {
+    clauses: Vec<Clause>,
+    /// Number of live learnt clauses (excludes deleted).
+    num_learnt: usize,
+    /// Number of live problem clauses.
+    num_problem: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn new() -> ClauseDb {
+        ClauseDb::default()
+    }
+
+    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        debug_assert!(lits.len() >= 2, "unit/empty clauses never enter the db");
+        let idx = self.clauses.len() as u32;
+        self.clauses.push(Clause {
+            lits,
+            activity: 0.0,
+            learnt,
+            deleted: false,
+            lbd,
+        });
+        if learnt {
+            self.num_learnt += 1;
+        } else {
+            self.num_problem += 1;
+        }
+        ClauseRef(idx)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
+        &self.clauses[cref.0 as usize]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
+        &mut self.clauses[cref.0 as usize]
+    }
+
+    pub(crate) fn delete(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref.0 as usize];
+        debug_assert!(!c.deleted);
+        c.deleted = true;
+        if c.learnt {
+            self.num_learnt -= 1;
+        } else {
+            self.num_problem -= 1;
+        }
+        // Free the literal storage eagerly; the header slot is reused only
+        // implicitly (refs to it must no longer be followed).
+        c.lits = Vec::new();
+    }
+
+    pub(crate) fn num_learnt(&self) -> usize {
+        self.num_learnt
+    }
+
+    pub(crate) fn num_problem(&self) -> usize {
+        self.num_problem
+    }
+
+    /// Iterates over live learnt clause refs.
+    pub(crate) fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
+        self.clauses
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.learnt && !c.deleted)
+            .map(|(i, _)| ClauseRef(i as u32))
+    }
+}
+
+/// Aggregate clause statistics, exposed through
+/// [`SolverStats`](crate::SolverStats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClauseStats {
+    /// Live problem (original) clauses.
+    pub problem: usize,
+    /// Live learnt clauses.
+    pub learnt: usize,
+}
+
+impl ClauseDb {
+    pub(crate) fn stats(&self) -> ClauseStats {
+        ClauseStats {
+            problem: self.num_problem,
+            learnt: self.num_learnt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(n: usize) -> Vec<Lit> {
+        (0..n).map(|i| Lit::pos(Var::from_index(i))).collect()
+    }
+
+    #[test]
+    fn alloc_and_get() {
+        let mut db = ClauseDb::new();
+        let c = db.alloc(lits(3), false, 0);
+        assert_eq!(db.get(c).lits.len(), 3);
+        assert!(!db.get(c).learnt);
+        assert_eq!(db.num_problem(), 1);
+        assert_eq!(db.num_learnt(), 0);
+    }
+
+    #[test]
+    fn delete_updates_counts() {
+        let mut db = ClauseDb::new();
+        let p = db.alloc(lits(2), false, 0);
+        let l = db.alloc(lits(2), true, 2);
+        assert_eq!(db.stats(), ClauseStats { problem: 1, learnt: 1 });
+        db.delete(l);
+        assert_eq!(db.stats(), ClauseStats { problem: 1, learnt: 0 });
+        db.delete(p);
+        assert_eq!(db.stats(), ClauseStats { problem: 0, learnt: 0 });
+    }
+
+    #[test]
+    fn learnt_refs_skips_deleted() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(lits(2), true, 2);
+        let b = db.alloc(lits(2), true, 2);
+        db.delete(a);
+        let live: Vec<_> = db.learnt_refs().collect();
+        assert_eq!(live, vec![b]);
+    }
+}

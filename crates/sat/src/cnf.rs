@@ -1,0 +1,156 @@
+//! A plain CNF container, independent of any solver instance.
+//!
+//! [`Cnf`] is used wherever a formula is built before (or without) a
+//! solver: the feature-model encoder produces a `Cnf`, the DIMACS codec
+//! reads/writes one, and the benchmark harness generates random instances
+//! into one.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+
+/// A conjunction of disjunctions of literals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Cnf {
+        Cnf::default()
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
+    /// Appends a clause. Variables mentioned by the literals are reserved
+    /// automatically.
+    pub fn add_clause<I>(&mut self, lits: I)
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        let clause: Vec<Lit> = lits.into_iter().collect();
+        for l in &clause {
+            self.reserve_vars(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Iterates over the clauses.
+    pub fn clauses(&self) -> impl Iterator<Item = &[Lit]> {
+        self.clauses.iter().map(|c| c.as_slice())
+    }
+
+    /// Loads the whole formula into a fresh solver.
+    pub fn to_solver(&self) -> Solver {
+        let mut s = Solver::new();
+        self.load_into(&mut s);
+        s
+    }
+
+    /// Loads the formula into an existing solver (variables are created
+    /// as needed so that indices line up).
+    pub fn load_into(&self, solver: &mut Solver) {
+        solver.reserve_vars(self.num_vars);
+        for c in &self.clauses {
+            solver.add_clause(c.iter().copied());
+        }
+    }
+
+    /// Evaluates the formula under a total assignment (indexed by
+    /// variable index). Returns `None` if the assignment is too short.
+    pub fn eval(&self, assignment: &[bool]) -> Option<bool> {
+        if assignment.len() < self.num_vars {
+            return None;
+        }
+        Some(self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var().index()] == l.is_positive())
+        }))
+    }
+}
+
+impl Extend<Vec<Lit>> for Cnf {
+    fn extend<T: IntoIterator<Item = Vec<Lit>>>(&mut self, iter: T) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl FromIterator<Vec<Lit>> for Cnf {
+    fn from_iter<T: IntoIterator<Item = Vec<Lit>>>(iter: T) -> Cnf {
+        let mut cnf = Cnf::new();
+        cnf.extend(iter);
+        cnf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn build_and_solve() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a)]);
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn clause_reserves_vars() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Lit::pos(Var::from_index(4))]);
+        assert_eq!(cnf.num_vars(), 5);
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn eval_total_assignment() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+        assert_eq!(cnf.eval(&[false, true]), Some(true));
+        assert_eq!(cnf.eval(&[true, false]), Some(false));
+        assert_eq!(cnf.eval(&[true]), None);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let a = Var::from_index(0);
+        let cnf: Cnf = vec![vec![Lit::pos(a)], vec![Lit::neg(a)]]
+            .into_iter()
+            .collect();
+        assert_eq!(cnf.num_clauses(), 2);
+        let mut s = cnf.to_solver();
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

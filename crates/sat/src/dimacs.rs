@@ -1,0 +1,211 @@
+//! DIMACS CNF reading and writing.
+//!
+//! The standard interchange format, provided so formulas produced by the
+//! llhsc pipeline can be inspected with (or cross-checked against)
+//! external SAT solvers.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+use crate::cnf::Cnf;
+use crate::lit::{Lit, Var};
+
+/// Error produced while parsing DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be parsed as a literal.
+    BadLiteral { line: usize, token: String },
+    /// A literal references a variable beyond the header's count.
+    VarOutOfRange { line: usize, var: i64, max: usize },
+    /// A clause was not terminated by `0` before end of input.
+    UnterminatedClause,
+    /// An underlying I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsError::BadHeader(h) => write!(f, "malformed DIMACS header: {h:?}"),
+            DimacsError::BadLiteral { line, token } => {
+                write!(f, "line {line}: bad literal token {token:?}")
+            }
+            DimacsError::VarOutOfRange { line, var, max } => {
+                write!(f, "line {line}: variable {var} exceeds declared maximum {max}")
+            }
+            DimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+            DimacsError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for DimacsError {}
+
+/// Parses a DIMACS CNF document into a [`Cnf`].
+///
+/// Comment lines (`c …`) and blank lines are skipped. Clauses may span
+/// lines; each must end with a `0` terminator.
+///
+/// # Errors
+///
+/// Returns a [`DimacsError`] on malformed input or I/O failure.
+///
+/// ```
+/// # fn main() -> Result<(), llhsc_sat::DimacsError> {
+/// let text = "c demo\np cnf 2 2\n1 2 0\n-1 0\n";
+/// let cnf = llhsc_sat::parse_dimacs(text.as_bytes())?;
+/// assert_eq!(cnf.num_clauses(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs<R: BufRead>(mut reader: R) -> Result<Cnf, DimacsError> {
+    let mut text = String::new();
+    reader
+        .read_to_string(&mut text)
+        .map_err(|e| DimacsError::Io(e.to_string()))?;
+
+    let mut cnf = Cnf::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            if parts.len() != 4 || parts[1] != "cnf" {
+                return Err(DimacsError::BadHeader(line.to_string()));
+            }
+            let nv: usize = parts[2]
+                .parse()
+                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            declared_vars = Some(nv);
+            cnf.reserve_vars(nv);
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok.parse().map_err(|_| DimacsError::BadLiteral {
+                line: line_no,
+                token: tok.to_string(),
+            })?;
+            if v == 0 {
+                cnf.add_clause(current.drain(..));
+                continue;
+            }
+            let idx = v.unsigned_abs() as usize - 1;
+            if let Some(max) = declared_vars {
+                if idx >= max {
+                    return Err(DimacsError::VarOutOfRange {
+                        line: line_no,
+                        var: v,
+                        max,
+                    });
+                }
+            }
+            current.push(Lit::new(Var::from_index(idx), v > 0));
+        }
+    }
+    if !current.is_empty() {
+        return Err(DimacsError::UnterminatedClause);
+    }
+    Ok(cnf)
+}
+
+/// Writes a [`Cnf`] in DIMACS format.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer as [`DimacsError::Io`].
+pub fn write_dimacs<W: Write>(cnf: &Cnf, mut w: W) -> Result<(), DimacsError> {
+    let io = |e: std::io::Error| DimacsError::Io(e.to_string());
+    writeln!(w, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses()).map_err(io)?;
+    for clause in cnf.clauses() {
+        for l in clause {
+            let n = (l.var().index() + 1) as i64;
+            write!(w, "{} ", if l.is_positive() { n } else { -n }).map_err(io)?;
+        }
+        writeln!(w, "0").map_err(io)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n3 0\n".as_bytes()).unwrap();
+        assert_eq!(cnf.num_vars(), 3);
+        assert_eq!(cnf.num_clauses(), 2);
+    }
+
+    #[test]
+    fn parse_comments_and_blanks() {
+        let src = "c hello\n\nc more\np cnf 1 1\nc inline-ish\n1 0\n";
+        let cnf = parse_dimacs(src.as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let cnf = parse_dimacs("p cnf 3 1\n1 2\n3 0\n".as_bytes()).unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses().next().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn reject_bad_header() {
+        assert!(matches!(
+            parse_dimacs("p dnf 1 1\n1 0\n".as_bytes()),
+            Err(DimacsError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn reject_bad_literal() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\nx 0\n".as_bytes()),
+            Err(DimacsError::BadLiteral { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_out_of_range() {
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n2 0\n".as_bytes()),
+            Err(DimacsError::VarOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reject_unterminated() {
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n1 2\n".as_bytes()),
+            Err(DimacsError::UnterminatedClause)
+        ));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = "p cnf 4 3\n1 -2 0\n-3 4 0\n2 0\n";
+        let cnf = parse_dimacs(src.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_dimacs(&cnf, &mut out).unwrap();
+        let cnf2 = parse_dimacs(out.as_slice()).unwrap();
+        assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn parsed_formula_solves() {
+        let cnf = parse_dimacs("p cnf 2 3\n1 2 0\n-1 0\n-2 0\n".as_bytes()).unwrap();
+        assert_eq!(cnf.to_solver().solve(), SolveResult::Unsat);
+    }
+}

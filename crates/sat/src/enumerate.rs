@@ -1,0 +1,160 @@
+//! All-SAT model enumeration.
+//!
+//! The feature-model analyses (§II-B of the paper: "generation of all
+//! valid products", product counting) need every model of a formula, not
+//! just one. [`ModelIter`] yields models by repeatedly solving and adding
+//! a *blocking clause* over a designated set of relevant variables, so
+//! models differing only in auxiliary (Tseitin) variables are reported
+//! once.
+
+use crate::lit::{Lit, Var};
+use crate::solver::{SolveResult, Solver};
+
+/// Iterator over the models of a solver, projected onto a variable set.
+///
+/// Created by [`ModelIter::new`]. Each yielded item is the projection of
+/// a model onto the relevant variables, in the order given. The solver is
+/// mutated: blocking clauses accumulate, so the solver is effectively
+/// consumed for other purposes.
+///
+/// ```
+/// use llhsc_sat::{Solver, Lit, ModelIter};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause([Lit::pos(a), Lit::pos(b)]);
+/// let models: Vec<_> = ModelIter::new(&mut s, vec![a, b]).collect();
+/// assert_eq!(models.len(), 3); // TT, TF, FT
+/// ```
+#[derive(Debug)]
+pub struct ModelIter<'a> {
+    solver: &'a mut Solver,
+    relevant: Vec<Var>,
+    exhausted: bool,
+}
+
+impl<'a> ModelIter<'a> {
+    /// Starts enumeration over `relevant` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relevant` is empty — a projection onto nothing would
+    /// yield at most one (empty) model and is almost certainly a bug in
+    /// the caller.
+    pub fn new(solver: &'a mut Solver, relevant: Vec<Var>) -> ModelIter<'a> {
+        assert!(
+            !relevant.is_empty(),
+            "model enumeration needs at least one relevant variable"
+        );
+        ModelIter {
+            solver,
+            relevant,
+            exhausted: false,
+        }
+    }
+
+    /// Counts remaining models without materialising them.
+    pub fn count_models(self) -> usize {
+        self.count()
+    }
+}
+
+impl Iterator for ModelIter<'_> {
+    /// One projected model: `(variable, value)` pairs in `relevant` order.
+    type Item = Vec<(Var, bool)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.exhausted {
+            return None;
+        }
+        match self.solver.solve() {
+            SolveResult::Unsat => {
+                self.exhausted = true;
+                None
+            }
+            SolveResult::Sat => {
+                let model: Vec<(Var, bool)> = self
+                    .relevant
+                    .iter()
+                    .map(|&v| {
+                        (
+                            v,
+                            self.solver
+                                .value(v)
+                                .expect("relevant var assigned in model"),
+                        )
+                    })
+                    .collect();
+                // Block this projection.
+                let blocking: Vec<Lit> = model
+                    .iter()
+                    .map(|&(v, val)| Lit::new(v, !val))
+                    .collect();
+                if !self.solver.add_clause(blocking) {
+                    self.exhausted = true;
+                }
+                Some(model)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_all_projections() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // No constraints on a, b; c is forced true.
+        s.add_clause([Lit::pos(c)]);
+        let models: Vec<_> = ModelIter::new(&mut s, vec![a, b]).collect();
+        assert_eq!(models.len(), 4);
+        let mut keys: Vec<(bool, bool)> =
+            models.iter().map(|m| (m[0].1, m[1].1)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 4, "projections must be distinct");
+    }
+
+    #[test]
+    fn unsat_yields_nothing() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        s.add_clause([Lit::neg(a)]);
+        assert_eq!(ModelIter::new(&mut s, vec![a]).count_models(), 0);
+    }
+
+    #[test]
+    fn projection_hides_aux_vars() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let _aux = s.new_var(); // free auxiliary variable
+        s.add_clause([Lit::pos(a)]);
+        // Without projection there would be 2 models; with it, 1.
+        assert_eq!(ModelIter::new(&mut s, vec![a]).count_models(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one relevant variable")]
+    fn empty_projection_panics() {
+        let mut s = Solver::new();
+        let _ = s.new_var();
+        let _ = ModelIter::new(&mut s, vec![]);
+    }
+
+    #[test]
+    fn xor_has_two_models() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(a), Lit::neg(b)]);
+        assert_eq!(ModelIter::new(&mut s, vec![a, b]).count_models(), 2);
+    }
+}

@@ -1,0 +1,214 @@
+//! Variables and literals.
+
+use std::fmt;
+use std::num::NonZeroU32;
+
+/// A propositional variable.
+///
+/// Variables are created by [`Solver::new_var`](crate::Solver::new_var) or
+/// [`Cnf::new_var`](crate::Cnf::new_var) and are indices into the solver's
+/// internal tables. The `Display` form is 1-based (DIMACS convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Creates a variable from a 0-based index.
+    ///
+    /// Only meaningful for indices previously handed out by a solver or
+    /// CNF builder; using a fabricated index with a solver that has fewer
+    /// variables will panic inside the solver.
+    #[inline]
+    pub fn from_index(index: usize) -> Var {
+        Var(u32::try_from(index).expect("variable index overflows u32"))
+    }
+
+    /// The 0-based index of this variable.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `2*var + sign` in a single `u32` (the LSB is 1 for a negated
+/// literal), the standard MiniSat encoding, so literals can index watch
+/// lists directly. The all-ones pattern is reserved so `Option<Lit>`-like
+/// sentinels stay cheap.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(NonZeroU32);
+
+// The encoding stores `2*var + sign + 1` in the NonZeroU32 so that the
+// niche optimisation applies to Option<Lit>.
+impl Lit {
+    #[inline]
+    fn from_code(code: u32) -> Lit {
+        Lit(NonZeroU32::new(code + 1).expect("literal code overflow"))
+    }
+
+    #[inline]
+    pub(crate) fn code(self) -> u32 {
+        self.0.get() - 1
+    }
+
+    /// The positive literal of `var`.
+    #[inline]
+    pub fn pos(var: Var) -> Lit {
+        Lit::from_code(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    #[inline]
+    pub fn neg(var: Var) -> Lit {
+        Lit::from_code((var.0 << 1) | 1)
+    }
+
+    /// Builds a literal from a variable and a sign.
+    ///
+    /// `positive == true` yields the positive literal.
+    #[inline]
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.code() >> 1)
+    }
+
+    /// `true` if this is a positive (non-negated) literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.code() & 1 == 0
+    }
+
+    /// `true` if this is a negated literal.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        !self.is_positive()
+    }
+
+    /// Index usable for watch lists (`2*var + sign`).
+    #[inline]
+    pub(crate) fn watch_index(self) -> usize {
+        self.code() as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit::from_code(self.code() ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lit({self})")
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negative() {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+/// A ternary assignment value used throughout the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    #[inline]
+    pub(crate) fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal whose variable has this value.
+    #[inline]
+    pub(crate) fn under(self, lit: Lit) -> LBool {
+        match (self, lit.is_positive()) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, true) | (LBool::False, false) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let v = Var::from_index(7);
+        let p = Lit::pos(v);
+        let n = Lit::neg(v);
+        assert_eq!(p.var(), v);
+        assert_eq!(n.var(), v);
+        assert!(p.is_positive());
+        assert!(n.is_negative());
+        assert_eq!(!p, n);
+        assert_eq!(!n, p);
+        assert_eq!(Lit::new(v, true), p);
+        assert_eq!(Lit::new(v, false), n);
+    }
+
+    #[test]
+    fn display_is_dimacs_like() {
+        let v = Var::from_index(0);
+        assert_eq!(Lit::pos(v).to_string(), "1");
+        assert_eq!(Lit::neg(v).to_string(), "-1");
+        assert_eq!(v.to_string(), "1");
+    }
+
+    #[test]
+    fn option_lit_is_small() {
+        assert_eq!(
+            std::mem::size_of::<Option<Lit>>(),
+            std::mem::size_of::<Lit>()
+        );
+    }
+
+    #[test]
+    fn lbool_under_literal() {
+        let v = Var::from_index(3);
+        assert_eq!(LBool::True.under(Lit::pos(v)), LBool::True);
+        assert_eq!(LBool::True.under(Lit::neg(v)), LBool::False);
+        assert_eq!(LBool::False.under(Lit::pos(v)), LBool::False);
+        assert_eq!(LBool::False.under(Lit::neg(v)), LBool::True);
+        assert_eq!(LBool::Undef.under(Lit::pos(v)), LBool::Undef);
+    }
+
+    #[test]
+    fn ordering_groups_by_variable() {
+        let a = Var::from_index(0);
+        let b = Var::from_index(1);
+        assert!(Lit::pos(a) < Lit::neg(a));
+        assert!(Lit::neg(a) < Lit::pos(b));
+    }
+}

@@ -1,0 +1,1080 @@
+//! The CDCL solver.
+
+use crate::clause::{ClauseDb, ClauseRef, ClauseStats};
+use crate::lit::{LBool, Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with
+    /// [`Solver::value`] / [`Solver::model`].
+    Sat,
+    /// The formula (under the given assumptions, if any) is unsatisfiable.
+    /// If assumptions were used, [`Solver::unsat_core`] names a subset of
+    /// them responsible for the conflict.
+    Unsat,
+}
+
+/// Tuning knobs for the solver.
+///
+/// The defaults follow MiniSat-era folklore and are adequate for every
+/// workload in this repository; they are exposed so the benchmark harness
+/// can ablate restart and reduction policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Multiplicative decay applied to variable activities per conflict.
+    pub var_decay: f64,
+    /// Multiplicative decay applied to clause activities per conflict.
+    pub clause_decay: f64,
+    /// Base interval (in conflicts) of the Luby restart sequence.
+    pub restart_base: u64,
+    /// Initial learnt-clause limit as a fraction of problem clauses.
+    pub learnt_size_factor: f64,
+    /// Growth applied to the learnt-clause limit at each reduction.
+    pub learnt_size_inc: f64,
+    /// Disable restarts entirely (ablation).
+    pub disable_restarts: bool,
+    /// Disable learnt-clause minimisation (ablation).
+    pub disable_minimisation: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            var_decay: 0.95,
+            clause_decay: 0.999,
+            restart_base: 100,
+            learnt_size_factor: 1.0 / 3.0,
+            learnt_size_inc: 1.1,
+            disable_restarts: false,
+            disable_minimisation: false,
+        }
+    }
+}
+
+/// Counters describing the work a solver has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolverStats {
+    /// Number of `solve` calls.
+    pub solves: u64,
+    /// Decisions taken.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Conflicts analysed.
+    pub conflicts: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt-database reductions performed.
+    pub reductions: u64,
+    /// Literals deleted by conflict-clause minimisation.
+    pub minimised_lits: u64,
+    /// Live clause counts.
+    pub clauses: ClauseStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is
+    /// already true the clause cannot be conflicting and the watcher
+    /// is skipped without touching clause memory.
+    blocker: Lit,
+}
+
+/// A two-watched-literal CDCL SAT solver with assumptions, cores and
+/// model enumeration.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Solver {
+    config: SolverConfig,
+    db: ClauseDb,
+    watches: Vec<Vec<Watch>>,
+    /// Current assignment per variable.
+    assigns: Vec<LBool>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause for each implied variable.
+    reason: Vec<Option<ClauseRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    clause_inc: f64,
+    /// Binary-heap variable order (indexed heap over activity).
+    heap: Vec<Var>,
+    heap_index: Vec<Option<u32>>,
+    /// Saved phases for polarity caching.
+    phase: Vec<bool>,
+    /// Unit clauses asserted at level 0.
+    ok: bool,
+    /// Assumptions of the current/most recent solve.
+    assumptions: Vec<Lit>,
+    /// Final conflict (subset of negated assumptions) of the last
+    /// unsat answer.
+    conflict: Vec<Lit>,
+    /// Scratch: seen flags for conflict analysis.
+    seen: Vec<bool>,
+    stats: SolverStats,
+    /// Model of the last sat answer (assignment snapshot).
+    model: Vec<LBool>,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with default configuration.
+    pub fn new() -> Solver {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with the given configuration.
+    pub fn with_config(config: SolverConfig) -> Solver {
+        Solver {
+            config,
+            db: ClauseDb::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            clause_inc: 1.0,
+            heap: Vec::new(),
+            heap_index: Vec::new(),
+            phase: Vec::new(),
+            ok: true,
+            assumptions: Vec::new(),
+            conflict: Vec::new(),
+            seen: Vec::new(),
+            stats: SolverStats::default(),
+            model: Vec::new(),
+        }
+    }
+
+    /// Number of variables created so far.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.clauses = self.db.stats();
+        s
+    }
+
+    /// Creates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assigns.len());
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.heap_index.push(None);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap_insert(v);
+        v
+    }
+
+    /// Ensures at least `n` variables exist, creating any missing ones.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.num_vars() < n {
+            self.new_var();
+        }
+    }
+
+    /// Adds a clause (a disjunction of literals).
+    ///
+    /// Returns `false` if the solver became trivially unsatisfiable at the
+    /// root level (empty clause, or a unit contradicting earlier units);
+    /// every later `solve` then answers `Unsat`. Duplicated literals are
+    /// removed and tautologies (`x ∨ ¬x ∨ …`) are silently accepted.
+    pub fn add_clause<I>(&mut self, lits: I) -> bool
+    where
+        I: IntoIterator<Item = Lit>,
+    {
+        debug_assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.into_iter().collect();
+        c.sort_unstable();
+        c.dedup();
+        // Tautology / falsified-literal pruning at root level.
+        let mut write = 0;
+        let mut prev: Option<Lit> = None;
+        for i in 0..c.len() {
+            let l = c[i];
+            if prev == Some(!l) {
+                return true; // tautology: p and ¬p adjacent after sort
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at root
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => {
+                    c[write] = l;
+                    write += 1;
+                    prev = Some(l);
+                }
+            }
+        }
+        c.truncate(write);
+        match c.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(c[0], None);
+                match self.propagate() {
+                    None => true,
+                    Some(_) => {
+                        self.ok = false;
+                        false
+                    }
+                }
+            }
+            _ => {
+                let cref = self.db.alloc(c, false, 0);
+                self.attach(cref);
+                true
+            }
+        }
+    }
+
+    /// `true` while no root-level contradiction has been derived.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    fn attach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[(!l0).watch_index()].push(Watch { cref, blocker: l1 });
+        self.watches[(!l1).watch_index()].push(Watch { cref, blocker: l0 });
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        self.assigns[l.var().index()].under(l)
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = LBool::from_bool(l.is_positive());
+        self.level[v] = self.decision_level();
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let widx = p.watch_index();
+            let mut i = 0;
+            'watchers: while i < self.watches[widx].len() {
+                let Watch { cref, blocker } = self.watches[widx][i];
+                if self.lit_value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                // Make sure the false literal (¬p) is at position 1.
+                let false_lit = !p;
+                {
+                    let c = self.db.get_mut(cref);
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.db.get(cref).lits[0];
+                if first != blocker && self.lit_value(first) == LBool::True {
+                    self.watches[widx][i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let len = self.db.get(cref).lits.len();
+                for k in 2..len {
+                    let lk = self.db.get(cref).lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.db.get_mut(cref).lits.swap(1, k);
+                        self.watches[widx].swap_remove(i);
+                        self.watches[(!lk).watch_index()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        continue 'watchers;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                if self.lit_value(first) == LBool::False {
+                    self.qhead = self.trail.len();
+                    return Some(cref);
+                }
+                self.unchecked_enqueue(first, Some(cref));
+                i += 1;
+            }
+        }
+        None
+    }
+
+    // ----- variable order (indexed max-heap over activity) -----
+
+    fn heap_less(&self, a: Var, b: Var) -> bool {
+        self.activity[a.index()] > self.activity[b.index()]
+    }
+
+    fn heap_insert(&mut self, v: Var) {
+        if self.heap_index[v.index()].is_some() {
+            return;
+        }
+        self.heap.push(v);
+        let i = self.heap.len() - 1;
+        self.heap_index[v.index()] = Some(i as u32);
+        self.heap_up(i);
+    }
+
+    fn heap_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap_less(self.heap[i], self.heap[parent]) {
+                self.heap_swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn heap_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && self.heap_less(self.heap[l], self.heap[best]) {
+                best = l;
+            }
+            if r < self.heap.len() && self.heap_less(self.heap[r], self.heap[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.heap_index[self.heap[a].index()] = Some(a as u32);
+        self.heap_index[self.heap[b].index()] = Some(b as u32);
+    }
+
+    fn heap_pop(&mut self) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        self.heap_index[top.index()] = None;
+        let last = self.heap.pop().expect("nonempty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.heap_index[last.index()] = Some(0);
+            self.heap_down(0);
+        }
+        Some(top)
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if let Some(i) = self.heap_index[v.index()] {
+            self.heap_up(i as usize);
+        }
+    }
+
+    fn var_decay(&mut self) {
+        self.var_inc /= self.config.var_decay;
+    }
+
+    fn clause_bump(&mut self, cref: ClauseRef) {
+        let inc = self.clause_inc;
+        let c = self.db.get_mut(cref);
+        c.activity += inc;
+        if c.activity > 1e20 {
+            let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
+            for r in refs {
+                self.db.get_mut(r).activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn clause_decay(&mut self) {
+        self.clause_inc /= self.config.clause_decay;
+    }
+
+    // ----- search -----
+
+    fn new_decision_level(&mut self) {
+        self.trail_lim.push(self.trail.len());
+    }
+
+    fn backtrack_to(&mut self, lvl: u32) {
+        if self.decision_level() <= lvl {
+            return;
+        }
+        let bound = self.trail_lim[lvl as usize];
+        for i in (bound..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.phase[v.index()] = l.is_positive();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.heap_insert(v);
+        }
+        self.trail.truncate(bound);
+        self.trail_lim.truncate(lvl as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap_pop() {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::pos(Var::from_index(0))]; // placeholder slot 0
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+
+        loop {
+            self.clause_bump(confl);
+            let lits: Vec<Lit> = self.db.get(confl).lits.clone();
+            let start = if p.is_some() { 1 } else { 0 };
+            for &q in &lits[start..] {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.var_bump(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to look at.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().index()] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("uip literal").var();
+            self.seen[pv.index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("uip literal");
+                break;
+            }
+            confl = self.reason[pv.index()].expect("implied literal has a reason");
+            // The asserting literal is lits[0] of its reason clause; skip it.
+        }
+
+        // Clause minimisation: drop literals implied by the rest.
+        if !self.config.disable_minimisation {
+            let before = learnt.len();
+            let keep: Vec<Lit> = learnt[1..]
+                .iter()
+                .copied()
+                .filter(|&l| !self.lit_redundant(l, &learnt))
+                .collect();
+            learnt.truncate(1);
+            learnt.extend(keep);
+            self.stats.minimised_lits += (before - learnt.len()) as u64;
+        }
+
+        // Clear seen flags for all clause literals.
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        // (lit_redundant leaves extra seen flags; clear via trail scan.)
+        for &l in &self.trail {
+            self.seen[l.var().index()] = false;
+        }
+
+        // Find backtrack level: max level among learnt[1..].
+        let bt = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, bt)
+    }
+
+    /// "Basic" clause minimisation: `l` is redundant if it was implied by
+    /// a reason clause all of whose other literals are at level 0 or
+    /// already in the learnt clause. Sound and cheap (no recursion, no
+    /// shared marks), which is all the workloads here need.
+    fn lit_redundant(&self, l: Lit, learnt: &[Lit]) -> bool {
+        let Some(r) = self.reason[l.var().index()] else {
+            return false;
+        };
+        let in_learnt = |v: Var| learnt.iter().any(|x| x.var() == v);
+        self.db
+            .get(r)
+            .lits
+            .iter()
+            .skip(1)
+            .all(|&q| self.level[q.var().index()] == 0 || in_learnt(q.var()))
+    }
+
+    fn learn(&mut self, learnt: Vec<Lit>, bt: u32) {
+        self.backtrack_to(bt);
+        if learnt.len() == 1 {
+            self.unchecked_enqueue(learnt[0], None);
+        } else {
+            let lbd = self.compute_lbd(&learnt);
+            let asserting = learnt[0];
+            let cref = self.db.alloc(learnt, true, lbd);
+            self.attach(cref);
+            self.clause_bump(cref);
+            self.unchecked_enqueue(asserting, Some(cref));
+        }
+        self.var_decay();
+        self.clause_decay();
+    }
+
+    fn compute_lbd(&self, lits: &[Lit]) -> u32 {
+        let mut levels: Vec<u32> = lits.iter().map(|l| self.level[l.var().index()]).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        levels.len() as u32
+    }
+
+    fn reduce_db(&mut self) {
+        self.stats.reductions += 1;
+        let mut refs: Vec<ClauseRef> = self
+            .db
+            .learnt_refs()
+            .filter(|&r| {
+                // Never remove reason clauses of current assignments.
+                let c = self.db.get(r);
+                let locked = self.reason[c.lits[0].var().index()] == Some(r)
+                    && self.lit_value(c.lits[0]) == LBool::True;
+                !locked && c.lits.len() > 2
+            })
+            .collect();
+        refs.sort_by(|&a, &b| {
+            let (ca, cb) = (self.db.get(a), self.db.get(b));
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+        });
+        let remove = refs.len() / 2;
+        for &r in refs.iter().take(remove) {
+            self.detach(r);
+            self.db.delete(r);
+        }
+    }
+
+    fn detach(&mut self, cref: ClauseRef) {
+        let (l0, l1) = {
+            let c = self.db.get(cref);
+            (c.lits[0], c.lits[1])
+        };
+        for l in [l0, l1] {
+            let w = &mut self.watches[(!l).watch_index()];
+            if let Some(pos) = w.iter().position(|x| x.cref == cref) {
+                w.swap_remove(pos);
+            }
+        }
+    }
+
+    fn luby(x: u64) -> u64 {
+        // Luby sequence (0-based x): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        // luby(i) = 2^(k-1) if i = 2^k - 1, else luby(i - (2^(k-1) - 1))
+        // for the smallest k with 2^k - 1 >= i (1-based i).
+        let mut i = x + 1;
+        loop {
+            let mut k: u32 = 1;
+            while (1u64 << k) - 1 < i {
+                k += 1;
+            }
+            if (1u64 << k) - 1 == i {
+                return 1u64 << (k - 1);
+            }
+            i -= (1u64 << (k - 1)) - 1;
+        }
+    }
+
+    /// Solves the formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// Assumptions act like temporary unit clauses: they constrain this
+    /// call only. On `Unsat`, [`Solver::unsat_core`] returns the subset of
+    /// assumptions used to derive the conflict, which the SMT layer uses
+    /// to report *which* constraint group is inconsistent.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.stats.solves += 1;
+        self.assumptions = assumptions.to_vec();
+        self.conflict.clear();
+        self.model.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.backtrack_to(0);
+
+        let mut restarts: u64 = 0;
+        let mut conflicts_left =
+            Solver::luby(restarts).saturating_mul(self.config.restart_base);
+        let mut max_learnt = (self.db.num_problem() as f64 * self.config.learnt_size_factor)
+            .max(100.0);
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                // Backtracking below the assumption frontier is fine: the
+                // decision loop re-places assumptions, and a falsified one
+                // is caught there by `analyze_final`.
+                self.learn(learnt, bt);
+                conflicts_left = conflicts_left.saturating_sub(1);
+            } else {
+                if self.db.num_learnt() as f64 >= max_learnt + self.trail.len() as f64 {
+                    self.reduce_db();
+                    max_learnt *= self.config.learnt_size_inc;
+                }
+                if conflicts_left == 0 && !self.config.disable_restarts {
+                    self.stats.restarts += 1;
+                    restarts += 1;
+                    conflicts_left =
+                        Solver::luby(restarts).saturating_mul(self.config.restart_base);
+                    self.backtrack_to(0);
+                    continue;
+                }
+                // Place assumptions as pseudo-decisions first.
+                let mut placed_all = true;
+                let assumptions = self.assumptions.clone();
+                for (i, &a) in assumptions.iter().enumerate() {
+                    if (self.decision_level() as usize) > i {
+                        continue;
+                    }
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Hold the level structure: a dummy level keeps
+                            // the frontier aligned with assumption count.
+                            self.new_decision_level();
+                        }
+                        LBool::False => {
+                            self.analyze_final(a);
+                            self.backtrack_to(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.new_decision_level();
+                            self.unchecked_enqueue(a, None);
+                            placed_all = false;
+                            break;
+                        }
+                    }
+                }
+                if !placed_all {
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        self.model = self.assigns.clone();
+                        self.backtrack_to(0);
+                        return SolveResult::Sat;
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.new_decision_level();
+                        let l = Lit::new(v, self.phase[v.index()]);
+                        self.unchecked_enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the unsat core when an assumption is directly falsified.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict.clear();
+        self.conflict.push(!failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[failed.var().index()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            if !seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                None => {
+                    // A decision reached here is an assumption feeding the
+                    // conflict. `l == !failed` happens when the same
+                    // variable was assumed with both polarities; the core
+                    // must then contain both.
+                    if self.assumptions.contains(&l) {
+                        self.conflict.push(!l);
+                    }
+                }
+                Some(r) => {
+                    let lits: Vec<Lit> = self.db.get(r).lits.clone();
+                    for &q in lits.iter().skip(1) {
+                        if self.level[q.var().index()] > 0 {
+                            seen[q.var().index()] = true;
+                        }
+                    }
+                }
+            }
+            seen[v.index()] = false;
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model, or `None` if
+    /// the last answer was not `Sat` (or the variable was irrelevant and
+    /// left unassigned — the solver assigns every variable, so that case
+    /// only arises for variables created after the solve).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.model.get(v.index()) {
+            Some(LBool::True) => Some(true),
+            Some(LBool::False) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// The complete model of the last `Sat` answer as a vector indexed by
+    /// variable index. Empty if the last answer was not `Sat`.
+    pub fn model(&self) -> Vec<bool> {
+        self.model
+            .iter()
+            .map(|&b| matches!(b, LBool::True))
+            .collect()
+    }
+
+    /// After an `Unsat` answer to [`Solver::solve_with`], the subset of
+    /// assumptions whose conjunction is inconsistent with the formula
+    /// (each returned literal is the *negation* of a failed assumption,
+    /// i.e. the core is returned as the conflict clause `¬a₁ ∨ … ∨ ¬aₖ`).
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| Lit::pos(s.new_var())).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        s.add_clause([Lit::pos(v)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.value(v), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v)]));
+        assert!(!s.add_clause([Lit::neg(v)]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        assert!(!s.add_clause([]));
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn tautology_is_dropped() {
+        let mut s = Solver::new();
+        let v = s.new_var();
+        assert!(s.add_clause([Lit::pos(v), Lit::neg(v)]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn implication_chain() {
+        // x1 ∧ (¬x1∨x2) ∧ (¬x2∨x3) ∧ ... forces all true.
+        let mut s = Solver::new();
+        let ls = vars(&mut s, 20);
+        s.add_clause([ls[0]]);
+        for w in ls.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for &l in &ls {
+            assert_eq!(s.value(l.var()), Some(true));
+        }
+    }
+
+    #[test]
+    fn xor_chain_unsat() {
+        // Odd parity chain with contradictory endpoints.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        // a xor b
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        s.add_clause([Lit::neg(a), Lit::neg(b)]);
+        // b xor c
+        s.add_clause([Lit::pos(b), Lit::pos(c)]);
+        s.add_clause([Lit::neg(b), Lit::neg(c)]);
+        // a xor c  (inconsistent: xor chain implies a == c)
+        s.add_clause([Lit::pos(a), Lit::pos(c)]);
+        s.add_clause([Lit::neg(a), Lit::neg(c)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index form mirrors the formula
+    fn pigeonhole_3_into_2_unsat() {
+        // PHP(3,2): 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..3)
+            .map(|_| (0..2).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // index form mirrors the formula
+    fn pigeonhole_5_into_5_sat() {
+        let n = 5;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Lit>> = (0..n)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for h in 0..n {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s.add_clause([!p[i][h], !p[j][h]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Verify it's a real matching.
+        for h in 0..n {
+            let count = (0..n)
+                .filter(|&i| s.value(p[i][h].var()) == Some(true))
+                .count();
+            assert!(count <= 1, "hole {h} used {count} times");
+        }
+    }
+
+    #[test]
+    fn assumptions_do_not_persist() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_with(&[Lit::neg(a), Lit::neg(b)]),
+            SolveResult::Unsat
+        );
+        // Formula itself still sat.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.solve_with(&[Lit::neg(a)]), SolveResult::Sat);
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn unsat_core_is_minimal_here() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        s.add_clause([Lit::neg(a), Lit::neg(b)]); // a,b mutually exclusive
+        let r = s.solve_with(&[Lit::pos(a), Lit::pos(b), Lit::pos(c)]);
+        assert_eq!(r, SolveResult::Unsat);
+        let core = s.unsat_core().to_vec();
+        // Core is a clause over negated assumptions; c must not appear.
+        assert!(core.contains(&Lit::neg(a)) || core.contains(&Lit::neg(b)));
+        assert!(!core.contains(&Lit::neg(c)));
+    }
+
+    #[test]
+    fn conflicting_assumption_pair() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let r = s.solve_with(&[Lit::pos(a), Lit::neg(a)]);
+        assert_eq!(r, SolveResult::Unsat);
+        assert!(s.unsat_core().contains(&Lit::neg(a)) || s.unsat_core().contains(&Lit::pos(a)));
+    }
+
+    #[test]
+    fn random_3sat_matches_bruteforce() {
+        // Deterministic LCG-generated formulas, checked against brute force.
+        let mut seed = 0x12345678u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for trial in 0..60 {
+            let n = 3 + next() % 8; // 3..10 vars
+            let m = 3 + next() % (4 * n); // clauses
+            let mut clauses: Vec<Vec<(usize, bool)>> = Vec::new();
+            for _ in 0..m {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    cl.push((next() % n, next() % 2 == 0));
+                }
+                clauses.push(cl);
+            }
+            // Brute force.
+            let mut brute_sat = false;
+            'outer: for m in 0..(1u32 << n) {
+                for cl in &clauses {
+                    if !cl
+                        .iter()
+                        .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
+                    {
+                        continue 'outer;
+                    }
+                }
+                brute_sat = true;
+                break;
+            }
+            // Solver.
+            let mut s = Solver::new();
+            let vs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+            for cl in &clauses {
+                s.add_clause(cl.iter().map(|&(v, pos)| Lit::new(vs[v], pos)));
+            }
+            let got = s.solve() == SolveResult::Sat;
+            assert_eq!(got, brute_sat, "trial {trial} disagreed (n={n})");
+            if got {
+                // Check the model actually satisfies.
+                for cl in &clauses {
+                    assert!(cl
+                        .iter()
+                        .any(|&(v, pos)| s.value(vs[v]) == Some(pos)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u64> = (0..15).map(Solver::luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let ls = vars(&mut s, 10);
+        for w in ls.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        s.add_clause([ls[0]]);
+        s.solve();
+        let st = s.stats();
+        assert_eq!(st.solves, 1);
+        assert!(st.propagations > 0);
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        s.add_clause([Lit::neg(a)]);
+        s.add_clause([Lit::neg(b)]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+}

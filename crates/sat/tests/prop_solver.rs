@@ -1,0 +1,127 @@
+//! Property-based tests: the CDCL solver against brute-force enumeration.
+
+use llhsc_sat::{Cnf, Lit, ModelIter, SolveResult, Var};
+use proptest::prelude::*;
+
+/// A random clause is a non-empty set of literals over `n` variables.
+fn arb_clause(n: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..n, any::<bool>()), 1..=4)
+}
+
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+    (2..=max_vars).prop_flat_map(move |n| {
+        prop::collection::vec(arb_clause(n), 0..=max_clauses)
+            .prop_map(move |cs| (n, cs))
+    })
+}
+
+fn build(n: usize, clauses: &[Vec<(usize, bool)>]) -> Cnf {
+    let mut cnf = Cnf::new();
+    let vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+    for c in clauses {
+        cnf.add_clause(c.iter().map(|&(v, s)| Lit::new(vars[v], s)));
+    }
+    cnf
+}
+
+fn brute_force_models(n: usize, cnf: &Cnf) -> Vec<u32> {
+    let mut models = Vec::new();
+    for m in 0..(1u32 << n) {
+        let assignment: Vec<bool> = (0..cnf.num_vars()).map(|v| (m >> v) & 1 == 1).collect();
+        if cnf.eval(&assignment) == Some(true) {
+            models.push(m);
+        }
+    }
+    models
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solver agrees with brute force on satisfiability, and any
+    /// model it returns actually satisfies the formula.
+    #[test]
+    fn solver_matches_bruteforce((n, clauses) in arb_cnf(8, 24)) {
+        let cnf = build(n, &clauses);
+        let brute = !brute_force_models(n, &cnf).is_empty();
+        let mut solver = cnf.to_solver();
+        let got = solver.solve() == SolveResult::Sat;
+        prop_assert_eq!(got, brute);
+        if got {
+            let model = solver.model();
+            prop_assert_eq!(cnf.eval(&model), Some(true));
+        }
+    }
+
+    /// All-SAT enumeration yields exactly the brute-force model count
+    /// (projected on all problem variables).
+    #[test]
+    fn enumeration_matches_bruteforce((n, clauses) in arb_cnf(6, 12)) {
+        let cnf = build(n, &clauses);
+        let expected = brute_force_models(n, &cnf).len();
+        let mut solver = cnf.to_solver();
+        let relevant: Vec<Var> = (0..n).map(Var::from_index).collect();
+        let got = ModelIter::new(&mut solver, relevant).count_models();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Solving under assumptions equals solving the formula with the
+    /// assumptions added as unit clauses.
+    #[test]
+    fn assumptions_equal_units(
+        (n, clauses) in arb_cnf(7, 18),
+        picks in prop::collection::vec((0..7usize, any::<bool>()), 0..3),
+    ) {
+        let cnf = build(n, &clauses);
+        let assumptions: Vec<Lit> = picks
+            .iter()
+            .filter(|&&(v, _)| v < n)
+            .map(|&(v, s)| Lit::new(Var::from_index(v), s))
+            .collect();
+
+        let mut with_assumptions = cnf.to_solver();
+        let a = with_assumptions.solve_with(&assumptions) == SolveResult::Sat;
+
+        let mut with_units = cnf.to_solver();
+        for &l in &assumptions {
+            with_units.add_clause([l]);
+        }
+        let b = with_units.solve() == SolveResult::Sat;
+        prop_assert_eq!(a, b);
+    }
+
+    /// An unsat core really is unsatisfiable: re-solving with only the
+    /// core assumptions still yields unsat.
+    #[test]
+    fn unsat_core_is_sufficient(
+        (n, clauses) in arb_cnf(7, 18),
+        picks in prop::collection::vec((0..7usize, any::<bool>()), 1..4),
+    ) {
+        let cnf = build(n, &clauses);
+        let assumptions: Vec<Lit> = picks
+            .iter()
+            .filter(|&&(v, _)| v < n)
+            .map(|&(v, s)| Lit::new(Var::from_index(v), s))
+            .collect();
+        let mut s = cnf.to_solver();
+        if s.solve_with(&assumptions) == SolveResult::Unsat {
+            let core: Vec<Lit> = s.unsat_core().iter().map(|&c| !c).collect();
+            // Every core element must be one of the assumptions.
+            for l in &core {
+                prop_assert!(assumptions.contains(l), "core lit {l} not assumed");
+            }
+            let mut s2 = cnf.to_solver();
+            prop_assert_eq!(s2.solve_with(&core), SolveResult::Unsat);
+        }
+    }
+
+    /// DIMACS write→parse is the identity.
+    #[test]
+    fn dimacs_roundtrip((n, clauses) in arb_cnf(8, 20)) {
+        let cnf = build(n, &clauses);
+        let mut buf = Vec::new();
+        llhsc_sat::write_dimacs(&cnf, &mut buf).unwrap();
+        let back = llhsc_sat::parse_dimacs(buf.as_slice()).unwrap();
+        prop_assert_eq!(cnf, back);
+    }
+}

@@ -1,0 +1,58 @@
+//! `dt-schema`-style binding schemas and the two syntactic checkers of
+//! the llhsc paper.
+//!
+//! The paper's §IV-B extracts constraints from `dt-schema` documents
+//! (YAML files constraining what data can appear in a DeviceTree node)
+//! and proof obligations from the DT binding instances, then solves both
+//! with Z3. This crate provides:
+//!
+//! * a typed schema model ([`Schema`], [`PropRule`], [`SchemaSet`]) with
+//!   a builder API and a parser for a YAML subset sufficient for
+//!   dt-schema-shaped documents (Listing 5) — see [`Schema::parse`];
+//! * the **structural checker** ([`check_structural`]) that evaluates
+//!   schemas directly against the tree — this is the `dt-schema`
+//!   *baseline*: it catches const/required/arity violations and, by
+//!   construction, cannot see cross-node address relations;
+//! * the **constraint-based checker** ([`SyntacticChecker`]) that
+//!   reproduces the paper's encoding: presence predicates `R(x)` over
+//!   interned property-name strings, schema constraints (1)–(3), proof
+//!   obligations (4)–(5) and the closure rule (6), discharged through
+//!   the [`llhsc_smt`] context with unsat cores naming the violated
+//!   rule.
+//!
+//! # Example
+//!
+//! ```
+//! use llhsc_schema::{Schema, SchemaSet, check_structural};
+//!
+//! let schema = Schema::parse(r#"
+//! $id: memory
+//! select:
+//!   nodename: memory
+//! properties:
+//!   device_type:
+//!     const: memory
+//!   reg:
+//!     minItems: 1
+//!     maxItems: 1024
+//! required:
+//!   - device_type
+//!   - reg
+//! "#).unwrap();
+//! let set = SchemaSet::from(vec![schema]);
+//! let tree = llhsc_dts::parse(
+//!     "/ { #address-cells = <2>; #size-cells = <2>; \
+//!      memory@0 { device_type = \"memory\"; reg = <0 0 0 1>; }; };",
+//! ).unwrap();
+//! assert!(check_structural(&tree, &set).is_empty());
+//! ```
+
+mod checker;
+mod schema;
+mod smt_check;
+mod yaml;
+
+pub use checker::{check_structural, Violation, ViolationKind};
+pub use schema::{PropRule, PropType, Schema, SchemaError, SchemaSet, Select};
+pub use smt_check::{SyntacticChecker, SyntacticReport};
+pub use yaml::{YamlError, YamlValue};

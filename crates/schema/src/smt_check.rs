@@ -1,0 +1,621 @@
+//! The constraint-based syntactic checker (§IV-B of the paper).
+//!
+//! Where [`check_structural`](crate::check_structural) evaluates schema
+//! rules directly, this checker reproduces the paper's approach: schema
+//! rules and binding instances are both translated into first-order
+//! constraints over interned strings and bit-vectors, and a single SMT
+//! [`Context`] decides them. The encoding follows constraints (1)–(6):
+//!
+//! 1. `R(device_type) → (const ↔ "memory")` — const rules guard on the
+//!    presence predicate `R`;
+//! 2. `memory → R(device_type) ∧ …` — required properties;
+//! 3. `memory → R(reg) ∧ …` — ditto;
+//! 4. `const ↔ "memory"` — proof obligations: the actual values found in
+//!    the binding instance;
+//! 5. `∀x. C(x) ↔ (x = "reg" ∨ x = "device_type")` — the condition
+//!    predicate enumerating the properties actually present;
+//! 6. `∀x. (C(x) → R(x)) ∧ (¬C(x) → ¬R(x))` — the closure: presence is
+//!    exactly what the instance provides.
+//!
+//! The quantifiers in (5)/(6) range over the finite universe of property
+//! names mentioned by the schema or the node, so they are instantiated
+//! finitely (which is also what makes the problem decidable).
+//!
+//! Every schema rule is guarded by a fresh *marker* assumption, so an
+//! UNSAT answer comes back with a core naming exactly the violated
+//! rules — this is the paper's "easily traced back" property.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use llhsc_dts::cells::{cell_counts, DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS};
+use llhsc_dts::{DeviceTree, Node, Property};
+use llhsc_smt::{CheckResult, Context, TermId};
+
+use crate::schema::{PropRule, PropType, Schema, SchemaSet};
+
+/// One schema rule that the checker can report as violated.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RuleInfo {
+    /// Node path the rule was instantiated at.
+    pub path: String,
+    /// Schema `$id`.
+    pub schema: String,
+    /// Human-readable rule description.
+    pub description: String,
+}
+
+impl fmt::Display for RuleInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.path, self.schema, self.description)
+    }
+}
+
+/// Result of a [`SyntacticChecker::check`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntacticReport {
+    /// The violated rules (empty when the tree is syntactically valid).
+    pub violations: Vec<RuleInfo>,
+    /// Number of rule instantiations checked.
+    pub rules_checked: usize,
+}
+
+impl SyntacticReport {
+    /// `true` when no rule was violated.
+    pub fn is_ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The constraint-based syntactic checker.
+///
+/// ```
+/// use llhsc_schema::{SchemaSet, SyntacticChecker};
+///
+/// let tree = llhsc_dts::parse(
+///     "/ { memory@0 { device_type = \"ram\"; reg = <0 0 0 1>; }; };",
+/// ).unwrap();
+/// let mut checker = SyntacticChecker::new(&tree, &SchemaSet::standard());
+/// let report = checker.check();
+/// assert!(!report.is_ok()); // device_type must be "memory"
+/// assert!(report.violations[0].description.contains("device_type"));
+/// ```
+#[derive(Debug)]
+pub struct SyntacticChecker {
+    ctx: Context,
+    /// Marker assumption per rule instantiation.
+    markers: Vec<(TermId, RuleInfo)>,
+}
+
+impl SyntacticChecker {
+    /// Builds the constraint system for a tree against a schema set.
+    pub fn new(tree: &DeviceTree, schemas: &SchemaSet) -> SyntacticChecker {
+        let mut checker = SyntacticChecker {
+            ctx: Context::new(),
+            markers: Vec::new(),
+        };
+        checker.encode_tree(tree, schemas);
+        checker
+    }
+
+    /// Access to the underlying context (for callers that add further
+    /// constraints to the same instance, as the paper's tool does with
+    /// its semantic rules).
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    fn encode_tree(&mut self, tree: &DeviceTree, schemas: &SchemaSet) {
+        fn rec(
+            checker: &mut SyntacticChecker,
+            node: &Node,
+            path: String,
+            parent_cells: (u32, u32),
+            schemas: &SchemaSet,
+        ) {
+            let here = if node.name.is_empty() {
+                "/".to_string()
+            } else if path == "/" {
+                format!("/{}", node.name)
+            } else {
+                format!("{path}/{}", node.name)
+            };
+            for schema in schemas.applicable(node) {
+                checker.encode_binding(node, &here, parent_cells, schema);
+            }
+            let my_cells = cell_counts(node);
+            for c in &node.children {
+                rec(checker, c, here.clone(), my_cells, schemas);
+            }
+        }
+        rec(
+            self,
+            &tree.root,
+            "/".to_string(),
+            (DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS),
+            schemas,
+        );
+    }
+
+    /// Creates a marker assumption for one rule.
+    fn marker(&mut self, path: &str, schema: &str, description: String) -> TermId {
+        let idx = self.markers.len();
+        let m = self
+            .ctx
+            .bool_var(&format!("rule#{idx}:{path}:{schema}"));
+        self.markers.push((
+            m,
+            RuleInfo {
+                path: path.to_string(),
+                schema: schema.to_string(),
+                description,
+            },
+        ));
+        m
+    }
+
+    /// Encodes one (node, schema) pair: schema constraints (marker
+    /// guarded) plus instance proof obligations (asserted).
+    fn encode_binding(
+        &mut self,
+        node: &Node,
+        path: &str,
+        parent_cells: (u32, u32),
+        schema: &Schema,
+    ) {
+        // Finite universe of property names: schema ∪ instance (the
+        // domain of the ∀x in constraints (5) and (6)).
+        let mut universe: BTreeSet<String> = schema
+            .properties
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        universe.extend(schema.required.iter().cloned());
+        universe.extend(node.properties.iter().map(|p| p.name.clone()));
+
+        // Presence predicate R(x), one Boolean per universe member.
+        let r_var = |ctx: &mut Context, p: &str| -> TermId {
+            ctx.bool_var(&format!("R:{path}:{p}"))
+        };
+
+        // Node validity variable, asserted: we are checking this node.
+        let node_var = self.ctx.bool_var(&format!("node:{path}:{}", schema.id));
+        self.ctx.assert(node_var);
+
+        // Obligations (5)+(6): R(p) fixed by what the instance provides.
+        for p in &universe {
+            let rv = r_var(&mut self.ctx, p);
+            let present = node.prop(p).is_some();
+            let c = self.ctx.bool_const(present);
+            let closure = self.ctx.iff(rv, c);
+            self.ctx.assert(closure);
+        }
+
+        // Obligation (4): actual values. Strings intern; single-cell
+        // values become 32-bit bit-vectors; item counts become 32-bit
+        // bit-vectors so min/max rules are BV comparisons.
+        for prop in &node.properties {
+            if let Some(s) = prop.as_str() {
+                let val = self.ctx.str_var(&format!("val:{path}:{}", prop.name));
+                let actual = self.ctx.str_const(s);
+                let eq = self.ctx.eq(val, actual);
+                self.ctx.assert(eq);
+            }
+            if let Some(v) = prop.as_u32() {
+                let val = self
+                    .ctx
+                    .bv_var(&format!("cell:{path}:{}", prop.name), 32);
+                let actual = self.ctx.bv_const(u128::from(v), 32);
+                let eq = self.ctx.eq(val, actual);
+                self.ctx.assert(eq);
+            }
+            if let Some(n) = item_count(prop, parent_cells) {
+                let cnt = self
+                    .ctx
+                    .bv_var(&format!("count:{path}:{}", prop.name), 32);
+                let actual = self.ctx.bv_const(n as u128, 32);
+                let eq = self.ctx.eq(cnt, actual);
+                self.ctx.assert(eq);
+            }
+        }
+
+        // Constraints (2)/(3): required properties, guarded.
+        for req in &schema.required {
+            let m = self.marker(
+                path,
+                &schema.id,
+                format!("required property {req:?} must be present"),
+            );
+            let rv = r_var(&mut self.ctx, req);
+            let rule = self.ctx.implies(node_var, rv);
+            let guarded = self.ctx.implies(m, rule);
+            self.ctx.assert(guarded);
+        }
+
+        // Closed schemas: node → ¬R(p) for undeclared p.
+        if !schema.additional_properties {
+            for p in &universe {
+                if schema.rule(p).is_none() && !schema.required.contains(p) {
+                    let m = self.marker(
+                        path,
+                        &schema.id,
+                        format!("property {p:?} is not declared by the (closed) schema"),
+                    );
+                    let rv = r_var(&mut self.ctx, p);
+                    let nrv = self.ctx.not(rv);
+                    let rule = self.ctx.implies(node_var, nrv);
+                    let guarded = self.ctx.implies(m, rule);
+                    self.ctx.assert(guarded);
+                }
+            }
+        }
+
+        // Per-property rules.
+        for rule in &schema.properties {
+            self.encode_prop_rule(node, path, parent_cells, schema, rule);
+        }
+    }
+
+    fn encode_prop_rule(
+        &mut self,
+        node: &Node,
+        path: &str,
+        parent_cells: (u32, u32),
+        schema: &Schema,
+        rule: &PropRule,
+    ) {
+        let rv = self.ctx.bool_var(&format!("R:{path}:{}", rule.name));
+
+        // Constraint (1): R(p) → value = const.
+        if let Some(expected) = &rule.const_str {
+            let m = self.marker(
+                path,
+                &schema.id,
+                format!("property {:?} must be the string {expected:?}", rule.name),
+            );
+            let val = self.ctx.str_var(&format!("val:{path}:{}", rule.name));
+            let want = self.ctx.str_const(expected);
+            let eq = self.ctx.eq(val, want);
+            let body = self.ctx.implies(rv, eq);
+            let guarded = self.ctx.implies(m, body);
+            self.ctx.assert(guarded);
+        }
+        if let Some(expected) = rule.const_u32 {
+            let m = self.marker(
+                path,
+                &schema.id,
+                format!("property {:?} must be the cell <{expected:#x}>", rule.name),
+            );
+            let val = self.ctx.bv_var(&format!("cell:{path}:{}", rule.name), 32);
+            let want = self.ctx.bv_const(u128::from(expected), 32);
+            let eq = self.ctx.eq(val, want);
+            let body = self.ctx.implies(rv, eq);
+            let guarded = self.ctx.implies(m, body);
+            self.ctx.assert(guarded);
+        }
+        if !rule.enum_str.is_empty() {
+            let m = self.marker(
+                path,
+                &schema.id,
+                format!("property {:?} must be one of {:?}", rule.name, rule.enum_str),
+            );
+            let val = self.ctx.str_var(&format!("val:{path}:{}", rule.name));
+            let alts: Vec<TermId> = rule
+                .enum_str
+                .iter()
+                .map(|e| {
+                    let c = self.ctx.str_const(e);
+                    self.ctx.eq(val, c)
+                })
+                .collect();
+            let any = self.ctx.or(alts);
+            let body = self.ctx.implies(rv, any);
+            let guarded = self.ctx.implies(m, body);
+            self.ctx.assert(guarded);
+        }
+
+        // Type rules are decided structurally; the verdict enters the
+        // constraint system as a Boolean fact so cores still name them.
+        if let Some(t) = rule.prop_type {
+            if let Some(prop) = node.prop(&rule.name) {
+                let ok = match t {
+                    PropType::U32 => prop.as_u32().is_some(),
+                    PropType::Str => prop.as_str().is_some(),
+                    PropType::Cells => prop.flat_cells().is_some(),
+                    PropType::Bytes => prop
+                        .values
+                        .iter()
+                        .all(|v| matches!(v, llhsc_dts::PropValue::Bytes(_)))
+                        && !prop.values.is_empty(),
+                    PropType::Flag => prop.values.is_empty(),
+                };
+                let m = self.marker(
+                    path,
+                    &schema.id,
+                    format!("property {:?} must have shape {t:?}", rule.name),
+                );
+                let fact = self.ctx.bool_const(ok);
+                let body = self.ctx.implies(rv, fact);
+                let guarded = self.ctx.implies(m, body);
+                self.ctx.assert(guarded);
+            }
+        }
+
+        // Item-count rules as bit-vector comparisons over the count
+        // obligation ("accepted values for the array size are expressed
+        // in the form of an assertion", §I-A).
+        if rule.min_items.is_some() || rule.max_items.is_some() {
+            if let Some(prop) = node.prop(&rule.name) {
+                match item_count(prop, parent_cells) {
+                    None => {
+                        let m = self.marker(
+                            path,
+                            &schema.id,
+                            format!(
+                                "property {:?} must be a whole number of \
+                                 (address, size) entries",
+                                rule.name
+                            ),
+                        );
+                        let fact = self.ctx.bool_const(false);
+                        let body = self.ctx.implies(rv, fact);
+                        let guarded = self.ctx.implies(m, body);
+                        self.ctx.assert(guarded);
+                    }
+                    Some(_) => {
+                        let cnt =
+                            self.ctx.bv_var(&format!("count:{path}:{}", rule.name), 32);
+                        if let Some(min) = rule.min_items {
+                            let m = self.marker(
+                                path,
+                                &schema.id,
+                                format!("property {:?} needs at least {min} items", rule.name),
+                            );
+                            let lo = self.ctx.bv_const(min as u128, 32);
+                            let ge = self.ctx.bv_ule(lo, cnt);
+                            let body = self.ctx.implies(rv, ge);
+                            let guarded = self.ctx.implies(m, body);
+                            self.ctx.assert(guarded);
+                        }
+                        if let Some(max) = rule.max_items {
+                            let m = self.marker(
+                                path,
+                                &schema.id,
+                                format!("property {:?} allows at most {max} items", rule.name),
+                            );
+                            let hi = self.ctx.bv_const(max as u128, 32);
+                            let le = self.ctx.bv_ule(cnt, hi);
+                            let body = self.ctx.implies(rv, le);
+                            let guarded = self.ctx.implies(m, body);
+                            self.ctx.assert(guarded);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Solves the constraint system, enumerating all violated rules by
+    /// iteratively removing unsat-core markers.
+    pub fn check(&mut self) -> SyntacticReport {
+        let rules_checked = self.markers.len();
+        let mut active: Vec<(TermId, RuleInfo)> = self.markers.clone();
+        let mut violations = Vec::new();
+        loop {
+            let assumptions: Vec<TermId> = active.iter().map(|(m, _)| *m).collect();
+            if assumptions.is_empty() {
+                break;
+            }
+            match self.ctx.check_assuming(&assumptions) {
+                CheckResult::Sat => break,
+                CheckResult::Unsat => {
+                    let core: BTreeSet<TermId> =
+                        self.ctx.unsat_core().iter().copied().collect();
+                    if core.is_empty() {
+                        // Defensive: obligations alone are inconsistent
+                        // (cannot happen — they are facts about one tree).
+                        break;
+                    }
+                    let (bad, rest): (Vec<_>, Vec<_>) =
+                        active.into_iter().partition(|(m, _)| core.contains(m));
+                    for (_, info) in bad {
+                        violations.push(info);
+                    }
+                    active = rest;
+                }
+            }
+        }
+        violations.sort();
+        SyntacticReport {
+            violations,
+            rules_checked,
+        }
+    }
+}
+
+/// Number of items of a property: entries for `reg`, cells or values
+/// otherwise; `None` when `reg` does not divide evenly.
+fn item_count(prop: &Property, parent_cells: (u32, u32)) -> Option<usize> {
+    if prop.name == "reg" {
+        let flat = prop.flat_cells()?;
+        let stride = (parent_cells.0 + parent_cells.1) as usize;
+        if stride == 0 || flat.len() % stride != 0 {
+            return None;
+        }
+        return Some(flat.len() / stride);
+    }
+    if let Some(flat) = prop.flat_cells() {
+        return Some(flat.len());
+    }
+    Some(prop.values.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaSet;
+    use llhsc_dts::parse;
+
+    fn run(src: &str) -> SyntacticReport {
+        let tree = parse(src).unwrap();
+        SyntacticChecker::new(&tree, &SchemaSet::standard()).check()
+    }
+
+    #[test]
+    fn valid_running_example_passes() {
+        let report = run(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@40000000 {
+                    device_type = "memory";
+                    reg = <0x0 0x40000000 0x0 0x20000000
+                           0x0 0x60000000 0x0 0x20000000>;
+                };
+                uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+            };"#,
+        );
+        assert!(report.is_ok(), "{:?}", report.violations);
+        assert!(report.rules_checked > 0);
+    }
+
+    #[test]
+    fn missing_required_named_in_core() {
+        let report = run("/ { memory@0 { device_type = \"memory\"; }; };");
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.schema, "memory");
+        assert!(v.description.contains("\"reg\""), "{v}");
+        assert_eq!(v.path, "/memory@0");
+    }
+
+    #[test]
+    fn const_violation_named_in_core() {
+        let report = run(
+            "/ { #address-cells = <2>; #size-cells = <2>; \
+             memory@0 { device_type = \"ram\"; reg = <0 0 0 1>; }; };",
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(
+            report.violations[0].description.contains("device_type"),
+            "{}",
+            report.violations[0]
+        );
+    }
+
+    #[test]
+    fn multiple_violations_all_enumerated() {
+        // Missing reg AND wrong device_type on one node, plus a bad
+        // uart elsewhere.
+        let report = run(
+            r#"/ {
+                #address-cells = <1>;
+                #size-cells = <1>;
+                memory@0 { device_type = "ram"; };
+                uart@10 { compatible = "ns16550a"; };
+            };"#,
+        );
+        assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+        let texts: Vec<String> =
+            report.violations.iter().map(|v| v.to_string()).collect();
+        assert!(texts.iter().any(|t| t.contains("/memory@0") && t.contains("reg")));
+        assert!(texts.iter().any(|t| t.contains("device_type")));
+        assert!(texts.iter().any(|t| t.contains("/uart@10")));
+    }
+
+    #[test]
+    fn item_count_window_as_bitvectors() {
+        // The cpu schema caps reg at 1 item; under 1+0 cells a 2-cell
+        // reg is 2 items.
+        let report = run(
+            r#"/ {
+                cpus {
+                    #address-cells = <1>;
+                    #size-cells = <0>;
+                    cpu@0 { compatible = "arm,cortex-a53"; reg = <0 1>; };
+                };
+            };"#,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].description.contains("at most 1"));
+    }
+
+    #[test]
+    fn reg_arity_violation() {
+        let report = run(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@0 { device_type = "memory"; reg = <0 0 0 1 2>; };
+            };"#,
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0]
+            .description
+            .contains("(address, size) entries"));
+    }
+
+    #[test]
+    fn agreement_with_structural_checker() {
+        // Both checkers agree on a mixed corpus (the paper's claim that
+        // the constraint encoding generalises dt-schema's checks).
+        let sources = [
+            "/ { memory@0 { device_type = \"memory\"; reg = <0 0 0 1>; }; };",
+            "/ { memory@0 { device_type = \"memory\"; }; };",
+            "/ { memory@0 { reg = <0 0 0 1>; }; };",
+            "/ { memory@0 { device_type = \"wrong\"; reg = <0 0 0 1>; }; };",
+            "/ { uart@0 { compatible = \"x\"; reg = <0 0 0 1>; }; };",
+            "/ { uart@0 { compatible = \"x\"; }; };",
+        ];
+        for src in sources {
+            let tree = parse(src).unwrap();
+            let structural =
+                crate::checker::check_structural(&tree, &SchemaSet::standard());
+            let smt = SyntacticChecker::new(&tree, &SchemaSet::standard()).check();
+            assert_eq!(
+                structural.is_empty(),
+                smt.is_ok(),
+                "checkers disagree on {src}: structural={structural:?} smt={:?}",
+                smt.violations
+            );
+        }
+    }
+
+    #[test]
+    fn veth_binding_from_listing4() {
+        // The delta d1 adds this binding; its schema requires
+        // compatible, reg and id.
+        let ok = run(
+            r#"/ {
+                #address-cells = <1>;
+                #size-cells = <1>;
+                vEthernet {
+                    #address-cells = <1>;
+                    #size-cells = <1>;
+                    veth0@80000000 {
+                        compatible = "veth";
+                        reg = <0x80000000 0x10000000>;
+                        id = <0>;
+                    };
+                };
+            };"#,
+        );
+        assert!(ok.is_ok(), "{:?}", ok.violations);
+        let missing_id = run(
+            r#"/ {
+                #address-cells = <1>;
+                #size-cells = <1>;
+                vEthernet {
+                    #address-cells = <1>;
+                    #size-cells = <1>;
+                    veth0@80000000 {
+                        compatible = "veth";
+                        reg = <0x80000000 0x10000000>;
+                    };
+                };
+            };"#,
+        );
+        assert_eq!(missing_id.violations.len(), 1);
+        assert!(missing_id.violations[0].description.contains("\"id\""));
+    }
+}

@@ -1,0 +1,513 @@
+//! A minimal YAML-subset parser, sufficient for dt-schema documents.
+//!
+//! `dt-schema` binding schemas (the paper's Listing 5) use a small slice
+//! of YAML: nested block mappings, block sequences (`- item`), flow
+//! sequences (`[a, b]`) and scalars. Pulling in a full YAML stack is not
+//! warranted for that (and the approved dependency set has none), so
+//! this module implements exactly the subset:
+//!
+//! * block mappings via indentation, `key: value` or `key:` + indented
+//!   block,
+//! * block sequences of scalars: `- item`,
+//! * flow sequences of scalars: `[a, b, c]`,
+//! * scalars: integers (decimal and `0x…` hex), booleans, bare and
+//!   quoted strings,
+//! * `#` comments and blank lines.
+//!
+//! Anchors, aliases, multi-document streams, nested flow collections and
+//! block scalars are intentionally out of scope and rejected.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A parsed YAML value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YamlValue {
+    /// A string scalar (bare or quoted).
+    Str(String),
+    /// An integer scalar.
+    Int(i64),
+    /// A boolean scalar (`true`/`false`).
+    Bool(bool),
+    /// A sequence.
+    List(Vec<YamlValue>),
+    /// A mapping with insertion-order-independent (sorted) keys.
+    Map(BTreeMap<String, YamlValue>),
+}
+
+impl YamlValue {
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            YamlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer; integer-looking strings do not count.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            YamlValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            YamlValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a list.
+    pub fn as_list(&self) -> Option<&[YamlValue]> {
+        match self {
+            YamlValue::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The value as a map.
+    pub fn as_map(&self) -> Option<&BTreeMap<String, YamlValue>> {
+        match self {
+            YamlValue::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Map member lookup.
+    pub fn get(&self, key: &str) -> Option<&YamlValue> {
+        self.as_map()?.get(key)
+    }
+}
+
+/// Errors from the YAML-subset parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YamlError {
+    /// Indentation that does not match any open block.
+    BadIndent {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A line that is neither `key: …` nor `- …` where one was expected.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// Mixing list items and map keys at one level.
+    MixedBlock {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A duplicate key in one mapping.
+    DuplicateKey {
+        /// 1-based line number.
+        line: usize,
+        /// The duplicated key.
+        key: String,
+    },
+    /// An unterminated quoted string or flow sequence.
+    Unterminated {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YamlError::BadIndent { line } => write!(f, "line {line}: bad indentation"),
+            YamlError::BadLine { line, text } => {
+                write!(f, "line {line}: cannot parse {text:?}")
+            }
+            YamlError::MixedBlock { line } => {
+                write!(f, "line {line}: mixed sequence and mapping entries")
+            }
+            YamlError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key {key:?}")
+            }
+            YamlError::Unterminated { line } => {
+                write!(f, "line {line}: unterminated string or flow sequence")
+            }
+        }
+    }
+}
+
+impl Error for YamlError {}
+
+struct Line {
+    number: usize,
+    indent: usize,
+    text: String,
+}
+
+/// Parses a YAML-subset document into a [`YamlValue`].
+///
+/// # Errors
+///
+/// Returns a [`YamlError`] for anything outside the supported subset.
+pub fn parse(src: &str) -> Result<YamlValue, YamlError> {
+    let mut lines = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let without_comment = strip_comment(raw);
+        let trimmed = without_comment.trim_end();
+        if trimmed.trim().is_empty() {
+            continue;
+        }
+        let indent = trimmed.len() - trimmed.trim_start().len();
+        lines.push(Line {
+            number: i + 1,
+            indent,
+            text: trimmed.trim_start().to_string(),
+        });
+    }
+    if lines.is_empty() {
+        return Ok(YamlValue::Map(BTreeMap::new()));
+    }
+    let (value, consumed) = parse_block(&lines, 0, lines[0].indent)?;
+    if consumed < lines.len() {
+        return Err(YamlError::BadIndent {
+            line: lines[consumed].number,
+        });
+    }
+    Ok(value)
+}
+
+fn strip_comment(line: &str) -> String {
+    let mut out = String::new();
+    let mut in_quote: Option<char> = None;
+    for c in line.chars() {
+        match in_quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    in_quote = None;
+                }
+            }
+            None => {
+                if c == '#' {
+                    break;
+                }
+                if c == '"' || c == '\'' {
+                    in_quote = Some(c);
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Parses the block starting at `start` whose entries sit at `indent`.
+/// Returns the value and the index one past the last consumed line.
+fn parse_block(lines: &[Line], start: usize, indent: usize) -> Result<(YamlValue, usize), YamlError> {
+    let first = &lines[start];
+    if first.text.starts_with("- ") || first.text == "-" {
+        parse_sequence(lines, start, indent)
+    } else {
+        parse_mapping(lines, start, indent)
+    }
+}
+
+fn parse_sequence(
+    lines: &[Line],
+    start: usize,
+    indent: usize,
+) -> Result<(YamlValue, usize), YamlError> {
+    let mut items = Vec::new();
+    let mut i = start;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(YamlError::BadIndent { line: line.number });
+        }
+        let Some(rest) = line.text.strip_prefix('-') else {
+            return Err(YamlError::MixedBlock { line: line.number });
+        };
+        let rest = rest.trim_start();
+        if rest.is_empty() {
+            return Err(YamlError::BadLine {
+                line: line.number,
+                text: line.text.clone(),
+            });
+        }
+        items.push(parse_scalar(rest, line.number)?);
+        i += 1;
+    }
+    Ok((YamlValue::List(items), i))
+}
+
+fn parse_mapping(
+    lines: &[Line],
+    start: usize,
+    indent: usize,
+) -> Result<(YamlValue, usize), YamlError> {
+    let mut map = BTreeMap::new();
+    let mut i = start;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.indent < indent {
+            break;
+        }
+        if line.indent > indent {
+            return Err(YamlError::BadIndent { line: line.number });
+        }
+        if line.text.starts_with("- ") {
+            return Err(YamlError::MixedBlock { line: line.number });
+        }
+        let Some(colon) = find_key_colon(&line.text) else {
+            return Err(YamlError::BadLine {
+                line: line.number,
+                text: line.text.clone(),
+            });
+        };
+        let key = unquote(line.text[..colon].trim());
+        let rest = line.text[colon + 1..].trim();
+        if map.contains_key(&key) {
+            return Err(YamlError::DuplicateKey {
+                line: line.number,
+                key,
+            });
+        }
+        if rest.is_empty() {
+            // Nested block (or empty value if nothing deeper follows).
+            if i + 1 < lines.len() && lines[i + 1].indent > indent {
+                let (value, next) = parse_block(lines, i + 1, lines[i + 1].indent)?;
+                map.insert(key, value);
+                i = next;
+            } else {
+                map.insert(key, YamlValue::Str(String::new()));
+                i += 1;
+            }
+        } else {
+            map.insert(key, parse_scalar(rest, line.number)?);
+            i += 1;
+        }
+    }
+    Ok((YamlValue::Map(map), i))
+}
+
+/// Strips one layer of matching quotes from a mapping key.
+fn unquote(s: &str) -> String {
+    if s.len() >= 2
+        && ((s.starts_with('"') && s.ends_with('"'))
+            || (s.starts_with('\'') && s.ends_with('\'')))
+    {
+        s[1..s.len() - 1].to_string()
+    } else {
+        s.to_string()
+    }
+}
+
+/// Finds the colon separating a mapping key from its value, skipping
+/// quoted sections.
+fn find_key_colon(text: &str) -> Option<usize> {
+    let mut in_quote: Option<char> = None;
+    for (i, c) in text.char_indices() {
+        match in_quote {
+            Some(q) => {
+                if c == q {
+                    in_quote = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => in_quote = Some(c),
+                ':' => {
+                    let next = text[i + 1..].chars().next();
+                    if next.is_none() || next == Some(' ') {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            },
+        }
+    }
+    None
+}
+
+fn parse_scalar(text: &str, line: usize) -> Result<YamlValue, YamlError> {
+    let text = text.trim();
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(YamlError::Unterminated { line });
+        };
+        let items = inner
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| parse_scalar(s, line))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(YamlValue::List(items));
+    }
+    if (text.starts_with('"') && text.len() >= 2 && text.ends_with('"'))
+        || (text.starts_with('\'') && text.len() >= 2 && text.ends_with('\''))
+    {
+        return Ok(YamlValue::Str(text[1..text.len() - 1].to_string()));
+    }
+    if text.starts_with('"') || text.starts_with('\'') {
+        return Err(YamlError::Unterminated { line });
+    }
+    match text {
+        "true" => return Ok(YamlValue::Bool(true)),
+        "false" => return Ok(YamlValue::Bool(false)),
+        _ => {}
+    }
+    if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        if let Ok(v) = i64::from_str_radix(hex, 16) {
+            return Ok(YamlValue::Int(v));
+        }
+    }
+    if let Ok(v) = text.parse::<i64>() {
+        return Ok(YamlValue::Int(v));
+    }
+    Ok(YamlValue::Str(text.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing5_shape() {
+        let doc = parse(
+            r#"
+properties:
+  device_type:
+    const: memory
+  reg:
+    minItems: 1
+    maxItems: 1024
+
+required:
+  - device_type
+  - reg
+"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("properties")
+                .unwrap()
+                .get("device_type")
+                .unwrap()
+                .get("const")
+                .unwrap()
+                .as_str(),
+            Some("memory")
+        );
+        assert_eq!(
+            doc.get("properties")
+                .unwrap()
+                .get("reg")
+                .unwrap()
+                .get("maxItems")
+                .unwrap()
+                .as_int(),
+            Some(1024)
+        );
+        let req = doc.get("required").unwrap().as_list().unwrap();
+        assert_eq!(req.len(), 2);
+        assert_eq!(req[0].as_str(), Some("device_type"));
+    }
+
+    #[test]
+    fn scalars() {
+        let doc = parse("a: 12\nb: 0x10\nc: true\nd: hello\ne: \"x: y\"").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_int(), Some(12));
+        assert_eq!(doc.get("b").unwrap().as_int(), Some(16));
+        assert_eq!(doc.get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("d").unwrap().as_str(), Some("hello"));
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x: y"));
+    }
+
+    #[test]
+    fn flow_list() {
+        let doc = parse("xs: [1, 2, 3]\nys: [a, b]").unwrap();
+        assert_eq!(
+            doc.get("xs").unwrap().as_list().unwrap().len(),
+            3
+        );
+        assert_eq!(
+            doc.get("ys").unwrap().as_list().unwrap()[1].as_str(),
+            Some("b")
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let doc = parse("# header\na: 1 # trailing\n\nb: 2\n").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_int(), Some(1));
+        assert_eq!(doc.get("b").unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn hash_inside_quotes_kept() {
+        let doc = parse("a: \"#not-a-comment\"").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_str(), Some("#not-a-comment"));
+    }
+
+    #[test]
+    fn nested_maps() {
+        let doc = parse("a:\n  b:\n    c: deep").unwrap();
+        assert_eq!(
+            doc.get("a").unwrap().get("b").unwrap().get("c").unwrap().as_str(),
+            Some("deep")
+        );
+    }
+
+    #[test]
+    fn empty_value_for_trailing_key() {
+        let doc = parse("a:\nb: 1").unwrap();
+        assert_eq!(doc.get("a").unwrap().as_str(), Some(""));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        assert!(matches!(
+            parse("a: 1\na: 2"),
+            Err(YamlError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_block_rejected() {
+        assert!(matches!(
+            parse("a: 1\n- item"),
+            Err(YamlError::MixedBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_indent_rejected() {
+        assert!(matches!(
+            parse("a:\n  b: 1\n c: 2"),
+            Err(YamlError::BadIndent { .. })
+        ));
+    }
+
+    #[test]
+    fn unterminated_flow_rejected() {
+        assert!(matches!(
+            parse("a: [1, 2"),
+            Err(YamlError::Unterminated { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_document_is_empty_map() {
+        assert_eq!(parse("").unwrap(), YamlValue::Map(BTreeMap::new()));
+        assert_eq!(parse("# only comments\n").unwrap(), YamlValue::Map(BTreeMap::new()));
+    }
+
+    #[test]
+    fn key_with_colon_in_value() {
+        let doc = parse("url: http://example.com/x").unwrap();
+        assert_eq!(doc.get("url").unwrap().as_str(), Some("http://example.com/x"));
+    }
+}

@@ -1,0 +1,552 @@
+//! Bit-blasting: lowering terms to CNF over solver literals.
+//!
+//! Boolean structure goes through the Tseitin transform (every connective
+//! gets a definitional literal); bit-vector operations are expanded into
+//! gate networks (ripple-carry adders, shift-add multipliers, borrow-chain
+//! comparators). Encodings are cached per term, so shared subterms are
+//! blasted once — this is what makes the incremental [`Context`]
+//! (re)checks cheap, mirroring the paper's use of one growing Z3 instance.
+//!
+//! [`Context`]: crate::Context
+
+use std::collections::HashMap;
+
+use llhsc_sat::{Lit, Solver};
+
+use crate::term::{mask, Sort, TermData, TermId, TermPool};
+
+/// The per-term encoding: a single literal for Bool terms, an LSB-first
+/// literal vector for BitVec (and interned Str) terms.
+#[derive(Debug, Clone)]
+pub(crate) enum Encoding {
+    Bool(Lit),
+    Bits(Vec<Lit>),
+}
+
+/// Width (in bits) used to encode interned strings as bit-vectors.
+/// 32 bits comfortably exceeds any realistic number of distinct node or
+/// property names in a DeviceTree.
+pub(crate) const STR_WIDTH: u32 = 32;
+
+#[derive(Debug)]
+pub(crate) struct Blaster {
+    cache: HashMap<TermId, Encoding>,
+    /// Literal that is constant-true in the solver.
+    true_lit: Option<Lit>,
+}
+
+impl Blaster {
+    pub(crate) fn new() -> Blaster {
+        Blaster {
+            cache: HashMap::new(),
+            true_lit: None,
+        }
+    }
+
+    pub(crate) fn cached(&self, t: TermId) -> Option<&Encoding> {
+        self.cache.get(&t)
+    }
+
+    fn true_lit(&mut self, solver: &mut Solver) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let l = Lit::pos(solver.new_var());
+        solver.add_clause([l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn false_lit(&mut self, solver: &mut Solver) -> Lit {
+        !self.true_lit(solver)
+    }
+
+    fn const_lit(&mut self, solver: &mut Solver, b: bool) -> Lit {
+        if b {
+            self.true_lit(solver)
+        } else {
+            self.false_lit(solver)
+        }
+    }
+
+    // ----- gates (Tseitin definitions) -----
+
+    fn gate_and(&mut self, solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let o = Lit::pos(solver.new_var());
+        solver.add_clause([!a, !b, o]);
+        solver.add_clause([a, !o]);
+        solver.add_clause([b, !o]);
+        o
+    }
+
+    fn gate_or(&mut self, solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+        !self.gate_and(solver, !a, !b)
+    }
+
+    fn gate_xor(&mut self, solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let o = Lit::pos(solver.new_var());
+        solver.add_clause([!a, !b, !o]);
+        solver.add_clause([a, b, !o]);
+        solver.add_clause([a, !b, o]);
+        solver.add_clause([!a, b, o]);
+        o
+    }
+
+    /// `o ↔ (a ↔ b)`
+    fn gate_iff(&mut self, solver: &mut Solver, a: Lit, b: Lit) -> Lit {
+        !self.gate_xor(solver, a, b)
+    }
+
+    /// `o ↔ ite(c, t, e)`
+    fn gate_mux(&mut self, solver: &mut Solver, c: Lit, t: Lit, e: Lit) -> Lit {
+        let o = Lit::pos(solver.new_var());
+        solver.add_clause([!c, !t, o]);
+        solver.add_clause([!c, t, !o]);
+        solver.add_clause([c, !e, o]);
+        solver.add_clause([c, e, !o]);
+        o
+    }
+
+    /// Majority of three (the carry function of a full adder).
+    fn gate_maj(&mut self, solver: &mut Solver, a: Lit, b: Lit, c: Lit) -> Lit {
+        let o = Lit::pos(solver.new_var());
+        solver.add_clause([!a, !b, o]);
+        solver.add_clause([!a, !c, o]);
+        solver.add_clause([!b, !c, o]);
+        solver.add_clause([a, b, !o]);
+        solver.add_clause([a, c, !o]);
+        solver.add_clause([b, c, !o]);
+        o
+    }
+
+    fn gate_and_many(&mut self, solver: &mut Solver, lits: &[Lit]) -> Lit {
+        match lits {
+            [] => self.true_lit(solver),
+            [l] => *l,
+            _ => {
+                let o = Lit::pos(solver.new_var());
+                for &l in lits {
+                    solver.add_clause([l, !o]);
+                }
+                let mut clause: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+                clause.push(o);
+                solver.add_clause(clause);
+                o
+            }
+        }
+    }
+
+    fn gate_or_many(&mut self, solver: &mut Solver, lits: &[Lit]) -> Lit {
+        let negs: Vec<Lit> = lits.iter().map(|&l| !l).collect();
+        !self.gate_and_many(solver, &negs)
+    }
+
+    // ----- bit-vector networks -----
+
+    /// Ripple-carry addition (wrapping); returns sum bits.
+    fn ripple_add(
+        &mut self,
+        solver: &mut Solver,
+        a: &[Lit],
+        b: &[Lit],
+        mut carry: Lit,
+    ) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut out = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let axb = self.gate_xor(solver, a[i], b[i]);
+            let s = self.gate_xor(solver, axb, carry);
+            out.push(s);
+            if i + 1 < a.len() {
+                carry = self.gate_maj(solver, a[i], b[i], carry);
+            }
+        }
+        out
+    }
+
+    /// Unsigned `a < b` via an LSB-to-MSB borrow chain.
+    fn ult_chain(&mut self, solver: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lt = self.false_lit(solver);
+        for i in 0..a.len() {
+            // lt' = (¬a_i ∧ b_i) ∨ ((a_i ↔ b_i) ∧ lt)
+            let strictly = self.gate_and(solver, !a[i], b[i]);
+            let eq = self.gate_iff(solver, a[i], b[i]);
+            let keep = self.gate_and(solver, eq, lt);
+            lt = self.gate_or(solver, strictly, keep);
+        }
+        lt
+    }
+
+    /// Barrel shifter: shifts `a` by the symbolic amount `b` (left when
+    /// `left`, logical right otherwise). Amounts ≥ width yield zero.
+    fn barrel_shift(
+        &mut self,
+        solver: &mut Solver,
+        a: &[Lit],
+        b: &[Lit],
+        left: bool,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let mut cur: Vec<Lit> = a.to_vec();
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2 w)
+        for s in 0..stages {
+            let amount = 1usize << s;
+            let sel = b[s as usize];
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted = if left {
+                    if i >= amount { Some(cur[i - amount]) } else { None }
+                } else if i + amount < w {
+                    Some(cur[i + amount])
+                } else {
+                    None
+                };
+                let shifted = shifted.unwrap_or_else(|| self.false_lit(solver));
+                next.push(self.gate_mux(solver, sel, shifted, cur[i]));
+            }
+            cur = next;
+        }
+        // If any bit of b beyond the stage range is set, the amount is
+        // ≥ 2^stages ≥ w (for power-of-two w; for others also covers the
+        // range [2^stages, …)); additionally amounts in
+        // [w, 2^stages) must zero the result, handled by comparing b ≥ w.
+        let wlim = self.const_bits(solver, w as u128, b.len() as u32);
+        let too_big = {
+            // b >= w  ==  not (b < w)
+            let lt = self.ult_chain(solver, b, &wlim);
+            !lt
+        };
+        cur.into_iter()
+            .map(|bit| self.gate_and(solver, bit, !too_big))
+            .collect()
+    }
+
+    // ----- the main lowering -----
+
+    pub(crate) fn bool_lit(
+        &mut self,
+        pool: &TermPool,
+        solver: &mut Solver,
+        t: TermId,
+    ) -> Lit {
+        match self.encode(pool, solver, t) {
+            Encoding::Bool(l) => l,
+            Encoding::Bits(_) => panic!("expected Bool term, found bit-vector"),
+        }
+    }
+
+    fn bits(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Vec<Lit> {
+        match self.encode(pool, solver, t) {
+            Encoding::Bits(b) => b,
+            Encoding::Bool(_) => panic!("expected bit-vector term, found Bool"),
+        }
+    }
+
+    pub(crate) fn encode(
+        &mut self,
+        pool: &TermPool,
+        solver: &mut Solver,
+        t: TermId,
+    ) -> Encoding {
+        if let Some(e) = self.cache.get(&t) {
+            return e.clone();
+        }
+        let enc = self.encode_uncached(pool, solver, t);
+        self.cache.insert(t, enc.clone());
+        enc
+    }
+
+    fn const_bits(&mut self, solver: &mut Solver, value: u128, width: u32) -> Vec<Lit> {
+        (0..width)
+            .map(|i| {
+                let bit = (value >> i) & 1 == 1;
+                self.const_lit(solver, bit)
+            })
+            .collect()
+    }
+
+    fn fresh_bits(&mut self, solver: &mut Solver, width: u32) -> Vec<Lit> {
+        (0..width).map(|_| Lit::pos(solver.new_var())).collect()
+    }
+
+    fn encode_uncached(
+        &mut self,
+        pool: &TermPool,
+        solver: &mut Solver,
+        t: TermId,
+    ) -> Encoding {
+        use TermData::*;
+        match pool.get(t).clone() {
+            BoolConst(b) => Encoding::Bool(self.const_lit(solver, b)),
+            BoolVar(_) => Encoding::Bool(Lit::pos(solver.new_var())),
+            Not(a) => {
+                let l = self.bool_lit(pool, solver, a);
+                Encoding::Bool(!l)
+            }
+            And(xs) => {
+                let lits: Vec<Lit> =
+                    xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
+                Encoding::Bool(self.gate_and_many(solver, &lits))
+            }
+            Or(xs) => {
+                let lits: Vec<Lit> =
+                    xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
+                Encoding::Bool(self.gate_or_many(solver, &lits))
+            }
+            Xor(a, b) => {
+                let (la, lb) = (
+                    self.bool_lit(pool, solver, a),
+                    self.bool_lit(pool, solver, b),
+                );
+                Encoding::Bool(self.gate_xor(solver, la, lb))
+            }
+            Implies(a, b) => {
+                let (la, lb) = (
+                    self.bool_lit(pool, solver, a),
+                    self.bool_lit(pool, solver, b),
+                );
+                Encoding::Bool(self.gate_or(solver, !la, lb))
+            }
+            Iff(a, b) => {
+                let (la, lb) = (
+                    self.bool_lit(pool, solver, a),
+                    self.bool_lit(pool, solver, b),
+                );
+                Encoding::Bool(self.gate_iff(solver, la, lb))
+            }
+            Ite(c, a, b) => {
+                let lc = self.bool_lit(pool, solver, c);
+                match pool.sort(a) {
+                    Sort::Bool => {
+                        let (la, lb) = (
+                            self.bool_lit(pool, solver, a),
+                            self.bool_lit(pool, solver, b),
+                        );
+                        Encoding::Bool(self.gate_mux(solver, lc, la, lb))
+                    }
+                    _ => {
+                        let ba = self.bits(pool, solver, a);
+                        let bb = self.bits(pool, solver, b);
+                        let out = ba
+                            .iter()
+                            .zip(&bb)
+                            .map(|(&x, &y)| self.gate_mux(solver, lc, x, y))
+                            .collect();
+                        Encoding::Bits(out)
+                    }
+                }
+            }
+            Eq(a, b) => match pool.sort(a) {
+                Sort::Bool => {
+                    let (la, lb) = (
+                        self.bool_lit(pool, solver, a),
+                        self.bool_lit(pool, solver, b),
+                    );
+                    Encoding::Bool(self.gate_iff(solver, la, lb))
+                }
+                _ => {
+                    let ba = self.bits(pool, solver, a);
+                    let bb = self.bits(pool, solver, b);
+                    let eqs: Vec<Lit> = ba
+                        .iter()
+                        .zip(&bb)
+                        .map(|(&x, &y)| self.gate_iff(solver, x, y))
+                        .collect();
+                    Encoding::Bool(self.gate_and_many(solver, &eqs))
+                }
+            },
+            BvConst { width, value } => {
+                Encoding::Bits(self.const_bits(solver, value, width))
+            }
+            BvVar { width, .. } => Encoding::Bits(self.fresh_bits(solver, width)),
+            BvAdd(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let zero = self.false_lit(solver);
+                Encoding::Bits(self.ripple_add(solver, &ba, &bb, zero))
+            }
+            BvSub(a, b) => {
+                // a - b = a + ¬b + 1
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let nb: Vec<Lit> = bb.iter().map(|&l| !l).collect();
+                let one = self.true_lit(solver);
+                Encoding::Bits(self.ripple_add(solver, &ba, &nb, one))
+            }
+            BvNeg(a) => {
+                let ba = self.bits(pool, solver, a);
+                let na: Vec<Lit> = ba.iter().map(|&l| !l).collect();
+                let zeros = self.const_bits(solver, 0, na.len() as u32);
+                let one = self.true_lit(solver);
+                Encoding::Bits(self.ripple_add(solver, &zeros, &na, one))
+            }
+            BvMul(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let w = ba.len();
+                let mut acc = self.const_bits(solver, 0, w as u32);
+                for i in 0..w {
+                    // partial = (b_i ? a << i : 0), truncated to w bits
+                    let mut partial = Vec::with_capacity(w);
+                    for j in 0..w {
+                        if j < i {
+                            partial.push(self.false_lit(solver));
+                        } else {
+                            partial.push(self.gate_and(solver, bb[i], ba[j - i]));
+                        }
+                    }
+                    let zero = self.false_lit(solver);
+                    acc = self.ripple_add(solver, &acc, &partial, zero);
+                }
+                Encoding::Bits(acc)
+            }
+            BvAnd(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let out = ba
+                    .iter()
+                    .zip(&bb)
+                    .map(|(&x, &y)| self.gate_and(solver, x, y))
+                    .collect();
+                Encoding::Bits(out)
+            }
+            BvOr(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let out = ba
+                    .iter()
+                    .zip(&bb)
+                    .map(|(&x, &y)| self.gate_or(solver, x, y))
+                    .collect();
+                Encoding::Bits(out)
+            }
+            BvXor(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let out = ba
+                    .iter()
+                    .zip(&bb)
+                    .map(|(&x, &y)| self.gate_xor(solver, x, y))
+                    .collect();
+                Encoding::Bits(out)
+            }
+            BvNot(a) => {
+                let ba = self.bits(pool, solver, a);
+                Encoding::Bits(ba.iter().map(|&l| !l).collect())
+            }
+            BvShl(a, k) => {
+                let ba = self.bits(pool, solver, a);
+                let w = ba.len();
+                let k = k as usize;
+                let mut out = Vec::with_capacity(w);
+                for i in 0..w {
+                    if i < k {
+                        out.push(self.false_lit(solver));
+                    } else {
+                        out.push(ba[i - k]);
+                    }
+                }
+                Encoding::Bits(out)
+            }
+            BvLshr(a, k) => {
+                let ba = self.bits(pool, solver, a);
+                let w = ba.len();
+                let k = k as usize;
+                let mut out = Vec::with_capacity(w);
+                for i in 0..w {
+                    if i + k < w {
+                        out.push(ba[i + k]);
+                    } else {
+                        out.push(self.false_lit(solver));
+                    }
+                }
+                Encoding::Bits(out)
+            }
+            BvShlV(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                Encoding::Bits(self.barrel_shift(solver, &ba, &bb, true))
+            }
+            BvLshrV(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                Encoding::Bits(self.barrel_shift(solver, &ba, &bb, false))
+            }
+            BvUlt(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                Encoding::Bool(self.ult_chain(solver, &ba, &bb))
+            }
+            BvUle(a, b) => {
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let gt = self.ult_chain(solver, &bb, &ba);
+                Encoding::Bool(!gt)
+            }
+            BvSlt(a, b) => {
+                // Signed compare = unsigned compare with MSBs flipped.
+                let (mut ba, mut bb) =
+                    (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let last = ba.len() - 1;
+                ba[last] = !ba[last];
+                bb[last] = !bb[last];
+                Encoding::Bool(self.ult_chain(solver, &ba, &bb))
+            }
+            BvSle(a, b) => {
+                let (mut ba, mut bb) =
+                    (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let last = ba.len() - 1;
+                ba[last] = !ba[last];
+                bb[last] = !bb[last];
+                let gt = self.ult_chain(solver, &bb, &ba);
+                Encoding::Bool(!gt)
+            }
+            Extract { hi, lo, arg } => {
+                let ba = self.bits(pool, solver, arg);
+                Encoding::Bits(ba[lo as usize..=hi as usize].to_vec())
+            }
+            Concat(a, b) => {
+                // a is the high part.
+                let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let mut out = bb;
+                out.extend(ba);
+                Encoding::Bits(out)
+            }
+            ZeroExt { arg, extra } => {
+                let mut ba = self.bits(pool, solver, arg);
+                for _ in 0..extra {
+                    ba.push(self.false_lit(solver));
+                }
+                Encoding::Bits(ba)
+            }
+            StrConst(id) => {
+                Encoding::Bits(self.const_bits(solver, id as u128, STR_WIDTH))
+            }
+            StrVar(_) => Encoding::Bits(self.fresh_bits(solver, STR_WIDTH)),
+        }
+    }
+}
+
+/// Evaluates a term to a concrete value given a total SAT model, using
+/// the blaster's cached encodings. Returns `None` for terms that were
+/// never encoded (they did not take part in the last check).
+pub(crate) fn eval_in_model(
+    blaster: &Blaster,
+    model: &[bool],
+    t: TermId,
+) -> Option<EvalValue> {
+    let lit_val = |l: Lit| -> Option<bool> {
+        let v = model.get(l.var().index())?;
+        Some(if l.is_positive() { *v } else { !*v })
+    };
+    match blaster.cached(t)? {
+        Encoding::Bool(l) => Some(EvalValue::Bool(lit_val(*l)?)),
+        Encoding::Bits(bits) => {
+            let mut v: u128 = 0;
+            for (i, &b) in bits.iter().enumerate() {
+                if lit_val(b)? {
+                    v |= 1u128 << i;
+                }
+            }
+            Some(EvalValue::Bits(mask(v, bits.len() as u32)))
+        }
+    }
+}
+
+/// Concrete value of an encoded term under a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EvalValue {
+    Bool(bool),
+    Bits(u128),
+}

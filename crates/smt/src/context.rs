@@ -1,0 +1,1257 @@
+//! The incremental solving context.
+
+use std::collections::HashMap;
+
+use llhsc_sat::{Lit, SolveResult, Solver, SolverStats};
+
+use crate::bitblast::{eval_in_model, Blaster, EvalValue, STR_WIDTH};
+use crate::term::{mask, Sort, TermData, TermId, TermPool};
+
+/// Outcome of a [`Context::check`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckResult {
+    /// The asserted constraints are satisfiable;
+    /// [`Context::model`] yields a witness.
+    Sat,
+    /// The asserted constraints (plus assumptions, if any) are
+    /// unsatisfiable; [`Context::unsat_core`] names the guilty
+    /// assumptions.
+    Unsat,
+}
+
+/// An incremental SMT context: build terms, assert them, check, inspect
+/// models — mirroring how the paper drives Z3 ("constraints can be added
+/// incrementally to the same solver instance", §VI).
+///
+/// Scopes created by [`Context::push`] are discharged by
+/// [`Context::pop`]; assertions made inside a scope are retracted with
+/// it. Internally this uses activation literals, so the underlying SAT
+/// solver keeps its learnt clauses across scopes.
+///
+/// See the [crate docs](crate) for an example.
+#[derive(Debug)]
+pub struct Context {
+    pool: TermPool,
+    solver: Solver,
+    blaster: Blaster,
+    /// Activation literal per open scope.
+    scopes: Vec<Lit>,
+    /// Terms asserted per scope depth (index 0 = ground level), kept for
+    /// diagnostics.
+    asserted: Vec<Vec<TermId>>,
+    /// Model snapshot from the last Sat check.
+    last_model: Option<Vec<bool>>,
+    /// Maps assumption literals of the last `check_assuming` back to terms.
+    assumption_lits: HashMap<Lit, TermId>,
+    /// Core of the last Unsat `check_assuming`.
+    last_core: Vec<TermId>,
+}
+
+impl Default for Context {
+    fn default() -> Context {
+        Context::new()
+    }
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Context {
+        Context {
+            pool: TermPool::new(),
+            solver: Solver::new(),
+            blaster: Blaster::new(),
+            scopes: Vec::new(),
+            asserted: vec![Vec::new()],
+            last_model: None,
+            assumption_lits: HashMap::new(),
+            last_core: Vec::new(),
+        }
+    }
+
+    /// The sort of a term.
+    pub fn sort(&self, t: TermId) -> Sort {
+        self.pool.sort(t)
+    }
+
+    /// Number of distinct terms created (hash-consed).
+    pub fn num_terms(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Statistics of the underlying SAT solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Renders a term as an SMT-LIB-flavoured s-expression.
+    pub fn display(&self, t: TermId) -> String {
+        let mut s = String::new();
+        self.pool.display(t, &mut s);
+        s
+    }
+
+    // ----- sort checking helpers -----
+
+    fn expect_bool(&self, t: TermId, op: &str) {
+        assert!(
+            self.pool.sort(t) == Sort::Bool,
+            "{op}: expected Bool operand, found {}",
+            self.pool.sort(t)
+        );
+    }
+
+    fn expect_bv(&self, t: TermId, op: &str) -> u32 {
+        match self.pool.sort(t) {
+            Sort::BitVec(w) => w,
+            s => panic!("{op}: expected bit-vector operand, found {s}"),
+        }
+    }
+
+    fn expect_same_width(&self, a: TermId, b: TermId, op: &str) -> u32 {
+        let (wa, wb) = (self.expect_bv(a, op), self.expect_bv(b, op));
+        assert!(wa == wb, "{op}: width mismatch ({wa} vs {wb})");
+        wa
+    }
+
+    fn bv_const_value(&self, t: TermId) -> Option<u128> {
+        match self.pool.get(t) {
+            TermData::BvConst { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn bool_const_value(&self, t: TermId) -> Option<bool> {
+        match self.pool.get(t) {
+            TermData::BoolConst(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    // ----- Boolean term builders -----
+
+    /// The Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.pool.mk(TermData::BoolConst(b), Sort::Bool)
+    }
+
+    /// A named Boolean variable. The same name always yields the same
+    /// term (hash-consing), so variables are identified by name.
+    pub fn bool_var(&mut self, name: &str) -> TermId {
+        self.pool.mk(TermData::BoolVar(name.to_string()), Sort::Bool)
+    }
+
+    /// Logical negation (folds constants and double negation).
+    pub fn not(&mut self, a: TermId) -> TermId {
+        self.expect_bool(a, "not");
+        if let Some(b) = self.bool_const_value(a) {
+            return self.bool_const(!b);
+        }
+        if let TermData::Not(inner) = self.pool.get(a) {
+            return *inner;
+        }
+        self.pool.mk(TermData::Not(a), Sort::Bool)
+    }
+
+    /// N-ary conjunction. `and([])` is `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not of sort `Bool` (likewise for the
+    /// other Boolean builders).
+    pub fn and<I: IntoIterator<Item = TermId>>(&mut self, xs: I) -> TermId {
+        let mut flat = Vec::new();
+        for x in xs {
+            self.expect_bool(x, "and");
+            match self.bool_const_value(x) {
+                Some(true) => continue,
+                Some(false) => return self.bool_const(false),
+                None => flat.push(x),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => self.bool_const(true),
+            1 => flat[0],
+            _ => self.pool.mk(TermData::And(flat), Sort::Bool),
+        }
+    }
+
+    /// N-ary disjunction. `or([])` is `false`.
+    pub fn or<I: IntoIterator<Item = TermId>>(&mut self, xs: I) -> TermId {
+        let mut flat = Vec::new();
+        for x in xs {
+            self.expect_bool(x, "or");
+            match self.bool_const_value(x) {
+                Some(false) => continue,
+                Some(true) => return self.bool_const(true),
+                None => flat.push(x),
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        match flat.len() {
+            0 => self.bool_const(false),
+            1 => flat[0],
+            _ => self.pool.mk(TermData::Or(flat), Sort::Bool),
+        }
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_bool(a, "xor");
+        self.expect_bool(b, "xor");
+        match (self.bool_const_value(a), self.bool_const_value(b)) {
+            (Some(x), Some(y)) => self.bool_const(x ^ y),
+            (Some(false), None) => b,
+            (None, Some(false)) => a,
+            (Some(true), None) => self.not(b),
+            (None, Some(true)) => self.not(a),
+            _ if a == b => self.bool_const(false),
+            _ => self.pool.mk(TermData::Xor(a, b), Sort::Bool),
+        }
+    }
+
+    /// Implication `a → b`.
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_bool(a, "implies");
+        self.expect_bool(b, "implies");
+        match (self.bool_const_value(a), self.bool_const_value(b)) {
+            (Some(false), _) | (_, Some(true)) => self.bool_const(true),
+            (Some(true), _) => b,
+            (_, Some(false)) => self.not(a),
+            _ if a == b => self.bool_const(true),
+            _ => self.pool.mk(TermData::Implies(a, b), Sort::Bool),
+        }
+    }
+
+    /// Biconditional `a ↔ b`.
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        self.expect_bool(a, "iff");
+        self.expect_bool(b, "iff");
+        if a == b {
+            return self.bool_const(true);
+        }
+        match (self.bool_const_value(a), self.bool_const_value(b)) {
+            (Some(x), Some(y)) => self.bool_const(x == y),
+            (Some(true), None) => b,
+            (None, Some(true)) => a,
+            (Some(false), None) => self.not(b),
+            (None, Some(false)) => self.not(a),
+            _ => self.pool.mk(TermData::Iff(a, b), Sort::Bool),
+        }
+    }
+
+    /// If-then-else; `t` and `e` must have the same sort.
+    pub fn ite(&mut self, c: TermId, t: TermId, e: TermId) -> TermId {
+        self.expect_bool(c, "ite");
+        assert!(
+            self.pool.sort(t) == self.pool.sort(e),
+            "ite: branch sorts differ ({} vs {})",
+            self.pool.sort(t),
+            self.pool.sort(e)
+        );
+        match self.bool_const_value(c) {
+            Some(true) => t,
+            Some(false) => e,
+            None if t == e => t,
+            None => {
+                let sort = self.pool.sort(t);
+                self.pool.mk(TermData::Ite(c, t, e), sort)
+            }
+        }
+    }
+
+    /// Equality at any sort. Operand sorts must match.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> TermId {
+        assert!(
+            self.pool.sort(a) == self.pool.sort(b),
+            "eq: sorts differ ({} vs {})",
+            self.pool.sort(a),
+            self.pool.sort(b)
+        );
+        if a == b {
+            return self.bool_const(true);
+        }
+        // Distinct constants of the same sort are never equal.
+        let const_neq = matches!(
+            (self.pool.get(a), self.pool.get(b)),
+            (TermData::BvConst { .. }, TermData::BvConst { .. })
+                | (TermData::StrConst(_), TermData::StrConst(_))
+                | (TermData::BoolConst(_), TermData::BoolConst(_))
+        );
+        if const_neq {
+            // Hash-consing makes equal constants identical, so reaching
+            // here with two constants means they differ.
+            return self.bool_const(false);
+        }
+        // Canonical argument order improves sharing.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.pool.mk(TermData::Eq(a, b), Sort::Bool)
+    }
+
+    /// `true` iff at most `k` of the operands are true (unary-counter
+    /// construction, O(n·k) terms). `at_most(_, 0)` is the negated
+    /// disjunction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is not Boolean.
+    pub fn at_most<I: IntoIterator<Item = TermId>>(&mut self, xs: I, k: usize) -> TermId {
+        let lits: Vec<TermId> = xs.into_iter().collect();
+        for &l in &lits {
+            self.expect_bool(l, "at_most");
+        }
+        if lits.len() <= k {
+            return self.bool_const(true);
+        }
+        // counts[j] = "at least j+1 of the literals seen so far are
+        // true"; after all literals, counts[k] is "at least k+1", whose
+        // negation is exactly at-most-k.
+        let mut counts: Vec<TermId> = vec![self.bool_const(false); k + 1];
+        for &l in &lits {
+            let mut next = counts.clone();
+            for j in (0..=k).rev() {
+                let carried = if j == 0 {
+                    l
+                } else {
+                    self.and([l, counts[j - 1]])
+                };
+                next[j] = self.or([counts[j], carried]);
+            }
+            counts = next;
+        }
+        self.not(counts[k])
+    }
+
+    /// `true` iff at least `k` of the operands are true.
+    pub fn at_least<I: IntoIterator<Item = TermId>>(&mut self, xs: I, k: usize) -> TermId {
+        let lits: Vec<TermId> = xs.into_iter().collect();
+        if k == 0 {
+            return self.bool_const(true);
+        }
+        if lits.len() < k {
+            return self.bool_const(false);
+        }
+        // at_least_k(xs) == at_most_{n-k}(¬xs)
+        let n = lits.len();
+        let negs: Vec<TermId> = lits.iter().map(|&l| self.not(l)).collect();
+        self.at_most(negs, n - k)
+    }
+
+    /// `true` iff exactly `k` of the operands are true.
+    pub fn exactly<I: IntoIterator<Item = TermId>>(&mut self, xs: I, k: usize) -> TermId {
+        let lits: Vec<TermId> = xs.into_iter().collect();
+        let lo = self.at_least(lits.clone(), k);
+        let hi = self.at_most(lits, k);
+        self.and([lo, hi])
+    }
+
+    /// Pairwise disequality of all operands.
+    pub fn distinct<I: IntoIterator<Item = TermId>>(&mut self, xs: I) -> TermId {
+        let v: Vec<TermId> = xs.into_iter().collect();
+        let mut parts = Vec::new();
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                let e = self.eq(v[i], v[j]);
+                parts.push(self.not(e));
+            }
+        }
+        self.and(parts)
+    }
+
+    // ----- bit-vector term builders -----
+
+    /// A bit-vector constant of the given width (1..=128); `value` is
+    /// truncated to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 128.
+    pub fn bv_const(&mut self, value: u128, width: u32) -> TermId {
+        assert!((1..=128).contains(&width), "bit-vector width {width} out of range");
+        self.pool.mk(
+            TermData::BvConst {
+                width,
+                value: mask(value, width),
+            },
+            Sort::BitVec(width),
+        )
+    }
+
+    /// A named bit-vector variable.
+    pub fn bv_var(&mut self, name: &str, width: u32) -> TermId {
+        assert!((1..=128).contains(&width), "bit-vector width {width} out of range");
+        self.pool.mk(
+            TermData::BvVar {
+                name: name.to_string(),
+                width,
+            },
+            Sort::BitVec(width),
+        )
+    }
+
+    fn bv_binop(
+        &mut self,
+        a: TermId,
+        b: TermId,
+        op: &str,
+        fold: impl Fn(u128, u128, u32) -> u128,
+        mk: impl Fn(TermId, TermId) -> TermData,
+    ) -> TermId {
+        let w = self.expect_same_width(a, b, op);
+        if let (Some(x), Some(y)) = (self.bv_const_value(a), self.bv_const_value(b)) {
+            return self.bv_const(fold(x, y, w), w);
+        }
+        self.pool.mk(mk(a, b), Sort::BitVec(w))
+    }
+
+    /// Wrapping addition.
+    pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvadd", |x, y, w| mask(x.wrapping_add(y), w), TermData::BvAdd)
+    }
+
+    /// Wrapping subtraction.
+    pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvsub", |x, y, w| mask(x.wrapping_sub(y), w), TermData::BvSub)
+    }
+
+    /// Wrapping multiplication.
+    pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvmul", |x, y, w| mask(x.wrapping_mul(y), w), TermData::BvMul)
+    }
+
+    /// Two's-complement negation.
+    pub fn bv_neg(&mut self, a: TermId) -> TermId {
+        let w = self.expect_bv(a, "bvneg");
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(mask(x.wrapping_neg(), w), w);
+        }
+        self.pool.mk(TermData::BvNeg(a), Sort::BitVec(w))
+    }
+
+    /// Bitwise and.
+    pub fn bv_and(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvand", |x, y, _| x & y, TermData::BvAnd)
+    }
+
+    /// Bitwise or.
+    pub fn bv_or(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvor", |x, y, _| x | y, TermData::BvOr)
+    }
+
+    /// Bitwise xor.
+    pub fn bv_xor(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_binop(a, b, "bvxor", |x, y, _| x ^ y, TermData::BvXor)
+    }
+
+    /// Bitwise complement.
+    pub fn bv_not(&mut self, a: TermId) -> TermId {
+        let w = self.expect_bv(a, "bvnot");
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(mask(!x, w), w);
+        }
+        self.pool.mk(TermData::BvNot(a), Sort::BitVec(w))
+    }
+
+    /// Logical shift left by a constant number of bits.
+    pub fn bv_shl(&mut self, a: TermId, shift: u32) -> TermId {
+        let w = self.expect_bv(a, "bvshl");
+        if shift == 0 {
+            return a;
+        }
+        if shift >= w {
+            return self.bv_const(0, w);
+        }
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(mask(x << shift, w), w);
+        }
+        self.pool.mk(TermData::BvShl(a, shift), Sort::BitVec(w))
+    }
+
+    /// Logical shift right by a constant number of bits.
+    pub fn bv_lshr(&mut self, a: TermId, shift: u32) -> TermId {
+        let w = self.expect_bv(a, "bvlshr");
+        if shift == 0 {
+            return a;
+        }
+        if shift >= w {
+            return self.bv_const(0, w);
+        }
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(x >> shift, w);
+        }
+        self.pool.mk(TermData::BvLshr(a, shift), Sort::BitVec(w))
+    }
+
+    /// Logical shift left by a symbolic amount of the same width;
+    /// amounts ≥ width yield zero (SMT-LIB `bvshl` semantics).
+    pub fn bv_shl_term(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.expect_same_width(a, b, "bvshl");
+        if let (Some(x), Some(k)) = (self.bv_const_value(a), self.bv_const_value(b)) {
+            let v = if k >= u128::from(w) { 0 } else { mask(x << k, w) };
+            return self.bv_const(v, w);
+        }
+        self.pool.mk(TermData::BvShlV(a, b), Sort::BitVec(w))
+    }
+
+    /// Logical shift right by a symbolic amount of the same width;
+    /// amounts ≥ width yield zero (SMT-LIB `bvlshr` semantics).
+    pub fn bv_lshr_term(&mut self, a: TermId, b: TermId) -> TermId {
+        let w = self.expect_same_width(a, b, "bvlshr");
+        if let (Some(x), Some(k)) = (self.bv_const_value(a), self.bv_const_value(b)) {
+            let v = if k >= u128::from(w) { 0 } else { x >> k };
+            return self.bv_const(v, w);
+        }
+        self.pool.mk(TermData::BvLshrV(a, b), Sort::BitVec(w))
+    }
+
+    fn bv_cmp(
+        &mut self,
+        a: TermId,
+        b: TermId,
+        op: &str,
+        fold: impl Fn(u128, u128, u32) -> bool,
+        mk: impl Fn(TermId, TermId) -> TermData,
+    ) -> TermId {
+        let w = self.expect_same_width(a, b, op);
+        if let (Some(x), Some(y)) = (self.bv_const_value(a), self.bv_const_value(b)) {
+            return self.bool_const(fold(x, y, w));
+        }
+        self.pool.mk(mk(a, b), Sort::Bool)
+    }
+
+    /// Unsigned less-than.
+    pub fn bv_ult(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool_const(false);
+        }
+        self.bv_cmp(a, b, "bvult", |x, y, _| x < y, TermData::BvUlt)
+    }
+
+    /// Unsigned less-or-equal.
+    pub fn bv_ule(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool_const(true);
+        }
+        self.bv_cmp(a, b, "bvule", |x, y, _| x <= y, TermData::BvUle)
+    }
+
+    /// Unsigned greater-than (sugar for swapped [`Context::bv_ult`]).
+    pub fn bv_ugt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ult(b, a)
+    }
+
+    /// Unsigned greater-or-equal (sugar for swapped [`Context::bv_ule`]).
+    pub fn bv_uge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.bv_ule(b, a)
+    }
+
+    fn to_signed(x: u128, w: u32) -> i128 {
+        let sign = 1u128 << (w - 1);
+        if x & sign != 0 {
+            (x as i128) - ((sign as i128) << 1)
+        } else {
+            x as i128
+        }
+    }
+
+    /// Signed less-than (two's complement).
+    pub fn bv_slt(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool_const(false);
+        }
+        self.bv_cmp(
+            a,
+            b,
+            "bvslt",
+            |x, y, w| Context::to_signed(x, w) < Context::to_signed(y, w),
+            TermData::BvSlt,
+        )
+    }
+
+    /// Signed less-or-equal (two's complement).
+    pub fn bv_sle(&mut self, a: TermId, b: TermId) -> TermId {
+        if a == b {
+            return self.bool_const(true);
+        }
+        self.bv_cmp(
+            a,
+            b,
+            "bvsle",
+            |x, y, w| Context::to_signed(x, w) <= Context::to_signed(y, w),
+            TermData::BvSle,
+        )
+    }
+
+    /// Bits `lo..=hi` of `a` (bit 0 is the LSB); result width is
+    /// `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi` is outside the operand width.
+    pub fn bv_extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
+        let w = self.expect_bv(a, "extract");
+        assert!(hi >= lo && hi < w, "extract [{hi}:{lo}] out of range for width {w}");
+        if lo == 0 && hi == w - 1 {
+            return a;
+        }
+        let nw = hi - lo + 1;
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(mask(x >> lo, nw), nw);
+        }
+        self.pool
+            .mk(TermData::Extract { hi, lo, arg: a }, Sort::BitVec(nw))
+    }
+
+    /// Concatenation `hi ++ lo`; `hi`'s bits become the most significant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds 128.
+    pub fn bv_concat(&mut self, hi: TermId, lo: TermId) -> TermId {
+        let wh = self.expect_bv(hi, "concat");
+        let wl = self.expect_bv(lo, "concat");
+        let w = wh + wl;
+        assert!(w <= 128, "concat width {w} exceeds 128");
+        if let (Some(x), Some(y)) = (self.bv_const_value(hi), self.bv_const_value(lo)) {
+            return self.bv_const((x << wl) | y, w);
+        }
+        self.pool.mk(TermData::Concat(hi, lo), Sort::BitVec(w))
+    }
+
+    /// Zero-extends `a` by `extra` bits.
+    pub fn bv_zero_ext(&mut self, a: TermId, extra: u32) -> TermId {
+        let w = self.expect_bv(a, "zero_extend");
+        if extra == 0 {
+            return a;
+        }
+        assert!(w + extra <= 128, "zero_extend width exceeds 128");
+        if let Some(x) = self.bv_const_value(a) {
+            return self.bv_const(x, w + extra);
+        }
+        self.pool
+            .mk(TermData::ZeroExt { arg: a, extra }, Sort::BitVec(w + extra))
+    }
+
+    // ----- string terms -----
+
+    /// An interned string constant (the paper's encoding of node and
+    /// property names as Z3 string/hybrid values).
+    pub fn str_const(&mut self, s: &str) -> TermId {
+        let id = self.pool.intern_str(s);
+        assert!(
+            (self.pool.num_interned() as u64) < (1u64 << STR_WIDTH),
+            "string intern table overflow"
+        );
+        self.pool.mk(TermData::StrConst(id), Sort::Str)
+    }
+
+    /// A named string variable.
+    pub fn str_var(&mut self, name: &str) -> TermId {
+        self.pool.mk(TermData::StrVar(name.to_string()), Sort::Str)
+    }
+
+    // ----- assertions and solving -----
+
+    /// Asserts a Boolean term in the current scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not of sort `Bool`.
+    pub fn assert(&mut self, t: TermId) {
+        self.expect_bool(t, "assert");
+        let lit = self
+            .blaster
+            .bool_lit(&self.pool, &mut self.solver, t);
+        match self.scopes.last().copied() {
+            None => {
+                self.solver.add_clause([lit]);
+            }
+            Some(act) => {
+                self.solver.add_clause([!act, lit]);
+            }
+        }
+        self.asserted
+            .last_mut()
+            .expect("ground scope always present")
+            .push(t);
+    }
+
+    /// Opens a new assertion scope.
+    pub fn push(&mut self) {
+        let act = Lit::pos(self.solver.new_var());
+        self.scopes.push(act);
+        self.asserted.push(Vec::new());
+    }
+
+    /// Closes the innermost scope, retracting its assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no scope is open.
+    pub fn pop(&mut self) {
+        let act = self.scopes.pop().expect("pop without matching push");
+        // Permanently disable the scope's clauses.
+        self.solver.add_clause([!act]);
+        self.asserted.pop();
+        self.last_model = None;
+    }
+
+    /// Current scope depth (0 = ground).
+    pub fn scope_depth(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// Terms asserted in the current scope, for diagnostics.
+    pub fn current_assertions(&self) -> &[TermId] {
+        self.asserted.last().expect("ground scope always present")
+    }
+
+    /// Checks satisfiability of all live assertions.
+    pub fn check(&mut self) -> CheckResult {
+        self.check_assuming(&[])
+    }
+
+    /// Checks satisfiability under additional assumption terms (retracted
+    /// automatically after the call). On `Unsat`,
+    /// [`Context::unsat_core`] reports which assumptions were used.
+    pub fn check_assuming(&mut self, assumptions: &[TermId]) -> CheckResult {
+        self.assumption_lits.clear();
+        self.last_core.clear();
+        let mut lits: Vec<Lit> = self.scopes.clone();
+        for &t in assumptions {
+            self.expect_bool(t, "check_assuming");
+            let l = self
+                .blaster
+                .bool_lit(&self.pool, &mut self.solver, t);
+            self.assumption_lits.insert(l, t);
+            lits.push(l);
+        }
+        match self.solver.solve_with(&lits) {
+            SolveResult::Sat => {
+                self.last_model = Some(self.solver.model());
+                CheckResult::Sat
+            }
+            SolveResult::Unsat => {
+                self.last_model = None;
+                let core: Vec<TermId> = self
+                    .solver
+                    .unsat_core()
+                    .iter()
+                    .filter_map(|cl| self.assumption_lits.get(&!*cl).copied())
+                    .collect();
+                self.last_core = core;
+                CheckResult::Unsat
+            }
+        }
+    }
+
+    /// After an `Unsat` [`Context::check_assuming`], the subset of the
+    /// assumption terms involved in the conflict.
+    pub fn unsat_core(&self) -> &[TermId] {
+        &self.last_core
+    }
+
+    /// Enumerates all models projected onto the given Boolean terms
+    /// (All-SAT via blocking clauses), up to `limit` models if given.
+    ///
+    /// Each returned vector is aligned with `over`. The enumeration runs
+    /// inside its own [`push`](Context::push)/[`pop`](Context::pop)
+    /// scope, so the context's assertions are unchanged afterwards. This
+    /// is how the feature-model layer implements the paper's
+    /// "generation of all valid products" analysis (§II-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `over` is empty or contains non-Boolean terms.
+    pub fn all_models(&mut self, over: &[TermId], limit: Option<usize>) -> Vec<Vec<bool>> {
+        assert!(!over.is_empty(), "all_models needs at least one term");
+        for &t in over {
+            self.expect_bool(t, "all_models");
+        }
+        // Force an encoding for every projection term so the model always
+        // has a value for it, even if it appears in no assertion.
+        for &t in over {
+            let _ = self.blaster.bool_lit(&self.pool, &mut self.solver, t);
+        }
+        let mut out = Vec::new();
+        self.push();
+        loop {
+            if limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+            if self.check() != CheckResult::Sat {
+                break;
+            }
+            let m = self.model().expect("model after Sat");
+            let values: Vec<bool> = over
+                .iter()
+                .map(|&t| m.eval_bool(t).expect("projection term has a value"))
+                .collect();
+            drop(m);
+            // Block this projection.
+            let parts: Vec<TermId> = over
+                .iter()
+                .zip(&values)
+                .map(|(&t, &v)| if v { self.not(t) } else { t })
+                .collect();
+            let blocking = self.or(parts);
+            self.assert(blocking);
+            out.push(values);
+        }
+        self.pop();
+        out
+    }
+
+    /// Counts models projected onto `over` (see [`Context::all_models`]).
+    pub fn count_models(&mut self, over: &[TermId]) -> usize {
+        self.all_models(over, None).len()
+    }
+
+    /// The model of the last `Sat` check, if any.
+    pub fn model(&self) -> Option<Model<'_>> {
+        self.last_model.as_ref().map(|bits| Model {
+            ctx: self,
+            bits: bits.clone(),
+        })
+    }
+}
+
+/// A satisfying assignment snapshot, tied to its [`Context`].
+///
+/// Only terms that participated in the last check (directly or as
+/// subterms of asserted formulas) have values; evaluating anything else
+/// yields `None`.
+#[derive(Debug)]
+pub struct Model<'a> {
+    ctx: &'a Context,
+    bits: Vec<bool>,
+}
+
+impl Model<'_> {
+    /// Value of a Boolean term.
+    pub fn eval_bool(&self, t: TermId) -> Option<bool> {
+        match eval_in_model(&self.ctx.blaster, &self.bits, t)? {
+            EvalValue::Bool(b) => Some(b),
+            EvalValue::Bits(_) => None,
+        }
+    }
+
+    /// Value of a bit-vector term.
+    pub fn eval_bv(&self, t: TermId) -> Option<u128> {
+        match (self.ctx.pool.sort(t), eval_in_model(&self.ctx.blaster, &self.bits, t)?) {
+            (Sort::BitVec(_), EvalValue::Bits(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Value of a string term, if it denotes an interned string.
+    pub fn eval_str(&self, t: TermId) -> Option<&str> {
+        match (self.ctx.pool.sort(t), eval_in_model(&self.ctx.blaster, &self.bits, t)?) {
+            (Sort::Str, EvalValue::Bits(v)) => {
+                let id = u32::try_from(v).ok()?;
+                if (id as usize) < self.ctx.pool.num_interned() {
+                    Some(self.ctx.pool.str_for(id))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_logic_sat() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let i = ctx.implies(a, b);
+        ctx.assert(a);
+        ctx.assert(i);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        let m = ctx.model().unwrap();
+        assert_eq!(m.eval_bool(a), Some(true));
+        assert_eq!(m.eval_bool(b), Some(true));
+    }
+
+    #[test]
+    fn bool_logic_unsat() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let na = ctx.not(a);
+        ctx.assert(a);
+        ctx.assert(na);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn constant_folding() {
+        let mut ctx = Context::new();
+        let t = ctx.bool_const(true);
+        let f = ctx.bool_const(false);
+        assert_eq!(ctx.and([t, f]), f);
+        assert_eq!(ctx.or([t, f]), t);
+        assert_eq!(ctx.not(t), f);
+        let a = ctx.bool_var("a");
+        assert_eq!(ctx.and([a, t]), a);
+        assert_eq!(ctx.implies(f, a), t);
+        let x = ctx.bv_const(3, 8);
+        let y = ctx.bv_const(5, 8);
+        let s = ctx.bv_add(x, y);
+        assert_eq!(ctx.bv_const(8, 8), s);
+        let c = ctx.bv_ult(x, y);
+        assert_eq!(c, t);
+    }
+
+    #[test]
+    fn bv_arith_model() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 16);
+        let five = ctx.bv_const(5, 16);
+        let sum = ctx.bv_add(x, five);
+        let target = ctx.bv_const(12, 16);
+        let e = ctx.eq(sum, target);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.model().unwrap().eval_bv(x), Some(7));
+    }
+
+    #[test]
+    fn bv_mul_model() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 8);
+        let y = ctx.bv_var("y", 8);
+        let p = ctx.bv_mul(x, y);
+        let target = ctx.bv_const(35, 8);
+        let e = ctx.eq(p, target);
+        ctx.assert(e);
+        let two = ctx.bv_const(2, 8);
+        let gx = ctx.bv_ugt(x, two);
+        let gy = ctx.bv_ugt(y, two);
+        ctx.assert(gx);
+        ctx.assert(gy);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        let m = ctx.model().unwrap();
+        let (vx, vy) = (m.eval_bv(x).unwrap(), m.eval_bv(y).unwrap());
+        assert_eq!((vx * vy) & 0xff, 35);
+        assert!(vx > 2 && vy > 2);
+    }
+
+    #[test]
+    fn bv_overflow_wraps() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_const(0xff, 8);
+        let one = ctx.bv_const(1, 8);
+        let s = ctx.bv_add(x, one);
+        assert_eq!(ctx.bv_const(0, 8), s);
+    }
+
+    #[test]
+    fn signed_compare() {
+        let mut ctx = Context::new();
+        let minus_one = ctx.bv_const(0xff, 8);
+        let one = ctx.bv_const(1, 8);
+        let t = ctx.bool_const(true);
+        let slt = ctx.bv_slt(minus_one, one);
+        assert_eq!(slt, t);
+        let ult = ctx.bv_ult(minus_one, one);
+        assert_eq!(ult, ctx.bool_const(false));
+    }
+
+    #[test]
+    fn signed_compare_symbolic() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 8);
+        let zero = ctx.bv_const(0, 8);
+        let neg = ctx.bv_slt(x, zero);
+        let hi = ctx.bv_const(0x7f, 8);
+        let big = ctx.bv_ugt(x, hi);
+        ctx.assert(neg);
+        // Negative in signed terms == MSB set == unsigned > 0x7f.
+        let nb = ctx.not(big);
+        ctx.push();
+        ctx.assert(nb);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+        ctx.assert(big);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+    }
+
+    #[test]
+    fn extract_concat_roundtrip() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 16);
+        let hi = ctx.bv_extract(x, 15, 8);
+        let lo = ctx.bv_extract(x, 7, 0);
+        let back = ctx.bv_concat(hi, lo);
+        let e = ctx.eq(back, x);
+        let ne = ctx.not(e);
+        ctx.assert(ne);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn shifts() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_const(0b1011, 8);
+        assert_eq!(ctx.bv_shl(x, 2), ctx.bv_const(0b101100, 8));
+        assert_eq!(ctx.bv_lshr(x, 1), ctx.bv_const(0b101, 8));
+        assert_eq!(ctx.bv_shl(x, 9), ctx.bv_const(0, 8));
+        let y = ctx.bv_var("y", 8);
+        assert_eq!(ctx.bv_shl(y, 0), y);
+    }
+
+    #[test]
+    fn push_pop_retracts() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        ctx.assert(a);
+        ctx.push();
+        let na = ctx.not(a);
+        ctx.assert(na);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.scope_depth(), 0);
+    }
+
+    #[test]
+    fn nested_scopes() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        ctx.push();
+        ctx.assert(a);
+        ctx.push();
+        let nb = ctx.not(b);
+        ctx.assert(nb);
+        ctx.assert(b);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.model().unwrap().eval_bool(a), Some(true));
+        ctx.pop();
+        assert_eq!(ctx.check(), CheckResult::Sat);
+    }
+
+    #[test]
+    fn unsat_core_names_assumptions() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let c = ctx.bool_var("c");
+        let na = ctx.not(a);
+        let nab = ctx.or([na, b]);
+        ctx.assert(nab); // a → b
+        let nb = ctx.not(b);
+        let r = ctx.check_assuming(&[a, nb, c]);
+        assert_eq!(r, CheckResult::Unsat);
+        let core = ctx.unsat_core().to_vec();
+        assert!(core.contains(&a));
+        assert!(core.contains(&nb));
+        assert!(!core.contains(&c));
+    }
+
+    #[test]
+    fn strings_intern_and_compare() {
+        let mut ctx = Context::new();
+        let m1 = ctx.str_const("memory");
+        let m2 = ctx.str_const("memory");
+        let r = ctx.str_const("reg");
+        assert_eq!(m1, m2);
+        let e = ctx.eq(m1, m2);
+        assert_eq!(e, ctx.bool_const(true));
+        let e2 = ctx.eq(m1, r);
+        assert_eq!(e2, ctx.bool_const(false));
+    }
+
+    #[test]
+    fn string_var_solves_to_interned() {
+        let mut ctx = Context::new();
+        let x = ctx.str_var("device_type");
+        let mem = ctx.str_const("memory");
+        let e = ctx.eq(x, mem);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.model().unwrap().eval_str(x), Some("memory"));
+    }
+
+    #[test]
+    fn ite_over_bitvectors() {
+        let mut ctx = Context::new();
+        let c = ctx.bool_var("c");
+        let a = ctx.bv_const(10, 8);
+        let b = ctx.bv_const(20, 8);
+        let sel = ctx.ite(c, a, b);
+        let e = ctx.eq(sel, a);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.model().unwrap().eval_bool(c), Some(true));
+    }
+
+    #[test]
+    fn distinct_pairwise() {
+        let mut ctx = Context::new();
+        let xs: Vec<TermId> = (0..3).map(|i| ctx.bv_var(&format!("x{i}"), 2)).collect();
+        let d = ctx.distinct(xs.clone());
+        ctx.assert(d);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        let m = ctx.model().unwrap();
+        let vals: Vec<u128> = xs.iter().map(|&x| m.eval_bv(x).unwrap()).collect();
+        assert_ne!(vals[0], vals[1]);
+        assert_ne!(vals[0], vals[2]);
+        assert_ne!(vals[1], vals[2]);
+    }
+
+    #[test]
+    fn distinct_four_in_two_bits_unsat() {
+        let mut ctx = Context::new();
+        let xs: Vec<TermId> = (0..5).map(|i| ctx.bv_var(&format!("x{i}"), 2)).collect();
+        let d = ctx.distinct(xs);
+        ctx.assert(d);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let mut ctx = Context::new();
+        let a = ctx.bv_var("a", 8);
+        let b = ctx.bv_var("b", 16);
+        let _ = ctx.bv_add(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Bool")]
+    fn assert_non_bool_panics() {
+        let mut ctx = Context::new();
+        let a = ctx.bv_var("a", 8);
+        ctx.assert(a);
+    }
+
+    #[test]
+    fn display_sexpr() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let f = ctx.implies(a, b);
+        assert_eq!(ctx.display(f), "(=> a b)");
+    }
+
+    #[test]
+    fn cardinality_counts_models() {
+        // Over 4 free variables, the number of models of at_most/
+        // at_least/exactly matches binomial arithmetic.
+        let choose = |n: u64, k: u64| -> u64 {
+            (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
+        };
+        for k in 0..=4usize {
+            let mut ctx = Context::new();
+            let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
+            let c = ctx.at_most(xs.clone(), k);
+            ctx.assert(c);
+            let expected: u64 = (0..=k as u64).map(|j| choose(4, j)).sum();
+            assert_eq!(ctx.count_models(&xs) as u64, expected, "at_most {k}");
+
+            let mut ctx = Context::new();
+            let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
+            let c = ctx.exactly(xs.clone(), k);
+            ctx.assert(c);
+            assert_eq!(ctx.count_models(&xs) as u64, choose(4, k as u64), "exactly {k}");
+
+            let mut ctx = Context::new();
+            let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
+            let c = ctx.at_least(xs.clone(), k);
+            ctx.assert(c);
+            let expected: u64 = (k as u64..=4).map(|j| choose(4, j)).sum();
+            assert_eq!(ctx.count_models(&xs) as u64, expected, "at_least {k}");
+        }
+    }
+
+    #[test]
+    fn cardinality_edge_cases() {
+        let mut ctx = Context::new();
+        let t = ctx.bool_const(true);
+        // Fewer operands than k: trivially satisfied / unsatisfiable.
+        let a = ctx.bool_var("a");
+        let am = ctx.at_most([a], 5);
+        assert_eq!(am, t);
+        let al = ctx.at_least([a], 5);
+        assert_eq!(al, ctx.bool_const(false));
+        let al0 = ctx.at_least(Vec::<TermId>::new(), 0);
+        assert_eq!(al0, t);
+    }
+
+    #[test]
+    fn all_models_enumerates_projections() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let c = ctx.or([a, b]);
+        ctx.assert(c);
+        let models = ctx.all_models(&[a, b], None);
+        assert_eq!(models.len(), 3);
+        // Context unchanged: still satisfiable the same way.
+        assert_eq!(ctx.count_models(&[a, b]), 3);
+        assert_eq!(ctx.scope_depth(), 0);
+    }
+
+    #[test]
+    fn all_models_respects_limit() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let models = ctx.all_models(&[a, b], Some(2));
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn all_models_unsat_is_empty() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        let na = ctx.not(a);
+        ctx.assert(a);
+        ctx.assert(na);
+        assert!(ctx.all_models(&[a], None).is_empty());
+    }
+
+    #[test]
+    fn all_models_on_free_variables() {
+        // Projection terms that appear in no assertion still enumerate.
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("free_a");
+        let b = ctx.bool_var("free_b");
+        assert_eq!(ctx.count_models(&[a, b]), 4);
+    }
+
+    #[test]
+    fn incremental_reuse_after_pop() {
+        // The motivating usage from the paper: one growing instance.
+        let mut ctx = Context::new();
+        let base = ctx.bv_var("base", 32);
+        let lim = ctx.bv_const(0x1000, 32);
+        let c = ctx.bv_ult(base, lim);
+        ctx.assert(c);
+        for k in 0..5u32 {
+            ctx.push();
+            let v = ctx.bv_const(u128::from(k) * 0x100, 32);
+            let e = ctx.eq(base, v);
+            ctx.assert(e);
+            assert_eq!(ctx.check(), CheckResult::Sat);
+            assert_eq!(ctx.model().unwrap().eval_bv(base), Some(u128::from(k) * 0x100));
+            ctx.pop();
+        }
+        let bad = ctx.bv_const(0x2000, 32);
+        let e = ctx.eq(base, bad);
+        ctx.push();
+        ctx.assert(e);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+    }
+}

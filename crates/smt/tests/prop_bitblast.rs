@@ -1,0 +1,237 @@
+//! Property-based tests: bit-blasted bit-vector semantics against native
+//! `u64`/`i64` arithmetic.
+//!
+//! For each operation we assert `op(x, y) != expected` for concrete x, y
+//! and require UNSAT — i.e. the gate network provably computes the same
+//! function as the reference implementation on those inputs. Inputs are
+//! fed in as *variables constrained by equality* (not constants) so the
+//! constant folder cannot short-circuit the gate network under test.
+
+use llhsc_smt::{CheckResult, Context, TermId};
+use proptest::prelude::*;
+
+fn mask(v: u64, w: u32) -> u64 {
+    if w >= 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
+}
+
+/// Builds variables x, y of width `w` pinned to the given values via
+/// asserted equalities.
+fn pinned_vars(ctx: &mut Context, w: u32, x: u64, y: u64) -> (TermId, TermId) {
+    let xv = ctx.bv_var("x", w);
+    let yv = ctx.bv_var("y", w);
+    let xc = ctx.bv_const(u128::from(mask(x, w)), w);
+    let yc = ctx.bv_const(u128::from(mask(y, w)), w);
+    let ex = ctx.eq(xv, xc);
+    let ey = ctx.eq(yv, yc);
+    ctx.assert(ex);
+    ctx.assert(ey);
+    (xv, yv)
+}
+
+/// Asserts that `term != expected` is UNSAT, i.e. term == expected.
+fn assert_equals(ctx: &mut Context, term: TermId, expected: u64, w: u32) -> bool {
+    let e = ctx.bv_const(u128::from(mask(expected, w)), w);
+    let eq = ctx.eq(term, e);
+    let ne = ctx.not(eq);
+    ctx.assert(ne);
+    ctx.check() == CheckResult::Unsat
+}
+
+fn assert_bool(ctx: &mut Context, term: TermId, expected: bool) -> bool {
+    let e = ctx.bool_const(expected);
+    let eq = ctx.iff(term, e);
+    let ne = ctx.not(eq);
+    ctx.assert(ne);
+    ctx.check() == CheckResult::Unsat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_matches(x in any::<u64>(), y in any::<u64>(), w in 1u32..=64) {
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_add(xv, yv);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w).wrapping_add(mask(y, w)), w));
+    }
+
+    #[test]
+    fn sub_matches(x in any::<u64>(), y in any::<u64>(), w in 1u32..=64) {
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_sub(xv, yv);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w).wrapping_sub(mask(y, w)), w));
+    }
+
+    #[test]
+    fn mul_matches(x in any::<u64>(), y in any::<u64>(), w in 1u32..=16) {
+        // Multiplication networks are O(w²); small widths keep this fast.
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_mul(xv, yv);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w).wrapping_mul(mask(y, w)), w));
+    }
+
+    #[test]
+    fn neg_matches(x in any::<u64>(), w in 1u32..=64) {
+        let mut ctx = Context::new();
+        let (xv, _) = pinned_vars(&mut ctx, w, x, 0);
+        let t = ctx.bv_neg(xv);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w).wrapping_neg(), w));
+    }
+
+    #[test]
+    fn bitwise_matches(x in any::<u64>(), y in any::<u64>(), w in 1u32..=64) {
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t_and = ctx.bv_and(xv, yv);
+        let t_or = ctx.bv_or(xv, yv);
+        let t_xor = ctx.bv_xor(xv, yv);
+        let t_not = ctx.bv_not(xv);
+        let ok_and = {
+            let e = ctx.bv_const(u128::from(mask(x, w) & mask(y, w)), w);
+            
+            ctx.eq(t_and, e)
+        };
+        let ok_or = {
+            let e = ctx.bv_const(u128::from(mask(x, w) | mask(y, w)), w);
+            ctx.eq(t_or, e)
+        };
+        let ok_xor = {
+            let e = ctx.bv_const(u128::from(mask(x, w) ^ mask(y, w)), w);
+            ctx.eq(t_xor, e)
+        };
+        let ok_not = {
+            let e = ctx.bv_const(u128::from(mask(!mask(x, w), w)), w);
+            ctx.eq(t_not, e)
+        };
+        let all = ctx.and([ok_and, ok_or, ok_xor, ok_not]);
+        let ne = ctx.not(all);
+        ctx.assert(ne);
+        prop_assert_eq!(ctx.check(), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn unsigned_compare_matches(x in any::<u64>(), y in any::<u64>(), w in 1u32..=64) {
+        let (mx, my) = (mask(x, w), mask(y, w));
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_ult(xv, yv);
+        prop_assert!(assert_bool(&mut ctx, t, mx < my));
+
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_ule(xv, yv);
+        prop_assert!(assert_bool(&mut ctx, t, mx <= my));
+    }
+
+    #[test]
+    fn signed_compare_matches(x in any::<u64>(), y in any::<u64>(), w in 2u32..=64) {
+        let sign = |v: u64| -> i128 {
+            let m = mask(v, w);
+            if m >> (w - 1) & 1 == 1 {
+                m as i128 - (1i128 << w)
+            } else {
+                m as i128
+            }
+        };
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_slt(xv, yv);
+        prop_assert!(assert_bool(&mut ctx, t, sign(x) < sign(y)));
+
+        let mut ctx = Context::new();
+        let (xv, yv) = pinned_vars(&mut ctx, w, x, y);
+        let t = ctx.bv_sle(xv, yv);
+        prop_assert!(assert_bool(&mut ctx, t, sign(x) <= sign(y)));
+    }
+
+    #[test]
+    fn shifts_match(x in any::<u64>(), w in 1u32..=64, k in 0u32..64) {
+        let k = k % w;
+        let mut ctx = Context::new();
+        let (xv, _) = pinned_vars(&mut ctx, w, x, 0);
+        let t = ctx.bv_shl(xv, k);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w) << k, w));
+
+        let mut ctx = Context::new();
+        let (xv, _) = pinned_vars(&mut ctx, w, x, 0);
+        let t = ctx.bv_lshr(xv, k);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w) >> k, w));
+    }
+
+    #[test]
+    fn extract_matches(x in any::<u64>(), w in 2u32..=64, a in 0u32..64, b in 0u32..64) {
+        let (hi, lo) = ((a.max(b)) % w, (a.min(b)) % w);
+        let (hi, lo) = (hi.max(lo), lo.min(hi));
+        let nw = hi - lo + 1;
+        let mut ctx = Context::new();
+        let (xv, _) = pinned_vars(&mut ctx, w, x, 0);
+        let t = ctx.bv_extract(xv, hi, lo);
+        prop_assert!(assert_equals(&mut ctx, t, mask(mask(x, w) >> lo, nw), nw));
+    }
+
+    #[test]
+    fn concat_matches(x in any::<u32>(), y in any::<u32>(), wh in 1u32..=32, wl in 1u32..=32) {
+        let (mx, my) = (mask(x.into(), wh), mask(y.into(), wl));
+        let mut ctx = Context::new();
+        let hv = ctx.bv_var("h", wh);
+        let lv = ctx.bv_var("l", wl);
+        let hc = ctx.bv_const(u128::from(mx), wh);
+        let lc = ctx.bv_const(u128::from(my), wl);
+        let eh = ctx.eq(hv, hc);
+        let el = ctx.eq(lv, lc);
+        ctx.assert(eh);
+        ctx.assert(el);
+        let t = ctx.bv_concat(hv, lv);
+        prop_assert!(assert_equals(&mut ctx, t, (mx << wl) | my, wh + wl));
+    }
+
+    #[test]
+    fn zero_ext_matches(x in any::<u64>(), w in 1u32..=32, extra in 0u32..=32) {
+        let mut ctx = Context::new();
+        let (xv, _) = pinned_vars(&mut ctx, w, x, 0);
+        let t = ctx.bv_zero_ext(xv, extra);
+        prop_assert!(assert_equals(&mut ctx, t, mask(x, w), w + extra));
+    }
+
+    #[test]
+    fn symbolic_shifts_match(x in any::<u64>(), k in any::<u8>(), w in 1u32..=64) {
+        // The amount operand is itself w bits wide, so the effective
+        // amount is k mod 2^w; SMT-LIB semantics then give zero for
+        // effective amounts >= width (still reachable for every w).
+        let k = mask(u64::from(k), w);
+        let expected_shl = if k >= u64::from(w) { 0 } else { mask(mask(x, w) << k, w) };
+        let expected_shr = if k >= u64::from(w) { 0 } else { mask(x, w) >> k };
+
+        let mut ctx = Context::new();
+        let (xv, kv) = pinned_vars(&mut ctx, w, x, k);
+        let t = ctx.bv_shl_term(xv, kv);
+        prop_assert!(assert_equals(&mut ctx, t, expected_shl, w));
+
+        let mut ctx = Context::new();
+        let (xv, kv) = pinned_vars(&mut ctx, w, x, k);
+        let t = ctx.bv_lshr_term(xv, kv);
+        prop_assert!(assert_equals(&mut ctx, t, expected_shr, w));
+    }
+
+    /// Folded (constant) and blasted (variable) paths agree on add/mul.
+    #[test]
+    fn folding_agrees_with_blasting(x in any::<u16>(), y in any::<u16>()) {
+        let mut ctx = Context::new();
+        let xc = ctx.bv_const(u128::from(x), 16);
+        let yc = ctx.bv_const(u128::from(y), 16);
+        let folded = ctx.bv_add(xc, yc); // folds to a constant
+        let (xv, yv) = pinned_vars(&mut ctx, 16, x.into(), y.into());
+        let blasted = ctx.bv_add(xv, yv);
+        let eq = ctx.eq(folded, blasted);
+        let ne = ctx.not(eq);
+        ctx.assert(ne);
+        prop_assert_eq!(ctx.check(), CheckResult::Unsat);
+    }
+}

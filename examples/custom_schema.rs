@@ -1,0 +1,87 @@
+//! Writing binding schemas for custom hardware: a dt-schema-style YAML
+//! document for an FPGA accelerator, checked structurally and through
+//! the SMT encoding, including the unsat-core traceback when a rule is
+//! violated.
+//!
+//! Run with: `cargo run --example custom_schema`
+
+use llhsc_schema::{check_structural, Schema, SchemaSet, SyntacticChecker};
+
+const ACCEL_SCHEMA: &str = r#"
+$id: npu
+select:
+  compatible: acme,npu-v2
+properties:
+  compatible:
+    const: acme,npu-v2
+  reg:
+    minItems: 1
+    maxItems: 2
+  clock-frequency:
+    type: u32
+  power-domain:
+    enum: [always-on, gated]
+required:
+  - compatible
+  - reg
+  - clock-frequency
+"#;
+
+const GOOD_BOARD: &str = r#"
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    npu@a0000000 {
+        compatible = "acme,npu-v2";
+        reg = <0xa0000000 0x100000>;
+        clock-frequency = <800000000>;
+        power-domain = "gated";
+    };
+};
+"#;
+
+const BAD_BOARD: &str = r#"
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    npu@a0000000 {
+        compatible = "acme,npu-v2";
+        reg = <0xa0000000 0x100000 0xb0000000 0x100000 0xc0000000 0x100000>;
+        power-domain = "sometimes";
+    };
+};
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::parse(ACCEL_SCHEMA)?;
+    println!(
+        "parsed schema {:?}: {} property rules, {} required properties",
+        schema.id,
+        schema.properties.len(),
+        schema.required.len()
+    );
+    let schemas = SchemaSet::from(vec![schema]);
+
+    let good = llhsc_dts::parse(GOOD_BOARD)?;
+    let report = SyntacticChecker::new(&good, &schemas).check();
+    println!(
+        "\ngood board: {} rules checked, {}",
+        report.rules_checked,
+        if report.is_ok() { "all satisfied" } else { "violations!" }
+    );
+
+    let bad = llhsc_dts::parse(BAD_BOARD)?;
+    println!("\nbad board (3 reg entries, bad enum, missing clock-frequency):");
+    println!("  structural checker:");
+    for v in check_structural(&bad, &schemas) {
+        println!("    {v}");
+    }
+    println!("  SMT checker (violated rules from unsat cores):");
+    let report = SyntacticChecker::new(&bad, &schemas).check();
+    for v in &report.violations {
+        println!("    {v}");
+    }
+    Ok(())
+}

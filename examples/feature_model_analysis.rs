@@ -1,0 +1,86 @@
+//! Feature-model engineering with llhsc: the textual `.fm` format,
+//! automated analyses (void/dead/false-optional/commonality) and
+//! cardinality groups — the §II-B machinery as a standalone tool.
+//!
+//! Run with: `cargo run --example feature_model_analysis`
+
+use llhsc_fm::{parse_model, Analyzer, MultiModel};
+
+const MODEL: &str = r#"
+# An automotive-ish SBC: one mandatory safety island, a cluster of
+# application cores, between one and two CAN controllers, cameras.
+feature AutoSBC {
+    memory
+    safety_island
+    cpus xor exclusive {
+        cluster_2core?
+        cluster_4core?
+    }
+    can [1..2] {
+        can0?
+        can1?
+        can2?
+    }
+    cameras? abstract or {
+        front_cam?
+        rear_cam?
+    }
+    adas?     # driver assistance stack
+}
+
+constraints {
+    adas requires cluster_4core
+    adas requires front_cam
+    rear_cam requires cameras
+    safety_island requires can0   # the safety island owns CAN0…
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = parse_model(MODEL)?;
+    println!("{model}");
+
+    let mut an = Analyzer::new(&model);
+    println!("void: {}", an.is_void());
+    println!("products: {}", an.count_products());
+
+    let name = |id| model.name(id).to_string();
+    println!(
+        "dead features: {:?}",
+        an.dead_features().into_iter().map(name).collect::<Vec<_>>()
+    );
+    let name = |id| model.name(id).to_string();
+    println!(
+        "false-optional features: {:?}",
+        an.false_optional().into_iter().map(name).collect::<Vec<_>>()
+    );
+    let name = |id| model.name(id).to_string();
+    println!(
+        "core features: {:?}",
+        an.core_features().into_iter().map(name).collect::<Vec<_>>()
+    );
+
+    println!("\ncommonality (fraction of products containing the feature):");
+    for feature in ["can0", "can1", "front_cam", "adas", "cluster_4core"] {
+        let id = model.by_name(feature).expect("feature exists");
+        println!(
+            "  {feature:<14} {:.0}%",
+            an.commonality(id).unwrap_or(0.0) * 100.0
+        );
+    }
+
+    // Completion: ask for adas and let the solver do the rest.
+    let adas = model.by_name("adas").expect("feature exists");
+    let product = an.complete(&[adas]).expect("adas is satisfiable");
+    println!(
+        "\nminimal product containing adas:\n  {}",
+        an.product_names(&product).join(", ")
+    );
+
+    // Partitioning head-room: the exclusive cluster choice caps VMs.
+    println!(
+        "\nmax VMs under exclusive cluster allocation: {:?}",
+        MultiModel::max_vms(&model, 8)
+    );
+    Ok(())
+}

@@ -1,0 +1,5 @@
+//! Umbrella package for the `llhsc` reproduction workspace.
+//!
+//! This package exists to host the workspace-level integration tests in
+//! `/tests` and the runnable examples in `/examples`. All functionality
+//! lives in the member crates; see the workspace `README.md`.

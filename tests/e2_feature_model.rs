@@ -1,0 +1,148 @@
+//! E2 — Fig. 1a: the CustomSBC feature model has exactly 12 valid
+//! products, and the Fig. 1b / Fig. 1c products validate.
+
+use llhsc::running_example;
+use llhsc_fm::{Analyzer, FeatureId};
+
+fn ids(model: &llhsc_fm::FeatureModel, names: &[&str]) -> Vec<FeatureId> {
+    names.iter().map(|n| model.by_name(n).unwrap()).collect()
+}
+
+#[test]
+fn twelve_valid_products() {
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    assert_eq!(an.count_products(), 12);
+}
+
+#[test]
+fn root_is_in_every_product() {
+    // "the root feature (CustomSBC) is present in all products" (§III-A).
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let root = model.root();
+    for p in an.products() {
+        assert!(p.contains(&root));
+    }
+}
+
+#[test]
+fn cpus_is_mandatory_xor() {
+    // "The cpus feature is mandatory and, due to its exclusive-or (XOR)
+    // semantics, only one of its children can be selected."
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let cpu0 = model.by_name("cpu@0").unwrap();
+    let cpu1 = model.by_name("cpu@1").unwrap();
+    for p in an.products() {
+        let n = [cpu0, cpu1].iter().filter(|c| p.contains(c)).count();
+        assert_eq!(n, 1, "every product selects exactly one CPU");
+    }
+}
+
+#[test]
+fn fig1b_is_valid() {
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let sel = ids(
+        &model,
+        &[
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@0",
+            "uarts",
+            "uart@20000000",
+            "uart@30000000",
+            "vEthernet",
+            "veth0",
+        ],
+    );
+    assert!(an.is_valid(&sel));
+}
+
+#[test]
+fn fig1c_is_valid() {
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let sel = ids(
+        &model,
+        &[
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@1",
+            "uarts",
+            "uart@20000000",
+            "uart@30000000",
+            "vEthernet",
+            "veth1",
+        ],
+    );
+    assert!(an.is_valid(&sel));
+}
+
+#[test]
+fn veth_requires_matching_cpu() {
+    // "if veth0 is selected, then cpu@0 must be selected" (§III-A).
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let veth0 = model.by_name("veth0").unwrap();
+    let cpu0 = model.by_name("cpu@0").unwrap();
+    let veth1 = model.by_name("veth1").unwrap();
+    let cpu1 = model.by_name("cpu@1").unwrap();
+    for p in an.products() {
+        if p.contains(&veth0) {
+            assert!(p.contains(&cpu0));
+        }
+        if p.contains(&veth1) {
+            assert!(p.contains(&cpu1));
+        }
+    }
+}
+
+#[test]
+fn veths_are_mutually_exclusive() {
+    // "the Ethernet device node features are mutually exclusive".
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let veth0 = model.by_name("veth0").unwrap();
+    let veth1 = model.by_name("veth1").unwrap();
+    for p in an.products() {
+        assert!(!(p.contains(&veth0) && p.contains(&veth1)));
+    }
+}
+
+#[test]
+fn uarts_can_coexist() {
+    // "The UART device node features can coexist in a product (OR)".
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let u0 = model.by_name("uart@20000000").unwrap();
+    let u1 = model.by_name("uart@30000000").unwrap();
+    assert!(an
+        .products()
+        .iter()
+        .any(|p| p.contains(&u0) && p.contains(&u1)));
+}
+
+#[test]
+fn model_is_not_void_and_has_no_dead_features() {
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    assert!(!an.is_void());
+    assert!(an.dead_features().is_empty());
+}
+
+#[test]
+fn invalid_selection_explained() {
+    let model = running_example::feature_model();
+    let mut an = Analyzer::new(&model);
+    let sel = ids(
+        &model,
+        &["CustomSBC", "memory", "cpus", "cpu@1", "uarts", "uart@20000000", "vEthernet", "veth0"],
+    );
+    assert!(!an.is_valid(&sel));
+    let why = an.explain_invalid(&sel);
+    assert!(!why.is_empty());
+}

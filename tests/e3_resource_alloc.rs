@@ -1,0 +1,100 @@
+//! E3 — §IV-A: the multi-product resource-allocation checker. Fig. 1b
+//! and Fig. 1c coexist as a two-VM partitioning; double-allocating a
+//! CPU is unsatisfiable; the maximum VM count is two.
+
+use llhsc::running_example;
+use llhsc_fm::{AllocationError, FeatureId, MultiModel};
+
+fn ids(model: &llhsc_fm::FeatureModel, names: &[&str]) -> Vec<FeatureId> {
+    names.iter().map(|n| model.by_name(n).unwrap()).collect()
+}
+
+#[test]
+fn fig1_products_partition() {
+    let model = running_example::feature_model();
+    let mut mm = MultiModel::new(&model, 2);
+    let vm1 = ids(
+        &model,
+        &[
+            "CustomSBC", "memory", "cpus", "cpu@0", "uarts",
+            "uart@20000000", "uart@30000000", "vEthernet", "veth0",
+        ],
+    );
+    let vm2 = ids(
+        &model,
+        &[
+            "CustomSBC", "memory", "cpus", "cpu@1", "uarts",
+            "uart@20000000", "uart@30000000", "vEthernet", "veth1",
+        ],
+    );
+    let part = mm.validate(&[vm1, vm2]).expect("Fig. 1 partitioning is valid");
+    // "the platform DTS is the union of selected features in both
+    // products" (§III-A).
+    let names = mm.product_names(&part.platform);
+    for expected in [
+        "cpu@0", "cpu@1", "veth0", "veth1", "memory", "uart@20000000", "uart@30000000",
+    ] {
+        assert!(names.contains(&expected.to_string()), "{expected} missing");
+    }
+}
+
+#[test]
+fn same_cpu_for_both_vms_is_unsatisfiable() {
+    let model = running_example::feature_model();
+    let mut mm = MultiModel::new(&model, 2);
+    let vm = ids(
+        &model,
+        &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+    );
+    let err = mm.validate(&[vm.clone(), vm]).unwrap_err();
+    assert!(matches!(err, AllocationError::Unsatisfiable(_)));
+}
+
+#[test]
+fn max_vms_is_two() {
+    // "the maximum number of VMs is two (m = 2)" — cpus is mandatory
+    // and there are only two exclusive CPUs.
+    let model = running_example::feature_model();
+    assert_eq!(MultiModel::max_vms(&model, 8), Some(2));
+}
+
+#[test]
+fn cpu_assignment_is_automatic() {
+    // "the assignment of CPUs is automatic (in Fig. 1 CPU features are
+    // grayed-out and cannot be selected by the user)".
+    let model = running_example::feature_model();
+    let mut mm = MultiModel::new(&model, 2);
+    let v0 = ids(&model, &["veth0"]);
+    let v1 = ids(&model, &["veth1"]);
+    let part = mm.complete(&[v0, v1]).expect("completable");
+    assert!(mm.product_names(&part.vms[0]).contains(&"cpu@0".to_string()));
+    assert!(mm.product_names(&part.vms[1]).contains(&"cpu@1".to_string()));
+}
+
+#[test]
+fn ablation_without_exclusivity() {
+    // Removing the §IV-A constraint lets both VMs take cpu@0 — the
+    // formula is what enforces static partitioning.
+    let mut model = running_example::feature_model();
+    let cpus = model.by_name("cpus").unwrap();
+    model.set_cross_vm_exclusive(cpus, false);
+    let mut mm = MultiModel::new(&model, 2);
+    let vm = ids(
+        &model,
+        &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+    );
+    assert!(mm.validate(&[vm.clone(), vm]).is_ok());
+}
+
+#[test]
+fn shared_memory_is_not_exclusive() {
+    // memory is partitioned *within* the banks, not exclusively owned:
+    // both VMs select the memory feature.
+    let model = running_example::feature_model();
+    let mut mm = MultiModel::new(&model, 2);
+    let mem = ids(&model, &["memory"]);
+    let part = mm.complete(&[mem.clone(), mem]).expect("both VMs get memory");
+    for vm in &part.vms {
+        assert!(mm.product_names(vm).contains(&"memory".to_string()));
+    }
+}

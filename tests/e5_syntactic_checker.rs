@@ -1,0 +1,138 @@
+//! E5 — Listing 5 and constraints (1)–(6): the schema-driven syntactic
+//! checkers (structural baseline and SMT encoding) on the running
+//! example's bindings.
+
+use llhsc::running_example;
+use llhsc_schema::{check_structural, Schema, SchemaSet, SyntacticChecker, ViolationKind};
+
+#[test]
+fn listing5_schema_parses() {
+    let s = Schema::parse(
+        r#"
+$id: memory
+properties:
+  device_type:
+    const: memory
+  reg:
+    minItems: 1
+    maxItems: 1024
+required:
+  - device_type
+  - reg
+"#,
+    )
+    .unwrap();
+    assert_eq!(s.required, vec!["device_type", "reg"]);
+    assert_eq!(s.rule("reg").unwrap().max_items, Some(1024));
+}
+
+#[test]
+fn running_example_is_syntactically_valid() {
+    let tree = running_example::core_tree();
+    let schemas = running_example::schemas();
+    assert!(check_structural(&tree, &schemas).is_empty());
+    let report = SyntacticChecker::new(&tree, &schemas).check();
+    assert!(report.is_ok(), "{:?}", report.violations);
+}
+
+#[test]
+fn derived_vm_trees_are_syntactically_valid() {
+    let line = running_example::product_line();
+    let schemas = running_example::schemas();
+    for sel in [
+        vec!["memory", "veth0", "uart@20000000", "uart@30000000", "cpu@0"],
+        vec!["memory", "veth1", "uart@20000000", "uart@30000000", "cpu@1"],
+    ] {
+        let p = line.derive(&sel).unwrap();
+        let report = SyntacticChecker::new(&p.tree, &schemas).check();
+        assert!(report.is_ok(), "{sel:?}: {:?}", report.violations);
+    }
+}
+
+#[test]
+fn missing_required_reg_detected_by_both_checkers() {
+    let tree = llhsc_dts::parse(
+        "/ { memory@40000000 { device_type = \"memory\"; }; };",
+    )
+    .unwrap();
+    let schemas = running_example::schemas();
+    let structural = check_structural(&tree, &schemas);
+    assert_eq!(structural.len(), 1);
+    assert_eq!(structural[0].kind, ViolationKind::MissingRequired);
+    let smt = SyntacticChecker::new(&tree, &schemas).check();
+    assert_eq!(smt.violations.len(), 1);
+    assert!(smt.violations[0].description.contains("\"reg\""));
+}
+
+#[test]
+fn const_rule_constraint1() {
+    // Constraint (1): R(device_type) → (const ↔ "memory").
+    let tree = llhsc_dts::parse(
+        "/ { #address-cells = <2>; #size-cells = <2>; \
+         memory@0 { device_type = \"sdram\"; reg = <0 0 0 1>; }; };",
+    )
+    .unwrap();
+    let report = SyntacticChecker::new(&tree, &running_example::schemas()).check();
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].description.contains("memory"));
+}
+
+#[test]
+fn reg_arity_rule_from_the_intro() {
+    // §I-A: "the semantic rule specifies that each sub-array must have
+    // size 4" — 2+2 cells, so 7 cells is rejected, 8 accepted.
+    let schemas = running_example::schemas();
+    let bad = llhsc_dts::parse(
+        "/ { #address-cells = <2>; #size-cells = <2>; \
+         memory@0 { device_type = \"memory\"; reg = <0 0 0 1 0 0 1>; }; };",
+    )
+    .unwrap();
+    assert!(!SyntacticChecker::new(&bad, &schemas).check().is_ok());
+    let good = llhsc_dts::parse(
+        "/ { #address-cells = <2>; #size-cells = <2>; \
+         memory@0 { device_type = \"memory\"; reg = <0 0 0 1 0 1 0 1>; }; };",
+    )
+    .unwrap();
+    assert!(SyntacticChecker::new(&good, &schemas).check().is_ok());
+}
+
+#[test]
+fn closure_constraint6_makes_closed_schemas_decidable() {
+    // Constraint (6) gives ¬R(x) for properties not in the instance,
+    // so a closed schema can reject undeclared properties.
+    let schema = Schema::new("strict")
+        .select_node_name("strict")
+        .prop(llhsc_schema::PropRule::new("reg"))
+        .require("reg")
+        .closed();
+    let set = SchemaSet::from(vec![schema]);
+    let tree = llhsc_dts::parse(
+        "/ { #address-cells = <1>; #size-cells = <1>; \
+         strict@0 { reg = <0 1>; extra = <1>; }; };",
+    )
+    .unwrap();
+    let report = SyntacticChecker::new(&tree, &set).check();
+    assert_eq!(report.violations.len(), 1);
+    assert!(report.violations[0].description.contains("extra"));
+}
+
+#[test]
+fn checkers_agree_on_derived_products() {
+    // The SMT checker generalises dt-schema's verdicts (paper's claim):
+    // on every valid product of the running example they agree.
+    let line = running_example::product_line();
+    let schemas = running_example::schemas();
+    let model = running_example::feature_model();
+    let mut an = llhsc_fm::Analyzer::new(&model);
+    for product in an.products() {
+        let names: Vec<String> = product
+            .iter()
+            .map(|id| model.name(*id).to_string())
+            .collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let p = line.derive(&refs).unwrap();
+        let structural_ok = check_structural(&p.tree, &schemas).is_empty();
+        let smt_ok = SyntacticChecker::new(&p.tree, &schemas).check().is_ok();
+        assert_eq!(structural_ok, smt_ok, "disagreement on {names:?}");
+    }
+}

@@ -1,0 +1,108 @@
+//! E8 / E9 — Listings 3 and 6: Bao platform and VM configuration files
+//! generated from the running example, line-comparable with the paper.
+
+use llhsc::running_example;
+use llhsc::Pipeline;
+use llhsc_hypcfg::{qemu_args, PlatformConfig, QemuMachine, VmConfig};
+
+#[test]
+fn e8_platform_config_matches_listing3() {
+    let out = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .expect("running example passes");
+    let c = &out.platform_c;
+    // The load-bearing lines of Listing 3.
+    assert!(c.contains("#include <platform.h>"));
+    assert!(c.contains("struct platform_desc platform = {"));
+    assert!(c.contains(".cpu_num = 2,"));
+    assert!(c.contains("{ .base = 0x40000000, .size = 0x20000000 },"));
+    assert!(c.contains("{ .base = 0x60000000, .size = 0x20000000 },"));
+    assert!(c.contains(".console = { .base = 0x20000000 },"));
+    assert!(c.contains(".num = 1, .core_num = (uint8_t[]) {2}"));
+}
+
+#[test]
+fn e9_vm_config_matches_listing6_shape() {
+    // Listing 6 describes "one VM configuration using all hardware
+    // resources … without partitioning": both banks, both uarts, one
+    // veth IPC with a shared-memory segment.
+    let src = r#"
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 {
+        device_type = "memory";
+        reg = <0x40000000 0x20000000 0x60000000 0x20000000>;
+    };
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 { device_type = "cpu"; reg = <0x0>; };
+        cpu@1 { device_type = "cpu"; reg = <0x1>; };
+    };
+    uart@20000000 { compatible = "ns16550a"; reg = <0x20000000 0x1000>; };
+    uart@30000000 { compatible = "ns16550a"; reg = <0x30000000 0x1000>; };
+    vEthernet {
+        #address-cells = <1>;
+        #size-cells = <1>;
+        veth0@70000000 { compatible = "veth"; reg = <0x70000000 0x10000>; id = <0>; };
+    };
+};
+"#;
+    let tree = llhsc_dts::parse(src).unwrap();
+    let vm = VmConfig::from_tree(&tree, "vm").unwrap();
+    let c = vm.to_c();
+    assert!(c.contains("VM_IMAGE(vm, vmimage.bin);"));
+    assert!(c.contains(".base_addr = 0x40000000,"));
+    assert!(c.contains(".entry = 0x40000000,"));
+    assert!(c.contains(".cpu_affinity = 0b11,"));
+    assert!(c.contains(".platform = { .cpu_num = 2, .dev_num = 2,"));
+    assert!(c.contains(".region_num = 2,"));
+    assert!(c.contains("{ .base = 0x40000000, .size = 0x20000000 },"));
+    assert!(c.contains("{ .base = 0x60000000, .size = 0x20000000 },"));
+    assert!(c.contains("{ .pa = 0x20000000,\n        .va = 0x20000000, .size = 0x1000 },"));
+    assert!(c.contains("{ .pa = 0x30000000,\n        .va = 0x30000000, .size = 0x1000 },"));
+    assert!(c.contains(".ipc_num = 1,"));
+    assert!(c.contains("{ .base = 0x70000000, .size = 0x00010000,\n        .shmem_id = 0 },"));
+    assert!(c.contains(".shmemlist_size = 1,"));
+    assert!(c.contains("[0] = { .size = 0x00010000 },"));
+}
+
+#[test]
+fn partitioned_vms_have_disjoint_affinities() {
+    let out = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .unwrap();
+    let a = out.vm_configs[0].cpu_affinity;
+    let b = out.vm_configs[1].cpu_affinity;
+    assert_eq!(a & b, 0, "exclusive CPU assignment");
+    assert_eq!(a | b, 0b11, "together they cover the cluster");
+}
+
+#[test]
+fn platform_extraction_is_stable_across_derivation() {
+    // Extracting from the pipeline's platform tree equals extracting
+    // from an equivalent hand-written DTS.
+    let out = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .unwrap();
+    let reparsed = llhsc_dts::parse(&out.platform_dts).unwrap();
+    let again = PlatformConfig::from_tree(&reparsed).unwrap();
+    assert_eq!(again, out.platform_config);
+}
+
+#[test]
+fn qemu_arguments_for_both_architectures() {
+    // §V: the configurations are "compatible with SBCs that use aarch64
+    // or RV64 architecture" and usable with QEMU.
+    let out = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .unwrap();
+    for vm in &out.vm_configs {
+        let aarch64 = qemu_args(vm, QemuMachine::Aarch64Virt);
+        assert_eq!(aarch64[0], "qemu-system-aarch64");
+        assert!(aarch64.windows(2).any(|w| w == ["-smp", "1"]));
+        let rv64 = qemu_args(vm, QemuMachine::Rv64Virt);
+        assert_eq!(rv64[0], "qemu-system-riscv64");
+    }
+}

@@ -1,0 +1,118 @@
+//! Robustness: none of the parsers in the workspace may panic on
+//! arbitrary input — malformed text must come back as a structured
+//! error. (A checker that crashes on the files it is supposed to
+//! reject is not a checker.)
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The DTS parser returns Ok or Err, never panics.
+    #[test]
+    fn dts_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_dts::parse(&src);
+    }
+
+    /// DTS-looking garbage (right alphabet, random structure).
+    #[test]
+    fn dts_parser_structured_garbage(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("/ {".to_string()),
+                Just("};".to_string()),
+                Just("reg = <".to_string()),
+                Just("0x1000".to_string()),
+                Just(">;".to_string()),
+                Just("\"str\"".to_string()),
+                Just("node@1".to_string()),
+                Just("/dts-v1/;".to_string()),
+                Just("/include/".to_string()),
+                Just("&label".to_string()),
+                Just("label:".to_string()),
+                Just("[ de ad ]".to_string()),
+                Just(",".to_string()),
+                Just(";".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let _ = llhsc_dts::parse(&tokens.join(" "));
+    }
+
+    /// The delta-language parser never panics.
+    #[test]
+    fn delta_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_delta::DeltaModule::parse_all(&src);
+    }
+
+    #[test]
+    fn delta_parser_structured_garbage(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("delta".to_string()),
+                Just("d1".to_string()),
+                Just("after".to_string()),
+                Just("when".to_string()),
+                Just("adds".to_string()),
+                Just("modifies".to_string()),
+                Just("removes".to_string()),
+                Just("binding".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just("/".to_string()),
+                Just("(a || b)".to_string()),
+                Just("!x".to_string()),
+                Just(";".to_string()),
+            ],
+            0..25,
+        )
+    ) {
+        let _ = llhsc_delta::DeltaModule::parse_all(&tokens.join(" "));
+    }
+
+    /// The schema (YAML-subset) parser never panics.
+    #[test]
+    fn schema_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_schema::Schema::parse(&src);
+    }
+
+    /// The feature-model text parser never panics.
+    #[test]
+    fn fm_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_fm::parse_model(&src);
+    }
+
+    /// The FDT decoder never panics on arbitrary bytes.
+    #[test]
+    fn fdt_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = llhsc_dts::fdt::decode(&bytes);
+        let _ = llhsc_dts::fdt::decode_typed(&bytes);
+    }
+
+    /// The FDT decoder never panics on *corrupted valid* blobs (a valid
+    /// header followed by flipped bytes exercises deeper paths than
+    /// pure noise).
+    #[test]
+    fn fdt_decoder_survives_corruption(
+        flips in prop::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8)
+    ) {
+        let tree = llhsc_dts::parse(
+            "/ { memory@0 { device_type = \"memory\"; reg = <0 0 0 1>; }; };",
+        )
+        .expect("fixture parses");
+        let mut blob = llhsc_dts::fdt::encode(&tree);
+        for (idx, val) in flips {
+            let i = idx.index(blob.len());
+            blob[i] ^= val;
+        }
+        let _ = llhsc_dts::fdt::decode(&blob);
+        let _ = llhsc_dts::fdt::decode_typed(&blob);
+    }
+
+    /// DIMACS parsing never panics.
+    #[test]
+    fn dimacs_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_sat::parse_dimacs(src.as_bytes());
+    }
+}
