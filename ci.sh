@@ -1,0 +1,10 @@
+#!/bin/sh
+# Local CI: everything must pass before a change lands.
+# Runs fully offline — the workspace has no registry dependencies
+# (proptest/criterion are in-tree shims, see crates/proptest and
+# crates/criterion).
+set -eux
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -2,7 +2,8 @@
 //! (7) is pairwise — O(n²) disjointness constraints — and the paper
 //! leans on incremental solving to keep it tractable; this measures
 //! both the clean (SAT) and colliding (UNSAT + witness extraction)
-//! cases.
+//! cases, and the sweep-line prefilter against the exhaustive
+//! encoding (the paper's formulation) at matching sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llhsc::SemanticChecker;
@@ -87,5 +88,52 @@ fn bench_paper_cases(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_clean, bench_with_collision, bench_paper_cases);
+/// The headline comparison: sweep-prefiltered (the default) vs the
+/// exhaustive quadratic encoding, on clean boards (where the prefilter
+/// removes every constraint) and boards with one collision (where it
+/// leaves exactly one pair).
+fn bench_prefilter_vs_exhaustive(c: &mut Criterion) {
+    for &collide in &[false, true] {
+        let label = if collide { "one_collision" } else { "clean" };
+        let mut group =
+            c.benchmark_group(format!("semantic/prefilter_vs_exhaustive/{label}"));
+        group.sample_size(10);
+        for &n in &[32usize, 64, 128, 256] {
+            let refs = regions(n, collide);
+            let checker = SemanticChecker::new();
+            let expected = usize::from(collide);
+            group.bench_with_input(
+                BenchmarkId::new("prefiltered", n),
+                &refs,
+                |b, refs| {
+                    b.iter(|| {
+                        let collisions = checker.check_regions(refs);
+                        assert_eq!(collisions.len(), expected);
+                        std::hint::black_box(collisions.len())
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("exhaustive", n),
+                &refs,
+                |b, refs| {
+                    b.iter(|| {
+                        let collisions = checker.check_regions_exhaustive(refs);
+                        assert_eq!(collisions.len(), expected);
+                        std::hint::black_box(collisions.len())
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_clean,
+    bench_with_collision,
+    bench_paper_cases,
+    bench_prefilter_vs_exhaustive
+);
 criterion_main!(benches);

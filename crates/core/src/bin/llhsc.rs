@@ -50,23 +50,52 @@ fn usage() -> ExitCode {
            llhsc model <file.fm>         analyse a feature-model file\n\
            llhsc build <project-dir>     run the full pipeline on a project\n\
            llhsc products                analyse the CustomSBC feature model\n\
-           llhsc demo                    run the paper's running example"
+           llhsc demo                    run the paper's running example\n\
+         \n\
+         options:\n\
+           --stats    print per-stage wall times and solver statistics\n\
+                      (check, build, demo)"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let before = args.len();
+    args.retain(|a| a != "--stats");
+    let stats = args.len() != before;
     match args.first().map(String::as_str) {
-        Some("check") if args.len() == 2 => cmd_check(Path::new(&args[1])),
+        Some("check") if args.len() == 2 => cmd_check(Path::new(&args[1]), stats),
         Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
         Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
         Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
-        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1])),
+        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1]), stats),
         Some("products") if args.len() == 1 => cmd_products(),
-        Some("demo") if args.len() == 1 => cmd_demo(),
+        Some("demo") if args.len() == 1 => cmd_demo(stats),
         _ => usage(),
     }
+}
+
+/// Renders the semantic checker's cost counters (`--stats`).
+fn print_region_stats(stats: &llhsc::RegionCheckStats) {
+    println!("semantic checker:");
+    println!("  regions           {:>10}", stats.regions);
+    println!("  pairs considered  {:>10}", stats.pairs_considered);
+    println!("  pairs encoded     {:>10}", stats.pairs_encoded);
+    println!("  SMT terms         {:>10}", stats.terms);
+    println!("  SAT solve calls   {:>10}", stats.solver.solves);
+    println!("  decisions         {:>10}", stats.solver.decisions);
+    println!("  propagations      {:>10}", stats.solver.propagations);
+    println!("  conflicts         {:>10}", stats.solver.conflicts);
+    println!("  problem clauses   {:>10}", stats.solver.clauses.problem);
+    println!("  learnt clauses    {:>10}", stats.solver.clauses.learnt);
+}
+
+/// Renders a pipeline run's instrumentation (`--stats`).
+fn print_pipeline_stats(out: &llhsc::PipelineOutput) {
+    println!("stage timings:");
+    println!("{}", out.timings);
+    print_region_stats(&out.semantic_stats);
 }
 
 fn cmd_model(path: &Path) -> ExitCode {
@@ -130,7 +159,7 @@ fn cmd_model(path: &Path) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_build(dir: &Path) -> ExitCode {
+fn cmd_build(dir: &Path, stats: bool) -> ExitCode {
     let read = |name: &str| -> Result<String, String> {
         std::fs::read_to_string(dir.join(name))
             .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
@@ -239,6 +268,9 @@ fn cmd_build(dir: &Path) -> ExitCode {
                 }
                 println!("wrote {}", path.display());
             }
+            if stats {
+                print_pipeline_stats(&out);
+            }
             ExitCode::SUCCESS
         }
     }
@@ -253,7 +285,7 @@ fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
     parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn cmd_check(path: &Path) -> ExitCode {
+fn cmd_check(path: &Path, stats: bool) -> ExitCode {
     let tree = match load_tree(path) {
         Ok(t) => t,
         Err(e) => {
@@ -269,8 +301,10 @@ fn cmd_check(path: &Path) -> ExitCode {
         failed = true;
     }
 
-    match SemanticChecker::new().check_tree(&tree) {
-        Ok(report) => {
+    let started = std::time::Instant::now();
+    match SemanticChecker::new().check_tree_with_stats(&tree) {
+        Ok((report, check_stats)) => {
+            let elapsed = started.elapsed();
             for c in &report.collisions {
                 eprintln!("error[semantic]: {c}");
                 failed = true;
@@ -289,6 +323,10 @@ fn cmd_check(path: &Path) -> ExitCode {
                 syntactic.rules_checked,
                 if failed { "INVALID" } else { "ok" }
             );
+            if stats {
+                println!("semantic check time: {elapsed:.1?}");
+                print_region_stats(&check_stats);
+            }
         }
         Err(e) => {
             eprintln!("error[semantic]: {e}");
@@ -361,7 +399,7 @@ fn cmd_products() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_demo() -> ExitCode {
+fn cmd_demo(stats: bool) -> ExitCode {
     let input = llhsc::running_example::pipeline_input();
     match Pipeline::new().run(&input) {
         Ok(out) => {
@@ -375,6 +413,9 @@ fn cmd_demo() -> ExitCode {
             println!("=== platform config (Listing 3 shape) ===\n{}", out.platform_c);
             for (i, c) in out.vm_c.iter().enumerate() {
                 println!("=== vm{} config (Listing 6 shape) ===\n{c}", i + 1);
+            }
+            if stats {
+                print_pipeline_stats(&out);
             }
             ExitCode::SUCCESS
         }

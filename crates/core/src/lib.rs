@@ -53,7 +53,10 @@ mod report;
 mod semantic;
 
 pub mod running_example;
+pub mod sweep;
 
 pub use pipeline::{Pipeline, PipelineError, PipelineInput, PipelineOutput, VmSpec};
-pub use report::{Diagnostic, Severity, Stage};
-pub use semantic::{Collision, RegionRef, SemanticChecker, SemanticReport};
+pub use report::{Diagnostic, Severity, Stage, StageTimings};
+pub use semantic::{
+    Collision, RegionCheckStats, RegionRef, SemanticChecker, SemanticReport,
+};

@@ -17,14 +17,16 @@
 //! offending node, realising the paper's "traced back to the
 //! delta-module causing it".
 
+use std::time::Instant;
+
 use llhsc_delta::{DeltaModule, DerivedProduct, ProductLine};
 use llhsc_dts::DeviceTree;
 use llhsc_fm::{FeatureModel, MultiModel};
 use llhsc_hypcfg::{PlatformConfig, VmConfig};
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 
-use crate::report::{Diagnostic, Severity, Stage};
-use crate::semantic::SemanticChecker;
+use crate::report::{Diagnostic, Severity, Stage, StageTimings};
+use crate::semantic::{RegionCheckStats, SemanticChecker};
 
 /// One VM to configure: a name (used for image symbols) and its feature
 /// selection (may be partial; the allocation checker completes it).
@@ -72,6 +74,11 @@ pub struct PipelineOutput {
     pub platform_c: String,
     /// Non-fatal findings (delta orders, warnings).
     pub diagnostics: Vec<Diagnostic>,
+    /// Wall-clock time per stage.
+    pub timings: StageTimings,
+    /// Region-disjointness cost counters, aggregated over every
+    /// checked tree (all zero when the semantic checker was skipped).
+    pub semantic_stats: RegionCheckStats,
 }
 
 /// A failed pipeline run: every error-level finding, plus whatever
@@ -106,6 +113,11 @@ pub struct Pipeline {
     /// Warn when a region's base or size is not a multiple of this
     /// (stage-2 translation granularity). `None` disables the check.
     pub page_alignment: Option<u128>,
+    /// Check the derived trees (stage 3+4) on one thread each instead
+    /// of serially. The trees are independent, so this is safe; the
+    /// diagnostics are merged in VM order either way, making the output
+    /// byte-identical to a serial run.
+    pub parallel: bool,
 }
 
 impl Default for Pipeline {
@@ -114,6 +126,7 @@ impl Default for Pipeline {
             skip_semantic: false,
             skip_syntactic: false,
             page_alignment: Some(0x1000),
+            parallel: true,
         }
     }
 }
@@ -133,8 +146,10 @@ impl Pipeline {
     pub fn run(&self, input: &PipelineInput) -> Result<PipelineOutput, PipelineError> {
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut errors = false;
+        let mut timings = StageTimings::default();
 
         // ---- Stage 1: resource allocation (§IV-A) ----
+        let stage_start = Instant::now();
         let mut selections: Vec<Vec<llhsc_fm::FeatureId>> = Vec::new();
         for (k, vm) in input.vms.iter().enumerate() {
             let mut sel = Vec::new();
@@ -170,8 +185,10 @@ impl Pipeline {
                 return Err(PipelineError { diagnostics });
             }
         };
+        timings.allocation = stage_start.elapsed();
 
         // ---- Stage 2: derive DTSs (§III-B) ----
+        let stage_start = Instant::now();
         let line = ProductLine::new(input.core.clone(), input.deltas.clone());
         let mut vm_products: Vec<DerivedProduct> = Vec::new();
         for (k, product) in partitioning.vms.iter().enumerate() {
@@ -219,8 +236,14 @@ impl Pipeline {
             return Err(PipelineError { diagnostics });
         }
         let platform_product = platform_product.expect("checked above");
+        timings.derivation = stage_start.elapsed();
 
         // ---- Stage 3+4: check every derived tree ----
+        // The trees are independent, so each gets its own checker run —
+        // on its own thread when `parallel` is set. Results are merged
+        // in VM order (platform last), so the diagnostic stream is
+        // byte-identical to a serial run.
+        let stage_start = Instant::now();
         let mut all: Vec<(Option<usize>, &DerivedProduct)> = vm_products
             .iter()
             .enumerate()
@@ -228,92 +251,39 @@ impl Pipeline {
             .collect();
         all.push((None, &platform_product));
 
-        for (vm, product) in &all {
-            if !self.skip_syntactic {
-                let report =
-                    SyntacticChecker::new(&product.tree, &input.schemas).check();
-                for v in report.violations {
-                    errors = true;
-                    let mut d = Diagnostic::error(Stage::Syntactic, v.to_string())
-                        .blame(product.blame_subtree(&v.path).into_iter().cloned().collect());
-                    d.vm = *vm;
-                    diagnostics.push(d);
-                }
-            }
-            if let Some(align) = self.page_alignment {
-                if let Ok(devices) = llhsc_dts::cells::collect_regions(&product.tree) {
-                    let refs: Vec<crate::semantic::RegionRef> = devices
+        let schemas = &input.schemas;
+        let checked: Vec<(Vec<Diagnostic>, RegionCheckStats)> =
+            if self.parallel && all.len() > 1 {
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = all
                         .iter()
-                        .flat_map(|d| {
-                            d.regions.iter().enumerate().map(move |(i, r)| {
-                                crate::semantic::RegionRef {
-                                    path: d.path.to_string(),
-                                    index: i,
-                                    region: *r,
-                                    virtual_device: false,
-                                }
-                            })
+                        .map(|(vm, product)| {
+                            s.spawn(move || self.check_product(schemas, *vm, product))
                         })
                         .collect();
-                    for bad in SemanticChecker::new().check_alignment(&refs, align) {
-                        let mut d = Diagnostic::warning(
-                            Stage::Semantic,
-                            format!(
-                                "{bad} is not {align:#x}-aligned; stage-2 mapping \
-                                 will round it to page boundaries"
-                            ),
-                        );
-                        d.vm = *vm;
-                        diagnostics.push(d);
-                    }
-                }
-            }
-            if !self.skip_semantic {
-                match SemanticChecker::new().check_tree(&product.tree) {
-                    Ok(report) => {
-                        for c in report.collisions {
-                            errors = true;
-                            let mut blamed: Vec<llhsc_delta::Provenance> = product
-                                .blame_subtree(&c.a.path)
-                                .into_iter()
-                                .cloned()
-                                .collect();
-                            blamed.extend(
-                                product.blame_subtree(&c.b.path).into_iter().cloned(),
-                            );
-                            blamed.dedup();
-                            let mut d = Diagnostic::error(Stage::Semantic, c.to_string())
-                                .blame(blamed);
-                            d.vm = *vm;
-                            diagnostics.push(d);
-                        }
-                        for (line_no, users) in report.interrupt_conflicts {
-                            errors = true;
-                            let mut d = Diagnostic::error(
-                                Stage::Semantic,
-                                format!(
-                                    "interrupt line {line_no} claimed by multiple devices: {}",
-                                    users.join(", ")
-                                ),
-                            );
-                            d.vm = *vm;
-                            diagnostics.push(d);
-                        }
-                    }
-                    Err(e) => {
-                        errors = true;
-                        let mut d = Diagnostic::error(Stage::Semantic, e.to_string());
-                        d.vm = *vm;
-                        diagnostics.push(d);
-                    }
-                }
-            }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("checker thread panicked"))
+                        .collect()
+                })
+            } else {
+                all.iter()
+                    .map(|(vm, product)| self.check_product(schemas, *vm, product))
+                    .collect()
+            };
+        let mut semantic_stats = RegionCheckStats::default();
+        for (tree_diags, tree_stats) in checked {
+            errors |= tree_diags.iter().any(|d| d.severity == Severity::Error);
+            semantic_stats.merge(&tree_stats);
+            diagnostics.extend(tree_diags);
         }
+        timings.checking = stage_start.elapsed();
         if errors {
             return Err(PipelineError { diagnostics });
         }
 
         // ---- Stage 4b: cross-tree coverage (§IV-C, 2-stage translation)
+        let stage_start = Instant::now();
         // Every VM memory region must be backed by platform memory.
         match SemanticChecker::memory_regions(&platform_product.tree) {
             Ok(platform_memory) => {
@@ -343,11 +313,13 @@ impl Pipeline {
                 diagnostics.push(Diagnostic::error(Stage::Semantic, e.to_string()));
             }
         }
+        timings.coverage = stage_start.elapsed();
         if errors {
             return Err(PipelineError { diagnostics });
         }
 
         // ---- Stage 5: generate configurations (§II-C) ----
+        let stage_start = Instant::now();
         let platform_config = match PlatformConfig::from_tree(&platform_product.tree) {
             Ok(c) => c,
             Err(e) => {
@@ -374,6 +346,7 @@ impl Pipeline {
             vm_products.iter().map(|p| p.tree.clone()).collect();
         let vm_dts: Vec<String> = vm_trees.iter().map(llhsc_dts::print).collect();
         let vm_c: Vec<String> = vm_configs.iter().map(VmConfig::to_c).collect();
+        timings.generation = stage_start.elapsed();
         Ok(PipelineOutput {
             platform_dts: llhsc_dts::print(&platform_product.tree),
             platform_tree: platform_product.tree,
@@ -384,7 +357,87 @@ impl Pipeline {
             vm_configs,
             vm_c,
             diagnostics,
+            timings,
+            semantic_stats,
         })
+    }
+
+    /// Stage 3+4 for one derived tree: syntactic check, page-alignment
+    /// warnings and the semantic check, with every finding blamed on
+    /// the deltas that touched the offending nodes. Pure function of
+    /// its inputs, so trees can be checked concurrently.
+    fn check_product(
+        &self,
+        schemas: &SchemaSet,
+        vm: Option<usize>,
+        product: &DerivedProduct,
+    ) -> (Vec<Diagnostic>, RegionCheckStats) {
+        let mut diagnostics = Vec::new();
+        let mut stats = RegionCheckStats::default();
+        if !self.skip_syntactic {
+            let report = SyntacticChecker::new(&product.tree, schemas).check();
+            for v in report.violations {
+                let mut d = Diagnostic::error(Stage::Syntactic, v.to_string())
+                    .blame(product.blame_subtree(&v.path).into_iter().cloned().collect());
+                d.vm = vm;
+                diagnostics.push(d);
+            }
+        }
+        if let Some(align) = self.page_alignment {
+            let checker = SemanticChecker::new();
+            if let Ok(refs) = checker.collect_refs(&product.tree) {
+                for bad in checker.check_alignment(&refs, align) {
+                    let mut d = Diagnostic::warning(
+                        Stage::Semantic,
+                        format!(
+                            "{bad} is not {align:#x}-aligned; stage-2 mapping \
+                             will round it to page boundaries"
+                        ),
+                    );
+                    d.vm = vm;
+                    diagnostics.push(d);
+                }
+            }
+        }
+        if !self.skip_semantic {
+            match SemanticChecker::new().check_tree_with_stats(&product.tree) {
+                Ok((report, tree_stats)) => {
+                    stats = tree_stats;
+                    for c in report.collisions {
+                        let mut blamed: Vec<llhsc_delta::Provenance> = product
+                            .blame_subtree(&c.a.path)
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        blamed.extend(
+                            product.blame_subtree(&c.b.path).into_iter().cloned(),
+                        );
+                        blamed.dedup();
+                        let mut d =
+                            Diagnostic::error(Stage::Semantic, c.to_string()).blame(blamed);
+                        d.vm = vm;
+                        diagnostics.push(d);
+                    }
+                    for (line_no, users) in report.interrupt_conflicts {
+                        let mut d = Diagnostic::error(
+                            Stage::Semantic,
+                            format!(
+                                "interrupt line {line_no} claimed by multiple devices: {}",
+                                users.join(", ")
+                            ),
+                        );
+                        d.vm = vm;
+                        diagnostics.push(d);
+                    }
+                }
+                Err(e) => {
+                    let mut d = Diagnostic::error(Stage::Semantic, e.to_string());
+                    d.vm = vm;
+                    diagnostics.push(d);
+                }
+            }
+        }
+        (diagnostics, stats)
     }
 }
 

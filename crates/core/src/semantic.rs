@@ -21,7 +21,9 @@
 
 use llhsc_dts::cells::{collect_regions, collect_regions_translated, RegEntry};
 use llhsc_dts::{DeviceTree, DtsError};
-use llhsc_smt::{CheckResult, Context, TermId};
+use llhsc_smt::{CheckResult, Context, SolverStats, TermId};
+
+use crate::sweep;
 
 /// Bit width used for address terms (64-bit addresses + 1 carry bit).
 pub const ADDR_BITS: u32 = 65;
@@ -141,6 +143,21 @@ impl SemanticChecker {
     /// (wrong arity — which the syntactic checker reports with more
     /// context).
     pub fn check_tree(&self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
+        Ok(self.check_tree_with(tree, false)?.0)
+    }
+
+    /// [`check_tree`](SemanticChecker::check_tree), also returning the
+    /// cost counters of the region-disjointness check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DtsError`] as [`check_tree`] does.
+    ///
+    /// [`check_tree`]: SemanticChecker::check_tree
+    pub fn check_tree_with_stats(
+        &self,
+        tree: &DeviceTree,
+    ) -> Result<(SemanticReport, RegionCheckStats), DtsError> {
         self.check_tree_with(tree, false)
     }
 
@@ -159,14 +176,49 @@ impl SemanticChecker {
         &self,
         tree: &DeviceTree,
     ) -> Result<SemanticReport, DtsError> {
-        self.check_tree_with(tree, true)
+        Ok(self.check_tree_with(tree, true)?.0)
     }
 
     fn check_tree_with(
         &self,
         tree: &DeviceTree,
         translated: bool,
-    ) -> Result<SemanticReport, DtsError> {
+    ) -> Result<(SemanticReport, RegionCheckStats), DtsError> {
+        let refs = self.collect_refs_with(tree, translated)?;
+        let (collisions, stats) = self.check_regions_with_stats(&refs);
+        let interrupt_conflicts = if self.check_interrupts {
+            interrupt_conflicts(tree)
+        } else {
+            Vec::new()
+        };
+        Ok((
+            SemanticReport {
+                collisions,
+                interrupt_conflicts,
+                regions_checked: refs.len(),
+            },
+            stats,
+        ))
+    }
+
+    /// Decodes every `reg` in the tree into [`RegionRef`]s ready for
+    /// checking: zero-sized entries are dropped (e.g. CPU unit
+    /// addresses under `#size-cells = 0` occupy no address space) and
+    /// virtual devices are flagged per
+    /// [`virtual_compatibles`](SemanticChecker::virtual_compatibles).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DtsError`] when a `reg` property cannot be decoded.
+    pub fn collect_refs(&self, tree: &DeviceTree) -> Result<Vec<RegionRef>, DtsError> {
+        self.collect_refs_with(tree, false)
+    }
+
+    fn collect_refs_with(
+        &self,
+        tree: &DeviceTree,
+        translated: bool,
+    ) -> Result<Vec<RegionRef>, DtsError> {
         let devices = if translated {
             collect_regions_translated(tree)?
         } else {
@@ -180,8 +232,6 @@ impl SemanticChecker {
                 .is_some_and(|c| self.virtual_compatibles.iter().any(|v| v == c));
             for (i, r) in d.regions.iter().enumerate() {
                 if r.size == 0 {
-                    // Zero-sized entries (e.g. CPU unit addresses under
-                    // #size-cells = 0) occupy no address space.
                     continue;
                 }
                 refs.push(RegionRef {
@@ -192,64 +242,114 @@ impl SemanticChecker {
                 });
             }
         }
-        let collisions = self.check_regions(&refs);
-        let interrupt_conflicts = if self.check_interrupts {
-            interrupt_conflicts(tree)
-        } else {
-            Vec::new()
-        };
-        Ok(SemanticReport {
-            collisions,
-            interrupt_conflicts,
-            regions_checked: refs.len(),
-        })
+        Ok(refs)
     }
 
     /// Verifies pairwise disjointness of explicit regions via the
     /// bit-vector encoding of formula (7).
+    ///
+    /// Pairs are pruned by the [`sweep`] prefilter first: only pairs
+    /// whose ranges actually intersect are encoded, and each surviving
+    /// pair is still confirmed by the solver with a witness address —
+    /// the result is identical to [`check_regions_exhaustive`], which
+    /// encodes every pair as the paper does.
+    ///
+    /// [`check_regions_exhaustive`]: SemanticChecker::check_regions_exhaustive
     pub fn check_regions(&self, refs: &[RegionRef]) -> Vec<Collision> {
-        let mut ctx = Context::new();
+        self.check_regions_with_stats(refs).0
+    }
 
-        // Encode each region's base and end as 65-bit constants bound to
-        // variables (so the gate networks of the comparisons are real,
-        // as in the paper's Z3 encoding, rather than folded away).
-        let mut terms: Vec<(TermId, TermId)> = Vec::new();
-        for (i, r) in refs.iter().enumerate() {
-            let base = ctx.bv_var(&format!("base_{i}"), ADDR_BITS);
-            let end = ctx.bv_var(&format!("end_{i}"), ADDR_BITS);
-            let bc = ctx.bv_const(r.region.address, ADDR_BITS);
-            let size = ctx.bv_const(r.region.size, ADDR_BITS);
-            let sum = ctx.bv_add(bc, size);
-            let eb = ctx.eq(base, bc);
-            let ee = ctx.eq(end, sum);
-            ctx.assert(eb);
-            ctx.assert(ee);
-            terms.push((base, end));
-        }
+    /// [`check_regions`](SemanticChecker::check_regions), also
+    /// returning the encoding and solver counters of the run.
+    pub fn check_regions_with_stats(
+        &self,
+        refs: &[RegionRef],
+    ) -> (Vec<Collision>, RegionCheckStats) {
+        self.solve_pairs(refs, &sweep::candidate_pairs(refs))
+    }
 
-        // One guarded disjointness constraint per pair; solve once and
-        // peel the unsat core until satisfiable.
-        let mut markers: Vec<(TermId, usize, usize)> = Vec::new();
+    /// The unpruned quadratic encoding: one guarded disjointness
+    /// constraint per region pair, exactly as formula (7) is stated.
+    /// Kept as the semantic reference the sweep-prefiltered path is
+    /// cross-checked against (and for ablation measurements).
+    pub fn check_regions_exhaustive(&self, refs: &[RegionRef]) -> Vec<Collision> {
+        self.check_regions_exhaustive_with_stats(refs).0
+    }
+
+    /// [`check_regions_exhaustive`], also returning run counters.
+    ///
+    /// [`check_regions_exhaustive`]: SemanticChecker::check_regions_exhaustive
+    pub fn check_regions_exhaustive_with_stats(
+        &self,
+        refs: &[RegionRef],
+    ) -> (Vec<Collision>, RegionCheckStats) {
+        let mut pairs = Vec::new();
         for i in 0..refs.len() {
             for j in (i + 1)..refs.len() {
                 // Physical regions must be mutually disjoint; so must
                 // virtual regions. A virtual region may alias a physical
-                // one (it is backed by that RAM).
-                if refs[i].virtual_device != refs[j].virtual_device {
-                    continue;
+                // one (it is backed by that RAM). Zero-sized regions
+                // contain no address, so formula (7)'s ∃x can never
+                // land inside one.
+                if refs[i].virtual_device == refs[j].virtual_device
+                    && refs[i].region.size != 0
+                    && refs[j].region.size != 0
+                {
+                    pairs.push((i, j));
                 }
-                let m = ctx.bool_var(&format!("disjoint_{i}_{j}"));
-                let (bi, ei) = terms[i];
-                let (bj, ej) = terms[j];
-                // overlap = bi < ej && bj < ei  (non-empty regions)
-                let o1 = ctx.bv_ult(bi, ej);
-                let o2 = ctx.bv_ult(bj, ei);
-                let overlap = ctx.and([o1, o2]);
-                let disjoint = ctx.not(overlap);
-                let guarded = ctx.implies(m, disjoint);
-                ctx.assert(guarded);
-                markers.push((m, i, j));
             }
+        }
+        self.solve_pairs(refs, &pairs)
+    }
+
+    /// Shared encoding + core-peeling loop: encodes the given `(i, j)`
+    /// pairs as guarded disjointness constraints and peels the unsat
+    /// core until satisfiable, extracting a witness per collision.
+    fn solve_pairs(
+        &self,
+        refs: &[RegionRef],
+        pairs: &[(usize, usize)],
+    ) -> (Vec<Collision>, RegionCheckStats) {
+        let mut ctx = Context::new();
+
+        // Encode base and end of every region that participates in at
+        // least one candidate pair as 65-bit constants bound to
+        // variables (so the gate networks of the comparisons are real,
+        // as in the paper's Z3 encoding, rather than folded away).
+        // Regions the prefilter proved disjoint are never encoded — on
+        // a clean board the context stays empty.
+        let mut terms: Vec<Option<(TermId, TermId)>> = vec![None; refs.len()];
+        let mut encode = |ctx: &mut Context, i: usize| {
+            *terms[i].get_or_insert_with(|| {
+                let r = &refs[i];
+                let base = ctx.bv_var(&format!("base_{i}"), ADDR_BITS);
+                let end = ctx.bv_var(&format!("end_{i}"), ADDR_BITS);
+                let bc = ctx.bv_const(r.region.address, ADDR_BITS);
+                let size = ctx.bv_const(r.region.size, ADDR_BITS);
+                let sum = ctx.bv_add(bc, size);
+                let eb = ctx.eq(base, bc);
+                let ee = ctx.eq(end, sum);
+                ctx.assert(eb);
+                ctx.assert(ee);
+                (base, end)
+            })
+        };
+
+        // One guarded disjointness constraint per candidate pair; solve
+        // once and peel the unsat core until satisfiable.
+        let mut markers: Vec<(TermId, usize, usize)> = Vec::new();
+        for &(i, j) in pairs {
+            let (bi, ei) = encode(&mut ctx, i);
+            let (bj, ej) = encode(&mut ctx, j);
+            let m = ctx.bool_var(&format!("disjoint_{i}_{j}"));
+            // overlap = bi < ej && bj < ei  (non-empty regions)
+            let o1 = ctx.bv_ult(bi, ej);
+            let o2 = ctx.bv_ult(bj, ei);
+            let overlap = ctx.and([o1, o2]);
+            let disjoint = ctx.not(overlap);
+            let guarded = ctx.implies(m, disjoint);
+            ctx.assert(guarded);
+            markers.push((m, i, j));
         }
 
         let mut collisions = Vec::new();
@@ -269,7 +369,11 @@ impl SemanticChecker {
                     let (bad, rest): (Vec<_>, Vec<_>) =
                         active.into_iter().partition(|(m, _, _)| core.contains(m));
                     for (_, i, j) in &bad {
-                        let witness = witness_address(&mut ctx, terms[*i], terms[*j]);
+                        let witness = witness_address(
+                            &mut ctx,
+                            terms[*i].expect("paired region is encoded"),
+                            terms[*j].expect("paired region is encoded"),
+                        );
                         collisions.push(Collision {
                             a: refs[*i].clone(),
                             b: refs[*j].clone(),
@@ -288,7 +392,52 @@ impl SemanticChecker {
                 y.b.index,
             ))
         });
-        collisions
+        let stats = RegionCheckStats {
+            regions: refs.len(),
+            pairs_considered: refs.len() * refs.len().saturating_sub(1) / 2,
+            pairs_encoded: pairs.len(),
+            terms: ctx.num_terms(),
+            solver: ctx.solver_stats(),
+        };
+        (collisions, stats)
+    }
+}
+
+/// Cost counters of one region-disjointness check: how far the sweep
+/// prefilter cut the quadratic pair space, and what the encoding and
+/// the SAT solver then spent on the survivors.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegionCheckStats {
+    /// Regions handed to the checker.
+    pub regions: usize,
+    /// All `n·(n−1)/2` pairs the paper's formula (7) ranges over.
+    pub pairs_considered: usize,
+    /// Pairs actually encoded as solver constraints (after pruning —
+    /// equals the number of real overlaps plus none).
+    pub pairs_encoded: usize,
+    /// Distinct SMT terms created.
+    pub terms: usize,
+    /// Counters of the underlying SAT solver.
+    pub solver: SolverStats,
+}
+
+impl RegionCheckStats {
+    /// Accumulates another check's counters into this one (used by the
+    /// pipeline to aggregate across the per-tree checks).
+    pub fn merge(&mut self, other: &RegionCheckStats) {
+        self.regions += other.regions;
+        self.pairs_considered += other.pairs_considered;
+        self.pairs_encoded += other.pairs_encoded;
+        self.terms += other.terms;
+        self.solver.solves += other.solver.solves;
+        self.solver.decisions += other.solver.decisions;
+        self.solver.propagations += other.solver.propagations;
+        self.solver.conflicts += other.solver.conflicts;
+        self.solver.restarts += other.solver.restarts;
+        self.solver.reductions += other.solver.reductions;
+        self.solver.minimised_lits += other.solver.minimised_lits;
+        self.solver.clauses.problem += other.solver.clauses.problem;
+        self.solver.clauses.learnt += other.solver.clauses.learnt;
     }
 }
 

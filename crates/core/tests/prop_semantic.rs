@@ -24,8 +24,39 @@ fn arb_regions(max: usize) -> impl Strategy<Value = Vec<RegionRef>> {
     })
 }
 
+/// Region soups for the prefilter/exhaustive cross-check: bases are
+/// drawn from a low band, a dense band (to force overlaps) or the top
+/// of the 64-bit address space, and sizes include zero.
+fn arb_extreme_regions(max: usize) -> impl Strategy<Value = Vec<RegionRef>> {
+    let base = prop_oneof![
+        (0u64..0x1_0000).boxed(),
+        (0x8000u64..0x9000).boxed(),
+        (0xffff_ffff_ffff_f000u64..=0xffff_ffff_ffff_ffff).boxed(),
+    ];
+    prop::collection::vec((base, 0u64..0x400, any::<bool>()), 1..=max).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (base, size, virt))| RegionRef {
+                path: format!("/dev{i}"),
+                index: 0,
+                region: RegEntry::new(u128::from(base), u128::from(size)),
+                virtual_device: virt,
+            })
+            .collect()
+    })
+}
+
 fn naive_overlaps(a: &RegionRef, b: &RegionRef) -> bool {
     a.virtual_device == b.virtual_device && a.region.overlaps(&b.region)
+}
+
+/// Collision identity without the witness (the two paths may pick
+/// different — equally valid — witness addresses).
+fn collision_keys(cs: &[llhsc::Collision]) -> Vec<(String, usize, String, usize)> {
+    cs.iter()
+        .map(|c| (c.a.path.clone(), c.a.index, c.b.path.clone(), c.b.index))
+        .collect()
 }
 
 proptest! {
@@ -51,6 +82,38 @@ proptest! {
         got.sort();
         expected.sort();
         prop_assert_eq!(got, expected);
+    }
+
+    /// The sweep-prefiltered default path reports exactly the same
+    /// collision set as the paper's exhaustive pairwise encoding, on
+    /// soups including zero-size regions and regions at the top of the
+    /// 64-bit address space.
+    #[test]
+    fn prefiltered_matches_exhaustive(refs in arb_extreme_regions(8)) {
+        let checker = SemanticChecker::new();
+        let pre = checker.check_regions(&refs);
+        let ex = checker.check_regions_exhaustive(&refs);
+        prop_assert_eq!(collision_keys(&pre), collision_keys(&ex));
+        // Both paths' witnesses are solver-confirmed intersections.
+        for c in pre.iter().chain(ex.iter()) {
+            prop_assert!(c.witness >= c.a.region.address);
+            prop_assert!(c.witness < c.a.region.end());
+            prop_assert!(c.witness >= c.b.region.address);
+            prop_assert!(c.witness < c.b.region.end());
+        }
+    }
+
+    /// The prefilter encodes exactly the overlapping pairs — never
+    /// more — so clean soups cost the solver nothing.
+    #[test]
+    fn prefilter_encodes_only_real_overlaps(refs in arb_regions(8)) {
+        let (collisions, stats) =
+            SemanticChecker::new().check_regions_with_stats(&refs);
+        prop_assert_eq!(stats.pairs_encoded, collisions.len());
+        if collisions.is_empty() {
+            prop_assert_eq!(stats.terms, 0);
+            prop_assert_eq!(stats.solver.solves, 0);
+        }
     }
 
     /// Every reported witness really lies in both regions.

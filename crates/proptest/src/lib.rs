@@ -1,0 +1,103 @@
+//! A self-contained, dependency-free shim that is API-compatible with
+//! the subset of [proptest](https://docs.rs/proptest) this workspace
+//! uses. The build environment has no registry access, so the real
+//! crate cannot be vendored; this shim keeps the property-test suite
+//! runnable offline.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   index (seeded from the test name), which is enough to replay it.
+//! * **Tiny regex subset** for string strategies: sequences of `.`,
+//!   literal characters and `[...]` classes (ranges, negation and `&&`
+//!   intersection), each with an optional `{m,n}` quantifier — exactly
+//!   what the workspace's generators need.
+//! * Cases are fully deterministic: the RNG seed is derived from the
+//!   test path and case index, never from time or global state.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod runner;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+
+/// Namespace alias mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::sample;
+}
+
+/// The usual `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::runner::{ProptestConfig, TestCaseGuard, TestRng};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Builds a strategy choosing uniformly among the given strategies
+/// (all must yield the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` runs
+/// its body over `config.cases` deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ @cfg ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{
+            @cfg ($crate::runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg ($cfg:expr);) => {};
+    (@cfg ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::runner::ProptestConfig = $cfg;
+            let test_path = concat!(module_path!(), "::", stringify!($name));
+            for case in 0..config.cases {
+                let _guard = $crate::runner::TestCaseGuard::new(test_path, case);
+                let mut rng = $crate::runner::TestRng::for_case(test_path, case);
+                $(let $pat =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns!{ @cfg ($cfg); $($rest)* }
+    };
+}

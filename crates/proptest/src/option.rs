@@ -1,0 +1,25 @@
+//! Option strategies — `prop::option::of`.
+
+use crate::runner::TestRng;
+use crate::strategy::Strategy;
+
+/// The strategy returned by [`of`].
+pub struct OptionOf<S> {
+    inner: S,
+}
+
+/// `None` half the time, `Some` of a drawn value otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionOf<S> {
+    OptionOf { inner }
+}
+
+impl<S: Strategy> Strategy for OptionOf<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.coin() {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic case running: configuration, RNG and failure context.
+
+/// How many cases each property runs (the shim honours only `cases`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// SplitMix64 — small, fast, and plenty for test-input generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from raw state.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Derives the deterministic RNG for one case of one test: the
+    /// seed hashes the test path (FNV-1a) and mixes in the case index,
+    /// so every `(test, case)` pair replays identically across runs.
+    pub fn for_case(test_path: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::new(h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (`bound` 0 is treated as 1).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform value in `0..bound` with 128-bit headroom.
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        wide % bound.max(1)
+    }
+
+    /// A coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// Prints the failing case's identity if the body panics, replacing
+/// proptest's shrink report: rerunning the test replays the same case.
+pub struct TestCaseGuard {
+    test_path: &'static str,
+    case: u32,
+}
+
+impl TestCaseGuard {
+    /// Arms the guard for one case.
+    pub fn new(test_path: &'static str, case: u32) -> TestCaseGuard {
+        TestCaseGuard { test_path, case }
+    }
+}
+
+impl Drop for TestCaseGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest-shim: {} failed at case {} (deterministic seed; \
+                 rerun the test to replay)",
+                self.test_path, self.case
+            );
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling helpers — `prop::sample::Index`.
+
+/// An index into a collection of not-yet-known size: draw one with
+/// `any::<Index>()`, then project it with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Index {
+        Index { raw }
+    }
+
+    /// Projects onto `0..size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is 0, matching real proptest.
+    pub fn index(&self, size: usize) -> usize {
+        assert!(size > 0, "Index::index on an empty collection");
+        (self.raw % size as u64) as usize
+    }
+}

@@ -1,0 +1,221 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax (enough for the workspace's generators):
+//!
+//! * `.` — any printable character (never a newline),
+//! * literal characters,
+//! * `[...]` character classes with literals, `a-z` ranges, leading
+//!   `^` negation (over printable ASCII) and `&&[...]` intersection,
+//! * an optional `{m,n}` quantifier after any atom.
+
+use crate::runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — mostly printable ASCII, occasionally an arbitrary scalar.
+    Any,
+    /// A concrete set of characters to choose from.
+    Set(Vec<char>),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset — a test-authoring
+/// error, caught the first time the strategy runs.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for p in &pieces {
+        let span = p.max - p.min + 1;
+        let n = p.min + rng.below(span as u64) as usize;
+        for _ in 0..n {
+            out.push(gen_char(&p.atom, rng));
+        }
+    }
+    out
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Any => {
+            if rng.below(16) == 0 {
+                // Occasionally exercise the full scalar space (parsers
+                // under fuzz must survive arbitrary unicode).
+                loop {
+                    let v = (rng.next_u64() % 0x11_0000) as u32;
+                    match char::from_u32(v) {
+                        Some('\n') | None => continue,
+                        Some(c) => return c,
+                    }
+                }
+            }
+            char::from(0x20 + rng.below(0x5f) as u8)
+        }
+        Atom::Set(chars) => {
+            assert!(!chars.is_empty(), "empty character class");
+            chars[rng.below(chars.len() as u64) as usize]
+        }
+    }
+}
+
+fn printable_ascii() -> Vec<char> {
+    (0x20u8..=0x7e).map(char::from).collect()
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i);
+                i = next;
+                Atom::Set(set)
+            }
+            '\\' => {
+                i += 2;
+                Atom::Set(vec![chars[i - 1]])
+            }
+            c => {
+                i += 1;
+                Atom::Set(vec![c])
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated {m,n} quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (m, n) = body
+                .split_once(',')
+                .expect("quantifier must be of the form {m,n}");
+            i = close + 1;
+            (
+                m.trim().parse().expect("quantifier min"),
+                n.trim().parse().expect("quantifier max"),
+            )
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "quantifier {{m,n}} with m > n");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses a `[...]` class starting at `chars[start] == '['`; returns
+/// the resolved set and the index just past the closing `]`.
+fn parse_class(chars: &[char], start: usize) -> (Vec<char>, usize) {
+    let mut i = start + 1;
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut intersections: Vec<Vec<char>> = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+            // `&&[...]` — intersect with a nested class.
+            assert!(
+                chars.get(i + 2) == Some(&'['),
+                "`&&` must be followed by a class"
+            );
+            let (nested, next) = parse_class(chars, i + 2);
+            intersections.push(nested);
+            i = next;
+            continue;
+        }
+        let c = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `a-z` range (a trailing `-` right before `]` is a literal).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+            let hi = chars[i + 2];
+            assert!(c <= hi, "reversed range in character class");
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unterminated character class");
+    let mut resolved = if negated {
+        printable_ascii()
+            .into_iter()
+            .filter(|c| !set.contains(c))
+            .collect()
+    } else {
+        set
+    };
+    for other in intersections {
+        resolved.retain(|c| other.contains(c));
+    }
+    (resolved, i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(7)
+    }
+
+    #[test]
+    fn name_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9-]{0,8}", &mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn printable_minus_quote_backslash() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("[ -~&&[^\"\\\\]]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)
+                && c != '"'
+                && c != '\\'));
+        }
+    }
+
+    #[test]
+    fn dot_never_newline() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = generate_matching(".{0,20}", &mut r);
+            assert!(!s.contains('\n'));
+        }
+    }
+}

@@ -19,6 +19,16 @@ pub enum CheckResult {
     Unsat,
 }
 
+/// A snapshot of a context's cost counters: how many terms were built
+/// and how much work the underlying SAT solver performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ContextStats {
+    /// Distinct terms created (hash-consed).
+    pub terms: usize,
+    /// Counters of the underlying SAT solver.
+    pub solver: SolverStats,
+}
+
 /// An incremental SMT context: build terms, assert them, check, inspect
 /// models — mirroring how the paper drives Z3 ("constraints can be added
 /// incrementally to the same solver instance", §VI).
@@ -81,6 +91,15 @@ impl Context {
     /// Statistics of the underlying SAT solver.
     pub fn solver_stats(&self) -> SolverStats {
         self.solver.stats()
+    }
+
+    /// Term-pool and SAT-solver counters in one snapshot, for
+    /// instrumentation of callers that want to report both.
+    pub fn stats(&self) -> ContextStats {
+        ContextStats {
+            terms: self.num_terms(),
+            solver: self.solver_stats(),
+        }
     }
 
     /// Renders a term as an SMT-LIB-flavoured s-expression.

@@ -44,5 +44,6 @@ mod bitblast;
 mod context;
 mod term;
 
-pub use context::{CheckResult, Context, Model};
+pub use context::{CheckResult, Context, ContextStats, Model};
+pub use llhsc_sat::SolverStats;
 pub use term::{Sort, TermId};

@@ -147,3 +147,57 @@ fn shared_uart_between_vms_is_allowed() {
     let out = Pipeline::new().run(&input(vms)).expect("shared uart ok");
     assert_eq!(out.vm_configs[0].devs, out.vm_configs[1].devs);
 }
+
+/// Renders a diagnostic stream for byte-level comparison.
+fn rendered(diags: &[llhsc::Diagnostic]) -> Vec<String> {
+    diags.iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn parallel_checking_matches_serial_on_quadcore() {
+    let serial = Pipeline {
+        parallel: false,
+        ..Pipeline::new()
+    };
+    let vms: Vec<VmSpec> = (0..4).map(|i| vm(&format!("vm{i}"), i, i)).collect();
+    let s = serial.run(&input(vms.clone())).expect("serial run");
+    let p = Pipeline::new().run(&input(vms)).expect("parallel run");
+    assert_eq!(rendered(&s.diagnostics), rendered(&p.diagnostics));
+    assert_eq!(s.vm_dts, p.vm_dts);
+    assert_eq!(s.platform_dts, p.platform_dts);
+    assert_eq!(s.semantic_stats.pairs_encoded, p.semantic_stats.pairs_encoded);
+}
+
+#[test]
+fn parallel_checking_matches_serial_on_running_example() {
+    let serial = Pipeline {
+        parallel: false,
+        ..Pipeline::new()
+    };
+    let re = llhsc::running_example::pipeline_input();
+    let s = serial.run(&re).expect("serial run");
+    let p = Pipeline::new().run(&re).expect("parallel run");
+    assert_eq!(rendered(&s.diagnostics), rendered(&p.diagnostics));
+    assert_eq!(s.vm_c, p.vm_c);
+    assert_eq!(s.platform_c, p.platform_c);
+}
+
+#[test]
+fn parallel_checking_matches_serial_on_failing_input() {
+    // Sabotage the running example (the §I-A clash: a physical device
+    // on top of the second memory bank) so stage 3+4 produces errors
+    // from multiple trees; the merged error stream must be identical.
+    let mut re = llhsc::running_example::pipeline_input();
+    let deltas_src = llhsc::running_example::DELTAS.replace(
+        "compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+        "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;",
+    );
+    re.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).expect("deltas parse");
+    let serial = Pipeline {
+        parallel: false,
+        ..Pipeline::new()
+    };
+    let s = serial.run(&re).expect_err("serial run fails");
+    let p = Pipeline::new().run(&re).expect_err("parallel run fails");
+    assert_eq!(rendered(&s.diagnostics), rendered(&p.diagnostics));
+}
