@@ -5,6 +5,43 @@
 # crates/criterion).
 set -eux
 
+cargo fmt --all --check
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Daemon smoke test: boot llhsc-service on a free port, run one check
+# through a client, require byte-identical output to the local command,
+# then shut it down gracefully.
+LLHSC=target/release/llhsc
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+cat > "$SMOKE_DIR/board.dts" <<'EOF'
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@40000000 { device_type = "memory"; reg = <0x40000000 0x20000000>; };
+    uart@9000000 { compatible = "ns16550a"; reg = <0x9000000 0x1000>; };
+};
+EOF
+
+"$LLHSC" serve --addr 127.0.0.1:0 > "$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(awk '/listening on/ { print $4; exit }' "$SMOKE_DIR/serve.log")
+    [ -n "$ADDR" ] && break
+    sleep 0.05
+done
+test -n "$ADDR"
+
+"$LLHSC" check "$SMOKE_DIR/board.dts" > "$SMOKE_DIR/local.out" 2> "$SMOKE_DIR/local.err"
+"$LLHSC" client --addr "$ADDR" check "$SMOKE_DIR/board.dts" \
+    > "$SMOKE_DIR/remote.out" 2> "$SMOKE_DIR/remote.err"
+cmp "$SMOKE_DIR/local.out" "$SMOKE_DIR/remote.out"
+cmp "$SMOKE_DIR/local.err" "$SMOKE_DIR/remote.err"
+
+"$LLHSC" client --addr "$ADDR" shutdown
+wait "$SERVE_PID"
+grep -q "shut down cleanly" "$SMOKE_DIR/serve.log"

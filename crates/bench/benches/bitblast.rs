@@ -21,9 +21,17 @@ fn overlap_query(width: u32) -> CheckResult {
     ctx.assert(overlap);
     // Pin region 1 and ask for any colliding region 2.
     let c1 = ctx.bv_const(0x4000, width.min(64));
-    let c1 = if width > 64 { ctx.bv_zero_ext(c1, width - width.min(64)) } else { c1 };
+    let c1 = if width > 64 {
+        ctx.bv_zero_ext(c1, width - width.min(64))
+    } else {
+        c1
+    };
     let sz = ctx.bv_const(0x1000, width.min(64));
-    let sz = if width > 64 { ctx.bv_zero_ext(sz, width - width.min(64)) } else { sz };
+    let sz = if width > 64 {
+        ctx.bv_zero_ext(sz, width - width.min(64))
+    } else {
+        sz
+    };
     let eq1 = ctx.eq(b1, c1);
     let eq2 = ctx.eq(s1, sz);
     ctx.assert(eq1);

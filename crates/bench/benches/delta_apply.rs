@@ -55,8 +55,14 @@ fn bench_running_example_products(c: &mut Criterion) {
     group.sample_size(20);
     let line = llhsc::running_example::product_line();
     for (label, sel) in [
-        ("vm1", vec!["memory", "veth0", "uart@20000000", "uart@30000000", "cpu@0"]),
-        ("vm2", vec!["memory", "veth1", "uart@20000000", "uart@30000000", "cpu@1"]),
+        (
+            "vm1",
+            vec!["memory", "veth0", "uart@20000000", "uart@30000000", "cpu@0"],
+        ),
+        (
+            "vm2",
+            vec!["memory", "veth1", "uart@20000000", "uart@30000000", "cpu@1"],
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &sel, |b, sel| {
             b.iter(|| std::hint::black_box(line.derive(sel).expect("derives").tree.size()));

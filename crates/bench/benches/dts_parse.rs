@@ -64,7 +64,9 @@ fn bench_region_collection(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(devices), &tree, |b, tree| {
             b.iter(|| {
                 std::hint::black_box(
-                    llhsc_dts::cells::collect_regions(tree).expect("decodes").len(),
+                    llhsc_dts::cells::collect_regions(tree)
+                        .expect("decodes")
+                        .len(),
                 )
             });
         });

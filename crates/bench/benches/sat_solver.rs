@@ -13,17 +13,13 @@ fn bench_random_3sat(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[50usize, 100, 150] {
         for &(label, ratio) in &[("easy", 3.0), ("phase", 4.26), ("over", 5.5)] {
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &(n, ratio),
-                |b, &(n, ratio)| {
-                    let cnf = random_3sat(n, ratio, 0xbec + n as u64);
-                    b.iter(|| {
-                        let mut solver = cnf.to_solver();
-                        std::hint::black_box(solver.solve())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &(n, ratio), |b, &(n, ratio)| {
+                let cnf = random_3sat(n, ratio, 0xbec + n as u64);
+                b.iter(|| {
+                    let mut solver = cnf.to_solver();
+                    std::hint::black_box(solver.solve())
+                });
+            });
         }
     }
     group.finish();
@@ -79,5 +75,10 @@ fn bench_solver_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_random_3sat, bench_pigeonhole, bench_solver_ablations);
+criterion_group!(
+    benches,
+    bench_random_3sat,
+    bench_pigeonhole,
+    bench_solver_ablations
+);
 criterion_main!(benches);

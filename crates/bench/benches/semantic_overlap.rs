@@ -95,35 +95,26 @@ fn bench_paper_cases(c: &mut Criterion) {
 fn bench_prefilter_vs_exhaustive(c: &mut Criterion) {
     for &collide in &[false, true] {
         let label = if collide { "one_collision" } else { "clean" };
-        let mut group =
-            c.benchmark_group(format!("semantic/prefilter_vs_exhaustive/{label}"));
+        let mut group = c.benchmark_group(format!("semantic/prefilter_vs_exhaustive/{label}"));
         group.sample_size(10);
         for &n in &[32usize, 64, 128, 256] {
             let refs = regions(n, collide);
             let checker = SemanticChecker::new();
             let expected = usize::from(collide);
-            group.bench_with_input(
-                BenchmarkId::new("prefiltered", n),
-                &refs,
-                |b, refs| {
-                    b.iter(|| {
-                        let collisions = checker.check_regions(refs);
-                        assert_eq!(collisions.len(), expected);
-                        std::hint::black_box(collisions.len())
-                    });
-                },
-            );
-            group.bench_with_input(
-                BenchmarkId::new("exhaustive", n),
-                &refs,
-                |b, refs| {
-                    b.iter(|| {
-                        let collisions = checker.check_regions_exhaustive(refs);
-                        assert_eq!(collisions.len(), expected);
-                        std::hint::black_box(collisions.len())
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("prefiltered", n), &refs, |b, refs| {
+                b.iter(|| {
+                    let collisions = checker.check_regions(refs);
+                    assert_eq!(collisions.len(), expected);
+                    std::hint::black_box(collisions.len())
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("exhaustive", n), &refs, |b, refs| {
+                b.iter(|| {
+                    let collisions = checker.check_regions_exhaustive(refs);
+                    assert_eq!(collisions.len(), expected);
+                    std::hint::black_box(collisions.len())
+                });
+            });
         }
         group.finish();
     }

@@ -219,7 +219,9 @@ mod tests {
     #[test]
     fn regions_collide_only_when_asked() {
         let clean = regions(8, false);
-        assert!(llhsc::SemanticChecker::new().check_regions(&clean).is_empty());
+        assert!(llhsc::SemanticChecker::new()
+            .check_regions(&clean)
+            .is_empty());
         let dirty = regions(8, true);
         assert_eq!(llhsc::SemanticChecker::new().check_regions(&dirty).len(), 1);
     }

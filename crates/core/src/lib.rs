@@ -52,11 +52,12 @@ mod pipeline;
 mod report;
 mod semantic;
 
+pub mod cache;
+pub mod quadcore;
 pub mod running_example;
 pub mod sweep;
 
+pub use cache::{AllocationNames, CacheClass, CacheEntry, CachedCheck, PipelineCache};
 pub use pipeline::{Pipeline, PipelineError, PipelineInput, PipelineOutput, VmSpec};
-pub use report::{Diagnostic, Severity, Stage, StageTimings};
-pub use semantic::{
-    Collision, RegionCheckStats, RegionRef, SemanticChecker, SemanticReport,
-};
+pub use report::{dedup_diagnostics, Diagnostic, Severity, Stage, StageTimings};
+pub use semantic::{Collision, RegionCheckStats, RegionRef, SemanticChecker, SemanticReport};

@@ -16,21 +16,31 @@
 //! carry the provenance of the delta operations that touched the
 //! offending node, realising the paper's "traced back to the
 //! delta-module causing it".
+//!
+//! Every solver-bearing stage result can be served from a
+//! [`PipelineCache`] (see [`crate::cache`]): allocation results are
+//! keyed on the model and the raw selections, per-product check results
+//! on the derived product itself, and coverage results on the (VM,
+//! platform) product pair. [`Pipeline::run`] is simply
+//! [`Pipeline::run_with_cache`] with no cache.
 
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 use llhsc_delta::{DeltaModule, DerivedProduct, ProductLine};
+use llhsc_dts::hash::{stable_hash_of, Fnv1a};
 use llhsc_dts::DeviceTree;
 use llhsc_fm::{FeatureModel, MultiModel};
 use llhsc_hypcfg::{PlatformConfig, VmConfig};
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 
-use crate::report::{Diagnostic, Severity, Stage, StageTimings};
+use crate::cache::{AllocationNames, CacheClass, CacheEntry, CachedCheck, PipelineCache};
+use crate::report::{dedup_diagnostics, Diagnostic, Severity, Stage, StageTimings};
 use crate::semantic::{RegionCheckStats, SemanticChecker};
 
 /// One VM to configure: a name (used for image symbols) and its feature
 /// selection (may be partial; the allocation checker completes it).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VmSpec {
     /// VM name, e.g. `vm1`.
     pub name: String,
@@ -72,12 +82,13 @@ pub struct PipelineOutput {
     pub vm_c: Vec<String>,
     /// Rendered platform C source (Listing 3 shape).
     pub platform_c: String,
-    /// Non-fatal findings (delta orders, warnings).
+    /// Non-fatal findings (delta orders, warnings), deduplicated.
     pub diagnostics: Vec<Diagnostic>,
     /// Wall-clock time per stage.
     pub timings: StageTimings,
     /// Region-disjointness cost counters, aggregated over every
-    /// checked tree (all zero when the semantic checker was skipped).
+    /// checked tree (all zero when the semantic checker was skipped;
+    /// replayed from the cache when a stage result was a cache hit).
     pub semantic_stats: RegionCheckStats,
 }
 
@@ -85,7 +96,8 @@ pub struct PipelineOutput {
 /// non-fatal diagnostics accumulated before the failure.
 #[derive(Debug, Clone)]
 pub struct PipelineError {
-    /// All diagnostics; at least one has [`Severity::Error`].
+    /// All diagnostics, deduplicated; at least one has
+    /// [`Severity::Error`].
     pub diagnostics: Vec<Diagnostic>,
 }
 
@@ -115,8 +127,8 @@ pub struct Pipeline {
     pub page_alignment: Option<u128>,
     /// Check the derived trees (stage 3+4) on one thread each instead
     /// of serially. The trees are independent, so this is safe; the
-    /// diagnostics are merged in VM order either way, making the output
-    /// byte-identical to a serial run.
+    /// diagnostics are merged in VM order (platform last), making the
+    /// output byte-identical to a serial run.
     pub parallel: bool,
 }
 
@@ -137,13 +149,49 @@ impl Pipeline {
         Pipeline::default()
     }
 
-    /// Runs the workflow.
+    /// Runs the workflow without a result cache.
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError`] carrying diagnostics if any checker
     /// rejects the configuration or any generation step fails.
     pub fn run(&self, input: &PipelineInput) -> Result<PipelineOutput, PipelineError> {
+        self.run_with_cache(input, None)
+    }
+
+    /// Runs the workflow, serving solver-bearing stage results from
+    /// `cache` where the content-addressed keys match and storing
+    /// freshly computed results back. With `None` this is exactly
+    /// [`Pipeline::run`]; with a warm cache the diagnostics, rendered
+    /// outputs and verdict are byte-identical to an uncached run but no
+    /// solver is invoked for the cached stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] carrying diagnostics if any checker
+    /// rejects the configuration or any generation step fails.
+    pub fn run_with_cache(
+        &self,
+        input: &PipelineInput,
+        cache: Option<&dyn PipelineCache>,
+    ) -> Result<PipelineOutput, PipelineError> {
+        match self.run_inner(input, cache) {
+            Ok(mut out) => {
+                dedup_diagnostics(&mut out.diagnostics);
+                Ok(out)
+            }
+            Err(mut e) => {
+                dedup_diagnostics(&mut e.diagnostics);
+                Err(e)
+            }
+        }
+    }
+
+    fn run_inner(
+        &self,
+        input: &PipelineInput,
+        cache: Option<&dyn PipelineCache>,
+    ) -> Result<PipelineOutput, PipelineError> {
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut errors = false;
         let mut timings = StageTimings::default();
@@ -174,9 +222,42 @@ impl Pipeline {
             return Err(PipelineError { diagnostics });
         }
 
-        let mut multi = MultiModel::new(&input.model, input.vms.len());
-        let partitioning = match multi.complete(&selections) {
-            Ok(p) => p,
+        let alloc_key = allocation_key(&input.model, &input.vms);
+        let cached_allocation =
+            lookup(cache, CacheClass::Allocation, alloc_key).and_then(|e| match e {
+                CacheEntry::Allocation(r) => Some(r),
+                CacheEntry::Check(_) => None,
+            });
+        let allocation = match cached_allocation {
+            Some(r) => r,
+            None => {
+                let mut multi = MultiModel::new(&input.model, input.vms.len());
+                let result = match multi.complete(&selections) {
+                    Ok(p) => {
+                        let to_names = |product: &llhsc_fm::Product| -> Vec<String> {
+                            product
+                                .iter()
+                                .map(|id| input.model.name(*id).to_string())
+                                .collect()
+                        };
+                        Ok(AllocationNames {
+                            vms: p.vms.iter().map(to_names).collect(),
+                            platform: to_names(&p.platform),
+                        })
+                    }
+                    Err(e) => Err(e.to_string()),
+                };
+                store(
+                    cache,
+                    CacheClass::Allocation,
+                    alloc_key,
+                    CacheEntry::Allocation(result.clone()),
+                );
+                result
+            }
+        };
+        let allocation = match allocation {
+            Ok(names) => names,
             Err(e) => {
                 diagnostics.push(Diagnostic::error(
                     Stage::Allocation,
@@ -191,39 +272,27 @@ impl Pipeline {
         let stage_start = Instant::now();
         let line = ProductLine::new(input.core.clone(), input.deltas.clone());
         let mut vm_products: Vec<DerivedProduct> = Vec::new();
-        for (k, product) in partitioning.vms.iter().enumerate() {
-            let names: Vec<String> = product
-                .iter()
-                .map(|id| input.model.name(*id).to_string())
-                .collect();
-            let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        for (k, product_names) in allocation.vms.iter().enumerate() {
+            let refs: Vec<&str> = product_names.iter().map(String::as_str).collect();
             match line.derive(&refs) {
                 Ok(p) => {
-                    diagnostics.push(
-                        Diagnostic {
-                            severity: Severity::Info,
-                            stage: Stage::DeltaApplication,
-                            vm: Some(k),
-                            message: format!("delta application order: {}", p.order.join(" < ")),
-                            blamed: Vec::new(),
-                        },
-                    );
+                    diagnostics.push(Diagnostic {
+                        severity: Severity::Info,
+                        stage: Stage::DeltaApplication,
+                        vm: Some(k),
+                        message: format!("delta application order: {}", p.order.join(" < ")),
+                        blamed: Vec::new(),
+                    });
                     vm_products.push(p);
                 }
                 Err(e) => {
                     errors = true;
-                    diagnostics.push(
-                        Diagnostic::error(Stage::DeltaApplication, e.to_string()).for_vm(k),
-                    );
+                    diagnostics
+                        .push(Diagnostic::error(Stage::DeltaApplication, e.to_string()).for_vm(k));
                 }
             }
         }
-        let platform_names: Vec<String> = partitioning
-            .platform
-            .iter()
-            .map(|id| input.model.name(*id).to_string())
-            .collect();
-        let platform_refs: Vec<&str> = platform_names.iter().map(String::as_str).collect();
+        let platform_refs: Vec<&str> = allocation.platform.iter().map(String::as_str).collect();
         let platform_product = match line.derive(&platform_refs) {
             Ok(p) => Some(p),
             Err(e) => {
@@ -242,8 +311,13 @@ impl Pipeline {
         // The trees are independent, so each gets its own checker run —
         // on its own thread when `parallel` is set. Results are merged
         // in VM order (platform last), so the diagnostic stream is
-        // byte-identical to a serial run.
+        // byte-identical to a serial run. Each product's result is
+        // cached under a key covering the product (tree, order,
+        // provenance), the schemas and the checker configuration;
+        // diagnostics are cached VM-less and stamped after retrieval so
+        // identical products can share an entry across VM slots.
         let stage_start = Instant::now();
+        let schemas_hash = input.schemas.stable_hash();
         let mut all: Vec<(Option<usize>, &DerivedProduct)> = vm_products
             .iter()
             .enumerate()
@@ -252,27 +326,43 @@ impl Pipeline {
         all.push((None, &platform_product));
 
         let schemas = &input.schemas;
-        let checked: Vec<(Vec<Diagnostic>, RegionCheckStats)> =
-            if self.parallel && all.len() > 1 {
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = all
-                        .iter()
-                        .map(|(vm, product)| {
-                            s.spawn(move || self.check_product(schemas, *vm, product))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("checker thread panicked"))
-                        .collect()
-                })
-            } else {
-                all.iter()
-                    .map(|(vm, product)| self.check_product(schemas, *vm, product))
+        let check_one = |product: &DerivedProduct| -> (Vec<Diagnostic>, RegionCheckStats) {
+            let key = self.product_check_key(schemas_hash, product);
+            if let Some(CacheEntry::Check(hit)) = lookup(cache, CacheClass::ProductCheck, key) {
+                return (hit.diagnostics, hit.stats);
+            }
+            let (diags, stats) = self.check_product(schemas, product);
+            store(
+                cache,
+                CacheClass::ProductCheck,
+                key,
+                CacheEntry::Check(CachedCheck {
+                    diagnostics: diags.clone(),
+                    stats,
+                }),
+            );
+            (diags, stats)
+        };
+        let checked: Vec<(Vec<Diagnostic>, RegionCheckStats)> = if self.parallel && all.len() > 1 {
+            let check_one = &check_one;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = all
+                    .iter()
+                    .map(|&(_, product)| s.spawn(move || check_one(product)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("checker thread panicked"))
                     .collect()
-            };
+            })
+        } else {
+            all.iter().map(|(_, product)| check_one(product)).collect()
+        };
         let mut semantic_stats = RegionCheckStats::default();
-        for (tree_diags, tree_stats) in checked {
+        for ((vm, _), (mut tree_diags, tree_stats)) in all.iter().zip(checked) {
+            for d in &mut tree_diags {
+                d.vm = *vm;
+            }
             errors |= tree_diags.iter().any(|d| d.severity == Severity::Error);
             semantic_stats.merge(&tree_stats);
             diagnostics.extend(tree_diags);
@@ -285,27 +375,52 @@ impl Pipeline {
         // ---- Stage 4b: cross-tree coverage (§IV-C, 2-stage translation)
         let stage_start = Instant::now();
         // Every VM memory region must be backed by platform memory.
+        // Cached per (VM product, platform product) pair: an edit that
+        // leaves both products unchanged replays the verdict without a
+        // solver call.
         match SemanticChecker::memory_regions(&platform_product.tree) {
             Ok(platform_memory) => {
                 let checker = SemanticChecker::new();
+                let platform_hash = platform_product.stable_hash();
                 for (k, product) in vm_products.iter().enumerate() {
-                    let Ok(vm_memory) = SemanticChecker::memory_regions(&product.tree)
-                    else {
-                        continue; // reg errors already reported above
+                    let key = stable_hash_of(&(product.stable_hash(), platform_hash));
+                    let mut cov_diags = match lookup(cache, CacheClass::Coverage, key) {
+                        Some(CacheEntry::Check(hit)) => hit.diagnostics,
+                        _ => {
+                            let mut out = Vec::new();
+                            if let Ok(vm_memory) = SemanticChecker::memory_regions(&product.tree) {
+                                for gap in checker.check_coverage(&vm_memory, &platform_memory) {
+                                    let blamed = product
+                                        .blame_subtree(&gap.region.path)
+                                        .into_iter()
+                                        .cloned()
+                                        .collect();
+                                    out.push(
+                                        Diagnostic::error(Stage::Semantic, gap.to_string())
+                                            .blame(blamed),
+                                    );
+                                }
+                            }
+                            // A memory_regions error means malformed reg
+                            // values, which the per-product check already
+                            // reports; coverage has nothing to add.
+                            store(
+                                cache,
+                                CacheClass::Coverage,
+                                key,
+                                CacheEntry::Check(CachedCheck {
+                                    diagnostics: out.clone(),
+                                    stats: RegionCheckStats::default(),
+                                }),
+                            );
+                            out
+                        }
                     };
-                    for gap in checker.check_coverage(&vm_memory, &platform_memory) {
-                        errors = true;
-                        let blamed = product
-                            .blame_subtree(&gap.region.path)
-                            .into_iter()
-                            .cloned()
-                            .collect();
-                        diagnostics.push(
-                            Diagnostic::error(Stage::Semantic, gap.to_string())
-                                .for_vm(k)
-                                .blame(blamed),
-                        );
+                    for d in &mut cov_diags {
+                        d.vm = Some(k);
+                        errors |= d.severity == Severity::Error;
                     }
+                    diagnostics.extend(cov_diags);
                 }
             }
             Err(e) => {
@@ -333,8 +448,7 @@ impl Pipeline {
                 Ok(c) => vm_configs.push(c),
                 Err(e) => {
                     errors = true;
-                    diagnostics
-                        .push(Diagnostic::error(Stage::Generation, e.to_string()).for_vm(k));
+                    diagnostics.push(Diagnostic::error(Stage::Generation, e.to_string()).for_vm(k));
                 }
             }
         }
@@ -342,8 +456,7 @@ impl Pipeline {
             return Err(PipelineError { diagnostics });
         }
 
-        let vm_trees: Vec<DeviceTree> =
-            vm_products.iter().map(|p| p.tree.clone()).collect();
+        let vm_trees: Vec<DeviceTree> = vm_products.iter().map(|p| p.tree.clone()).collect();
         let vm_dts: Vec<String> = vm_trees.iter().map(llhsc_dts::print).collect();
         let vm_c: Vec<String> = vm_configs.iter().map(VmConfig::to_c).collect();
         timings.generation = stage_start.elapsed();
@@ -362,14 +475,26 @@ impl Pipeline {
         })
     }
 
+    /// The cache key of one stage-3+4 product check: the derived
+    /// product (tree + order + provenance, so blame survives caching),
+    /// the schema set and every checker knob that shapes the result.
+    fn product_check_key(&self, schemas_hash: u64, product: &DerivedProduct) -> u64 {
+        let mut h = Fnv1a::new();
+        product.stable_hash().hash(&mut h);
+        schemas_hash.hash(&mut h);
+        (self.skip_syntactic, self.skip_semantic, self.page_alignment).hash(&mut h);
+        h.finish()
+    }
+
     /// Stage 3+4 for one derived tree: syntactic check, page-alignment
     /// warnings and the semantic check, with every finding blamed on
     /// the deltas that touched the offending nodes. Pure function of
-    /// its inputs, so trees can be checked concurrently.
+    /// its inputs, so trees can be checked concurrently and results can
+    /// be cached. The VM index is *not* attached here — the caller
+    /// stamps it, so cached results are VM-agnostic.
     fn check_product(
         &self,
         schemas: &SchemaSet,
-        vm: Option<usize>,
         product: &DerivedProduct,
     ) -> (Vec<Diagnostic>, RegionCheckStats) {
         let mut diagnostics = Vec::new();
@@ -377,25 +502,28 @@ impl Pipeline {
         if !self.skip_syntactic {
             let report = SyntacticChecker::new(&product.tree, schemas).check();
             for v in report.violations {
-                let mut d = Diagnostic::error(Stage::Syntactic, v.to_string())
-                    .blame(product.blame_subtree(&v.path).into_iter().cloned().collect());
-                d.vm = vm;
-                diagnostics.push(d);
+                diagnostics.push(
+                    Diagnostic::error(Stage::Syntactic, v.to_string()).blame(
+                        product
+                            .blame_subtree(&v.path)
+                            .into_iter()
+                            .cloned()
+                            .collect(),
+                    ),
+                );
             }
         }
         if let Some(align) = self.page_alignment {
             let checker = SemanticChecker::new();
             if let Ok(refs) = checker.collect_refs(&product.tree) {
                 for bad in checker.check_alignment(&refs, align) {
-                    let mut d = Diagnostic::warning(
+                    diagnostics.push(Diagnostic::warning(
                         Stage::Semantic,
                         format!(
                             "{bad} is not {align:#x}-aligned; stage-2 mapping \
                              will round it to page boundaries"
                         ),
-                    );
-                    d.vm = vm;
-                    diagnostics.push(d);
+                    ));
                 }
             }
         }
@@ -409,31 +537,23 @@ impl Pipeline {
                             .into_iter()
                             .cloned()
                             .collect();
-                        blamed.extend(
-                            product.blame_subtree(&c.b.path).into_iter().cloned(),
-                        );
+                        blamed.extend(product.blame_subtree(&c.b.path).into_iter().cloned());
                         blamed.dedup();
-                        let mut d =
-                            Diagnostic::error(Stage::Semantic, c.to_string()).blame(blamed);
-                        d.vm = vm;
-                        diagnostics.push(d);
+                        diagnostics
+                            .push(Diagnostic::error(Stage::Semantic, c.to_string()).blame(blamed));
                     }
                     for (line_no, users) in report.interrupt_conflicts {
-                        let mut d = Diagnostic::error(
+                        diagnostics.push(Diagnostic::error(
                             Stage::Semantic,
                             format!(
                                 "interrupt line {line_no} claimed by multiple devices: {}",
                                 users.join(", ")
                             ),
-                        );
-                        d.vm = vm;
-                        diagnostics.push(d);
+                        ));
                     }
                 }
                 Err(e) => {
-                    let mut d = Diagnostic::error(Stage::Semantic, e.to_string());
-                    d.vm = vm;
-                    diagnostics.push(d);
+                    diagnostics.push(Diagnostic::error(Stage::Semantic, e.to_string()));
                 }
             }
         }
@@ -441,10 +561,36 @@ impl Pipeline {
     }
 }
 
+/// The stage-1 cache key: the feature model plus every VM's raw
+/// selection, in VM order. VM names are deliberately excluded — they
+/// label images, they do not constrain the allocation.
+fn allocation_key(model: &FeatureModel, vms: &[VmSpec]) -> u64 {
+    let mut h = Fnv1a::new();
+    model.stable_hash().hash(&mut h);
+    vms.len().hash(&mut h);
+    for vm in vms {
+        vm.features.hash(&mut h);
+    }
+    h.finish()
+}
+
+fn lookup(cache: Option<&dyn PipelineCache>, class: CacheClass, key: u64) -> Option<CacheEntry> {
+    cache.and_then(|c| c.get(class, key))
+}
+
+fn store(cache: Option<&dyn PipelineCache>, class: CacheClass, key: u64, entry: CacheEntry) {
+    if let Some(c) = cache {
+        c.put(class, key, entry);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::running_example;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn running_example_succeeds() {
@@ -452,12 +598,8 @@ mod tests {
         let out = Pipeline::new().run(&input).expect("pipeline succeeds");
         assert_eq!(out.vm_trees.len(), 2);
         // VM1 carries veth0@80000000, VM2 the 0x70000000 one.
-        assert!(out.vm_trees[0]
-            .find("/vEthernet/veth0@80000000")
-            .is_some());
-        assert!(out.vm_trees[1]
-            .find("/vEthernet/veth0@70000000")
-            .is_some());
+        assert!(out.vm_trees[0].find("/vEthernet/veth0@80000000").is_some());
+        assert!(out.vm_trees[1].find("/vEthernet/veth0@70000000").is_some());
         // Exclusive CPUs: VM1 only cpu@0, VM2 only cpu@1.
         assert!(out.vm_trees[0].find("/cpus/cpu@0").is_some());
         assert!(out.vm_trees[0].find("/cpus/cpu@1").is_none());
@@ -483,9 +625,15 @@ mod tests {
         // adds drop_* housekeeping deltas that interleave).
         let pos = |msg: &str, name: &str| msg.find(name).expect("delta in order");
         let m1 = orders[0].message.as_str();
-        assert!(pos(m1, "d3") < pos(m1, "d4") && pos(m1, "d4") < pos(m1, "d1"), "{m1}");
+        assert!(
+            pos(m1, "d3") < pos(m1, "d4") && pos(m1, "d4") < pos(m1, "d1"),
+            "{m1}"
+        );
         let m2 = orders[1].message.as_str();
-        assert!(pos(m2, "d3") < pos(m2, "d4") && pos(m2, "d4") < pos(m2, "d2"), "{m2}");
+        assert!(
+            pos(m2, "d3") < pos(m2, "d4") && pos(m2, "d4") < pos(m2, "d2"),
+            "{m2}"
+        );
     }
 
     #[test]
@@ -524,10 +672,7 @@ mod tests {
         ];
         input.vms[1].features = vec!["memory".into(), "uart@20000000".into()];
         let err = Pipeline::new().run(&input).unwrap_err();
-        assert!(err
-            .diagnostics
-            .iter()
-            .any(|d| d.stage == Stage::Allocation));
+        assert!(err.diagnostics.iter().any(|d| d.stage == Stage::Allocation));
     }
 
     #[test]
@@ -537,9 +682,10 @@ mod tests {
         // give vm1 both veth0 and… simpler: make d1's veth physical by
         // using a non-virtual compatible and colliding with memory).
         let mut input = running_example::pipeline_input();
-        let deltas_src = running_example::DELTAS
-            .replace("compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
-                     "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;");
+        let deltas_src = running_example::DELTAS.replace(
+            "compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+            "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;",
+        );
         input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
         let err = Pipeline::new().run(&input).unwrap_err();
         let semantic: Vec<&Diagnostic> = err
@@ -562,9 +708,10 @@ mod tests {
         // skip_semantic = the dt-schema baseline: the sabotage from
         // `semantic_error_blames_delta` sails through syntactically…
         let mut input = running_example::pipeline_input();
-        let deltas_src = running_example::DELTAS
-            .replace("compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
-                     "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;");
+        let deltas_src = running_example::DELTAS.replace(
+            "compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+            "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;",
+        );
         input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
         let ablated = Pipeline {
             skip_semantic: true,
@@ -598,9 +745,142 @@ mod tests {
             features: vec!["memory".into(), "uart@20000000".into()],
         });
         let err = Pipeline::new().run(&input).unwrap_err();
-        assert!(err
-            .diagnostics
-            .iter()
-            .any(|d| d.stage == Stage::Allocation));
+        assert!(err.diagnostics.iter().any(|d| d.stage == Stage::Allocation));
+    }
+
+    /// A minimal thread-safe cache for the tests below.
+    #[derive(Default)]
+    struct TestCache {
+        map: Mutex<HashMap<(CacheClass, u64), CacheEntry>>,
+        hits: AtomicUsize,
+        misses: AtomicUsize,
+    }
+
+    impl PipelineCache for TestCache {
+        fn get(&self, class: CacheClass, key: u64) -> Option<CacheEntry> {
+            let hit = self.map.lock().unwrap().get(&(class, key)).cloned();
+            match hit {
+                Some(e) => {
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                    Some(e)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::SeqCst);
+                    None
+                }
+            }
+        }
+
+        fn put(&self, class: CacheClass, key: u64, entry: CacheEntry) {
+            self.map.lock().unwrap().insert((class, key), entry);
+        }
+    }
+
+    fn rendered(diags: &[Diagnostic]) -> Vec<String> {
+        diags.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn warm_cache_replays_identical_output_without_misses() {
+        let input = running_example::pipeline_input();
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+        let cold = pipeline
+            .run_with_cache(&input, Some(&cache))
+            .expect("cold run succeeds");
+        let cold_misses = cache.misses.load(Ordering::SeqCst);
+        assert!(cold_misses > 0, "cold run must miss");
+
+        let warm = pipeline
+            .run_with_cache(&input, Some(&cache))
+            .expect("warm run succeeds");
+        assert_eq!(
+            cache.misses.load(Ordering::SeqCst),
+            cold_misses,
+            "warm run must not miss"
+        );
+        // 1 allocation + 3 product checks (vm1, vm2, platform) +
+        // 2 coverage pairs.
+        assert_eq!(cache.hits.load(Ordering::SeqCst), 6);
+        assert_eq!(rendered(&cold.diagnostics), rendered(&warm.diagnostics));
+        assert_eq!(cold.vm_dts, warm.vm_dts);
+        assert_eq!(cold.platform_dts, warm.platform_dts);
+        assert_eq!(cold.vm_c, warm.vm_c);
+        assert_eq!(cold.semantic_stats, warm.semantic_stats);
+    }
+
+    #[test]
+    fn warm_cache_replays_failures_identically() {
+        let mut input = running_example::pipeline_input();
+        let deltas_src = running_example::DELTAS.replace(
+            "compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+            "compatible = \"pci\";\n            reg = <0x60000000 0x10000000>;",
+        );
+        input.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+        let cold = pipeline.run_with_cache(&input, Some(&cache)).unwrap_err();
+        let misses = cache.misses.load(Ordering::SeqCst);
+        let warm = pipeline.run_with_cache(&input, Some(&cache)).unwrap_err();
+        assert_eq!(cache.misses.load(Ordering::SeqCst), misses);
+        assert_eq!(rendered(&cold.diagnostics), rendered(&warm.diagnostics));
+    }
+
+    #[test]
+    fn rejected_allocation_is_cached() {
+        let mut input = running_example::pipeline_input();
+        input.vms[1].features = vec!["memory".into(), "cpu@0".into()];
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+        let cold = pipeline.run_with_cache(&input, Some(&cache)).unwrap_err();
+        let misses = cache.misses.load(Ordering::SeqCst);
+        let warm = pipeline.run_with_cache(&input, Some(&cache)).unwrap_err();
+        assert_eq!(cache.misses.load(Ordering::SeqCst), misses);
+        assert_eq!(rendered(&cold.diagnostics), rendered(&warm.diagnostics));
+    }
+
+    #[test]
+    fn cached_run_matches_uncached_run() {
+        let input = running_example::pipeline_input();
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+        let plain = pipeline.run(&input).expect("uncached run");
+        pipeline
+            .run_with_cache(&input, Some(&cache))
+            .expect("cold cached run");
+        let warm = pipeline
+            .run_with_cache(&input, Some(&cache))
+            .expect("warm cached run");
+        assert_eq!(rendered(&plain.diagnostics), rendered(&warm.diagnostics));
+        assert_eq!(plain.vm_dts, warm.vm_dts);
+        assert_eq!(plain.platform_c, warm.platform_c);
+    }
+
+    #[test]
+    fn editing_one_delta_invalidates_only_affected_products() {
+        // d1 only acts on vm1 (and the platform union): moving its veth
+        // window must leave vm2's product-check entry valid.
+        let input = running_example::pipeline_input();
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+        pipeline
+            .run_with_cache(&input, Some(&cache))
+            .expect("cold run");
+        let misses_before = cache.misses.load(Ordering::SeqCst);
+
+        let mut edited = input.clone();
+        let deltas_src = running_example::DELTAS.replace(
+            "veth0@80000000 {\n            compatible = \"veth\";\n            reg = <0x80000000 0x10000000>;",
+            "veth0@90000000 {\n            compatible = \"veth\";\n            reg = <0x90000000 0x10000000>;",
+        );
+        assert_ne!(deltas_src, running_example::DELTAS, "edit must apply");
+        edited.deltas = llhsc_delta::DeltaModule::parse_all(&deltas_src).unwrap();
+        pipeline
+            .run_with_cache(&edited, Some(&cache))
+            .expect("edited run");
+        // New misses: vm1's product check, the platform's product
+        // check, and both coverage pairs (the platform side of the pair
+        // changed). vm2's product check and the allocation hit.
+        assert_eq!(cache.misses.load(Ordering::SeqCst) - misses_before, 4);
     }
 }

@@ -1,0 +1,143 @@
+//! A synthetic quad-core SBC fixture: four CPUs, four UARTs, four VMs.
+//!
+//! The paper's running example ([`crate::running_example`]) stops at two
+//! VMs; this fixture exercises the pipeline's generality beyond it and
+//! is shared between the scale integration tests and the service
+//! end-to-end tests (which need a second, structurally different board
+//! to compare daemon output against local output).
+
+use llhsc_delta::DeltaModule;
+use llhsc_dts::DeviceTree;
+use llhsc_schema::SchemaSet;
+
+use crate::pipeline::{PipelineInput, VmSpec};
+
+/// The feature model: one exclusive xor-group of CPUs, an or-group of
+/// shareable UARTs.
+pub const MODEL: &str = r#"
+feature QuadSBC {
+    memory
+    cpus xor exclusive {
+        cpu@0?
+        cpu@1?
+        cpu@2?
+        cpu@3?
+    }
+    uarts abstract or {
+        uart@10000000?
+        uart@10001000?
+        uart@10002000?
+        uart@10003000?
+    }
+}
+"#;
+
+/// The core DTS: memory, a 4-CPU cluster and four UARTs at
+/// `0x1000_0000 + i * 0x1000`.
+pub fn core_dts() -> DeviceTree {
+    llhsc_dts::parse(&core_dts_text()).expect("synthetic core parses")
+}
+
+/// The source text behind [`core_dts`].
+pub fn core_dts_text() -> String {
+    let mut src = String::from(
+        r#"
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@80000000 {
+        device_type = "memory";
+        reg = <0x80000000 0x40000000>;
+    };
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+"#,
+    );
+    for i in 0..4 {
+        src.push_str(&format!(
+            "        cpu@{i} {{ compatible = \"arm,cortex-a72\"; device_type = \"cpu\";\n\
+                       enable-method = \"psci\"; reg = <{i:#x}>; }};\n"
+        ));
+    }
+    src.push_str("    };\n");
+    for i in 0..4 {
+        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
+        src.push_str(&format!(
+            "    uart@{base:x} {{ compatible = \"ns16550a\"; reg = <{base:#x} 0x1000>; }};\n"
+        ));
+    }
+    src.push_str("};\n");
+    src
+}
+
+/// The delta source behind [`drop_deltas`].
+pub fn drop_deltas_text() -> String {
+    let mut src = String::new();
+    for i in 0..4 {
+        src.push_str(&format!(
+            "delta drop_cpu{i} when !cpu@{i} {{ removes /cpus/cpu@{i}; }}\n"
+        ));
+        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
+        src.push_str(&format!(
+            "delta drop_uart{i} when !uart@{base:x} {{ removes /uart@{base:x}; }}\n"
+        ));
+    }
+    src
+}
+
+/// One `drop_*` delta per CPU and UART, active when the feature is
+/// deselected.
+pub fn drop_deltas() -> Vec<DeltaModule> {
+    DeltaModule::parse_all(&drop_deltas_text()).expect("drop deltas parse")
+}
+
+/// A VM selecting memory, `cpu@{cpu}` and the `uart`-th UART.
+pub fn vm(name: &str, cpu: usize, uart: usize) -> VmSpec {
+    VmSpec {
+        name: name.to_string(),
+        features: vec![
+            "memory".into(),
+            format!("cpu@{cpu}"),
+            format!("uart@{:x}", 0x1000_0000u64 + (uart as u64) * 0x1000),
+        ],
+    }
+}
+
+/// Four VMs, each pinning its own CPU and UART.
+pub fn vm_specs() -> Vec<VmSpec> {
+    (0..4).map(|i| vm(&format!("vm{i}"), i, i)).collect()
+}
+
+/// Assembles a [`PipelineInput`] for the given VMs over the quad-core
+/// board.
+pub fn input(vms: Vec<VmSpec>) -> PipelineInput {
+    PipelineInput {
+        core: core_dts(),
+        deltas: drop_deltas(),
+        model: llhsc_fm::parse_model(MODEL).expect("model parses"),
+        schemas: SchemaSet::standard(),
+        vms,
+    }
+}
+
+/// The canonical 4-VM input ([`vm_specs`] over [`input`]).
+pub fn pipeline_input() -> PipelineInput {
+    input(vm_specs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pipeline;
+
+    #[test]
+    fn fixture_is_clean() {
+        let out = Pipeline::new()
+            .run(&pipeline_input())
+            .expect("quadcore fixture passes all checkers");
+        assert_eq!(out.vm_trees.len(), 4);
+        assert_eq!(out.platform_config.cpu_num, 4);
+    }
+}

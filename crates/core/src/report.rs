@@ -6,7 +6,7 @@ use std::time::Duration;
 use llhsc_delta::Provenance;
 
 /// How bad a finding is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Informational (e.g. applied delta order).
     Info,
@@ -28,7 +28,7 @@ impl fmt::Display for Severity {
 
 /// Which checker produced a finding (the three checkers of §IV plus
 /// the generation stages around them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
     /// Feature-model / resource-allocation checking (§IV-A).
     Allocation,
@@ -142,6 +142,28 @@ impl Diagnostic {
     }
 }
 
+/// Removes exact-duplicate diagnostics, keeping the first occurrence
+/// and the original order.
+///
+/// Per-VM checking can surface the same finding more than once — a
+/// platform-tree problem shows up identically in every VM that inherits
+/// the offending node — and rendering it repeatedly buries the signal.
+/// Two diagnostics are duplicates when every field (severity, stage, VM
+/// index, message, blame) matches; findings that differ only in their
+/// VM index are deliberately kept separate.
+pub fn dedup_diagnostics(diagnostics: &mut Vec<Diagnostic>) {
+    let mut seen = std::collections::HashSet::new();
+    diagnostics.retain(|d| {
+        seen.insert((
+            d.severity,
+            d.stage,
+            d.vm,
+            d.message.clone(),
+            d.blamed.clone(),
+        ))
+    });
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}[{}]", self.severity, self.stage)?;
@@ -176,6 +198,24 @@ mod tests {
         let s = d.to_string();
         assert!(s.contains("error[semantic][vm1]"));
         assert!(s.contains("d4:modifies /memory@40000000"));
+    }
+
+    #[test]
+    fn dedup_keeps_first_occurrence_order() {
+        let a = Diagnostic::error(Stage::Semantic, "clash at 0x1000");
+        let b = Diagnostic::error(Stage::Syntactic, "missing \"reg\"").for_vm(0);
+        let mut diags = vec![a.clone(), b.clone(), a.clone(), b.clone(), a.clone()];
+        dedup_diagnostics(&mut diags);
+        assert_eq!(diags, vec![a, b]);
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_vm_indices() {
+        let a = Diagnostic::error(Stage::Semantic, "clash").for_vm(0);
+        let b = Diagnostic::error(Stage::Semantic, "clash").for_vm(1);
+        let mut diags = vec![a.clone(), b.clone()];
+        dedup_diagnostics(&mut diags);
+        assert_eq!(diags.len(), 2);
     }
 
     #[test]

@@ -172,10 +172,7 @@ impl SemanticChecker {
     /// # Errors
     ///
     /// Propagates `reg`/`ranges` decoding errors.
-    pub fn check_tree_translated(
-        &self,
-        tree: &DeviceTree,
-    ) -> Result<SemanticReport, DtsError> {
+    pub fn check_tree_translated(&self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
         Ok(self.check_tree_with(tree, true)?.0)
     }
 
@@ -469,11 +466,7 @@ impl SemanticChecker {
     /// DTSs of the VMs must be translated into their machine
     /// counterparts internally to the hypervisor", §IV-C). Returns a
     /// witness address per uncovered region.
-    pub fn check_coverage(
-        &self,
-        inner: &[RegionRef],
-        outer: &[RegionRef],
-    ) -> Vec<CoverageGap> {
+    pub fn check_coverage(&self, inner: &[RegionRef], outer: &[RegionRef]) -> Vec<CoverageGap> {
         let mut ctx = Context::new();
         let mut out = Vec::new();
         for r in inner {
@@ -612,12 +605,11 @@ fn interrupt_conflicts(tree: &DeviceTree) -> Vec<(u32, Vec<String>)> {
     /// `#interrupt-cells` of a domain's controller, defaulting to 1.
     fn domain_cells(tree: &DeviceTree, key: &str) -> u32 {
         let node = match key.strip_prefix('&') {
-            Some(label) => tree
-                .resolve_label(label)
-                .and_then(|p| tree.find_path(&p)),
+            Some(label) => tree.resolve_label(label).and_then(|p| tree.find_path(&p)),
             None => None,
         };
-        node.and_then(|n| n.prop_u32("#interrupt-cells")).unwrap_or(1)
+        node.and_then(|n| n.prop_u32("#interrupt-cells"))
+            .unwrap_or(1)
     }
 
     fn rec(
@@ -834,7 +826,7 @@ mod tests {
                 path: "/d".into(),
                 index: 0,
                 region: RegEntry::new(0x9010, 0x10),
-            virtual_device: false,
+                virtual_device: false,
             },
         ];
         let c = SemanticChecker::new().check_regions(&refs);
@@ -958,7 +950,11 @@ mod tests {
         )
         .unwrap();
         let r = SemanticChecker::new().check_tree(&t).unwrap();
-        assert!(r.interrupt_conflicts.is_empty(), "{:?}", r.interrupt_conflicts);
+        assert!(
+            r.interrupt_conflicts.is_empty(),
+            "{:?}",
+            r.interrupt_conflicts
+        );
 
         let clash = parse(
             r#"/ {
@@ -996,7 +992,11 @@ mod tests {
         )
         .unwrap();
         let r = SemanticChecker::new().check_tree(&t).unwrap();
-        assert_eq!(r.interrupt_conflicts.len(), 1, "inherited same domain clashes");
+        assert_eq!(
+            r.interrupt_conflicts.len(),
+            1,
+            "inherited same domain clashes"
+        );
     }
 
     #[test]
@@ -1017,7 +1017,11 @@ mod tests {
         )
         .unwrap();
         let r = SemanticChecker::new().check_tree(&t).unwrap();
-        assert!(r.interrupt_conflicts.is_empty(), "{:?}", r.interrupt_conflicts);
+        assert!(
+            r.interrupt_conflicts.is_empty(),
+            "{:?}",
+            r.interrupt_conflicts
+        );
     }
 
     #[test]

@@ -55,8 +55,7 @@ pub fn candidate_pairs(refs: &[RegionRef]) -> Vec<(usize, usize)> {
         for &o in &active {
             // `b_cur < e_o` holds by the retain above; check the rest
             // of the SMT overlap predicate.
-            if span(&refs[o]).0 < e_cur && refs[o].virtual_device == refs[cur].virtual_device
-            {
+            if span(&refs[o]).0 < e_cur && refs[o].virtual_device == refs[cur].virtual_device {
                 pairs.push((o.min(cur), o.max(cur)));
             }
         }
@@ -108,8 +107,7 @@ mod tests {
 
     #[test]
     fn disjoint_regions_produce_no_pairs() {
-        let refs: Vec<RegionRef> =
-            (0..100).map(|i| region(0x1000 * i, 0x800)).collect();
+        let refs: Vec<RegionRef> = (0..100).map(|i| region(0x1000 * i, 0x800)).collect();
         assert!(candidate_pairs(&refs).is_empty());
     }
 
@@ -154,10 +152,7 @@ mod tests {
     fn top_of_address_space_no_overflow() {
         // base + size = 2^64 exceeds u64 but not the 65-bit headroom;
         // the sweep must not wrap (the SMT encoding does not).
-        let refs = vec![
-            region(0xffff_ffff_ffff_f000, 0x1000),
-            region(0x0, 0x1000),
-        ];
+        let refs = vec![region(0xffff_ffff_ffff_f000, 0x1000), region(0x0, 0x1000)];
         assert!(candidate_pairs(&refs).is_empty());
     }
 
@@ -185,10 +180,7 @@ mod tests {
         };
         let refs: Vec<RegionRef> = (0..64)
             .map(|i| {
-                let mut r = region(
-                    u128::from(next() % 0x4000),
-                    u128::from(next() % 0x800),
-                );
+                let mut r = region(u128::from(next() % 0x4000), u128::from(next() % 0x800));
                 r.path = format!("/soup@{i}");
                 r.virtual_device = next() % 4 == 0;
                 r

@@ -6,11 +6,7 @@ use llhsc_dts::cells::RegEntry;
 use proptest::prelude::*;
 
 fn arb_regions(max: usize) -> impl Strategy<Value = Vec<RegionRef>> {
-    prop::collection::vec(
-        (0u64..0x1_0000, 0u64..0x400, any::<bool>()),
-        1..=max,
-    )
-    .prop_map(|specs| {
+    prop::collection::vec((0u64..0x1_0000, 0u64..0x400, any::<bool>()), 1..=max).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()

@@ -10,7 +10,7 @@ use crate::module::{DeltaError, DeltaModule, DeltaOp};
 /// paper's traceability requirement: "if an error is detected by the
 /// checker, it can easily be traced back to the delta-module causing
 /// it" (§III-B).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Provenance {
     /// The delta module.
     pub delta: String,
@@ -22,7 +22,7 @@ pub struct Provenance {
 
 /// A derived product: the resulting tree, the application order and the
 /// operation provenance.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DerivedProduct {
     /// The tree after all active deltas were applied.
     pub tree: DeviceTree,
@@ -33,6 +33,14 @@ pub struct DerivedProduct {
 }
 
 impl DerivedProduct {
+    /// A stable content hash of the product — tree, application order
+    /// and provenance together. Two products with this hash in common
+    /// are interchangeable for checking *and* blame reporting, which is
+    /// what a per-product result cache needs as its key.
+    pub fn stable_hash(&self) -> u64 {
+        llhsc_dts::hash::stable_hash_of(&(&self.tree, &self.order, &self.provenance))
+    }
+
     /// The deltas that touched `path` (exact match), most recent last.
     pub fn blame(&self, path: &str) -> Vec<&Provenance> {
         self.provenance.iter().filter(|p| p.path == path).collect()
@@ -42,7 +50,9 @@ impl DerivedProduct {
     pub fn blame_subtree(&self, path: &str) -> Vec<&Provenance> {
         self.provenance
             .iter()
-            .filter(|p| path == p.path || path.starts_with(&format!("{}/", p.path)) || p.path == "/")
+            .filter(|p| {
+                path == p.path || path.starts_with(&format!("{}/", p.path)) || p.path == "/"
+            })
             .collect()
     }
 }
@@ -95,14 +105,11 @@ impl ProductLine {
     /// [`DeltaError::Cycle`] when the active `after` relation is cyclic.
     pub fn order(&self, selection: &[&str]) -> Result<Vec<&DeltaModule>, DeltaError> {
         let active = self.active(selection);
-        let active_names: BTreeSet<&str> =
-            active.iter().map(|d| d.name.as_str()).collect();
+        let active_names: BTreeSet<&str> = active.iter().map(|d| d.name.as_str()).collect();
         let mut remaining: Vec<&DeltaModule> = active;
         let mut out: Vec<&DeltaModule> = Vec::new();
         let mut placed: BTreeSet<&str> = BTreeSet::new();
-        let extends = |d: &DeltaModule| {
-            d.ops.iter().any(|op| matches!(op, DeltaOp::Adds { .. }))
-        };
+        let extends = |d: &DeltaModule| d.ops.iter().any(|op| matches!(op, DeltaOp::Adds { .. }));
         while !remaining.is_empty() {
             let ready = |d: &&DeltaModule| {
                 d.after
@@ -422,15 +429,19 @@ mod tests {
         let pl = ProductLine::new(parse(CORE).unwrap(), deltas);
         let p = pl.derive(&[]).unwrap();
         assert!(p.tree.find("/uart@20000000").is_none());
-        assert!(p.tree.find("/memory@40000000").unwrap().prop("reg").is_none());
+        assert!(p
+            .tree
+            .find("/memory@40000000")
+            .unwrap()
+            .prop("reg")
+            .is_none());
     }
 
     #[test]
     fn deterministic_order_among_unconstrained() {
-        let deltas = DeltaModule::parse_all(
-            "delta z { modifies / { }; } delta a { modifies / { }; }",
-        )
-        .unwrap();
+        let deltas =
+            DeltaModule::parse_all("delta z { modifies / { }; } delta a { modifies / { }; }")
+                .unwrap();
         let pl = ProductLine::new(parse(CORE).unwrap(), deltas);
         // Declaration order, not alphabetical.
         assert_eq!(pl.derive(&[]).unwrap().order, vec!["z", "a"]);

@@ -342,9 +342,7 @@ pub fn parse_deltas(src: &str) -> Result<Vec<DeltaModule>, DeltaError> {
                     when = s.when_expr()?;
                 }
                 other => {
-                    return Err(s.err(format!(
-                        "expected 'after', 'when' or '{{', found {other:?}"
-                    )))
+                    return Err(s.err(format!("expected 'after', 'when' or '{{', found {other:?}")))
                 }
             }
         }
@@ -484,10 +482,7 @@ delta d4 after d3 when memory {
                 assert_eq!(path, "vEthernet");
                 assert_eq!(fragment.children.len(), 1);
                 assert_eq!(fragment.children[0].name, "veth0@80000000");
-                assert_eq!(
-                    fragment.children[0].prop_u32("id"),
-                    Some(0)
-                );
+                assert_eq!(fragment.children[0].prop_u32("id"), Some(0));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -517,10 +512,8 @@ delta d4 after d3 when memory {
 
     #[test]
     fn removes_variants() {
-        let ds = parse_deltas(
-            "delta d { removes /uart@0; removes memory@0 property reg; }",
-        )
-        .unwrap();
+        let ds =
+            parse_deltas("delta d { removes /uart@0; removes memory@0 property reg; }").unwrap();
         assert_eq!(
             ds[0].ops,
             vec![
@@ -537,8 +530,7 @@ delta d4 after d3 when memory {
 
     #[test]
     fn when_operators() {
-        let ds =
-            parse_deltas("delta d when (a && !b) || c { modifies / { x = <1>; }; }").unwrap();
+        let ds = parse_deltas("delta d when (a && !b) || c { modifies / { x = <1>; }; }").unwrap();
         let sel_a: std::collections::BTreeSet<&str> = ["a"].into_iter().collect();
         let sel_ab: std::collections::BTreeSet<&str> = ["a", "b"].into_iter().collect();
         let sel_c: std::collections::BTreeSet<&str> = ["c"].into_iter().collect();
@@ -594,10 +586,7 @@ delta d4 after d3 when memory {
 
     #[test]
     fn strings_with_braces_in_fragment() {
-        let ds = parse_deltas(
-            "delta d { modifies / { model = \"weird{}brace\"; }; }",
-        )
-        .unwrap();
+        let ds = parse_deltas("delta d { modifies / { model = \"weird{}brace\"; }; }").unwrap();
         match &ds[0].ops[0] {
             DeltaOp::Modifies { fragment, .. } => {
                 assert_eq!(fragment.prop_str("model"), Some("weird{}brace"));

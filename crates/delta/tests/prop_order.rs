@@ -9,25 +9,30 @@ use proptest::prelude::*;
 /// dependencies on deltas with smaller indices, each guarded by one of
 /// three features.
 fn arb_deltas(max: usize) -> impl Strategy<Value = Vec<(Vec<usize>, u8)>> {
-    prop::collection::vec((prop::collection::vec(any::<prop::sample::Index>(), 0..3), 0u8..3), 1..=max)
-        .prop_map(|specs| {
-            specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (deps, feat))| {
-                    let after: Vec<usize> = if i == 0 {
-                        Vec::new()
-                    } else {
-                        let mut d: Vec<usize> =
-                            deps.into_iter().map(|ix| ix.index(i)).collect();
-                        d.sort_unstable();
-                        d.dedup();
-                        d
-                    };
-                    (after, feat)
-                })
-                .collect()
-        })
+    prop::collection::vec(
+        (
+            prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+            0u8..3,
+        ),
+        1..=max,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (deps, feat))| {
+                let after: Vec<usize> = if i == 0 {
+                    Vec::new()
+                } else {
+                    let mut d: Vec<usize> = deps.into_iter().map(|ix| ix.index(i)).collect();
+                    d.sort_unstable();
+                    d.dedup();
+                    d
+                };
+                (after, feat)
+            })
+            .collect()
+    })
 }
 
 fn build(specs: &[(Vec<usize>, u8)]) -> Vec<DeltaModule> {

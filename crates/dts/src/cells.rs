@@ -274,9 +274,7 @@ pub fn translate(address: u128, ranges: &[RangeEntry]) -> Option<u128> {
 /// # Errors
 ///
 /// Propagates decoding errors from `reg` and `ranges` properties.
-pub fn collect_regions_translated(
-    tree: &DeviceTree,
-) -> Result<Vec<DeviceRegions>, DtsError> {
+pub fn collect_regions_translated(tree: &DeviceTree) -> Result<Vec<DeviceRegions>, DtsError> {
     #[derive(Clone)]
     enum Xlat {
         /// Compose these range tables innermost-first.

@@ -104,7 +104,11 @@ impl fmt::Display for DtsError {
             DtsError::Unterminated { at, what } => {
                 write!(f, "{at}: unterminated {what}")
             }
-            DtsError::Unexpected { at, expected, found } => {
+            DtsError::Unexpected {
+                at,
+                expected,
+                found,
+            } => {
                 write!(f, "{at}: expected {expected}, found {found}")
             }
             DtsError::MissingInclude { at, file } => {

@@ -287,10 +287,7 @@ pub fn decode(blob: &[u8]) -> Result<DeviceTree, FdtError> {
     let strings = blob.get(off_strings..).ok_or(FdtError::Truncated)?;
     let prop_name = |off: u32| -> Result<String, FdtError> {
         let s = strings.get(off as usize..).ok_or(FdtError::Truncated)?;
-        let end = s
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or(FdtError::Truncated)?;
+        let end = s.iter().position(|&b| b == 0).ok_or(FdtError::Truncated)?;
         std::str::from_utf8(&s[..end])
             .map(str::to_string)
             .map_err(|_| FdtError::BadString)
@@ -310,7 +307,9 @@ pub fn decode(blob: &[u8]) -> Result<DeviceTree, FdtError> {
                 stack.push(Node::new(&name));
             }
             FDT_END_NODE => {
-                let done = stack.pop().ok_or(FdtError::Malformed("unbalanced END_NODE"))?;
+                let done = stack
+                    .pop()
+                    .ok_or(FdtError::Malformed("unbalanced END_NODE"))?;
                 match stack.last_mut() {
                     Some(parent) => parent.children.push(done),
                     None => {
@@ -376,9 +375,7 @@ pub fn decode_typed(blob: &[u8]) -> Result<DeviceTree, FdtError> {
             } else if raw.len().is_multiple_of(4) && !raw.is_empty() {
                 let cells: Vec<crate::tree::Cell> = raw
                     .chunks(4)
-                    .map(|c| {
-                        crate::tree::Cell::U32(u32::from_be_bytes([c[0], c[1], c[2], c[3]]))
-                    })
+                    .map(|c| crate::tree::Cell::U32(u32::from_be_bytes([c[0], c[1], c[2], c[3]])))
                     .collect();
                 p.values = vec![PropValue::Cells(cells)];
             }
@@ -401,10 +398,7 @@ fn as_string_list(raw: &[u8]) -> Option<Vec<String>> {
         if part.is_empty() {
             return None;
         }
-        if !part
-            .iter()
-            .all(|&b| (0x20..0x7f).contains(&b))
-        {
+        if !part.iter().all(|&b| (0x20..0x7f).contains(&b)) {
             return None;
         }
         out.push(String::from_utf8(part.to_vec()).ok()?);

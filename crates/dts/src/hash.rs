@@ -1,0 +1,113 @@
+//! Stable content hashing of parsed artifacts.
+//!
+//! The `llhsc-service` daemon keys its incremental result cache on
+//! hashes of every input artifact (trees, schemas, selections). The
+//! default [`std::collections::hash_map::RandomState`] hasher is
+//! randomly seeded per process and therefore useless as a *stable*
+//! content address, so this module provides a fixed-seed 64-bit
+//! FNV-1a hasher: deterministic across runs, dependency-free, and fast
+//! enough to hash a derived tree in microseconds.
+//!
+//! The hashes are **not** cryptographic — they address an in-memory
+//! cache, not untrusted storage — and are not guaranteed stable across
+//! versions of this workspace (struct layout changes change them).
+
+use std::hash::{Hash, Hasher};
+
+use crate::tree::DeviceTree;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a [`Hasher`] with a fixed seed.
+///
+/// Feed it any `Hash` type; unlike `DefaultHasher` the result is the
+/// same in every process, which is what a content-addressed cache key
+/// needs.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher in the initial (offset-basis) state.
+    pub fn new() -> Fnv1a {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes any `Hash` value with the stable [`Fnv1a`] hasher.
+///
+/// ```
+/// let a = llhsc_dts::hash::stable_hash_of(&("llhsc", 7u32));
+/// let b = llhsc_dts::hash::stable_hash_of(&("llhsc", 7u32));
+/// assert_eq!(a, b);
+/// ```
+pub fn stable_hash_of<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = Fnv1a::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+impl DeviceTree {
+    /// A stable content hash of the whole tree: nodes, properties,
+    /// labels, reservations and the version tag. Structurally equal
+    /// trees hash equally regardless of how they were produced (parsed,
+    /// derived, decompiled).
+    pub fn stable_hash(&self) -> u64 {
+        stable_hash_of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") from the reference implementation's test suite.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn equal_trees_hash_equal() {
+        let src = "/ { uart@1000 { reg = <0x1000 0x100>; }; };";
+        let a = parse(src).unwrap();
+        let b = parse(src).unwrap();
+        assert_eq!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn different_trees_hash_differently() {
+        let a = parse("/ { uart@1000 { reg = <0x1000 0x100>; }; };").unwrap();
+        let b = parse("/ { uart@1000 { reg = <0x1000 0x200>; }; };").unwrap();
+        assert_ne!(a.stable_hash(), b.stable_hash());
+    }
+
+    #[test]
+    fn print_parse_round_trip_preserves_hash() {
+        let a = parse("/dts-v1/;\n/ { x { compatible = \"veth\"; }; };").unwrap();
+        let b = parse(&crate::print(&a)).unwrap();
+        assert_eq!(a.stable_hash(), b.stable_hash());
+    }
+}

@@ -147,7 +147,10 @@ impl<'a> Lexer<'a> {
                     loop {
                         match self.peek() {
                             None => {
-                                return Err(DtsError::Unterminated { at, what: "comment" })
+                                return Err(DtsError::Unterminated {
+                                    at,
+                                    what: "comment",
+                                })
                             }
                             Some(b'*') if self.peek2() == Some(b'/') => {
                                 self.bump();
@@ -436,13 +439,22 @@ mod tests {
     #[test]
     fn unterminated_string_errors() {
         let r = Lexer::new("\"abc").tokenize();
-        assert!(matches!(r, Err(DtsError::Unterminated { what: "string", .. })));
+        assert!(matches!(
+            r,
+            Err(DtsError::Unterminated { what: "string", .. })
+        ));
     }
 
     #[test]
     fn unterminated_comment_errors() {
         let r = Lexer::new("/* abc").tokenize();
-        assert!(matches!(r, Err(DtsError::Unterminated { what: "comment", .. })));
+        assert!(matches!(
+            r,
+            Err(DtsError::Unterminated {
+                what: "comment",
+                ..
+            })
+        ));
     }
 
     #[test]

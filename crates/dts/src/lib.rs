@@ -43,6 +43,7 @@
 
 pub mod cells;
 pub mod fdt;
+pub mod hash;
 
 mod error;
 mod lexer;

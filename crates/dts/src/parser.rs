@@ -70,10 +70,7 @@ pub fn parse(src: &str) -> Result<DeviceTree, DtsError> {
 ///
 /// Returns a [`DtsError`] on lexical or syntactic problems, missing
 /// include files, or overly deep include nesting.
-pub fn parse_with_includes(
-    src: &str,
-    provider: &dyn FileProvider,
-) -> Result<DeviceTree, DtsError> {
+pub fn parse_with_includes(src: &str, provider: &dyn FileProvider) -> Result<DeviceTree, DtsError> {
     let tokens = tokenize_with_includes(src, provider, 0)?;
     Parser::new(tokens).parse_document()
 }
@@ -198,15 +195,15 @@ impl Parser {
                 }
                 TokenKind::Ref(_) => {
                     let t = self.bump();
-                    let TokenKind::Ref(label) = t.kind else { unreachable!() };
+                    let TokenKind::Ref(label) = t.kind else {
+                        unreachable!()
+                    };
                     let body = self.parse_node_body("")?;
                     self.expect(&TokenKind::Semi, "';' after node")?;
                     let path = tree
                         .resolve_label(&label)
                         .ok_or(DtsError::UnknownLabel { label })?;
-                    let target = tree
-                        .find_path_mut(&path)
-                        .expect("label path resolves");
+                    let target = tree.find_path_mut(&path).expect("label path resolves");
                     let mut patch = body;
                     patch.name = target.name.clone();
                     target.merge(patch);
@@ -299,10 +296,7 @@ impl Parser {
                         }
                         _ => {
                             let t = self.peek().clone();
-                            return Err(Parser::unexpected(
-                                &t,
-                                "'{', '=' or ';' after name",
-                            ));
+                            return Err(Parser::unexpected(&t, "'{', '=' or ';' after name"));
                         }
                     }
                 }
@@ -367,9 +361,7 @@ impl Parser {
                             };
                             for pair in digits.as_bytes().chunks(2) {
                                 let s = std::str::from_utf8(pair).expect("hex digits");
-                                bytes.push(
-                                    u8::from_str_radix(s, 16).expect("hex digits"),
-                                );
+                                bytes.push(u8::from_str_radix(s, 16).expect("hex digits"));
                             }
                         }
                         _ => return Err(Parser::unexpected(&t, "hex byte or ']'")),
@@ -436,10 +428,7 @@ mod tests {
         assert_eq!(mem.prop("reg").unwrap().flat_cells().unwrap().len(), 8);
         assert!(t.find("/cpus/cpu@0").is_some());
         assert!(t.find("/cpus/cpu@1").is_some());
-        assert_eq!(
-            t.find("/cpus/cpu@1").unwrap().prop_u32("reg"),
-            Some(1)
-        );
+        assert_eq!(t.find("/cpus/cpu@1").unwrap().prop_u32("reg"), Some(1));
     }
 
     #[test]

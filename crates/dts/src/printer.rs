@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn print_escapes_strings() {
         let mut t = DeviceTree::new();
-        t.root
-            .set_prop(Property::string("weird", "a\"b\\c\nd"));
+        t.root.set_prop(Property::string("weird", "a\"b\\c\nd"));
         let text = print(&t);
         let back = parse(&text).unwrap();
         assert_eq!(back.root.prop_str("weird"), Some("a\"b\\c\nd"));

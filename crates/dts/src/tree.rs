@@ -70,7 +70,7 @@ impl fmt::Display for PropValue {
 
 /// A property: a name and zero or more values. A property with no values
 /// (`foo;`) is a Boolean flag per the DeviceTree specification.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Property {
     /// Property name, e.g. `#address-cells`.
     pub name: String,
@@ -83,9 +83,7 @@ impl Property {
     pub fn cells<I: IntoIterator<Item = u32>>(name: &str, vals: I) -> Property {
         Property {
             name: name.to_string(),
-            values: vec![PropValue::Cells(
-                vals.into_iter().map(Cell::U32).collect(),
-            )],
+            values: vec![PropValue::Cells(vals.into_iter().map(Cell::U32).collect())],
         }
     }
 
@@ -175,7 +173,7 @@ impl Property {
 
 /// A device node: a name (with optional `@unit-address`), labels,
 /// properties and children. Property and child order is preserved.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Node {
     /// Full node name including the unit address, e.g.
     /// `memory@40000000`. The root node's name is empty.
@@ -403,7 +401,7 @@ impl fmt::Display for NodePath {
 }
 
 /// A whole DeviceTree: the root node plus document-level metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct DeviceTree {
     /// The root node (its `name` is empty).
     pub root: Node,
@@ -479,15 +477,21 @@ impl DeviceTree {
         let parent = parsed.parent().expect("non-root has a parent");
         let parent_node = self
             .find_path_mut(&parent)
-            .ok_or_else(|| DtsError::NoSuchNode { path: parent.to_string() })?;
+            .ok_or_else(|| DtsError::NoSuchNode {
+                path: parent.to_string(),
+            })?;
         // Resolve base-name queries to the exact child name first.
         let exact = parent_node
             .child(&leaf)
             .map(|c| c.name.clone())
-            .ok_or_else(|| DtsError::NoSuchNode { path: path.to_string() })?;
+            .ok_or_else(|| DtsError::NoSuchNode {
+                path: path.to_string(),
+            })?;
         parent_node
             .remove_child(&exact)
-            .ok_or_else(|| DtsError::NoSuchNode { path: path.to_string() })
+            .ok_or_else(|| DtsError::NoSuchNode {
+                path: path.to_string(),
+            })
     }
 
     /// Resolves a `&label` to the path of the labelled node.
@@ -554,10 +558,7 @@ mod tests {
         {
             let mem = t.ensure("/memory@40000000");
             mem.set_prop(Property::string("device_type", "memory"));
-            mem.set_prop(Property::cells(
-                "reg",
-                [0, 0x4000_0000, 0, 0x2000_0000],
-            ));
+            mem.set_prop(Property::cells("reg", [0, 0x4000_0000, 0, 0x2000_0000]));
         }
         {
             let cpu0 = t.ensure("/cpus/cpu@0");
@@ -677,14 +678,23 @@ mod tests {
         let paths: Vec<String> = t.nodes().iter().map(|(p, _)| p.to_string()).collect();
         assert_eq!(
             paths,
-            vec!["/", "/memory@40000000", "/cpus", "/cpus/cpu@0", "/cpus/cpu@1"]
+            vec![
+                "/",
+                "/memory@40000000",
+                "/cpus",
+                "/cpus/cpu@0",
+                "/cpus/cpu@1"
+            ]
         );
     }
 
     #[test]
     fn labels_resolve() {
         let mut t = sample();
-        t.find_mut("/cpus/cpu@0").unwrap().labels.push("boot_cpu".into());
+        t.find_mut("/cpus/cpu@0")
+            .unwrap()
+            .labels
+            .push("boot_cpu".into());
         assert_eq!(
             t.resolve_label("boot_cpu").unwrap().to_string(),
             "/cpus/cpu@0"
@@ -701,10 +711,7 @@ mod tests {
         let aliases = t.ensure("/aliases");
         aliases.set_prop(Property::string("serial0", "/uart@20000000"));
         aliases.set_prop(Property::string("ghost", "/nope"));
-        assert_eq!(
-            t.resolve_alias("serial0").unwrap().name,
-            "uart@20000000"
-        );
+        assert_eq!(t.resolve_alias("serial0").unwrap().name, "uart@20000000");
         assert!(t.resolve_alias("ghost").is_none());
         assert!(t.resolve_alias("unknown").is_none());
     }

@@ -20,15 +20,17 @@ fn arb_prop() -> impl Strategy<Value = Property> {
         "[ -~&&[^\"\\\\]]{0,12}".prop_map(PropValue::Str),
         prop::collection::vec(any::<u8>(), 1..6).prop_map(PropValue::Bytes),
     ];
-    (arb_name(), prop::collection::vec(value, 0..3)).prop_map(|(name, values)| Property {
-        name,
-        values,
-    })
+    (arb_name(), prop::collection::vec(value, 0..3))
+        .prop_map(|(name, values)| Property { name, values })
 }
 
 fn arb_node(depth: u32) -> BoxedStrategy<Node> {
-    let leaf = (arb_name(), arb_unit(), prop::collection::vec(arb_prop(), 0..4)).prop_map(
-        |(name, unit, props)| {
+    let leaf = (
+        arb_name(),
+        arb_unit(),
+        prop::collection::vec(arb_prop(), 0..4),
+    )
+        .prop_map(|(name, unit, props)| {
             let full = match unit {
                 Some(u) => format!("{name}@{u:x}"),
                 None => name,
@@ -38,8 +40,7 @@ fn arb_node(depth: u32) -> BoxedStrategy<Node> {
                 n.set_prop(p);
             }
             n
-        },
-    );
+        });
     if depth == 0 {
         leaf.boxed()
     } else {

@@ -102,8 +102,7 @@ impl Analyzer {
     /// features, only features forced by the model's constraints are
     /// selected — optional extras stay deselected.
     pub fn complete(&mut self, selected: &[FeatureId]) -> Option<Product> {
-        let mut assumptions: Vec<TermId> =
-            selected.iter().map(|id| self.vars[id]).collect();
+        let mut assumptions: Vec<TermId> = selected.iter().map(|id| self.vars[id]).collect();
         if self.ctx.check_assuming(&assumptions) != CheckResult::Sat {
             return None;
         }
@@ -205,8 +204,7 @@ impl Analyzer {
         if ctx.check_assuming(&assumptions) == CheckResult::Sat {
             return vec!["(inconsistency not attributable to a rule subset)".to_string()];
         }
-        let core: std::collections::BTreeSet<TermId> =
-            ctx.unsat_core().iter().copied().collect();
+        let core: std::collections::BTreeSet<TermId> = ctx.unsat_core().iter().copied().collect();
         markers
             .into_iter()
             .filter(|(m, _)| core.contains(m))
@@ -361,7 +359,8 @@ pub(crate) mod tests {
         assert!(!why.is_empty());
         // The explanation mentions the conflicting decisions.
         assert!(
-            why.iter().any(|n| n.contains("veth0") || n.contains("cpu@0")),
+            why.iter()
+                .any(|n| n.contains("veth0") || n.contains("cpu@0")),
             "unhelpful core: {why:?}"
         );
     }
@@ -370,11 +369,18 @@ pub(crate) mod tests {
     fn both_cpus_invalid() {
         let fm = custom_sbc();
         let mut an = Analyzer::new(&fm);
-        let sel: Vec<FeatureId> = ["CustomSBC", "memory", "cpus", "cpu@0", "cpu@1", "uarts",
-            "uart@20000000"]
-            .iter()
-            .map(|n| fm.by_name(n).unwrap())
-            .collect();
+        let sel: Vec<FeatureId> = [
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@0",
+            "cpu@1",
+            "uarts",
+            "uart@20000000",
+        ]
+        .iter()
+        .map(|n| fm.by_name(n).unwrap())
+        .collect();
         assert!(!an.is_valid(&sel));
     }
 

@@ -17,7 +17,7 @@ impl FeatureId {
 
 /// How a feature's children decompose (the edge decorations of §II-B,
 /// extended with cardinality groups per Czarnecki-style notations).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum GroupKind {
     /// Children are independent; each is mandatory or optional on its
     /// own.
@@ -38,7 +38,7 @@ pub enum GroupKind {
 }
 
 /// One feature node.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Feature {
     /// Human-readable feature name (unique within the model).
     pub name: String,
@@ -61,7 +61,7 @@ pub struct Feature {
 
 /// A propositional formula over features, for cross-tree constraints
 /// beyond simple requires/excludes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Formula {
     /// The feature is selected.
     Feat(FeatureId),
@@ -93,7 +93,7 @@ impl Formula {
 }
 
 /// A cross-hierarchy composition rule (§II-B).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CrossConstraint {
     /// Selecting `.0` requires selecting `.1`.
     Requires(FeatureId, FeatureId),
@@ -111,6 +111,45 @@ pub struct FeatureModel {
     features: Vec<Feature>,
     names: HashMap<String, FeatureId>,
     constraints: Vec<CrossConstraint>,
+}
+
+impl std::hash::Hash for FeatureModel {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `names` is an index derived from `features`; hashing it would
+        // be redundant and HashMap iteration order is unstable anyway.
+        self.features.hash(state);
+        self.constraints.hash(state);
+    }
+}
+
+/// 64-bit FNV-1a with a fixed seed — the same stable hasher as
+/// `llhsc_dts::hash::Fnv1a`, duplicated privately because feature
+/// models deliberately do not depend on the DeviceTree crate.
+struct Fnv1a(u64);
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl FeatureModel {
+    /// A stable content hash of the model (features and constraints):
+    /// deterministic across processes, so it can serve as part of a
+    /// content-addressed cache key for allocation results.
+    pub fn stable_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
+        self.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl FeatureModel {
@@ -261,9 +300,9 @@ impl FeatureModel {
             .collect();
         let mut markers: Vec<(TermId, String)> = Vec::new();
         let guard = |ctx: &mut Context,
-                         markers: &mut Vec<(TermId, String)>,
-                         rule: TermId,
-                         description: String| {
+                     markers: &mut Vec<(TermId, String)>,
+                     rule: TermId,
+                     description: String| {
             let m = ctx.bool_var(&format!("fm-rule#{}", markers.len()));
             let guarded = ctx.implies(m, rule);
             ctx.assert(guarded);

@@ -106,7 +106,10 @@ impl MultiModel {
     ///
     /// Panics if `num_vms` is zero.
     pub fn new(model: &FeatureModel, num_vms: usize) -> MultiModel {
-        assert!(num_vms > 0, "a hypervisor configuration needs at least one VM");
+        assert!(
+            num_vms > 0,
+            "a hypervisor configuration needs at least one VM"
+        );
         let mut ctx = Context::new();
         let mut vm_vars = Vec::with_capacity(num_vms);
         for k in 0..num_vms {
@@ -417,7 +420,14 @@ mod tests {
         let mut mm = MultiModel::new(&fm, 2);
         let vm = names_of(
             &fm,
-            &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+            &[
+                "CustomSBC",
+                "memory",
+                "cpus",
+                "cpu@0",
+                "uarts",
+                "uart@20000000",
+            ],
         );
         let err = mm.validate(&[vm.clone(), vm]).unwrap_err();
         match err {
@@ -447,7 +457,14 @@ mod tests {
         let mut mm = MultiModel::new(&fm, 2);
         let vm = names_of(
             &fm,
-            &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+            &[
+                "CustomSBC",
+                "memory",
+                "cpus",
+                "cpu@0",
+                "uarts",
+                "uart@20000000",
+            ],
         );
         assert!(mm.validate(&[vm.clone(), vm]).is_ok());
         // And more than two VMs become possible.
@@ -500,9 +517,7 @@ mod tests {
         let r = fm.root();
         let a = fm.add_optional(r, "a");
         let mut mm = MultiModel::new(&fm, 2);
-        let part = mm
-            .validate(&[vec![r, a], vec![r]])
-            .expect("valid");
+        let part = mm.validate(&[vec![r, a], vec![r]]).expect("valid");
         assert!(part.platform.contains(&a));
         assert!(part.vms[0].contains(&a));
         assert!(!part.vms[1].contains(&a));

@@ -161,7 +161,11 @@ pub fn parse_model(src: &str) -> Result<FeatureModel, ParseModelError> {
                         err(pos, &toks, format!("unknown feature {a:?} in constraint"))
                     })?;
                     let fb = fm.by_name(&b).ok_or_else(|| {
-                        err(pos + 2, &toks, format!("unknown feature {b:?} in constraint"))
+                        err(
+                            pos + 2,
+                            &toks,
+                            format!("unknown feature {b:?} in constraint"),
+                        )
                     })?;
                     match op.as_str() {
                         "requires" => fm.requires(fa, fb),
@@ -176,9 +180,7 @@ pub fn parse_model(src: &str) -> Result<FeatureModel, ParseModelError> {
                     }
                     pos += 3;
                 }
-                None => {
-                    return Err(err(pos, &toks, "unterminated constraints block".into()))
-                }
+                None => return Err(err(pos, &toks, "unterminated constraints block".into())),
             }
         }
     }
@@ -228,12 +230,14 @@ fn parse_modifiers_and_body(
                 let (lo, hi) = inner.split_once("..").ok_or_else(|| {
                     err(pos, format!("bad cardinality {tok:?}, expected [min..max]"))
                 })?;
-                let min: u32 = lo.trim().parse().map_err(|_| {
-                    err(pos, format!("bad cardinality minimum in {tok:?}"))
-                })?;
-                let max: u32 = hi.trim().parse().map_err(|_| {
-                    err(pos, format!("bad cardinality maximum in {tok:?}"))
-                })?;
+                let min: u32 = lo
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(pos, format!("bad cardinality minimum in {tok:?}")))?;
+                let max: u32 = hi
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(pos, format!("bad cardinality maximum in {tok:?}")))?;
                 fm.set_group(target, GroupKind::Card { min, max });
                 pos += 1;
             }
@@ -319,17 +323,13 @@ constraints {
         let products: Vec<Vec<String>> = an
             .products()
             .iter()
-            .map(|p| {
-                p.iter()
-                    .map(|id| parsed.name(*id).to_string())
-                    .collect()
-            })
+            .map(|p| p.iter().map(|id| parsed.name(*id).to_string()).collect())
             .collect();
         assert_eq!(products.len(), 12);
         // Spot-check a known product.
-        assert!(products.iter().any(|p| {
-            p.contains(&"cpu@0".to_string()) && p.contains(&"veth0".to_string())
-        }));
+        assert!(products
+            .iter()
+            .any(|p| { p.contains(&"cpu@0".to_string()) && p.contains(&"veth0".to_string()) }));
     }
 
     #[test]
@@ -346,10 +346,7 @@ constraints {
     #[test]
     fn cardinality_groups() {
         // Pick between 1 and 2 of the three sensors.
-        let fm = parse_model(
-            "feature R { sensors [1..2] { s0? s1? s2? } }",
-        )
-        .unwrap();
+        let fm = parse_model("feature R { sensors [1..2] { s0? s1? s2? } }").unwrap();
         let sensors = fm.by_name("sensors").unwrap();
         assert_eq!(
             fm.feature(sensors).group,
@@ -371,10 +368,7 @@ constraints {
 
     #[test]
     fn excludes_constraint() {
-        let fm = parse_model(
-            "feature R { a? b? } constraints { a excludes b }",
-        )
-        .unwrap();
+        let fm = parse_model("feature R { a? b? } constraints { a excludes b }").unwrap();
         let mut an = Analyzer::new(&fm);
         // Products: {}, {a}, {b} (root implied) = 3.
         assert_eq!(an.count_products(), 3);

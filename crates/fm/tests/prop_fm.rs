@@ -38,19 +38,13 @@ fn arb_model() -> impl Strategy<Value = (FeatureModel, Vec<FeatureId>)> {
                 ids.push(id);
             }
             for (a, b) in reqs {
-                let (a, b) = (
-                    ids[a as usize % ids.len()],
-                    ids[b as usize % ids.len()],
-                );
+                let (a, b) = (ids[a as usize % ids.len()], ids[b as usize % ids.len()]);
                 if a != b {
                     fm.requires(a, b);
                 }
             }
             for (a, b) in excls {
-                let (a, b) = (
-                    ids[a as usize % ids.len()],
-                    ids[b as usize % ids.len()],
-                );
+                let (a, b) = (ids[a as usize % ids.len()], ids[b as usize % ids.len()]);
                 if a != b && a != fm.root() && b != fm.root() {
                     fm.excludes(a, b);
                 }
@@ -105,9 +99,7 @@ fn valid_by_rules(fm: &FeatureModel, sel: &BTreeSet<FeatureId>) -> bool {
                 }
             }
             GroupKind::Card { min, max } => {
-                if sel.contains(&id)
-                    && !(min as usize..=max as usize).contains(&chosen)
-                {
+                if sel.contains(&id) && !(min as usize..=max as usize).contains(&chosen) {
                     return false;
                 }
             }

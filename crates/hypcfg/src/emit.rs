@@ -136,7 +136,9 @@ impl VmConfig {
 
 #[cfg(test)]
 mod tests {
-    use crate::model::{Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage};
+    use crate::model::{
+        Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage,
+    };
 
     fn listing3_platform() -> PlatformConfig {
         PlatformConfig {

@@ -7,9 +7,7 @@ use std::fmt;
 use llhsc_dts::cells::{collect_regions, DeviceRegions};
 use llhsc_dts::{DeviceTree, Node};
 
-use crate::model::{
-    Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage,
-};
+use crate::model::{Cluster, DevRegion, IpcRegion, MemRegion, PlatformConfig, VmConfig, VmImage};
 
 /// Errors while extracting a configuration from a tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +52,9 @@ fn is_cpu(node: &Node) -> bool {
 fn is_uart(node: &Node) -> bool {
     node.base_name() == "uart"
         || node.base_name() == "serial"
-        || node.prop_str("compatible").is_some_and(|c| c.contains("uart") || c.contains("16550"))
+        || node
+            .prop_str("compatible")
+            .is_some_and(|c| c.contains("uart") || c.contains("16550"))
 }
 
 fn is_veth(node: &Node) -> bool {
@@ -103,8 +103,7 @@ impl PlatformConfig {
     /// incomplete trees, [`ExtractError::BadReg`] for undecodable `reg`
     /// properties.
     pub fn from_tree(tree: &DeviceTree) -> Result<PlatformConfig, ExtractError> {
-        let devices =
-            collect_regions(tree).map_err(|e| ExtractError::BadReg(e.to_string()))?;
+        let devices = collect_regions(tree).map_err(|e| ExtractError::BadReg(e.to_string()))?;
 
         let mut regions: Vec<MemRegion> = Vec::new();
         for (_, rs) in regions_of(&devices, tree, is_memory)? {
@@ -153,8 +152,7 @@ impl VmConfig {
     ///
     /// Same conditions as [`PlatformConfig::from_tree`].
     pub fn from_tree(tree: &DeviceTree, image_name: &str) -> Result<VmConfig, ExtractError> {
-        let devices =
-            collect_regions(tree).map_err(|e| ExtractError::BadReg(e.to_string()))?;
+        let devices = collect_regions(tree).map_err(|e| ExtractError::BadReg(e.to_string()))?;
 
         let mut regions: Vec<MemRegion> = Vec::new();
         for (_, rs) in regions_of(&devices, tree, is_memory)? {
@@ -349,10 +347,7 @@ mod tests {
             "/ { cpus { #address-cells = <1>; #size-cells = <0>; cpu@0 { reg = <0>; }; }; };",
         )
         .unwrap();
-        assert_eq!(
-            PlatformConfig::from_tree(&t),
-            Err(ExtractError::NoMemory)
-        );
+        assert_eq!(PlatformConfig::from_tree(&t), Err(ExtractError::NoMemory));
     }
 
     #[test]

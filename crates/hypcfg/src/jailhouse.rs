@@ -13,8 +13,7 @@ use crate::model::{PlatformConfig, VmConfig};
 
 /// Memory-region permission flags in Jailhouse configurations.
 mod flags {
-    pub const RAM: &str =
-        "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE | JAILHOUSE_MEM_EXECUTE";
+    pub const RAM: &str = "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE | JAILHOUSE_MEM_EXECUTE";
     pub const DEVICE: &str = "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE | JAILHOUSE_MEM_IO";
     pub const SHMEM: &str = "JAILHOUSE_MEM_READ | JAILHOUSE_MEM_WRITE";
 }
@@ -102,7 +101,11 @@ impl VmConfig {
             let _ = writeln!(out, "\t\t\t.phys_start = {:#x},", r.base);
             let _ = writeln!(out, "\t\t\t.virt_start = {:#x},", r.base);
             let _ = writeln!(out, "\t\t\t.size = {:#x},", r.size);
-            let _ = writeln!(out, "\t\t\t.flags = {} | JAILHOUSE_MEM_LOADABLE,", flags::RAM);
+            let _ = writeln!(
+                out,
+                "\t\t\t.flags = {} | JAILHOUSE_MEM_LOADABLE,",
+                flags::RAM
+            );
             let _ = writeln!(out, "\t\t}},");
         }
         for d in &self.devs {

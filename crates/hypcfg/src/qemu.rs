@@ -84,10 +84,7 @@ pub fn qemu_args(vm: &VmConfig, machine: QemuMachine) -> Vec<String> {
             size = ipc.size
         ));
         args.push("-device".into());
-        args.push(format!(
-            "ivshmem-plain,memdev=shmem{id}",
-            id = ipc.shmem_id
-        ));
+        args.push(format!("ivshmem-plain,memdev=shmem{id}", id = ipc.shmem_id));
     }
 
     args.push("-nographic".into());

@@ -204,9 +204,9 @@ mod tests {
         for _ in 0..200 {
             let s = generate_matching("[ -~&&[^\"\\\\]]{0,12}", &mut r);
             assert!(s.len() <= 12);
-            assert!(s.chars().all(|c| (' '..='~').contains(&c)
-                && c != '"'
-                && c != '\\'));
+            assert!(s
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '"' && c != '\\'));
         }
     }
 

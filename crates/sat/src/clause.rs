@@ -142,11 +142,29 @@ mod tests {
         let mut db = ClauseDb::new();
         let p = db.alloc(lits(2), false, 0);
         let l = db.alloc(lits(2), true, 2);
-        assert_eq!(db.stats(), ClauseStats { problem: 1, learnt: 1 });
+        assert_eq!(
+            db.stats(),
+            ClauseStats {
+                problem: 1,
+                learnt: 1
+            }
+        );
         db.delete(l);
-        assert_eq!(db.stats(), ClauseStats { problem: 1, learnt: 0 });
+        assert_eq!(
+            db.stats(),
+            ClauseStats {
+                problem: 1,
+                learnt: 0
+            }
+        );
         db.delete(p);
-        assert_eq!(db.stats(), ClauseStats { problem: 0, learnt: 0 });
+        assert_eq!(
+            db.stats(),
+            ClauseStats {
+                problem: 0,
+                learnt: 0
+            }
+        );
     }
 
     #[test]

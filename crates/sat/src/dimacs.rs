@@ -34,7 +34,10 @@ impl fmt::Display for DimacsError {
                 write!(f, "line {line}: bad literal token {token:?}")
             }
             DimacsError::VarOutOfRange { line, var, max } => {
-                write!(f, "line {line}: variable {var} exceeds declared maximum {max}")
+                write!(
+                    f,
+                    "line {line}: variable {var} exceeds declared maximum {max}"
+                )
             }
             DimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
             DimacsError::Io(e) => write!(f, "i/o error: {e}"),

@@ -87,10 +87,7 @@ impl Iterator for ModelIter<'_> {
                     })
                     .collect();
                 // Block this projection.
-                let blocking: Vec<Lit> = model
-                    .iter()
-                    .map(|&(v, val)| Lit::new(v, !val))
-                    .collect();
+                let blocking: Vec<Lit> = model.iter().map(|&(v, val)| Lit::new(v, !val)).collect();
                 if !self.solver.add_clause(blocking) {
                     self.exhausted = true;
                 }
@@ -114,8 +111,7 @@ mod tests {
         s.add_clause([Lit::pos(c)]);
         let models: Vec<_> = ModelIter::new(&mut s, vec![a, b]).collect();
         assert_eq!(models.len(), 4);
-        let mut keys: Vec<(bool, bool)> =
-            models.iter().map(|m| (m[0].1, m[1].1)).collect();
+        let mut keys: Vec<(bool, bool)> = models.iter().map(|m| (m[0].1, m[1].1)).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 4, "projections must be distinct");

@@ -616,9 +616,11 @@ impl Solver {
             .collect();
         refs.sort_by(|&a, &b| {
             let (ca, cb) = (self.db.get(a), self.db.get(b));
-            cb.lbd
-                .cmp(&ca.lbd)
-                .then(ca.activity.partial_cmp(&cb.activity).unwrap_or(std::cmp::Ordering::Equal))
+            cb.lbd.cmp(&ca.lbd).then(
+                ca.activity
+                    .partial_cmp(&cb.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let remove = refs.len() / 2;
         for &r in refs.iter().take(remove) {
@@ -679,10 +681,9 @@ impl Solver {
         self.backtrack_to(0);
 
         let mut restarts: u64 = 0;
-        let mut conflicts_left =
-            Solver::luby(restarts).saturating_mul(self.config.restart_base);
-        let mut max_learnt = (self.db.num_problem() as f64 * self.config.learnt_size_factor)
-            .max(100.0);
+        let mut conflicts_left = Solver::luby(restarts).saturating_mul(self.config.restart_base);
+        let mut max_learnt =
+            (self.db.num_problem() as f64 * self.config.learnt_size_factor).max(100.0);
 
         loop {
             if let Some(confl) = self.propagate() {
@@ -999,7 +1000,9 @@ mod tests {
         // Deterministic LCG-generated formulas, checked against brute force.
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for trial in 0..60 {
@@ -1017,10 +1020,7 @@ mod tests {
             let mut brute_sat = false;
             'outer: for m in 0..(1u32 << n) {
                 for cl in &clauses {
-                    if !cl
-                        .iter()
-                        .any(|&(v, pos)| ((m >> v) & 1 == 1) == pos)
-                    {
+                    if !cl.iter().any(|&(v, pos)| ((m >> v) & 1 == 1) == pos) {
                         continue 'outer;
                     }
                 }
@@ -1038,9 +1038,7 @@ mod tests {
             if got {
                 // Check the model actually satisfies.
                 for cl in &clauses {
-                    assert!(cl
-                        .iter()
-                        .any(|&(v, pos)| s.value(vs[v]) == Some(pos)));
+                    assert!(cl.iter().any(|&(v, pos)| s.value(vs[v]) == Some(pos)));
                 }
             }
         }

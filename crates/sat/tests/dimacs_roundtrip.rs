@@ -1,0 +1,101 @@
+//! Property-based round-trip tests for the DIMACS reader/writer:
+//! `parse(write(cnf))` preserves the formula exactly — variable count,
+//! clause count, literal order — and `write` is a fixpoint after one
+//! round trip.
+
+use llhsc_sat::{parse_dimacs, write_dimacs, Cnf, DimacsError, Lit, Var};
+use proptest::prelude::*;
+
+fn arb_clause(n: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..n, any::<bool>()), 0..=5)
+}
+
+/// `(vars, clauses)` with possibly-unused trailing variables and
+/// possibly-empty clauses — both representable in DIMACS.
+fn arb_cnf() -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+    (1..=12usize)
+        .prop_flat_map(|n| prop::collection::vec(arb_clause(n), 0..=16).prop_map(move |cs| (n, cs)))
+}
+
+fn build(n: usize, clauses: &[Vec<(usize, bool)>]) -> Cnf {
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(n);
+    for c in clauses {
+        cnf.add_clause(c.iter().map(|&(v, s)| Lit::new(Var::from_index(v), s)));
+    }
+    cnf
+}
+
+fn clause_lists(cnf: &Cnf) -> Vec<Vec<Lit>> {
+    cnf.clauses().map(<[Lit]>::to_vec).collect()
+}
+
+fn write_to_string(cnf: &Cnf) -> String {
+    let mut buf = Vec::new();
+    write_dimacs(cnf, &mut buf).expect("write to memory");
+    String::from_utf8(buf).expect("DIMACS is ASCII")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// write → parse reproduces the exact formula.
+    #[test]
+    fn roundtrip_preserves_the_formula((n, clauses) in arb_cnf()) {
+        let original = build(n, &clauses);
+        let text = write_to_string(&original);
+        let reparsed = parse_dimacs(text.as_bytes()).expect("own output parses");
+        prop_assert_eq!(reparsed.num_vars(), original.num_vars());
+        prop_assert_eq!(reparsed.num_clauses(), original.num_clauses());
+        prop_assert_eq!(clause_lists(&reparsed), clause_lists(&original));
+    }
+
+    /// One round trip reaches a fixpoint: writing the reparsed formula
+    /// yields byte-identical text.
+    #[test]
+    fn write_is_a_fixpoint_after_roundtrip((n, clauses) in arb_cnf()) {
+        let original = build(n, &clauses);
+        let text = write_to_string(&original);
+        let reparsed = parse_dimacs(text.as_bytes()).expect("own output parses");
+        prop_assert_eq!(write_to_string(&reparsed), text);
+    }
+
+    /// Comments and blank lines never change the parse.
+    #[test]
+    fn comments_and_blank_lines_are_ignored((n, clauses) in arb_cnf()) {
+        let original = build(n, &clauses);
+        let text = write_to_string(&original);
+        let mut noisy = String::from("c leading comment\n\n% percent comment\n");
+        for line in text.lines() {
+            noisy.push_str(line);
+            noisy.push_str("\nc interleaved\n\n");
+        }
+        let reparsed = parse_dimacs(noisy.as_bytes()).expect("noisy text parses");
+        prop_assert_eq!(clause_lists(&reparsed), clause_lists(&original));
+    }
+}
+
+#[test]
+fn malformed_inputs_report_the_right_error() {
+    let parse = |s: &str| parse_dimacs(s.as_bytes());
+    assert!(matches!(
+        parse("p cnf two 3\n1 0\n"),
+        Err(DimacsError::BadHeader(_))
+    ));
+    assert!(matches!(
+        parse("p cnf 2 1\n1 x 0\n"),
+        Err(DimacsError::BadLiteral { line: 2, .. })
+    ));
+    assert!(matches!(
+        parse("p cnf 2 1\n1 -3 0\n"),
+        Err(DimacsError::VarOutOfRange {
+            var: -3,
+            max: 2,
+            ..
+        })
+    ));
+    assert!(matches!(
+        parse("p cnf 2 1\n1 2\n"),
+        Err(DimacsError::UnterminatedClause)
+    ));
+}

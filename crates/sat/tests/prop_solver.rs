@@ -8,10 +8,12 @@ fn arb_clause(n: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
     prop::collection::vec((0..n, any::<bool>()), 1..=4)
 }
 
-fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
+fn arb_cnf(
+    max_vars: usize,
+    max_clauses: usize,
+) -> impl Strategy<Value = (usize, Vec<Vec<(usize, bool)>>)> {
     (2..=max_vars).prop_flat_map(move |n| {
-        prop::collection::vec(arb_clause(n), 0..=max_clauses)
-            .prop_map(move |cs| (n, cs))
+        prop::collection::vec(arb_clause(n), 0..=max_clauses).prop_map(move |cs| (n, cs))
     })
 }
 

@@ -242,16 +242,14 @@ fn check_prop(
         let ok = match t {
             PropType::U32 => prop.as_u32().is_some(),
             PropType::Str => prop.as_str().is_some(),
-            PropType::Cells => prop
-                .values
-                .iter()
-                .all(|v| matches!(v, PropValue::Cells(_)))
-                && !prop.values.is_empty(),
-            PropType::Bytes => prop
-                .values
-                .iter()
-                .all(|v| matches!(v, PropValue::Bytes(_)))
-                && !prop.values.is_empty(),
+            PropType::Cells => {
+                prop.values.iter().all(|v| matches!(v, PropValue::Cells(_)))
+                    && !prop.values.is_empty()
+            }
+            PropType::Bytes => {
+                prop.values.iter().all(|v| matches!(v, PropValue::Bytes(_)))
+                    && !prop.values.is_empty()
+            }
             PropType::Flag => prop.values.is_empty(),
         };
         if !ok {

@@ -8,7 +8,7 @@ use llhsc_dts::Node;
 use crate::yaml::{self, YamlError, YamlValue};
 
 /// What a property value must look like.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PropType {
     /// A single `u32` cell.
     U32,
@@ -36,7 +36,7 @@ impl PropType {
 }
 
 /// Rules constraining one property of a node.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct PropRule {
     /// Property name.
     pub name: String,
@@ -98,7 +98,7 @@ impl PropRule {
 
 /// How a schema decides whether it applies to a node (dt-schema's
 /// `select`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Select {
     /// Applies when the node's base name (before `@`) matches.
     NodeName(String),
@@ -132,7 +132,7 @@ impl Select {
 
 /// One binding schema: selection rule, per-property rules, required
 /// properties (the shape of the paper's Listing 5).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Schema {
     /// Identifier used in diagnostics (`$id`).
     pub id: String,
@@ -264,12 +264,8 @@ impl Schema {
                                 YamlValue::Str(s) => rule.const_str = Some(s.clone()),
                                 YamlValue::Int(i) => {
                                     rule.const_u32 =
-                                        Some(u32::try_from(*i).map_err(|_| {
-                                            SchemaError::Shape {
-                                                what: format!(
-                                                    "const {i} does not fit in a cell"
-                                                ),
-                                            }
+                                        Some(u32::try_from(*i).map_err(|_| SchemaError::Shape {
+                                            what: format!("const {i} does not fit in a cell"),
                                         })?)
                                 }
                                 _ => {
@@ -279,28 +275,25 @@ impl Schema {
                                 }
                             },
                             "enum" => {
-                                let items =
-                                    v.as_list().ok_or_else(|| SchemaError::Shape {
-                                        what: format!("enum of {name} must be a list"),
-                                    })?;
+                                let items = v.as_list().ok_or_else(|| SchemaError::Shape {
+                                    what: format!("enum of {name} must be a list"),
+                                })?;
                                 for it in items {
                                     rule.enum_str.push(
                                         it.as_str()
                                             .ok_or_else(|| SchemaError::Shape {
-                                                what: format!(
-                                                    "enum of {name} must hold strings"
-                                                ),
+                                                what: format!("enum of {name} must hold strings"),
                                             })?
                                             .to_string(),
                                     );
                                 }
                             }
                             "type" => {
-                                let t = v.as_str().and_then(PropType::parse).ok_or_else(
-                                    || SchemaError::Shape {
+                                let t = v.as_str().and_then(PropType::parse).ok_or_else(|| {
+                                    SchemaError::Shape {
                                         what: format!("unknown type for {name}"),
-                                    },
-                                )?;
+                                    }
+                                })?;
                                 rule.prop_type = Some(t);
                             }
                             "minItems" => {
@@ -345,10 +338,9 @@ impl Schema {
         }
 
         if let Some(ap) = doc.get("additionalProperties") {
-            schema.additional_properties =
-                ap.as_bool().ok_or_else(|| SchemaError::Shape {
-                    what: "additionalProperties must be a boolean".into(),
-                })?;
+            schema.additional_properties = ap.as_bool().ok_or_else(|| SchemaError::Shape {
+                what: "additionalProperties must be a boolean".into(),
+            })?;
         }
 
         Ok(schema)
@@ -387,7 +379,7 @@ impl Error for SchemaError {
 
 /// A collection of schemas applied together (dt-schema processes a
 /// directory of bindings; this is its in-memory equivalent).
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct SchemaSet {
     schemas: Vec<Schema>,
 }
@@ -406,6 +398,13 @@ impl SchemaSet {
     /// The schemas.
     pub fn schemas(&self) -> &[Schema] {
         &self.schemas
+    }
+
+    /// A stable content hash of the whole set (rules, selectors,
+    /// required lists, in order) for content-addressed caching of
+    /// syntactic-check results.
+    pub fn stable_hash(&self) -> u64 {
+        llhsc_dts::hash::stable_hash_of(&self.schemas)
     }
 
     /// Schemas applicable to a node.

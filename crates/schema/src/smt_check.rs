@@ -140,9 +140,7 @@ impl SyntacticChecker {
     /// Creates a marker assumption for one rule.
     fn marker(&mut self, path: &str, schema: &str, description: String) -> TermId {
         let idx = self.markers.len();
-        let m = self
-            .ctx
-            .bool_var(&format!("rule#{idx}:{path}:{schema}"));
+        let m = self.ctx.bool_var(&format!("rule#{idx}:{path}:{schema}"));
         self.markers.push((
             m,
             RuleInfo {
@@ -165,18 +163,14 @@ impl SyntacticChecker {
     ) {
         // Finite universe of property names: schema ∪ instance (the
         // domain of the ∀x in constraints (5) and (6)).
-        let mut universe: BTreeSet<String> = schema
-            .properties
-            .iter()
-            .map(|r| r.name.clone())
-            .collect();
+        let mut universe: BTreeSet<String> =
+            schema.properties.iter().map(|r| r.name.clone()).collect();
         universe.extend(schema.required.iter().cloned());
         universe.extend(node.properties.iter().map(|p| p.name.clone()));
 
         // Presence predicate R(x), one Boolean per universe member.
-        let r_var = |ctx: &mut Context, p: &str| -> TermId {
-            ctx.bool_var(&format!("R:{path}:{p}"))
-        };
+        let r_var =
+            |ctx: &mut Context, p: &str| -> TermId { ctx.bool_var(&format!("R:{path}:{p}")) };
 
         // Node validity variable, asserted: we are checking this node.
         let node_var = self.ctx.bool_var(&format!("node:{path}:{}", schema.id));
@@ -202,17 +196,13 @@ impl SyntacticChecker {
                 self.ctx.assert(eq);
             }
             if let Some(v) = prop.as_u32() {
-                let val = self
-                    .ctx
-                    .bv_var(&format!("cell:{path}:{}", prop.name), 32);
+                let val = self.ctx.bv_var(&format!("cell:{path}:{}", prop.name), 32);
                 let actual = self.ctx.bv_const(u128::from(v), 32);
                 let eq = self.ctx.eq(val, actual);
                 self.ctx.assert(eq);
             }
             if let Some(n) = item_count(prop, parent_cells) {
-                let cnt = self
-                    .ctx
-                    .bv_var(&format!("count:{path}:{}", prop.name), 32);
+                let cnt = self.ctx.bv_var(&format!("count:{path}:{}", prop.name), 32);
                 let actual = self.ctx.bv_const(n as u128, 32);
                 let eq = self.ctx.eq(cnt, actual);
                 self.ctx.assert(eq);
@@ -297,7 +287,10 @@ impl SyntacticChecker {
             let m = self.marker(
                 path,
                 &schema.id,
-                format!("property {:?} must be one of {:?}", rule.name, rule.enum_str),
+                format!(
+                    "property {:?} must be one of {:?}",
+                    rule.name, rule.enum_str
+                ),
             );
             let val = self.ctx.str_var(&format!("val:{path}:{}", rule.name));
             let alts: Vec<TermId> = rule
@@ -322,11 +315,12 @@ impl SyntacticChecker {
                     PropType::U32 => prop.as_u32().is_some(),
                     PropType::Str => prop.as_str().is_some(),
                     PropType::Cells => prop.flat_cells().is_some(),
-                    PropType::Bytes => prop
-                        .values
-                        .iter()
-                        .all(|v| matches!(v, llhsc_dts::PropValue::Bytes(_)))
-                        && !prop.values.is_empty(),
+                    PropType::Bytes => {
+                        prop.values
+                            .iter()
+                            .all(|v| matches!(v, llhsc_dts::PropValue::Bytes(_)))
+                            && !prop.values.is_empty()
+                    }
                     PropType::Flag => prop.values.is_empty(),
                 };
                 let m = self.marker(
@@ -363,8 +357,7 @@ impl SyntacticChecker {
                         self.ctx.assert(guarded);
                     }
                     Some(_) => {
-                        let cnt =
-                            self.ctx.bv_var(&format!("count:{path}:{}", rule.name), 32);
+                        let cnt = self.ctx.bv_var(&format!("count:{path}:{}", rule.name), 32);
                         if let Some(min) = rule.min_items {
                             let m = self.marker(
                                 path,
@@ -409,8 +402,7 @@ impl SyntacticChecker {
             match self.ctx.check_assuming(&assumptions) {
                 CheckResult::Sat => break,
                 CheckResult::Unsat => {
-                    let core: BTreeSet<TermId> =
-                        self.ctx.unsat_core().iter().copied().collect();
+                    let core: BTreeSet<TermId> = self.ctx.unsat_core().iter().copied().collect();
                     if core.is_empty() {
                         // Defensive: obligations alone are inconsistent
                         // (cannot happen — they are facts about one tree).
@@ -463,8 +455,7 @@ mod tests {
 
     #[test]
     fn valid_running_example_passes() {
-        let report = run(
-            r#"/ {
+        let report = run(r#"/ {
                 #address-cells = <2>;
                 #size-cells = <2>;
                 memory@40000000 {
@@ -473,8 +464,7 @@ mod tests {
                            0x0 0x60000000 0x0 0x20000000>;
                 };
                 uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
-            };"#,
-        );
+            };"#);
         assert!(report.is_ok(), "{:?}", report.violations);
         assert!(report.rules_checked > 0);
     }
@@ -491,10 +481,8 @@ mod tests {
 
     #[test]
     fn const_violation_named_in_core() {
-        let report = run(
-            "/ { #address-cells = <2>; #size-cells = <2>; \
-             memory@0 { device_type = \"ram\"; reg = <0 0 0 1>; }; };",
-        );
+        let report = run("/ { #address-cells = <2>; #size-cells = <2>; \
+             memory@0 { device_type = \"ram\"; reg = <0 0 0 1>; }; };");
         assert_eq!(report.violations.len(), 1);
         assert!(
             report.violations[0].description.contains("device_type"),
@@ -507,18 +495,17 @@ mod tests {
     fn multiple_violations_all_enumerated() {
         // Missing reg AND wrong device_type on one node, plus a bad
         // uart elsewhere.
-        let report = run(
-            r#"/ {
+        let report = run(r#"/ {
                 #address-cells = <1>;
                 #size-cells = <1>;
                 memory@0 { device_type = "ram"; };
                 uart@10 { compatible = "ns16550a"; };
-            };"#,
-        );
+            };"#);
         assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
-        let texts: Vec<String> =
-            report.violations.iter().map(|v| v.to_string()).collect();
-        assert!(texts.iter().any(|t| t.contains("/memory@0") && t.contains("reg")));
+        let texts: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+        assert!(texts
+            .iter()
+            .any(|t| t.contains("/memory@0") && t.contains("reg")));
         assert!(texts.iter().any(|t| t.contains("device_type")));
         assert!(texts.iter().any(|t| t.contains("/uart@10")));
     }
@@ -527,28 +514,24 @@ mod tests {
     fn item_count_window_as_bitvectors() {
         // The cpu schema caps reg at 1 item; under 1+0 cells a 2-cell
         // reg is 2 items.
-        let report = run(
-            r#"/ {
+        let report = run(r#"/ {
                 cpus {
                     #address-cells = <1>;
                     #size-cells = <0>;
                     cpu@0 { compatible = "arm,cortex-a53"; reg = <0 1>; };
                 };
-            };"#,
-        );
+            };"#);
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].description.contains("at most 1"));
     }
 
     #[test]
     fn reg_arity_violation() {
-        let report = run(
-            r#"/ {
+        let report = run(r#"/ {
                 #address-cells = <2>;
                 #size-cells = <2>;
                 memory@0 { device_type = "memory"; reg = <0 0 0 1 2>; };
-            };"#,
-        );
+            };"#);
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0]
             .description
@@ -569,8 +552,7 @@ mod tests {
         ];
         for src in sources {
             let tree = parse(src).unwrap();
-            let structural =
-                crate::checker::check_structural(&tree, &SchemaSet::standard());
+            let structural = crate::checker::check_structural(&tree, &SchemaSet::standard());
             let smt = SyntacticChecker::new(&tree, &SchemaSet::standard()).check();
             assert_eq!(
                 structural.is_empty(),
@@ -585,8 +567,7 @@ mod tests {
     fn veth_binding_from_listing4() {
         // The delta d1 adds this binding; its schema requires
         // compatible, reg and id.
-        let ok = run(
-            r#"/ {
+        let ok = run(r#"/ {
                 #address-cells = <1>;
                 #size-cells = <1>;
                 vEthernet {
@@ -598,11 +579,9 @@ mod tests {
                         id = <0>;
                     };
                 };
-            };"#,
-        );
+            };"#);
         assert!(ok.is_ok(), "{:?}", ok.violations);
-        let missing_id = run(
-            r#"/ {
+        let missing_id = run(r#"/ {
                 #address-cells = <1>;
                 #size-cells = <1>;
                 vEthernet {
@@ -613,8 +592,7 @@ mod tests {
                         reg = <0x80000000 0x10000000>;
                     };
                 };
-            };"#,
-        );
+            };"#);
         assert_eq!(missing_id.violations.len(), 1);
         assert!(missing_id.violations[0].description.contains("\"id\""));
     }

@@ -204,7 +204,11 @@ fn strip_comment(line: &str) -> String {
 
 /// Parses the block starting at `start` whose entries sit at `indent`.
 /// Returns the value and the index one past the last consumed line.
-fn parse_block(lines: &[Line], start: usize, indent: usize) -> Result<(YamlValue, usize), YamlError> {
+fn parse_block(
+    lines: &[Line],
+    start: usize,
+    indent: usize,
+) -> Result<(YamlValue, usize), YamlError> {
     let first = &lines[start];
     if first.text.starts_with("- ") || first.text == "-" {
         parse_sequence(lines, start, indent)
@@ -297,8 +301,7 @@ fn parse_mapping(
 /// Strips one layer of matching quotes from a mapping key.
 fn unquote(s: &str) -> String {
     if s.len() >= 2
-        && ((s.starts_with('"') && s.ends_with('"'))
-            || (s.starts_with('\'') && s.ends_with('\'')))
+        && ((s.starts_with('"') && s.ends_with('"')) || (s.starts_with('\'') && s.ends_with('\'')))
     {
         s[1..s.len() - 1].to_string()
     } else {
@@ -429,10 +432,7 @@ required:
     #[test]
     fn flow_list() {
         let doc = parse("xs: [1, 2, 3]\nys: [a, b]").unwrap();
-        assert_eq!(
-            doc.get("xs").unwrap().as_list().unwrap().len(),
-            3
-        );
+        assert_eq!(doc.get("xs").unwrap().as_list().unwrap().len(), 3);
         assert_eq!(
             doc.get("ys").unwrap().as_list().unwrap()[1].as_str(),
             Some("b")
@@ -456,7 +456,13 @@ required:
     fn nested_maps() {
         let doc = parse("a:\n  b:\n    c: deep").unwrap();
         assert_eq!(
-            doc.get("a").unwrap().get("b").unwrap().get("c").unwrap().as_str(),
+            doc.get("a")
+                .unwrap()
+                .get("b")
+                .unwrap()
+                .get("c")
+                .unwrap()
+                .as_str(),
             Some("deep")
         );
     }
@@ -502,12 +508,18 @@ required:
     #[test]
     fn empty_document_is_empty_map() {
         assert_eq!(parse("").unwrap(), YamlValue::Map(BTreeMap::new()));
-        assert_eq!(parse("# only comments\n").unwrap(), YamlValue::Map(BTreeMap::new()));
+        assert_eq!(
+            parse("# only comments\n").unwrap(),
+            YamlValue::Map(BTreeMap::new())
+        );
     }
 
     #[test]
     fn key_with_colon_in_value() {
         let doc = parse("url: http://example.com/x").unwrap();
-        assert_eq!(doc.get("url").unwrap().as_str(), Some("http://example.com/x"));
+        assert_eq!(
+            doc.get("url").unwrap().as_str(),
+            Some("http://example.com/x")
+        );
     }
 }

@@ -1,0 +1,95 @@
+//! E12 measurement driver: cold vs warm request latency through the
+//! daemon (`cargo run --release -p llhsc-service --example warm_vs_cold`).
+//!
+//! Boots an in-process server, runs the paper's running example as a
+//! `build` request three times and a whole-tree `check` twice, and
+//! prints the end-to-end latency of each request. The first build pays
+//! the full solver bill (allocation + per-product checks + coverage);
+//! the repeats are answered from the content-addressed cache.
+
+use std::time::Instant;
+
+use llhsc::{running_example, Pipeline};
+use llhsc_service::json::Json;
+use llhsc_service::{client, start, ServerConfig};
+
+/// The running example's feature model in textual form.
+const MODEL: &str = "
+feature CustomSBC {
+    memory
+    cpus xor exclusive { cpu@0? cpu@1? }
+    uarts abstract or { uart@20000000? uart@30000000? }
+    vEthernet? abstract xor { veth0? veth1? }
+}
+constraints {
+    veth0 requires cpu@0
+    veth1 requires cpu@1
+}
+";
+
+fn build_request() -> Json {
+    let input = running_example::pipeline_input();
+    Json::obj([
+        ("op", "build".into()),
+        ("core", llhsc_dts::print(&input.core).into()),
+        ("deltas", running_example::DELTAS.into()),
+        ("model", MODEL.into()),
+        (
+            "vms",
+            Json::Arr(
+                input
+                    .vms
+                    .iter()
+                    .map(|vm| {
+                        Json::obj([
+                            ("name", vm.name.as_str().into()),
+                            (
+                                "features",
+                                Json::Arr(vm.features.iter().map(|f| f.as_str().into()).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn timed(addr: &str, label: &str, request: &Json) {
+    let started = Instant::now();
+    let response = client::request_ok(addr, request).expect("request succeeds");
+    let elapsed = started.elapsed();
+    let solver_us = response
+        .get("timings")
+        .and_then(|t| t.get("total_us"))
+        .and_then(Json::as_int);
+    match solver_us {
+        Some(us) => println!("{label:<22} {elapsed:>10.1?}  (pipeline {us} µs)"),
+        None => println!("{label:<22} {elapsed:>10.1?}"),
+    }
+}
+
+fn main() {
+    let handle = start(&ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr().to_string();
+
+    let build = build_request();
+    timed(&addr, "build cold", &build);
+    timed(&addr, "build warm", &build);
+    timed(&addr, "build warm again", &build);
+
+    let platform = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .expect("running example builds")
+        .platform_dts;
+    let check = Json::obj([("op", "check".into()), ("dts", platform.as_str().into())]);
+    timed(&addr, "check cold", &check);
+    timed(&addr, "check warm", &check);
+
+    let stats =
+        client::request_ok(&addr, &Json::obj([("op", "stats".into())])).expect("stats request");
+    println!("cache counters: {}", stats.get("cache").expect("cache"));
+
+    handle.shutdown();
+    handle.join();
+}

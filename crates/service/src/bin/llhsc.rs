@@ -1,0 +1,655 @@
+//! The `llhsc` command-line tool.
+//!
+//! ```text
+//! llhsc check <file.dts>     syntactic + semantic check of a DTS file
+//! llhsc dtb <file.dts> <out.dtb>   compile to a flattened blob
+//! llhsc dts <file.dtb>       decompile a blob to source (stdout)
+//! llhsc model <file.fm>      analyse a feature-model file
+//! llhsc build <project-dir>  run the full pipeline on a project
+//! llhsc products             analyse the running example feature model
+//! llhsc demo                 run the paper's running example end to end
+//! llhsc serve                run the long-lived check daemon
+//! llhsc client …             talk to a running daemon
+//! ```
+//!
+//! A *project directory* for `build` contains:
+//!
+//! * `core.dts` (+ any `.dtsi` files it includes),
+//! * `deltas.delta` — the delta modules (Listing 4 syntax),
+//! * `model.fm` — the feature model (see [`llhsc_fm::parse_model`]),
+//! * `vms.cfg` — one line per VM: `name: feature, feature, …`,
+//! * optionally `schemas/*.yaml` — extra binding schemas.
+//!
+//! Outputs are written to `<project-dir>/out/`.
+//!
+//! # Exit codes
+//!
+//! * `0` — the input is clean,
+//! * `1` — the checkers produced findings (the configuration is
+//!   invalid: `check` found violations, `build` was rejected, `model`
+//!   is void),
+//! * `2` — the tool itself failed: bad usage, unreadable files, parse
+//!   errors, connection failures.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use llhsc::Pipeline;
+use llhsc_dts::{parse_with_includes, FileProvider};
+use llhsc_fm::Analyzer;
+use llhsc_schema::SchemaSet;
+use llhsc_service::json::Json;
+use llhsc_service::{check_tree, client, server, ServerConfig};
+
+/// Where `llhsc serve` listens and `llhsc client` connects unless
+/// `--addr` says otherwise.
+const DEFAULT_ADDR: &str = "127.0.0.1:7453";
+
+const EXIT_FINDINGS: u8 = 1;
+const EXIT_FAILURE: u8 = 2;
+
+/// Resolves `/include/` against the directory of the main file.
+struct DirProvider {
+    dir: PathBuf,
+}
+
+impl FileProvider for DirProvider {
+    fn read(&self, name: &str) -> Option<String> {
+        std::fs::read_to_string(self.dir.join(name)).ok()
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "llhsc — DeviceTree syntax and semantic checker\n\
+         \n\
+         usage:\n\
+           llhsc check <file.dts>        check a DTS file\n\
+           llhsc dtb <file.dts> <out>    compile DTS to a DTB blob\n\
+           llhsc dts <file.dtb>          decompile a DTB blob\n\
+           llhsc model <file.fm>         analyse a feature-model file\n\
+           llhsc build <project-dir>     run the full pipeline on a project\n\
+           llhsc products                analyse the CustomSBC feature model\n\
+           llhsc demo                    run the paper's running example\n\
+           llhsc serve [--addr A] [--workers N] [--max-request-bytes N]\n\
+                                         run the check daemon (default {DEFAULT_ADDR})\n\
+           llhsc client [--addr A] check <file.dts>\n\
+           llhsc client [--addr A] ping|stats|shutdown\n\
+                                         talk to a running daemon\n\
+         \n\
+         options:\n\
+           --stats    print per-stage wall times and solver statistics\n\
+                      (check, build, demo)\n\
+         \n\
+         exit codes:\n\
+           0  the input is clean\n\
+           1  the checkers produced findings (invalid configuration)\n\
+           2  usage, I/O, connection or parse failure"
+    );
+    ExitCode::from(EXIT_FAILURE)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let before = args.len();
+    args.retain(|a| a != "--stats");
+    let stats = args.len() != before;
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => cmd_check(Path::new(&args[1]), stats),
+        Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
+        Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
+        Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
+        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1]), stats),
+        Some("products") if args.len() == 1 => cmd_products(),
+        Some("demo") if args.len() == 1 => cmd_demo(stats),
+        Some("serve") => cmd_serve(args[1..].to_vec()),
+        Some("client") => cmd_client(args[1..].to_vec()),
+        _ => usage(),
+    }
+}
+
+/// Removes `--name <value>` from `args`; `Err` when the value is
+/// missing.
+fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ()> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+        Some(_) => Err(()),
+    }
+}
+
+// ---- the daemon ----------------------------------------------------
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+    }
+
+    /// Routes SIGINT (ctrl-c) and SIGTERM into a flag the serve loop
+    /// polls, so the daemon drains instead of dying mid-request. Raw
+    /// libc `signal` via FFI — the workspace builds without registry
+    /// access, so no `signal-hook`/`ctrlc` crate.
+    pub fn install() {
+        unsafe {
+            signal(2, handle); // SIGINT
+            signal(15, handle); // SIGTERM
+        }
+    }
+
+    pub fn signalled() -> bool {
+        SIGNALLED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn signalled() -> bool {
+        false
+    }
+}
+
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    let mut config = ServerConfig {
+        addr: DEFAULT_ADDR.to_string(),
+        ..ServerConfig::default()
+    };
+    let parsed = (|| -> Result<(), ()> {
+        if let Some(addr) = take_flag(&mut args, "--addr")? {
+            config.addr = addr;
+        }
+        if let Some(workers) = take_flag(&mut args, "--workers")? {
+            config.workers = workers.parse().map_err(|_| ())?;
+        }
+        if let Some(max) = take_flag(&mut args, "--max-request-bytes")? {
+            config.max_request_bytes = max.parse().map_err(|_| ())?;
+        }
+        if args.is_empty() {
+            Ok(())
+        } else {
+            Err(())
+        }
+    })();
+    if parsed.is_err() {
+        return usage();
+    }
+    let handle = match server::start(&config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", config.addr);
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    sig::install();
+    // The port line is load-bearing: with `--addr 127.0.0.1:0` it is
+    // how scripts (and the CI smoke test) learn the picked port.
+    println!(
+        "llhsc-service listening on {} ({} workers)",
+        handle.local_addr(),
+        config.workers.max(1)
+    );
+    while !handle.shutdown_requested() && !sig::signalled() {
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+    handle.shutdown();
+    handle.join();
+    println!("llhsc-service shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+// ---- the client ----------------------------------------------------
+
+fn cmd_client(mut args: Vec<String>) -> ExitCode {
+    let addr = match take_flag(&mut args, "--addr") {
+        Ok(addr) => addr.unwrap_or_else(|| DEFAULT_ADDR.to_string()),
+        Err(()) => return usage(),
+    };
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 2 => client_check(&addr, Path::new(&args[1])),
+        Some("ping") if args.len() == 1 => client_simple(&addr, "ping", "pong"),
+        Some("shutdown") if args.len() == 1 => {
+            client_simple(&addr, "shutdown", "server is shutting down")
+        }
+        Some("stats") if args.len() == 1 => client_stats(&addr),
+        _ => usage(),
+    }
+}
+
+/// `llhsc client check`: parse locally (so includes resolve against the
+/// file's directory and parse errors render exactly like `llhsc
+/// check`), ship the canonical tree text, print the daemon's rendered
+/// streams. Byte-identical to the local command by construction.
+fn client_check(addr: &str, path: &Path) -> ExitCode {
+    let tree = match load_tree(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error[parse]: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let request = Json::obj([
+        ("op", "check".into()),
+        ("dts", llhsc_dts::print(&tree).into()),
+    ]);
+    match client::request_ok(addr, &request) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Ok(response) => {
+            eprint!(
+                "{}",
+                response.get("stderr").and_then(Json::as_str).unwrap_or("")
+            );
+            print!(
+                "{}",
+                response.get("stdout").and_then(Json::as_str).unwrap_or("")
+            );
+            if response.get("clean").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_FINDINGS)
+            }
+        }
+    }
+}
+
+fn client_simple(addr: &str, op: &str, done: &str) -> ExitCode {
+    match client::request_ok(addr, &Json::obj([("op", op.into())])) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Ok(_) => {
+            println!("{done} ({addr})");
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn client_stats(addr: &str) -> ExitCode {
+    let response = match client::request_ok(addr, &Json::obj([("op", "stats".into())])) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+        Ok(r) => r,
+    };
+    let counter = |key: &str| response.get(key).and_then(Json::as_int).unwrap_or(0);
+    println!("llhsc-service at {addr}:");
+    println!("  workers              {:>10}", counter("workers"));
+    println!("  requests             {:>10}", counter("requests"));
+    println!("  errors               {:>10}", counter("errors"));
+    println!("  connections          {:>10}", counter("connections"));
+    println!("  in flight            {:>10}", counter("in_flight"));
+    println!(
+        "  queue wait total     {:>10} µs",
+        counter("queue_wait_us_total")
+    );
+    println!(
+        "  queue wait max       {:>10} µs",
+        counter("queue_wait_us_max")
+    );
+    println!("  cache                      hits      misses");
+    if let Some(cache) = response.get("cache").and_then(Json::as_obj) {
+        for (class, counters) in cache {
+            let get = |key: &str| counters.get(key).and_then(Json::as_int).unwrap_or(0);
+            println!("    {class:<18} {:>10}  {:>10}", get("hits"), get("misses"));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---- one-shot commands (the classic CLI) ---------------------------
+
+/// Renders the semantic checker's cost counters (`--stats`).
+fn print_region_stats(stats: &llhsc::RegionCheckStats) {
+    println!("semantic checker:");
+    println!("  regions           {:>10}", stats.regions);
+    println!("  pairs considered  {:>10}", stats.pairs_considered);
+    println!("  pairs encoded     {:>10}", stats.pairs_encoded);
+    println!("  SMT terms         {:>10}", stats.terms);
+    println!("  SAT solve calls   {:>10}", stats.solver.solves);
+    println!("  decisions         {:>10}", stats.solver.decisions);
+    println!("  propagations      {:>10}", stats.solver.propagations);
+    println!("  conflicts         {:>10}", stats.solver.conflicts);
+    println!("  problem clauses   {:>10}", stats.solver.clauses.problem);
+    println!("  learnt clauses    {:>10}", stats.solver.clauses.learnt);
+}
+
+/// Renders a pipeline run's instrumentation (`--stats`).
+fn print_pipeline_stats(out: &llhsc::PipelineOutput) {
+    println!("stage timings:");
+    println!("{}", out.timings);
+    print_region_stats(&out.semantic_stats);
+}
+
+fn cmd_model(path: &Path) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", path.display());
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let model = match llhsc_fm::parse_model(&src) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    println!("{model}");
+    let mut an = Analyzer::new(&model);
+    if an.is_void() {
+        println!("the model is VOID: it admits no products");
+        for why in an.explain_void() {
+            println!("  conflicting rule: {why}");
+        }
+        return ExitCode::from(EXIT_FINDINGS);
+    }
+    println!("valid products: {}", an.count_products());
+    let dead: Vec<&str> = an
+        .dead_features()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    if dead.is_empty() {
+        println!("dead features: none");
+    } else {
+        println!("dead features: {}", dead.join(", "));
+    }
+    let false_opt: Vec<&str> = an
+        .false_optional()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    if false_opt.is_empty() {
+        println!("false-optional features: none");
+    } else {
+        println!("false-optional features: {}", false_opt.join(", "));
+    }
+    let core: Vec<&str> = an
+        .core_features()
+        .into_iter()
+        .map(|id| model.name(id))
+        .collect();
+    println!("core features: {}", core.join(", "));
+    println!(
+        "maximum VMs under exclusive-resource partitioning: {}",
+        match llhsc_fm::MultiModel::max_vms(&model, 16) {
+            Some(m) => m.to_string(),
+            None => "0".to_string(),
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+/// Why `build` did not produce outputs — the distinction drives the
+/// exit code.
+enum BuildFailure {
+    /// Unreadable or unparsable inputs (exit 2).
+    Input(String),
+    /// The checkers rejected the configuration (exit 1).
+    Rejected(String),
+}
+
+fn cmd_build(dir: &Path, stats: bool) -> ExitCode {
+    let read = |name: &str| -> Result<String, String> {
+        std::fs::read_to_string(dir.join(name))
+            .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
+    };
+    let result = (|| -> Result<llhsc::PipelineOutput, BuildFailure> {
+        let input = (|| -> Result<llhsc::PipelineInput, String> {
+            let core_src = read("core.dts")?;
+            let provider = DirProvider {
+                dir: dir.to_path_buf(),
+            };
+            let core =
+                parse_with_includes(&core_src, &provider).map_err(|e| format!("core.dts: {e}"))?;
+            let deltas = llhsc_delta::DeltaModule::parse_all(&read("deltas.delta")?)
+                .map_err(|e| format!("deltas.delta: {e}"))?;
+            let model =
+                llhsc_fm::parse_model(&read("model.fm")?).map_err(|e| format!("model.fm: {e}"))?;
+
+            let mut schemas = SchemaSet::standard();
+            if let Ok(entries) = std::fs::read_dir(dir.join("schemas")) {
+                for entry in entries.flatten() {
+                    if entry.path().extension().is_some_and(|e| e == "yaml") {
+                        let text = std::fs::read_to_string(entry.path())
+                            .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                        let schema = llhsc_schema::Schema::parse(&text)
+                            .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                        schemas.push(schema);
+                    }
+                }
+            }
+
+            let mut vms = Vec::new();
+            for (i, line) in read("vms.cfg")?.lines().enumerate() {
+                let line = line.split('#').next().unwrap_or("").trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let (name, feats) = line
+                    .split_once(':')
+                    .ok_or_else(|| format!("vms.cfg line {}: expected 'name: features'", i + 1))?;
+                vms.push(llhsc::VmSpec {
+                    name: name.trim().to_string(),
+                    features: feats
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect(),
+                });
+            }
+            if vms.is_empty() {
+                return Err("vms.cfg defines no VMs".to_string());
+            }
+
+            Ok(llhsc::PipelineInput {
+                core,
+                deltas,
+                model,
+                schemas,
+                vms,
+            })
+        })()
+        .map_err(BuildFailure::Input)?;
+        Pipeline::new()
+            .run(&input)
+            .map_err(|e| BuildFailure::Rejected(e.to_string()))
+    })();
+
+    match result {
+        Err(BuildFailure::Input(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Err(BuildFailure::Rejected(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FINDINGS)
+        }
+        Ok(out) => {
+            for d in &out.diagnostics {
+                println!("{d}");
+            }
+            let outdir = dir.join("out");
+            if let Err(e) = std::fs::create_dir_all(&outdir) {
+                eprintln!("error: cannot create {}: {e}", outdir.display());
+                return ExitCode::from(EXIT_FAILURE);
+            }
+            let mut writes: Vec<(String, Vec<u8>)> = vec![
+                ("platform.dts".into(), out.platform_dts.clone().into_bytes()),
+                ("platform.c".into(), out.platform_c.clone().into_bytes()),
+                (
+                    "platform.dtb".into(),
+                    llhsc_dts::fdt::encode(&out.platform_tree),
+                ),
+            ];
+            for (i, dts) in out.vm_dts.iter().enumerate() {
+                writes.push((format!("vm{}.dts", i + 1), dts.clone().into_bytes()));
+                writes.push((
+                    format!("vm{}.dtb", i + 1),
+                    llhsc_dts::fdt::encode(&out.vm_trees[i]),
+                ));
+            }
+            for (i, c) in out.vm_c.iter().enumerate() {
+                writes.push((format!("vm{}.c", i + 1), c.clone().into_bytes()));
+            }
+            for (i, cfg) in out.vm_configs.iter().enumerate() {
+                writes.push((
+                    format!("vm{}.jailhouse.c", i + 1),
+                    cfg.to_jailhouse_cell().into_bytes(),
+                ));
+            }
+            for (name, bytes) in writes {
+                let path = outdir.join(&name);
+                if let Err(e) = std::fs::write(&path, bytes) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    return ExitCode::from(EXIT_FAILURE);
+                }
+                println!("wrote {}", path.display());
+            }
+            if stats {
+                print_pipeline_stats(&out);
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let provider = DirProvider {
+        dir: path.parent().unwrap_or(Path::new(".")).to_path_buf(),
+    };
+    parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn cmd_check(path: &Path, stats: bool) -> ExitCode {
+    let tree = match load_tree(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error[parse]: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let outcome = check_tree(&tree);
+    eprint!("{}", outcome.report.stderr);
+    print!("{}", outcome.report.stdout);
+    if stats {
+        println!("semantic check time: {:.1?}", outcome.elapsed);
+        print_region_stats(&outcome.stats);
+    }
+    if outcome.report.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+fn cmd_dtb(input: &Path, output: &Path) -> ExitCode {
+    let tree = match load_tree(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error[parse]: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let blob = llhsc_dts::fdt::encode(&tree);
+    match std::fs::write(output, &blob) {
+        Ok(()) => {
+            println!("wrote {} bytes to {}", blob.len(), output.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", output.display());
+            ExitCode::from(EXIT_FAILURE)
+        }
+    }
+}
+
+fn cmd_dts(input: &Path) -> ExitCode {
+    let blob = match std::fs::read(input) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", input.display());
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    match llhsc_dts::fdt::decode_typed(&blob) {
+        Ok(tree) => {
+            print!("{}", llhsc_dts::print(&tree));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error[fdt]: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+    }
+}
+
+fn cmd_products() -> ExitCode {
+    let model = llhsc::running_example::feature_model();
+    println!("{model}");
+    let mut an = Analyzer::new(&model);
+    let products = an.products();
+    println!("{} valid products:", products.len());
+    for (i, p) in products.iter().enumerate() {
+        println!("  {:2}: {}", i + 1, an.product_names(p).join(", "));
+    }
+    let core: Vec<String> = an
+        .core_features()
+        .into_iter()
+        .map(|id| model.name(id).to_string())
+        .collect();
+    println!("core features: {}", core.join(", "));
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo(stats: bool) -> ExitCode {
+    let input = llhsc::running_example::pipeline_input();
+    match Pipeline::new().run(&input) {
+        Ok(out) => {
+            for d in &out.diagnostics {
+                println!("{d}");
+            }
+            println!("\n=== platform DTS ===\n{}", out.platform_dts);
+            for (i, dts) in out.vm_dts.iter().enumerate() {
+                println!("=== vm{} DTS ===\n{dts}", i + 1);
+            }
+            println!(
+                "=== platform config (Listing 3 shape) ===\n{}",
+                out.platform_c
+            );
+            for (i, c) in out.vm_c.iter().enumerate() {
+                println!("=== vm{} config (Listing 6 shape) ===\n{c}", i + 1);
+            }
+            if stats {
+                print_pipeline_stats(&out);
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprint!("{e}");
+            ExitCode::from(EXIT_FINDINGS)
+        }
+    }
+}

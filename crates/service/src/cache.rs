@@ -1,0 +1,194 @@
+//! The daemon's shared in-memory result cache and service counters.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use llhsc::{CacheClass, CacheEntry, PipelineCache};
+
+use crate::check::CheckReport;
+
+/// Hit/miss counters for one cache class.
+#[derive(Debug, Default)]
+pub struct ClassCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ClassCounters {
+    fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// The content-addressed store shared by every worker: pipeline stage
+/// results (behind [`PipelineCache`]) plus whole-tree `check` verdicts,
+/// with per-class hit/miss counters surfaced by the `stats` op.
+///
+/// Entries are never evicted — the daemon serves configuration
+/// checking, where the working set is the project being edited, not an
+/// unbounded stream. Restart the daemon to drop the cache.
+#[derive(Debug, Default)]
+pub struct ServiceCache {
+    entries: Mutex<HashMap<(CacheClass, u64), CacheEntry>>,
+    trees: Mutex<HashMap<u64, CheckReport>>,
+    allocation: ClassCounters,
+    product_check: ClassCounters,
+    coverage: ClassCounters,
+    tree_check: ClassCounters,
+}
+
+impl ServiceCache {
+    /// An empty cache with zeroed counters.
+    pub fn new() -> ServiceCache {
+        ServiceCache::default()
+    }
+
+    fn counters_for(&self, class: CacheClass) -> &ClassCounters {
+        match class {
+            CacheClass::Allocation => &self.allocation,
+            CacheClass::ProductCheck => &self.product_check,
+            CacheClass::Coverage => &self.coverage,
+        }
+    }
+
+    /// A cached whole-tree `check` result.
+    pub fn get_tree(&self, key: u64) -> Option<CheckReport> {
+        let hit = self.trees.lock().expect("cache lock").get(&key).cloned();
+        match &hit {
+            Some(_) => self.tree_check.hit(),
+            None => self.tree_check.miss(),
+        }
+        hit
+    }
+
+    /// Stores a whole-tree `check` result.
+    pub fn put_tree(&self, key: u64, report: CheckReport) {
+        self.trees.lock().expect("cache lock").insert(key, report);
+    }
+
+    /// `(class name, hits, misses)` for every class, in a stable order.
+    pub fn counters(&self) -> [(&'static str, u64, u64); 4] {
+        let snap = |name, c: &ClassCounters| {
+            let (h, m) = c.snapshot();
+            (name, h, m)
+        };
+        [
+            snap("allocation", &self.allocation),
+            snap("product_check", &self.product_check),
+            snap("coverage", &self.coverage),
+            snap("tree_check", &self.tree_check),
+        ]
+    }
+}
+
+impl PipelineCache for ServiceCache {
+    fn get(&self, class: CacheClass, key: u64) -> Option<CacheEntry> {
+        let hit = self
+            .entries
+            .lock()
+            .expect("cache lock")
+            .get(&(class, key))
+            .cloned();
+        match &hit {
+            Some(_) => self.counters_for(class).hit(),
+            None => self.counters_for(class).miss(),
+        }
+        hit
+    }
+
+    fn put(&self, class: CacheClass, key: u64, entry: CacheEntry) {
+        self.entries
+            .lock()
+            .expect("cache lock")
+            .insert((class, key), entry);
+    }
+}
+
+/// Request-level counters, surfaced by the `stats` op.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests handled (including failed ones).
+    pub requests: AtomicU64,
+    /// Requests answered with an error frame.
+    pub errors: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections currently being served by a worker.
+    pub in_flight: AtomicU64,
+    /// Total time connections sat in the accept queue, in µs.
+    pub queue_wait_us_total: AtomicU64,
+    /// Longest single accept-queue wait, in µs.
+    pub queue_wait_us_max: AtomicU64,
+}
+
+impl ServiceStats {
+    /// Records one accept-queue wait.
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.queue_wait_us_total
+            .fetch_add(micros, Ordering::Relaxed);
+        self.queue_wait_us_max.fetch_max(micros, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhsc::CachedCheck;
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let cache = ServiceCache::new();
+        assert!(cache.get(CacheClass::Allocation, 1).is_none());
+        cache.put(
+            CacheClass::Allocation,
+            1,
+            CacheEntry::Allocation(Err("nope".into())),
+        );
+        assert!(cache.get(CacheClass::Allocation, 1).is_some());
+        let [(name, hits, misses), ..] = cache.counters();
+        assert_eq!((name, hits, misses), ("allocation", 1, 1));
+    }
+
+    #[test]
+    fn classes_do_not_alias() {
+        let cache = ServiceCache::new();
+        cache.put(
+            CacheClass::ProductCheck,
+            7,
+            CacheEntry::Check(CachedCheck {
+                diagnostics: Vec::new(),
+                stats: Default::default(),
+            }),
+        );
+        assert!(cache.get(CacheClass::Coverage, 7).is_none());
+        assert!(cache.get(CacheClass::ProductCheck, 7).is_some());
+    }
+
+    #[test]
+    fn tree_reports_roundtrip() {
+        let cache = ServiceCache::new();
+        assert!(cache.get_tree(9).is_none());
+        let report = CheckReport {
+            stdout: "checked: ok\n".into(),
+            stderr: String::new(),
+            clean: true,
+        };
+        cache.put_tree(9, report.clone());
+        assert_eq!(cache.get_tree(9), Some(report));
+        let (_, hits, misses) = cache.counters()[3];
+        assert_eq!((hits, misses), (1, 1));
+    }
+}

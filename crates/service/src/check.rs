@@ -1,0 +1,135 @@
+//! Single-tree checking with the exact rendering of `llhsc check`.
+//!
+//! Both the local CLI command and the daemon's `check` op produce their
+//! output through [`check_tree`], so `llhsc client check` is
+//! byte-identical to `llhsc check` by construction — the bytes come
+//! from one function, only the transport differs.
+
+use std::time::{Duration, Instant};
+
+use llhsc::{RegionCheckStats, SemanticChecker};
+use llhsc_dts::DeviceTree;
+use llhsc_schema::{SchemaSet, SyntacticChecker};
+
+/// The rendered result of checking one tree: the exact bytes `llhsc
+/// check` writes to each stream, plus the verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Bytes for stdout (the `checked … : ok|INVALID` summary).
+    pub stdout: String,
+    /// Bytes for stderr (one `error[…]: …` line per finding).
+    pub stderr: String,
+    /// `true` when no finding was produced (exit code 0 vs 1).
+    pub clean: bool,
+}
+
+/// A [`CheckReport`] plus the instrumentation `--stats` renders.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The rendered report.
+    pub report: CheckReport,
+    /// Semantic-checker cost counters (zero if the check aborted).
+    pub stats: RegionCheckStats,
+    /// Wall-clock time of the semantic check.
+    pub elapsed: Duration,
+}
+
+/// Runs the syntactic + semantic checkers over one tree against the
+/// standard schema set, rendering findings exactly as `llhsc check`
+/// always has.
+pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
+    use std::fmt::Write as _;
+    let mut stdout = String::new();
+    let mut stderr = String::new();
+    let mut failed = false;
+
+    let syntactic = SyntacticChecker::new(tree, &SchemaSet::standard()).check();
+    for v in &syntactic.violations {
+        writeln!(stderr, "error[syntactic]: {v}").expect("string write");
+        failed = true;
+    }
+
+    let started = Instant::now();
+    let mut stats = RegionCheckStats::default();
+    let mut elapsed = Duration::ZERO;
+    match SemanticChecker::new().check_tree_with_stats(tree) {
+        Ok((report, check_stats)) => {
+            elapsed = started.elapsed();
+            stats = check_stats;
+            for c in &report.collisions {
+                writeln!(stderr, "error[semantic]: {c}").expect("string write");
+                failed = true;
+            }
+            for (line, users) in &report.interrupt_conflicts {
+                writeln!(
+                    stderr,
+                    "error[semantic]: interrupt line {line} claimed by {}",
+                    users.join(", ")
+                )
+                .expect("string write");
+                failed = true;
+            }
+            writeln!(
+                stdout,
+                "checked {} nodes, {} regions, {} schema rules: {}",
+                tree.size(),
+                report.regions_checked,
+                syntactic.rules_checked,
+                if failed { "INVALID" } else { "ok" }
+            )
+            .expect("string write");
+        }
+        Err(e) => {
+            writeln!(stderr, "error[semantic]: {e}").expect("string write");
+            failed = true;
+        }
+    }
+    CheckOutcome {
+        report: CheckReport {
+            stdout,
+            stderr,
+            clean: !failed,
+        },
+        stats,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_tree_reports_ok() {
+        let tree = llhsc_dts::parse(
+            "/ { #address-cells = <1>; #size-cells = <1>;\n\
+             \x20   memory@1000 { device_type = \"memory\"; reg = <0x1000 0x1000>; }; };",
+        )
+        .unwrap();
+        let out = check_tree(&tree);
+        assert!(out.report.clean);
+        assert!(
+            out.report.stdout.ends_with(": ok\n"),
+            "{}",
+            out.report.stdout
+        );
+        assert!(out.report.stderr.is_empty());
+    }
+
+    #[test]
+    fn colliding_tree_reports_invalid() {
+        let tree = llhsc_dts::parse(
+            "/ {\n\
+             \x20   #address-cells = <2>; #size-cells = <2>;\n\
+             \x20   memory@40000000 { device_type = \"memory\";\n\
+             \x20       reg = <0x0 0x40000000 0x0 0x20000000>; };\n\
+             \x20   uart@50000000 { reg = <0x0 0x50000000 0x0 0x1000>; };\n\
+             };",
+        )
+        .unwrap();
+        let out = check_tree(&tree);
+        assert!(!out.report.clean);
+        assert!(out.report.stderr.contains("error[semantic]:"));
+        assert!(out.report.stdout.ends_with(": INVALID\n"));
+    }
+}

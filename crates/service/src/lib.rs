@@ -1,0 +1,28 @@
+//! `llhsc-service` — llhsc as a long-running check daemon.
+//!
+//! Re-running `llhsc check`/`llhsc build` from scratch pays the full
+//! solver bill on every invocation even when almost nothing changed.
+//! This crate keeps the checkers resident: a TCP daemon speaking
+//! newline-delimited JSON ([`proto`], `docs/SERVICE.md`), a fixed
+//! worker pool ([`server`]) and a content-addressed result cache
+//! ([`cache`]) keyed on stable hashes of each input artifact, so an
+//! unchanged (input-set, VM) pair reuses its derived tree, syntactic
+//! and semantic verdicts without a single solver call.
+//!
+//! The `llhsc` binary lives here too: the classic one-shot subcommands
+//! plus `llhsc serve` and `llhsc client …`. `llhsc client check` is
+//! byte-identical to a local `llhsc check` — both render through
+//! [`check::check_tree`].
+
+pub mod cache;
+pub mod check;
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use cache::{ServiceCache, ServiceStats};
+pub use check::{check_tree, CheckOutcome, CheckReport};
+pub use json::{Json, JsonError};
+pub use proto::{BuildRequest, Request};
+pub use server::{start, ServerConfig, ServerHandle};

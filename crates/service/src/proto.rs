@@ -1,0 +1,334 @@
+//! The llhsc-service wire protocol: typed requests and response frames.
+//!
+//! One request per line, one response per line, both JSON (see
+//! [`crate::json`] and `docs/SERVICE.md`). Every response is an object
+//! with an `"ok"` boolean: `true` frames carry the op's payload,
+//! `false` frames carry an `"error"` string. A *check finding* is not a
+//! protocol error — a `check`/`build` against an invalid configuration
+//! answers `ok: true` with `clean: false`; error frames are for
+//! malformed requests, oversized payloads and frontend parse failures.
+
+use llhsc::{Diagnostic, PipelineError, PipelineOutput, RegionCheckStats, StageTimings};
+use llhsc_schema::SchemaSet;
+
+use crate::check::CheckReport;
+use crate::json::Json;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Check one tree (canonical DTS text, includes already resolved).
+    Check {
+        /// The DTS source to parse and check.
+        dts: String,
+    },
+    /// Run the full pipeline.
+    Build(Box<BuildRequest>),
+    /// Service counters.
+    Stats,
+    /// Drain in-flight work and stop the daemon.
+    Shutdown,
+}
+
+/// The inputs of a `build` request, still as source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildRequest {
+    /// The core DTS module.
+    pub core: String,
+    /// The delta modules (one source, `delta … { … }` blocks).
+    pub deltas: String,
+    /// The feature model.
+    pub model: String,
+    /// Extra binding schemas (YAML), appended to the standard set.
+    pub schemas: Vec<String>,
+    /// `(name, features)` per VM.
+    pub vms: Vec<(String, Vec<String>)>,
+}
+
+fn str_field(obj: &Json, key: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field {key:?}"))
+}
+
+impl Request {
+    /// Parses a request object. The error string is ready for an
+    /// [`error_frame`].
+    pub fn from_json(j: &Json) -> Result<Request, String> {
+        let op = j
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing or non-string field \"op\"")?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "check" => Ok(Request::Check {
+                dts: str_field(j, "dts")?,
+            }),
+            "build" => {
+                let schemas = match j.get("schemas") {
+                    None => Vec::new(),
+                    Some(s) => s
+                        .as_arr()
+                        .ok_or("field \"schemas\" must be an array of strings")?
+                        .iter()
+                        .map(|s| {
+                            s.as_str()
+                                .map(str::to_string)
+                                .ok_or("field \"schemas\" must be an array of strings")
+                        })
+                        .collect::<Result<_, _>>()?,
+                };
+                let vms_json = j
+                    .get("vms")
+                    .and_then(Json::as_arr)
+                    .ok_or("missing or non-array field \"vms\"")?;
+                let mut vms = Vec::new();
+                for vm in vms_json {
+                    let name = str_field(vm, "name").map_err(|e| format!("in \"vms\": {e}"))?;
+                    let features = vm
+                        .get("features")
+                        .and_then(Json::as_arr)
+                        .ok_or("in \"vms\": missing or non-array field \"features\"")?
+                        .iter()
+                        .map(|f| {
+                            f.as_str()
+                                .map(str::to_string)
+                                .ok_or("in \"vms\": features must be strings")
+                        })
+                        .collect::<Result<_, _>>()?;
+                    vms.push((name, features));
+                }
+                Ok(Request::Build(Box::new(BuildRequest {
+                    core: str_field(j, "core")?,
+                    deltas: str_field(j, "deltas")?,
+                    model: str_field(j, "model")?,
+                    schemas,
+                    vms,
+                })))
+            }
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+}
+
+impl BuildRequest {
+    /// Parses every input text through the existing frontends.
+    ///
+    /// # Errors
+    ///
+    /// The first frontend failure, prefixed with the artifact name
+    /// (`core.dts: …`), matching the local `llhsc build` rendering.
+    pub fn to_pipeline_input(&self) -> Result<llhsc::PipelineInput, String> {
+        let core = llhsc_dts::parse(&self.core).map_err(|e| format!("core.dts: {e}"))?;
+        let deltas = llhsc_delta::DeltaModule::parse_all(&self.deltas)
+            .map_err(|e| format!("deltas.delta: {e}"))?;
+        let model = llhsc_fm::parse_model(&self.model).map_err(|e| format!("model.fm: {e}"))?;
+        let mut schemas = SchemaSet::standard();
+        for (i, text) in self.schemas.iter().enumerate() {
+            let schema =
+                llhsc_schema::Schema::parse(text).map_err(|e| format!("schema {}: {e}", i + 1))?;
+            schemas.push(schema);
+        }
+        let vms = self
+            .vms
+            .iter()
+            .map(|(name, features)| llhsc::VmSpec {
+                name: name.clone(),
+                features: features.clone(),
+            })
+            .collect();
+        Ok(llhsc::PipelineInput {
+            core,
+            deltas,
+            model,
+            schemas,
+            vms,
+        })
+    }
+}
+
+/// An `ok: false` frame.
+pub fn error_frame(message: impl Into<String>) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+    ])
+}
+
+/// The `ping` response.
+pub fn ping_frame() -> Json {
+    Json::obj([("ok", Json::Bool(true)), ("op", "ping".into())])
+}
+
+/// The `shutdown` acknowledgement (sent before the daemon drains).
+pub fn shutdown_frame() -> Json {
+    Json::obj([("ok", Json::Bool(true)), ("op", "shutdown".into())])
+}
+
+/// The `check` response: the exact bytes of `llhsc check`, the verdict
+/// and whether the answer came from the cache.
+pub fn check_frame(report: &CheckReport, cached: bool) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("clean", Json::Bool(report.clean)),
+        ("stdout", report.stdout.as_str().into()),
+        ("stderr", report.stderr.as_str().into()),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
+fn diagnostics_json(diags: &[Diagnostic]) -> Json {
+    Json::Arr(
+        diags
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("severity", d.severity.to_string().into()),
+                    ("stage", d.stage.to_string().into()),
+                    ("vm", d.vm.map_or(Json::Null, |v| Json::Int(v as i64))),
+                    ("message", d.message.as_str().into()),
+                    ("rendered", d.to_string().into()),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn timings_json(t: &StageTimings) -> Json {
+    let us = |d: std::time::Duration| Json::from(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    Json::obj([
+        ("allocation_us", us(t.allocation)),
+        ("derivation_us", us(t.derivation)),
+        ("checking_us", us(t.checking)),
+        ("coverage_us", us(t.coverage)),
+        ("generation_us", us(t.generation)),
+        ("total_us", us(t.total())),
+    ])
+}
+
+fn region_stats_json(s: &RegionCheckStats) -> Json {
+    Json::obj([
+        ("regions", s.regions.into()),
+        ("pairs_considered", s.pairs_considered.into()),
+        ("pairs_encoded", s.pairs_encoded.into()),
+        ("terms", s.terms.into()),
+        ("solves", s.solver.solves.into()),
+        ("decisions", s.solver.decisions.into()),
+        ("propagations", s.solver.propagations.into()),
+        ("conflicts", s.solver.conflicts.into()),
+    ])
+}
+
+/// The `build` response for a run that produced outputs.
+pub fn build_ok_frame(out: &PipelineOutput) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("clean", Json::Bool(true)),
+        ("diagnostics", diagnostics_json(&out.diagnostics)),
+        ("platform_dts", out.platform_dts.as_str().into()),
+        (
+            "vm_dts",
+            Json::Arr(out.vm_dts.iter().map(|s| s.as_str().into()).collect()),
+        ),
+        ("platform_c", out.platform_c.as_str().into()),
+        (
+            "vm_c",
+            Json::Arr(out.vm_c.iter().map(|s| s.as_str().into()).collect()),
+        ),
+        ("timings", timings_json(&out.timings)),
+        ("region_stats", region_stats_json(&out.semantic_stats)),
+    ])
+}
+
+/// The `build` response for a configuration the checkers rejected.
+/// Still `ok: true` — the protocol worked; the configuration didn't.
+pub fn build_rejected_frame(err: &PipelineError) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("clean", Json::Bool(false)),
+        ("diagnostics", diagnostics_json(&err.diagnostics)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let parse = |s: &str| Request::from_json(&Json::parse(s).unwrap());
+        assert_eq!(parse(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
+        assert_eq!(parse(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(
+            parse(r#"{"op":"check","dts":"/ { };"}"#),
+            Ok(Request::Check {
+                dts: "/ { };".into()
+            })
+        );
+        let build = parse(
+            r#"{"op":"build","core":"/ { };","deltas":"","model":"feature A { }",
+                "vms":[{"name":"vm1","features":["a","b"]}]}"#,
+        )
+        .unwrap();
+        match build {
+            Request::Build(b) => {
+                assert_eq!(b.vms, vec![("vm1".into(), vec!["a".into(), "b".into()])]);
+                assert!(b.schemas.is_empty());
+            }
+            other => panic!("expected build, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let parse = |s: &str| Request::from_json(&Json::parse(s).unwrap());
+        assert!(parse(r#"{"op":"warp"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(parse(r#"{"nop":"ping"}"#).unwrap_err().contains("\"op\""));
+        assert!(parse(r#"{"op":"check"}"#).unwrap_err().contains("\"dts\""));
+        assert!(parse(r#"{"op":"check","dts":7}"#)
+            .unwrap_err()
+            .contains("\"dts\""));
+        assert!(
+            parse(r#"{"op":"build","core":"x","deltas":"","model":"m"}"#)
+                .unwrap_err()
+                .contains("\"vms\"")
+        );
+    }
+
+    #[test]
+    fn error_frames_render() {
+        assert_eq!(
+            error_frame("boom").to_string(),
+            r#"{"error":"boom","ok":false}"#
+        );
+    }
+
+    #[test]
+    fn build_request_parses_frontends() {
+        let b = BuildRequest {
+            core: "/ { };".into(),
+            deltas: String::new(),
+            model: "feature A {\n}".into(),
+            schemas: Vec::new(),
+            vms: vec![("vm1".into(), vec!["A".into()])],
+        };
+        let input = b.to_pipeline_input().expect("parses");
+        assert_eq!(input.vms.len(), 1);
+        let bad = BuildRequest {
+            core: "not a tree".into(),
+            ..b
+        };
+        assert!(bad
+            .to_pipeline_input()
+            .unwrap_err()
+            .starts_with("core.dts:"));
+    }
+}

@@ -1,0 +1,364 @@
+//! The llhsc-service daemon: a TCP accept loop, a fixed worker pool
+//! and the request dispatcher.
+//!
+//! One thread accepts connections and feeds them through an mpsc
+//! channel to `workers` handler threads; each handler serves its
+//! connection to completion (the protocol is line-oriented, several
+//! requests may share a connection). All workers share one
+//! [`ServiceCache`], so a check result computed for any client is a
+//! cache hit for every later identical request.
+//!
+//! Shutdown (`shutdown` op or [`ServerHandle::shutdown`]) is graceful:
+//! the accept loop stops taking new connections, queued and in-flight
+//! connections are served to completion, then the workers exit and
+//! [`ServerHandle::join`] returns.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use llhsc::Pipeline;
+
+use crate::cache::{ServiceCache, ServiceStats};
+use crate::check::check_tree;
+use crate::json::Json;
+use crate::proto::{
+    build_ok_frame, build_rejected_frame, check_frame, error_frame, ping_frame, shutdown_frame,
+    Request,
+};
+
+/// How the daemon is brought up.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Hard cap on one request line, in bytes; longer requests are
+    /// answered with an error frame and the connection is closed.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_request_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// Everything the worker threads share.
+struct ServiceState {
+    cache: ServiceCache,
+    stats: ServiceStats,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    workers: usize,
+}
+
+impl ServiceState {
+    /// Flags shutdown and pokes the accept loop awake with a throwaway
+    /// connection (it blocks in `accept`, so a flag alone is invisible).
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    state: Arc<ServiceState>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.local_addr
+    }
+
+    /// Initiates graceful shutdown: stop accepting, drain, exit.
+    pub fn shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Whether shutdown was requested (by [`ServerHandle::shutdown`] or
+    /// a `shutdown` op from any client).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Waits for the accept loop and every worker to finish. Does not
+    /// itself initiate shutdown — call [`ServerHandle::shutdown`] first
+    /// (or let a client send the `shutdown` op).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop and worker pool.
+///
+/// # Errors
+///
+/// Propagates the bind failure (address in use, permission, …).
+pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let workers = config.workers.max(1);
+    let state = Arc::new(ServiceState {
+        cache: ServiceCache::new(),
+        stats: ServiceStats::default(),
+        shutdown: AtomicBool::new(false),
+        local_addr,
+        workers,
+    });
+    let max_request_bytes = config.max_request_bytes;
+
+    let (tx, rx) = mpsc::channel::<(Instant, TcpStream)>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads = Vec::with_capacity(workers + 1);
+
+    {
+        let state = Arc::clone(&state);
+        threads.push(std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break; // wake-up connection or late client: drop it
+                }
+                let Ok(stream) = conn else { continue };
+                state.stats.connections.fetch_add(1, Ordering::Relaxed);
+                if tx.send((Instant::now(), stream)).is_err() {
+                    break;
+                }
+            }
+            // Dropping the sender lets the workers drain and exit.
+        }));
+    }
+
+    for _ in 0..workers {
+        let state = Arc::clone(&state);
+        let rx = Arc::clone(&rx);
+        threads.push(std::thread::spawn(move || loop {
+            let conn = rx.lock().expect("queue lock").recv();
+            match conn {
+                Ok((queued_at, stream)) => {
+                    let wait = queued_at.elapsed();
+                    state
+                        .stats
+                        .record_queue_wait(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+                    serve_connection(&state, stream, max_request_bytes);
+                }
+                Err(_) => break, // accept loop gone and queue drained
+            }
+        }));
+    }
+
+    Ok(ServerHandle { state, threads })
+}
+
+/// One request line, capped at `max` bytes.
+enum Line {
+    /// A complete line (without the terminator).
+    Text(String),
+    /// The client closed the connection.
+    Eof,
+    /// The line exceeded `max` bytes.
+    TooLong,
+}
+
+fn read_request_line(reader: &mut BufReader<TcpStream>, max: usize) -> io::Result<Line> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = reader.fill_buf()?;
+        if available.is_empty() {
+            return if line.is_empty() {
+                Ok(Line::Eof)
+            } else {
+                // EOF in the middle of a line: take it as sent.
+                Ok(text_or_too_long(line, max))
+            };
+        }
+        if let Some(pos) = available.iter().position(|&b| b == b'\n') {
+            line.extend_from_slice(&available[..pos]);
+            reader.consume(pos + 1);
+            return Ok(text_or_too_long(line, max));
+        }
+        line.extend_from_slice(available);
+        let n = available.len();
+        reader.consume(n);
+        if line.len() > max {
+            return Ok(Line::TooLong);
+        }
+    }
+}
+
+fn text_or_too_long(line: Vec<u8>, max: usize) -> Line {
+    if line.len() > max {
+        Line::TooLong
+    } else {
+        Line::Text(String::from_utf8_lossy(&line).into_owned())
+    }
+}
+
+fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: usize) {
+    state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+    let write_side = stream.try_clone();
+    let mut reader = BufReader::new(stream);
+    if let Ok(mut writer) = write_side {
+        loop {
+            let line = match read_request_line(&mut reader, max_request_bytes) {
+                Ok(Line::Text(l)) => l,
+                Ok(Line::Eof) => break,
+                Ok(Line::TooLong) => {
+                    state.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    let frame = error_frame(format!(
+                        "request exceeds max request size ({max_request_bytes} bytes)"
+                    ));
+                    let _ = writeln!(writer, "{frame}");
+                    break; // the rest of the stream is unframed garbage
+                }
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            state.stats.requests.fetch_add(1, Ordering::Relaxed);
+            let response = respond(state, &line);
+            if response.get("ok").and_then(Json::as_bool) == Some(false) {
+                state.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            if writeln!(writer, "{response}")
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+    state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// Parses and executes one request line.
+fn respond(state: &ServiceState, line: &str) -> Json {
+    let parsed = match Json::parse(line) {
+        Ok(j) => j,
+        Err(e) => return error_frame(e.to_string()),
+    };
+    let request = match Request::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return error_frame(e),
+    };
+    match request {
+        Request::Ping => ping_frame(),
+        Request::Stats => stats_frame(state),
+        Request::Shutdown => {
+            state.request_shutdown();
+            shutdown_frame()
+        }
+        Request::Check { dts } => match llhsc_dts::parse(&dts) {
+            Err(e) => error_frame(format!("parse: {e}")),
+            Ok(tree) => {
+                let key = tree.stable_hash();
+                match state.cache.get_tree(key) {
+                    Some(report) => check_frame(&report, true),
+                    None => {
+                        let outcome = check_tree(&tree);
+                        state.cache.put_tree(key, outcome.report.clone());
+                        check_frame(&outcome.report, false)
+                    }
+                }
+            }
+        },
+        Request::Build(b) => match b.to_pipeline_input() {
+            Err(e) => error_frame(e),
+            Ok(input) => match Pipeline::new().run_with_cache(&input, Some(&state.cache)) {
+                Ok(out) => build_ok_frame(&out),
+                Err(e) => build_rejected_frame(&e),
+            },
+        },
+    }
+}
+
+fn stats_frame(state: &ServiceState) -> Json {
+    let cache = Json::Obj(
+        state
+            .cache
+            .counters()
+            .into_iter()
+            .map(|(name, hits, misses)| {
+                (
+                    name.to_string(),
+                    Json::obj([("hits", hits.into()), ("misses", misses.into())]),
+                )
+            })
+            .collect(),
+    );
+    let s = &state.stats;
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("workers", state.workers.into()),
+        ("requests", s.requests.load(Ordering::Relaxed).into()),
+        ("errors", s.errors.load(Ordering::Relaxed).into()),
+        ("connections", s.connections.load(Ordering::Relaxed).into()),
+        ("in_flight", s.in_flight.load(Ordering::Relaxed).into()),
+        (
+            "queue_wait_us_total",
+            s.queue_wait_us_total.load(Ordering::Relaxed).into(),
+        ),
+        (
+            "queue_wait_us_max",
+            s.queue_wait_us_max.load(Ordering::Relaxed).into(),
+        ),
+        ("cache", cache),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+
+    #[test]
+    fn ping_and_graceful_shutdown() {
+        let handle = start(&ServerConfig::default()).expect("server starts");
+        let addr = handle.local_addr().to_string();
+        let pong = client::request(&addr, &Json::obj([("op", "ping".into())])).unwrap();
+        assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
+        let bye = client::request(&addr, &Json::obj([("op", "shutdown".into())])).unwrap();
+        assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
+        handle.join();
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_get_error_frames() {
+        let handle = start(&ServerConfig {
+            max_request_bytes: 64,
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.local_addr().to_string();
+
+        let bad = client::request_raw(&addr, "this is not json").unwrap();
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+
+        let huge = format!(r#"{{"op":"check","dts":"{}"}}"#, "x".repeat(200));
+        let too_big = client::request_raw(&addr, &huge).unwrap();
+        assert!(too_big
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|e| e.contains("max request size")));
+
+        handle.shutdown();
+        handle.join();
+    }
+}

@@ -55,7 +55,11 @@ fn no_args_prints_usage() {
 fn check_accepts_valid_file() {
     let path = write_temp("valid.dts", VALID);
     let out = llhsc(&["check", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
 }
 
@@ -71,17 +75,18 @@ fn check_rejects_clash_with_nonzero_exit() {
 
 #[test]
 fn check_resolves_includes_from_the_file_directory() {
-    let main = write_temp(
-        "main.dts",
-        "/dts-v1/;\n/include/ \"part.dtsi\"\n/ { };\n",
-    );
+    let main = write_temp("main.dts", "/dts-v1/;\n/include/ \"part.dtsi\"\n/ { };\n");
     write_temp(
         "part.dtsi",
         "/ { #address-cells = <1>; #size-cells = <1>; \
          memory@80000000 { device_type = \"memory\"; reg = <0x80000000 0x1000>; }; };",
     );
     let out = llhsc(&["check", main.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -100,7 +105,11 @@ fn dtb_then_dts_roundtrip() {
 #[test]
 fn demo_runs_the_paper_pipeline() {
     let out = llhsc(&["demo"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("platform DTS"));
     assert!(text.contains("Listing 3 shape"));
@@ -149,7 +158,11 @@ constraints {
 fn model_subcommand_analyses_fm_file() {
     let path = write_temp("model.fm", MODEL_FM);
     let out = llhsc(&["model", path.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("valid products: 12"), "{text}");
     assert!(text.contains("dead features: none"));
@@ -158,10 +171,7 @@ fn model_subcommand_analyses_fm_file() {
 
 #[test]
 fn model_subcommand_reports_void() {
-    let path = write_temp(
-        "void.fm",
-        "feature R { a b }\nconstraints { a excludes b }",
-    );
+    let path = write_temp("void.fm", "feature R { a b }\nconstraints { a excludes b }");
     let out = llhsc(&["model", path.to_str().unwrap()]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("VOID"));
@@ -184,7 +194,11 @@ fn build_subcommand_runs_a_project() {
     )
     .unwrap();
     let out = llhsc(&["build", dir.to_str().unwrap()]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     for f in [
         "platform.dts",
         "platform.c",

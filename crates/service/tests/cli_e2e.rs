@@ -1,0 +1,198 @@
+//! End-to-end tests over the real `llhsc` binary: boot a daemon, run
+//! `llhsc client check` against it and require the output to be
+//! byte-identical to a local `llhsc check` — stdout, stderr and exit
+//! code — on clean, failing and unparseable inputs.
+
+use std::io::{BufRead, BufReader, Read};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Output, Stdio};
+
+use llhsc::{quadcore, running_example, Pipeline};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_llhsc")
+}
+
+/// A daemon child, killed on drop so a failing assertion cannot leak
+/// the process.
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+impl Daemon {
+    fn start() -> Daemon {
+        let mut child = Command::new(bin())
+            .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("daemon spawns");
+        let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("daemon banner");
+        // "llhsc-service listening on 127.0.0.1:PORT (2 workers)"
+        let addr = line
+            .split_whitespace()
+            .nth(3)
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        Daemon {
+            child,
+            stdout,
+            addr,
+        }
+    }
+
+    /// `llhsc client <args…> --addr <daemon>`.
+    fn client(&self, args: &[&str]) -> Output {
+        let mut cmd = Command::new(bin());
+        cmd.args(["client", "--addr", &self.addr]).args(args);
+        cmd.output().expect("client runs")
+    }
+
+    /// Sends the shutdown op and waits for a clean daemon exit.
+    fn shutdown(mut self) {
+        let out = self.client(&["shutdown"]);
+        assert_eq!(out.status.code(), Some(0), "client shutdown failed");
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status {status}");
+        let mut rest = String::new();
+        self.stdout
+            .read_to_string(&mut rest)
+            .expect("daemon stdout");
+        assert!(
+            rest.contains("llhsc-service shut down cleanly"),
+            "daemon stdout: {rest:?}"
+        );
+        // Disarm the Drop kill — the child is already reaped.
+        self.child = Command::new("true").spawn().expect("placeholder");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Writes the test inputs into a fresh scratch directory.
+fn fixtures() -> (PathBuf, Vec<(PathBuf, i32)>) {
+    let dir = std::env::temp_dir().join(format!(
+        "llhsc-e2e-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-")
+    ));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+
+    let running = Pipeline::new()
+        .run(&running_example::pipeline_input())
+        .expect("running example builds");
+    let write = |name: &str, text: &str| {
+        let path = dir.join(name);
+        std::fs::write(&path, text).expect("fixture write");
+        path
+    };
+    let cases = vec![
+        (write("running-platform.dts", &running.platform_dts), 0),
+        (write("quadcore.dts", &quadcore::core_dts_text()), 0),
+        (
+            write(
+                "failing.dts",
+                "/ {\n    #address-cells = <2>; #size-cells = <2>;\n\
+                 \x20   memory@40000000 { device_type = \"memory\";\n\
+                 \x20       reg = <0x0 0x40000000 0x0 0x20000000>; };\n\
+                 \x20   uart@50000000 { reg = <0x0 0x50000000 0x0 0x1000>; };\n};\n",
+            ),
+            1,
+        ),
+        (write("broken.dts", "this is not a device tree\n"), 2),
+    ];
+    (dir, cases)
+}
+
+#[test]
+fn client_check_is_byte_identical_to_local_check() {
+    let (dir, cases) = fixtures();
+    let daemon = Daemon::start();
+
+    for (path, expected_code) in &cases {
+        let path_str = path.to_str().expect("utf-8 path");
+        let local = Command::new(bin())
+            .args(["check", path_str])
+            .output()
+            .expect("local check runs");
+        let remote = daemon.client(&["check", path_str]);
+
+        assert_eq!(
+            local.status.code(),
+            Some(*expected_code),
+            "local exit code for {path_str}"
+        );
+        assert_eq!(
+            remote.status.code(),
+            local.status.code(),
+            "exit codes differ for {path_str}"
+        );
+        assert_eq!(
+            remote.stdout,
+            local.stdout,
+            "stdout differs for {path_str}:\n local: {:?}\nremote: {:?}",
+            String::from_utf8_lossy(&local.stdout),
+            String::from_utf8_lossy(&remote.stdout)
+        );
+        assert_eq!(
+            remote.stderr,
+            local.stderr,
+            "stderr differs for {path_str}:\n local: {:?}\nremote: {:?}",
+            String::from_utf8_lossy(&local.stderr),
+            String::from_utf8_lossy(&remote.stderr)
+        );
+    }
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn client_ping_and_stats_round_trip() {
+    let daemon = Daemon::start();
+
+    let ping = daemon.client(&["ping"]);
+    assert_eq!(ping.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&ping.stdout).starts_with("pong ("),
+        "{ping:?}"
+    );
+
+    let stats = daemon.client(&["stats"]);
+    assert_eq!(stats.status.code(), Some(0));
+    let rendered = String::from_utf8_lossy(&stats.stdout).into_owned();
+    for needle in ["workers", "requests", "cache", "allocation", "tree_check"] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle:?} in:\n{rendered}"
+        );
+    }
+
+    daemon.shutdown();
+}
+
+#[test]
+fn client_reports_transport_errors_with_exit_2() {
+    // Nobody listens on this port (reserved, never assigned).
+    let out = Command::new(bin())
+        .args(["client", "--addr", "127.0.0.1:1", "ping"])
+        .output()
+        .expect("client runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).starts_with("error: cannot connect"),
+        "{out:?}"
+    );
+}

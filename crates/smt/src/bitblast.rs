@@ -180,13 +180,7 @@ impl Blaster {
 
     /// Barrel shifter: shifts `a` by the symbolic amount `b` (left when
     /// `left`, logical right otherwise). Amounts ≥ width yield zero.
-    fn barrel_shift(
-        &mut self,
-        solver: &mut Solver,
-        a: &[Lit],
-        b: &[Lit],
-        left: bool,
-    ) -> Vec<Lit> {
+    fn barrel_shift(&mut self, solver: &mut Solver, a: &[Lit], b: &[Lit], left: bool) -> Vec<Lit> {
         let w = a.len();
         let mut cur: Vec<Lit> = a.to_vec();
         let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2 w)
@@ -196,7 +190,11 @@ impl Blaster {
             let mut next = Vec::with_capacity(w);
             for i in 0..w {
                 let shifted = if left {
-                    if i >= amount { Some(cur[i - amount]) } else { None }
+                    if i >= amount {
+                        Some(cur[i - amount])
+                    } else {
+                        None
+                    }
                 } else if i + amount < w {
                     Some(cur[i + amount])
                 } else {
@@ -224,12 +222,7 @@ impl Blaster {
 
     // ----- the main lowering -----
 
-    pub(crate) fn bool_lit(
-        &mut self,
-        pool: &TermPool,
-        solver: &mut Solver,
-        t: TermId,
-    ) -> Lit {
+    pub(crate) fn bool_lit(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Lit {
         match self.encode(pool, solver, t) {
             Encoding::Bool(l) => l,
             Encoding::Bits(_) => panic!("expected Bool term, found bit-vector"),
@@ -243,12 +236,7 @@ impl Blaster {
         }
     }
 
-    pub(crate) fn encode(
-        &mut self,
-        pool: &TermPool,
-        solver: &mut Solver,
-        t: TermId,
-    ) -> Encoding {
+    pub(crate) fn encode(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Encoding {
         if let Some(e) = self.cache.get(&t) {
             return e.clone();
         }
@@ -270,12 +258,7 @@ impl Blaster {
         (0..width).map(|_| Lit::pos(solver.new_var())).collect()
     }
 
-    fn encode_uncached(
-        &mut self,
-        pool: &TermPool,
-        solver: &mut Solver,
-        t: TermId,
-    ) -> Encoding {
+    fn encode_uncached(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Encoding {
         use TermData::*;
         match pool.get(t).clone() {
             BoolConst(b) => Encoding::Bool(self.const_lit(solver, b)),
@@ -285,13 +268,11 @@ impl Blaster {
                 Encoding::Bool(!l)
             }
             And(xs) => {
-                let lits: Vec<Lit> =
-                    xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
                 Encoding::Bool(self.gate_and_many(solver, &lits))
             }
             Or(xs) => {
-                let lits: Vec<Lit> =
-                    xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
+                let lits: Vec<Lit> = xs.iter().map(|&x| self.bool_lit(pool, solver, x)).collect();
                 Encoding::Bool(self.gate_or_many(solver, &lits))
             }
             Xor(a, b) => {
@@ -356,9 +337,7 @@ impl Blaster {
                     Encoding::Bool(self.gate_and_many(solver, &eqs))
                 }
             },
-            BvConst { width, value } => {
-                Encoding::Bits(self.const_bits(solver, value, width))
-            }
+            BvConst { width, value } => Encoding::Bits(self.const_bits(solver, value, width)),
             BvVar { width, .. } => Encoding::Bits(self.fresh_bits(solver, width)),
             BvAdd(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -476,16 +455,14 @@ impl Blaster {
             }
             BvSlt(a, b) => {
                 // Signed compare = unsigned compare with MSBs flipped.
-                let (mut ba, mut bb) =
-                    (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let (mut ba, mut bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
                 let last = ba.len() - 1;
                 ba[last] = !ba[last];
                 bb[last] = !bb[last];
                 Encoding::Bool(self.ult_chain(solver, &ba, &bb))
             }
             BvSle(a, b) => {
-                let (mut ba, mut bb) =
-                    (self.bits(pool, solver, a), self.bits(pool, solver, b));
+                let (mut ba, mut bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
                 let last = ba.len() - 1;
                 ba[last] = !ba[last];
                 bb[last] = !bb[last];
@@ -510,9 +487,7 @@ impl Blaster {
                 }
                 Encoding::Bits(ba)
             }
-            StrConst(id) => {
-                Encoding::Bits(self.const_bits(solver, id as u128, STR_WIDTH))
-            }
+            StrConst(id) => Encoding::Bits(self.const_bits(solver, id as u128, STR_WIDTH)),
             StrVar(_) => Encoding::Bits(self.fresh_bits(solver, STR_WIDTH)),
         }
     }
@@ -521,11 +496,7 @@ impl Blaster {
 /// Evaluates a term to a concrete value given a total SAT model, using
 /// the blaster's cached encodings. Returns `None` for terms that were
 /// never encoded (they did not take part in the last check).
-pub(crate) fn eval_in_model(
-    blaster: &Blaster,
-    model: &[bool],
-    t: TermId,
-) -> Option<EvalValue> {
+pub(crate) fn eval_in_model(blaster: &Blaster, model: &[bool], t: TermId) -> Option<EvalValue> {
     let lit_val = |l: Lit| -> Option<bool> {
         let v = model.get(l.var().index())?;
         Some(if l.is_positive() { *v } else { !*v })

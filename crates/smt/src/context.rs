@@ -156,7 +156,8 @@ impl Context {
     /// A named Boolean variable. The same name always yields the same
     /// term (hash-consing), so variables are identified by name.
     pub fn bool_var(&mut self, name: &str) -> TermId {
-        self.pool.mk(TermData::BoolVar(name.to_string()), Sort::Bool)
+        self.pool
+            .mk(TermData::BoolVar(name.to_string()), Sort::Bool)
     }
 
     /// Logical negation (folds constants and double negation).
@@ -388,7 +389,10 @@ impl Context {
     ///
     /// Panics if `width` is 0 or exceeds 128.
     pub fn bv_const(&mut self, value: u128, width: u32) -> TermId {
-        assert!((1..=128).contains(&width), "bit-vector width {width} out of range");
+        assert!(
+            (1..=128).contains(&width),
+            "bit-vector width {width} out of range"
+        );
         self.pool.mk(
             TermData::BvConst {
                 width,
@@ -400,7 +404,10 @@ impl Context {
 
     /// A named bit-vector variable.
     pub fn bv_var(&mut self, name: &str, width: u32) -> TermId {
-        assert!((1..=128).contains(&width), "bit-vector width {width} out of range");
+        assert!(
+            (1..=128).contains(&width),
+            "bit-vector width {width} out of range"
+        );
         self.pool.mk(
             TermData::BvVar {
                 name: name.to_string(),
@@ -427,17 +434,35 @@ impl Context {
 
     /// Wrapping addition.
     pub fn bv_add(&mut self, a: TermId, b: TermId) -> TermId {
-        self.bv_binop(a, b, "bvadd", |x, y, w| mask(x.wrapping_add(y), w), TermData::BvAdd)
+        self.bv_binop(
+            a,
+            b,
+            "bvadd",
+            |x, y, w| mask(x.wrapping_add(y), w),
+            TermData::BvAdd,
+        )
     }
 
     /// Wrapping subtraction.
     pub fn bv_sub(&mut self, a: TermId, b: TermId) -> TermId {
-        self.bv_binop(a, b, "bvsub", |x, y, w| mask(x.wrapping_sub(y), w), TermData::BvSub)
+        self.bv_binop(
+            a,
+            b,
+            "bvsub",
+            |x, y, w| mask(x.wrapping_sub(y), w),
+            TermData::BvSub,
+        )
     }
 
     /// Wrapping multiplication.
     pub fn bv_mul(&mut self, a: TermId, b: TermId) -> TermId {
-        self.bv_binop(a, b, "bvmul", |x, y, w| mask(x.wrapping_mul(y), w), TermData::BvMul)
+        self.bv_binop(
+            a,
+            b,
+            "bvmul",
+            |x, y, w| mask(x.wrapping_mul(y), w),
+            TermData::BvMul,
+        )
     }
 
     /// Two's-complement negation.
@@ -508,7 +533,11 @@ impl Context {
     pub fn bv_shl_term(&mut self, a: TermId, b: TermId) -> TermId {
         let w = self.expect_same_width(a, b, "bvshl");
         if let (Some(x), Some(k)) = (self.bv_const_value(a), self.bv_const_value(b)) {
-            let v = if k >= u128::from(w) { 0 } else { mask(x << k, w) };
+            let v = if k >= u128::from(w) {
+                0
+            } else {
+                mask(x << k, w)
+            };
             return self.bv_const(v, w);
         }
         self.pool.mk(TermData::BvShlV(a, b), Sort::BitVec(w))
@@ -611,7 +640,10 @@ impl Context {
     /// Panics if `hi < lo` or `hi` is outside the operand width.
     pub fn bv_extract(&mut self, a: TermId, hi: u32, lo: u32) -> TermId {
         let w = self.expect_bv(a, "extract");
-        assert!(hi >= lo && hi < w, "extract [{hi}:{lo}] out of range for width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "extract [{hi}:{lo}] out of range for width {w}"
+        );
         if lo == 0 && hi == w - 1 {
             return a;
         }
@@ -680,9 +712,7 @@ impl Context {
     /// Panics if the term is not of sort `Bool`.
     pub fn assert(&mut self, t: TermId) {
         self.expect_bool(t, "assert");
-        let lit = self
-            .blaster
-            .bool_lit(&self.pool, &mut self.solver, t);
+        let lit = self.blaster.bool_lit(&self.pool, &mut self.solver, t);
         match self.scopes.last().copied() {
             None => {
                 self.solver.add_clause([lit]);
@@ -741,9 +771,7 @@ impl Context {
         let mut lits: Vec<Lit> = self.scopes.clone();
         for &t in assumptions {
             self.expect_bool(t, "check_assuming");
-            let l = self
-                .blaster
-                .bool_lit(&self.pool, &mut self.solver, t);
+            let l = self.blaster.bool_lit(&self.pool, &mut self.solver, t);
             self.assumption_lits.insert(l, t);
             lits.push(l);
         }
@@ -859,7 +887,10 @@ impl Model<'_> {
 
     /// Value of a bit-vector term.
     pub fn eval_bv(&self, t: TermId) -> Option<u128> {
-        match (self.ctx.pool.sort(t), eval_in_model(&self.ctx.blaster, &self.bits, t)?) {
+        match (
+            self.ctx.pool.sort(t),
+            eval_in_model(&self.ctx.blaster, &self.bits, t)?,
+        ) {
             (Sort::BitVec(_), EvalValue::Bits(v)) => Some(v),
             _ => None,
         }
@@ -867,7 +898,10 @@ impl Model<'_> {
 
     /// Value of a string term, if it denotes an interned string.
     pub fn eval_str(&self, t: TermId) -> Option<&str> {
-        match (self.ctx.pool.sort(t), eval_in_model(&self.ctx.blaster, &self.bits, t)?) {
+        match (
+            self.ctx.pool.sort(t),
+            eval_in_model(&self.ctx.blaster, &self.bits, t)?,
+        ) {
             (Sort::Str, EvalValue::Bits(v)) => {
                 let id = u32::try_from(v).ok()?;
                 if (id as usize) < self.ctx.pool.num_interned() {
@@ -1167,9 +1201,7 @@ mod tests {
     fn cardinality_counts_models() {
         // Over 4 free variables, the number of models of at_most/
         // at_least/exactly matches binomial arithmetic.
-        let choose = |n: u64, k: u64| -> u64 {
-            (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1))
-        };
+        let choose = |n: u64, k: u64| -> u64 { (0..k).fold(1, |acc, i| acc * (n - i) / (i + 1)) };
         for k in 0..=4usize {
             let mut ctx = Context::new();
             let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
@@ -1182,7 +1214,11 @@ mod tests {
             let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
             let c = ctx.exactly(xs.clone(), k);
             ctx.assert(c);
-            assert_eq!(ctx.count_models(&xs) as u64, choose(4, k as u64), "exactly {k}");
+            assert_eq!(
+                ctx.count_models(&xs) as u64,
+                choose(4, k as u64),
+                "exactly {k}"
+            );
 
             let mut ctx = Context::new();
             let xs: Vec<TermId> = (0..4).map(|i| ctx.bool_var(&format!("x{i}"))).collect();
@@ -1263,7 +1299,10 @@ mod tests {
             let e = ctx.eq(base, v);
             ctx.assert(e);
             assert_eq!(ctx.check(), CheckResult::Sat);
-            assert_eq!(ctx.model().unwrap().eval_bv(base), Some(u128::from(k) * 0x100));
+            assert_eq!(
+                ctx.model().unwrap().eval_bv(base),
+                Some(u128::from(k) * 0x100)
+            );
             ctx.pop();
         }
         let bad = ctx.bv_const(0x2000, 32);

@@ -180,7 +180,11 @@ impl TermPool {
             }
             And(xs) | Or(xs) => {
                 out.push('(');
-                out.push_str(if matches!(self.get(t), And(_)) { "and" } else { "or" });
+                out.push_str(if matches!(self.get(t), And(_)) {
+                    "and"
+                } else {
+                    "or"
+                });
                 for x in xs {
                     out.push(' ');
                     self.display(x, out);
@@ -200,7 +204,10 @@ impl TermPool {
                 out.push(')');
             }
             BvConst { width, value } => {
-                out.push_str(&format!("#x{value:0>width$x}", width = (width as usize).div_ceil(4)));
+                out.push_str(&format!(
+                    "#x{value:0>width$x}",
+                    width = (width as usize).div_ceil(4)
+                ));
             }
             BvAdd(a, b) => bin(self, out, "bvadd", a, b),
             BvSub(a, b) => bin(self, out, "bvsub", a, b),

@@ -95,7 +95,7 @@ proptest! {
         let t_not = ctx.bv_not(xv);
         let ok_and = {
             let e = ctx.bv_const(u128::from(mask(x, w) & mask(y, w)), w);
-            
+
             ctx.eq(t_and, e)
         };
         let ok_or = {

@@ -60,9 +60,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let semantic = SemanticChecker::new().check_tree(&tree)?;
     println!(
         "llhsc semantic check:       {} ({} collision{})",
-        if semantic.is_ok() { "accepts" } else { "REJECTS" },
+        if semantic.is_ok() {
+            "accepts"
+        } else {
+            "REJECTS"
+        },
         semantic.collisions.len(),
-        if semantic.collisions.len() == 1 { "" } else { "s" },
+        if semantic.collisions.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
     );
     for c in &semantic.collisions {
         println!("\n  {c}");

@@ -69,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\ngood board: {} rules checked, {}",
         report.rules_checked,
-        if report.is_ok() { "all satisfied" } else { "violations!" }
+        if report.is_ok() {
+            "all satisfied"
+        } else {
+            "violations!"
+        }
     );
 
     let bad = llhsc_dts::parse(BAD_BOARD)?;

@@ -52,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = |id| model.name(id).to_string();
     println!(
         "false-optional features: {:?}",
-        an.false_optional().into_iter().map(name).collect::<Vec<_>>()
+        an.false_optional()
+            .into_iter()
+            .map(name)
+            .collect::<Vec<_>>()
     );
     let name = |id| model.name(id).to_string();
     println!(

@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let veth1 = model.by_name("veth1").expect("feature exists");
     let part = multi.complete(&[vec![veth0], vec![veth1]])?;
     for (i, vm) in part.vms.iter().enumerate() {
-        println!("vm{} completed product: {}", i + 1, multi.product_names(vm).join(", "));
+        println!(
+            "vm{} completed product: {}",
+            i + 1,
+            multi.product_names(vm).join(", ")
+        );
     }
     println!(
         "platform (union):      {}\n",

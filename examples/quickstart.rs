@@ -69,7 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    with) and round-trip it.
     let blob = llhsc_dts::fdt::encode(&tree);
     let back = llhsc_dts::fdt::decode(&blob)?;
-    println!("FDT blob: {} bytes, decodes to {} nodes", blob.len(), back.size());
+    println!(
+        "FDT blob: {} bytes, decodes to {} nodes",
+        blob.len(),
+        back.size()
+    );
 
     // 5. Print the canonical source form.
     println!("\n{}", llhsc_dts::print(&tree));

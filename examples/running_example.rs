@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== CustomSBC feature model (Fig. 1a) ===\n{model}");
 
     let mut analyzer = Analyzer::new(&model);
-    println!("valid products: {} (the paper reports 12)\n", analyzer.count_products());
+    println!(
+        "valid products: {} (the paper reports 12)\n",
+        analyzer.count_products()
+    );
 
     // The two VM configurations of Fig. 1b / Fig. 1c.
     let input = running_example::pipeline_input();
@@ -31,8 +34,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== vm1 DTS (Fig. 1b product) ===\n{}", out.vm_dts[0]);
     println!("=== vm2 DTS (Fig. 1c product) ===\n{}", out.vm_dts[1]);
     println!("=== platform DTS (union) ===\n{}", out.platform_dts);
-    println!("=== Bao platform configuration (Listing 3) ===\n{}", out.platform_c);
-    println!("=== Bao vm1 configuration (Listing 6 shape) ===\n{}", out.vm_c[0]);
-    println!("=== Bao vm2 configuration (Listing 6 shape) ===\n{}", out.vm_c[1]);
+    println!(
+        "=== Bao platform configuration (Listing 3) ===\n{}",
+        out.platform_c
+    );
+    println!(
+        "=== Bao vm1 configuration (Listing 6 shape) ===\n{}",
+        out.vm_c[0]
+    );
+    println!(
+        "=== Bao vm2 configuration (Listing 6 shape) ===\n{}",
+        out.vm_c[1]
+    );
     Ok(())
 }

@@ -2,8 +2,8 @@
 //! feature configurations to checked DTSs and hypervisor configuration
 //! files, including failure paths with delta provenance.
 
-use llhsc::{Pipeline, Severity, Stage, VmSpec};
 use llhsc::running_example;
+use llhsc::{Pipeline, Severity, Stage, VmSpec};
 
 #[test]
 fn happy_path_produces_all_artifacts() {

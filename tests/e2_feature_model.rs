@@ -140,7 +140,16 @@ fn invalid_selection_explained() {
     let mut an = Analyzer::new(&model);
     let sel = ids(
         &model,
-        &["CustomSBC", "memory", "cpus", "cpu@1", "uarts", "uart@20000000", "vEthernet", "veth0"],
+        &[
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@1",
+            "uarts",
+            "uart@20000000",
+            "vEthernet",
+            "veth0",
+        ],
     );
     assert!(!an.is_valid(&sel));
     let why = an.explain_invalid(&sel);

@@ -16,23 +16,45 @@ fn fig1_products_partition() {
     let vm1 = ids(
         &model,
         &[
-            "CustomSBC", "memory", "cpus", "cpu@0", "uarts",
-            "uart@20000000", "uart@30000000", "vEthernet", "veth0",
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@0",
+            "uarts",
+            "uart@20000000",
+            "uart@30000000",
+            "vEthernet",
+            "veth0",
         ],
     );
     let vm2 = ids(
         &model,
         &[
-            "CustomSBC", "memory", "cpus", "cpu@1", "uarts",
-            "uart@20000000", "uart@30000000", "vEthernet", "veth1",
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@1",
+            "uarts",
+            "uart@20000000",
+            "uart@30000000",
+            "vEthernet",
+            "veth1",
         ],
     );
-    let part = mm.validate(&[vm1, vm2]).expect("Fig. 1 partitioning is valid");
+    let part = mm
+        .validate(&[vm1, vm2])
+        .expect("Fig. 1 partitioning is valid");
     // "the platform DTS is the union of selected features in both
     // products" (§III-A).
     let names = mm.product_names(&part.platform);
     for expected in [
-        "cpu@0", "cpu@1", "veth0", "veth1", "memory", "uart@20000000", "uart@30000000",
+        "cpu@0",
+        "cpu@1",
+        "veth0",
+        "veth1",
+        "memory",
+        "uart@20000000",
+        "uart@30000000",
     ] {
         assert!(names.contains(&expected.to_string()), "{expected} missing");
     }
@@ -44,7 +66,14 @@ fn same_cpu_for_both_vms_is_unsatisfiable() {
     let mut mm = MultiModel::new(&model, 2);
     let vm = ids(
         &model,
-        &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+        &[
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@0",
+            "uarts",
+            "uart@20000000",
+        ],
     );
     let err = mm.validate(&[vm.clone(), vm]).unwrap_err();
     assert!(matches!(err, AllocationError::Unsatisfiable(_)));
@@ -67,8 +96,12 @@ fn cpu_assignment_is_automatic() {
     let v0 = ids(&model, &["veth0"]);
     let v1 = ids(&model, &["veth1"]);
     let part = mm.complete(&[v0, v1]).expect("completable");
-    assert!(mm.product_names(&part.vms[0]).contains(&"cpu@0".to_string()));
-    assert!(mm.product_names(&part.vms[1]).contains(&"cpu@1".to_string()));
+    assert!(mm
+        .product_names(&part.vms[0])
+        .contains(&"cpu@0".to_string()));
+    assert!(mm
+        .product_names(&part.vms[1])
+        .contains(&"cpu@1".to_string()));
 }
 
 #[test]
@@ -81,7 +114,14 @@ fn ablation_without_exclusivity() {
     let mut mm = MultiModel::new(&model, 2);
     let vm = ids(
         &model,
-        &["CustomSBC", "memory", "cpus", "cpu@0", "uarts", "uart@20000000"],
+        &[
+            "CustomSBC",
+            "memory",
+            "cpus",
+            "cpu@0",
+            "uarts",
+            "uart@20000000",
+        ],
     );
     assert!(mm.validate(&[vm.clone(), vm]).is_ok());
 }
@@ -93,7 +133,9 @@ fn shared_memory_is_not_exclusive() {
     let model = running_example::feature_model();
     let mut mm = MultiModel::new(&model, 2);
     let mem = ids(&model, &["memory"]);
-    let part = mm.complete(&[mem.clone(), mem]).expect("both VMs get memory");
+    let part = mm
+        .complete(&[mem.clone(), mem])
+        .expect("both VMs get memory");
     for vm in &part.vms {
         assert!(mm.product_names(vm).contains(&"memory".to_string()));
     }

@@ -31,13 +31,19 @@ fn project<'a>(order: &'a [String], of: &[&str]) -> Vec<&'a str> {
 #[test]
 fn vm1_order_projected_is_d3_d4_then_veth_delta() {
     let order = order_of(&["memory", "veth0", "uart@20000000", "uart@30000000", "cpu@0"]);
-    assert_eq!(project(&order, &["d1", "d2", "d3", "d4"]), vec!["d3", "d4", "d1"]);
+    assert_eq!(
+        project(&order, &["d1", "d2", "d3", "d4"]),
+        vec!["d3", "d4", "d1"]
+    );
 }
 
 #[test]
 fn vm2_order_projected_is_d3_d4_then_veth_delta() {
     let order = order_of(&["memory", "veth1", "uart@20000000", "uart@30000000", "cpu@1"]);
-    assert_eq!(project(&order, &["d1", "d2", "d3", "d4"]), vec!["d3", "d4", "d2"]);
+    assert_eq!(
+        project(&order, &["d1", "d2", "d3", "d4"]),
+        vec!["d3", "d4", "d2"]
+    );
 }
 
 #[test]

@@ -51,10 +51,7 @@ fn derived_vm_trees_are_syntactically_valid() {
 
 #[test]
 fn missing_required_reg_detected_by_both_checkers() {
-    let tree = llhsc_dts::parse(
-        "/ { memory@40000000 { device_type = \"memory\"; }; };",
-    )
-    .unwrap();
+    let tree = llhsc_dts::parse("/ { memory@40000000 { device_type = \"memory\"; }; };").unwrap();
     let schemas = running_example::schemas();
     let structural = check_structural(&tree, &schemas);
     assert_eq!(structural.len(), 1);

@@ -1,102 +1,20 @@
 //! Beyond the paper's 2-CPU example: a synthetic quad-core SBC with
 //! four VMs, exercising the pipeline's generality (the paper claims
 //! the approach works "without sacrificing its generality", §Abstract).
+//!
+//! The board itself lives in `llhsc::quadcore`, shared with the
+//! service end-to-end tests.
 
-use llhsc::{Pipeline, PipelineInput, VmSpec};
-use llhsc_delta::DeltaModule;
+use llhsc::quadcore::{input, vm, MODEL};
+use llhsc::{Pipeline, VmSpec};
 use llhsc_fm::{parse_model, MultiModel};
-use llhsc_schema::SchemaSet;
-
-fn core_dts() -> llhsc_dts::DeviceTree {
-    let mut src = String::from(
-        r#"
-/dts-v1/;
-/ {
-    #address-cells = <1>;
-    #size-cells = <1>;
-    memory@80000000 {
-        device_type = "memory";
-        reg = <0x80000000 0x40000000>;
-    };
-    cpus {
-        #address-cells = <1>;
-        #size-cells = <0>;
-"#,
-    );
-    for i in 0..4 {
-        src.push_str(&format!(
-            "        cpu@{i} {{ compatible = \"arm,cortex-a72\"; device_type = \"cpu\";\n\
-                       enable-method = \"psci\"; reg = <{i:#x}>; }};\n"
-        ));
-    }
-    src.push_str("    };\n");
-    for i in 0..4 {
-        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
-        src.push_str(&format!(
-            "    uart@{base:x} {{ compatible = \"ns16550a\"; reg = <{base:#x} 0x1000>; }};\n"
-        ));
-    }
-    src.push_str("};\n");
-    llhsc_dts::parse(&src).expect("synthetic core parses")
-}
-
-const MODEL: &str = r#"
-feature QuadSBC {
-    memory
-    cpus xor exclusive {
-        cpu@0?
-        cpu@1?
-        cpu@2?
-        cpu@3?
-    }
-    uarts abstract or {
-        uart@10000000?
-        uart@10001000?
-        uart@10002000?
-        uart@10003000?
-    }
-}
-"#;
-
-fn drop_deltas() -> Vec<DeltaModule> {
-    let mut src = String::new();
-    for i in 0..4 {
-        src.push_str(&format!(
-            "delta drop_cpu{i} when !cpu@{i} {{ removes /cpus/cpu@{i}; }}\n"
-        ));
-        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
-        src.push_str(&format!(
-            "delta drop_uart{i} when !uart@{base:x} {{ removes /uart@{base:x}; }}\n"
-        ));
-    }
-    DeltaModule::parse_all(&src).expect("drop deltas parse")
-}
-
-fn input(vms: Vec<VmSpec>) -> PipelineInput {
-    PipelineInput {
-        core: core_dts(),
-        deltas: drop_deltas(),
-        model: parse_model(MODEL).expect("model parses"),
-        schemas: SchemaSet::standard(),
-        vms,
-    }
-}
-
-fn vm(name: &str, cpu: usize, uart: usize) -> VmSpec {
-    VmSpec {
-        name: name.to_string(),
-        features: vec![
-            "memory".into(),
-            format!("cpu@{cpu}"),
-            format!("uart@{:x}", 0x1000_0000u64 + (uart as u64) * 0x1000),
-        ],
-    }
-}
 
 #[test]
 fn four_vms_partition_the_quadcore() {
-    let vms = (0..4).map(|i| vm(&format!("vm{i}"), i, i)).collect();
-    let out = Pipeline::new().run(&input(vms)).expect("4-way partition works");
+    let vms = llhsc::quadcore::vm_specs();
+    let out = Pipeline::new()
+        .run(&input(vms))
+        .expect("4-way partition works");
     assert_eq!(out.vm_configs.len(), 4);
     // Pairwise disjoint CPU affinities covering the whole cluster.
     let mut union = 0u64;
@@ -122,7 +40,7 @@ fn four_vms_partition_the_quadcore() {
 
 #[test]
 fn fifth_vm_is_rejected() {
-    let mut vms: Vec<VmSpec> = (0..4).map(|i| vm(&format!("vm{i}"), i, i)).collect();
+    let mut vms = llhsc::quadcore::vm_specs();
     vms.push(VmSpec {
         name: "vm4".into(),
         features: vec!["memory".into(), "uart@10000000".into()],
@@ -159,13 +77,19 @@ fn parallel_checking_matches_serial_on_quadcore() {
         parallel: false,
         ..Pipeline::new()
     };
-    let vms: Vec<VmSpec> = (0..4).map(|i| vm(&format!("vm{i}"), i, i)).collect();
-    let s = serial.run(&input(vms.clone())).expect("serial run");
-    let p = Pipeline::new().run(&input(vms)).expect("parallel run");
+    let s = serial
+        .run(&llhsc::quadcore::pipeline_input())
+        .expect("serial run");
+    let p = Pipeline::new()
+        .run(&llhsc::quadcore::pipeline_input())
+        .expect("parallel run");
     assert_eq!(rendered(&s.diagnostics), rendered(&p.diagnostics));
     assert_eq!(s.vm_dts, p.vm_dts);
     assert_eq!(s.platform_dts, p.platform_dts);
-    assert_eq!(s.semantic_stats.pairs_encoded, p.semantic_stats.pairs_encoded);
+    assert_eq!(
+        s.semantic_stats.pairs_encoded,
+        p.semantic_stats.pairs_encoded
+    );
 }
 
 #[test]
