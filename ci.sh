@@ -10,6 +10,13 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Panic-freedom: no unwrap/expect may creep into non-test code of the
+# untrusted-input crates (see tools/unwrap_allowlist.txt), and a bounded
+# fuzz run over all four input surfaces must come back clean
+# (docs/FUZZING.md).
+tools/check_unwraps.sh
+target/release/llhsc-fuzz --iters 20000 --seed 1
+
 # Daemon smoke test: boot llhsc-service on a free port, run one check
 # through a client, require byte-identical output to the local command,
 # then shut it down gracefully.

@@ -551,6 +551,12 @@ impl Pipeline {
                             ),
                         ));
                     }
+                    for r in report.wrapping {
+                        diagnostics.push(Diagnostic::error(
+                            Stage::Semantic,
+                            format!("region wraps past the end of the address space: {r}"),
+                        ));
+                    }
                 }
                 Err(e) => {
                     diagnostics.push(Diagnostic::error(Stage::Semantic, e.to_string()));

@@ -84,14 +84,23 @@ pub struct SemanticReport {
     pub collisions: Vec<Collision>,
     /// Duplicate interrupt lines: `(line, paths sharing it)`.
     pub interrupt_conflicts: Vec<(u32, Vec<String>)>,
+    /// Regions whose `address + size` wraps past the end of the
+    /// address space. Their [`RegEntry::end`] saturates, so the
+    /// disjointness verdict stays meaningful, but a wrapping region is
+    /// a finding in its own right — no real device extends beyond the
+    /// address space.
+    pub wrapping: Vec<RegionRef>,
     /// Number of regions examined.
     pub regions_checked: usize,
 }
 
 impl SemanticReport {
-    /// `true` when no collision or interrupt conflict was found.
+    /// `true` when no collision, interrupt conflict or wrapping region
+    /// was found.
     pub fn is_ok(&self) -> bool {
-        self.collisions.is_empty() && self.interrupt_conflicts.is_empty()
+        self.collisions.is_empty()
+            && self.interrupt_conflicts.is_empty()
+            && self.wrapping.is_empty()
     }
 }
 
@@ -188,10 +197,12 @@ impl SemanticChecker {
         } else {
             Vec::new()
         };
+        let wrapping = refs.iter().filter(|r| r.region.wraps()).cloned().collect();
         Ok((
             SemanticReport {
                 collisions,
                 interrupt_conflicts,
+                wrapping,
                 regions_checked: refs.len(),
             },
             stats,

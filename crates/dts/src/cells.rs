@@ -20,6 +20,11 @@ use crate::tree::{DeviceTree, Node, NodePath};
 pub const DEFAULT_ADDRESS_CELLS: u32 = 2;
 /// Default `#size-cells` when a parent does not specify it.
 pub const DEFAULT_SIZE_CELLS: u32 = 1;
+/// Largest supported `#address-cells`/`#size-cells`. Cells are 32 bits
+/// and addresses fit in `u128`, so four cells is the ceiling; anything
+/// larger would silently truncate in [`take_cells`] — exactly the value
+/// loss this checker exists to catch, so it is an error instead.
+pub const MAX_CELLS: u32 = 4;
 
 /// One `(address, size)` pair decoded from a `reg` property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,9 +41,18 @@ impl RegEntry {
         RegEntry { address, size }
     }
 
-    /// One-past-the-end address (no wrapping — `u128` headroom).
+    /// One-past-the-end address, saturating at `u128::MAX`. A 4-cell
+    /// region near the top of the address space can make `address +
+    /// size` overflow even `u128`; saturating keeps [`RegEntry::overlaps`]
+    /// total, and [`RegEntry::wraps`] reports the wrap as a finding.
     pub fn end(&self) -> u128 {
-        self.address + self.size
+        self.address.saturating_add(self.size)
+    }
+
+    /// `true` when the region wraps past the end of the address space
+    /// (`address + size` overflows `u128`).
+    pub fn wraps(&self) -> bool {
+        self.address.checked_add(self.size).is_none()
     }
 
     /// `true` when two regions share at least one address. Empty
@@ -76,6 +90,28 @@ pub fn cell_counts(parent: &Node) -> (u32, u32) {
     )
 }
 
+/// Like [`cell_counts`], but rejects declarations outside `0..=MAX_CELLS`
+/// with an error naming the declaring node. `#address-cells = <5>` would
+/// make [`take_cells`] drop high bits; `#address-cells = <0xffffffff>`
+/// would overflow the `address_cells + size_cells` stride arithmetic.
+///
+/// # Errors
+///
+/// [`DtsError::BadValue`] naming `path` when either count exceeds
+/// [`MAX_CELLS`].
+pub fn checked_cell_counts(path: &NodePath, parent: &Node) -> Result<(u32, u32), DtsError> {
+    let (ac, sc) = cell_counts(parent);
+    for (name, v) in [("#address-cells", ac), ("#size-cells", sc)] {
+        if v > MAX_CELLS {
+            return Err(DtsError::BadValue {
+                path: path.to_string(),
+                message: format!("{name} = {v} outside supported range 0..={MAX_CELLS}"),
+            });
+        }
+    }
+    Ok((ac, sc))
+}
+
 fn take_cells(cells: &[u32], n: u32) -> u128 {
     let mut v: u128 = 0;
     for &c in &cells[..n as usize] {
@@ -89,15 +125,27 @@ fn take_cells(cells: &[u32], n: u32) -> u128 {
 /// # Errors
 ///
 /// Returns [`DtsError::BadValue`] if `reg` is present but is not a cell
-/// list, contains unresolved references, or its length is not a multiple
+/// list, contains unresolved references, its length is not a multiple
 /// of `address_cells + size_cells` — the arity check `dt-schema`
-/// performs (§IV-B). A missing `reg` yields an empty vector.
+/// performs (§IV-B) — or either cell count exceeds [`MAX_CELLS`]. A
+/// missing `reg` yields an empty vector.
 pub fn decode_reg(
     path: &NodePath,
     node: &Node,
     address_cells: u32,
     size_cells: u32,
 ) -> Result<Vec<RegEntry>, DtsError> {
+    for (name, v) in [
+        ("#address-cells", address_cells),
+        ("#size-cells", size_cells),
+    ] {
+        if v > MAX_CELLS {
+            return Err(DtsError::BadValue {
+                path: path.to_string(),
+                message: format!("{name} = {v} outside supported range 0..={MAX_CELLS}"),
+            });
+        }
+    }
     let Some(prop) = node.prop("reg") else {
         return Ok(Vec::new());
     };
@@ -105,7 +153,7 @@ pub fn decode_reg(
         path: path.to_string(),
         message: "reg must be a cell array of literals".into(),
     })?;
-    let stride = (address_cells + size_cells) as usize;
+    let stride = address_cells as usize + size_cells as usize;
     if stride == 0 {
         return Err(DtsError::BadValue {
             path: path.to_string(),
@@ -162,7 +210,7 @@ pub fn collect_regions(tree: &DeviceTree) -> Result<Vec<DeviceRegions>, DtsError
                 cells: parent_cells,
             });
         }
-        let my_cells = cell_counts(node);
+        let my_cells = checked_cell_counts(&here, node)?;
         for c in &node.children {
             rec(c, &here, my_cells, out)?;
         }
@@ -216,8 +264,16 @@ pub fn decode_ranges(
         path: path.to_string(),
         message: "ranges must be a cell array of literals".into(),
     })?;
-    let (child_ac, child_sc) = cell_counts(node);
-    let stride = (child_ac + parent_address_cells + child_sc) as usize;
+    if parent_address_cells > MAX_CELLS {
+        return Err(DtsError::BadValue {
+            path: path.to_string(),
+            message: format!(
+                "parent #address-cells = {parent_address_cells} outside supported range 0..={MAX_CELLS}"
+            ),
+        });
+    }
+    let (child_ac, child_sc) = checked_cell_counts(path, node)?;
+    let stride = child_ac as usize + parent_address_cells as usize + child_sc as usize;
     if stride == 0 || flat.len() % stride != 0 {
         return Err(DtsError::BadValue {
             path: path.to_string(),
@@ -259,7 +315,10 @@ pub fn translate(address: u128, ranges: &[RangeEntry]) -> Option<u128> {
     }
     for r in ranges {
         if address >= r.child_base && address - r.child_base < r.size {
-            return Some(r.parent_base + (address - r.child_base));
+            // Saturating: a window whose parent side sits at the top of
+            // the address space must not wrap the translated address
+            // back to zero (that would manufacture phantom collisions).
+            return Some(r.parent_base.saturating_add(address - r.child_base));
         }
     }
     None
@@ -338,7 +397,7 @@ pub fn collect_regions_translated(tree: &DeviceTree) -> Result<Vec<DeviceRegions
                 (Xlat::Tables(_), None) => Xlat::Opaque,
             }
         };
-        let my_cells = cell_counts(node);
+        let my_cells = checked_cell_counts(&here, node)?;
         for c in &node.children {
             rec(c, &here, my_cells, &child_xlat, out)?;
         }
@@ -680,5 +739,88 @@ mod tests {
     fn take_cells_concatenates_big_endian() {
         assert_eq!(take_cells(&[0x1, 0x2], 2), 0x1_0000_0002);
         assert_eq!(take_cells(&[0xdead_beef], 1), 0xdead_beef);
+    }
+
+    #[test]
+    fn huge_address_cells_rejected_not_overflowed() {
+        // Regression: `(address_cells + size_cells) as usize` used to
+        // overflow u32 (debug panic) for #address-cells = <0xffffffff>.
+        let t = parse(
+            r#"/ {
+                #address-cells = <0xffffffff>;
+                #size-cells = <1>;
+                dev@0 { reg = <0x0 0x10>; };
+            };"#,
+        )
+        .unwrap();
+        let err = collect_regions(&t).unwrap_err();
+        match &err {
+            DtsError::BadValue { path, message } => {
+                assert_eq!(path, "/");
+                assert!(message.contains("#address-cells"), "{message}");
+                assert!(message.contains("0..=4"), "{message}");
+            }
+            other => panic!("expected BadValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn five_cell_addresses_rejected_not_truncated() {
+        // Regression: take_cells silently dropped the high cell of a
+        // 5-cell address — the truncation class the paper targets.
+        let t = parse(
+            r#"/ {
+                #address-cells = <5>;
+                #size-cells = <1>;
+                dev@0 { reg = <0x1 0x0 0x0 0x0 0x0 0x10>; };
+            };"#,
+        )
+        .unwrap();
+        let err = collect_regions(&t).unwrap_err();
+        assert!(
+            matches!(&err, DtsError::BadValue { path, .. } if path == "/"),
+            "{err:?}"
+        );
+        // Same guard on the direct decode entry point.
+        let t2 = parse("/ { dev@0 { reg = <0x0 0x10>; }; };").unwrap();
+        let node = t2.find("/dev@0").unwrap();
+        let r = decode_reg(&NodePath::root().join("dev@0"), node, 5, 1);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn region_end_saturates_instead_of_wrapping() {
+        // Regression: end() overflowed u128 for 4-cell regions near the
+        // top of the address space (debug panic, bogus overlap in
+        // release).
+        let top = RegEntry::new(u128::MAX - 0xfff, 0x2000);
+        assert_eq!(top.end(), u128::MAX);
+        assert!(top.wraps());
+        let sane = RegEntry::new(0x4000_0000, 0x1000);
+        assert!(!sane.wraps());
+        // overlaps stays total and meaningful against a wrapping region.
+        assert!(top.overlaps(&RegEntry::new(u128::MAX - 1, 1)));
+        assert!(!top.overlaps(&sane));
+    }
+
+    #[test]
+    fn translate_saturates_at_address_space_end() {
+        let table = vec![RangeEntry {
+            child_base: 0x0,
+            parent_base: u128::MAX - 0x10,
+            size: 0x100,
+        }];
+        assert_eq!(translate(0x20, &table), Some(u128::MAX));
+    }
+
+    #[test]
+    fn checked_cell_counts_accepts_spec_range() {
+        for ac in 0..=4u32 {
+            let t = parse(&format!(
+                "/ {{ #address-cells = <{ac}>; #size-cells = <2>; }};"
+            ))
+            .unwrap();
+            assert!(checked_cell_counts(&NodePath::root(), &t.root).is_ok());
+        }
     }
 }

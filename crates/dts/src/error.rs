@@ -90,6 +90,21 @@ pub enum DtsError {
         /// Explanation.
         message: String,
     },
+    /// A byte-string hex run with an odd number of digits (`[ 011 ]`).
+    /// Bytes are two digits each; `dtc` rejects odd runs and so do we.
+    OddByteString {
+        /// Where the run appeared.
+        at: Position,
+        /// The offending run text.
+        text: String,
+    },
+    /// Node nesting beyond the supported limit. Guards the
+    /// recursive-descent parser (and every later tree walk) against
+    /// stack exhaustion on adversarial input.
+    TooDeep {
+        /// Where the limit was exceeded.
+        at: Position,
+    },
 }
 
 impl fmt::Display for DtsError {
@@ -123,6 +138,15 @@ impl fmt::Display for DtsError {
             DtsError::NoSuchNode { path } => write!(f, "no node at path {path:?}"),
             DtsError::BadValue { path, message } => {
                 write!(f, "{path}: {message}")
+            }
+            DtsError::OddByteString { at, text } => {
+                write!(
+                    f,
+                    "{at}: byte string run {text:?} has an odd number of hex digits"
+                )
+            }
+            DtsError::TooDeep { at } => {
+                write!(f, "{at}: node nesting too deep")
             }
         }
     }

@@ -200,11 +200,7 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, FdtError> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + 4)
-            .ok_or(FdtError::Truncated)?;
-        self.pos += 4;
+        let b = self.bytes(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
@@ -231,11 +227,11 @@ impl<'a> Reader<'a> {
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], FdtError> {
-        let b = self
-            .data
-            .get(self.pos..self.pos + n)
-            .ok_or(FdtError::Truncated)?;
-        self.pos += n;
+        // checked_add: `pos` and `n` both derive from untrusted header
+        // words, so the sum must not be allowed to wrap.
+        let end = self.pos.checked_add(n).ok_or(FdtError::Truncated)?;
+        let b = self.data.get(self.pos..end).ok_or(FdtError::Truncated)?;
+        self.pos = end;
         Ok(b)
     }
 }
@@ -302,6 +298,12 @@ pub fn decode(blob: &[u8]) -> Result<DeviceTree, FdtError> {
         let token = sr.u32()?;
         match token {
             FDT_BEGIN_NODE => {
+                // Same ceiling as the DTS parser: decoded trees feed
+                // the same recursive printers and walkers, so a blob
+                // must not smuggle in nesting the text path rejects.
+                if stack.len() >= crate::parser::MAX_NODE_DEPTH {
+                    return Err(FdtError::Malformed("node nesting too deep"));
+                }
                 let name = sr.cstr()?;
                 sr.align4();
                 stack.push(Node::new(&name));
@@ -577,6 +579,42 @@ mod tests {
         assert_eq!(
             typed.find("/x").unwrap().prop("blob").unwrap().values,
             vec![PropValue::Bytes(vec![1, 2, 3])]
+        );
+    }
+
+    #[test]
+    fn deeply_nested_blob_rejected() {
+        // A structure block of nothing but BEGIN_NODE tokens must hit
+        // the depth ceiling, not exhaust the stack in a later walk.
+        let mut structure: Vec<u8> = Vec::new();
+        for _ in 0..(crate::parser::MAX_NODE_DEPTH + 8) {
+            structure.extend_from_slice(&FDT_BEGIN_NODE.to_be_bytes());
+            structure.extend_from_slice(b"n\0\0\0");
+        }
+        let mut rsvmap = Vec::new();
+        rsvmap.extend_from_slice(&[0u8; 16]);
+        let off_struct = 40 + rsvmap.len() as u32;
+        let off_strings = off_struct + structure.len() as u32;
+        let mut blob = Vec::new();
+        for word in [
+            FDT_MAGIC,
+            off_strings,
+            off_struct,
+            off_strings,
+            40,
+            FDT_VERSION,
+            FDT_LAST_COMP_VERSION,
+            0,
+            0,
+            structure.len() as u32,
+        ] {
+            blob.extend_from_slice(&word.to_be_bytes());
+        }
+        blob.extend_from_slice(&rsvmap);
+        blob.extend_from_slice(&structure);
+        assert_eq!(
+            decode(&blob),
+            Err(FdtError::Malformed("node nesting too deep"))
         );
     }
 

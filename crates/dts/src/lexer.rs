@@ -31,6 +31,10 @@ pub(crate) enum TokenKind {
     Str(String),
     /// An integer literal inside a cell list.
     Num(u64),
+    /// A bare run of hex digits inside `[ … ]`, kept verbatim so the
+    /// parser sees the full lexeme width (`[ 0011 ]` is two bytes, not
+    /// the number 0x11).
+    HexRun(String),
     /// `label:` — the ident plus the colon.
     Label(String),
     LBrace,
@@ -59,6 +63,7 @@ impl TokenKind {
             TokenKind::Ref(s) => format!("reference &{s}"),
             TokenKind::Str(s) => format!("string {s:?}"),
             TokenKind::Num(n) => format!("number {n:#x}"),
+            TokenKind::HexRun(s) => format!("byte string run {s:?}"),
             TokenKind::Label(s) => format!("label {s}:"),
             TokenKind::LBrace => "'{'".into(),
             TokenKind::RBrace => "'}'".into(),
@@ -168,6 +173,41 @@ impl<'a> Lexer<'a> {
         }
     }
 
+    /// Consumes the continuation bytes of a UTF-8 scalar whose lead byte
+    /// `first` was already bumped, and appends the decoded character.
+    /// The source is a `&str`, so well-formed continuations are always
+    /// present; a truncated or malformed sequence becomes an error, not
+    /// a panic.
+    fn push_scalar(&mut self, first: u8, out: &mut String, at: Position) -> Result<(), DtsError> {
+        if first < 0x80 {
+            out.push(first as char);
+            return Ok(());
+        }
+        let width = match first {
+            0xc0..=0xdf => 2,
+            0xe0..=0xef => 3,
+            0xf0..=0xf7 => 4,
+            _ => 1,
+        };
+        let mut buf = [first, 0, 0, 0];
+        for slot in buf.iter_mut().take(width).skip(1) {
+            match self.bump() {
+                Some(b) => *slot = b,
+                None => return Err(DtsError::Unterminated { at, what: "string" }),
+            }
+        }
+        match std::str::from_utf8(&buf[..width]) {
+            Ok(s) => {
+                out.push_str(s);
+                Ok(())
+            }
+            Err(_) => Err(DtsError::Lex {
+                at,
+                found: char::REPLACEMENT_CHARACTER,
+            }),
+        }
+    }
+
     fn lex_string(&mut self) -> Result<TokenKind, DtsError> {
         let at = self.here();
         self.bump(); // opening quote
@@ -181,10 +221,10 @@ impl<'a> Lexer<'a> {
                     Some(b't') => out.push('\t'),
                     Some(b'r') => out.push('\r'),
                     Some(b'0') => out.push('\0'),
-                    Some(c) => out.push(c as char),
+                    Some(c) => self.push_scalar(c, &mut out, at)?,
                     None => return Err(DtsError::Unterminated { at, what: "string" }),
                 },
-                Some(c) => out.push(c as char),
+                Some(c) => self.push_scalar(c, &mut out, at)?,
             }
         }
     }
@@ -199,19 +239,25 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("ascii input")
-            .to_string();
+        // `is_name_char` only accepts ASCII, so this cannot allocate
+        // mojibake; build the string byte-by-byte instead of trusting a
+        // `from_utf8().expect()`.
+        let text: String = self.src[start..self.pos]
+            .iter()
+            .map(|&b| b as char)
+            .collect();
+        // Inside byte strings every bare token is a raw hex-digit run;
+        // keep the lexeme verbatim so leading zero bytes survive.
+        if self.hex_mode {
+            if !text.is_empty() && text.bytes().all(|c| c.is_ascii_hexdigit()) {
+                return Ok(TokenKind::HexRun(text));
+            }
+            return Err(DtsError::BadNumber { at, text });
+        }
         // A label is a plain identifier immediately followed by ':'.
         if self.peek() == Some(b':') && !text.is_empty() && !text.contains('@') {
             self.bump();
             return Ok(TokenKind::Label(text));
-        }
-        // Inside byte strings every bare token is hexadecimal.
-        if self.hex_mode {
-            return u64::from_str_radix(&text, 16)
-                .map(TokenKind::Num)
-                .map_err(|_| DtsError::BadNumber { at, text });
         }
         // Numbers: 0x…, or all-decimal digits.
         if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
@@ -287,9 +333,10 @@ impl<'a> Lexer<'a> {
                         break;
                     }
                 }
-                let name = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii input")
-                    .to_string();
+                let name: String = self.src[start..self.pos]
+                    .iter()
+                    .map(|&b| b as char)
+                    .collect();
                 if name.is_empty() {
                     return Err(DtsError::Lex { at, found: '&' });
                 }
@@ -475,6 +522,27 @@ mod tests {
         use TokenKind::*;
         let k = kinds("[ 12 34 ]");
         assert_eq!(k[0], LBracket);
+        assert_eq!(k[1], HexRun("12".into()));
+        assert_eq!(k[2], HexRun("34".into()));
         assert_eq!(k[3], RBracket);
+    }
+
+    #[test]
+    fn hex_runs_keep_lexeme_width() {
+        // `[ 0011 ]` is the two bytes 0x00 0x11 — the leading zeros are
+        // significant and must survive lexing.
+        let k = kinds("[ 0011 ]");
+        assert_eq!(k[1], TokenKind::HexRun("0011".into()));
+    }
+
+    #[test]
+    fn non_hex_in_byte_string_errors() {
+        let r = Lexer::new("[ 0xzz ]").tokenize();
+        assert!(matches!(r, Err(DtsError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn multibyte_strings_survive() {
+        assert_eq!(kinds("\"µ-ctrl\"")[0], TokenKind::Str("µ-ctrl".into()));
     }
 }

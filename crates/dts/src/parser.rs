@@ -53,6 +53,13 @@ impl FileProvider for NoIncludes {
 /// Maximum `/include/` nesting before assuming a cycle.
 const MAX_INCLUDE_DEPTH: usize = 32;
 
+/// Maximum node-body nesting. Real trees are a handful of levels deep;
+/// the cap keeps the recursive-descent parser (and every recursive
+/// consumer of the resulting tree: printer, FDT encoder, walkers) clear
+/// of stack exhaustion on adversarial input. Stack overflow aborts the
+/// process and cannot be caught, so this must be an explicit check.
+pub(crate) const MAX_NODE_DEPTH: usize = 128;
+
 /// Parses a standalone DTS document (no `/include/` support).
 ///
 /// # Errors
@@ -125,11 +132,17 @@ fn tokenize_with_includes(
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current node-body nesting, checked against [`MAX_NODE_DEPTH`].
+    depth: usize,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Parser {
-        Parser { tokens, pos: 0 }
+        Parser {
+            tokens,
+            pos: 0,
+            depth: 0,
+        }
     }
 
     fn peek(&self) -> &Token {
@@ -203,7 +216,11 @@ impl Parser {
                     let path = tree
                         .resolve_label(&label)
                         .ok_or(DtsError::UnknownLabel { label })?;
-                    let target = tree.find_path_mut(&path).expect("label path resolves");
+                    let target = tree
+                        .find_path_mut(&path)
+                        .ok_or_else(|| DtsError::NoSuchNode {
+                            path: path.to_string(),
+                        })?;
                     let mut patch = body;
                     patch.name = target.name.clone();
                     target.merge(patch);
@@ -222,12 +239,17 @@ impl Parser {
     /// The leading name/labels are consumed by the caller; `name` is the
     /// node's name.
     fn parse_node_body(&mut self, name: &str) -> Result<Node, DtsError> {
-        self.expect(&TokenKind::LBrace, "'{'")?;
+        let open = self.expect(&TokenKind::LBrace, "'{'")?;
+        self.depth += 1;
+        if self.depth > MAX_NODE_DEPTH {
+            return Err(DtsError::TooDeep { at: open.at });
+        }
         let mut node = Node::new(name);
         loop {
             match self.peek().kind.clone() {
                 TokenKind::RBrace => {
                     self.bump();
+                    self.depth -= 1;
                     return Ok(node);
                 }
                 TokenKind::DeleteNode => {
@@ -350,18 +372,19 @@ impl Parser {
                     let t = self.bump();
                     match t.kind {
                         TokenKind::RBracket => return Ok(PropValue::Bytes(bytes)),
-                        TokenKind::Num(n) => {
-                            // Tokens inside [] are hex; a run like `1234`
-                            // denotes the bytes 0x12 0x34.
-                            let digits = format!("{n:x}");
-                            let digits = if digits.len() % 2 == 1 {
-                                format!("0{digits}")
-                            } else {
-                                digits
-                            };
-                            for pair in digits.as_bytes().chunks(2) {
-                                let s = std::str::from_utf8(pair).expect("hex digits");
-                                bytes.push(u8::from_str_radix(s, 16).expect("hex digits"));
+                        TokenKind::HexRun(run) => {
+                            // Tokens inside [] are raw hex-digit runs;
+                            // `1234` denotes the bytes 0x12 0x34, and
+                            // `0011` keeps its leading zero byte. Odd
+                            // runs are ambiguous — reject them like dtc.
+                            if run.len() % 2 == 1 {
+                                return Err(DtsError::OddByteString {
+                                    at: t.at,
+                                    text: run,
+                                });
+                            }
+                            for pair in run.as_bytes().chunks(2) {
+                                bytes.push(hex_pair(pair[0], pair[1]));
                             }
                         }
                         _ => return Err(Parser::unexpected(&t, "hex byte or ']'")),
@@ -379,6 +402,19 @@ impl Parser {
 #[allow(dead_code)]
 fn position_of(t: &Token) -> Position {
     t.at
+}
+
+/// Converts one hex-digit pair to its byte. The lexer guarantees both
+/// inputs are ASCII hex digits, so the fallback arms are unreachable —
+/// they exist to keep this a total function with no panic path.
+fn hex_pair(hi: u8, lo: u8) -> u8 {
+    let digit = |c: u8| match c {
+        b'0'..=b'9' => c - b'0',
+        b'a'..=b'f' => c - b'a' + 10,
+        b'A'..=b'F' => c - b'A' + 10,
+        _ => 0,
+    };
+    (digit(hi) << 4) | digit(lo)
 }
 
 #[cfg(test)]
@@ -453,6 +489,43 @@ mod tests {
             t.root.prop("mac").unwrap().values[0],
             PropValue::Bytes(vec![0xde, 0xad, 0xbe, 0xef, 0x12, 0x34])
         );
+    }
+
+    #[test]
+    fn byte_string_keeps_leading_zero_bytes() {
+        // Regression: `[ 0011 ]` used to lex as the number 0x11 and
+        // re-derive digits via format!, dropping the 0x00 byte.
+        let t = parse("/ { mac = [ 0011 ]; };").unwrap();
+        assert_eq!(
+            t.root.prop("mac").unwrap().values[0],
+            PropValue::Bytes(vec![0x00, 0x11])
+        );
+        let t = parse("/ { mac = [ 00 00 00 01 ]; };").unwrap();
+        assert_eq!(
+            t.root.prop("mac").unwrap().values[0],
+            PropValue::Bytes(vec![0x00, 0x00, 0x00, 0x01])
+        );
+    }
+
+    #[test]
+    fn odd_byte_string_run_rejected() {
+        let r = parse("/ { mac = [ 011 ]; };");
+        assert!(matches!(r, Err(DtsError::OddByteString { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let depth = MAX_NODE_DEPTH + 8;
+        let mut src = String::from("/ { ");
+        for i in 0..depth {
+            src.push_str(&format!("n{i} {{ "));
+        }
+        for _ in 0..depth {
+            src.push_str("}; ");
+        }
+        src.push_str("};");
+        let r = parse(&src);
+        assert!(matches!(r, Err(DtsError::TooDeep { .. })), "{r:?}");
     }
 
     #[test]

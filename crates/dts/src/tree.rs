@@ -277,11 +277,14 @@ impl Node {
 
     /// Gets or creates a direct child with the exact given name.
     pub fn ensure_child(&mut self, name: &str) -> &mut Node {
-        if let Some(i) = self.children.iter().position(|c| c.name == name) {
-            return &mut self.children[i];
-        }
-        self.children.push(Node::new(name));
-        self.children.last_mut().expect("just pushed")
+        let i = match self.children.iter().position(|c| c.name == name) {
+            Some(i) => i,
+            None => {
+                self.children.push(Node::new(name));
+                self.children.len() - 1
+            }
+        };
+        &mut self.children[i]
     }
 
     /// Removes a direct child by name; returns it if present.
@@ -474,7 +477,13 @@ impl DeviceTree {
                 message: "cannot remove the root node".into(),
             });
         };
-        let parent = parsed.parent().expect("non-root has a parent");
+        // A path with a leaf always has a parent, but spell the
+        // fallback out rather than panic on a future invariant slip.
+        let Some(parent) = parsed.parent() else {
+            return Err(DtsError::NoSuchNode {
+                path: path.to_string(),
+            });
+        };
         let parent_node = self
             .find_path_mut(&parent)
             .ok_or_else(|| DtsError::NoSuchNode {

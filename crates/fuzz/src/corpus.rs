@@ -1,0 +1,67 @@
+//! Embedded seed corpus: one small, well-formed document per input
+//! format. Mutations start from these (or from freshly generated
+//! documents) so the fuzzer spends its budget past the first token
+//! instead of rediscovering the grammar from noise.
+
+/// Well-formed DTS sources covering the constructs the parser knows:
+/// unit addresses, labels, references, cell arrays, strings, byte
+/// strings, deletes.
+pub const DTS_SEEDS: &[&str] = &[
+    "/dts-v1/;\n/ {\n};\n",
+    "/dts-v1/;\n/ {\n    #address-cells = <2>;\n    #size-cells = <2>;\n    \
+     memory@40000000 {\n        device_type = \"memory\";\n        \
+     reg = <0x0 0x40000000 0x0 0x20000000>;\n    };\n};\n",
+    "/ {\n    uart0: uart@9000000 {\n        compatible = \"arm,pl011\", \"arm,primecell\";\n        \
+     reg = <0x0 0x9000000 0x0 0x1000>;\n        interrupts = <0 1 4>;\n    };\n    \
+     aliases {\n        serial0 = &uart0;\n    };\n};\n",
+    "/ {\n    chip {\n        e: eeprom@50 {\n        mac = [ 00 11 22 33 44 55 ];\n        \
+     local-mac-address = [ 0011 2233 4455 ];\n        };\n    };\n};\n&e { status = \"okay\"; };\n",
+    "/ {\n    cpus {\n        #address-cells = <1>;\n        #size-cells = <0>;\n        \
+     cpu@0 { device_type = \"cpu\"; reg = <0>; };\n        \
+     cpu@1 { device_type = \"cpu\"; reg = <1>; };\n    };\n};\n",
+];
+
+/// Well-formed JSON documents shaped like the service protocol.
+pub const JSON_SEEDS: &[&str] = &[
+    "{\"op\":\"ping\"}",
+    "{\"op\":\"check\",\"dts\":\"/ { };\\n\"}",
+    "{\"ok\":true,\"clean\":false,\"input_error\":false,\"stdout\":\"checked: 3 regions\\n\",\
+     \"stderr\":\"\",\"cached\":true}",
+    "{\"op\":\"build\",\"core\":\"/ { };\",\"deltas\":\"\",\"model\":\"feature A { }\",\
+     \"vms\":[{\"name\":\"vm1\",\"features\":[\"a\",\"b\"]}],\"schemas\":[]}",
+    "[null,true,false,0,-1,42,\"\\u00b5\",[],{},{\"k\":[1,2,3]}]",
+];
+
+/// Well-formed DIMACS CNF documents.
+pub const DIMACS_SEEDS: &[&str] = &[
+    "p cnf 3 2\n1 -2 0\n3 0\n",
+    "c comment\n\np cnf 4 3\n1 2\n-3 0\n4 0\n-1 -4 0\n",
+    "p cnf 1 0\n",
+    "% percent comment\np cnf 2 2\n1 2 0\n-1 -2 0\n",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dts_seeds_parse() {
+        for s in DTS_SEEDS {
+            llhsc_dts::parse(s).unwrap_or_else(|e| panic!("seed {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn json_seeds_parse() {
+        for s in JSON_SEEDS {
+            llhsc_service::Json::parse(s).unwrap_or_else(|e| panic!("seed {s:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dimacs_seeds_parse() {
+        for s in DIMACS_SEEDS {
+            llhsc_sat::parse_dimacs(s.as_bytes()).unwrap_or_else(|e| panic!("seed {s:?}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Grammar-directed input generators.
+//!
+//! Pure byte mutation rarely gets past a parser's first error; these
+//! generators build structurally plausible documents (balanced braces,
+//! valid-ish tokens) so the deeper layers — value decoding, tree
+//! merging, cell interpretation — see traffic too. They are allowed to
+//! emit invalid documents; the drivers only require totality, not
+//! acceptance.
+
+use crate::rng::Rng;
+
+fn ident(rng: &mut Rng, out: &mut String) {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-_,.#";
+    out.push(*rng.pick(FIRST) as char);
+    for _ in 0..rng.below(8) {
+        out.push(*rng.pick(REST) as char);
+    }
+}
+
+fn dts_value(rng: &mut Rng, out: &mut String) {
+    match rng.below(5) {
+        0 => {
+            out.push('<');
+            for _ in 0..rng.below(6) {
+                match rng.below(4) {
+                    0 => out.push_str(&format!("0x{:x} ", rng.u32())),
+                    1 => out.push_str(&format!("{} ", rng.below(4096))),
+                    2 => out.push_str("&lbl "),
+                    _ => out.push_str(&format!("0x{:x} ", rng.next_u64())),
+                }
+            }
+            out.push('>');
+        }
+        1 => {
+            out.push('"');
+            for _ in 0..rng.below(10) {
+                let c = rng.byte();
+                match c {
+                    b'"' | b'\\' => out.push('_'),
+                    0x20..=0x7e => out.push(c as char),
+                    _ => out.push('µ'),
+                }
+            }
+            out.push('"');
+        }
+        2 => {
+            out.push('[');
+            for _ in 0..rng.below(5) {
+                // Odd-length and zero-leading runs on purpose.
+                let width = 1 + rng.below(4);
+                out.push(' ');
+                for _ in 0..width {
+                    out.push(*rng.pick(b"0123456789abcdefABCDEF") as char);
+                }
+            }
+            out.push_str(" ]");
+        }
+        3 => out.push_str("&lbl"),
+        _ => {
+            dts_value(rng, out);
+            out.push_str(", ");
+            out.push('"');
+            out.push('x');
+            out.push('"');
+        }
+    }
+}
+
+fn dts_node(rng: &mut Rng, depth: usize, out: &mut String) {
+    ident(rng, out);
+    if rng.chance(1, 3) {
+        out.push_str(&format!("@{:x}", rng.u32()));
+    }
+    out.push_str(" {\n");
+    for _ in 0..rng.below(4) {
+        match rng.below(6) {
+            0 if depth < 6 => dts_node(rng, depth + 1, out),
+            1 => {
+                out.push_str("#address-cells = <");
+                out.push_str(&format!("{}", rng.below(7)));
+                out.push_str(">;\n");
+            }
+            2 => {
+                ident(rng, out);
+                out.push_str(";\n");
+            }
+            _ => {
+                ident(rng, out);
+                out.push_str(" = ");
+                dts_value(rng, out);
+                out.push_str(";\n");
+            }
+        }
+    }
+    out.push_str("};\n");
+}
+
+/// A structurally plausible (not necessarily valid) DTS document.
+pub fn dts(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    if rng.chance(2, 3) {
+        out.push_str("/dts-v1/;\n");
+    }
+    out.push_str("/ {\n");
+    if rng.chance(1, 2) {
+        out.push_str("lbl: marker { };\n");
+    }
+    for _ in 0..rng.below(4) {
+        dts_node(rng, 0, &mut out);
+    }
+    out.push_str("};\n");
+    if rng.chance(1, 4) {
+        out.push_str("&lbl { extended; };\n");
+    }
+    out
+}
+
+fn json_value(rng: &mut Rng, depth: usize, out: &mut String) {
+    match rng.below(if depth < 8 { 7 } else { 5 }) {
+        0 => out.push_str("null"),
+        1 => out.push_str(if rng.chance(1, 2) { "true" } else { "false" }),
+        2 => out.push_str(&format!("{}", rng.next_u64() as i64)),
+        3 => out.push_str(&format!("{}.{}e{}", rng.below(100), rng.below(100), {
+            rng.below(20) as i64 - 10
+        })),
+        4 => {
+            out.push('"');
+            for _ in 0..rng.below(8) {
+                match rng.below(5) {
+                    0 => out.push_str("\\n"),
+                    1 => out.push_str(&format!("\\u{:04x}", rng.below(0xd7ff))),
+                    2 => out.push('µ'),
+                    _ => out.push(*rng.pick(b"abc 09_-") as char),
+                }
+            }
+            out.push('"');
+        }
+        5 => {
+            out.push('[');
+            for i in 0..rng.below(4) {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_value(rng, depth + 1, out);
+            }
+            out.push(']');
+        }
+        _ => {
+            out.push('{');
+            for i in 0..rng.below(4) {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                ident(rng, out);
+                out.push_str("\":");
+                json_value(rng, depth + 1, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// A structurally plausible JSON document; occasionally one nested past
+/// the parser's depth limit, which must come back as an error, not a
+/// stack overflow.
+pub fn json(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    if rng.chance(1, 16) {
+        let depth = 60 + rng.below(40);
+        out.push_str(&"[".repeat(depth));
+        out.push('1');
+        out.push_str(&"]".repeat(depth));
+    } else {
+        json_value(rng, 0, &mut out);
+    }
+    out
+}
+
+/// A plausible DIMACS document: usually headed, sometimes lying about
+/// counts, sometimes missing the header or the clause terminator.
+pub fn dimacs(rng: &mut Rng) -> String {
+    let mut out = String::new();
+    let vars = 1 + rng.below(12) as i64;
+    if rng.chance(7, 8) {
+        out.push_str(&format!("p cnf {} {}\n", vars, rng.below(20)));
+    }
+    for _ in 0..rng.below(8) {
+        if rng.chance(1, 8) {
+            out.push_str("c noise\n");
+        }
+        for _ in 0..rng.below(5) {
+            let mut v = 1 + rng.below(vars as usize + 2) as i64;
+            if rng.chance(1, 2) {
+                v = -v;
+            }
+            if rng.chance(1, 32) {
+                v = v.wrapping_mul(1 << rng.below(40));
+            }
+            out.push_str(&format!("{v} "));
+        }
+        if rng.chance(7, 8) {
+            out.push('0');
+        }
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,307 @@
+//! `llhsc-fuzz` — a deterministic, dependency-free fuzz harness for the
+//! workspace's untrusted-input surfaces.
+//!
+//! Real deployments of llhsc read files the tool does not control: DTS
+//! sources, FDT blobs, protocol JSON, DIMACS formulas. The contract for
+//! every one of those surfaces is *totality* — arbitrary bytes produce
+//! `Ok` or a structured error, never a panic, and accepted documents
+//! satisfy their format's round-trip law. This crate checks that
+//! contract the only way it can be checked: by throwing generated and
+//! mutated inputs at the real entry points.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** An iteration is fully determined by
+//!    `(seed, iteration)`; any failure replays standalone with
+//!    `--seed S --start K --iters 1`. No time, no global RNG state.
+//! 2. **Dependency-free.** No `cargo-fuzz`, no libFuzzer, no registry
+//!    access — the harness is plain Rust in the workspace and runs as a
+//!    bounded smoke test in CI (`ci.sh`).
+//! 3. **In-process.** Drivers run under [`std::panic::catch_unwind`],
+//!    so a 20 000-iteration run costs milliseconds, not process spawns.
+//!    The flip side: a stack overflow is *not* catchable, which is why
+//!    the parsers carry explicit depth limits and the generators
+//!    deliberately emit deeply nested documents to prove them.
+//!
+//! See `docs/FUZZING.md` for the audit this harness enforces.
+
+pub mod corpus;
+pub mod drivers;
+pub mod gen;
+pub mod mutate;
+pub mod rng;
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Mutex;
+
+use rng::Rng;
+
+/// The fuzzable surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// DTS parser/printer + FDT decoder.
+    Dts,
+    /// `reg` decoding under `#address-cells`/`#size-cells`.
+    Cells,
+    /// Service-protocol JSON.
+    Json,
+    /// DIMACS CNF reader/writer.
+    Dimacs,
+}
+
+/// All drivers, in the order `--driver all` cycles through them.
+pub const ALL_DRIVERS: [Driver; 4] = [Driver::Dts, Driver::Cells, Driver::Json, Driver::Dimacs];
+
+impl Driver {
+    /// The `--driver` flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Driver::Dts => "dts",
+            Driver::Cells => "cells",
+            Driver::Json => "json",
+            Driver::Dimacs => "dimacs",
+        }
+    }
+
+    /// Parses a `--driver` flag value; `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Driver> {
+        ALL_DRIVERS.iter().copied().find(|d| d.name() == name)
+    }
+
+    fn run(self, input: &[u8]) -> Result<(), String> {
+        match self {
+            Driver::Dts => drivers::dts(input),
+            Driver::Cells => drivers::cells(input),
+            Driver::Json => drivers::json(input),
+            Driver::Dimacs => drivers::dimacs(input),
+        }
+    }
+
+    /// Builds the iteration's input: a corpus seed or generated
+    /// document, then a few byte-level mutation rounds on top.
+    fn input_for(self, rng: &mut Rng) -> Vec<u8> {
+        let (seeds, dict): (&[&str], &[&str]) = match self {
+            Driver::Dts => (corpus::DTS_SEEDS, mutate::DTS_DICT),
+            Driver::Json => (corpus::JSON_SEEDS, mutate::JSON_DICT),
+            Driver::Dimacs => (corpus::DIMACS_SEEDS, mutate::DIMACS_DICT),
+            // The cells driver decodes its input bytes itself; grammar
+            // seeds would just be noise to it.
+            Driver::Cells => (&[], &[]),
+        };
+        let mut data = if self == Driver::Cells {
+            (0..rng.below(40)).map(|_| rng.byte()).collect()
+        } else if seeds.is_empty() || rng.chance(1, 2) {
+            match self {
+                Driver::Dts => gen::dts(rng).into_bytes(),
+                Driver::Json => gen::json(rng).into_bytes(),
+                Driver::Dimacs => gen::dimacs(rng).into_bytes(),
+                Driver::Cells => Vec::new(),
+            }
+        } else {
+            rng.pick(seeds).as_bytes().to_vec()
+        };
+        if self != Driver::Cells {
+            let rounds = rng.below(6);
+            mutate::mutate(rng, &mut data, dict, rounds);
+        }
+        data
+    }
+}
+
+/// One run's configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Iterations to execute.
+    pub iters: u64,
+    /// Base seed; combined with the iteration index per input.
+    pub seed: u64,
+    /// First iteration index (for replaying a reported failure).
+    pub start: u64,
+    /// `Some(d)` to fuzz one surface, `None` for all in rotation.
+    pub driver: Option<Driver>,
+}
+
+/// A reproducible failure: a panic or an invariant violation.
+#[derive(Debug)]
+pub struct Failure {
+    /// Which surface failed.
+    pub driver: Driver,
+    /// The iteration index (replay with `--start <iteration>`).
+    pub iteration: u64,
+    /// The base seed.
+    pub seed: u64,
+    /// Panic message or invariant-violation description.
+    pub message: String,
+    /// The offending input.
+    pub input: Vec<u8>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "driver {} failed at iteration {} (seed {}):",
+            self.driver.name(),
+            self.iteration,
+            self.seed
+        )?;
+        writeln!(f, "  {}", self.message)?;
+        writeln!(
+            f,
+            "  input ({} bytes): {}",
+            self.input.len(),
+            escape(&self.input)
+        )?;
+        write!(
+            f,
+            "  replay: llhsc-fuzz --driver {} --seed {} --start {} --iters 1",
+            self.driver.name(),
+            self.seed,
+            self.iteration
+        )
+    }
+}
+
+/// Renders input bytes as a copy-pasteable escaped string.
+fn escape(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() + 2);
+    out.push('"');
+    for &b in bytes {
+        match b {
+            b'"' => out.push_str("\\\""),
+            b'\\' => out.push_str("\\\\"),
+            b'\n' => out.push_str("\\n"),
+            0x20..=0x7e => out.push(b as char),
+            other => out.push_str(&format!("\\x{other:02x}")),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Iteration counts per driver after a clean run.
+#[derive(Debug, Default)]
+pub struct Summary {
+    /// `(driver, iterations executed)` in [`ALL_DRIVERS`] order.
+    pub per_driver: [u64; 4],
+}
+
+/// The panic message captured by the harness's hook, if any.
+static LAST_PANIC: Mutex<Option<String>> = Mutex::new(None);
+
+fn capture_panics() {
+    panic::set_hook(Box::new(|info| {
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".into());
+        let location = info
+            .location()
+            .map(|l| format!(" at {}:{}", l.file(), l.line()))
+            .unwrap_or_default();
+        *LAST_PANIC.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(format!("panic{location}: {message}"));
+    }));
+}
+
+fn take_panic_message() -> String {
+    LAST_PANIC
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+        .unwrap_or_else(|| "panic (no message captured)".into())
+}
+
+/// Runs the harness. Returns the per-driver iteration counts, or the
+/// first failure.
+///
+/// # Errors
+///
+/// The first panic or invariant violation, with the input and a replay
+/// command line.
+pub fn run(opts: &Options) -> Result<Summary, Box<Failure>> {
+    capture_panics();
+    let result = run_inner(opts);
+    let _ = panic::take_hook();
+    result
+}
+
+fn run_inner(opts: &Options) -> Result<Summary, Box<Failure>> {
+    let mut summary = Summary::default();
+    for iteration in opts.start..opts.start.saturating_add(opts.iters) {
+        let driver = match opts.driver {
+            Some(d) => d,
+            None => ALL_DRIVERS[(iteration % 4) as usize],
+        };
+        let mut rng = Rng::for_iteration(opts.seed, iteration);
+        let input = driver.input_for(&mut rng);
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| driver.run(&input)))
+            .unwrap_or_else(|_| Err(take_panic_message()));
+        if let Err(message) = outcome {
+            return Err(Box::new(Failure {
+                driver,
+                iteration,
+                seed: opts.seed,
+                message,
+                input,
+            }));
+        }
+        let slot = ALL_DRIVERS.iter().position(|d| *d == driver).unwrap_or(0);
+        summary.per_driver[slot] += 1;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The panic hook is process-global; tests that install or remove
+    /// it must not interleave.
+    static HOOK_GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn panics_are_captured_with_location() {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        capture_panics();
+        let caught = panic::catch_unwind(|| panic!("boom {}", 7));
+        let _ = panic::take_hook();
+        assert!(caught.is_err());
+        let message = take_panic_message();
+        assert!(message.contains("boom 7"), "{message}");
+        assert!(message.contains("lib.rs"), "{message}");
+    }
+
+    #[test]
+    fn smoke_run_is_clean() {
+        let _guard = HOOK_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+        let summary = run(&Options {
+            iters: 400,
+            seed: 1,
+            start: 0,
+            driver: None,
+        })
+        .unwrap_or_else(|f| panic!("{f}"));
+        assert_eq!(summary.per_driver.iter().sum::<u64>(), 400);
+        assert!(summary.per_driver.iter().all(|&n| n == 100));
+    }
+
+    #[test]
+    fn failures_are_reproducible() {
+        // A driver that always panics would report the same input for
+        // the same (seed, start); emulate by checking input derivation.
+        let a = Driver::Dts.input_for(&mut Rng::for_iteration(9, 123));
+        let b = Driver::Dts.input_for(&mut Rng::for_iteration(9, 123));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn driver_names_round_trip() {
+        for d in ALL_DRIVERS {
+            assert_eq!(Driver::from_name(d.name()), Some(d));
+        }
+        assert_eq!(Driver::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! The `llhsc-fuzz` command line.
+//!
+//! ```text
+//! llhsc-fuzz --iters 20000 --seed 1 [--driver dts|cells|json|dimacs|all] [--start K]
+//! ```
+//!
+//! Exit codes follow the workspace convention: 0 for a clean run, 1
+//! when a failure was found, 2 for usage errors.
+
+use std::process::ExitCode;
+
+use llhsc_fuzz::{run, Driver, Options, ALL_DRIVERS};
+
+const USAGE: &str =
+    "usage: llhsc-fuzz [--iters N] [--seed S] [--start K] [--driver dts|cells|json|dimacs|all]
+
+Deterministic fuzz harness for llhsc's untrusted-input surfaces.
+A reported failure replays with the --seed/--start pair it prints.";
+
+fn fail_usage(message: &str) -> ExitCode {
+    eprintln!("llhsc-fuzz: {message}");
+    eprintln!("{USAGE}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        iters: 20_000,
+        seed: 1,
+        start: 0,
+        driver: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--iters" => match value("--iters").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => opts.iters = n,
+                _ => return fail_usage("--iters needs an unsigned integer"),
+            },
+            "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => opts.seed = n,
+                _ => return fail_usage("--seed needs an unsigned integer"),
+            },
+            "--start" => match value("--start").map(|v| v.parse::<u64>()) {
+                Ok(Ok(n)) => opts.start = n,
+                _ => return fail_usage("--start needs an unsigned integer"),
+            },
+            "--driver" => match value("--driver").as_deref() {
+                Ok("all") => opts.driver = None,
+                Ok(name) => match Driver::from_name(name) {
+                    Some(d) => opts.driver = Some(d),
+                    None => return fail_usage(&format!("unknown driver {name:?}")),
+                },
+                Err(e) => return fail_usage(e.as_str()),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    match run(&opts) {
+        Ok(summary) => {
+            let total: u64 = summary.per_driver.iter().sum();
+            let breakdown: Vec<String> = ALL_DRIVERS
+                .iter()
+                .zip(summary.per_driver.iter())
+                .filter(|(_, n)| **n > 0)
+                .map(|(d, n)| format!("{} {n}", d.name()))
+                .collect();
+            println!(
+                "llhsc-fuzz: {total} iterations clean (seed {}, {})",
+                opts.seed,
+                breakdown.join(", ")
+            );
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("{failure}");
+            ExitCode::from(1)
+        }
+    }
+}

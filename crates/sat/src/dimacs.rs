@@ -11,17 +11,27 @@ use std::io::{BufRead, Write};
 use crate::cnf::Cnf;
 use crate::lit::{Lit, Var};
 
-/// Error produced while parsing DIMACS input.
+/// Largest variable count a DIMACS header may declare. Bounded by the
+/// literal encoding (`2 * index + sign` must fit in a `u32`); a header
+/// beyond this cannot be represented and is rejected up front rather
+/// than overflowing deep inside [`Lit::new`].
+pub const MAX_VARS: usize = (u32::MAX / 2) as usize;
+
+/// Error produced while parsing DIMACS input. Every parse-level variant
+/// carries the 1-based line number where it was detected.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DimacsError {
-    /// The `p cnf <vars> <clauses>` header is missing or malformed.
-    BadHeader(String),
+    /// The `p cnf <vars> <clauses>` header is malformed, duplicated, or
+    /// declares more than [`MAX_VARS`] variables.
+    BadHeader { line: usize, text: String },
+    /// Clause data appeared before any `p cnf` header.
+    MissingHeader { line: usize },
     /// A token could not be parsed as a literal.
     BadLiteral { line: usize, token: String },
     /// A literal references a variable beyond the header's count.
     VarOutOfRange { line: usize, var: i64, max: usize },
     /// A clause was not terminated by `0` before end of input.
-    UnterminatedClause,
+    UnterminatedClause { line: usize },
     /// An underlying I/O failure.
     Io(String),
 }
@@ -29,7 +39,12 @@ pub enum DimacsError {
 impl fmt::Display for DimacsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DimacsError::BadHeader(h) => write!(f, "malformed DIMACS header: {h:?}"),
+            DimacsError::BadHeader { line, text } => {
+                write!(f, "line {line}: malformed DIMACS header: {text:?}")
+            }
+            DimacsError::MissingHeader { line } => {
+                write!(f, "line {line}: clause data before the 'p cnf' header")
+            }
             DimacsError::BadLiteral { line, token } => {
                 write!(f, "line {line}: bad literal token {token:?}")
             }
@@ -39,7 +54,9 @@ impl fmt::Display for DimacsError {
                     "line {line}: variable {var} exceeds declared maximum {max}"
                 )
             }
-            DimacsError::UnterminatedClause => write!(f, "unterminated clause at end of input"),
+            DimacsError::UnterminatedClause { line } => {
+                write!(f, "line {line}: unterminated clause at end of input")
+            }
             DimacsError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -73,6 +90,7 @@ pub fn parse_dimacs<R: BufRead>(mut reader: R) -> Result<Cnf, DimacsError> {
     let mut cnf = Cnf::new();
     let mut declared_vars: Option<usize> = None;
     let mut current: Vec<Lit> = Vec::new();
+    let mut last_content_line = 1;
 
     for (lineno, line) in text.lines().enumerate() {
         let line_no = lineno + 1;
@@ -80,18 +98,31 @@ pub fn parse_dimacs<R: BufRead>(mut reader: R) -> Result<Cnf, DimacsError> {
         if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
             continue;
         }
+        last_content_line = line_no;
         if line.starts_with('p') {
+            let bad = || DimacsError::BadHeader {
+                line: line_no,
+                text: line.to_string(),
+            };
+            if declared_vars.is_some() {
+                return Err(bad());
+            }
             let parts: Vec<&str> = line.split_whitespace().collect();
             if parts.len() != 4 || parts[1] != "cnf" {
-                return Err(DimacsError::BadHeader(line.to_string()));
+                return Err(bad());
             }
-            let nv: usize = parts[2]
-                .parse()
-                .map_err(|_| DimacsError::BadHeader(line.to_string()))?;
+            let nv: usize = parts[2].parse().map_err(|_| bad())?;
+            if nv > MAX_VARS {
+                return Err(bad());
+            }
             declared_vars = Some(nv);
             cnf.reserve_vars(nv);
             continue;
         }
+        let max = match declared_vars {
+            Some(max) => max,
+            None => return Err(DimacsError::MissingHeader { line: line_no }),
+        };
         for tok in line.split_whitespace() {
             let v: i64 = tok.parse().map_err(|_| DimacsError::BadLiteral {
                 line: line_no,
@@ -102,20 +133,20 @@ pub fn parse_dimacs<R: BufRead>(mut reader: R) -> Result<Cnf, DimacsError> {
                 continue;
             }
             let idx = v.unsigned_abs() as usize - 1;
-            if let Some(max) = declared_vars {
-                if idx >= max {
-                    return Err(DimacsError::VarOutOfRange {
-                        line: line_no,
-                        var: v,
-                        max,
-                    });
-                }
+            if idx >= max {
+                return Err(DimacsError::VarOutOfRange {
+                    line: line_no,
+                    var: v,
+                    max,
+                });
             }
             current.push(Lit::new(Var::from_index(idx), v > 0));
         }
     }
     if !current.is_empty() {
-        return Err(DimacsError::UnterminatedClause);
+        return Err(DimacsError::UnterminatedClause {
+            line: last_content_line,
+        });
     }
     Ok(cnf)
 }
@@ -168,7 +199,41 @@ mod tests {
     fn reject_bad_header() {
         assert!(matches!(
             parse_dimacs("p dnf 1 1\n1 0\n".as_bytes()),
-            Err(DimacsError::BadHeader(_))
+            Err(DimacsError::BadHeader { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn reject_duplicate_header() {
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\np cnf 3 1\n1 0\n".as_bytes()),
+            Err(DimacsError::BadHeader { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn reject_oversized_header() {
+        let src = format!("p cnf {} 1\n1 0\n", MAX_VARS + 1);
+        assert!(matches!(
+            parse_dimacs(src.as_bytes()),
+            Err(DimacsError::BadHeader { line: 1, .. })
+        ));
+        let ok = format!("p cnf {MAX_VARS} 0\n");
+        assert!(parse_dimacs(ok.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn reject_clauses_before_header() {
+        // Clause data before `p cnf` used to bypass the range check
+        // entirely, so a huge literal reached Var::from_index and
+        // panicked instead of erroring.
+        assert!(matches!(
+            parse_dimacs("c intro\n1 -2 0\n".as_bytes()),
+            Err(DimacsError::MissingHeader { line: 2 })
+        ));
+        assert!(matches!(
+            parse_dimacs("4294967297 0\n".as_bytes()),
+            Err(DimacsError::MissingHeader { line: 1 })
         ));
     }
 
@@ -186,14 +251,27 @@ mod tests {
             parse_dimacs("p cnf 1 1\n2 0\n".as_bytes()),
             Err(DimacsError::VarOutOfRange { .. })
         ));
+        // A literal beyond u32 must error, not panic in Var::from_index.
+        assert!(matches!(
+            parse_dimacs("p cnf 1 1\n4294967297 0\n".as_bytes()),
+            Err(DimacsError::VarOutOfRange { line: 2, .. })
+        ));
     }
 
     #[test]
     fn reject_unterminated() {
         assert!(matches!(
             parse_dimacs("p cnf 2 1\n1 2\n".as_bytes()),
-            Err(DimacsError::UnterminatedClause)
+            Err(DimacsError::UnterminatedClause { line: 2 })
         ));
+    }
+
+    #[test]
+    fn errors_name_their_line() {
+        let err = parse_dimacs("p dnf 1 1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().starts_with("line 1:"), "{err}");
+        let err = parse_dimacs("p cnf 2 1\nc pad\n1 2\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
     }
 
     #[test]

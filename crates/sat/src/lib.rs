@@ -41,7 +41,7 @@ mod solver;
 
 pub use clause::ClauseStats;
 pub use cnf::Cnf;
-pub use dimacs::{parse_dimacs, write_dimacs, DimacsError};
+pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, MAX_VARS};
 pub use enumerate::ModelIter;
 pub use lit::{Lit, Var};
 pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};

@@ -80,7 +80,11 @@ fn malformed_inputs_report_the_right_error() {
     let parse = |s: &str| parse_dimacs(s.as_bytes());
     assert!(matches!(
         parse("p cnf two 3\n1 0\n"),
-        Err(DimacsError::BadHeader(_))
+        Err(DimacsError::BadHeader { line: 1, .. })
+    ));
+    assert!(matches!(
+        parse("c no header\n1 0\n"),
+        Err(DimacsError::MissingHeader { line: 2 })
     ));
     assert!(matches!(
         parse("p cnf 2 1\n1 x 0\n"),
@@ -96,6 +100,6 @@ fn malformed_inputs_report_the_right_error() {
     ));
     assert!(matches!(
         parse("p cnf 2 1\n1 2\n"),
-        Err(DimacsError::UnterminatedClause)
+        Err(DimacsError::UnterminatedClause { line: 2 })
     ));
 }

@@ -259,7 +259,9 @@ fn client_check(addr: &str, path: &Path) -> ExitCode {
                 "{}",
                 response.get("stdout").and_then(Json::as_str).unwrap_or("")
             );
-            if response.get("clean").and_then(Json::as_bool) == Some(true) {
+            if response.get("input_error").and_then(Json::as_bool) == Some(true) {
+                ExitCode::from(EXIT_FAILURE)
+            } else if response.get("clean").and_then(Json::as_bool) == Some(true) {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(EXIT_FINDINGS)
@@ -558,7 +560,11 @@ fn cmd_check(path: &Path, stats: bool) -> ExitCode {
         println!("semantic check time: {:.1?}", outcome.elapsed);
         print_region_stats(&outcome.stats);
     }
-    if outcome.report.clean {
+    if outcome.report.input_error {
+        // Uninterpretable input (bad cell counts, malformed reg): a
+        // tool failure, not a finding — same class as a parse error.
+        ExitCode::from(EXIT_FAILURE)
+    } else if outcome.report.clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_FINDINGS)

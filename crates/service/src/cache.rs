@@ -185,6 +185,7 @@ mod tests {
             stdout: "checked: ok\n".into(),
             stderr: String::new(),
             clean: true,
+            input_error: false,
         };
         cache.put_tree(9, report.clone());
         assert_eq!(cache.get_tree(9), Some(report));

@@ -21,6 +21,10 @@ pub struct CheckReport {
     pub stderr: String,
     /// `true` when no finding was produced (exit code 0 vs 1).
     pub clean: bool,
+    /// `true` when the input itself could not be interpreted (e.g.
+    /// `#address-cells` out of range): the tool-failure case of the
+    /// exit-code contract, exit 2 rather than 1.
+    pub input_error: bool,
 }
 
 /// A [`CheckReport`] plus the instrumentation `--stats` renders.
@@ -42,10 +46,11 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
     let mut stdout = String::new();
     let mut stderr = String::new();
     let mut failed = false;
+    let mut input_error = false;
 
     let syntactic = SyntacticChecker::new(tree, &SchemaSet::standard()).check();
     for v in &syntactic.violations {
-        writeln!(stderr, "error[syntactic]: {v}").expect("string write");
+        let _ = writeln!(stderr, "error[syntactic]: {v}");
         failed = true;
     }
 
@@ -57,31 +62,40 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
             elapsed = started.elapsed();
             stats = check_stats;
             for c in &report.collisions {
-                writeln!(stderr, "error[semantic]: {c}").expect("string write");
+                let _ = writeln!(stderr, "error[semantic]: {c}");
                 failed = true;
             }
             for (line, users) in &report.interrupt_conflicts {
-                writeln!(
+                let _ = writeln!(
                     stderr,
                     "error[semantic]: interrupt line {line} claimed by {}",
                     users.join(", ")
-                )
-                .expect("string write");
+                );
                 failed = true;
             }
-            writeln!(
+            for r in &report.wrapping {
+                let _ = writeln!(
+                    stderr,
+                    "error[semantic]: region wraps past the end of the address space: {r}"
+                );
+                failed = true;
+            }
+            let _ = writeln!(
                 stdout,
                 "checked {} nodes, {} regions, {} schema rules: {}",
                 tree.size(),
                 report.regions_checked,
                 syntactic.rules_checked,
                 if failed { "INVALID" } else { "ok" }
-            )
-            .expect("string write");
+            );
         }
         Err(e) => {
-            writeln!(stderr, "error[semantic]: {e}").expect("string write");
+            // The tree itself is uninterpretable (bad cell counts, bad
+            // reg shapes): a tool-failure under the exit-code contract,
+            // not a checker finding.
+            let _ = writeln!(stderr, "error[semantic]: {e}");
             failed = true;
+            input_error = true;
         }
     }
     CheckOutcome {
@@ -89,6 +103,7 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
             stdout,
             stderr,
             clean: !failed,
+            input_error,
         },
         stats,
         elapsed,

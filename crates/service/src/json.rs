@@ -294,7 +294,12 @@ impl Parser<'_> {
         if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
             return Err(self.err("non-integer number (the protocol is integer-only)"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned span is '-' and ASCII digits only, so this cannot
+        // produce mojibake; built byte-by-byte to avoid a panic path.
+        let text: String = self.bytes[start..self.pos]
+            .iter()
+            .map(|&b| b as char)
+            .collect();
         text.parse::<i64>()
             .map(Json::Int)
             .map_err(|_| self.err("integer out of i64 range"))
@@ -405,13 +410,29 @@ impl Parser<'_> {
                 Some(c) if c < 0x20 => {
                     return Err(self.err("raw control character in string"));
                 }
-                Some(_) => {
-                    // Copy one UTF-8 scalar (input is &str, so valid).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input is utf-8");
-                    let c = rest.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                Some(b) => {
+                    // Copy one UTF-8 scalar. The input is a &str, so a
+                    // well-formed sequence is always present; decode a
+                    // bounded window (not the whole tail — that would
+                    // be quadratic) and error rather than panic if the
+                    // invariant ever breaks.
+                    let width = match b {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        0xf0..=0xf7 => 4,
+                        _ => 1,
+                    };
+                    let end = (self.pos + width).min(self.bytes.len());
+                    match std::str::from_utf8(&self.bytes[self.pos..end])
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                    {
+                        Some(c) => {
+                            out.push(c);
+                            self.pos += c.len_utf8();
+                        }
+                        None => return Err(self.err("invalid UTF-8 in string")),
+                    }
                 }
             }
         }

@@ -176,6 +176,7 @@ pub fn check_frame(report: &CheckReport, cached: bool) -> Json {
     Json::obj([
         ("ok", Json::Bool(true)),
         ("clean", Json::Bool(report.clean)),
+        ("input_error", Json::Bool(report.input_error)),
         ("stdout", report.stdout.as_str().into()),
         ("stderr", report.stderr.as_str().into()),
         ("cached", Json::Bool(cached)),

@@ -112,6 +112,16 @@ fn fixtures() -> (PathBuf, Vec<(PathBuf, i32)>) {
             1,
         ),
         (write("broken.dts", "this is not a device tree\n"), 2),
+        // Parses fine, but the cell counts are uninterpretable: a tool
+        // failure (exit 2), not a finding (exit 1), on both paths.
+        (
+            write(
+                "bad-cells.dts",
+                "/ {\n    #address-cells = <0xffffffff>; #size-cells = <1>;\n\
+                 \x20   dev@0 { reg = <0x0 0x1>; };\n};\n",
+            ),
+            2,
+        ),
     ];
     (dir, cases)
 }

@@ -115,4 +115,96 @@ proptest! {
     fn dimacs_parser_never_panics(src in ".{0,200}") {
         let _ = llhsc_sat::parse_dimacs(src.as_bytes());
     }
+
+    /// DIMACS-looking garbage, including huge literals that used to
+    /// reach `Var::from_index` unchecked.
+    #[test]
+    fn dimacs_parser_structured_garbage(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("p cnf 3 2".to_string()),
+                Just("p cnf".to_string()),
+                Just("1".to_string()),
+                Just("-2".to_string()),
+                Just("0".to_string()),
+                Just("4294967297".to_string()),
+                Just("-9223372036854775808".to_string()),
+                Just("c noise".to_string()),
+                Just("\n".to_string()),
+            ],
+            0..20,
+        )
+    ) {
+        let _ = llhsc_sat::parse_dimacs(tokens.join(" ").as_bytes());
+    }
+
+    /// The service JSON parser never panics.
+    #[test]
+    fn json_parser_never_panics(src in ".{0,200}") {
+        let _ = llhsc_service::Json::parse(&src);
+    }
+
+    /// Accepted JSON survives print → parse unchanged.
+    #[test]
+    fn json_roundtrips_when_accepted(src in "[\\[\\]{}:,\"0-9a-z\\\\ .eu-]{0,64}") {
+        if let Ok(v) = llhsc_service::Json::parse(&src) {
+            let printed = v.to_string();
+            let back = llhsc_service::Json::parse(&printed).expect("own output parses");
+            prop_assert_eq!(back, v);
+        }
+    }
+
+    /// `reg` decoding is total for arbitrary cell counts and payloads:
+    /// out-of-range counts (including the `0xffffffff` overflow case
+    /// and 5-cell addresses) come back as errors, never panics or
+    /// silent truncation.
+    #[test]
+    fn reg_decoding_never_panics(
+        address_cells in prop_oneof![0u32..8, Just(u32::MAX), Just(5u32)],
+        size_cells in 0u32..8,
+        cells in prop::collection::vec(any::<u32>(), 0..24),
+    ) {
+        use llhsc_dts::{Cell, Node, NodePath, PropValue, Property};
+
+        let mut node = Node::new("dev");
+        node.set_prop(Property {
+            name: "reg".into(),
+            values: vec![PropValue::Cells(cells.iter().map(|&c| Cell::U32(c)).collect())],
+        });
+        let decoded = llhsc_dts::cells::decode_reg(
+            &NodePath::root(),
+            &node,
+            address_cells,
+            size_cells,
+        );
+        if address_cells > llhsc_dts::cells::MAX_CELLS
+            || size_cells > llhsc_dts::cells::MAX_CELLS
+        {
+            prop_assert!(decoded.is_err(), "oversized cell counts must be rejected");
+        }
+        if let Ok(entries) = decoded {
+            for e in &entries {
+                // end() is saturating, never wrapping.
+                prop_assert!(e.end() >= e.address);
+            }
+        }
+    }
+
+    /// Byte strings keep their lexeme width: a parsed `[ … ]` value
+    /// always holds run-length / 2 bytes, leading zeros included.
+    #[test]
+    fn byte_strings_keep_width(runs in prop::collection::vec("[0-9a-f]{2,8}", 1..4)) {
+        let runs: Vec<String> = runs.into_iter()
+            .map(|r| if r.len() % 2 == 0 { r } else { format!("0{r}") })
+            .collect();
+        let src = format!("/ {{ p = [ {} ]; }};", runs.join(" "));
+        let tree = llhsc_dts::parse(&src).expect("even runs parse");
+        let node = tree.find("/").expect("root");
+        let prop = node.prop("p").expect("property");
+        let total: usize = runs.iter().map(|r| r.len() / 2).sum();
+        match &prop.values[..] {
+            [llhsc_dts::PropValue::Bytes(bs)] => prop_assert_eq!(bs.len(), total),
+            other => prop_assert!(false, "unexpected values: {other:?}"),
+        }
+    }
 }

@@ -1,0 +1,48 @@
+#!/bin/sh
+# Panic-freedom guard for the untrusted-input crates.
+#
+# Every .unwrap() / .expect("…") in non-test code of crates/dts,
+# crates/service and crates/sat must appear in
+# tools/unwrap_allowlist.txt. The allowlist is the audited remainder:
+# internal invariants (SAT solver bookkeeping, literal encoding bounded
+# by MAX_VARS) and mutex locks — nothing reachable from input bytes.
+#
+# A new entry fails CI: either convert the panic path to a structured
+# error (the default for anything input-derived) or, for a genuine
+# internal invariant, add the line to the allowlist in the same change
+# that justifies it. A stale allowlist entry fails too, so the list
+# never drifts from the code.
+#
+# Non-test code = everything before the first `#[cfg(test)]` in a file
+# (test modules sit at the bottom of every file in this workspace).
+# Matching on `.expect("` keeps the parsers' fallible
+# `self.expect(&TokenKind…)` / `self.expect(b'…')` methods out of
+# scope — those return Result, they do not panic.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+found=$(mktemp)
+trap 'rm -f "$found"' EXIT
+
+for f in $(find crates/dts/src crates/service/src crates/sat/src -name '*.rs' | sort); do
+    awk -v file="$f" '
+        /#\[cfg\(test\)\]/ { exit }
+        /^[[:space:]]*\/\// { next }
+        /\.unwrap\(\)/ || /\.expect\("/ {
+            line = $0
+            gsub(/^[[:space:]]+/, "", line)
+            gsub(/[[:space:]]+$/, "", line)
+            print file ": " line
+        }
+    ' "$f"
+done | sort -u > "$found"
+
+if ! diff -u tools/unwrap_allowlist.txt "$found"; then
+    echo "check_unwraps: non-test unwrap/expect sites diverge from tools/unwrap_allowlist.txt" >&2
+    echo "check_unwraps: lines with '+' are new panic paths (convert to errors or justify" >&2
+    echo "check_unwraps: in the allowlist); lines with '-' are stale allowlist entries." >&2
+    exit 1
+fi
+echo "check_unwraps: ok ($(wc -l < tools/unwrap_allowlist.txt | tr -d ' ') allowlisted sites)"
