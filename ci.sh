@@ -49,6 +49,43 @@ test -n "$ADDR"
 cmp "$SMOKE_DIR/local.out" "$SMOKE_DIR/remote.out"
 cmp "$SMOKE_DIR/local.err" "$SMOKE_DIR/remote.err"
 
+# Metrics smoke: the daemon served exactly one check above, and the
+# Prometheus exposition must say so.
+"$LLHSC" client --addr "$ADDR" metrics > "$SMOKE_DIR/metrics.prom"
+grep -q '^llhsc_requests_total{op="check"} 1$' "$SMOKE_DIR/metrics.prom"
+grep -q '^# TYPE llhsc_request_duration_us histogram$' "$SMOKE_DIR/metrics.prom"
+grep -q '^llhsc_cache_misses_total{class="tree_check"} 1$' "$SMOKE_DIR/metrics.prom"
+
 "$LLHSC" client --addr "$ADDR" shutdown
 wait "$SERVE_PID"
 grep -q "shut down cleanly" "$SMOKE_DIR/serve.log"
+
+# Trace validation: a traced check must produce Chrome trace-event JSON
+# with a complete (duration-bearing) span per stage and at least one
+# counter-annotated solve span, and the report document's solver totals
+# must equal the sum over its own solve spans.
+LLHSC_TRACE_ZERO_TIME=1 "$LLHSC" check \
+    --trace "$SMOKE_DIR/trace.json" --report-json "$SMOKE_DIR/report.json" \
+    "$SMOKE_DIR/board.dts" > /dev/null
+python3 - "$SMOKE_DIR/trace.json" "$SMOKE_DIR/report.json" <<'EOF'
+import json, sys
+
+events = json.load(open(sys.argv[1]))
+spans = [e for e in events if e.get("ph") == "X"]
+by_name = {}
+for s in spans:
+    by_name.setdefault(s["name"], []).append(s)
+for stage in ("check", "syntactic", "semantic"):
+    assert by_name.get(stage), f"missing complete {stage} span"
+solves = by_name.get("solve", [])
+assert solves, "no solve spans recorded"
+for s in solves:
+    assert "propagations" in s["args"], f"solve span without counters: {s}"
+
+report = json.load(open(sys.argv[2]))
+for key, total in report["solver"].items():
+    summed = sum(s["counters"][key]
+                 for s in report["spans"] if s["name"] == "solve")
+    assert summed == total, f"{key}: span sum {summed} != total {total}"
+print(f"trace ok: {len(spans)} spans, {len(solves)} solves")
+EOF

@@ -1,0 +1,242 @@
+//! `llhsc-bench` — the machine-readable perf harness.
+//!
+//! The criterion benches under `benches/` answer "did this get
+//! slower?" interactively; this binary answers "what does a run cost?"
+//! in a form the perf trajectory can store: `--json` writes
+//! `BENCH_pipeline.json`, one entry per scenario with wall time and the
+//! run's fresh solver work (the same counters `llhsc check --stats`
+//! and the daemon `stats` op report). The schema is documented in
+//! EXPERIMENTS.md ("Machine-readable results").
+//!
+//! ```text
+//! llhsc-bench                 print a human-readable table
+//! llhsc-bench --json [FILE]   also write FILE (default BENCH_pipeline.json)
+//! llhsc-bench --runs N        timed iterations per scenario (default 5)
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use llhsc::{Pipeline, SolverStats};
+use llhsc_bench::synthetic_board;
+use llhsc_service::cache::ServiceCache;
+use llhsc_service::{check_tree, solver_json, Json};
+
+/// Layout version of `BENCH_pipeline.json`. Bump on breaking changes.
+const BENCH_SCHEMA_VERSION: u64 = 1;
+
+const DEFAULT_RUNS: usize = 5;
+
+/// One measured scenario: per-run wall times plus the fresh solver
+/// work of a single run (identical across runs — the workloads are
+/// deterministic).
+struct Measurement {
+    name: &'static str,
+    wall_us: Vec<u64>,
+    solver: SolverStats,
+}
+
+impl Measurement {
+    /// Times `runs` executions of `work`, which returns the run's
+    /// fresh solver work.
+    fn time(name: &'static str, runs: usize, mut work: impl FnMut() -> SolverStats) -> Measurement {
+        let mut wall_us = Vec::with_capacity(runs);
+        let mut solver = SolverStats::default();
+        for _ in 0..runs {
+            let started = Instant::now();
+            solver = work();
+            wall_us.push(started.elapsed().as_micros() as u64);
+        }
+        Measurement {
+            name,
+            wall_us,
+            solver,
+        }
+    }
+
+    fn min_us(&self) -> u64 {
+        self.wall_us.iter().copied().min().unwrap_or(0)
+    }
+
+    fn mean_us(&self) -> u64 {
+        if self.wall_us.is_empty() {
+            0
+        } else {
+            self.wall_us.iter().sum::<u64>() / self.wall_us.len() as u64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.into()),
+            ("runs", (self.wall_us.len() as u64).into()),
+            (
+                "wall_us",
+                Json::obj([
+                    ("mean", self.mean_us().into()),
+                    ("min", self.min_us().into()),
+                    (
+                        "samples",
+                        Json::Arr(self.wall_us.iter().map(|&us| us.into()).collect()),
+                    ),
+                ]),
+            ),
+            ("solver", solver_json(&self.solver)),
+        ])
+    }
+}
+
+fn scenarios(runs: usize) -> Vec<Measurement> {
+    let quad = llhsc::quadcore::pipeline_input();
+    let running = llhsc::running_example::pipeline_input();
+    let board = llhsc_dts::parse(&synthetic_board(100)).expect("synthetic board parses");
+    vec![
+        // The full Fig. 2 workflow on the paper's §V quad-core example,
+        // solved from scratch every run.
+        Measurement::time("quadcore_build_cold", runs, || {
+            Pipeline::new()
+                .run(&quad)
+                .expect("quadcore builds")
+                .solver_stats
+        }),
+        // Same workflow against a warm content-addressed cache: every
+        // solver-bearing stage replays, so fresh work must be zero.
+        Measurement::time("quadcore_build_warm", runs, {
+            let cache = ServiceCache::new();
+            Pipeline::new()
+                .run_with_cache(&quad, Some(&cache))
+                .expect("warm-up builds");
+            move || {
+                Pipeline::new()
+                    .run_with_cache(&quad, Some(&cache))
+                    .expect("quadcore builds")
+                    .solver_stats
+            }
+        }),
+        // The two-VM running example end to end.
+        Measurement::time("running_example_build", runs, || {
+            Pipeline::new()
+                .run(&running)
+                .expect("running example builds")
+                .solver_stats
+        }),
+        // Single-tree checking at board scale: 100 devices, clean.
+        Measurement::time("synthetic_board_check_100", runs, || {
+            check_tree(&board).solver
+        }),
+    ]
+}
+
+fn render_json(results: &[Measurement]) -> String {
+    let doc = Json::obj([
+        ("schema_version", BENCH_SCHEMA_VERSION.into()),
+        ("kind", "bench".into()),
+        ("suite", "pipeline".into()),
+        (
+            "scenarios",
+            Json::Arr(results.iter().map(Measurement::to_json).collect()),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "llhsc-bench — measured pipeline scenarios\n\
+         \n\
+         usage:\n\
+           llhsc-bench [--runs N] [--json [FILE]]\n\
+         \n\
+         --runs N     timed iterations per scenario (default {DEFAULT_RUNS})\n\
+         --json FILE  write machine-readable results (default BENCH_pipeline.json)"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = DEFAULT_RUNS;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--runs" if args.len() >= 2 => {
+                let Ok(n) = args[1].parse::<usize>() else {
+                    return usage();
+                };
+                runs = n.max(1);
+                args.drain(..2);
+            }
+            "--json" => {
+                args.remove(0);
+                json_path = Some(match args.first() {
+                    Some(next) if !next.starts_with("--") => args.remove(0),
+                    _ => "BENCH_pipeline.json".to_string(),
+                });
+            }
+            _ => return usage(),
+        }
+    }
+
+    let results = scenarios(runs);
+    println!(
+        "{:<28} {:>10} {:>10} {:>8} {:>10} {:>12}",
+        "scenario", "mean µs", "min µs", "solves", "decisions", "propagations"
+    );
+    for m in &results {
+        println!(
+            "{:<28} {:>10} {:>10} {:>8} {:>10} {:>12}",
+            m.name,
+            m.mean_us(),
+            m.min_us(),
+            m.solver.solves,
+            m.solver.decisions,
+            m.solver.propagations
+        );
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_json(&results)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_doc_shape_is_stable() {
+        let results = scenarios(1);
+        let text = render_json(&results);
+        let doc = Json::parse(&text).expect("bench doc parses");
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_int),
+            Some(BENCH_SCHEMA_VERSION as i64)
+        );
+        let arr = match doc.get("scenarios") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("scenarios must be an array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 4);
+        let by_name = |name: &str| {
+            arr.iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("missing scenario {name}"))
+        };
+        let solves = |name: &str| {
+            by_name(name)
+                .get("solver")
+                .and_then(|s| s.get("solves"))
+                .and_then(Json::as_int)
+                .expect("solver totals")
+        };
+        assert!(solves("quadcore_build_cold") > 0, "cold build must solve");
+        assert_eq!(solves("quadcore_build_warm"), 0, "warm build replays");
+        assert!(solves("synthetic_board_check_100") > 0);
+    }
+}

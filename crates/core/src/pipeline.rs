@@ -32,6 +32,8 @@ use llhsc_dts::hash::{stable_hash_of, Fnv1a};
 use llhsc_dts::DeviceTree;
 use llhsc_fm::{FeatureModel, MultiModel};
 use llhsc_hypcfg::{PlatformConfig, VmConfig};
+use llhsc_obs::{SpanId, TraceCtx};
+use llhsc_sat::SolverStats;
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 
 use crate::cache::{AllocationNames, CacheClass, CacheEntry, CachedCheck, PipelineCache};
@@ -90,6 +92,15 @@ pub struct PipelineOutput {
     /// checked tree (all zero when the semantic checker was skipped;
     /// replayed from the cache when a stage result was a cache hit).
     pub semantic_stats: RegionCheckStats,
+    /// Total SAT-solver work actually performed during this run,
+    /// accumulated over every solver invocation in every stage
+    /// (allocation completion, syntactic rule checking, semantic
+    /// disjointness and witness queries). Unlike
+    /// [`semantic_stats`](PipelineOutput::semantic_stats), cache hits
+    /// contribute nothing here: these counters measure the run, not
+    /// the (possibly replayed) verdicts — so they always equal the sum
+    /// over the run's `"solve"` trace spans.
+    pub solver_stats: SolverStats,
 }
 
 /// A failed pipeline run: every error-level finding, plus whatever
@@ -175,7 +186,39 @@ impl Pipeline {
         input: &PipelineInput,
         cache: Option<&dyn PipelineCache>,
     ) -> Result<PipelineOutput, PipelineError> {
-        match self.run_inner(input, cache) {
+        self.run_observed(input, cache, None)
+    }
+
+    /// [`Pipeline::run_with_cache`] with structured tracing: when
+    /// `trace` is given, the run records a span tree
+    /// `pipeline → stage → product_check → solve` on its tracer —
+    /// one stage span per Fig. 2 stage, one `product_check` span per
+    /// derived tree (annotated with its `cache_hit` outcome and VM
+    /// slot), and one `solve` span per individual SAT/SMT solver call,
+    /// each carrying the decisions/propagations/conflicts it cost.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::run_with_cache`]. The span tree is complete on
+    /// both paths: a rejected configuration still closes every span it
+    /// opened.
+    pub fn run_observed(
+        &self,
+        input: &PipelineInput,
+        cache: Option<&dyn PipelineCache>,
+        trace: Option<&TraceCtx>,
+    ) -> Result<PipelineOutput, PipelineError> {
+        let root = trace.map(|t| {
+            let id = t.begin("pipeline");
+            t.add(id, "vms", input.vms.len() as u64);
+            (t.clone(), id)
+        });
+        let scoped = root.as_ref().map(|(t, id)| t.at(*id));
+        let result = self.run_inner(input, cache, scoped.as_ref());
+        if let Some((t, id)) = &root {
+            t.finish(*id);
+        }
+        match result {
             Ok(mut out) => {
                 dedup_diagnostics(&mut out.diagnostics);
                 Ok(out)
@@ -191,13 +234,16 @@ impl Pipeline {
         &self,
         input: &PipelineInput,
         cache: Option<&dyn PipelineCache>,
+        trace: Option<&TraceCtx>,
     ) -> Result<PipelineOutput, PipelineError> {
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
         let mut errors = false;
         let mut timings = StageTimings::default();
+        let mut solver_totals = SolverStats::default();
 
         // ---- Stage 1: resource allocation (§IV-A) ----
         let stage_start = Instant::now();
+        let alloc_span = StageSpan::begin(trace, "allocation");
         let mut selections: Vec<Vec<llhsc_fm::FeatureId>> = Vec::new();
         for (k, vm) in input.vms.iter().enumerate() {
             let mut sel = Vec::new();
@@ -219,6 +265,7 @@ impl Pipeline {
             selections.push(sel);
         }
         if errors {
+            StageSpan::finish(alloc_span);
             return Err(PipelineError { diagnostics });
         }
 
@@ -228,10 +275,17 @@ impl Pipeline {
                 CacheEntry::Allocation(r) => Some(r),
                 CacheEntry::Check(_) => None,
             });
+        if let Some(span) = &alloc_span {
+            span.add("cache_hit", u64::from(cached_allocation.is_some()));
+        }
         let allocation = match cached_allocation {
             Some(r) => r,
             None => {
                 let mut multi = MultiModel::new(&input.model, input.vms.len());
+                if let Some(span) = &alloc_span {
+                    multi.attach_trace(span.child());
+                }
+                let solver_base = multi.solver_stats();
                 let result = match multi.complete(&selections) {
                     Ok(p) => {
                         let to_names = |product: &llhsc_fm::Product| -> Vec<String> {
@@ -247,6 +301,7 @@ impl Pipeline {
                     }
                     Err(e) => Err(e.to_string()),
                 };
+                solver_totals.merge(&multi.solver_stats().delta_since(&solver_base));
                 store(
                     cache,
                     CacheClass::Allocation,
@@ -256,6 +311,7 @@ impl Pipeline {
                 result
             }
         };
+        StageSpan::finish(alloc_span);
         let allocation = match allocation {
             Ok(names) => names,
             Err(e) => {
@@ -270,6 +326,7 @@ impl Pipeline {
 
         // ---- Stage 2: derive DTSs (§III-B) ----
         let stage_start = Instant::now();
+        let deriv_span = StageSpan::begin(trace, "derivation");
         let line = ProductLine::new(input.core.clone(), input.deltas.clone());
         let mut vm_products: Vec<DerivedProduct> = Vec::new();
         for (k, product_names) in allocation.vms.iter().enumerate() {
@@ -301,6 +358,7 @@ impl Pipeline {
                 None
             }
         };
+        StageSpan::finish(deriv_span);
         if errors {
             return Err(PipelineError { diagnostics });
         }
@@ -317,6 +375,9 @@ impl Pipeline {
         // diagnostics are cached VM-less and stamped after retrieval so
         // identical products can share an entry across VM slots.
         let stage_start = Instant::now();
+        let check_span = StageSpan::begin(trace, "checking");
+        let check_ctx = check_span.as_ref().map(StageSpan::child);
+        let check_ctx = check_ctx.as_ref();
         let schemas_hash = input.schemas.stable_hash();
         let mut all: Vec<(Option<usize>, &DerivedProduct)> = vm_products
             .iter()
@@ -325,13 +386,31 @@ impl Pipeline {
             .collect();
         all.push((None, &platform_product));
 
+        type Checked = (Vec<Diagnostic>, RegionCheckStats, SolverStats);
         let schemas = &input.schemas;
-        let check_one = |product: &DerivedProduct| -> (Vec<Diagnostic>, RegionCheckStats) {
+        let check_one = |vm: Option<usize>, product: &DerivedProduct| -> Checked {
+            let product_span = check_ctx.map(|t| {
+                let id = t.begin("product_check");
+                if let Some(k) = vm {
+                    t.add(id, "vm", k as u64);
+                }
+                (t, id)
+            });
             let key = self.product_check_key(schemas_hash, product);
             if let Some(CacheEntry::Check(hit)) = lookup(cache, CacheClass::ProductCheck, key) {
-                return (hit.diagnostics, hit.stats);
+                if let Some((t, id)) = product_span {
+                    t.add(id, "cache_hit", 1);
+                    t.finish(id);
+                }
+                // A hit replays the verdict and its recorded cost
+                // counters, but no solver ran *now*.
+                return (hit.diagnostics, hit.stats, SolverStats::default());
             }
-            let (diags, stats) = self.check_product(schemas, product);
+            let scoped = product_span.map(|(t, id)| {
+                t.add(id, "cache_hit", 0);
+                t.at(id)
+            });
+            let (diags, stats, fresh) = self.check_product(schemas, product, scoped.as_ref());
             store(
                 cache,
                 CacheClass::ProductCheck,
@@ -341,14 +420,17 @@ impl Pipeline {
                     stats,
                 }),
             );
-            (diags, stats)
+            if let Some((t, id)) = product_span {
+                t.finish(id);
+            }
+            (diags, stats, fresh)
         };
-        let checked: Vec<(Vec<Diagnostic>, RegionCheckStats)> = if self.parallel && all.len() > 1 {
+        let checked: Vec<Checked> = if self.parallel && all.len() > 1 {
             let check_one = &check_one;
             std::thread::scope(|s| {
                 let handles: Vec<_> = all
                     .iter()
-                    .map(|&(_, product)| s.spawn(move || check_one(product)))
+                    .map(|&(vm, product)| s.spawn(move || check_one(vm, product)))
                     .collect();
                 handles
                     .into_iter()
@@ -356,17 +438,21 @@ impl Pipeline {
                     .collect()
             })
         } else {
-            all.iter().map(|(_, product)| check_one(product)).collect()
+            all.iter()
+                .map(|&(vm, product)| check_one(vm, product))
+                .collect()
         };
         let mut semantic_stats = RegionCheckStats::default();
-        for ((vm, _), (mut tree_diags, tree_stats)) in all.iter().zip(checked) {
+        for ((vm, _), (mut tree_diags, tree_stats, fresh)) in all.iter().zip(checked) {
             for d in &mut tree_diags {
                 d.vm = *vm;
             }
             errors |= tree_diags.iter().any(|d| d.severity == Severity::Error);
             semantic_stats.merge(&tree_stats);
+            solver_totals.merge(&fresh);
             diagnostics.extend(tree_diags);
         }
+        StageSpan::finish(check_span);
         timings.checking = stage_start.elapsed();
         if errors {
             return Err(PipelineError { diagnostics });
@@ -374,13 +460,17 @@ impl Pipeline {
 
         // ---- Stage 4b: cross-tree coverage (§IV-C, 2-stage translation)
         let stage_start = Instant::now();
+        let cov_span = StageSpan::begin(trace, "coverage");
         // Every VM memory region must be backed by platform memory.
         // Cached per (VM product, platform product) pair: an edit that
         // leaves both products unchanged replays the verdict without a
         // solver call.
         match SemanticChecker::memory_regions(&platform_product.tree) {
             Ok(platform_memory) => {
-                let checker = SemanticChecker::new();
+                let mut checker = SemanticChecker::new();
+                if let Some(span) = &cov_span {
+                    checker.set_trace(span.child());
+                }
                 let platform_hash = platform_product.stable_hash();
                 for (k, product) in vm_products.iter().enumerate() {
                     let key = stable_hash_of(&(product.stable_hash(), platform_hash));
@@ -389,7 +479,10 @@ impl Pipeline {
                         _ => {
                             let mut out = Vec::new();
                             if let Ok(vm_memory) = SemanticChecker::memory_regions(&product.tree) {
-                                for gap in checker.check_coverage(&vm_memory, &platform_memory) {
+                                let (gaps, cov_solver) =
+                                    checker.check_coverage_with_stats(&vm_memory, &platform_memory);
+                                solver_totals.merge(&cov_solver);
+                                for gap in gaps {
                                     let blamed = product
                                         .blame_subtree(&gap.region.path)
                                         .into_iter()
@@ -428,6 +521,7 @@ impl Pipeline {
                 diagnostics.push(Diagnostic::error(Stage::Semantic, e.to_string()));
             }
         }
+        StageSpan::finish(cov_span);
         timings.coverage = stage_start.elapsed();
         if errors {
             return Err(PipelineError { diagnostics });
@@ -435,9 +529,11 @@ impl Pipeline {
 
         // ---- Stage 5: generate configurations (§II-C) ----
         let stage_start = Instant::now();
+        let gen_span = StageSpan::begin(trace, "generation");
         let platform_config = match PlatformConfig::from_tree(&platform_product.tree) {
             Ok(c) => c,
             Err(e) => {
+                StageSpan::finish(gen_span);
                 diagnostics.push(Diagnostic::error(Stage::Generation, e.to_string()));
                 return Err(PipelineError { diagnostics });
             }
@@ -453,12 +549,14 @@ impl Pipeline {
             }
         }
         if errors {
+            StageSpan::finish(gen_span);
             return Err(PipelineError { diagnostics });
         }
 
         let vm_trees: Vec<DeviceTree> = vm_products.iter().map(|p| p.tree.clone()).collect();
         let vm_dts: Vec<String> = vm_trees.iter().map(llhsc_dts::print).collect();
         let vm_c: Vec<String> = vm_configs.iter().map(VmConfig::to_c).collect();
+        StageSpan::finish(gen_span);
         timings.generation = stage_start.elapsed();
         Ok(PipelineOutput {
             platform_dts: llhsc_dts::print(&platform_product.tree),
@@ -472,6 +570,7 @@ impl Pipeline {
             diagnostics,
             timings,
             semantic_stats,
+            solver_stats: solver_totals,
         })
     }
 
@@ -491,16 +590,29 @@ impl Pipeline {
     /// the deltas that touched the offending nodes. Pure function of
     /// its inputs, so trees can be checked concurrently and results can
     /// be cached. The VM index is *not* attached here — the caller
-    /// stamps it, so cached results are VM-agnostic.
+    /// stamps it, so cached results are VM-agnostic. The returned
+    /// [`SolverStats`] are the solver work this call performed; with a
+    /// trace context, a `"syntactic"` and a `"semantic"` span nest
+    /// under it, each parenting its checker's `"solve"` spans.
     fn check_product(
         &self,
         schemas: &SchemaSet,
         product: &DerivedProduct,
-    ) -> (Vec<Diagnostic>, RegionCheckStats) {
+        trace: Option<&TraceCtx>,
+    ) -> (Vec<Diagnostic>, RegionCheckStats, SolverStats) {
         let mut diagnostics = Vec::new();
         let mut stats = RegionCheckStats::default();
+        let mut fresh = SolverStats::default();
         if !self.skip_syntactic {
-            let report = SyntacticChecker::new(&product.tree, schemas).check();
+            let span = StageSpan::begin(trace, "syntactic");
+            let mut checker = SyntacticChecker::new(&product.tree, schemas);
+            if let Some(span) = &span {
+                checker.attach_trace(span.child());
+            }
+            let solver_base = checker.solver_stats();
+            let report = checker.check();
+            fresh.merge(&checker.solver_stats().delta_since(&solver_base));
+            StageSpan::finish(span);
             for v in report.violations {
                 diagnostics.push(
                     Diagnostic::error(Stage::Syntactic, v.to_string()).blame(
@@ -528,8 +640,16 @@ impl Pipeline {
             }
         }
         if !self.skip_semantic {
-            match SemanticChecker::new().check_tree_with_stats(&product.tree) {
+            let span = StageSpan::begin(trace, "semantic");
+            let mut checker = SemanticChecker::new();
+            if let Some(span) = &span {
+                checker.set_trace(span.child());
+            }
+            let outcome = checker.check_tree_with_stats(&product.tree);
+            StageSpan::finish(span);
+            match outcome {
                 Ok((report, tree_stats)) => {
+                    fresh.merge(&tree_stats.solver);
                     stats = tree_stats;
                     for c in report.collisions {
                         let mut blamed: Vec<llhsc_delta::Provenance> = product
@@ -563,7 +683,7 @@ impl Pipeline {
                 }
             }
         }
-        (diagnostics, stats)
+        (diagnostics, stats, fresh)
     }
 }
 
@@ -587,6 +707,38 @@ fn lookup(cache: Option<&dyn PipelineCache>, class: CacheClass, key: u64) -> Opt
 fn store(cache: Option<&dyn PipelineCache>, class: CacheClass, key: u64, entry: CacheEntry) {
     if let Some(c) = cache {
         c.put(class, key, entry);
+    }
+}
+
+/// One open stage span. Wrapped in `Option` so an untraced run pays a
+/// single branch per stage; [`StageSpan::finish`] takes the `Option` to
+/// keep the close-on-every-path call sites one line.
+struct StageSpan {
+    ctx: TraceCtx,
+    id: SpanId,
+}
+
+impl StageSpan {
+    fn begin(trace: Option<&TraceCtx>, name: &str) -> Option<StageSpan> {
+        trace.map(|t| StageSpan {
+            id: t.begin(name),
+            ctx: t.clone(),
+        })
+    }
+
+    /// A context whose spans nest under this stage.
+    fn child(&self) -> TraceCtx {
+        self.ctx.at(self.id)
+    }
+
+    fn add(&self, key: &str, value: u64) {
+        self.ctx.add(self.id, key, value);
+    }
+
+    fn finish(span: Option<StageSpan>) {
+        if let Some(s) = span {
+            s.ctx.finish(s.id);
+        }
     }
 }
 
@@ -860,6 +1012,71 @@ mod tests {
         assert_eq!(rendered(&plain.diagnostics), rendered(&warm.diagnostics));
         assert_eq!(plain.vm_dts, warm.vm_dts);
         assert_eq!(plain.platform_c, warm.platform_c);
+    }
+
+    #[test]
+    fn traced_run_records_stage_and_solve_spans() {
+        use llhsc_obs::{TraceCtx, Tracer};
+        use std::sync::Arc;
+
+        let input = running_example::pipeline_input();
+        let cache = TestCache::default();
+        let pipeline = Pipeline::new();
+
+        let tracer = Arc::new(Tracer::zeroed());
+        let ctx = TraceCtx::new(Arc::clone(&tracer));
+        let out = pipeline
+            .run_observed(&input, Some(&cache), Some(&ctx))
+            .expect("traced run succeeds");
+        let spans = tracer.spans();
+        assert!(
+            spans.iter().all(|s| s.dur_us.is_some()),
+            "every span closed"
+        );
+        for stage in [
+            "pipeline",
+            "allocation",
+            "derivation",
+            "checking",
+            "coverage",
+            "generation",
+        ] {
+            assert!(
+                spans.iter().any(|s| s.name == stage),
+                "missing {stage} span"
+            );
+        }
+        // 2 VM products + the platform product, all cold.
+        let products: Vec<_> = spans.iter().filter(|s| s.name == "product_check").collect();
+        assert_eq!(products.len(), 3);
+        assert!(products.iter().all(|s| s.counter("cache_hit") == Some(0)));
+        // Every solve span nests somewhere (under a stage or a
+        // product_check's syntactic/semantic child), and the output's
+        // solver totals equal the sum over the solve spans.
+        let solves: Vec<_> = spans.iter().filter(|s| s.name == "solve").collect();
+        assert!(!solves.is_empty(), "cold run must solve");
+        assert!(solves.iter().all(|s| s.parent.is_some()));
+        let sum = |key: &str| -> u64 { solves.iter().filter_map(|s| s.counter(key)).sum() };
+        assert_eq!(sum("solves"), out.solver_stats.solves);
+        assert_eq!(sum("decisions"), out.solver_stats.decisions);
+        assert_eq!(sum("propagations"), out.solver_stats.propagations);
+        assert_eq!(sum("conflicts"), out.solver_stats.conflicts);
+        assert_eq!(sum("restarts"), out.solver_stats.restarts);
+
+        // Warm run: verdicts replay from the cache — product checks
+        // report their hit, nothing solves, totals are zero.
+        let tracer = Arc::new(Tracer::zeroed());
+        let ctx = TraceCtx::new(Arc::clone(&tracer));
+        let warm = pipeline
+            .run_observed(&input, Some(&cache), Some(&ctx))
+            .expect("warm traced run succeeds");
+        let spans = tracer.spans();
+        let products: Vec<_> = spans.iter().filter(|s| s.name == "product_check").collect();
+        assert_eq!(products.len(), 3);
+        assert!(products.iter().all(|s| s.counter("cache_hit") == Some(1)));
+        assert!(!spans.iter().any(|s| s.name == "solve"));
+        assert_eq!(warm.solver_stats, SolverStats::default());
+        assert_eq!(warm.semantic_stats, out.semantic_stats);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use llhsc_dts::cells::{collect_regions, collect_regions_translated, RegEntry};
 use llhsc_dts::{DeviceTree, DtsError};
+use llhsc_obs::TraceCtx;
 use llhsc_smt::{CheckResult, Context, SolverStats, TermId};
 
 use crate::sweep;
@@ -118,6 +119,9 @@ pub struct SemanticChecker {
     /// 6), so they are exempt from physical-overlap checking and only
     /// checked against each other.
     pub virtual_compatibles: Vec<String>,
+    /// When set, every SMT solve the checker performs records a
+    /// `"solve"` span under this context with its solver-counter delta.
+    trace: Option<TraceCtx>,
 }
 
 impl Default for SemanticChecker {
@@ -132,7 +136,21 @@ impl SemanticChecker {
         SemanticChecker {
             check_interrupts: true,
             virtual_compatibles: vec!["veth".to_string(), "shmem".to_string()],
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context: every solver call made by subsequent
+    /// checks records a `"solve"` span under it.
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = Some(trace);
+    }
+
+    /// Builder form of [`set_trace`](SemanticChecker::set_trace).
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceCtx) -> SemanticChecker {
+        self.trace = Some(trace);
+        self
     }
 
     /// Creates a checker with only the memory-overlap rule (ablation).
@@ -319,6 +337,9 @@ impl SemanticChecker {
         pairs: &[(usize, usize)],
     ) -> (Vec<Collision>, RegionCheckStats) {
         let mut ctx = Context::new();
+        if let Some(trace) = &self.trace {
+            ctx.set_trace(trace.clone());
+        }
 
         // Encode base and end of every region that participates in at
         // least one candidate pair as 65-bit constants bound to
@@ -478,7 +499,22 @@ impl SemanticChecker {
     /// counterparts internally to the hypervisor", §IV-C). Returns a
     /// witness address per uncovered region.
     pub fn check_coverage(&self, inner: &[RegionRef], outer: &[RegionRef]) -> Vec<CoverageGap> {
+        self.check_coverage_with_stats(inner, outer).0
+    }
+
+    /// [`check_coverage`](SemanticChecker::check_coverage), also
+    /// returning the solver counters the queries cost. When a trace
+    /// context is attached, each per-region query records a `"solve"`
+    /// span under it.
+    pub fn check_coverage_with_stats(
+        &self,
+        inner: &[RegionRef],
+        outer: &[RegionRef],
+    ) -> (Vec<CoverageGap>, SolverStats) {
         let mut ctx = Context::new();
+        if let Some(trace) = &self.trace {
+            ctx.set_trace(trace.clone());
+        }
         let mut out = Vec::new();
         for r in inner {
             if r.region.size == 0 {
@@ -513,7 +549,8 @@ impl SemanticChecker {
             }
             ctx.pop();
         }
-        out
+        let stats = ctx.solver_stats();
+        (out, stats)
     }
 
     /// Checks that every region's base and size are multiples of

@@ -163,6 +163,20 @@ impl MultiModel {
         self.num_vms
     }
 
+    /// Forwards a trace context to the underlying SMT context: every
+    /// solver call made by [`validate`](MultiModel::validate),
+    /// [`complete`](MultiModel::complete) (including its greedy
+    /// minimisation loop) and [`count_allocations`](MultiModel::count_allocations)
+    /// then records a `"solve"` span with its counter delta.
+    pub fn attach_trace(&mut self, trace: llhsc_obs::TraceCtx) {
+        self.ctx.set_trace(trace);
+    }
+
+    /// Solver counters accumulated by this model's SMT context.
+    pub fn solver_stats(&self) -> llhsc_sat::SolverStats {
+        self.ctx.solver_stats()
+    }
+
     /// Whether any allocation exists at all.
     pub fn check(&mut self) -> bool {
         self.ctx.check() == CheckResult::Sat

@@ -1,0 +1,36 @@
+//! Zero-dependency observability primitives for llhsc.
+//!
+//! Three small, independent pieces share this crate:
+//!
+//! * [`trace`] — a thread-safe [`Tracer`] recording hierarchical spans
+//!   (pipeline → stage → per-VM product check → individual solver call)
+//!   with attached `u64` counters, exportable as Chrome trace-event JSON.
+//! * [`metrics`] — a [`Registry`] of labelled [`Counter`]s and fixed-bucket
+//!   [`Histogram`]s rendered in the Prometheus text exposition format.
+//! * [`log`] — a leveled, timestamped stderr logger gated by the
+//!   `LLHSC_LOG=error|warn|info|debug` environment variable.
+//!
+//! The crate deliberately depends on nothing (not even other llhsc
+//! crates) so every layer — `sat` excepted, which stays instrumentation
+//! free — can link it without cycles. Time is injectable via [`Clock`]:
+//! golden tests and the byte-stability contract of `--report-json` use
+//! [`ZeroClock`] (selected by `LLHSC_TRACE_ZERO_TIME=1`) so that two runs
+//! over the same input serialize to identical bytes.
+
+pub mod clock;
+pub mod log;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, ManualClock, WallClock, ZeroClock};
+pub use log::{LogLevel, Logger};
+pub use metrics::{Counter, Histogram, MetricKind, Registry};
+pub use trace::{SpanId, SpanRecord, TraceCtx, Tracer};
+
+/// Name of the environment variable that switches tracers built with
+/// [`Tracer::from_env`] onto the zero clock, making span timestamps and
+/// durations deterministic (always 0).
+pub const ZERO_TIME_ENV: &str = "LLHSC_TRACE_ZERO_TIME";
+
+/// Name of the environment variable read by [`Logger::from_env`].
+pub const LOG_ENV: &str = "LLHSC_LOG";

@@ -1,0 +1,166 @@
+//! Leveled, timestamped stderr logging gated by `LLHSC_LOG`.
+//!
+//! The service is the primary consumer: connection accept/serve loops
+//! log at `info`, per-request outcomes (with their trace IDs) at
+//! `debug`, and failures at `warn`/`error`. The default level is `warn`
+//! so library users and the CLI stay quiet unless asked.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use crate::LOG_ENV;
+
+/// Severity, ordered from most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    Error,
+    Warn,
+    Info,
+    Debug,
+}
+
+impl LogLevel {
+    /// Parses an `LLHSC_LOG` value; unknown strings return `None`.
+    pub fn parse(s: &str) -> Option<LogLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(LogLevel::Error),
+            "warn" | "warning" => Some(LogLevel::Warn),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "ERROR",
+            LogLevel::Warn => "WARN",
+            LogLevel::Info => "INFO",
+            LogLevel::Debug => "DEBUG",
+        }
+    }
+}
+
+/// A filter level plus a fixed component tag, writing to stderr.
+#[derive(Debug, Clone)]
+pub struct Logger {
+    level: LogLevel,
+    target: &'static str,
+}
+
+impl Logger {
+    pub fn new(level: LogLevel, target: &'static str) -> Logger {
+        Logger { level, target }
+    }
+
+    /// Level from `LLHSC_LOG` (default `warn`; unknown values also fall
+    /// back to `warn` rather than erroring a long-running daemon).
+    pub fn from_env(target: &'static str) -> Logger {
+        let level = std::env::var(LOG_ENV)
+            .ok()
+            .and_then(|v| LogLevel::parse(&v))
+            .unwrap_or(LogLevel::Warn);
+        Logger::new(level, target)
+    }
+
+    pub fn level(&self) -> LogLevel {
+        self.level
+    }
+
+    pub fn enabled(&self, level: LogLevel) -> bool {
+        level <= self.level
+    }
+
+    pub fn error(&self, msg: &str) {
+        self.log(LogLevel::Error, msg);
+    }
+
+    pub fn warn(&self, msg: &str) {
+        self.log(LogLevel::Warn, msg);
+    }
+
+    pub fn info(&self, msg: &str) {
+        self.log(LogLevel::Info, msg);
+    }
+
+    pub fn debug(&self, msg: &str) {
+        self.log(LogLevel::Debug, msg);
+    }
+
+    pub fn log(&self, level: LogLevel, msg: &str) {
+        if !self.enabled(level) {
+            return;
+        }
+        let now = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default();
+        eprintln!(
+            "{} {:5} {}: {msg}",
+            format_utc(now.as_secs(), now.subsec_millis()),
+            level.as_str(),
+            self.target
+        );
+    }
+}
+
+/// RFC 3339 UTC timestamp with millisecond precision, e.g.
+/// `2026-08-06T12:34:56.789Z`. Uses the classic civil-from-days
+/// conversion so we need no time-zone tables.
+pub fn format_utc(unix_secs: u64, millis: u32) -> String {
+    let days = unix_secs / 86_400;
+    let secs_of_day = unix_secs % 86_400;
+    let (year, month, day) = civil_from_days(days as i64);
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        secs_of_day / 3600,
+        (secs_of_day / 60) % 60,
+        secs_of_day % 60
+    )
+}
+
+/// Days since 1970-01-01 → (year, month, day), Howard Hinnant's
+/// algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m as u32, d as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(LogLevel::parse("error"), Some(LogLevel::Error));
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse(" info "), Some(LogLevel::Info));
+        assert_eq!(LogLevel::parse("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::parse("verbose"), None);
+    }
+
+    #[test]
+    fn level_ordering_gates() {
+        let l = Logger::new(LogLevel::Info, "test");
+        assert!(l.enabled(LogLevel::Error));
+        assert!(l.enabled(LogLevel::Warn));
+        assert!(l.enabled(LogLevel::Info));
+        assert!(!l.enabled(LogLevel::Debug));
+    }
+
+    #[test]
+    fn utc_formatting() {
+        // 1970-01-01.
+        assert_eq!(format_utc(0, 0), "1970-01-01T00:00:00.000Z");
+        // 2000-03-01 (leap-century boundary).
+        assert_eq!(format_utc(951_868_800, 1), "2000-03-01T00:00:00.001Z");
+        // 2026-08-06T07:21:54.500Z.
+        assert_eq!(format_utc(1_786_000_914, 500), "2026-08-06T07:21:54.500Z");
+    }
+}

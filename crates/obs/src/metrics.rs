@@ -1,0 +1,366 @@
+//! Labelled counters and fixed-bucket histograms with a Prometheus
+//! text-format renderer.
+//!
+//! A [`Registry`] hands out `Arc`-shared metric handles keyed by
+//! `(name, labels)`; asking twice for the same series returns the same
+//! handle, so call sites can either cache the `Arc` or look it up per
+//! event. Rendering walks every family in name order and every series in
+//! label order, so the exposition text is deterministic for a given set
+//! of observations.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How a family is advertised in the `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// A monotonic (or, for gauges, up-down) atomic integer.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, v: u64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Saturating decrement, for gauge-style series like in-flight
+    /// request counts.
+    pub fn sub(&self, v: u64) {
+        let mut cur = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(v);
+            match self
+                .value
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Raises the value to `v` if larger (high-water-mark series).
+    pub fn record_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bound histogram in whatever unit the caller observes
+/// (microseconds throughout llhsc). Buckets are non-cumulative
+/// internally and rendered cumulatively, per the Prometheus format.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    pub fn observe(&self, value: u64) {
+        match self.bounds.iter().position(|&b| value <= b) {
+            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => self.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative per-bucket counts, one entry per bound plus `+Inf`.
+    fn cumulative(&self) -> Vec<u64> {
+        let mut total = 0;
+        let mut out = Vec::with_capacity(self.bounds.len() + 1);
+        for bucket in &self.buckets {
+            total += bucket.load(Ordering::Relaxed);
+            out.push(total);
+        }
+        out.push(total + self.overflow.load(Ordering::Relaxed));
+        out
+    }
+}
+
+struct Family {
+    kind: MetricKind,
+    help: String,
+    counters: BTreeMap<String, Arc<Counter>>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+}
+
+/// Get-or-create store of metric families, rendered in one pass.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry {
+            families: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn family<'a>(
+        map: &'a mut BTreeMap<String, Family>,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+    ) -> &'a mut Family {
+        map.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        })
+    }
+
+    /// Counter series `name{labels}`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.scalar(name, help, labels, MetricKind::Counter)
+    }
+
+    /// Gauge series `name{labels}` (same storage as a counter, different
+    /// `# TYPE`, and callers may `sub`/`record_max`).
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.scalar(name, help, labels, MetricKind::Gauge)
+    }
+
+    fn scalar(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+    ) -> Arc<Counter> {
+        let key = render_labels(labels);
+        let mut map = self.lock();
+        let family = Registry::family(&mut map, name, help, kind);
+        Arc::clone(
+            family
+                .counters
+                .entry(key)
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Histogram series `name{labels}` with the given bucket upper
+    /// bounds. Bounds are fixed at first creation of the series.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let key = render_labels(labels);
+        let mut map = self.lock();
+        let family = Registry::family(&mut map, name, help, MetricKind::Histogram);
+        Arc::clone(
+            family
+                .histograms
+                .entry(key)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Prometheus text exposition format: families in name order, series
+    /// in label order, `# HELP`/`# TYPE` headers, trailing newline.
+    pub fn render(&self) -> String {
+        let map = self.lock();
+        let mut out = String::new();
+        for (name, family) in map.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, counter) in &family.counters {
+                let _ = writeln!(out, "{name}{labels} {}", counter.get());
+            }
+            for (labels, histogram) in &family.histograms {
+                let cumulative = histogram.cumulative();
+                for (i, count) in cumulative.iter().enumerate() {
+                    let le = match histogram.bounds.get(i) {
+                        Some(bound) => bound.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    let _ = writeln!(out, "{name}_bucket{} {count}", merge_label(labels, &le));
+                }
+                let _ = writeln!(out, "{name}_sum{labels} {}", histogram.sum());
+                let _ = writeln!(out, "{name}_count{labels} {}", histogram.count());
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// `{a="x",b="y"}` or the empty string.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Splices `le="…"` into an already-rendered label set.
+fn merge_label(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        // labels is "{...}": insert before the closing brace.
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_series_by_labels() {
+        let reg = Registry::new();
+        let a = reg.counter("llhsc_requests_total", "Requests.", &[("op", "check")]);
+        let b = reg.counter("llhsc_requests_total", "Requests.", &[("op", "check")]);
+        let c = reg.counter("llhsc_requests_total", "Requests.", &[("op", "ping")]);
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert_eq!(a.get(), 3);
+        let text = reg.render();
+        assert!(text.contains("# TYPE llhsc_requests_total counter"));
+        assert!(text.contains("llhsc_requests_total{op=\"check\"} 3"));
+        assert!(text.contains("llhsc_requests_total{op=\"ping\"} 1"));
+    }
+
+    #[test]
+    fn gauge_goes_up_and_down() {
+        let reg = Registry::new();
+        let g = reg.gauge("llhsc_in_flight", "In-flight requests.", &[]);
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.get(), 2);
+        g.sub(10);
+        assert_eq!(g.get(), 0);
+        g.record_max(5);
+        assert_eq!(g.get(), 5);
+        assert!(reg.render().contains("# TYPE llhsc_in_flight gauge"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram(
+            "llhsc_request_duration_us",
+            "Request latency.",
+            &[("op", "check")],
+            &[100, 1000],
+        );
+        h.observe(50);
+        h.observe(50);
+        h.observe(500);
+        h.observe(5000);
+        let text = reg.render();
+        assert!(text.contains("llhsc_request_duration_us_bucket{op=\"check\",le=\"100\"} 2"));
+        assert!(text.contains("llhsc_request_duration_us_bucket{op=\"check\",le=\"1000\"} 3"));
+        assert!(text.contains("llhsc_request_duration_us_bucket{op=\"check\",le=\"+Inf\"} 4"));
+        assert!(text.contains("llhsc_request_duration_us_sum{op=\"check\"} 5600"));
+        assert!(text.contains("llhsc_request_duration_us_count{op=\"check\"} 4"));
+    }
+
+    #[test]
+    fn unlabelled_histogram_gets_bare_le() {
+        let reg = Registry::new();
+        let h = reg.histogram("h", "H.", &[], &[10]);
+        h.observe(1);
+        let text = reg.render();
+        assert!(text.contains("h_bucket{le=\"10\"} 1"));
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 1"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_deterministic() {
+        let build = || {
+            let reg = Registry::new();
+            reg.counter("z_total", "Z.", &[]).inc();
+            reg.counter("a_total", "A.", &[("x", "2")]).inc();
+            reg.counter("a_total", "A.", &[("x", "1")]).inc();
+            reg.render()
+        };
+        let text = build();
+        assert_eq!(text, build());
+        let a = text.find("a_total{x=\"1\"}").unwrap();
+        let b = text.find("a_total{x=\"2\"}").unwrap();
+        let z = text.find("z_total ").unwrap();
+        assert!(a < b && b < z);
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -73,6 +73,41 @@ pub struct SolverStats {
     pub clauses: ClauseStats,
 }
 
+impl SolverStats {
+    /// Accumulates counters from another solver instance (clause counts
+    /// sum too: across distinct solvers "live clauses" is additive).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.conflicts += other.conflicts;
+        self.restarts += other.restarts;
+        self.reductions += other.reductions;
+        self.minimised_lits += other.minimised_lits;
+        self.clauses.problem += other.clauses.problem;
+        self.clauses.learnt += other.clauses.learnt;
+    }
+
+    /// The work done between an `earlier` snapshot of the same solver
+    /// and this one. Monotonic counters subtract exactly; live clause
+    /// counts can shrink (database reduction), so they saturate at 0.
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves - earlier.solves,
+            decisions: self.decisions - earlier.decisions,
+            propagations: self.propagations - earlier.propagations,
+            conflicts: self.conflicts - earlier.conflicts,
+            restarts: self.restarts - earlier.restarts,
+            reductions: self.reductions - earlier.reductions,
+            minimised_lits: self.minimised_lits - earlier.minimised_lits,
+            clauses: ClauseStats {
+                problem: self.clauses.problem.saturating_sub(earlier.clauses.problem),
+                learnt: self.clauses.learnt.saturating_sub(earlier.clauses.learnt),
+            },
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Watch {
     cref: ClauseRef,

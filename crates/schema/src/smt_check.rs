@@ -105,6 +105,18 @@ impl SyntacticChecker {
         &mut self.ctx
     }
 
+    /// Forwards a trace context to the underlying SMT context so each
+    /// rule-marker solve in [`check`](SyntacticChecker::check) records a
+    /// `"solve"` span with its solver-counter delta.
+    pub fn attach_trace(&mut self, trace: llhsc_obs::TraceCtx) {
+        self.ctx.set_trace(trace);
+    }
+
+    /// Solver counters accumulated by this checker's SMT context.
+    pub fn solver_stats(&self) -> llhsc_smt::SolverStats {
+        self.ctx.solver_stats()
+    }
+
     fn encode_tree(&mut self, tree: &DeviceTree, schemas: &SchemaSet) {
         fn rec(
             checker: &mut SyntacticChecker,

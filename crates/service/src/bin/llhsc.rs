@@ -33,13 +33,15 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use llhsc::Pipeline;
 use llhsc_dts::{parse_with_includes, FileProvider};
 use llhsc_fm::Analyzer;
+use llhsc_obs::{TraceCtx, Tracer};
 use llhsc_schema::SchemaSet;
 use llhsc_service::json::Json;
-use llhsc_service::{check_tree, client, server, ServerConfig};
+use llhsc_service::{check_report_json, check_tree_traced, client, server, ServerConfig};
 
 /// Where `llhsc serve` listens and `llhsc client` connects unless
 /// `--addr` says otherwise.
@@ -73,13 +75,19 @@ fn usage() -> ExitCode {
            llhsc demo                    run the paper's running example\n\
            llhsc serve [--addr A] [--workers N] [--max-request-bytes N]\n\
                                          run the check daemon (default {DEFAULT_ADDR})\n\
-           llhsc client [--addr A] check <file.dts>\n\
-           llhsc client [--addr A] ping|stats|shutdown\n\
+           llhsc client [--addr A] check [--report-json F] <file.dts>\n\
+           llhsc client [--addr A] stats [--json]\n\
+           llhsc client [--addr A] ping|metrics|shutdown\n\
                                          talk to a running daemon\n\
          \n\
          options:\n\
-           --stats    print per-stage wall times and solver statistics\n\
-                      (check, build, demo)\n\
+           --stats            print per-stage wall times and solver statistics\n\
+                              (check, build, demo)\n\
+           --trace <file>     write a Chrome-trace JSON of the run's span tree\n\
+                              (check, build, demo; LLHSC_TRACE_ZERO_TIME=1\n\
+                              zeroes timestamps for reproducible output)\n\
+           --report-json <file>  write the machine-readable check report\n\
+                              (check, client check)\n\
          \n\
          exit codes:\n\
            0  the input is clean\n\
@@ -95,13 +103,13 @@ fn main() -> ExitCode {
     args.retain(|a| a != "--stats");
     let stats = args.len() != before;
     match args.first().map(String::as_str) {
-        Some("check") if args.len() == 2 => cmd_check(Path::new(&args[1]), stats),
+        Some("check") => cmd_check(args[1..].to_vec(), stats),
         Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
         Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
         Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
-        Some("build") if args.len() == 2 => cmd_build(Path::new(&args[1]), stats),
+        Some("build") => cmd_build(args[1..].to_vec(), stats),
         Some("products") if args.len() == 1 => cmd_products(),
-        Some("demo") if args.len() == 1 => cmd_demo(stats),
+        Some("demo") => cmd_demo(args[1..].to_vec(), stats),
         Some("serve") => cmd_serve(args[1..].to_vec()),
         Some("client") => cmd_client(args[1..].to_vec()),
         _ => usage(),
@@ -120,6 +128,46 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, ()> {
         }
         Some(_) => Err(()),
     }
+}
+
+/// Removes a bare `--name` switch from `args`, reporting its presence.
+fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// A live tracer plus the path its Chrome-trace JSON goes to
+/// (`--trace`). Honors `LLHSC_TRACE_ZERO_TIME` so CI can produce
+/// reproducible traces.
+struct TraceSink {
+    tracer: Arc<Tracer>,
+    path: PathBuf,
+}
+
+impl TraceSink {
+    fn new(path: Option<String>) -> Option<TraceSink> {
+        path.map(|p| TraceSink {
+            tracer: Arc::new(Tracer::from_env()),
+            path: PathBuf::from(p),
+        })
+    }
+
+    fn ctx(&self) -> TraceCtx {
+        TraceCtx::new(Arc::clone(&self.tracer))
+    }
+
+    /// Writes the trace file; `Err` already rendered to stderr.
+    fn write(self) -> Result<(), ()> {
+        write_output(&self.path, self.tracer.chrome_trace().as_bytes())
+    }
+}
+
+/// Writes a CLI output artifact, rendering failures as tool errors.
+fn write_output(path: &Path, bytes: &[u8]) -> Result<(), ()> {
+    std::fs::write(path, bytes).map_err(|e| {
+        eprintln!("error: cannot write {}: {e}", path.display());
+    })
 }
 
 // ---- the daemon ----------------------------------------------------
@@ -219,12 +267,13 @@ fn cmd_client(mut args: Vec<String>) -> ExitCode {
         Err(()) => return usage(),
     };
     match args.first().map(String::as_str) {
-        Some("check") if args.len() == 2 => client_check(&addr, Path::new(&args[1])),
+        Some("check") => client_check(&addr, args[1..].to_vec()),
         Some("ping") if args.len() == 1 => client_simple(&addr, "ping", "pong"),
         Some("shutdown") if args.len() == 1 => {
             client_simple(&addr, "shutdown", "server is shutting down")
         }
-        Some("stats") if args.len() == 1 => client_stats(&addr),
+        Some("stats") => client_stats(&addr, args[1..].to_vec()),
+        Some("metrics") if args.len() == 1 => client_metrics(&addr),
         _ => usage(),
     }
 }
@@ -233,18 +282,35 @@ fn cmd_client(mut args: Vec<String>) -> ExitCode {
 /// file's directory and parse errors render exactly like `llhsc
 /// check`), ship the canonical tree text, print the daemon's rendered
 /// streams. Byte-identical to the local command by construction.
-fn client_check(addr: &str, path: &Path) -> ExitCode {
-    let tree = match load_tree(path) {
+fn client_check(addr: &str, mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<Option<String>, ()> {
+        let report = take_flag(&mut args, "--report-json")?;
+        if args.len() == 1 {
+            Ok(report)
+        } else {
+            Err(())
+        }
+    })();
+    let Ok(report_path) = parsed else {
+        return usage();
+    };
+    let tree = match load_tree(Path::new(&args[0])) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error[parse]: {e}");
             return ExitCode::from(EXIT_FAILURE);
         }
     };
-    let request = Json::obj([
-        ("op", "check".into()),
-        ("dts", llhsc_dts::print(&tree).into()),
-    ]);
+    let dts: Json = llhsc_dts::print(&tree).into();
+    let request = if report_path.is_some() {
+        Json::obj([
+            ("op", "check".into()),
+            ("dts", dts),
+            ("report", Json::Bool(true)),
+        ])
+    } else {
+        Json::obj([("op", "check".into()), ("dts", dts)])
+    };
     match client::request_ok(addr, &request) {
         Err(e) => {
             eprintln!("error: {e}");
@@ -259,6 +325,17 @@ fn client_check(addr: &str, path: &Path) -> ExitCode {
                 "{}",
                 response.get("stdout").and_then(Json::as_str).unwrap_or("")
             );
+            if let Some(report_path) = report_path {
+                let Some(doc) = response.get("report") else {
+                    eprintln!("error: daemon response carries no report document");
+                    return ExitCode::from(EXIT_FAILURE);
+                };
+                let mut bytes = doc.to_string();
+                bytes.push('\n');
+                if write_output(Path::new(&report_path), bytes.as_bytes()).is_err() {
+                    return ExitCode::from(EXIT_FAILURE);
+                }
+            }
             if response.get("input_error").and_then(Json::as_bool) == Some(true) {
                 ExitCode::from(EXIT_FAILURE)
             } else if response.get("clean").and_then(Json::as_bool) == Some(true) {
@@ -283,7 +360,11 @@ fn client_simple(addr: &str, op: &str, done: &str) -> ExitCode {
     }
 }
 
-fn client_stats(addr: &str) -> ExitCode {
+fn client_stats(addr: &str, mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    if !args.is_empty() {
+        return usage();
+    }
     let response = match client::request_ok(addr, &Json::obj([("op", "stats".into())])) {
         Err(e) => {
             eprintln!("error: {e}");
@@ -291,6 +372,10 @@ fn client_stats(addr: &str) -> ExitCode {
         }
         Ok(r) => r,
     };
+    if json {
+        println!("{response}");
+        return ExitCode::SUCCESS;
+    }
     let counter = |key: &str| response.get(key).and_then(Json::as_int).unwrap_or(0);
     println!("llhsc-service at {addr}:");
     println!("  workers              {:>10}", counter("workers"));
@@ -306,14 +391,46 @@ fn client_stats(addr: &str) -> ExitCode {
         "  queue wait max       {:>10} µs",
         counter("queue_wait_us_max")
     );
-    println!("  cache                      hits      misses");
+    println!("  cache                      hits      misses    hit rate");
     if let Some(cache) = response.get("cache").and_then(Json::as_obj) {
         for (class, counters) in cache {
             let get = |key: &str| counters.get(key).and_then(Json::as_int).unwrap_or(0);
-            println!("    {class:<18} {:>10}  {:>10}", get("hits"), get("misses"));
+            let (hits, misses) = (get("hits"), get("misses"));
+            let rate = if hits + misses == 0 {
+                "      —".to_string()
+            } else {
+                format!("{:>6.1}%", 100.0 * hits as f64 / (hits + misses) as f64)
+            };
+            println!("    {class:<18} {hits:>10}  {misses:>10}  {rate:>10}");
         }
     }
+    if let Some(solver) = response.get("solver").and_then(Json::as_obj) {
+        let get = |key: &str| solver.get(key).and_then(Json::as_int).unwrap_or(0);
+        println!("  solver (fresh work across all requests)");
+        println!("    solves             {:>10}", get("solves"));
+        println!("    decisions          {:>10}", get("decisions"));
+        println!("    propagations       {:>10}", get("propagations"));
+        println!("    conflicts          {:>10}", get("conflicts"));
+        println!("    restarts           {:>10}", get("restarts"));
+    }
     ExitCode::SUCCESS
+}
+
+/// `llhsc client metrics`: dump the daemon's Prometheus text exposition.
+fn client_metrics(addr: &str) -> ExitCode {
+    match client::request_ok(addr, &Json::obj([("op", "metrics".into())])) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Ok(response) => {
+            print!(
+                "{}",
+                response.get("text").and_then(Json::as_str).unwrap_or("")
+            );
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 // ---- one-shot commands (the classic CLI) ---------------------------
@@ -333,11 +450,25 @@ fn print_region_stats(stats: &llhsc::RegionCheckStats) {
     println!("  learnt clauses    {:>10}", stats.solver.clauses.learnt);
 }
 
+/// Renders the run's fresh solver work (`--stats`): syntactic rule
+/// solves plus semantic disjointness queries, excluding anything
+/// replayed from a cache. Equals the sum over the `"solve"` spans of a
+/// `--trace` run.
+fn print_solver_totals(solver: &llhsc::SolverStats) {
+    println!("solver totals (fresh work):");
+    println!("  solves            {:>10}", solver.solves);
+    println!("  decisions         {:>10}", solver.decisions);
+    println!("  propagations      {:>10}", solver.propagations);
+    println!("  conflicts         {:>10}", solver.conflicts);
+    println!("  restarts          {:>10}", solver.restarts);
+}
+
 /// Renders a pipeline run's instrumentation (`--stats`).
 fn print_pipeline_stats(out: &llhsc::PipelineOutput) {
     println!("stage timings:");
     println!("{}", out.timings);
     print_region_stats(&out.semantic_stats);
+    print_solver_totals(&out.solver_stats);
 }
 
 fn cmd_model(path: &Path) -> ExitCode {
@@ -410,7 +541,20 @@ enum BuildFailure {
     Rejected(String),
 }
 
-fn cmd_build(dir: &Path, stats: bool) -> ExitCode {
+fn cmd_build(mut args: Vec<String>, stats: bool) -> ExitCode {
+    let parsed = (|| -> Result<Option<String>, ()> {
+        let trace = take_flag(&mut args, "--trace")?;
+        if args.len() == 1 {
+            Ok(trace)
+        } else {
+            Err(())
+        }
+    })();
+    let Ok(trace_path) = parsed else {
+        return usage();
+    };
+    let dir = Path::new(&args[0]);
+    let sink = TraceSink::new(trace_path);
     let read = |name: &str| -> Result<String, String> {
         std::fs::read_to_string(dir.join(name))
             .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
@@ -473,11 +617,17 @@ fn cmd_build(dir: &Path, stats: bool) -> ExitCode {
             })
         })()
         .map_err(BuildFailure::Input)?;
+        let ctx = sink.as_ref().map(TraceSink::ctx);
         Pipeline::new()
-            .run(&input)
+            .run_observed(&input, None, ctx.as_ref())
             .map_err(|e| BuildFailure::Rejected(e.to_string()))
     })();
 
+    if let Some(sink) = sink {
+        if sink.write().is_err() {
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    }
     match result {
         Err(BuildFailure::Input(e)) => {
             eprintln!("error: {e}");
@@ -545,7 +695,20 @@ fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
     parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-fn cmd_check(path: &Path, stats: bool) -> ExitCode {
+fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
+    let parsed = (|| -> Result<(Option<String>, Option<String>), ()> {
+        let trace = take_flag(&mut args, "--trace")?;
+        let report = take_flag(&mut args, "--report-json")?;
+        if args.len() == 1 {
+            Ok((trace, report))
+        } else {
+            Err(())
+        }
+    })();
+    let Ok((trace_path, report_path)) = parsed else {
+        return usage();
+    };
+    let path = Path::new(&args[0]);
     let tree = match load_tree(path) {
         Ok(t) => t,
         Err(e) => {
@@ -553,12 +716,37 @@ fn cmd_check(path: &Path, stats: bool) -> ExitCode {
             return ExitCode::from(EXIT_FAILURE);
         }
     };
-    let outcome = check_tree(&tree);
+    let sink = TraceSink::new(trace_path);
+    // The report document embeds the (time-free) span tree, so a report
+    // run is always traced — against a zeroed clock when no `--trace`
+    // file asked for real timestamps.
+    let tracer = match &sink {
+        Some(s) => Some(Arc::clone(&s.tracer)),
+        None if report_path.is_some() => Some(Arc::new(Tracer::zeroed())),
+        None => None,
+    };
+    let ctx = tracer.as_ref().map(|t| TraceCtx::new(Arc::clone(t)));
+    let outcome = check_tree_traced(&tree, ctx.as_ref());
     eprint!("{}", outcome.report.stderr);
     print!("{}", outcome.report.stdout);
+    if let Some(sink) = sink {
+        if sink.write().is_err() {
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    }
+    if let Some(report_path) = report_path {
+        let spans = tracer.as_ref().map(|t| t.spans()).unwrap_or_default();
+        let doc = check_report_json(&outcome.report, &outcome.stats, &outcome.solver, &spans);
+        let mut bytes = doc.to_string();
+        bytes.push('\n');
+        if write_output(Path::new(&report_path), bytes.as_bytes()).is_err() {
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    }
     if stats {
         println!("semantic check time: {:.1?}", outcome.elapsed);
         print_region_stats(&outcome.stats);
+        print_solver_totals(&outcome.solver);
     }
     if outcome.report.input_error {
         // Uninterpretable input (bad cell counts, malformed reg): a
@@ -630,9 +818,28 @@ fn cmd_products() -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_demo(stats: bool) -> ExitCode {
+fn cmd_demo(mut args: Vec<String>, stats: bool) -> ExitCode {
+    let parsed = (|| -> Result<Option<String>, ()> {
+        let trace = take_flag(&mut args, "--trace")?;
+        if args.is_empty() {
+            Ok(trace)
+        } else {
+            Err(())
+        }
+    })();
+    let Ok(trace_path) = parsed else {
+        return usage();
+    };
+    let sink = TraceSink::new(trace_path);
+    let ctx = sink.as_ref().map(TraceSink::ctx);
     let input = llhsc::running_example::pipeline_input();
-    match Pipeline::new().run(&input) {
+    let result = Pipeline::new().run_observed(&input, None, ctx.as_ref());
+    if let Some(sink) = sink {
+        if sink.write().is_err() {
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    }
+    match result {
         Ok(out) => {
             for d in &out.diagnostics {
                 println!("{d}");

@@ -4,9 +4,26 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use llhsc::{CacheClass, CacheEntry, PipelineCache};
+use llhsc::{CacheClass, CacheEntry, PipelineCache, RegionCheckStats, SolverStats};
 
 use crate::check::CheckReport;
+
+/// A cached whole-tree `check` outcome: the rendered report plus the
+/// cost counters of the original fresh run. Replayed on every hit, so a
+/// daemon-served report (including `--report-json`) is byte-identical
+/// whether the verdict was computed or replayed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedTreeCheck {
+    /// The rendered report.
+    pub report: CheckReport,
+    /// Semantic-checker cost counters of the fresh run.
+    pub stats: RegionCheckStats,
+    /// Solver totals of the fresh run.
+    pub solver: SolverStats,
+    /// Span tree of the fresh run (recorded against a zeroed clock),
+    /// replayed into the report document on cache hits.
+    pub spans: Vec<llhsc_obs::SpanRecord>,
+}
 
 /// Hit/miss counters for one cache class.
 #[derive(Debug, Default)]
@@ -43,7 +60,7 @@ impl ClassCounters {
 #[derive(Debug, Default)]
 pub struct ServiceCache {
     entries: Mutex<HashMap<(CacheClass, u64), CacheEntry>>,
-    trees: Mutex<HashMap<u64, CheckReport>>,
+    trees: Mutex<HashMap<u64, CachedTreeCheck>>,
     allocation: ClassCounters,
     product_check: ClassCounters,
     coverage: ClassCounters,
@@ -65,7 +82,7 @@ impl ServiceCache {
     }
 
     /// A cached whole-tree `check` result.
-    pub fn get_tree(&self, key: u64) -> Option<CheckReport> {
+    pub fn get_tree(&self, key: u64) -> Option<CachedTreeCheck> {
         let hit = self.trees.lock().expect("cache lock").get(&key).cloned();
         match &hit {
             Some(_) => self.tree_check.hit(),
@@ -75,8 +92,8 @@ impl ServiceCache {
     }
 
     /// Stores a whole-tree `check` result.
-    pub fn put_tree(&self, key: u64, report: CheckReport) {
-        self.trees.lock().expect("cache lock").insert(key, report);
+    pub fn put_tree(&self, key: u64, check: CachedTreeCheck) {
+        self.trees.lock().expect("cache lock").insert(key, check);
     }
 
     /// `(class name, hits, misses)` for every class, in a stable order.
@@ -181,14 +198,19 @@ mod tests {
     fn tree_reports_roundtrip() {
         let cache = ServiceCache::new();
         assert!(cache.get_tree(9).is_none());
-        let report = CheckReport {
-            stdout: "checked: ok\n".into(),
-            stderr: String::new(),
-            clean: true,
-            input_error: false,
+        let check = CachedTreeCheck {
+            report: CheckReport {
+                stdout: "checked: ok\n".into(),
+                stderr: String::new(),
+                clean: true,
+                input_error: false,
+            },
+            stats: RegionCheckStats::default(),
+            solver: SolverStats::default(),
+            spans: Vec::new(),
         };
-        cache.put_tree(9, report.clone());
-        assert_eq!(cache.get_tree(9), Some(report));
+        cache.put_tree(9, check.clone());
+        assert_eq!(cache.get_tree(9), Some(check));
         let (_, hits, misses) = cache.counters()[3];
         assert_eq!((hits, misses), (1, 1));
     }

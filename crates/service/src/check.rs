@@ -7,8 +7,9 @@
 
 use std::time::{Duration, Instant};
 
-use llhsc::{RegionCheckStats, SemanticChecker};
+use llhsc::{RegionCheckStats, SemanticChecker, SolverStats};
 use llhsc_dts::DeviceTree;
+use llhsc_obs::TraceCtx;
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 
 /// The rendered result of checking one tree: the exact bytes `llhsc
@@ -34,6 +35,10 @@ pub struct CheckOutcome {
     pub report: CheckReport,
     /// Semantic-checker cost counters (zero if the check aborted).
     pub stats: RegionCheckStats,
+    /// Total solver work this check performed (syntactic rule solves
+    /// plus semantic disjointness queries). Equals the sum over the
+    /// check's `"solve"` trace spans when a trace context is attached.
+    pub solver: SolverStats,
     /// Wall-clock time of the semantic check.
     pub elapsed: Duration,
 }
@@ -42,13 +47,37 @@ pub struct CheckOutcome {
 /// standard schema set, rendering findings exactly as `llhsc check`
 /// always has.
 pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
+    check_tree_traced(tree, None)
+}
+
+/// [`check_tree`] with structured tracing: when `trace` is given, the
+/// run records a `"check"` span parenting one `"syntactic"` and one
+/// `"semantic"` stage span, each parenting the `"solve"` spans of its
+/// checker's solver calls. The rendered bytes are identical to an
+/// untraced run.
+pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOutcome {
     use std::fmt::Write as _;
     let mut stdout = String::new();
     let mut stderr = String::new();
     let mut failed = false;
     let mut input_error = false;
 
-    let syntactic = SyntacticChecker::new(tree, &SchemaSet::standard()).check();
+    let root = trace.map(|t| (t.clone(), t.begin("check")));
+    let scoped = root.as_ref().map(|(t, id)| t.at(*id));
+    let trace = scoped.as_ref();
+    let mut solver = SolverStats::default();
+
+    let syn_span = trace.map(|t| (t, t.begin("syntactic")));
+    let mut syn_checker = SyntacticChecker::new(tree, &SchemaSet::standard());
+    if let Some((t, id)) = &syn_span {
+        syn_checker.attach_trace(t.at(*id));
+    }
+    let solver_base = syn_checker.solver_stats();
+    let syntactic = syn_checker.check();
+    solver.merge(&syn_checker.solver_stats().delta_since(&solver_base));
+    if let Some((t, id)) = syn_span {
+        t.finish(id);
+    }
     for v in &syntactic.violations {
         let _ = writeln!(stderr, "error[syntactic]: {v}");
         failed = true;
@@ -57,9 +86,19 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
     let started = Instant::now();
     let mut stats = RegionCheckStats::default();
     let mut elapsed = Duration::ZERO;
-    match SemanticChecker::new().check_tree_with_stats(tree) {
+    let sem_span = trace.map(|t| (t, t.begin("semantic")));
+    let mut sem_checker = SemanticChecker::new();
+    if let Some((t, id)) = &sem_span {
+        sem_checker.set_trace(t.at(*id));
+    }
+    let outcome = sem_checker.check_tree_with_stats(tree);
+    if let Some((t, id)) = sem_span {
+        t.finish(id);
+    }
+    match outcome {
         Ok((report, check_stats)) => {
             elapsed = started.elapsed();
+            solver.merge(&check_stats.solver);
             stats = check_stats;
             for c in &report.collisions {
                 let _ = writeln!(stderr, "error[semantic]: {c}");
@@ -98,6 +137,9 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
             input_error = true;
         }
     }
+    if let Some((t, id)) = root {
+        t.finish(id);
+    }
     CheckOutcome {
         report: CheckReport {
             stdout,
@@ -106,6 +148,7 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
             input_error,
         },
         stats,
+        solver,
         elapsed,
     }
 }
@@ -129,6 +172,38 @@ mod tests {
             out.report.stdout
         );
         assert!(out.report.stderr.is_empty());
+    }
+
+    #[test]
+    fn traced_check_matches_untraced_and_sums_solve_spans() {
+        use llhsc_obs::{TraceCtx, Tracer};
+        use std::sync::Arc;
+
+        let tree = llhsc_dts::parse(
+            "/ { #address-cells = <1>; #size-cells = <1>;\n\
+             \x20   memory@1000 { device_type = \"memory\"; reg = <0x1000 0x1000>; };\n\
+             \x20   uart@2000 { reg = <0x2000 0x1000>; }; };",
+        )
+        .unwrap();
+        let tracer = Arc::new(Tracer::zeroed());
+        let ctx = TraceCtx::new(Arc::clone(&tracer));
+        let traced = check_tree_traced(&tree, Some(&ctx));
+        let plain = check_tree(&tree);
+        assert_eq!(traced.report, plain.report);
+        assert_eq!(traced.solver, plain.solver);
+
+        let spans = tracer.spans();
+        assert!(spans.iter().all(|s| s.dur_us.is_some()), "all spans closed");
+        for name in ["check", "syntactic", "semantic"] {
+            assert!(spans.iter().any(|s| s.name == name), "missing {name} span");
+        }
+        let solves: Vec<_> = spans.iter().filter(|s| s.name == "solve").collect();
+        assert!(!solves.is_empty(), "checking must solve");
+        let sum = |key: &str| -> u64 { solves.iter().filter_map(|s| s.counter(key)).sum() };
+        assert_eq!(sum("solves"), traced.solver.solves);
+        assert_eq!(sum("decisions"), traced.solver.decisions);
+        assert_eq!(sum("propagations"), traced.solver.propagations);
+        assert_eq!(sum("conflicts"), traced.solver.conflicts);
     }
 
     #[test]

@@ -19,10 +19,12 @@ pub mod check;
 pub mod client;
 pub mod json;
 pub mod proto;
+pub mod report;
 pub mod server;
 
-pub use cache::{ServiceCache, ServiceStats};
-pub use check::{check_tree, CheckOutcome, CheckReport};
+pub use cache::{CachedTreeCheck, ServiceCache, ServiceStats};
+pub use check::{check_tree, check_tree_traced, CheckOutcome, CheckReport};
 pub use json::{Json, JsonError};
 pub use proto::{BuildRequest, Request};
+pub use report::{check_report_json, solver_json, REPORT_SCHEMA_VERSION};
 pub use server::{start, ServerConfig, ServerHandle};

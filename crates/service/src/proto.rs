@@ -23,11 +23,16 @@ pub enum Request {
     Check {
         /// The DTS source to parse and check.
         dts: String,
+        /// Also return the machine-readable report document (see
+        /// [`crate::report`]) in the response's `"report"` field.
+        report: bool,
     },
     /// Run the full pipeline.
     Build(Box<BuildRequest>),
     /// Service counters.
     Stats,
+    /// Prometheus text-format metrics.
+    Metrics,
     /// Drain in-flight work and stop the daemon.
     Shutdown,
 }
@@ -65,9 +70,11 @@ impl Request {
         match op {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             "check" => Ok(Request::Check {
                 dts: str_field(j, "dts")?,
+                report: j.get("report").and_then(Json::as_bool).unwrap_or(false),
             }),
             "build" => {
                 let schemas = match j.get("schemas") {
@@ -171,15 +178,30 @@ pub fn shutdown_frame() -> Json {
 }
 
 /// The `check` response: the exact bytes of `llhsc check`, the verdict
-/// and whether the answer came from the cache.
-pub fn check_frame(report: &CheckReport, cached: bool) -> Json {
-    Json::obj([
+/// and whether the answer came from the cache. With `report_doc`, the
+/// machine-readable report document rides along under `"report"`.
+pub fn check_frame(report: &CheckReport, cached: bool, report_doc: Option<Json>) -> Json {
+    let mut frame = Json::obj([
         ("ok", Json::Bool(true)),
         ("clean", Json::Bool(report.clean)),
         ("input_error", Json::Bool(report.input_error)),
         ("stdout", report.stdout.as_str().into()),
         ("stderr", report.stderr.as_str().into()),
         ("cached", Json::Bool(cached)),
+    ]);
+    if let (Json::Obj(map), Some(doc)) = (&mut frame, report_doc) {
+        map.insert("report".to_string(), doc);
+    }
+    frame
+}
+
+/// The `metrics` response: the Prometheus text exposition as one
+/// string field (the transport is JSON lines; a scraper unwraps it).
+pub fn metrics_frame(text: String) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", "metrics".into()),
+        ("text", Json::Str(text)),
     ])
 }
 
@@ -266,10 +288,19 @@ mod tests {
         assert_eq!(parse(r#"{"op":"ping"}"#), Ok(Request::Ping));
         assert_eq!(parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
         assert_eq!(parse(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
+        assert_eq!(parse(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
         assert_eq!(
             parse(r#"{"op":"check","dts":"/ { };"}"#),
             Ok(Request::Check {
-                dts: "/ { };".into()
+                dts: "/ { };".into(),
+                report: false,
+            })
+        );
+        assert_eq!(
+            parse(r#"{"op":"check","dts":"/ { };","report":true}"#),
+            Ok(Request::Check {
+                dts: "/ { };".into(),
+                report: true,
             })
         );
         let build = parse(

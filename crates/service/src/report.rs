@@ -1,0 +1,153 @@
+//! The machine-readable check report (`--report-json`).
+//!
+//! One builder produces the document for the local `llhsc check
+//! --report-json` and for the daemon's `check` op with `"report":
+//! true`, so the bytes a client writes are identical to a local run by
+//! construction — [`crate::json::Json`] renders objects with sorted
+//! keys, making the output canonical.
+//!
+//! The document is deliberately free of wall-clock times and other
+//! run-dependent noise: two runs over the same input produce the same
+//! bytes, whether the verdict was computed fresh or replayed from the
+//! daemon cache (the cache stores the fresh run's counters and spans,
+//! see [`crate::cache::CachedTreeCheck`]). The solver totals are the
+//! solver work of the *fresh* check, so they equal the sum over the
+//! `"solve"` spans of a traced run (`--trace`) — and over the `"solve"`
+//! entries of the document's own `spans` array, which carries the span
+//! tree (names, parent links, counters) without timestamps.
+
+use llhsc::{RegionCheckStats, SolverStats};
+use llhsc_obs::SpanRecord;
+
+use crate::check::CheckReport;
+use crate::json::Json;
+
+/// Version stamp of the report layout. Bump on breaking changes.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Builds the `check` report document.
+pub fn check_report_json(
+    report: &CheckReport,
+    stats: &RegionCheckStats,
+    solver: &SolverStats,
+    spans: &[SpanRecord],
+) -> Json {
+    Json::obj([
+        ("schema_version", REPORT_SCHEMA_VERSION.into()),
+        ("kind", "check".into()),
+        ("clean", Json::Bool(report.clean)),
+        ("input_error", Json::Bool(report.input_error)),
+        ("stdout", report.stdout.as_str().into()),
+        ("stderr", report.stderr.as_str().into()),
+        (
+            "region_stats",
+            Json::obj([
+                ("regions", stats.regions.into()),
+                ("pairs_considered", stats.pairs_considered.into()),
+                ("pairs_encoded", stats.pairs_encoded.into()),
+                ("terms", stats.terms.into()),
+            ]),
+        ),
+        ("solver", solver_json(solver)),
+        ("spans", spans_json(spans)),
+    ])
+}
+
+/// The span tree, time-free: names, parent links (span indices) and
+/// accumulated counters only, so the bytes do not depend on the clock
+/// behind the tracer.
+pub fn spans_json(spans: &[SpanRecord]) -> Json {
+    Json::Arr(
+        spans
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("name", s.name.as_str().into()),
+                    (
+                        "parent",
+                        match s.parent {
+                            Some(p) => u64::from(p.index()).into(),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "counters",
+                        Json::Obj(
+                            s.counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), (*v).into()))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The solver-counter object shared by the report document, the `stats`
+/// op and the bench harness.
+pub fn solver_json(s: &SolverStats) -> Json {
+    Json::obj([
+        ("solves", s.solves.into()),
+        ("decisions", s.decisions.into()),
+        ("propagations", s.propagations.into()),
+        ("conflicts", s.conflicts.into()),
+        ("restarts", s.restarts.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_is_deterministic_and_versioned() {
+        let report = CheckReport {
+            stdout: "checked 3 nodes: ok\n".into(),
+            stderr: String::new(),
+            clean: true,
+            input_error: false,
+        };
+        let stats = RegionCheckStats::default();
+        let solver = SolverStats {
+            solves: 2,
+            decisions: 5,
+            ..SolverStats::default()
+        };
+        // Spans from a wall-clock and a zeroed tracer render the same
+        // bytes: the document is time-free.
+        let spans = |zeroed: bool| {
+            let t = if zeroed {
+                llhsc_obs::Tracer::zeroed()
+            } else {
+                llhsc_obs::Tracer::wall()
+            };
+            let root = t.begin("check", None);
+            let solve = t.begin("solve", Some(root));
+            t.add(solve, "solves", 2);
+            t.end(solve);
+            t.end(root);
+            t.spans()
+        };
+        let a = check_report_json(&report, &stats, &solver, &spans(false)).to_string();
+        let b = check_report_json(&report, &stats, &solver, &spans(true)).to_string();
+        assert_eq!(a, b);
+        assert!(a.contains(r#""spans":[{"counters":{},"name":"check","parent":null}"#));
+        let parsed = Json::parse(&a).expect("report parses");
+        assert_eq!(
+            parsed.get("schema_version").and_then(Json::as_int),
+            Some(REPORT_SCHEMA_VERSION as i64)
+        );
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("check"));
+        assert_eq!(
+            parsed
+                .get("solver")
+                .and_then(|s| s.get("decisions"))
+                .and_then(Json::as_int),
+            Some(5)
+        );
+        // Parse → print round-trips to the same canonical bytes.
+        assert_eq!(parsed.to_string(), a);
+    }
+}

@@ -15,21 +15,27 @@
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use llhsc::Pipeline;
+use llhsc::{Pipeline, SolverStats};
+use llhsc_obs::{Logger, Registry, TraceCtx, Tracer};
 
-use crate::cache::{ServiceCache, ServiceStats};
-use crate::check::check_tree;
+use crate::cache::{CachedTreeCheck, ServiceCache, ServiceStats};
+use crate::check::check_tree_traced;
 use crate::json::Json;
 use crate::proto::{
-    build_ok_frame, build_rejected_frame, check_frame, error_frame, ping_frame, shutdown_frame,
-    Request,
+    build_ok_frame, build_rejected_frame, check_frame, error_frame, metrics_frame, ping_frame,
+    shutdown_frame, Request,
 };
+use crate::report::{check_report_json, solver_json};
+
+/// Bucket bounds (µs) of the per-op request-latency histogram: 100µs to
+/// 10s in decades.
+const DURATION_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
 
 /// How the daemon is brought up.
 #[derive(Debug, Clone)]
@@ -54,13 +60,55 @@ impl Default for ServerConfig {
     }
 }
 
+/// Accumulated solver work performed by this daemon (fresh checks and
+/// builds only — cache hits add nothing), mirroring
+/// [`llhsc::PipelineOutput::solver_stats`] at service scope.
+#[derive(Debug, Default)]
+struct SolverTotals {
+    solves: AtomicU64,
+    decisions: AtomicU64,
+    propagations: AtomicU64,
+    conflicts: AtomicU64,
+    restarts: AtomicU64,
+}
+
+impl SolverTotals {
+    fn add(&self, s: &SolverStats) {
+        self.solves.fetch_add(s.solves, Ordering::Relaxed);
+        self.decisions.fetch_add(s.decisions, Ordering::Relaxed);
+        self.propagations
+            .fetch_add(s.propagations, Ordering::Relaxed);
+        self.conflicts.fetch_add(s.conflicts, Ordering::Relaxed);
+        self.restarts.fetch_add(s.restarts, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            solves: self.solves.load(Ordering::Relaxed),
+            decisions: self.decisions.load(Ordering::Relaxed),
+            propagations: self.propagations.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            ..SolverStats::default()
+        }
+    }
+}
+
 /// Everything the worker threads share.
 struct ServiceState {
     cache: ServiceCache,
     stats: ServiceStats,
+    solver: SolverTotals,
+    metrics: Registry,
+    logger: Logger,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
     workers: usize,
+    /// Startup stamp prefixing every trace ID, so IDs from different
+    /// daemon incarnations don't collide in aggregated logs.
+    trace_epoch: u64,
+    /// Per-request sequence number, the trace-ID suffix.
+    trace_seq: AtomicU64,
 }
 
 impl ServiceState {
@@ -69,6 +117,13 @@ impl ServiceState {
     fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
         let _ = TcpStream::connect(self.local_addr);
+    }
+
+    /// The next request's trace ID, echoed in the response envelope and
+    /// in every log line about the request.
+    fn next_trace_id(&self) -> String {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{:08x}-{seq:06}", self.trace_epoch)
     }
 }
 
@@ -114,13 +169,25 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let workers = config.workers.max(1);
+    let trace_epoch = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs() & 0xffff_ffff)
+        .unwrap_or(0);
     let state = Arc::new(ServiceState {
         cache: ServiceCache::new(),
         stats: ServiceStats::default(),
+        solver: SolverTotals::default(),
+        metrics: Registry::new(),
+        logger: Logger::from_env("llhsc-service"),
         shutdown: AtomicBool::new(false),
         local_addr,
         workers,
+        trace_epoch,
+        trace_seq: AtomicU64::new(0),
     });
+    state
+        .logger
+        .info(&format!("listening on {local_addr} ({workers} workers)"));
     let max_request_bytes = config.max_request_bytes;
 
     let (tx, rx) = mpsc::channel::<(Instant, TcpStream)>();
@@ -211,6 +278,12 @@ fn text_or_too_long(line: Vec<u8>, max: usize) -> Line {
 
 fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: usize) {
     state.stats.in_flight.fetch_add(1, Ordering::Relaxed);
+    let in_flight = state.metrics.gauge(
+        "llhsc_connections_in_flight",
+        "Connections currently being served.",
+        &[],
+    );
+    in_flight.inc();
     let write_side = stream.try_clone();
     let mut reader = BufReader::new(stream);
     if let Ok(mut writer) = write_side {
@@ -221,9 +294,24 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
                 Ok(Line::TooLong) => {
                     state.stats.requests.fetch_add(1, Ordering::Relaxed);
                     state.stats.errors.fetch_add(1, Ordering::Relaxed);
-                    let frame = error_frame(format!(
+                    state
+                        .metrics
+                        .counter(
+                            "llhsc_requests_total",
+                            "Requests handled.",
+                            &[("op", "oversized")],
+                        )
+                        .inc();
+                    let trace_id = state.next_trace_id();
+                    state.logger.warn(&format!(
+                        "{trace_id} request exceeds max request size ({max_request_bytes} bytes)"
+                    ));
+                    let mut frame = error_frame(format!(
                         "request exceeds max request size ({max_request_bytes} bytes)"
                     ));
+                    if let Json::Obj(map) = &mut frame {
+                        map.insert("trace_id".to_string(), Json::Str(trace_id));
+                    }
                     let _ = writeln!(writer, "{frame}");
                     break; // the rest of the stream is unframed garbage
                 }
@@ -233,9 +321,50 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
                 continue;
             }
             state.stats.requests.fetch_add(1, Ordering::Relaxed);
-            let response = respond(state, &line);
-            if response.get("ok").and_then(Json::as_bool) == Some(false) {
+            let trace_id = state.next_trace_id();
+            let started = Instant::now();
+            let (mut response, op) = respond(state, &line);
+            let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let failed = response.get("ok").and_then(Json::as_bool) == Some(false);
+            if failed {
                 state.stats.errors.fetch_add(1, Ordering::Relaxed);
+                state
+                    .metrics
+                    .counter(
+                        "llhsc_request_errors_total",
+                        "Requests answered with an error frame.",
+                        &[],
+                    )
+                    .inc();
+            }
+            state
+                .metrics
+                .counter("llhsc_requests_total", "Requests handled.", &[("op", op)])
+                .inc();
+            state
+                .metrics
+                .histogram(
+                    "llhsc_request_duration_us",
+                    "Request handling latency in microseconds.",
+                    &[("op", op)],
+                    &DURATION_BOUNDS_US,
+                )
+                .observe(elapsed_us);
+            if let Json::Obj(map) = &mut response {
+                map.insert("trace_id".to_string(), Json::Str(trace_id.clone()));
+            }
+            if failed {
+                let error = response
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown error");
+                state.logger.warn(&format!(
+                    "{trace_id} {op} failed in {elapsed_us}us: {error}"
+                ));
+            } else {
+                state
+                    .logger
+                    .debug(&format!("{trace_id} {op} ok in {elapsed_us}us"));
             }
             if writeln!(writer, "{response}")
                 .and_then(|()| writer.flush())
@@ -246,46 +375,74 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
         }
     }
     state.stats.in_flight.fetch_sub(1, Ordering::Relaxed);
+    in_flight.sub(1);
 }
 
-/// Parses and executes one request line.
-fn respond(state: &ServiceState, line: &str) -> Json {
+/// Parses and executes one request line. Returns the response frame
+/// and the op name used for metrics labels and log lines.
+fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
     let parsed = match Json::parse(line) {
         Ok(j) => j,
-        Err(e) => return error_frame(e.to_string()),
+        Err(e) => return (error_frame(e.to_string()), "invalid"),
     };
     let request = match Request::from_json(&parsed) {
         Ok(r) => r,
-        Err(e) => return error_frame(e),
+        Err(e) => return (error_frame(e), "invalid"),
     };
     match request {
-        Request::Ping => ping_frame(),
-        Request::Stats => stats_frame(state),
+        Request::Ping => (ping_frame(), "ping"),
+        Request::Stats => (stats_frame(state), "stats"),
+        Request::Metrics => (metrics_frame(metrics_text(state)), "metrics"),
         Request::Shutdown => {
             state.request_shutdown();
-            shutdown_frame()
+            (shutdown_frame(), "shutdown")
         }
-        Request::Check { dts } => match llhsc_dts::parse(&dts) {
-            Err(e) => error_frame(format!("parse: {e}")),
-            Ok(tree) => {
-                let key = tree.stable_hash();
-                match state.cache.get_tree(key) {
-                    Some(report) => check_frame(&report, true),
-                    None => {
-                        let outcome = check_tree(&tree);
-                        state.cache.put_tree(key, outcome.report.clone());
-                        check_frame(&outcome.report, false)
-                    }
+        Request::Check { dts, report } => {
+            let frame = match llhsc_dts::parse(&dts) {
+                Err(e) => error_frame(format!("parse: {e}")),
+                Ok(tree) => {
+                    let key = tree.stable_hash();
+                    let (check, cached) = match state.cache.get_tree(key) {
+                        Some(hit) => (hit, true),
+                        None => {
+                            // Always traced against a zeroed clock: the
+                            // span tree goes into the cached entry so a
+                            // later `report: true` hit replays it.
+                            let tracer = Arc::new(Tracer::zeroed());
+                            let ctx = TraceCtx::new(Arc::clone(&tracer));
+                            let outcome = check_tree_traced(&tree, Some(&ctx));
+                            state.solver.add(&outcome.solver);
+                            let fresh = CachedTreeCheck {
+                                report: outcome.report,
+                                stats: outcome.stats,
+                                solver: outcome.solver,
+                                spans: tracer.spans(),
+                            };
+                            state.cache.put_tree(key, fresh.clone());
+                            (fresh, false)
+                        }
+                    };
+                    let doc = report.then(|| {
+                        check_report_json(&check.report, &check.stats, &check.solver, &check.spans)
+                    });
+                    check_frame(&check.report, cached, doc)
                 }
-            }
-        },
-        Request::Build(b) => match b.to_pipeline_input() {
-            Err(e) => error_frame(e),
-            Ok(input) => match Pipeline::new().run_with_cache(&input, Some(&state.cache)) {
-                Ok(out) => build_ok_frame(&out),
-                Err(e) => build_rejected_frame(&e),
-            },
-        },
+            };
+            (frame, "check")
+        }
+        Request::Build(b) => {
+            let frame = match b.to_pipeline_input() {
+                Err(e) => error_frame(e),
+                Ok(input) => match Pipeline::new().run_with_cache(&input, Some(&state.cache)) {
+                    Ok(out) => {
+                        state.solver.add(&out.solver_stats);
+                        build_ok_frame(&out)
+                    }
+                    Err(e) => build_rejected_frame(&e),
+                },
+            };
+            (frame, "build")
+        }
     }
 }
 
@@ -320,7 +477,77 @@ fn stats_frame(state: &ServiceState) -> Json {
             s.queue_wait_us_max.load(Ordering::Relaxed).into(),
         ),
         ("cache", cache),
+        ("solver", solver_json(&state.solver.snapshot())),
     ])
+}
+
+/// Renders the Prometheus exposition: event-site series (per-op request
+/// counts, latency histograms, error count) live in the registry
+/// already; monotone counters kept elsewhere (connections, queue waits,
+/// cache hit/miss per class, accumulated solver work) are synced in via
+/// `record_max` at scrape time, which is exact for counters that only
+/// grow.
+fn metrics_text(state: &ServiceState) -> String {
+    let m = &state.metrics;
+    let s = &state.stats;
+    m.counter("llhsc_connections_total", "Connections accepted.", &[])
+        .record_max(s.connections.load(Ordering::Relaxed));
+    m.counter(
+        "llhsc_queue_wait_us_total",
+        "Total accept-queue wait in microseconds.",
+        &[],
+    )
+    .record_max(s.queue_wait_us_total.load(Ordering::Relaxed));
+    m.gauge(
+        "llhsc_queue_wait_us_max",
+        "Longest single accept-queue wait in microseconds.",
+        &[],
+    )
+    .record_max(s.queue_wait_us_max.load(Ordering::Relaxed));
+    for (class, hits, misses) in state.cache.counters() {
+        m.counter(
+            "llhsc_cache_hits_total",
+            "Cache hits per class.",
+            &[("class", class)],
+        )
+        .record_max(hits);
+        m.counter(
+            "llhsc_cache_misses_total",
+            "Cache misses per class.",
+            &[("class", class)],
+        )
+        .record_max(misses);
+    }
+    let solver = state.solver.snapshot();
+    let sync = |name: &str, help: &str, value: u64| {
+        m.counter(name, help, &[]).record_max(value);
+    };
+    sync(
+        "llhsc_solver_solves_total",
+        "SAT-solver invocations performed (fresh work only).",
+        solver.solves,
+    );
+    sync(
+        "llhsc_solver_decisions_total",
+        "SAT-solver decisions taken (fresh work only).",
+        solver.decisions,
+    );
+    sync(
+        "llhsc_solver_propagations_total",
+        "SAT-solver literals propagated (fresh work only).",
+        solver.propagations,
+    );
+    sync(
+        "llhsc_solver_conflicts_total",
+        "SAT-solver conflicts analysed (fresh work only).",
+        solver.conflicts,
+    );
+    sync(
+        "llhsc_solver_restarts_total",
+        "SAT-solver restarts performed (fresh work only).",
+        solver.restarts,
+    );
+    m.render()
 }
 
 #[cfg(test)]
@@ -336,6 +563,72 @@ mod tests {
         assert_eq!(pong.get("ok"), Some(&Json::Bool(true)));
         let bye = client::request(&addr, &Json::obj([("op", "shutdown".into())])).unwrap();
         assert_eq!(bye.get("op").and_then(Json::as_str), Some("shutdown"));
+        handle.join();
+    }
+
+    #[test]
+    fn metrics_trace_ids_and_report_parity() {
+        let handle = start(&ServerConfig::default()).expect("server starts");
+        let addr = handle.local_addr().to_string();
+        let dts = "/ { #address-cells = <1>; #size-cells = <1>;\n\
+                   \x20   memory@1000 { device_type = \"memory\"; reg = <0x1000 0x1000>; }; };";
+        let check_req = Json::obj([
+            ("op", "check".into()),
+            ("dts", dts.into()),
+            ("report", Json::Bool(true)),
+        ]);
+
+        let first = client::request(&addr, &check_req).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert!(first.get("trace_id").and_then(Json::as_str).is_some());
+        let report = first.get("report").expect("report doc");
+        assert_eq!(report.get("kind").and_then(Json::as_str), Some("check"));
+
+        // The daemon's report document is byte-identical to the local
+        // builder's.
+        let tracer = Arc::new(Tracer::zeroed());
+        let ctx = TraceCtx::new(Arc::clone(&tracer));
+        let local = check_tree_traced(&llhsc_dts::parse(dts).unwrap(), Some(&ctx));
+        let local_doc =
+            check_report_json(&local.report, &local.stats, &local.solver, &tracer.spans());
+        assert_eq!(report.to_string(), local_doc.to_string());
+
+        // A cache hit replays the identical report under a new trace ID.
+        let second = client::request(&addr, &check_req).unwrap();
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(
+            second.get("report").map(ToString::to_string),
+            Some(local_doc.to_string())
+        );
+        assert_ne!(first.get("trace_id"), second.get("trace_id"));
+
+        let metrics = client::request(&addr, &Json::obj([("op", "metrics".into())])).unwrap();
+        let text = metrics
+            .get("text")
+            .and_then(Json::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains("llhsc_requests_total{op=\"check\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE llhsc_request_duration_us histogram"));
+        assert!(text.contains("llhsc_cache_hits_total{class=\"tree_check\"} 1"));
+        assert!(text.contains("llhsc_cache_misses_total{class=\"tree_check\"} 1"));
+
+        // The stats op and the Prometheus text agree on solver totals.
+        let stats = client::request(&addr, &Json::obj([("op", "stats".into())])).unwrap();
+        let solves = stats
+            .get("solver")
+            .and_then(|s| s.get("solves"))
+            .and_then(Json::as_int)
+            .expect("solver totals in stats");
+        assert!(solves > 0, "fresh check must solve");
+        assert!(
+            text.contains(&format!("llhsc_solver_solves_total {solves}")),
+            "{text}"
+        );
+
+        handle.shutdown();
         handle.join();
     }
 

@@ -169,6 +169,158 @@ fn client_check_is_byte_identical_to_local_check() {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// `check --report-json` on the quad-core fixture is byte-stable
+/// across runs and matches the committed golden file; the `--trace`
+/// file written alongside (zeroed clock) is stable too and its solve
+/// spans sum to the report's solver totals.
+#[test]
+fn report_json_is_byte_stable_and_matches_golden() {
+    let (dir, _) = fixtures();
+    let quadcore = dir.join("quadcore.dts");
+    std::fs::write(&quadcore, quadcore::core_dts_text()).expect("fixture write");
+
+    let run = |tag: &str| -> (String, String) {
+        let trace = dir.join(format!("trace-{tag}.json"));
+        let report = dir.join(format!("report-{tag}.json"));
+        let out = Command::new(bin())
+            .args(["check", "--trace"])
+            .arg(&trace)
+            .arg("--report-json")
+            .arg(&report)
+            .arg(&quadcore)
+            .env("LLHSC_TRACE_ZERO_TIME", "1")
+            .output()
+            .expect("check runs");
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        (
+            std::fs::read_to_string(&report).expect("report file"),
+            std::fs::read_to_string(&trace).expect("trace file"),
+        )
+    };
+    let (report_a, trace_a) = run("a");
+    let (report_b, trace_b) = run("b");
+    assert_eq!(report_a, report_b, "report must be byte-stable");
+    assert_eq!(trace_a, trace_b, "zeroed trace must be byte-stable");
+
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quadcore_report.json");
+    let golden = std::fs::read_to_string(&golden_path).expect("golden file");
+    assert_eq!(
+        report_a, golden,
+        "report drifted from tests/golden/quadcore_report.json — \
+         if the change is intentional, regenerate the golden file with\n  \
+         LLHSC_TRACE_ZERO_TIME=1 llhsc check --trace /dev/null \
+         --report-json crates/service/tests/golden/quadcore_report.json <quadcore.dts>"
+    );
+
+    // The embedded span tree accounts for every solver call: summing
+    // the "solve" span counters reproduces the document's totals.
+    let doc = llhsc_service::Json::parse(&report_a).expect("report parses");
+    let spans = match doc.get("spans") {
+        Some(llhsc_service::Json::Arr(spans)) => spans,
+        other => panic!("spans must be an array, got {other:?}"),
+    };
+    let sum = |key: &str| -> i64 {
+        spans
+            .iter()
+            .filter(|s| s.get("name").and_then(llhsc_service::Json::as_str) == Some("solve"))
+            .filter_map(|s| s.get("counters")?.get(key)?.as_int())
+            .sum()
+    };
+    let total = |key: &str| {
+        doc.get("solver")
+            .and_then(|s| s.get(key))
+            .and_then(llhsc_service::Json::as_int)
+            .expect("solver totals")
+    };
+    for key in [
+        "solves",
+        "decisions",
+        "propagations",
+        "conflicts",
+        "restarts",
+    ] {
+        assert_eq!(sum(key), total(key), "span sum mismatch for {key}");
+    }
+    assert!(total("solves") > 0, "the quad-core check must solve");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// `client check --report-json` writes the same bytes as a local
+/// `check --report-json`, fresh and replayed from the daemon cache.
+#[test]
+fn client_report_json_matches_local() {
+    let (dir, _) = fixtures();
+    let quadcore = dir.join("quadcore.dts");
+    let daemon = Daemon::start();
+
+    let local_path = dir.join("local-report.json");
+    let local = Command::new(bin())
+        .args(["check", "--report-json"])
+        .arg(&local_path)
+        .arg(&quadcore)
+        .output()
+        .expect("local check runs");
+    assert_eq!(local.status.code(), Some(0), "{local:?}");
+
+    for pass in ["fresh", "cached"] {
+        let remote_path = dir.join(format!("remote-report-{pass}.json"));
+        let remote = daemon.client(&[
+            "check",
+            "--report-json",
+            remote_path.to_str().expect("utf-8 path"),
+            quadcore.to_str().expect("utf-8 path"),
+        ]);
+        assert_eq!(remote.status.code(), Some(0), "{remote:?}");
+        assert_eq!(remote.stdout, local.stdout, "stdout differs on {pass} pass");
+        assert_eq!(
+            std::fs::read(&remote_path).expect("remote report"),
+            std::fs::read(&local_path).expect("local report"),
+            "report bytes differ on {pass} pass"
+        );
+    }
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The daemon's `metrics` op serves Prometheus text through
+/// `llhsc client metrics`, and the request counter moves.
+#[test]
+fn client_metrics_round_trip() {
+    let (dir, _) = fixtures();
+    let quadcore = dir.join("quadcore.dts");
+    let daemon = Daemon::start();
+
+    let before = daemon.client(&["metrics"]);
+    assert_eq!(before.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&before.stdout).into_owned();
+    // Per-op request counters are created lazily, so before any check
+    // only the scrape-synced families are guaranteed present.
+    assert!(
+        text.contains("# TYPE llhsc_cache_misses_total counter"),
+        "{text}"
+    );
+
+    let check = daemon.client(&["check", quadcore.to_str().expect("utf-8 path")]);
+    assert_eq!(check.status.code(), Some(0));
+
+    let after = daemon.client(&["metrics"]);
+    let text = String::from_utf8_lossy(&after.stdout).into_owned();
+    assert!(
+        text.contains("llhsc_requests_total{op=\"check\"} 1"),
+        "check request not counted:\n{text}"
+    );
+    assert!(
+        text.contains("llhsc_solver_solves_total"),
+        "missing solver totals:\n{text}"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn client_ping_and_stats_round_trip() {
     let daemon = Daemon::start();
@@ -183,12 +335,32 @@ fn client_ping_and_stats_round_trip() {
     let stats = daemon.client(&["stats"]);
     assert_eq!(stats.status.code(), Some(0));
     let rendered = String::from_utf8_lossy(&stats.stdout).into_owned();
-    for needle in ["workers", "requests", "cache", "allocation", "tree_check"] {
+    for needle in [
+        "workers",
+        "requests",
+        "cache",
+        "allocation",
+        "tree_check",
+        "hit rate",
+        "solver",
+    ] {
         assert!(
             rendered.contains(needle),
             "missing {needle:?} in:\n{rendered}"
         );
     }
+
+    // `--json` keeps the raw protocol frame available.
+    let raw = daemon.client(&["stats", "--json"]);
+    assert_eq!(raw.status.code(), Some(0));
+    let doc = llhsc_service::Json::parse(String::from_utf8_lossy(&raw.stdout).trim())
+        .expect("stats --json emits valid JSON");
+    assert_eq!(
+        doc.get("ok").and_then(llhsc_service::Json::as_bool),
+        Some(true)
+    );
+    assert!(doc.get("solver").is_some(), "{doc}");
+    assert!(doc.get("cache").is_some(), "{doc}");
 
     daemon.shutdown();
 }

@@ -1,7 +1,9 @@
 //! The incremental solving context.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
+use llhsc_obs::{SpanId, TraceCtx};
 use llhsc_sat::{Lit, SolveResult, Solver, SolverStats};
 
 use crate::bitblast::{eval_in_model, Blaster, EvalValue, STR_WIDTH};
@@ -55,6 +57,19 @@ pub struct Context {
     assumption_lits: HashMap<Lit, TermId>,
     /// Core of the last Unsat `check_assuming`.
     last_core: Vec<TermId>,
+    /// When set, every `check_assuming` records a "solve" span carrying
+    /// the per-call solver-counter delta.
+    trace: Option<TraceCtx>,
+    /// Counter snapshot taken when the trace was attached and refreshed
+    /// after every traced solve (and whenever trailing work is flushed
+    /// by [`Context::solver_stats`]): the next span's delta baseline.
+    /// A `Cell` so the flush can run from `&self` accessors.
+    trace_base: Cell<SolverStats>,
+    /// The most recent traced solve span. Solver work that happens
+    /// after it (e.g. the unit clause a [`Context::pop`] adds to retract
+    /// a scope) is folded into this span's counters when the stats are
+    /// next read, keeping span sums equal to the totals.
+    last_solve: Cell<Option<SpanId>>,
 }
 
 impl Default for Context {
@@ -75,7 +90,59 @@ impl Context {
             last_model: None,
             assumption_lits: HashMap::new(),
             last_core: Vec::new(),
+            trace: None,
+            trace_base: Cell::new(SolverStats::default()),
+            last_solve: Cell::new(None),
         }
+    }
+
+    /// Attaches a trace context: from now on each solver call records a
+    /// `"solve"` span (child of `trace`'s parent) annotated with the
+    /// decisions/propagations/conflicts/restarts it cost and whether it
+    /// came back sat. All solver entry points funnel through
+    /// [`check_assuming`](Context::check_assuming), so this covers plain
+    /// checks, witness queries and model enumeration alike. Each span's
+    /// delta is measured since the *previous* traced solve (or since
+    /// this call), so unit propagation performed while encoding between
+    /// solves is attributed to the solve that consumes it. Work that
+    /// happens *after* the last solve (such as the retraction clause
+    /// [`pop`](Context::pop) adds) is folded into that solve's span when
+    /// [`solver_stats`](Context::solver_stats) is next read — summing
+    /// the spans reproduces the context's counter totals over the
+    /// traced window exactly.
+    pub fn set_trace(&mut self, trace: TraceCtx) {
+        self.trace = Some(trace);
+        self.trace_base.set(self.solver.stats());
+        self.last_solve.set(None);
+    }
+
+    /// Detaches the trace context, if any, after folding trailing
+    /// solver work into the last recorded solve span.
+    pub fn clear_trace(&mut self) {
+        self.flush_trace();
+        self.trace = None;
+        self.last_solve.set(None);
+    }
+
+    /// Attributes solver work performed since the last traced solve to
+    /// that solve's span, so the trace stays in balance with the
+    /// totals even when clauses are added outside any solve (scope
+    /// retraction, blocking clauses after the final model).
+    fn flush_trace(&self) {
+        let (Some(trace), Some(span)) = (self.trace.as_ref(), self.last_solve.get()) else {
+            return;
+        };
+        let now = self.solver.stats();
+        let delta = now.delta_since(&self.trace_base.get());
+        if delta == SolverStats::default() {
+            return;
+        }
+        self.trace_base.set(now);
+        trace.add(span, "solves", delta.solves);
+        trace.add(span, "decisions", delta.decisions);
+        trace.add(span, "propagations", delta.propagations);
+        trace.add(span, "conflicts", delta.conflicts);
+        trace.add(span, "restarts", delta.restarts);
     }
 
     /// The sort of a term.
@@ -89,7 +156,13 @@ impl Context {
     }
 
     /// Statistics of the underlying SAT solver.
+    ///
+    /// When a trace is attached, any solver work recorded since the
+    /// last solve is first folded into that solve's span, so a sum
+    /// over the trace's solve spans always matches the returned
+    /// totals.
     pub fn solver_stats(&self) -> SolverStats {
+        self.flush_trace();
         self.solver.stats()
     }
 
@@ -775,7 +848,11 @@ impl Context {
             self.assumption_lits.insert(l, t);
             lits.push(l);
         }
-        match self.solver.solve_with(&lits) {
+        let span = self
+            .trace
+            .as_ref()
+            .map(|t| (t.clone(), t.begin("solve"), self.trace_base.get()));
+        let result = match self.solver.solve_with(&lits) {
             SolveResult::Sat => {
                 self.last_model = Some(self.solver.model());
                 CheckResult::Sat
@@ -791,7 +868,21 @@ impl Context {
                 self.last_core = core;
                 CheckResult::Unsat
             }
+        };
+        if let Some((trace, span, before)) = span {
+            let now = self.solver.stats();
+            self.trace_base.set(now);
+            self.last_solve.set(Some(span));
+            let delta = now.delta_since(&before);
+            trace.add(span, "solves", delta.solves);
+            trace.add(span, "decisions", delta.decisions);
+            trace.add(span, "propagations", delta.propagations);
+            trace.add(span, "conflicts", delta.conflicts);
+            trace.add(span, "restarts", delta.restarts);
+            trace.add(span, "sat", u64::from(result == CheckResult::Sat));
+            trace.finish(span);
         }
+        result
     }
 
     /// After an `Unsat` [`Context::check_assuming`], the subset of the
@@ -931,6 +1022,41 @@ mod tests {
         let m = ctx.model().unwrap();
         assert_eq!(m.eval_bool(a), Some(true));
         assert_eq!(m.eval_bool(b), Some(true));
+    }
+
+    #[test]
+    fn traced_checks_record_solve_spans() {
+        use llhsc_obs::{TraceCtx, Tracer};
+        use std::sync::Arc;
+
+        let tracer = Arc::new(Tracer::zeroed());
+        let mut ctx = Context::new();
+        ctx.set_trace(TraceCtx::new(Arc::clone(&tracer)));
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.or([a, b]);
+        ctx.assert(ab);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        let na = ctx.not(a);
+        let nb = ctx.not(b);
+        assert_eq!(ctx.check_assuming(&[na, nb]), CheckResult::Unsat);
+
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.name == "solve"));
+        assert!(spans.iter().all(|s| s.dur_us.is_some()));
+        assert_eq!(spans[0].counter("sat"), Some(1));
+        assert_eq!(spans[1].counter("sat"), Some(0));
+        assert_eq!(spans[0].counter("solves"), Some(1));
+        // Propagations happen on every solve that assigns variables.
+        assert!(spans[0].counter("propagations").unwrap() > 0);
+        // The span deltas sum to the solver's own totals.
+        let total: u64 = spans.iter().filter_map(|s| s.counter("decisions")).sum();
+        assert_eq!(total, ctx.solver_stats().decisions);
+
+        ctx.clear_trace();
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(tracer.spans().len(), 2);
     }
 
     #[test]
