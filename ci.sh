@@ -89,3 +89,38 @@ for key, total in report["solver"].items():
     assert summed == total, f"{key}: span sum {summed} != total {total}"
 print(f"trace ok: {len(spans)} spans, {len(solves)} solves")
 EOF
+
+# Bench smoke: the scale suite at a small board size must produce a
+# well-formed BENCH_scale.json in which session reuse never performs
+# more solver calls than the fresh-context baseline (pinned: 20 solves
+# for 4 VMs at N=16) and strictly amortizes encoding and allocation.
+target/release/llhsc-bench scale --runs 1 --sizes 16 --json "$SMOKE_DIR/scale.json" > /dev/null
+python3 - "$SMOKE_DIR/scale.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["suite"] == "scale", doc["suite"]
+scenarios = doc["scenarios"]
+assert scenarios, "scale suite produced no scenarios"
+for sc in scenarios:
+    for mode in ("fresh", "session"):
+        m = sc[mode]
+        for key in ("solves", "terms_encoded", "terms_reused",
+                    "asserts_encoded", "asserts_reused"):
+            assert isinstance(m[key], int), (mode, key)
+        for key in ("vars", "clauses", "arena_lits"):
+            assert isinstance(m["alloc"][key], int), (mode, key)
+    fresh, session = sc["fresh"], sc["session"]
+    # Session reuse must not solve more than the fresh baseline, and at
+    # N=16 x 4 VMs the whole suite is pinned to 20 solver calls.
+    assert session["solves"] <= fresh["solves"], sc["name"]
+    assert session["solves"] <= 20, (sc["name"], session["solves"])
+    # The point of the shared context: strictly fewer bit-blasted terms
+    # and strictly fewer SAT allocations than fresh contexts.
+    assert session["terms_encoded"] < fresh["terms_encoded"], sc["name"]
+    assert session["alloc"]["vars"] < fresh["alloc"]["vars"], sc["name"]
+    assert session["alloc"]["arena_lits"] < fresh["alloc"]["arena_lits"], sc["name"]
+    assert session["asserts_reused"] > 0, sc["name"]
+print(f"bench scale ok: {len(scenarios)} scenario(s)")
+EOF

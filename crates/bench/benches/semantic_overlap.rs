@@ -15,7 +15,7 @@ fn bench_clean(c: &mut Criterion) {
     for &n in &[4usize, 8, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let refs = regions(n, false);
-            let checker = SemanticChecker::new();
+            let mut checker = SemanticChecker::new();
             b.iter(|| std::hint::black_box(checker.check_regions(&refs).len()));
         });
     }
@@ -28,7 +28,7 @@ fn bench_with_collision(c: &mut Criterion) {
     for &n in &[4usize, 8, 16, 32] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
             let refs = regions(n, true);
-            let checker = SemanticChecker::new();
+            let mut checker = SemanticChecker::new();
             b.iter(|| {
                 let collisions = checker.check_regions(&refs);
                 assert_eq!(collisions.len(), 1);
@@ -57,7 +57,7 @@ fn bench_paper_cases(c: &mut Criterion) {
     )
     .expect("parses");
     group.bench_function("uart_clash", |b| {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         b.iter(|| {
             let report = checker.check_tree(&clash).expect("decodes");
             assert_eq!(report.collisions.len(), 1);
@@ -78,7 +78,7 @@ fn bench_paper_cases(c: &mut Criterion) {
     )
     .expect("parses");
     group.bench_function("truncation", |b| {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         b.iter(|| {
             let report = checker.check_tree(&truncated).expect("decodes");
             assert_eq!(report.collisions.len(), 6);
@@ -99,7 +99,7 @@ fn bench_prefilter_vs_exhaustive(c: &mut Criterion) {
         group.sample_size(10);
         for &n in &[32usize, 64, 128, 256] {
             let refs = regions(n, collide);
-            let checker = SemanticChecker::new();
+            let mut checker = SemanticChecker::new();
             let expected = usize::from(collide);
             group.bench_with_input(BenchmarkId::new("prefiltered", n), &refs, |b, refs| {
                 b.iter(|| {

@@ -131,6 +131,25 @@ pub fn synthetic_board(devices: usize) -> String {
     out
 }
 
+/// A per-VM variant of [`synthetic_board`]: the shared `devices`-node
+/// board plus one VM-specific passthrough device whose register window
+/// collides with `dev0`. The shared nodes make consecutive VM checks
+/// amortizable in a shared solver session (identical schema rules and
+/// region pairs), while the VM-unique node keeps the trees distinct
+/// and guarantees at least one solver-confirmed collision per tree.
+pub fn synthetic_vm_board(devices: usize, vm: usize) -> String {
+    let mut out = synthetic_board(devices);
+    let insert_at = out.rfind("};").expect("board has a root close");
+    out.insert_str(
+        insert_at,
+        &format!(
+            "\n    vmdev{vm}@10000800 {{\n        compatible = \"acme,vmdev\";\n\
+                     reg = <0x10000800 0x1000>;\n    }};\n",
+        ),
+    );
+    out
+}
+
 /// `n` region descriptors; if `collide`, the last one overlaps the
 /// first.
 pub fn regions(n: usize, collide: bool) -> Vec<llhsc::RegionRef> {

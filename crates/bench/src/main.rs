@@ -17,10 +17,12 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use llhsc::{Pipeline, SolverStats};
-use llhsc_bench::synthetic_board;
+use llhsc::{Pipeline, SemanticChecker, SolverStats};
+use llhsc_bench::{synthetic_board, synthetic_vm_board};
+use llhsc_schema::{SchemaSet, SyntacticChecker};
 use llhsc_service::cache::ServiceCache;
 use llhsc_service::{check_tree, solver_json, Json};
+use llhsc_smt::SolverSession;
 
 /// Layout version of `BENCH_pipeline.json`. Bump on breaking changes.
 const BENCH_SCHEMA_VERSION: u64 = 1;
@@ -127,6 +129,221 @@ fn scenarios(runs: usize) -> Vec<Measurement> {
     ]
 }
 
+/// How many VM variants of each board the scale suite checks.
+const SCALE_VMS: usize = 4;
+
+/// Default board sizes (device counts) of the scale suite.
+const SCALE_SIZES: &[usize] = &[64, 128, 256, 512];
+
+/// Cost counters of one checking mode (fresh contexts vs one shared
+/// session) over all `SCALE_VMS` trees of a scale scenario.
+#[derive(Default)]
+struct ModeCost {
+    wall_us: Vec<u64>,
+    solves: u64,
+    terms_encoded: u64,
+    terms_reused: u64,
+    asserts_encoded: u64,
+    asserts_reused: u64,
+    alloc_vars: u64,
+    alloc_clauses: u64,
+    alloc_arena_lits: u64,
+}
+
+impl ModeCost {
+    fn min_us(&self) -> u64 {
+        self.wall_us.iter().copied().min().unwrap_or(0)
+    }
+
+    fn mean_us(&self) -> u64 {
+        if self.wall_us.is_empty() {
+            0
+        } else {
+            self.wall_us.iter().sum::<u64>() / self.wall_us.len() as u64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "wall_us",
+                Json::obj([
+                    ("mean", self.mean_us().into()),
+                    ("min", self.min_us().into()),
+                ]),
+            ),
+            ("solves", self.solves.into()),
+            ("terms_encoded", self.terms_encoded.into()),
+            ("terms_reused", self.terms_reused.into()),
+            ("asserts_encoded", self.asserts_encoded.into()),
+            ("asserts_reused", self.asserts_reused.into()),
+            (
+                "alloc",
+                Json::obj([
+                    ("vars", self.alloc_vars.into()),
+                    ("clauses", self.alloc_clauses.into()),
+                    ("arena_lits", self.alloc_arena_lits.into()),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// The verdicts of one mode, used to assert fresh/session equivalence.
+type Verdicts = Vec<(usize, usize)>;
+
+/// Checks every VM tree with a fresh syntactic and semantic checker
+/// (fresh solver contexts throughout) — the pre-session baseline.
+fn scale_fresh(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCost, Verdicts) {
+    let mut cost = ModeCost::default();
+    let mut verdicts = Vec::new();
+    for tree in trees {
+        let mut syn = SyntacticChecker::new(tree, schemas);
+        let report = syn.check();
+        cost.solves += syn.solver_stats().solves;
+        let session = syn.into_session();
+        let (hits, misses) = session.ctx().encode_counts();
+        cost.terms_encoded += misses;
+        cost.terms_reused += hits;
+        let alloc = session.ctx().alloc_stats();
+        cost.alloc_vars += alloc.vars;
+        cost.alloc_clauses += alloc.clauses;
+        cost.alloc_arena_lits += alloc.arena_lits;
+        let stats = session.stats();
+        cost.asserts_encoded += stats.asserts_encoded;
+        cost.asserts_reused += stats.asserts_reused;
+
+        let mut sem = SemanticChecker::new();
+        let sem_report = sem.check_tree(tree).expect("board is interpretable");
+        cost.solves += sem.session_stats().checks;
+        let (hits, misses) = sem.encode_counts();
+        cost.terms_encoded += misses;
+        cost.terms_reused += hits;
+        let alloc = sem.alloc_stats();
+        cost.alloc_vars += alloc.vars;
+        cost.alloc_clauses += alloc.clauses;
+        cost.alloc_arena_lits += alloc.arena_lits;
+        let stats = sem.session_stats();
+        cost.asserts_encoded += stats.asserts_encoded;
+        cost.asserts_reused += stats.asserts_reused;
+        verdicts.push((report.violations.len(), sem_report.collisions.len()));
+    }
+    (cost, verdicts)
+}
+
+/// Checks every VM tree through one shared syntactic session and one
+/// persistent semantic checker: later trees re-activate the slices and
+/// learnt clauses of earlier ones.
+fn scale_session(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCost, Verdicts) {
+    let mut cost = ModeCost::default();
+    let mut verdicts = Vec::new();
+    let mut session = SolverSession::new();
+    let mut sem = SemanticChecker::new();
+    for tree in trees {
+        let mut syn = SyntacticChecker::with_session(tree, schemas, session);
+        let report = syn.check();
+        session = syn.into_session();
+        let sem_report = sem.check_tree(tree).expect("board is interpretable");
+        verdicts.push((report.violations.len(), sem_report.collisions.len()));
+    }
+    cost.solves = session.ctx().solver_stats().solves + sem.session_stats().checks;
+    let (hits, misses) = session.ctx().encode_counts();
+    cost.terms_encoded += misses;
+    cost.terms_reused += hits;
+    let alloc = session.ctx().alloc_stats();
+    cost.alloc_vars += alloc.vars;
+    cost.alloc_clauses += alloc.clauses;
+    cost.alloc_arena_lits += alloc.arena_lits;
+    let (hits, misses) = sem.encode_counts();
+    cost.terms_encoded += misses;
+    cost.terms_reused += hits;
+    let alloc = sem.alloc_stats();
+    cost.alloc_vars += alloc.vars;
+    cost.alloc_clauses += alloc.clauses;
+    cost.alloc_arena_lits += alloc.arena_lits;
+    let mut stats = session.stats();
+    stats.merge(&sem.session_stats());
+    cost.asserts_encoded = stats.asserts_encoded;
+    cost.asserts_reused = stats.asserts_reused;
+    (cost, verdicts)
+}
+
+/// One scale scenario: `devices` × `SCALE_VMS` VM boards, fresh
+/// contexts vs a shared session, behaviorally equivalent by assertion.
+struct ScaleMeasurement {
+    devices: usize,
+    fresh: ModeCost,
+    session: ModeCost,
+}
+
+impl ScaleMeasurement {
+    fn run(devices: usize, runs: usize) -> ScaleMeasurement {
+        let schemas = SchemaSet::standard();
+        let trees: Vec<llhsc_dts::DeviceTree> = (0..SCALE_VMS)
+            .map(|vm| llhsc_dts::parse(&synthetic_vm_board(devices, vm)).expect("vm board parses"))
+            .collect();
+        let mut fresh = ModeCost::default();
+        let mut session = ModeCost::default();
+        for _ in 0..runs {
+            let started = Instant::now();
+            let (mut cost, fresh_verdicts) = scale_fresh(&trees, &schemas);
+            cost.wall_us.push(started.elapsed().as_micros() as u64);
+            cost.wall_us.append(&mut fresh.wall_us);
+            fresh = cost;
+
+            let started = Instant::now();
+            let (mut cost, session_verdicts) = scale_session(&trees, &schemas);
+            cost.wall_us.push(started.elapsed().as_micros() as u64);
+            cost.wall_us.append(&mut session.wall_us);
+            session = cost;
+
+            assert_eq!(
+                fresh_verdicts, session_verdicts,
+                "session reuse changed a verdict at N={devices}"
+            );
+        }
+        ScaleMeasurement {
+            devices,
+            fresh,
+            session,
+        }
+    }
+
+    /// `min(fresh) / min(session)` in thousandths (integer JSON).
+    fn speedup_x1000(&self) -> u64 {
+        (self.fresh.min_us() * 1000)
+            .checked_div(self.session.min_us())
+            .unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", format!("scale_n{}", self.devices).as_str().into()),
+            ("devices", (self.devices as u64).into()),
+            ("vms", (SCALE_VMS as u64).into()),
+            ("runs", (self.fresh.wall_us.len() as u64).into()),
+            ("fresh", self.fresh.to_json()),
+            ("session", self.session.to_json()),
+            ("speedup_x1000", self.speedup_x1000().into()),
+        ])
+    }
+}
+
+fn render_scale_json(results: &[ScaleMeasurement]) -> String {
+    let doc = Json::obj([
+        ("schema_version", BENCH_SCHEMA_VERSION.into()),
+        ("kind", "bench".into()),
+        ("suite", "scale".into()),
+        (
+            "scenarios",
+            Json::Arr(results.iter().map(ScaleMeasurement::to_json).collect()),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
 fn render_json(results: &[Measurement]) -> String {
     let doc = Json::obj([
         ("schema_version", BENCH_SCHEMA_VERSION.into()),
@@ -148,15 +365,88 @@ fn usage() -> ExitCode {
          \n\
          usage:\n\
            llhsc-bench [--runs N] [--json [FILE]]\n\
+           llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--json [FILE]]\n\
          \n\
-         --runs N     timed iterations per scenario (default {DEFAULT_RUNS})\n\
-         --json FILE  write machine-readable results (default BENCH_pipeline.json)"
+         --runs N      timed iterations per scenario (default {DEFAULT_RUNS})\n\
+         --sizes LIST  scale-suite board sizes (default 64,128,256,512)\n\
+         --json FILE   write machine-readable results\n\
+                       (default BENCH_pipeline.json / BENCH_scale.json)"
     );
     ExitCode::FAILURE
 }
 
+/// The `scale` subcommand: N devices × M VMs, session reuse vs fresh
+/// contexts, writing `BENCH_scale.json` with `--json`.
+fn cmd_scale(mut args: Vec<String>) -> ExitCode {
+    let mut runs = DEFAULT_RUNS;
+    let mut sizes: Vec<usize> = SCALE_SIZES.to_vec();
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--runs" if args.len() >= 2 => {
+                let Ok(n) = args[1].parse::<usize>() else {
+                    return usage();
+                };
+                runs = n.max(1);
+                args.drain(..2);
+            }
+            "--sizes" if args.len() >= 2 => {
+                let parsed: Result<Vec<usize>, _> =
+                    args[1].split(',').map(str::parse::<usize>).collect();
+                let Ok(list) = parsed else {
+                    return usage();
+                };
+                if list.is_empty() {
+                    return usage();
+                }
+                sizes = list;
+                args.drain(..2);
+            }
+            "--json" => {
+                args.remove(0);
+                json_path = Some(match args.first() {
+                    Some(next) if !next.starts_with("--") => args.remove(0),
+                    _ => "BENCH_scale.json".to_string(),
+                });
+            }
+            _ => return usage(),
+        }
+    }
+    let results: Vec<ScaleMeasurement> = sizes
+        .iter()
+        .map(|&n| ScaleMeasurement::run(n, runs))
+        .collect();
+    println!(
+        "{:<14} {:>12} {:>12} {:>9} {:>13} {:>13} {:>8}",
+        "scenario", "fresh µs", "session µs", "speedup", "fresh terms", "sess terms", "reused"
+    );
+    for m in &results {
+        println!(
+            "scale_n{:<7} {:>12} {:>12} {:>8.2}x {:>13} {:>13} {:>8}",
+            m.devices,
+            m.fresh.min_us(),
+            m.session.min_us(),
+            m.speedup_x1000() as f64 / 1000.0,
+            m.fresh.terms_encoded,
+            m.session.terms_encoded,
+            m.session.terms_reused,
+        );
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_scale_json(&results)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("scale") {
+        return cmd_scale(args[1..].to_vec());
+    }
     let mut runs = DEFAULT_RUNS;
     let mut json_path: Option<String> = None;
     while let Some(arg) = args.first().cloned() {

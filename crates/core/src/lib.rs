@@ -59,6 +59,7 @@ pub mod sweep;
 
 pub use cache::{AllocationNames, CacheClass, CacheEntry, CachedCheck, PipelineCache};
 pub use llhsc_sat::SolverStats;
+pub use llhsc_smt::{SessionStats, SolverSession};
 pub use pipeline::{Pipeline, PipelineError, PipelineInput, PipelineOutput, VmSpec};
 pub use report::{dedup_diagnostics, Diagnostic, Severity, Stage, StageTimings};
 pub use semantic::{Collision, RegionCheckStats, RegionRef, SemanticChecker, SemanticReport};

@@ -35,6 +35,7 @@ use llhsc_hypcfg::{PlatformConfig, VmConfig};
 use llhsc_obs::{SpanId, TraceCtx};
 use llhsc_sat::SolverStats;
 use llhsc_schema::{SchemaSet, SyntacticChecker};
+use llhsc_smt::SolverSession;
 
 use crate::cache::{AllocationNames, CacheClass, CacheEntry, CachedCheck, PipelineCache};
 use crate::report::{dedup_diagnostics, Diagnostic, Severity, Stage, StageTimings};
@@ -101,6 +102,13 @@ pub struct PipelineOutput {
     /// the (possibly replayed) verdicts — so they always equal the sum
     /// over the run's `"solve"` trace spans.
     pub solver_stats: SolverStats,
+    /// Solver-session reuse counters, aggregated over every checker
+    /// session the run created (syntactic product checks, semantic
+    /// region checks, cross-tree coverage). Cache hits contribute
+    /// nothing: a replayed verdict performs no session work. A high
+    /// `asserts_reused`/`slices_reused` relative to `asserts_encoded`
+    /// means later checks amortized earlier bit-blasting.
+    pub session_stats: llhsc_smt::SessionStats,
 }
 
 /// A failed pipeline run: every error-level finding, plus whatever
@@ -240,6 +248,7 @@ impl Pipeline {
         let mut errors = false;
         let mut timings = StageTimings::default();
         let mut solver_totals = SolverStats::default();
+        let mut session_totals = llhsc_smt::SessionStats::default();
 
         // ---- Stage 1: resource allocation (§IV-A) ----
         let stage_start = Instant::now();
@@ -386,9 +395,17 @@ impl Pipeline {
             .collect();
         all.push((None, &platform_product));
 
-        type Checked = (Vec<Diagnostic>, RegionCheckStats, SolverStats);
+        type Checked = (
+            Vec<Diagnostic>,
+            RegionCheckStats,
+            SolverStats,
+            llhsc_smt::SessionStats,
+        );
         let schemas = &input.schemas;
-        let check_one = |vm: Option<usize>, product: &DerivedProduct| -> Checked {
+        let check_one = |vm: Option<usize>,
+                         product: &DerivedProduct,
+                         syn_session: &mut Option<SolverSession>|
+         -> Checked {
             let product_span = check_ctx.map(|t| {
                 let id = t.begin("product_check");
                 if let Some(k) = vm {
@@ -404,13 +421,19 @@ impl Pipeline {
                 }
                 // A hit replays the verdict and its recorded cost
                 // counters, but no solver ran *now*.
-                return (hit.diagnostics, hit.stats, SolverStats::default());
+                return (
+                    hit.diagnostics,
+                    hit.stats,
+                    SolverStats::default(),
+                    llhsc_smt::SessionStats::default(),
+                );
             }
             let scoped = product_span.map(|(t, id)| {
                 t.add(id, "cache_hit", 0);
                 t.at(id)
             });
-            let (diags, stats, fresh) = self.check_product(schemas, product, scoped.as_ref());
+            let (diags, stats, fresh, session) =
+                self.check_product(schemas, product, scoped.as_ref(), syn_session);
             store(
                 cache,
                 CacheClass::ProductCheck,
@@ -423,14 +446,18 @@ impl Pipeline {
             if let Some((t, id)) = product_span {
                 t.finish(id);
             }
-            (diags, stats, fresh)
+            (diags, stats, fresh, session)
         };
         let checked: Vec<Checked> = if self.parallel && all.len() > 1 {
             let check_one = &check_one;
             std::thread::scope(|s| {
                 let handles: Vec<_> = all
                     .iter()
-                    .map(|&(vm, product)| s.spawn(move || check_one(vm, product)))
+                    .map(|&(vm, product)| {
+                        // Each thread runs a private solver session; the
+                        // cross-product reuse is a serial-mode win.
+                        s.spawn(move || check_one(vm, product, &mut None))
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -438,18 +465,25 @@ impl Pipeline {
                     .collect()
             })
         } else {
+            // Serial checking threads one solver session through every
+            // product's syntactic check: the shared schema-rule
+            // encodings are bit-blasted once and learnt clauses carry
+            // over, with each product's obligations isolated in its own
+            // assumption-guarded slice.
+            let mut syn_session = None;
             all.iter()
-                .map(|&(vm, product)| check_one(vm, product))
+                .map(|&(vm, product)| check_one(vm, product, &mut syn_session))
                 .collect()
         };
         let mut semantic_stats = RegionCheckStats::default();
-        for ((vm, _), (mut tree_diags, tree_stats, fresh)) in all.iter().zip(checked) {
+        for ((vm, _), (mut tree_diags, tree_stats, fresh, session)) in all.iter().zip(checked) {
             for d in &mut tree_diags {
                 d.vm = *vm;
             }
             errors |= tree_diags.iter().any(|d| d.severity == Severity::Error);
             semantic_stats.merge(&tree_stats);
             solver_totals.merge(&fresh);
+            session_totals.merge(&session);
             diagnostics.extend(tree_diags);
         }
         StageSpan::finish(check_span);
@@ -515,6 +549,9 @@ impl Pipeline {
                     }
                     diagnostics.extend(cov_diags);
                 }
+                // One checker served every VM: its slice/assert reuse
+                // across VMs is the cross-tree amortization.
+                session_totals.merge(&checker.session_stats());
             }
             Err(e) => {
                 errors = true;
@@ -571,6 +608,7 @@ impl Pipeline {
             timings,
             semantic_stats,
             solver_stats: solver_totals,
+            session_stats: session_totals,
         })
     }
 
@@ -599,19 +637,30 @@ impl Pipeline {
         schemas: &SchemaSet,
         product: &DerivedProduct,
         trace: Option<&TraceCtx>,
-    ) -> (Vec<Diagnostic>, RegionCheckStats, SolverStats) {
+        syn_session: &mut Option<SolverSession>,
+    ) -> (
+        Vec<Diagnostic>,
+        RegionCheckStats,
+        SolverStats,
+        llhsc_smt::SessionStats,
+    ) {
         let mut diagnostics = Vec::new();
         let mut stats = RegionCheckStats::default();
         let mut fresh = SolverStats::default();
+        let mut session_work = llhsc_smt::SessionStats::default();
         if !self.skip_syntactic {
             let span = StageSpan::begin(trace, "syntactic");
-            let mut checker = SyntacticChecker::new(&product.tree, schemas);
+            let session = syn_session.take().unwrap_or_default();
+            let session_base = session.stats();
+            let mut checker = SyntacticChecker::with_session(&product.tree, schemas, session);
             if let Some(span) = &span {
                 checker.attach_trace(span.child());
             }
             let solver_base = checker.solver_stats();
             let report = checker.check();
             fresh.merge(&checker.solver_stats().delta_since(&solver_base));
+            session_work.merge(&checker.session_stats().delta_since(&session_base));
+            *syn_session = Some(checker.into_session());
             StageSpan::finish(span);
             for v in report.violations {
                 diagnostics.push(
@@ -646,6 +695,7 @@ impl Pipeline {
                 checker.set_trace(span.child());
             }
             let outcome = checker.check_tree_with_stats(&product.tree);
+            session_work.merge(&checker.session_stats());
             StageSpan::finish(span);
             match outcome {
                 Ok((report, tree_stats)) => {
@@ -683,7 +733,7 @@ impl Pipeline {
                 }
             }
         }
-        (diagnostics, stats, fresh)
+        (diagnostics, stats, fresh, session_work)
     }
 }
 

@@ -22,7 +22,9 @@
 use llhsc_dts::cells::{collect_regions, collect_regions_translated, RegEntry};
 use llhsc_dts::{DeviceTree, DtsError};
 use llhsc_obs::TraceCtx;
-use llhsc_smt::{CheckResult, Context, SolverStats, TermId};
+use llhsc_smt::{
+    slice_key, AllocStats, CheckResult, SessionStats, Slice, SolverSession, SolverStats, TermId,
+};
 
 use crate::sweep;
 
@@ -105,9 +107,13 @@ impl SemanticReport {
     }
 }
 
-/// The semantic checker. Stateless apart from configuration; each
-/// check builds a fresh incremental context (collision pairs share the
-/// solver instance, as the paper's incremental use of Z3 does).
+/// The semantic checker. Owns a persistent [`SolverSession`]: every
+/// check this checker performs — across trees, VM iterations and warm
+/// repeats — shares one bit-blasted context and one CDCL solver, so
+/// gate networks are encoded once and learnt clauses survive between
+/// checks. Each tree's concrete region bindings live in an
+/// assumption-guarded slice; "retracting" a tree is simply not
+/// assuming its guard (the paper's incremental use of Z3, generalized).
 #[derive(Debug)]
 pub struct SemanticChecker {
     /// Also check `interrupts` properties for duplicate lines across
@@ -122,6 +128,8 @@ pub struct SemanticChecker {
     /// When set, every SMT solve the checker performs records a
     /// `"solve"` span under this context with its solver-counter delta.
     trace: Option<TraceCtx>,
+    /// The persistent solving session shared by all checks.
+    session: SolverSession,
 }
 
 impl Default for SemanticChecker {
@@ -137,7 +145,23 @@ impl SemanticChecker {
             check_interrupts: true,
             virtual_compatibles: vec!["veth".to_string(), "shmem".to_string()],
             trace: None,
+            session: SolverSession::new(),
         }
+    }
+
+    /// Reuse counters of the checker's persistent solver session.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// `(cache hits, cache misses)` of the session's bit-blast cache.
+    pub fn encode_counts(&self) -> (u64, u64) {
+        self.session.ctx().encode_counts()
+    }
+
+    /// Lifetime allocation counters of the session's SAT solver.
+    pub fn alloc_stats(&self) -> AllocStats {
+        self.session.ctx().alloc_stats()
     }
 
     /// Attaches a trace context: every solver call made by subsequent
@@ -169,7 +193,7 @@ impl SemanticChecker {
     /// Propagates [`DtsError`] when a `reg` property cannot be decoded
     /// (wrong arity — which the syntactic checker reports with more
     /// context).
-    pub fn check_tree(&self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
+    pub fn check_tree(&mut self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
         Ok(self.check_tree_with(tree, false)?.0)
     }
 
@@ -182,7 +206,7 @@ impl SemanticChecker {
     ///
     /// [`check_tree`]: SemanticChecker::check_tree
     pub fn check_tree_with_stats(
-        &self,
+        &mut self,
         tree: &DeviceTree,
     ) -> Result<(SemanticReport, RegionCheckStats), DtsError> {
         self.check_tree_with(tree, false)
@@ -199,12 +223,12 @@ impl SemanticChecker {
     /// # Errors
     ///
     /// Propagates `reg`/`ranges` decoding errors.
-    pub fn check_tree_translated(&self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
+    pub fn check_tree_translated(&mut self, tree: &DeviceTree) -> Result<SemanticReport, DtsError> {
         Ok(self.check_tree_with(tree, true)?.0)
     }
 
     fn check_tree_with(
-        &self,
+        &mut self,
         tree: &DeviceTree,
         translated: bool,
     ) -> Result<(SemanticReport, RegionCheckStats), DtsError> {
@@ -281,14 +305,14 @@ impl SemanticChecker {
     /// encodes every pair as the paper does.
     ///
     /// [`check_regions_exhaustive`]: SemanticChecker::check_regions_exhaustive
-    pub fn check_regions(&self, refs: &[RegionRef]) -> Vec<Collision> {
+    pub fn check_regions(&mut self, refs: &[RegionRef]) -> Vec<Collision> {
         self.check_regions_with_stats(refs).0
     }
 
     /// [`check_regions`](SemanticChecker::check_regions), also
     /// returning the encoding and solver counters of the run.
     pub fn check_regions_with_stats(
-        &self,
+        &mut self,
         refs: &[RegionRef],
     ) -> (Vec<Collision>, RegionCheckStats) {
         self.solve_pairs(refs, &sweep::candidate_pairs(refs))
@@ -298,7 +322,7 @@ impl SemanticChecker {
     /// constraint per region pair, exactly as formula (7) is stated.
     /// Kept as the semantic reference the sweep-prefiltered path is
     /// cross-checked against (and for ablation measurements).
-    pub fn check_regions_exhaustive(&self, refs: &[RegionRef]) -> Vec<Collision> {
+    pub fn check_regions_exhaustive(&mut self, refs: &[RegionRef]) -> Vec<Collision> {
         self.check_regions_exhaustive_with_stats(refs).0
     }
 
@@ -306,7 +330,7 @@ impl SemanticChecker {
     ///
     /// [`check_regions_exhaustive`]: SemanticChecker::check_regions_exhaustive
     pub fn check_regions_exhaustive_with_stats(
-        &self,
+        &mut self,
         refs: &[RegionRef],
     ) -> (Vec<Collision>, RegionCheckStats) {
         let mut pairs = Vec::new();
@@ -328,56 +352,108 @@ impl SemanticChecker {
         self.solve_pairs(refs, &pairs)
     }
 
-    /// Shared encoding + core-peeling loop: encodes the given `(i, j)`
-    /// pairs as guarded disjointness constraints and peels the unsat
-    /// core until satisfiable, extracting a witness per collision.
+    /// Shared encoding + core-peeling loop over the persistent session:
+    /// the disjointness gate networks range over indexed symbolic
+    /// variables (`base_i`/`end_i`), so they are bit-blasted once and
+    /// reused by every subsequent tree; only this tree's concrete
+    /// region bindings are fresh, asserted inside a content-keyed
+    /// assumption slice. The unsat core is peeled until satisfiable,
+    /// extracting a canonical witness per collision.
     fn solve_pairs(
-        &self,
+        &mut self,
         refs: &[RegionRef],
         pairs: &[(usize, usize)],
     ) -> (Vec<Collision>, RegionCheckStats) {
-        let mut ctx = Context::new();
-        if let Some(trace) = &self.trace {
-            ctx.set_trace(trace.clone());
+        // A board the prefilter fully discharged costs nothing: no
+        // slice, no guard variable, no solver contact.
+        if pairs.is_empty() {
+            return (
+                Vec::new(),
+                RegionCheckStats {
+                    regions: refs.len(),
+                    pairs_considered: refs.len() * refs.len().saturating_sub(1) / 2,
+                    ..RegionCheckStats::default()
+                },
+            );
         }
+        if let Some(trace) = &self.trace {
+            self.session.ctx_mut().set_trace(trace.clone());
+        }
+        let solver_before = self.session.ctx().solver_stats();
+        let terms_before = self.session.ctx().num_terms();
+        let (hits_before, misses_before) = self.session.ctx().encode_counts();
+
+        // This tree's slice: binds `base_i`/`end_i` to the concrete
+        // regions. Keyed by the participating regions' content, so a
+        // warm repeat of the same tree re-activates the existing slice
+        // without encoding anything.
+        let mut participates = vec![false; refs.len()];
+        for &(i, j) in pairs {
+            participates[i] = true;
+            participates[j] = true;
+        }
+        let mut content: Vec<u8> = b"pairs".to_vec();
+        for (i, p) in participates.iter().enumerate() {
+            if !*p {
+                continue;
+            }
+            content.extend_from_slice(&(i as u64).to_le_bytes());
+            content.extend_from_slice(&refs[i].region.address.to_le_bytes());
+            content.extend_from_slice(&refs[i].region.size.to_le_bytes());
+        }
+        let slice = self.session.slice(slice_key(&content));
 
         // Encode base and end of every region that participates in at
         // least one candidate pair as 65-bit constants bound to
         // variables (so the gate networks of the comparisons are real,
         // as in the paper's Z3 encoding, rather than folded away).
         // Regions the prefilter proved disjoint are never encoded — on
-        // a clean board the context stays empty.
+        // a clean board nothing new enters the solver.
         let mut terms: Vec<Option<(TermId, TermId)>> = vec![None; refs.len()];
-        let mut encode = |ctx: &mut Context, i: usize| {
-            *terms[i].get_or_insert_with(|| {
-                let r = &refs[i];
-                let base = ctx.bv_var(&format!("base_{i}"), ADDR_BITS);
-                let end = ctx.bv_var(&format!("end_{i}"), ADDR_BITS);
-                let bc = ctx.bv_const(r.region.address, ADDR_BITS);
-                let size = ctx.bv_const(r.region.size, ADDR_BITS);
-                let sum = ctx.bv_add(bc, size);
-                let eb = ctx.eq(base, bc);
-                let ee = ctx.eq(end, sum);
-                ctx.assert(eb);
-                ctx.assert(ee);
-                (base, end)
-            })
-        };
+        fn encode(
+            session: &mut SolverSession,
+            slice: Slice,
+            refs: &[RegionRef],
+            terms: &mut [Option<(TermId, TermId)>],
+            i: usize,
+        ) -> (TermId, TermId) {
+            if let Some(t) = terms[i] {
+                return t;
+            }
+            let r = &refs[i];
+            let ctx = session.ctx_mut();
+            let base = ctx.bv_var_i("base", i as u64, ADDR_BITS);
+            let end = ctx.bv_var_i("end", i as u64, ADDR_BITS);
+            let bc = ctx.bv_const(r.region.address, ADDR_BITS);
+            let size = ctx.bv_const(r.region.size, ADDR_BITS);
+            let sum = ctx.bv_add(bc, size);
+            let eb = ctx.eq(base, bc);
+            let ee = ctx.eq(end, sum);
+            session.assert_in(slice, eb);
+            session.assert_in(slice, ee);
+            terms[i] = Some((base, end));
+            (base, end)
+        }
 
-        // One guarded disjointness constraint per candidate pair; solve
-        // once and peel the unsat core until satisfiable.
+        // One marker-guarded disjointness constraint per candidate
+        // pair, asserted at the session's root: the constraint is over
+        // the symbolic `base_i`/`end_i` only, so it is shared (and its
+        // encoding reused) across every tree whose pair `(i, j)`
+        // survives the prefilter. Solve once and peel the unsat core
+        // until satisfiable.
         let mut markers: Vec<(TermId, usize, usize)> = Vec::new();
         for &(i, j) in pairs {
-            let (bi, ei) = encode(&mut ctx, i);
-            let (bj, ej) = encode(&mut ctx, j);
-            let m = ctx.bool_var(&format!("disjoint_{i}_{j}"));
+            let (bi, ei) = encode(&mut self.session, slice, refs, &mut terms, i);
+            let (bj, ej) = encode(&mut self.session, slice, refs, &mut terms, j);
+            let ctx = self.session.ctx_mut();
+            let m = ctx.bool_var_i("disjoint", ((i as u64) << 32) | j as u64);
             // overlap = bi < ej && bj < ei  (non-empty regions)
             let o1 = ctx.bv_ult(bi, ej);
             let o2 = ctx.bv_ult(bj, ei);
             let overlap = ctx.and([o1, o2]);
             let disjoint = ctx.not(overlap);
             let guarded = ctx.implies(m, disjoint);
-            ctx.assert(guarded);
+            self.session.assert_root(guarded);
             markers.push((m, i, j));
         }
 
@@ -388,20 +464,22 @@ impl SemanticChecker {
             if assumptions.is_empty() {
                 break;
             }
-            match ctx.check_assuming(&assumptions) {
+            match self.session.check(&[slice], &assumptions) {
                 CheckResult::Sat => break,
                 CheckResult::Unsat => {
-                    let core: Vec<TermId> = ctx.unsat_core().to_vec();
-                    if core.is_empty() {
-                        break;
-                    }
+                    let core: Vec<TermId> = self.session.unsat_core().to_vec();
                     let (bad, rest): (Vec<_>, Vec<_>) =
                         active.into_iter().partition(|(m, _, _)| core.contains(m));
+                    if bad.is_empty() {
+                        break;
+                    }
                     for (_, i, j) in &bad {
                         let witness = witness_address(
-                            &mut ctx,
+                            &mut self.session,
+                            slice,
                             terms[*i].expect("paired region is encoded"),
                             terms[*j].expect("paired region is encoded"),
+                            refs[*i].region.address.max(refs[*j].region.address),
                         );
                         collisions.push(Collision {
                             a: refs[*i].clone(),
@@ -421,20 +499,33 @@ impl SemanticChecker {
                 y.b.index,
             ))
         });
+        let (hits_now, misses_now) = self.session.ctx().encode_counts();
         let stats = RegionCheckStats {
             regions: refs.len(),
             pairs_considered: refs.len() * refs.len().saturating_sub(1) / 2,
             pairs_encoded: pairs.len(),
-            terms: ctx.num_terms(),
-            solver: ctx.solver_stats(),
+            terms: self.session.ctx().num_terms() - terms_before,
+            terms_encoded: misses_now - misses_before,
+            terms_reused: hits_now - hits_before,
+            solver: self
+                .session
+                .ctx()
+                .solver_stats()
+                .delta_since(&solver_before),
         };
+        if self.trace.is_some() {
+            self.session.ctx_mut().clear_trace();
+        }
         (collisions, stats)
     }
 }
 
 /// Cost counters of one region-disjointness check: how far the sweep
 /// prefilter cut the quadratic pair space, and what the encoding and
-/// the SAT solver then spent on the survivors.
+/// the SAT solver then spent on the survivors. All counters are
+/// *deltas* attributable to this check — the persistent session's
+/// running totals are subtracted out — so they merge across checks
+/// exactly as the old fresh-context counters did.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RegionCheckStats {
     /// Regions handed to the checker.
@@ -444,8 +535,14 @@ pub struct RegionCheckStats {
     /// Pairs actually encoded as solver constraints (after pruning —
     /// equals the number of real overlaps plus none).
     pub pairs_encoded: usize,
-    /// Distinct SMT terms created.
+    /// Distinct SMT terms created *by this check* (terms the session
+    /// already interned for an earlier check are not recounted).
     pub terms: usize,
+    /// Terms bit-blasted to fresh gate networks during this check.
+    pub terms_encoded: u64,
+    /// Terms whose encoding was served from the session's bit-blast
+    /// cache — work the persistent session amortized away.
+    pub terms_reused: u64,
     /// Counters of the underlying SAT solver.
     pub solver: SolverStats,
 }
@@ -458,6 +555,8 @@ impl RegionCheckStats {
         self.pairs_considered += other.pairs_considered;
         self.pairs_encoded += other.pairs_encoded;
         self.terms += other.terms;
+        self.terms_encoded += other.terms_encoded;
+        self.terms_reused += other.terms_reused;
         self.solver.solves += other.solver.solves;
         self.solver.decisions += other.solver.decisions;
         self.solver.propagations += other.solver.propagations;
@@ -498,7 +597,7 @@ impl SemanticChecker {
     /// DTSs of the VMs must be translated into their machine
     /// counterparts internally to the hypervisor", §IV-C). Returns a
     /// witness address per uncovered region.
-    pub fn check_coverage(&self, inner: &[RegionRef], outer: &[RegionRef]) -> Vec<CoverageGap> {
+    pub fn check_coverage(&mut self, inner: &[RegionRef], outer: &[RegionRef]) -> Vec<CoverageGap> {
         self.check_coverage_with_stats(inner, outer).0
     }
 
@@ -507,49 +606,63 @@ impl SemanticChecker {
     /// context is attached, each per-region query records a `"solve"`
     /// span under it.
     pub fn check_coverage_with_stats(
-        &self,
+        &mut self,
         inner: &[RegionRef],
         outer: &[RegionRef],
     ) -> (Vec<CoverageGap>, SolverStats) {
-        let mut ctx = Context::new();
         if let Some(trace) = &self.trace {
-            ctx.set_trace(trace.clone());
+            self.session.ctx_mut().set_trace(trace.clone());
         }
+        let solver_before = self.session.ctx().solver_stats();
+
+        // The platform slice: `coverage_x` lies outside every outer
+        // region. Keyed by the outer regions' content, so every VM
+        // checked against the same platform memory map reuses one
+        // encoding — only the per-VM "inside" assumptions differ.
+        let mut content: Vec<u8> = b"cover".to_vec();
+        for o in outer {
+            content.extend_from_slice(&o.region.address.to_le_bytes());
+            content.extend_from_slice(&o.region.end().to_le_bytes());
+        }
+        let slice = self.session.slice(slice_key(&content));
+        let x = self.session.ctx_mut().bv_var("coverage_x", ADDR_BITS);
+        for o in outer {
+            let ctx = self.session.ctx_mut();
+            let ob = ctx.bv_const(o.region.address, ADDR_BITS);
+            let oe = ctx.bv_const(o.region.end(), ADDR_BITS);
+            let in_lo = ctx.bv_ule(ob, x);
+            let in_hi = ctx.bv_ult(x, oe);
+            let inside = ctx.and([in_lo, in_hi]);
+            let outside = ctx.not(inside);
+            self.session.assert_in(slice, outside);
+        }
+
         let mut out = Vec::new();
         for r in inner {
             if r.region.size == 0 {
                 continue;
             }
-            ctx.push();
-            let x = ctx.bv_var("coverage_x", ADDR_BITS);
+            let ctx = self.session.ctx_mut();
             let base = ctx.bv_const(r.region.address, ADDR_BITS);
             let end = ctx.bv_const(r.region.end(), ADDR_BITS);
             let inside_lo = ctx.bv_ule(base, x);
             let inside_hi = ctx.bv_ult(x, end);
-            ctx.assert(inside_lo);
-            ctx.assert(inside_hi);
-            for o in outer {
-                let ob = ctx.bv_const(o.region.address, ADDR_BITS);
-                let oe = ctx.bv_const(o.region.end(), ADDR_BITS);
-                let in_lo = ctx.bv_ule(ob, x);
-                let in_hi = ctx.bv_ult(x, oe);
-                let inside = ctx.and([in_lo, in_hi]);
-                let outside = ctx.not(inside);
-                ctx.assert(outside);
-            }
-            if ctx.check() == CheckResult::Sat {
-                let witness = ctx
-                    .model()
-                    .and_then(|m| m.eval_bv(x))
-                    .expect("witness has a value");
+            let witness = minimized_value(&mut self.session, &[slice], &[inside_lo, inside_hi], x);
+            if witness != u128::MAX {
                 out.push(CoverageGap {
                     region: r.clone(),
                     witness,
                 });
             }
-            ctx.pop();
         }
-        let stats = ctx.solver_stats();
+        let stats = self
+            .session
+            .ctx()
+            .solver_stats()
+            .delta_since(&solver_before);
+        if self.trace.is_some() {
+            self.session.ctx_mut().clear_trace();
+        }
         (out, stats)
     }
 
@@ -602,27 +715,92 @@ impl SemanticChecker {
 /// Asks the solver for an address inside both regions — the paper's
 /// counterexample extraction ("a counter example of consistency is
 /// produced by Z3").
-fn witness_address(ctx: &mut Context, a: (TermId, TermId), b: (TermId, TermId)) -> u128 {
-    ctx.push();
-    let x = ctx.bv_var("witness_x", ADDR_BITS);
+///
+/// `candidate` is the intersection's lowest address (`max` of the two
+/// bases), computed arithmetically; the solve *confirms* it lies in
+/// both regions under the slice's symbolic bindings and the reported
+/// witness is read back from the model. Pinning the value makes the
+/// witness a pure function of the two regions — a persistent session
+/// accumulates decision history, so an unpinned model value would vary
+/// with solver warm-up and session-reuse runs would not be
+/// byte-identical to fresh-context runs.
+fn witness_address(
+    session: &mut SolverSession,
+    slice: Slice,
+    a: (TermId, TermId),
+    b: (TermId, TermId),
+    candidate: u128,
+) -> u128 {
     let (ba, ea) = a;
     let (bb, eb) = b;
+    let ctx = session.ctx_mut();
+    let x = ctx.bv_var("witness_x", ADDR_BITS);
     let c1 = ctx.bv_ule(ba, x);
     let c2 = ctx.bv_ult(x, ea);
     let c3 = ctx.bv_ule(bb, x);
     let c4 = ctx.bv_ult(x, eb);
-    for c in [c1, c2, c3, c4] {
-        ctx.assert(c);
-    }
-    let witness = match ctx.check() {
-        CheckResult::Sat => ctx
+    let cand = ctx.bv_const(candidate, ADDR_BITS);
+    let pin = ctx.eq(x, cand);
+    match session.check(&[slice], &[c1, c2, c3, c4, pin]) {
+        CheckResult::Sat => session
             .model()
             .and_then(|m| m.eval_bv(x))
             .expect("witness variable has a value"),
         CheckResult::Unsat => u128::MAX, // cannot happen for a real overlap
-    };
-    ctx.pop();
-    witness
+    }
+}
+
+/// The *smallest* value of bit-vector `x` (of [`ADDR_BITS`] width)
+/// satisfying the slices + assumptions, found by fixing bits MSB→LSB;
+/// `u128::MAX` when unsatisfiable.
+///
+/// Model-guided: a bit is only queried when the current model sets it
+/// to 1 (the model itself proves a 0 bit can stay 0 under the fixed
+/// prefix), so the solve count is bounded by the 1-bits encountered,
+/// not the width. As with [`witness_address`], minimizing makes the
+/// witness independent of the session's accumulated decision history.
+fn minimized_value(
+    session: &mut SolverSession,
+    slices: &[Slice],
+    base_assumptions: &[TermId],
+    x: TermId,
+) -> u128 {
+    let mut assumptions = base_assumptions.to_vec();
+    if session.check(slices, &assumptions) != CheckResult::Sat {
+        return u128::MAX;
+    }
+    let mut v = session
+        .model()
+        .and_then(|m| m.eval_bv(x))
+        .expect("witness variable has a value");
+    for bit in (0..ADDR_BITS).rev() {
+        let ctx = session.ctx_mut();
+        let b = ctx.bv_extract(x, bit, bit);
+        let zero = ctx.bv_const(0, 1);
+        let eq0 = ctx.eq(b, zero);
+        assumptions.push(eq0);
+        if v & (1u128 << bit) == 0 {
+            // `v` already witnesses that this bit can be 0.
+            continue;
+        }
+        if session.check(slices, &assumptions) == CheckResult::Sat {
+            v = session
+                .model()
+                .and_then(|m| m.eval_bv(x))
+                .expect("witness variable has a value");
+        } else {
+            // The bit is forced to 1 under the prefix fixed so far;
+            // `v` remains a model of the strengthened prefix.
+            assumptions.pop();
+            let ctx = session.ctx_mut();
+            let one = ctx.bv_const(1, 1);
+            let eq1 = ctx.eq(b, one);
+            assumptions.push(eq1);
+        }
+    }
+    // Every bit is now fixed and `v` satisfies all the fixes, so `v`
+    // is exactly the minimum.
+    v
 }
 
 /// Collects `interrupts` cell values and reports lines used by more
@@ -945,7 +1123,7 @@ mod tests {
             };"#,
         )
         .unwrap();
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         // Bus-local view: no collision (0x0.. vs 0x1000..).
         let local = checker.check_tree(&t).unwrap();
         assert!(local.is_ok(), "{:?}", local.collisions);
@@ -1109,7 +1287,7 @@ mod tests {
 
     #[test]
     fn coverage_full_containment_passes() {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let inner = vec![RegionRef {
             path: "/vm/memory".into(),
             index: 0,
@@ -1129,7 +1307,7 @@ mod tests {
     fn coverage_across_two_banks() {
         // A VM region spanning the boundary of two adjacent platform
         // banks is covered by their union.
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let inner = vec![RegionRef {
             path: "/vm/memory".into(),
             index: 0,
@@ -1155,7 +1333,7 @@ mod tests {
 
     #[test]
     fn coverage_gap_detected_with_witness() {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let inner = vec![RegionRef {
             path: "/vm/memory".into(),
             index: 0,
@@ -1178,7 +1356,7 @@ mod tests {
 
     #[test]
     fn coverage_with_no_outer_regions() {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let inner = vec![RegionRef {
             path: "/vm/memory".into(),
             index: 0,

@@ -86,7 +86,7 @@ proptest! {
     /// 64-bit address space.
     #[test]
     fn prefiltered_matches_exhaustive(refs in arb_extreme_regions(8)) {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let pre = checker.check_regions(&refs);
         let ex = checker.check_regions_exhaustive(&refs);
         prop_assert_eq!(collision_keys(&pre), collision_keys(&ex));
@@ -130,7 +130,7 @@ proptest! {
         inner in arb_regions(4),
         outer in arb_regions(4),
     ) {
-        let checker = SemanticChecker::new();
+        let mut checker = SemanticChecker::new();
         let gaps = checker.check_coverage(&inner, &outer);
         for r in &inner {
             if r.region.size == 0 {

@@ -53,7 +53,7 @@ fn prefiltered_collisions_match_exhaustive_at_scale() {
     refs[10].region = RegEntry::new(refs[9].region.address + 0x100, 0x2000);
     refs[40].region = RegEntry::new(refs[41].region.address, 0x1000);
     refs[63].region = RegEntry::new(refs[0].region.address, 0x80000);
-    let checker = SemanticChecker::new();
+    let mut checker = SemanticChecker::new();
     let pre = checker.check_regions(&refs);
     let ex = checker.check_regions_exhaustive(&refs);
     let key = |cs: &[llhsc::Collision]| -> Vec<(String, usize, String, usize)> {

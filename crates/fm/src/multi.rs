@@ -184,10 +184,36 @@ impl MultiModel {
 
     /// The largest VM count `1..=limit` for which the model still admits
     /// an allocation, or `None` if even one VM is impossible.
+    ///
+    /// Rather than bit-blasting a fresh `m`-VM model per probe, this
+    /// grows a single context monotonically: step `m` adds only VM
+    /// `m`'s encoding plus its exclusivity constraints against the
+    /// earlier VMs, so the solver keeps its clause database (and learnt
+    /// clauses) across probes. The platform-union definitions of
+    /// [`MultiModel::new`] are omitted — they define fresh variables by
+    /// equivalence and never affect satisfiability.
     pub fn max_vms(model: &FeatureModel, limit: usize) -> Option<usize> {
+        let mut ctx = Context::new();
+        let mut vm_vars: Vec<HashMap<FeatureId, TermId>> = Vec::new();
         let mut best = None;
         for m in 1..=limit {
-            if MultiModel::new(model, m).check() {
+            let vars = model.encode(&mut ctx, &format!("vm{m}:"));
+            ctx.assert(vars[&model.root()]);
+            for id in model.ids() {
+                let f = model.feature(id);
+                if !f.cross_vm_exclusive {
+                    continue;
+                }
+                for &child in &f.children {
+                    for prev in &vm_vars {
+                        let both = ctx.and([prev[&child], vars[&child]]);
+                        let not_both = ctx.not(both);
+                        ctx.assert(not_both);
+                    }
+                }
+            }
+            vm_vars.push(vars);
+            if ctx.check() == CheckResult::Sat {
                 best = Some(m);
             } else {
                 break;

@@ -1,37 +1,87 @@
 //! Clause storage.
 //!
-//! Clauses live in a single arena (`ClauseDb`) and are referred to by
-//! [`ClauseRef`] handles. The arena supports in-place garbage collection
-//! during learnt-clause database reductions.
+//! Clauses live in a single flat literal arena (`ClauseDb`): one shared
+//! `Vec<Lit>` holds every clause's literals back to back, and a compact
+//! header per clause records its `(offset, len)` slice plus the
+//! reduction metadata (activity, LBD, learnt/deleted flags). Compared
+//! with one heap allocation per clause this keeps unit propagation on
+//! hot cache lines and makes clause allocation a bump append.
+//!
+//! Deletion only marks the header and counts the slice as wasted; the
+//! arena is compacted by [`ClauseDb::compact`] during learnt-database
+//! reductions once enough of it is garbage. Compaction renumbers
+//! clauses, so the solver rewrites its watcher lists and reason
+//! references through the returned [`CompactMap`].
 
 use crate::lit::Lit;
 
 /// Handle to a clause inside the solver's clause database.
+///
+/// Invalidated by [`ClauseDb::compact`]; the solver remaps every live
+/// handle (watchers, reasons) through the [`CompactMap`] it returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct ClauseRef(pub(crate) u32);
 
-/// Header + literal storage for one clause.
-#[derive(Debug, Clone)]
-pub(crate) struct Clause {
-    pub(crate) lits: Vec<Lit>,
-    /// Activity for learnt-clause reduction.
-    pub(crate) activity: f64,
-    /// Learnt clauses may be removed during DB reduction.
-    pub(crate) learnt: bool,
-    /// Marked for deletion by the reducer; swept lazily.
-    pub(crate) deleted: bool,
-    /// Literal-block distance at learning time (Glucose-style quality).
-    pub(crate) lbd: u32,
+impl ClauseRef {
+    #[inline]
+    fn index(self) -> usize {
+        self.0 as usize
+    }
 }
 
-/// The clause arena.
+/// Per-clause header; the literals live in the shared arena.
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    /// Offset of the first literal in the arena.
+    off: u32,
+    /// Number of literals.
+    len: u32,
+    /// Activity for learnt-clause reduction.
+    activity: f64,
+    /// Literal-block distance at learning time (Glucose-style quality).
+    lbd: u32,
+    /// Learnt clauses may be removed during DB reduction.
+    learnt: bool,
+    /// Marked for deletion by the reducer; swept by `compact`.
+    deleted: bool,
+}
+
+/// The flat clause arena.
 #[derive(Debug, Default)]
 pub(crate) struct ClauseDb {
-    clauses: Vec<Clause>,
+    /// Every clause's literals, back to back.
+    arena: Vec<Lit>,
+    headers: Vec<Header>,
     /// Number of live learnt clauses (excludes deleted).
     num_learnt: usize,
     /// Number of live problem clauses.
     num_problem: usize,
+    /// Arena slots owned by deleted clauses, reclaimable by `compact`.
+    wasted: usize,
+    /// Lifetime clause allocations (never decremented).
+    allocated_clauses: u64,
+    /// Lifetime literal slots appended to the arena (never decremented).
+    allocated_lits: u64,
+}
+
+/// Old-to-new [`ClauseRef`] mapping produced by [`ClauseDb::compact`].
+#[derive(Debug)]
+pub(crate) struct CompactMap {
+    map: Vec<u32>,
+}
+
+impl CompactMap {
+    const DEAD: u32 = u32::MAX;
+
+    /// The post-compaction handle for `cref`, or `None` if the clause
+    /// was deleted.
+    #[inline]
+    pub(crate) fn remap(&self, cref: ClauseRef) -> Option<ClauseRef> {
+        match self.map[cref.index()] {
+            Self::DEAD => None,
+            new => Some(ClauseRef(new)),
+        }
+    }
 }
 
 impl ClauseDb {
@@ -39,36 +89,70 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    pub(crate) fn alloc(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+    pub(crate) fn alloc(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> ClauseRef {
         debug_assert!(lits.len() >= 2, "unit/empty clauses never enter the db");
-        let idx = self.clauses.len() as u32;
-        self.clauses.push(Clause {
-            lits,
+        let idx = self.headers.len() as u32;
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(lits);
+        self.headers.push(Header {
+            off,
+            len: lits.len() as u32,
             activity: 0.0,
+            lbd,
             learnt,
             deleted: false,
-            lbd,
         });
         if learnt {
             self.num_learnt += 1;
         } else {
             self.num_problem += 1;
         }
+        self.allocated_clauses += 1;
+        self.allocated_lits += lits.len() as u64;
         ClauseRef(idx)
     }
 
     #[inline]
-    pub(crate) fn get(&self, cref: ClauseRef) -> &Clause {
-        &self.clauses[cref.0 as usize]
+    pub(crate) fn lits(&self, cref: ClauseRef) -> &[Lit] {
+        let h = &self.headers[cref.index()];
+        &self.arena[h.off as usize..(h.off + h.len) as usize]
     }
 
     #[inline]
-    pub(crate) fn get_mut(&mut self, cref: ClauseRef) -> &mut Clause {
-        &mut self.clauses[cref.0 as usize]
+    pub(crate) fn lits_mut(&mut self, cref: ClauseRef) -> &mut [Lit] {
+        let h = &self.headers[cref.index()];
+        &mut self.arena[h.off as usize..(h.off + h.len) as usize]
+    }
+
+    #[inline]
+    pub(crate) fn len(&self, cref: ClauseRef) -> usize {
+        self.headers[cref.index()].len as usize
+    }
+
+    #[inline]
+    pub(crate) fn lbd(&self, cref: ClauseRef) -> u32 {
+        self.headers[cref.index()].lbd
+    }
+
+    #[inline]
+    pub(crate) fn activity(&self, cref: ClauseRef) -> f64 {
+        self.headers[cref.index()].activity
+    }
+
+    #[inline]
+    pub(crate) fn bump_activity(&mut self, cref: ClauseRef, inc: f64) -> f64 {
+        let h = &mut self.headers[cref.index()];
+        h.activity += inc;
+        h.activity
+    }
+
+    #[inline]
+    pub(crate) fn scale_activity(&mut self, cref: ClauseRef, factor: f64) {
+        self.headers[cref.index()].activity *= factor;
     }
 
     pub(crate) fn delete(&mut self, cref: ClauseRef) {
-        let c = &mut self.clauses[cref.0 as usize];
+        let c = &mut self.headers[cref.index()];
         debug_assert!(!c.deleted);
         c.deleted = true;
         if c.learnt {
@@ -76,9 +160,7 @@ impl ClauseDb {
         } else {
             self.num_problem -= 1;
         }
-        // Free the literal storage eagerly; the header slot is reused only
-        // implicitly (refs to it must no longer be followed).
-        c.lits = Vec::new();
+        self.wasted += c.len as usize;
     }
 
     pub(crate) fn num_learnt(&self) -> usize {
@@ -89,9 +171,49 @@ impl ClauseDb {
         self.num_problem
     }
 
+    /// Lifetime allocation counters `(clauses, literal slots)` — the
+    /// total ever appended, ignoring deletions and compaction. The
+    /// session layer compares these across solving modes.
+    pub(crate) fn lifetime_allocs(&self) -> (u64, u64) {
+        (self.allocated_clauses, self.allocated_lits)
+    }
+
+    /// `true` once at least half the arena is garbage and compacting is
+    /// worth the renumbering pass.
+    pub(crate) fn needs_compaction(&self) -> bool {
+        self.wasted * 2 > self.arena.len() && self.wasted > 1024
+    }
+
+    /// Slides every live clause to the front of the arena, drops
+    /// deleted headers and returns the old-to-new handle mapping. The
+    /// caller must remap every stored [`ClauseRef`] (watchers,
+    /// reasons); stale handles index the wrong clause afterwards.
+    pub(crate) fn compact(&mut self) -> CompactMap {
+        let mut map = vec![CompactMap::DEAD; self.headers.len()];
+        let mut new_headers: Vec<Header> = Vec::with_capacity(self.headers.len());
+        let mut write = 0usize;
+        for (old, h) in self.headers.iter().enumerate() {
+            if h.deleted {
+                continue;
+            }
+            let (off, len) = (h.off as usize, h.len as usize);
+            self.arena.copy_within(off..off + len, write);
+            map[old] = new_headers.len() as u32;
+            new_headers.push(Header {
+                off: write as u32,
+                ..*h
+            });
+            write += len;
+        }
+        self.arena.truncate(write);
+        self.headers = new_headers;
+        self.wasted = 0;
+        CompactMap { map }
+    }
+
     /// Iterates over live learnt clause refs.
     pub(crate) fn learnt_refs(&self) -> impl Iterator<Item = ClauseRef> + '_ {
-        self.clauses
+        self.headers
             .iter()
             .enumerate()
             .filter(|(_, c)| c.learnt && !c.deleted)
@@ -130,18 +252,19 @@ mod tests {
     #[test]
     fn alloc_and_get() {
         let mut db = ClauseDb::new();
-        let c = db.alloc(lits(3), false, 0);
-        assert_eq!(db.get(c).lits.len(), 3);
-        assert!(!db.get(c).learnt);
+        let c = db.alloc(&lits(3), false, 0);
+        assert_eq!(db.lits(c).len(), 3);
+        assert_eq!(db.len(c), 3);
         assert_eq!(db.num_problem(), 1);
         assert_eq!(db.num_learnt(), 0);
+        assert_eq!(db.lifetime_allocs(), (1, 3));
     }
 
     #[test]
     fn delete_updates_counts() {
         let mut db = ClauseDb::new();
-        let p = db.alloc(lits(2), false, 0);
-        let l = db.alloc(lits(2), true, 2);
+        let p = db.alloc(&lits(2), false, 0);
+        let l = db.alloc(&lits(2), true, 2);
         assert_eq!(
             db.stats(),
             ClauseStats {
@@ -165,15 +288,66 @@ mod tests {
                 learnt: 0
             }
         );
+        // Lifetime counters never shrink.
+        assert_eq!(db.lifetime_allocs(), (2, 4));
     }
 
     #[test]
     fn learnt_refs_skips_deleted() {
         let mut db = ClauseDb::new();
-        let a = db.alloc(lits(2), true, 2);
-        let b = db.alloc(lits(2), true, 2);
+        let a = db.alloc(&lits(2), true, 2);
+        let b = db.alloc(&lits(2), true, 2);
         db.delete(a);
         let live: Vec<_> = db.learnt_refs().collect();
         assert_eq!(live, vec![b]);
+    }
+
+    #[test]
+    fn clauses_are_contiguous_in_the_arena() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(3), false, 0);
+        let b = db.alloc(&lits(2), false, 0);
+        // Back-to-back layout: b's slice starts where a's ends.
+        assert_eq!(
+            db.lits(a).as_ptr() as usize + 3 * std::mem::size_of::<Lit>(),
+            db.lits(b).as_ptr() as usize
+        );
+    }
+
+    #[test]
+    fn compact_moves_survivors_and_remaps() {
+        let mut db = ClauseDb::new();
+        let a = db.alloc(&lits(4), false, 0);
+        let b = db.alloc(&lits(3), true, 2);
+        let c = db.alloc(&lits(2), true, 1);
+        let b_lits: Vec<Lit> = db.lits(b).to_vec();
+        let c_lits: Vec<Lit> = db.lits(c).to_vec();
+        db.delete(a);
+        let map = db.compact();
+        assert_eq!(map.remap(a), None);
+        let nb = map.remap(b).unwrap();
+        let nc = map.remap(c).unwrap();
+        assert_eq!(db.lits(nb), b_lits.as_slice());
+        assert_eq!(db.lits(nc), c_lits.as_slice());
+        assert_eq!(db.stats().learnt, 2);
+        assert_eq!(db.stats().problem, 0);
+        // The freed front slots are gone: b now starts at offset 0.
+        assert_eq!(db.lits(nb).as_ptr(), db.lits(ClauseRef(0)).as_ptr());
+    }
+
+    #[test]
+    fn compaction_threshold_tracks_waste() {
+        let mut db = ClauseDb::new();
+        let mut refs = Vec::new();
+        for _ in 0..600 {
+            refs.push(db.alloc(&lits(2), true, 2));
+        }
+        assert!(!db.needs_compaction());
+        for &r in &refs {
+            db.delete(r);
+        }
+        assert!(db.needs_compaction());
+        db.compact();
+        assert!(!db.needs_compaction());
     }
 }

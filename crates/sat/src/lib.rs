@@ -9,6 +9,10 @@
 //!
 //! The implementation is a classic two-watched-literal CDCL solver with:
 //!
+//! * a flat literal arena for clause storage (one shared `Vec` instead
+//!   of a heap allocation per clause) with garbage-collecting
+//!   compaction, blocker literals in the watch lists and special-cased
+//!   binary-clause watchers that propagate without touching the arena,
 //! * first-UIP conflict analysis with recursive clause minimisation,
 //! * VSIDS-style exponential variable activity with phase saving,
 //! * Luby-sequence restarts,
@@ -44,4 +48,4 @@ pub use cnf::Cnf;
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, MAX_VARS};
 pub use enumerate::ModelIter;
 pub use lit::{Lit, Var};
-pub use solver::{SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{AllocStats, SolveResult, Solver, SolverConfig, SolverStats};

@@ -115,6 +115,25 @@ struct Watch {
     /// already true the clause cannot be conflicting and the watcher
     /// is skipped without touching clause memory.
     blocker: Lit,
+    /// Binary clauses are fully described by the watcher itself (the
+    /// blocker *is* the only other literal), so propagation resolves
+    /// them — skip, enqueue or conflict — without an arena access.
+    binary: bool,
+}
+
+/// Lifetime allocation counters of one solver instance. Unlike
+/// [`SolverStats::clauses`] these never decrease: they count what was
+/// ever allocated, which is what the session layer compares between
+/// solving modes (a reused context re-allocates nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Variables created.
+    pub vars: u64,
+    /// Clauses appended to the arena (problem + learnt, ignoring
+    /// deletion and compaction).
+    pub clauses: u64,
+    /// Literal slots appended to the arena.
+    pub arena_lits: u64,
 }
 
 /// A two-watched-literal CDCL SAT solver with assumptions, cores and
@@ -153,6 +172,10 @@ pub struct Solver {
     conflict: Vec<Lit>,
     /// Scratch: seen flags for conflict analysis.
     seen: Vec<bool>,
+    /// Scratch: reusable copy of the clause under conflict analysis, so
+    /// analysis can walk its literals while bumping activities without
+    /// borrowing (or re-allocating from) the clause arena.
+    clause_buf: Vec<Lit>,
     stats: SolverStats,
     /// Model of the last sat answer (assignment snapshot).
     model: Vec<LBool>,
@@ -192,6 +215,7 @@ impl Solver {
             assumptions: Vec::new(),
             conflict: Vec::new(),
             seen: Vec::new(),
+            clause_buf: Vec::new(),
             stats: SolverStats::default(),
             model: Vec::new(),
         }
@@ -207,6 +231,17 @@ impl Solver {
         let mut s = self.stats;
         s.clauses = self.db.stats();
         s
+    }
+
+    /// Lifetime allocation counters (variables, arena clauses, arena
+    /// literal slots) — monotone, unaffected by deletion or compaction.
+    pub fn alloc_stats(&self) -> AllocStats {
+        let (clauses, arena_lits) = self.db.lifetime_allocs();
+        AllocStats {
+            vars: self.num_vars() as u64,
+            clauses,
+            arena_lits,
+        }
     }
 
     /// Creates a fresh variable.
@@ -284,7 +319,7 @@ impl Solver {
                 }
             }
             _ => {
-                let cref = self.db.alloc(c, false, 0);
+                let cref = self.db.alloc(&c, false, 0);
                 self.attach(cref);
                 true
             }
@@ -297,12 +332,20 @@ impl Solver {
     }
 
     fn attach(&mut self, cref: ClauseRef) {
-        let (l0, l1) = {
-            let c = self.db.get(cref);
-            (c.lits[0], c.lits[1])
+        let (l0, l1, binary) = {
+            let c = self.db.lits(cref);
+            (c[0], c[1], c.len() == 2)
         };
-        self.watches[(!l0).watch_index()].push(Watch { cref, blocker: l1 });
-        self.watches[(!l1).watch_index()].push(Watch { cref, blocker: l0 });
+        self.watches[(!l0).watch_index()].push(Watch {
+            cref,
+            blocker: l1,
+            binary,
+        });
+        self.watches[(!l1).watch_index()].push(Watch {
+            cref,
+            blocker: l0,
+            binary,
+        });
     }
 
     #[inline]
@@ -333,36 +376,53 @@ impl Solver {
             let widx = p.watch_index();
             let mut i = 0;
             'watchers: while i < self.watches[widx].len() {
-                let Watch { cref, blocker } = self.watches[widx][i];
+                let Watch {
+                    cref,
+                    blocker,
+                    binary,
+                } = self.watches[widx][i];
                 if self.lit_value(blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                if binary {
+                    // The blocker is the clause's only other literal, so
+                    // the clause is unit or conflicting — resolved right
+                    // here, with no arena access and no watch movement.
+                    if self.lit_value(blocker) == LBool::False {
+                        self.qhead = self.trail.len();
+                        return Some(cref);
+                    }
+                    self.unchecked_enqueue(blocker, Some(cref));
                     i += 1;
                     continue;
                 }
                 // Make sure the false literal (¬p) is at position 1.
                 let false_lit = !p;
                 {
-                    let c = self.db.get_mut(cref);
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
+                    let c = self.db.lits_mut(cref);
+                    if c[0] == false_lit {
+                        c.swap(0, 1);
                     }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                    debug_assert_eq!(c[1], false_lit);
                 }
-                let first = self.db.get(cref).lits[0];
+                let first = self.db.lits(cref)[0];
                 if first != blocker && self.lit_value(first) == LBool::True {
                     self.watches[widx][i].blocker = first;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                let len = self.db.get(cref).lits.len();
+                let len = self.db.len(cref);
                 for k in 2..len {
-                    let lk = self.db.get(cref).lits[k];
+                    let lk = self.db.lits(cref)[k];
                     if self.lit_value(lk) != LBool::False {
-                        self.db.get_mut(cref).lits.swap(1, k);
+                        self.db.lits_mut(cref).swap(1, k);
                         self.watches[widx].swap_remove(i);
                         self.watches[(!lk).watch_index()].push(Watch {
                             cref,
                             blocker: first,
+                            binary: false,
                         });
                         continue 'watchers;
                     }
@@ -465,13 +525,10 @@ impl Solver {
     }
 
     fn clause_bump(&mut self, cref: ClauseRef) {
-        let inc = self.clause_inc;
-        let c = self.db.get_mut(cref);
-        c.activity += inc;
-        if c.activity > 1e20 {
+        if self.db.bump_activity(cref, self.clause_inc) > 1e20 {
             let refs: Vec<ClauseRef> = self.db.learnt_refs().collect();
             for r in refs {
-                self.db.get_mut(r).activity *= 1e-20;
+                self.db.scale_activity(r, 1e-20);
             }
             self.clause_inc *= 1e-20;
         }
@@ -521,12 +578,22 @@ impl Solver {
         let mut counter = 0usize;
         let mut p: Option<Lit> = None;
         let mut index = self.trail.len();
+        // Reusable scratch: copy each clause out of the arena so its
+        // literals can be walked while activities are bumped (no
+        // per-conflict allocation once the buffer has grown).
+        let mut buf = std::mem::take(&mut self.clause_buf);
 
         loop {
             self.clause_bump(confl);
-            let lits: Vec<Lit> = self.db.get(confl).lits.clone();
-            let start = if p.is_some() { 1 } else { 0 };
-            for &q in &lits[start..] {
+            buf.clear();
+            buf.extend_from_slice(self.db.lits(confl));
+            for &q in &buf {
+                // In a reason clause, skip the literal it implied (it is
+                // not necessarily at index 0 for binary clauses, whose
+                // watchers never reorder the stored literals).
+                if p == Some(q) {
+                    continue;
+                }
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -555,8 +622,9 @@ impl Solver {
                 break;
             }
             confl = self.reason[pv.index()].expect("implied literal has a reason");
-            // The asserting literal is lits[0] of its reason clause; skip it.
+            // The next round skips the literal this reason implied (p).
         }
+        self.clause_buf = buf;
 
         // Clause minimisation: drop literals implied by the rest.
         if !self.config.disable_minimisation {
@@ -600,16 +668,18 @@ impl Solver {
     /// a reason clause all of whose other literals are at level 0 or
     /// already in the learnt clause. Sound and cheap (no recursion, no
     /// shared marks), which is all the workloads here need.
+    ///
+    /// The implied literal itself (`¬l`, somewhere in the reason clause;
+    /// not necessarily first for binary clauses) passes the `in_learnt`
+    /// test through `l`, so the whole clause can be scanned uniformly.
     fn lit_redundant(&self, l: Lit, learnt: &[Lit]) -> bool {
         let Some(r) = self.reason[l.var().index()] else {
             return false;
         };
         let in_learnt = |v: Var| learnt.iter().any(|x| x.var() == v);
         self.db
-            .get(r)
-            .lits
+            .lits(r)
             .iter()
-            .skip(1)
             .all(|&q| self.level[q.var().index()] == 0 || in_learnt(q.var()))
     }
 
@@ -620,7 +690,7 @@ impl Solver {
         } else {
             let lbd = self.compute_lbd(&learnt);
             let asserting = learnt[0];
-            let cref = self.db.alloc(learnt, true, lbd);
+            let cref = self.db.alloc(&learnt, true, lbd);
             self.attach(cref);
             self.clause_bump(cref);
             self.unchecked_enqueue(asserting, Some(cref));
@@ -643,17 +713,17 @@ impl Solver {
             .learnt_refs()
             .filter(|&r| {
                 // Never remove reason clauses of current assignments.
-                let c = self.db.get(r);
-                let locked = self.reason[c.lits[0].var().index()] == Some(r)
-                    && self.lit_value(c.lits[0]) == LBool::True;
-                !locked && c.lits.len() > 2
+                let lits = self.db.lits(r);
+                let locked = self.reason[lits[0].var().index()] == Some(r)
+                    && self.lit_value(lits[0]) == LBool::True;
+                !locked && lits.len() > 2
             })
             .collect();
         refs.sort_by(|&a, &b| {
-            let (ca, cb) = (self.db.get(a), self.db.get(b));
-            cb.lbd.cmp(&ca.lbd).then(
-                ca.activity
-                    .partial_cmp(&cb.activity)
+            self.db.lbd(b).cmp(&self.db.lbd(a)).then(
+                self.db
+                    .activity(a)
+                    .partial_cmp(&self.db.activity(b))
                     .unwrap_or(std::cmp::Ordering::Equal),
             )
         });
@@ -662,12 +732,38 @@ impl Solver {
             self.detach(r);
             self.db.delete(r);
         }
+        if self.db.needs_compaction() {
+            self.compact_db();
+        }
+    }
+
+    /// Compacts the clause arena and renumbers every stored handle.
+    /// Watchers of deleted clauses were detached beforehand and reason
+    /// clauses are never deleted (the locked check in `reduce_db`), so
+    /// every live handle survives the remap.
+    fn compact_db(&mut self) {
+        let map = self.db.compact();
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| match map.remap(w.cref) {
+                Some(new) => {
+                    w.cref = new;
+                    true
+                }
+                None => false,
+            });
+        }
+        for r in &mut self.reason {
+            if let Some(cref) = *r {
+                *r = map.remap(cref);
+                debug_assert!(r.is_some(), "reason clauses survive compaction");
+            }
+        }
     }
 
     fn detach(&mut self, cref: ClauseRef) {
         let (l0, l1) = {
-            let c = self.db.get(cref);
-            (c.lits[0], c.lits[1])
+            let c = self.db.lits(cref);
+            (c[0], c[1])
         };
         for l in [l0, l1] {
             let w = &mut self.watches[(!l).watch_index()];
@@ -818,9 +914,10 @@ impl Solver {
                     }
                 }
                 Some(r) => {
-                    let lits: Vec<Lit> = self.db.get(r).lits.clone();
-                    for &q in lits.iter().skip(1) {
-                        if self.level[q.var().index()] > 0 {
+                    // Skip the implied literal by variable (it need not
+                    // sit at index 0 in a binary reason clause).
+                    for &q in self.db.lits(r) {
+                        if q.var() != v && self.level[q.var().index()] > 0 {
                             seen[q.var().index()] = true;
                         }
                     }
@@ -1097,6 +1194,87 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.solves, 1);
         assert!(st.propagations > 0);
+    }
+
+    #[test]
+    fn binary_heavy_formula_with_assumptions() {
+        // An implication cycle of binary clauses plus an escape hatch;
+        // exercises the binary watcher fast path in both polarities,
+        // including conflicts inside binary chains.
+        let mut s = Solver::new();
+        let ls = vars(&mut s, 16);
+        for w in ls.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        // Close the cycle: last implies first.
+        s.add_clause([!ls[15], ls[0]]);
+        assert_eq!(s.solve_with(&[ls[3]]), SolveResult::Sat);
+        for &l in &ls {
+            assert_eq!(s.value(l.var()), Some(true));
+        }
+        // Forcing one variable low while another is high is a conflict
+        // that must be traced through binary reason clauses.
+        assert_eq!(s.solve_with(&[ls[3], !ls[9]]), SolveResult::Unsat);
+        let core = s.unsat_core();
+        assert!(core.contains(&!ls[3]) && core.contains(&ls[9]), "{core:?}");
+        assert_eq!(s.solve_with(&[!ls[9]]), SolveResult::Sat);
+        for &l in &ls {
+            assert_eq!(s.value(l.var()), Some(false));
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_solver_state() {
+        // Learn a pile of clauses, compact the arena mid-stream, and
+        // keep solving: watches and reasons must follow the remap.
+        let mut seed = 0xdeadbeefu64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let mut s = Solver::with_config(SolverConfig {
+            restart_base: 4,
+            learnt_size_factor: 0.05,
+            ..SolverConfig::default()
+        });
+        let n = 40;
+        let vs: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        for _ in 0..160 {
+            let a = Lit::new(vs[next() % n], next() % 2 == 0);
+            let b = Lit::new(vs[next() % n], next() % 2 == 0);
+            let c = Lit::new(vs[next() % n], next() % 2 == 0);
+            s.add_clause([a, b, c]);
+        }
+        for round in 0..40 {
+            let a = Lit::new(vs[next() % n], next() % 2 == 0);
+            let r1 = s.solve_with(&[a]);
+            s.compact_db();
+            let r2 = s.solve_with(&[a]);
+            assert_eq!(r1, r2, "round {round}: verdict changed across compaction");
+        }
+    }
+
+    #[test]
+    fn alloc_stats_are_monotone() {
+        let mut s = Solver::new();
+        let ls = vars(&mut s, 6);
+        for w in ls.windows(2) {
+            s.add_clause([!w[0], w[1]]);
+        }
+        s.add_clause([ls[0], ls[2], ls[4]]);
+        let before = s.alloc_stats();
+        assert_eq!(before.vars, 6);
+        assert_eq!(before.clauses, 6);
+        assert_eq!(before.arena_lits, 13);
+        s.solve();
+        let after = s.alloc_stats();
+        assert!(after.clauses >= before.clauses);
+        assert!(after.arena_lits >= before.arena_lits);
+        // Re-solving an unchanged formula allocates nothing new.
+        s.solve();
+        assert_eq!(s.alloc_stats(), after);
     }
 
     #[test]

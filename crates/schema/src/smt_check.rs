@@ -30,7 +30,7 @@ use std::fmt;
 
 use llhsc_dts::cells::{cell_counts, DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS};
 use llhsc_dts::{DeviceTree, Node, Property};
-use llhsc_smt::{CheckResult, Context, TermId};
+use llhsc_smt::{slice_key, CheckResult, Context, SessionStats, Slice, SolverSession, TermId};
 
 use crate::schema::{PropRule, PropType, Schema, SchemaSet};
 
@@ -82,326 +82,468 @@ impl SyntacticReport {
 /// ```
 #[derive(Debug)]
 pub struct SyntacticChecker {
-    ctx: Context,
+    session: SolverSession,
+    /// This product's obligation slice (constraints (4)–(6)), activated
+    /// by assumption in [`check`](SyntacticChecker::check).
+    slice: Slice,
     /// Marker assumption per rule instantiation.
     markers: Vec<(TermId, RuleInfo)>,
 }
 
 impl SyntacticChecker {
-    /// Builds the constraint system for a tree against a schema set.
+    /// Builds the constraint system for a tree against a schema set in
+    /// a fresh solver session.
     pub fn new(tree: &DeviceTree, schemas: &SchemaSet) -> SyntacticChecker {
-        let mut checker = SyntacticChecker {
-            ctx: Context::new(),
-            markers: Vec::new(),
-        };
-        checker.encode_tree(tree, schemas);
-        checker
+        SyntacticChecker::with_session(tree, schemas, SolverSession::new())
+    }
+
+    /// Builds the constraint system inside an existing session —
+    /// typically one handed over from a previous product's checker via
+    /// [`into_session`](SyntacticChecker::into_session). The marker
+    /// guarded schema rules are shared terms, so a product that
+    /// instantiates the same (node path, schema) bindings as an earlier
+    /// one re-uses their encodings and the solver's learnt clauses;
+    /// only this product's obligation facts occupy a fresh slice.
+    pub fn with_session(
+        tree: &DeviceTree,
+        schemas: &SchemaSet,
+        mut session: SolverSession,
+    ) -> SyntacticChecker {
+        let mut markers = Vec::new();
+        let mut obligations = Vec::new();
+        encode_tree(&mut session, &mut markers, &mut obligations, tree, schemas);
+        // The obligation slice is keyed by the facts themselves, so a
+        // warm repeat of the same product re-activates the existing
+        // slice without re-asserting anything.
+        let mut content: Vec<u8> = b"schema".to_vec();
+        for t in &obligations {
+            content.extend_from_slice(session.ctx().display(*t).as_bytes());
+            content.push(0);
+        }
+        let slice = session.slice(slice_key(&content));
+        for t in obligations.drain(..) {
+            session.assert_in(slice, t);
+        }
+        SyntacticChecker {
+            session,
+            slice,
+            markers,
+        }
+    }
+
+    /// Consumes the checker and returns its session, so the next
+    /// product's checker can keep the shared context warm.
+    pub fn into_session(self) -> SolverSession {
+        self.session
+    }
+
+    /// Reuse counters of the underlying solver session.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
     }
 
     /// Access to the underlying context (for callers that add further
     /// constraints to the same instance, as the paper's tool does with
     /// its semantic rules).
     pub fn context_mut(&mut self) -> &mut Context {
-        &mut self.ctx
+        self.session.ctx_mut()
     }
 
     /// Forwards a trace context to the underlying SMT context so each
     /// rule-marker solve in [`check`](SyntacticChecker::check) records a
     /// `"solve"` span with its solver-counter delta.
     pub fn attach_trace(&mut self, trace: llhsc_obs::TraceCtx) {
-        self.ctx.set_trace(trace);
+        self.session.ctx_mut().set_trace(trace);
     }
 
     /// Solver counters accumulated by this checker's SMT context.
     pub fn solver_stats(&self) -> llhsc_smt::SolverStats {
-        self.ctx.solver_stats()
+        self.session.ctx().solver_stats()
+    }
+}
+
+fn encode_tree(
+    session: &mut SolverSession,
+    markers: &mut Vec<(TermId, RuleInfo)>,
+    obligations: &mut Vec<TermId>,
+    tree: &DeviceTree,
+    schemas: &SchemaSet,
+) {
+    #[allow(clippy::too_many_arguments)]
+    fn rec(
+        session: &mut SolverSession,
+        markers: &mut Vec<(TermId, RuleInfo)>,
+        obligations: &mut Vec<TermId>,
+        node: &Node,
+        path: String,
+        parent_cells: (u32, u32),
+        schemas: &SchemaSet,
+    ) {
+        let here = if node.name.is_empty() {
+            "/".to_string()
+        } else if path == "/" {
+            format!("/{}", node.name)
+        } else {
+            format!("{path}/{}", node.name)
+        };
+        for schema in schemas.applicable(node) {
+            encode_binding(
+                session,
+                markers,
+                obligations,
+                node,
+                &here,
+                parent_cells,
+                schema,
+            );
+        }
+        let my_cells = cell_counts(node);
+        for c in &node.children {
+            rec(
+                session,
+                markers,
+                obligations,
+                c,
+                here.clone(),
+                my_cells,
+                schemas,
+            );
+        }
+    }
+    rec(
+        session,
+        markers,
+        obligations,
+        &tree.root,
+        "/".to_string(),
+        (DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS),
+        schemas,
+    );
+}
+
+/// Creates a marker assumption for one rule. The variable is named by
+/// the rule's content (not a per-checker counter), so products that
+/// instantiate the same rule share one marker term — and with it the
+/// root-asserted guarded constraint — across a session.
+fn marker(
+    session: &mut SolverSession,
+    markers: &mut Vec<(TermId, RuleInfo)>,
+    path: &str,
+    schema: &str,
+    description: String,
+) -> TermId {
+    let m = session
+        .ctx_mut()
+        .bool_var(&format!("rule:{path}:{schema}:{description}"));
+    markers.push((
+        m,
+        RuleInfo {
+            path: path.to_string(),
+            schema: schema.to_string(),
+            description,
+        },
+    ));
+    m
+}
+
+/// Encodes one (node, schema) pair: schema constraints (marker
+/// guarded, root-asserted, shared across products) plus instance proof
+/// obligations (buffered for the product's slice).
+#[allow(clippy::too_many_arguments)]
+fn encode_binding(
+    session: &mut SolverSession,
+    markers: &mut Vec<(TermId, RuleInfo)>,
+    obligations: &mut Vec<TermId>,
+    node: &Node,
+    path: &str,
+    parent_cells: (u32, u32),
+    schema: &Schema,
+) {
+    // Finite universe of property names: schema ∪ instance (the
+    // domain of the ∀x in constraints (5) and (6)).
+    let mut universe: BTreeSet<String> = schema.properties.iter().map(|r| r.name.clone()).collect();
+    universe.extend(schema.required.iter().cloned());
+    universe.extend(node.properties.iter().map(|p| p.name.clone()));
+
+    // Presence predicate R(x), one Boolean per universe member.
+    let r_var = |ctx: &mut Context, p: &str| -> TermId { ctx.bool_var(&format!("R:{path}:{p}")) };
+
+    // Node validity variable, asserted: we are checking this node.
+    // Shared across products (it carries no per-product information;
+    // the per-product facts are the R/val obligations below).
+    let node_var = session
+        .ctx_mut()
+        .bool_var(&format!("node:{path}:{}", schema.id));
+    session.assert_root(node_var);
+
+    // Obligations (5)+(6): R(p) fixed by what the instance provides.
+    for p in &universe {
+        let ctx = session.ctx_mut();
+        let rv = r_var(ctx, p);
+        let present = node.prop(p).is_some();
+        let c = ctx.bool_const(present);
+        let closure = ctx.iff(rv, c);
+        obligations.push(closure);
     }
 
-    fn encode_tree(&mut self, tree: &DeviceTree, schemas: &SchemaSet) {
-        fn rec(
-            checker: &mut SyntacticChecker,
-            node: &Node,
-            path: String,
-            parent_cells: (u32, u32),
-            schemas: &SchemaSet,
-        ) {
-            let here = if node.name.is_empty() {
-                "/".to_string()
-            } else if path == "/" {
-                format!("/{}", node.name)
-            } else {
-                format!("{path}/{}", node.name)
-            };
-            for schema in schemas.applicable(node) {
-                checker.encode_binding(node, &here, parent_cells, schema);
-            }
-            let my_cells = cell_counts(node);
-            for c in &node.children {
-                rec(checker, c, here.clone(), my_cells, schemas);
-            }
+    // Obligation (4): actual values. Strings intern; single-cell
+    // values become 32-bit bit-vectors; item counts become 32-bit
+    // bit-vectors so min/max rules are BV comparisons.
+    for prop in &node.properties {
+        let ctx = session.ctx_mut();
+        if let Some(s) = prop.as_str() {
+            let val = ctx.str_var(&format!("val:{path}:{}", prop.name));
+            let actual = ctx.str_const(s);
+            let eq = ctx.eq(val, actual);
+            obligations.push(eq);
         }
-        rec(
-            self,
-            &tree.root,
-            "/".to_string(),
-            (DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS),
-            schemas,
+        if let Some(v) = prop.as_u32() {
+            let val = ctx.bv_var(&format!("cell:{path}:{}", prop.name), 32);
+            let actual = ctx.bv_const(u128::from(v), 32);
+            let eq = ctx.eq(val, actual);
+            obligations.push(eq);
+        }
+        if let Some(n) = item_count(prop, parent_cells) {
+            let cnt = ctx.bv_var(&format!("count:{path}:{}", prop.name), 32);
+            let actual = ctx.bv_const(n as u128, 32);
+            let eq = ctx.eq(cnt, actual);
+            obligations.push(eq);
+        }
+    }
+
+    // Constraints (2)/(3): required properties, guarded.
+    for req in &schema.required {
+        let m = marker(
+            session,
+            markers,
+            path,
+            &schema.id,
+            format!("required property {req:?} must be present"),
         );
+        let ctx = session.ctx_mut();
+        let rv = r_var(ctx, req);
+        let rule = ctx.implies(node_var, rv);
+        let guarded = ctx.implies(m, rule);
+        session.assert_root(guarded);
     }
 
-    /// Creates a marker assumption for one rule.
-    fn marker(&mut self, path: &str, schema: &str, description: String) -> TermId {
-        let idx = self.markers.len();
-        let m = self.ctx.bool_var(&format!("rule#{idx}:{path}:{schema}"));
-        self.markers.push((
-            m,
-            RuleInfo {
-                path: path.to_string(),
-                schema: schema.to_string(),
-                description,
-            },
-        ));
-        m
-    }
-
-    /// Encodes one (node, schema) pair: schema constraints (marker
-    /// guarded) plus instance proof obligations (asserted).
-    fn encode_binding(
-        &mut self,
-        node: &Node,
-        path: &str,
-        parent_cells: (u32, u32),
-        schema: &Schema,
-    ) {
-        // Finite universe of property names: schema ∪ instance (the
-        // domain of the ∀x in constraints (5) and (6)).
-        let mut universe: BTreeSet<String> =
-            schema.properties.iter().map(|r| r.name.clone()).collect();
-        universe.extend(schema.required.iter().cloned());
-        universe.extend(node.properties.iter().map(|p| p.name.clone()));
-
-        // Presence predicate R(x), one Boolean per universe member.
-        let r_var =
-            |ctx: &mut Context, p: &str| -> TermId { ctx.bool_var(&format!("R:{path}:{p}")) };
-
-        // Node validity variable, asserted: we are checking this node.
-        let node_var = self.ctx.bool_var(&format!("node:{path}:{}", schema.id));
-        self.ctx.assert(node_var);
-
-        // Obligations (5)+(6): R(p) fixed by what the instance provides.
+    // Closed schemas: node → ¬R(p) for undeclared p.
+    if !schema.additional_properties {
         for p in &universe {
-            let rv = r_var(&mut self.ctx, p);
-            let present = node.prop(p).is_some();
-            let c = self.ctx.bool_const(present);
-            let closure = self.ctx.iff(rv, c);
-            self.ctx.assert(closure);
-        }
-
-        // Obligation (4): actual values. Strings intern; single-cell
-        // values become 32-bit bit-vectors; item counts become 32-bit
-        // bit-vectors so min/max rules are BV comparisons.
-        for prop in &node.properties {
-            if let Some(s) = prop.as_str() {
-                let val = self.ctx.str_var(&format!("val:{path}:{}", prop.name));
-                let actual = self.ctx.str_const(s);
-                let eq = self.ctx.eq(val, actual);
-                self.ctx.assert(eq);
-            }
-            if let Some(v) = prop.as_u32() {
-                let val = self.ctx.bv_var(&format!("cell:{path}:{}", prop.name), 32);
-                let actual = self.ctx.bv_const(u128::from(v), 32);
-                let eq = self.ctx.eq(val, actual);
-                self.ctx.assert(eq);
-            }
-            if let Some(n) = item_count(prop, parent_cells) {
-                let cnt = self.ctx.bv_var(&format!("count:{path}:{}", prop.name), 32);
-                let actual = self.ctx.bv_const(n as u128, 32);
-                let eq = self.ctx.eq(cnt, actual);
-                self.ctx.assert(eq);
-            }
-        }
-
-        // Constraints (2)/(3): required properties, guarded.
-        for req in &schema.required {
-            let m = self.marker(
-                path,
-                &schema.id,
-                format!("required property {req:?} must be present"),
-            );
-            let rv = r_var(&mut self.ctx, req);
-            let rule = self.ctx.implies(node_var, rv);
-            let guarded = self.ctx.implies(m, rule);
-            self.ctx.assert(guarded);
-        }
-
-        // Closed schemas: node → ¬R(p) for undeclared p.
-        if !schema.additional_properties {
-            for p in &universe {
-                if schema.rule(p).is_none() && !schema.required.contains(p) {
-                    let m = self.marker(
-                        path,
-                        &schema.id,
-                        format!("property {p:?} is not declared by the (closed) schema"),
-                    );
-                    let rv = r_var(&mut self.ctx, p);
-                    let nrv = self.ctx.not(rv);
-                    let rule = self.ctx.implies(node_var, nrv);
-                    let guarded = self.ctx.implies(m, rule);
-                    self.ctx.assert(guarded);
-                }
-            }
-        }
-
-        // Per-property rules.
-        for rule in &schema.properties {
-            self.encode_prop_rule(node, path, parent_cells, schema, rule);
-        }
-    }
-
-    fn encode_prop_rule(
-        &mut self,
-        node: &Node,
-        path: &str,
-        parent_cells: (u32, u32),
-        schema: &Schema,
-        rule: &PropRule,
-    ) {
-        let rv = self.ctx.bool_var(&format!("R:{path}:{}", rule.name));
-
-        // Constraint (1): R(p) → value = const.
-        if let Some(expected) = &rule.const_str {
-            let m = self.marker(
-                path,
-                &schema.id,
-                format!("property {:?} must be the string {expected:?}", rule.name),
-            );
-            let val = self.ctx.str_var(&format!("val:{path}:{}", rule.name));
-            let want = self.ctx.str_const(expected);
-            let eq = self.ctx.eq(val, want);
-            let body = self.ctx.implies(rv, eq);
-            let guarded = self.ctx.implies(m, body);
-            self.ctx.assert(guarded);
-        }
-        if let Some(expected) = rule.const_u32 {
-            let m = self.marker(
-                path,
-                &schema.id,
-                format!("property {:?} must be the cell <{expected:#x}>", rule.name),
-            );
-            let val = self.ctx.bv_var(&format!("cell:{path}:{}", rule.name), 32);
-            let want = self.ctx.bv_const(u128::from(expected), 32);
-            let eq = self.ctx.eq(val, want);
-            let body = self.ctx.implies(rv, eq);
-            let guarded = self.ctx.implies(m, body);
-            self.ctx.assert(guarded);
-        }
-        if !rule.enum_str.is_empty() {
-            let m = self.marker(
-                path,
-                &schema.id,
-                format!(
-                    "property {:?} must be one of {:?}",
-                    rule.name, rule.enum_str
-                ),
-            );
-            let val = self.ctx.str_var(&format!("val:{path}:{}", rule.name));
-            let alts: Vec<TermId> = rule
-                .enum_str
-                .iter()
-                .map(|e| {
-                    let c = self.ctx.str_const(e);
-                    self.ctx.eq(val, c)
-                })
-                .collect();
-            let any = self.ctx.or(alts);
-            let body = self.ctx.implies(rv, any);
-            let guarded = self.ctx.implies(m, body);
-            self.ctx.assert(guarded);
-        }
-
-        // Type rules are decided structurally; the verdict enters the
-        // constraint system as a Boolean fact so cores still name them.
-        if let Some(t) = rule.prop_type {
-            if let Some(prop) = node.prop(&rule.name) {
-                let ok = match t {
-                    PropType::U32 => prop.as_u32().is_some(),
-                    PropType::Str => prop.as_str().is_some(),
-                    PropType::Cells => prop.flat_cells().is_some(),
-                    PropType::Bytes => {
-                        prop.values
-                            .iter()
-                            .all(|v| matches!(v, llhsc_dts::PropValue::Bytes(_)))
-                            && !prop.values.is_empty()
-                    }
-                    PropType::Flag => prop.values.is_empty(),
-                };
-                let m = self.marker(
+            if schema.rule(p).is_none() && !schema.required.contains(p) {
+                let m = marker(
+                    session,
+                    markers,
                     path,
                     &schema.id,
-                    format!("property {:?} must have shape {t:?}", rule.name),
+                    format!("property {p:?} is not declared by the (closed) schema"),
                 );
-                let fact = self.ctx.bool_const(ok);
-                let body = self.ctx.implies(rv, fact);
-                let guarded = self.ctx.implies(m, body);
-                self.ctx.assert(guarded);
+                let ctx = session.ctx_mut();
+                let rv = r_var(ctx, p);
+                let nrv = ctx.not(rv);
+                let rule = ctx.implies(node_var, nrv);
+                let guarded = ctx.implies(m, rule);
+                session.assert_root(guarded);
             }
         }
+    }
 
-        // Item-count rules as bit-vector comparisons over the count
-        // obligation ("accepted values for the array size are expressed
-        // in the form of an assertion", §I-A).
-        if rule.min_items.is_some() || rule.max_items.is_some() {
-            if let Some(prop) = node.prop(&rule.name) {
-                match item_count(prop, parent_cells) {
-                    None => {
-                        let m = self.marker(
+    // Per-property rules.
+    for rule in &schema.properties {
+        encode_prop_rule(
+            session,
+            markers,
+            obligations,
+            node,
+            path,
+            parent_cells,
+            schema,
+            rule,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_prop_rule(
+    session: &mut SolverSession,
+    markers: &mut Vec<(TermId, RuleInfo)>,
+    obligations: &mut Vec<TermId>,
+    node: &Node,
+    path: &str,
+    parent_cells: (u32, u32),
+    schema: &Schema,
+    rule: &PropRule,
+) {
+    let rv = session
+        .ctx_mut()
+        .bool_var(&format!("R:{path}:{}", rule.name));
+
+    // Constraint (1): R(p) → value = const.
+    if let Some(expected) = &rule.const_str {
+        let m = marker(
+            session,
+            markers,
+            path,
+            &schema.id,
+            format!("property {:?} must be the string {expected:?}", rule.name),
+        );
+        let ctx = session.ctx_mut();
+        let val = ctx.str_var(&format!("val:{path}:{}", rule.name));
+        let want = ctx.str_const(expected);
+        let eq = ctx.eq(val, want);
+        let body = ctx.implies(rv, eq);
+        let guarded = ctx.implies(m, body);
+        session.assert_root(guarded);
+    }
+    if let Some(expected) = rule.const_u32 {
+        let m = marker(
+            session,
+            markers,
+            path,
+            &schema.id,
+            format!("property {:?} must be the cell <{expected:#x}>", rule.name),
+        );
+        let ctx = session.ctx_mut();
+        let val = ctx.bv_var(&format!("cell:{path}:{}", rule.name), 32);
+        let want = ctx.bv_const(u128::from(expected), 32);
+        let eq = ctx.eq(val, want);
+        let body = ctx.implies(rv, eq);
+        let guarded = ctx.implies(m, body);
+        session.assert_root(guarded);
+    }
+    if !rule.enum_str.is_empty() {
+        let m = marker(
+            session,
+            markers,
+            path,
+            &schema.id,
+            format!(
+                "property {:?} must be one of {:?}",
+                rule.name, rule.enum_str
+            ),
+        );
+        let ctx = session.ctx_mut();
+        let val = ctx.str_var(&format!("val:{path}:{}", rule.name));
+        let alts: Vec<TermId> = rule
+            .enum_str
+            .iter()
+            .map(|e| {
+                let c = ctx.str_const(e);
+                ctx.eq(val, c)
+            })
+            .collect();
+        let any = ctx.or(alts);
+        let body = ctx.implies(rv, any);
+        let guarded = ctx.implies(m, body);
+        session.assert_root(guarded);
+    }
+
+    // Type rules are decided structurally; the verdict enters the
+    // constraint system as a Boolean fact so cores still name them.
+    // The verdict is a *per-product* fact baked into the rule body,
+    // so (unlike the purely symbolic rules above) it belongs to the
+    // product's obligation slice: another product with the same
+    // node but a different shape asserts its own variant in its own
+    // slice instead of contradicting this one at the root.
+    if let Some(t) = rule.prop_type {
+        if let Some(prop) = node.prop(&rule.name) {
+            let ok = match t {
+                PropType::U32 => prop.as_u32().is_some(),
+                PropType::Str => prop.as_str().is_some(),
+                PropType::Cells => prop.flat_cells().is_some(),
+                PropType::Bytes => {
+                    prop.values
+                        .iter()
+                        .all(|v| matches!(v, llhsc_dts::PropValue::Bytes(_)))
+                        && !prop.values.is_empty()
+                }
+                PropType::Flag => prop.values.is_empty(),
+            };
+            let m = marker(
+                session,
+                markers,
+                path,
+                &schema.id,
+                format!("property {:?} must have shape {t:?}", rule.name),
+            );
+            let ctx = session.ctx_mut();
+            let fact = ctx.bool_const(ok);
+            let body = ctx.implies(rv, fact);
+            let guarded = ctx.implies(m, body);
+            obligations.push(guarded);
+        }
+    }
+
+    // Item-count rules as bit-vector comparisons over the count
+    // obligation ("accepted values for the array size are expressed
+    // in the form of an assertion", §I-A).
+    if rule.min_items.is_some() || rule.max_items.is_some() {
+        if let Some(prop) = node.prop(&rule.name) {
+            match item_count(prop, parent_cells) {
+                None => {
+                    let m = marker(
+                        session,
+                        markers,
+                        path,
+                        &schema.id,
+                        format!(
+                            "property {:?} must be a whole number of \
+                                 (address, size) entries",
+                            rule.name
+                        ),
+                    );
+                    let ctx = session.ctx_mut();
+                    let fact = ctx.bool_const(false);
+                    let body = ctx.implies(rv, fact);
+                    let guarded = ctx.implies(m, body);
+                    session.assert_root(guarded);
+                }
+                Some(_) => {
+                    let cnt = session
+                        .ctx_mut()
+                        .bv_var(&format!("count:{path}:{}", rule.name), 32);
+                    if let Some(min) = rule.min_items {
+                        let m = marker(
+                            session,
+                            markers,
                             path,
                             &schema.id,
-                            format!(
-                                "property {:?} must be a whole number of \
-                                 (address, size) entries",
-                                rule.name
-                            ),
+                            format!("property {:?} needs at least {min} items", rule.name),
                         );
-                        let fact = self.ctx.bool_const(false);
-                        let body = self.ctx.implies(rv, fact);
-                        let guarded = self.ctx.implies(m, body);
-                        self.ctx.assert(guarded);
+                        let ctx = session.ctx_mut();
+                        let lo = ctx.bv_const(min as u128, 32);
+                        let ge = ctx.bv_ule(lo, cnt);
+                        let body = ctx.implies(rv, ge);
+                        let guarded = ctx.implies(m, body);
+                        session.assert_root(guarded);
                     }
-                    Some(_) => {
-                        let cnt = self.ctx.bv_var(&format!("count:{path}:{}", rule.name), 32);
-                        if let Some(min) = rule.min_items {
-                            let m = self.marker(
-                                path,
-                                &schema.id,
-                                format!("property {:?} needs at least {min} items", rule.name),
-                            );
-                            let lo = self.ctx.bv_const(min as u128, 32);
-                            let ge = self.ctx.bv_ule(lo, cnt);
-                            let body = self.ctx.implies(rv, ge);
-                            let guarded = self.ctx.implies(m, body);
-                            self.ctx.assert(guarded);
-                        }
-                        if let Some(max) = rule.max_items {
-                            let m = self.marker(
-                                path,
-                                &schema.id,
-                                format!("property {:?} allows at most {max} items", rule.name),
-                            );
-                            let hi = self.ctx.bv_const(max as u128, 32);
-                            let le = self.ctx.bv_ule(cnt, hi);
-                            let body = self.ctx.implies(rv, le);
-                            let guarded = self.ctx.implies(m, body);
-                            self.ctx.assert(guarded);
-                        }
+                    if let Some(max) = rule.max_items {
+                        let m = marker(
+                            session,
+                            markers,
+                            path,
+                            &schema.id,
+                            format!("property {:?} allows at most {max} items", rule.name),
+                        );
+                        let ctx = session.ctx_mut();
+                        let hi = ctx.bv_const(max as u128, 32);
+                        let le = ctx.bv_ule(cnt, hi);
+                        let body = ctx.implies(rv, le);
+                        let guarded = ctx.implies(m, body);
+                        session.assert_root(guarded);
                     }
                 }
             }
         }
     }
+}
 
+impl SyntacticChecker {
     /// Solves the constraint system, enumerating all violated rules by
-    /// iteratively removing unsat-core markers.
+    /// iteratively removing unsat-core markers. The product's
+    /// obligation slice is activated by assumption alongside the
+    /// markers, so checking is non-destructive: the session can keep
+    /// serving other products afterwards.
     pub fn check(&mut self) -> SyntacticReport {
         let rules_checked = self.markers.len();
         let mut active: Vec<(TermId, RuleInfo)> = self.markers.clone();
@@ -411,17 +553,18 @@ impl SyntacticChecker {
             if assumptions.is_empty() {
                 break;
             }
-            match self.ctx.check_assuming(&assumptions) {
+            match self.session.check(&[self.slice], &assumptions) {
                 CheckResult::Sat => break,
                 CheckResult::Unsat => {
-                    let core: BTreeSet<TermId> = self.ctx.unsat_core().iter().copied().collect();
-                    if core.is_empty() {
+                    let core: BTreeSet<TermId> =
+                        self.session.unsat_core().iter().copied().collect();
+                    let (bad, rest): (Vec<_>, Vec<_>) =
+                        active.into_iter().partition(|(m, _)| core.contains(m));
+                    if bad.is_empty() {
                         // Defensive: obligations alone are inconsistent
                         // (cannot happen — they are facts about one tree).
                         break;
                     }
-                    let (bad, rest): (Vec<_>, Vec<_>) =
-                        active.into_iter().partition(|(m, _)| core.contains(m));
                     for (_, info) in bad {
                         violations.push(info);
                     }
@@ -607,5 +750,57 @@ mod tests {
             };"#);
         assert_eq!(missing_id.violations.len(), 1);
         assert!(missing_id.violations[0].description.contains("\"id\""));
+    }
+    #[test]
+    fn session_reuse_across_products_matches_fresh() {
+        let good = parse(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@40000000 {
+                    device_type = "memory";
+                    reg = <0x0 0x40000000 0x0 0x20000000>;
+                };
+                uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+            };"#,
+        )
+        .unwrap();
+        let bad = parse(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@40000000 {
+                    device_type = "ram";
+                    reg = <0x0 0x40000000 0x0 0x20000000>;
+                };
+                uart@20000000 { compatible = "ns16550a"; reg = <0x0 0x20000000 0x0 0x1000>; };
+            };"#,
+        )
+        .unwrap();
+        let schemas = SchemaSet::standard();
+
+        let fresh_good = SyntacticChecker::new(&good, &schemas).check();
+        let fresh_bad = SyntacticChecker::new(&bad, &schemas).check();
+
+        // Same two products through one shared session.
+        let mut c1 = SyntacticChecker::new(&good, &schemas);
+        let warm_good = c1.check();
+        let mut c2 = SyntacticChecker::with_session(&bad, &schemas, c1.into_session());
+        let warm_bad = c2.check();
+        assert_eq!(warm_good, fresh_good);
+        assert_eq!(warm_bad, fresh_bad);
+        // The second product re-used the shared rule encodings: the
+        // session saw term-level reuse, and only the differing
+        // obligation facts required a fresh slice.
+        let stats = c2.session_stats();
+        assert!(stats.asserts_reused > 0, "{stats:?}");
+        assert_eq!(stats.slices_created, 2);
+
+        // Replaying an identical product re-activates its slice.
+        let mut c3 = SyntacticChecker::with_session(&bad, &schemas, c2.into_session());
+        assert_eq!(c3.check(), fresh_bad);
+        let stats = c3.session_stats();
+        assert_eq!(stats.slices_created, 2, "{stats:?}");
+        assert_eq!(stats.slices_reused, 1, "{stats:?}");
     }
 }

@@ -442,6 +442,8 @@ fn print_region_stats(stats: &llhsc::RegionCheckStats) {
     println!("  pairs considered  {:>10}", stats.pairs_considered);
     println!("  pairs encoded     {:>10}", stats.pairs_encoded);
     println!("  SMT terms         {:>10}", stats.terms);
+    println!("  terms encoded     {:>10}", stats.terms_encoded);
+    println!("  terms reused      {:>10}", stats.terms_reused);
     println!("  SAT solve calls   {:>10}", stats.solver.solves);
     println!("  decisions         {:>10}", stats.solver.decisions);
     println!("  propagations      {:>10}", stats.solver.propagations);
@@ -463,12 +465,24 @@ fn print_solver_totals(solver: &llhsc::SolverStats) {
     println!("  restarts          {:>10}", solver.restarts);
 }
 
+/// Renders a session's reuse counters (`--stats`): how much encoding
+/// and assertion work was amortized against already bit-blasted slices.
+fn print_session_stats(session: &llhsc::SessionStats) {
+    println!("session reuse:");
+    println!("  slices created    {:>10}", session.slices_created);
+    println!("  slices reused     {:>10}", session.slices_reused);
+    println!("  asserts encoded   {:>10}", session.asserts_encoded);
+    println!("  asserts reused    {:>10}", session.asserts_reused);
+    println!("  checks            {:>10}", session.checks);
+}
+
 /// Renders a pipeline run's instrumentation (`--stats`).
 fn print_pipeline_stats(out: &llhsc::PipelineOutput) {
     println!("stage timings:");
     println!("{}", out.timings);
     print_region_stats(&out.semantic_stats);
     print_solver_totals(&out.solver_stats);
+    print_session_stats(&out.session_stats);
 }
 
 fn cmd_model(path: &Path) -> ExitCode {
@@ -736,7 +750,13 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
     }
     if let Some(report_path) = report_path {
         let spans = tracer.as_ref().map(|t| t.spans()).unwrap_or_default();
-        let doc = check_report_json(&outcome.report, &outcome.stats, &outcome.solver, &spans);
+        let doc = check_report_json(
+            &outcome.report,
+            &outcome.stats,
+            &outcome.solver,
+            &outcome.session,
+            &spans,
+        );
         let mut bytes = doc.to_string();
         bytes.push('\n');
         if write_output(Path::new(&report_path), bytes.as_bytes()).is_err() {
@@ -747,6 +767,7 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
         println!("semantic check time: {:.1?}", outcome.elapsed);
         print_region_stats(&outcome.stats);
         print_solver_totals(&outcome.solver);
+        print_session_stats(&outcome.session);
     }
     if outcome.report.input_error {
         // Uninterpretable input (bad cell counts, malformed reg): a

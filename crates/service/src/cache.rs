@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use llhsc::{CacheClass, CacheEntry, PipelineCache, RegionCheckStats, SolverStats};
+use llhsc::{CacheClass, CacheEntry, PipelineCache, RegionCheckStats, SessionStats, SolverStats};
 
 use crate::check::CheckReport;
 
@@ -20,6 +20,8 @@ pub struct CachedTreeCheck {
     pub stats: RegionCheckStats,
     /// Solver totals of the fresh run.
     pub solver: SolverStats,
+    /// Session reuse counters of the fresh run.
+    pub session: SessionStats,
     /// Span tree of the fresh run (recorded against a zeroed clock),
     /// replayed into the report document on cache hits.
     pub spans: Vec<llhsc_obs::SpanRecord>,
@@ -207,6 +209,7 @@ mod tests {
             },
             stats: RegionCheckStats::default(),
             solver: SolverStats::default(),
+            session: SessionStats::default(),
             spans: Vec::new(),
         };
         cache.put_tree(9, check.clone());

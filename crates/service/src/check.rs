@@ -7,7 +7,7 @@
 
 use std::time::{Duration, Instant};
 
-use llhsc::{RegionCheckStats, SemanticChecker, SolverStats};
+use llhsc::{RegionCheckStats, SemanticChecker, SessionStats, SolverStats};
 use llhsc_dts::DeviceTree;
 use llhsc_obs::TraceCtx;
 use llhsc_schema::{SchemaSet, SyntacticChecker};
@@ -39,6 +39,10 @@ pub struct CheckOutcome {
     /// plus semantic disjointness queries). Equals the sum over the
     /// check's `"solve"` trace spans when a trace context is attached.
     pub solver: SolverStats,
+    /// Solver-session reuse counters: how much of the check's encoding
+    /// and assertion work was amortized against already bit-blasted
+    /// slices (summed over the syntactic and semantic sessions).
+    pub session: SessionStats,
     /// Wall-clock time of the semantic check.
     pub elapsed: Duration,
 }
@@ -66,6 +70,7 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
     let scoped = root.as_ref().map(|(t, id)| t.at(*id));
     let trace = scoped.as_ref();
     let mut solver = SolverStats::default();
+    let mut session = SessionStats::default();
 
     let syn_span = trace.map(|t| (t, t.begin("syntactic")));
     let mut syn_checker = SyntacticChecker::new(tree, &SchemaSet::standard());
@@ -75,7 +80,11 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
     let solver_base = syn_checker.solver_stats();
     let syntactic = syn_checker.check();
     solver.merge(&syn_checker.solver_stats().delta_since(&solver_base));
+    session.merge(&syn_checker.session_stats());
     if let Some((t, id)) = syn_span {
+        let stats = syn_checker.session_stats();
+        t.add(id, "asserts_encoded", stats.asserts_encoded);
+        t.add(id, "asserts_reused", stats.asserts_reused);
         t.finish(id);
     }
     for v in &syntactic.violations {
@@ -92,7 +101,11 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
         sem_checker.set_trace(t.at(*id));
     }
     let outcome = sem_checker.check_tree_with_stats(tree);
+    session.merge(&sem_checker.session_stats());
     if let Some((t, id)) = sem_span {
+        let stats = sem_checker.session_stats();
+        t.add(id, "asserts_encoded", stats.asserts_encoded);
+        t.add(id, "asserts_reused", stats.asserts_reused);
         t.finish(id);
     }
     match outcome {
@@ -149,6 +162,7 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
         },
         stats,
         solver,
+        session,
         elapsed,
     }
 }

@@ -16,7 +16,7 @@
 //! entries of the document's own `spans` array, which carries the span
 //! tree (names, parent links, counters) without timestamps.
 
-use llhsc::{RegionCheckStats, SolverStats};
+use llhsc::{RegionCheckStats, SessionStats, SolverStats};
 use llhsc_obs::SpanRecord;
 
 use crate::check::CheckReport;
@@ -30,6 +30,7 @@ pub fn check_report_json(
     report: &CheckReport,
     stats: &RegionCheckStats,
     solver: &SolverStats,
+    session: &SessionStats,
     spans: &[SpanRecord],
 ) -> Json {
     Json::obj([
@@ -46,10 +47,27 @@ pub fn check_report_json(
                 ("pairs_considered", stats.pairs_considered.into()),
                 ("pairs_encoded", stats.pairs_encoded.into()),
                 ("terms", stats.terms.into()),
+                ("terms_encoded", stats.terms_encoded.into()),
+                ("terms_reused", stats.terms_reused.into()),
             ]),
         ),
         ("solver", solver_json(solver)),
+        ("session", session_json(session)),
         ("spans", spans_json(spans)),
+    ])
+}
+
+/// The solver-session reuse counters: how much encoding and assertion
+/// work the check amortized against already bit-blasted slices. Like
+/// the solver totals these describe the *fresh* run — a daemon cache
+/// hit replays the recorded values.
+pub fn session_json(s: &SessionStats) -> Json {
+    Json::obj([
+        ("slices_created", s.slices_created.into()),
+        ("slices_reused", s.slices_reused.into()),
+        ("asserts_encoded", s.asserts_encoded.into()),
+        ("asserts_reused", s.asserts_reused.into()),
+        ("checks", s.checks.into()),
     ])
 }
 
@@ -130,8 +148,9 @@ mod tests {
             t.end(root);
             t.spans()
         };
-        let a = check_report_json(&report, &stats, &solver, &spans(false)).to_string();
-        let b = check_report_json(&report, &stats, &solver, &spans(true)).to_string();
+        let session = SessionStats::default();
+        let a = check_report_json(&report, &stats, &solver, &session, &spans(false)).to_string();
+        let b = check_report_json(&report, &stats, &solver, &session, &spans(true)).to_string();
         assert_eq!(a, b);
         assert!(a.contains(r#""spans":[{"counters":{},"name":"check","parent":null}"#));
         let parsed = Json::parse(&a).expect("report parses");

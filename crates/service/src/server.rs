@@ -31,7 +31,7 @@ use crate::proto::{
     build_ok_frame, build_rejected_frame, check_frame, error_frame, metrics_frame, ping_frame,
     shutdown_frame, Request,
 };
-use crate::report::{check_report_json, solver_json};
+use crate::report::{check_report_json, session_json, solver_json};
 
 /// Bucket bounds (µs) of the per-op request-latency histogram: 100µs to
 /// 10s in decades.
@@ -94,11 +94,47 @@ impl SolverTotals {
     }
 }
 
+/// Accumulated solver-session reuse counters (fresh checks and builds
+/// only), the daemon-scope view of [`llhsc::SessionStats`].
+#[derive(Debug, Default)]
+struct SessionTotals {
+    slices_created: AtomicU64,
+    slices_reused: AtomicU64,
+    asserts_encoded: AtomicU64,
+    asserts_reused: AtomicU64,
+    checks: AtomicU64,
+}
+
+impl SessionTotals {
+    fn add(&self, s: &llhsc::SessionStats) {
+        self.slices_created
+            .fetch_add(s.slices_created, Ordering::Relaxed);
+        self.slices_reused
+            .fetch_add(s.slices_reused, Ordering::Relaxed);
+        self.asserts_encoded
+            .fetch_add(s.asserts_encoded, Ordering::Relaxed);
+        self.asserts_reused
+            .fetch_add(s.asserts_reused, Ordering::Relaxed);
+        self.checks.fetch_add(s.checks, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> llhsc::SessionStats {
+        llhsc::SessionStats {
+            slices_created: self.slices_created.load(Ordering::Relaxed),
+            slices_reused: self.slices_reused.load(Ordering::Relaxed),
+            asserts_encoded: self.asserts_encoded.load(Ordering::Relaxed),
+            asserts_reused: self.asserts_reused.load(Ordering::Relaxed),
+            checks: self.checks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Everything the worker threads share.
 struct ServiceState {
     cache: ServiceCache,
     stats: ServiceStats,
     solver: SolverTotals,
+    session: SessionTotals,
     metrics: Registry,
     logger: Logger,
     shutdown: AtomicBool,
@@ -177,6 +213,7 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         cache: ServiceCache::new(),
         stats: ServiceStats::default(),
         solver: SolverTotals::default(),
+        session: SessionTotals::default(),
         metrics: Registry::new(),
         logger: Logger::from_env("llhsc-service"),
         shutdown: AtomicBool::new(false),
@@ -412,10 +449,12 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                             let ctx = TraceCtx::new(Arc::clone(&tracer));
                             let outcome = check_tree_traced(&tree, Some(&ctx));
                             state.solver.add(&outcome.solver);
+                            state.session.add(&outcome.session);
                             let fresh = CachedTreeCheck {
                                 report: outcome.report,
                                 stats: outcome.stats,
                                 solver: outcome.solver,
+                                session: outcome.session,
                                 spans: tracer.spans(),
                             };
                             state.cache.put_tree(key, fresh.clone());
@@ -423,7 +462,13 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                         }
                     };
                     let doc = report.then(|| {
-                        check_report_json(&check.report, &check.stats, &check.solver, &check.spans)
+                        check_report_json(
+                            &check.report,
+                            &check.stats,
+                            &check.solver,
+                            &check.session,
+                            &check.spans,
+                        )
                     });
                     check_frame(&check.report, cached, doc)
                 }
@@ -436,6 +481,7 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                 Ok(input) => match Pipeline::new().run_with_cache(&input, Some(&state.cache)) {
                     Ok(out) => {
                         state.solver.add(&out.solver_stats);
+                        state.session.add(&out.session_stats);
                         build_ok_frame(&out)
                     }
                     Err(e) => build_rejected_frame(&e),
@@ -478,6 +524,7 @@ fn stats_frame(state: &ServiceState) -> Json {
         ),
         ("cache", cache),
         ("solver", solver_json(&state.solver.snapshot())),
+        ("session", session_json(&state.session.snapshot())),
     ])
 }
 
@@ -547,6 +594,32 @@ fn metrics_text(state: &ServiceState) -> String {
         "SAT-solver restarts performed (fresh work only).",
         solver.restarts,
     );
+    let session = state.session.snapshot();
+    sync(
+        "llhsc_session_slices_created_total",
+        "Solver-session constraint slices encoded for the first time.",
+        session.slices_created,
+    );
+    sync(
+        "llhsc_session_slices_reused_total",
+        "Solver-session slice registrations served from the shared context.",
+        session.slices_reused,
+    );
+    sync(
+        "llhsc_session_asserts_encoded_total",
+        "Solver-session assertions that reached the solver.",
+        session.asserts_encoded,
+    );
+    sync(
+        "llhsc_session_asserts_reused_total",
+        "Solver-session assertions skipped as already encoded.",
+        session.asserts_reused,
+    );
+    sync(
+        "llhsc_session_checks_total",
+        "Assumption-guarded checks discharged against shared contexts.",
+        session.checks,
+    );
     m.render()
 }
 
@@ -589,8 +662,13 @@ mod tests {
         let tracer = Arc::new(Tracer::zeroed());
         let ctx = TraceCtx::new(Arc::clone(&tracer));
         let local = check_tree_traced(&llhsc_dts::parse(dts).unwrap(), Some(&ctx));
-        let local_doc =
-            check_report_json(&local.report, &local.stats, &local.solver, &tracer.spans());
+        let local_doc = check_report_json(
+            &local.report,
+            &local.stats,
+            &local.solver,
+            &local.session,
+            &tracer.spans(),
+        );
         assert_eq!(report.to_string(), local_doc.to_string());
 
         // A cache hit replays the identical report under a new trace ID.

@@ -15,12 +15,23 @@ use llhsc_sat::{Lit, Solver};
 
 use crate::term::{mask, Sort, TermData, TermId, TermPool};
 
-/// The per-term encoding: a single literal for Bool terms, an LSB-first
-/// literal vector for BitVec (and interned Str) terms.
-#[derive(Debug, Clone)]
+/// The per-term encoding: a single literal for Bool terms, a handle to
+/// an interned LSB-first literal vector for BitVec (and interned Str)
+/// terms. `Copy`, so cache hits in [`Blaster::encode`] return without
+/// cloning a `Vec<Lit>` — the old cache-hit path allocated on every
+/// lookup of an already-blasted term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Encoding {
     Bool(Lit),
-    Bits(Vec<Lit>),
+    Bits(BitsId),
+}
+
+/// Handle to an interned literal vector in the blaster's flat bit
+/// store: a `(offset, len)` slice, resolved by [`Blaster::bits_of`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BitsId {
+    off: u32,
+    len: u32,
 }
 
 /// Width (in bits) used to encode interned strings as bit-vectors.
@@ -31,20 +42,52 @@ pub(crate) const STR_WIDTH: u32 = 32;
 #[derive(Debug)]
 pub(crate) struct Blaster {
     cache: HashMap<TermId, Encoding>,
+    /// Flat store of every interned bit-vector encoding, back to back;
+    /// a [`BitsId`] is an `(offset, len)` slice into it.
+    bit_store: Vec<Lit>,
     /// Literal that is constant-true in the solver.
     true_lit: Option<Lit>,
+    /// Cache hits in [`Blaster::encode`] — terms returned without any
+    /// fresh gates or clauses.
+    hits: u64,
+    /// Cache misses — terms lowered to fresh gate networks.
+    misses: u64,
 }
 
 impl Blaster {
     pub(crate) fn new() -> Blaster {
         Blaster {
             cache: HashMap::new(),
+            bit_store: Vec::new(),
             true_lit: None,
+            hits: 0,
+            misses: 0,
         }
     }
 
-    pub(crate) fn cached(&self, t: TermId) -> Option<&Encoding> {
-        self.cache.get(&t)
+    pub(crate) fn cached(&self, t: TermId) -> Option<Encoding> {
+        self.cache.get(&t).copied()
+    }
+
+    /// Resolves an interned bit-vector handle to its literals.
+    pub(crate) fn bits_of(&self, id: BitsId) -> &[Lit] {
+        &self.bit_store[id.off as usize..(id.off + id.len) as usize]
+    }
+
+    fn intern_bits(&mut self, lits: &[Lit]) -> BitsId {
+        let off = self.bit_store.len() as u32;
+        self.bit_store.extend_from_slice(lits);
+        BitsId {
+            off,
+            len: lits.len() as u32,
+        }
+    }
+
+    /// `(cache hits, cache misses)` of [`Blaster::encode`] over the
+    /// blaster's lifetime. The hit count measures how much encoding
+    /// work term sharing (and session reuse) saved.
+    pub(crate) fn encode_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     fn true_lit(&mut self, solver: &mut Solver) -> Lit {
@@ -229,19 +272,29 @@ impl Blaster {
         }
     }
 
-    fn bits(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Vec<Lit> {
+    fn bits_id(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> BitsId {
         match self.encode(pool, solver, t) {
             Encoding::Bits(b) => b,
             Encoding::Bool(_) => panic!("expected bit-vector term, found Bool"),
         }
     }
 
+    /// Owned copy of a bit-vector operand's literals, for gate
+    /// construction in the (once-per-term) uncached path. Cache *hits*
+    /// of the parent term never reach this.
+    fn bits(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Vec<Lit> {
+        let id = self.bits_id(pool, solver, t);
+        self.bits_of(id).to_vec()
+    }
+
     pub(crate) fn encode(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Encoding {
-        if let Some(e) = self.cache.get(&t) {
-            return e.clone();
+        if let Some(&e) = self.cache.get(&t) {
+            self.hits += 1;
+            return e;
         }
+        self.misses += 1;
         let enc = self.encode_uncached(pool, solver, t);
-        self.cache.insert(t, enc.clone());
+        self.cache.insert(t, enc);
         enc
     }
 
@@ -258,11 +311,16 @@ impl Blaster {
         (0..width).map(|_| Lit::pos(solver.new_var())).collect()
     }
 
+    fn enc_bits(&mut self, v: Vec<Lit>) -> Encoding {
+        let id = self.intern_bits(&v);
+        Encoding::Bits(id)
+    }
+
     fn encode_uncached(&mut self, pool: &TermPool, solver: &mut Solver, t: TermId) -> Encoding {
         use TermData::*;
         match pool.get(t).clone() {
             BoolConst(b) => Encoding::Bool(self.const_lit(solver, b)),
-            BoolVar(_) => Encoding::Bool(Lit::pos(solver.new_var())),
+            BoolVar(_) | BoolVarIdx { .. } => Encoding::Bool(Lit::pos(solver.new_var())),
             Not(a) => {
                 let l = self.bool_lit(pool, solver, a);
                 Encoding::Bool(!l)
@@ -314,7 +372,7 @@ impl Blaster {
                             .zip(&bb)
                             .map(|(&x, &y)| self.gate_mux(solver, lc, x, y))
                             .collect();
-                        Encoding::Bits(out)
+                        self.enc_bits(out)
                     }
                 }
             }
@@ -337,26 +395,35 @@ impl Blaster {
                     Encoding::Bool(self.gate_and_many(solver, &eqs))
                 }
             },
-            BvConst { width, value } => Encoding::Bits(self.const_bits(solver, value, width)),
-            BvVar { width, .. } => Encoding::Bits(self.fresh_bits(solver, width)),
+            BvConst { width, value } => {
+                let v = self.const_bits(solver, value, width);
+                self.enc_bits(v)
+            }
+            BvVar { width, .. } | BvVarIdx { width, .. } => {
+                let v = self.fresh_bits(solver, width);
+                self.enc_bits(v)
+            }
             BvAdd(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
                 let zero = self.false_lit(solver);
-                Encoding::Bits(self.ripple_add(solver, &ba, &bb, zero))
+                let v = self.ripple_add(solver, &ba, &bb, zero);
+                self.enc_bits(v)
             }
             BvSub(a, b) => {
                 // a - b = a + ¬b + 1
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
                 let nb: Vec<Lit> = bb.iter().map(|&l| !l).collect();
                 let one = self.true_lit(solver);
-                Encoding::Bits(self.ripple_add(solver, &ba, &nb, one))
+                let v = self.ripple_add(solver, &ba, &nb, one);
+                self.enc_bits(v)
             }
             BvNeg(a) => {
                 let ba = self.bits(pool, solver, a);
                 let na: Vec<Lit> = ba.iter().map(|&l| !l).collect();
                 let zeros = self.const_bits(solver, 0, na.len() as u32);
                 let one = self.true_lit(solver);
-                Encoding::Bits(self.ripple_add(solver, &zeros, &na, one))
+                let v = self.ripple_add(solver, &zeros, &na, one);
+                self.enc_bits(v)
             }
             BvMul(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -375,7 +442,7 @@ impl Blaster {
                     let zero = self.false_lit(solver);
                     acc = self.ripple_add(solver, &acc, &partial, zero);
                 }
-                Encoding::Bits(acc)
+                self.enc_bits(acc)
             }
             BvAnd(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -384,7 +451,7 @@ impl Blaster {
                     .zip(&bb)
                     .map(|(&x, &y)| self.gate_and(solver, x, y))
                     .collect();
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             BvOr(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -393,7 +460,7 @@ impl Blaster {
                     .zip(&bb)
                     .map(|(&x, &y)| self.gate_or(solver, x, y))
                     .collect();
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             BvXor(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -402,11 +469,12 @@ impl Blaster {
                     .zip(&bb)
                     .map(|(&x, &y)| self.gate_xor(solver, x, y))
                     .collect();
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             BvNot(a) => {
                 let ba = self.bits(pool, solver, a);
-                Encoding::Bits(ba.iter().map(|&l| !l).collect())
+                let v: Vec<Lit> = ba.iter().map(|&l| !l).collect();
+                self.enc_bits(v)
             }
             BvShl(a, k) => {
                 let ba = self.bits(pool, solver, a);
@@ -420,7 +488,7 @@ impl Blaster {
                         out.push(ba[i - k]);
                     }
                 }
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             BvLshr(a, k) => {
                 let ba = self.bits(pool, solver, a);
@@ -434,15 +502,17 @@ impl Blaster {
                         out.push(self.false_lit(solver));
                     }
                 }
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             BvShlV(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
-                Encoding::Bits(self.barrel_shift(solver, &ba, &bb, true))
+                let v = self.barrel_shift(solver, &ba, &bb, true);
+                self.enc_bits(v)
             }
             BvLshrV(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
-                Encoding::Bits(self.barrel_shift(solver, &ba, &bb, false))
+                let v = self.barrel_shift(solver, &ba, &bb, false);
+                self.enc_bits(v)
             }
             BvUlt(a, b) => {
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
@@ -470,25 +540,36 @@ impl Blaster {
                 Encoding::Bool(!gt)
             }
             Extract { hi, lo, arg } => {
-                let ba = self.bits(pool, solver, arg);
-                Encoding::Bits(ba[lo as usize..=hi as usize].to_vec())
+                // A sub-range of an interned vector is itself contiguous
+                // in the bit store: no fresh interning needed.
+                let b = self.bits_id(pool, solver, arg);
+                Encoding::Bits(BitsId {
+                    off: b.off + lo,
+                    len: hi - lo + 1,
+                })
             }
             Concat(a, b) => {
                 // a is the high part.
                 let (ba, bb) = (self.bits(pool, solver, a), self.bits(pool, solver, b));
                 let mut out = bb;
                 out.extend(ba);
-                Encoding::Bits(out)
+                self.enc_bits(out)
             }
             ZeroExt { arg, extra } => {
                 let mut ba = self.bits(pool, solver, arg);
                 for _ in 0..extra {
                     ba.push(self.false_lit(solver));
                 }
-                Encoding::Bits(ba)
+                self.enc_bits(ba)
             }
-            StrConst(id) => Encoding::Bits(self.const_bits(solver, id as u128, STR_WIDTH)),
-            StrVar(_) => Encoding::Bits(self.fresh_bits(solver, STR_WIDTH)),
+            StrConst(id) => {
+                let v = self.const_bits(solver, id as u128, STR_WIDTH);
+                self.enc_bits(v)
+            }
+            StrVar(_) => {
+                let v = self.fresh_bits(solver, STR_WIDTH);
+                self.enc_bits(v)
+            }
         }
     }
 }
@@ -502,8 +583,9 @@ pub(crate) fn eval_in_model(blaster: &Blaster, model: &[bool], t: TermId) -> Opt
         Some(if l.is_positive() { *v } else { !*v })
     };
     match blaster.cached(t)? {
-        Encoding::Bool(l) => Some(EvalValue::Bool(lit_val(*l)?)),
-        Encoding::Bits(bits) => {
+        Encoding::Bool(l) => Some(EvalValue::Bool(lit_val(l)?)),
+        Encoding::Bits(id) => {
+            let bits = blaster.bits_of(id);
             let mut v: u128 = 0;
             for (i, &b) in bits.iter().enumerate() {
                 if lit_val(b)? {

@@ -233,6 +233,19 @@ impl Context {
             .mk(TermData::BoolVar(name.to_string()), Sort::Bool)
     }
 
+    /// An integer-keyed Boolean variable, identified by `(tag, index)`.
+    ///
+    /// Equivalent to `bool_var(&format!("{tag}_{index}"))` but with no
+    /// string allocation — the tag is interned once and the key is the
+    /// integer, so hot loops minting per-item variable families
+    /// (`base_0`, `base_1`, …) stay allocation-free after the first
+    /// call. Diagnostics still render the familiar `tag_index` form.
+    pub fn bool_var_i(&mut self, tag: &str, index: u64) -> TermId {
+        let tag = self.pool.intern_str(tag);
+        self.pool
+            .mk(TermData::BoolVarIdx { tag, index }, Sort::Bool)
+    }
+
     /// Logical negation (folds constants and double negation).
     pub fn not(&mut self, a: TermId) -> TermId {
         self.expect_bool(a, "not");
@@ -486,6 +499,19 @@ impl Context {
                 name: name.to_string(),
                 width,
             },
+            Sort::BitVec(width),
+        )
+    }
+
+    /// An integer-keyed bit-vector variable (see [`Context::bool_var_i`]).
+    pub fn bv_var_i(&mut self, tag: &str, index: u64, width: u32) -> TermId {
+        assert!(
+            (1..=128).contains(&width),
+            "bit-vector width {width} out of range"
+        );
+        let tag = self.pool.intern_str(tag);
+        self.pool.mk(
+            TermData::BvVarIdx { tag, index, width },
             Sort::BitVec(width),
         )
     }
@@ -798,6 +824,40 @@ impl Context {
             .last_mut()
             .expect("ground scope always present")
             .push(t);
+    }
+
+    /// Asserts `guard → t` at the ground level as a single two-literal
+    /// clause, with no Tseitin gate for the implication itself.
+    ///
+    /// This is the primitive behind assumption-guarded constraint
+    /// slices (see [`SolverSession`](crate::SolverSession)): the
+    /// constraint is permanent, but only binds in checks that pass
+    /// `guard` as an assumption. Unlike [`Context::push`]-scoped
+    /// assertions it is never retracted with a unit clause, so the
+    /// slice can be re-activated arbitrarily often and learnt clauses
+    /// about it stay useful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either term is not of sort `Bool`.
+    pub fn assert_implied(&mut self, guard: TermId, t: TermId) {
+        self.expect_bool(guard, "assert_implied");
+        self.expect_bool(t, "assert_implied");
+        let g = self.blaster.bool_lit(&self.pool, &mut self.solver, guard);
+        let l = self.blaster.bool_lit(&self.pool, &mut self.solver, t);
+        self.solver.add_clause([!g, l]);
+    }
+
+    /// `(cache hits, cache misses)` of the bit-blasting cache: how many
+    /// term encodings were reused versus freshly lowered to gates.
+    pub fn encode_counts(&self) -> (u64, u64) {
+        self.blaster.encode_counts()
+    }
+
+    /// Lifetime allocation counters of the underlying SAT solver
+    /// (variables, clauses, arena literal slots).
+    pub fn alloc_stats(&self) -> llhsc_sat::AllocStats {
+        self.solver.alloc_stats()
     }
 
     /// Opens a new assertion scope.
@@ -1409,6 +1469,61 @@ mod tests {
         let a = ctx.bool_var("free_a");
         let b = ctx.bool_var("free_b");
         assert_eq!(ctx.count_models(&[a, b]), 4);
+    }
+
+    #[test]
+    fn indexed_vars_dedup_and_display() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var_i("sel", 3);
+        let a2 = ctx.bool_var_i("sel", 3);
+        let b = ctx.bool_var_i("sel", 4);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(ctx.display(a), "sel_3");
+        let x = ctx.bv_var_i("base", 7, 32);
+        assert_eq!(x, ctx.bv_var_i("base", 7, 32));
+        assert_eq!(ctx.display(x), "base_7");
+        assert_eq!(ctx.sort(x), Sort::BitVec(32));
+        // Solvable like any named variable.
+        let c = ctx.bv_const(5, 32);
+        let e = ctx.eq(x, c);
+        ctx.assert(e);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.model().unwrap().eval_bv(x), Some(5));
+    }
+
+    #[test]
+    fn assert_implied_binds_only_under_guard() {
+        let mut ctx = Context::new();
+        let g = ctx.bool_var("g");
+        let p = ctx.bool_var("p");
+        let np = ctx.not(p);
+        ctx.assert_implied(g, np);
+        ctx.assert(p);
+        assert_eq!(ctx.check(), CheckResult::Sat);
+        assert_eq!(ctx.check_assuming(&[g]), CheckResult::Unsat);
+        // Guarded constraints are never retracted, only deactivated.
+        assert_eq!(ctx.check(), CheckResult::Sat);
+    }
+
+    #[test]
+    fn encode_counts_track_reuse() {
+        let mut ctx = Context::new();
+        let x = ctx.bv_var("x", 8);
+        let three = ctx.bv_const(3, 8);
+        let sum = ctx.bv_add(x, three);
+        let five = ctx.bv_const(5, 8);
+        let e1 = ctx.eq(sum, five);
+        ctx.assert(e1);
+        let (h0, m0) = ctx.encode_counts();
+        assert!(m0 > 0);
+        // A second formula over the same `x + 3` hits the cache.
+        let nine = ctx.bv_const(9, 8);
+        let e2 = ctx.eq(sum, nine);
+        ctx.assert(e2);
+        let (h1, m1) = ctx.encode_counts();
+        assert!(h1 > h0, "shared subterm should be a cache hit");
+        assert!(m1 > m0, "the new equality is a fresh encoding");
     }
 
     #[test]

@@ -42,8 +42,10 @@
 
 mod bitblast;
 mod context;
+mod session;
 mod term;
 
 pub use context::{CheckResult, Context, ContextStats, Model};
-pub use llhsc_sat::SolverStats;
+pub use llhsc_sat::{AllocStats, SolverStats};
+pub use session::{slice_key, SessionStats, Slice, SolverSession};
 pub use term::{Sort, TermId};

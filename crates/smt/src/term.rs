@@ -41,6 +41,13 @@ impl TermId {
 pub(crate) enum TermData {
     BoolConst(bool),
     BoolVar(String),
+    /// Integer-keyed Boolean variable: `tag` is an interned prefix
+    /// string, `index` the key. Avoids the `format!("{tag}_{index}")`
+    /// allocation in hot loops that mint families of variables.
+    BoolVarIdx {
+        tag: u32,
+        index: u64,
+    },
     Not(TermId),
     And(Vec<TermId>),
     Or(Vec<TermId>),
@@ -58,6 +65,12 @@ pub(crate) enum TermData {
     },
     BvVar {
         name: String,
+        width: u32,
+    },
+    /// Integer-keyed bit-vector variable (see [`TermData::BoolVarIdx`]).
+    BvVarIdx {
+        tag: u32,
+        index: u64,
         width: u32,
     },
     BvAdd(TermId, TermId),
@@ -173,6 +186,11 @@ impl TermPool {
             BoolConst(b) => out.push_str(if b { "true" } else { "false" }),
             BoolVar(n) | StrVar(n) => out.push_str(&n),
             BvVar { name, .. } => out.push_str(&name),
+            BoolVarIdx { tag, index } | BvVarIdx { tag, index, .. } => {
+                out.push_str(self.str_for(tag));
+                out.push('_');
+                out.push_str(&index.to_string());
+            }
             Not(a) => {
                 out.push_str("(not ");
                 self.display(a, out);

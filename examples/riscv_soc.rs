@@ -75,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let checker = SemanticChecker::new();
+    let mut checker = SemanticChecker::new();
     let report = checker.check_tree_translated(&tree)?;
     println!(
         "\nsemantic check (absolute addresses): {} regions, {} collisions",
