@@ -22,7 +22,9 @@ target/release/llhsc-fuzz --iters 20000 --seed 1
 # then shut it down gracefully.
 LLHSC=target/release/llhsc
 SMOKE_DIR=$(mktemp -d)
-trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+SERVE_PID=""
+SERVE2_PID=""
+trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true' EXIT
 
 cat > "$SMOKE_DIR/board.dts" <<'EOF'
 / {
@@ -123,4 +125,101 @@ for sc in scenarios:
     assert session["alloc"]["arena_lits"] < fresh["alloc"]["arena_lits"], sc["name"]
     assert session["asserts_reused"] > 0, sc["name"]
 print(f"bench scale ok: {len(scenarios)} scenario(s)")
+EOF
+
+# Analytics smoke: `llhsc count` must report the quad-core fixture's
+# exact product count (60, pinned), `llhsc sample` must draw distinct
+# well-formed configurations, daemon-served count/sample must be
+# byte-identical to the local commands, and a warm repeat must be
+# answered from the analytics cache with zero fresh solver calls
+# (docs/ANALYTICS.md).
+"$LLHSC" count --fixture quadcore > "$SMOKE_DIR/count.out"
+grep -q '^count: 60 (exact; 1 components, 0 free variables, 60 enumerated)$' "$SMOKE_DIR/count.out"
+"$LLHSC" sample --fixture quadcore -k 50 --seed 7 --json > "$SMOKE_DIR/sample.json"
+python3 - "$SMOKE_DIR/sample.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["returned"] == 50, doc["returned"]
+assert doc["min_hamming"] >= 1, doc["min_hamming"]
+configs = [frozenset(c) for c in doc["configurations"]]
+assert len(set(configs)) == 50, "sampled configurations must be distinct"
+for c in configs:
+    # Each draw is a well-formed quad-core product: mandatory memory,
+    # exactly one CPU (xor group), at least one UART (or group).
+    assert "memory" in c, c
+    assert sum(1 for f in c if f.startswith("cpu@")) == 1, c
+    assert any(f.startswith("uart@") for f in c), c
+print(f"sample ok: 50 distinct products, min Hamming {doc['min_hamming']}")
+EOF
+
+"$LLHSC" serve --addr 127.0.0.1:0 > "$SMOKE_DIR/serve2.log" &
+SERVE2_PID=$!
+ADDR2=""
+for _ in $(seq 1 100); do
+    ADDR2=$(awk '/listening on/ { print $4; exit }' "$SMOKE_DIR/serve2.log")
+    [ -n "$ADDR2" ] && break
+    sleep 0.05
+done
+test -n "$ADDR2"
+
+"$LLHSC" client --addr "$ADDR2" count --fixture quadcore > "$SMOKE_DIR/remote_count.out"
+cmp "$SMOKE_DIR/count.out" "$SMOKE_DIR/remote_count.out"
+"$LLHSC" sample --fixture quadcore -k 5 --seed 7 > "$SMOKE_DIR/local_sample.out"
+"$LLHSC" client --addr "$ADDR2" sample --fixture quadcore -k 5 --seed 7 \
+    > "$SMOKE_DIR/remote_sample.out"
+cmp "$SMOKE_DIR/local_sample.out" "$SMOKE_DIR/remote_sample.out"
+
+# Warm repeat: byte-identical again, served from the analytics cache,
+# adding zero fresh solver calls to the daemon's lifetime totals.
+"$LLHSC" client --addr "$ADDR2" stats --json > "$SMOKE_DIR/stats1.json"
+"$LLHSC" client --addr "$ADDR2" count --fixture quadcore > "$SMOKE_DIR/repeat_count.out"
+cmp "$SMOKE_DIR/count.out" "$SMOKE_DIR/repeat_count.out"
+"$LLHSC" client --addr "$ADDR2" stats --json > "$SMOKE_DIR/stats2.json"
+python3 - "$SMOKE_DIR/stats1.json" "$SMOKE_DIR/stats2.json" <<'EOF'
+import json, sys
+
+before = json.load(open(sys.argv[1]))
+after = json.load(open(sys.argv[2]))
+assert after["solver"]["solves"] == before["solver"]["solves"], \
+    (before["solver"]["solves"], after["solver"]["solves"])
+assert after["cache"]["analytics"]["hits"] == before["cache"]["analytics"]["hits"] + 1
+print(f"warm count ok: {after['solver']['solves']} solves unchanged")
+EOF
+"$LLHSC" client --addr "$ADDR2" metrics > "$SMOKE_DIR/metrics2.prom"
+grep -q '^llhsc_count_solves_total{op="count"}' "$SMOKE_DIR/metrics2.prom"
+"$LLHSC" client --addr "$ADDR2" shutdown
+wait "$SERVE2_PID"
+SERVE2_PID=""
+
+# Bench smoke: the count suite must produce a well-formed
+# BENCH_count.json in which the quad-core exact count is 60, every
+# approximation sits within its own (ε, δ) tolerance of the known true
+# count, and sampling returns the requested draws.
+target/release/llhsc-bench count --runs 1 --json "$SMOKE_DIR/count_bench.json" > /dev/null
+python3 - "$SMOKE_DIR/count_bench.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["suite"] == "count", doc["suite"]
+by_name = {sc["name"]: sc["result"] for sc in doc["scenarios"]}
+assert len(by_name) == 5, sorted(by_name)
+
+exact = by_name["quadcore_count_exact"]
+assert exact["models"] == 60 and exact["exact"] is True, exact
+
+for name, truth in (("quadcore_count_approx", 60),
+                    ("synth20_count_approx", 2**20 - 1)):
+    a = by_name[name]
+    eps = float(a["epsilon"])
+    assert truth / (1 + eps) <= a["estimate"] <= truth * (1 + eps), (name, a)
+assert by_name["synth20_count_approx"]["exact"] is False
+assert by_name["synth20_count_approx"]["xor_constraints"] > 0
+
+for name in ("quadcore_sample_k10", "synth20_sample_k10"):
+    s = by_name[name]
+    assert s["returned"] == 10 and s["min_hamming"] >= 1, (name, s)
+print("bench count ok: 5 scenario(s)")
 EOF

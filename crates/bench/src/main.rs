@@ -366,11 +366,13 @@ fn usage() -> ExitCode {
          usage:\n\
            llhsc-bench [--runs N] [--json [FILE]]\n\
            llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--json [FILE]]\n\
+           llhsc-bench count [--runs N] [--json [FILE]]\n\
          \n\
          --runs N      timed iterations per scenario (default {DEFAULT_RUNS})\n\
          --sizes LIST  scale-suite board sizes (default 64,128,256,512)\n\
          --json FILE   write machine-readable results\n\
-                       (default BENCH_pipeline.json / BENCH_scale.json)"
+                       (default BENCH_pipeline.json / BENCH_scale.json /\n\
+                        BENCH_count.json)"
     );
     ExitCode::FAILURE
 }
@@ -442,10 +444,255 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+// ---- configuration-space analytics suite ---------------------------
+
+/// A synthetic feature model with an or-group of `n` optional
+/// features: exactly `2^n - 1` products (at least one member chosen),
+/// far past the exact-counting budget for `n ≥ 17`.
+fn synthetic_feature_model(n: usize) -> String {
+    let mut s = String::from("feature Synth {\n    base\n    opts or {\n");
+    for i in 0..n {
+        s.push_str(&format!("        f{i}?\n"));
+    }
+    s.push_str("    }\n}\n");
+    s
+}
+
+/// One analytics scenario: per-run wall times plus the algorithm's own
+/// outcome document (identical across runs — everything is seeded).
+struct CountMeasurement {
+    name: &'static str,
+    wall_us: Vec<u64>,
+    /// One-line table summary of the outcome.
+    summary: String,
+    result: Json,
+}
+
+impl CountMeasurement {
+    fn time(
+        name: &'static str,
+        runs: usize,
+        mut work: impl FnMut() -> (String, Json),
+    ) -> CountMeasurement {
+        let mut wall_us = Vec::with_capacity(runs);
+        let mut out = (String::new(), Json::Null);
+        for _ in 0..runs {
+            let started = Instant::now();
+            out = work();
+            wall_us.push(started.elapsed().as_micros() as u64);
+        }
+        CountMeasurement {
+            name,
+            wall_us,
+            summary: out.0,
+            result: out.1,
+        }
+    }
+
+    fn min_us(&self) -> u64 {
+        self.wall_us.iter().copied().min().unwrap_or(0)
+    }
+
+    fn mean_us(&self) -> u64 {
+        if self.wall_us.is_empty() {
+            0
+        } else {
+            self.wall_us.iter().sum::<u64>() / self.wall_us.len() as u64
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.into()),
+            ("runs", (self.wall_us.len() as u64).into()),
+            (
+                "wall_us",
+                Json::obj([
+                    ("mean", self.mean_us().into()),
+                    ("min", self.min_us().into()),
+                ]),
+            ),
+            ("result", self.result.clone()),
+        ])
+    }
+}
+
+/// The count/sample scenarios: exact and approximate counting plus
+/// diverse sampling, on the quad-core fixture (60 products, exactly
+/// countable) and a 20-feature or-group (2^20 − 1 products, hash
+/// territory). Every approximate result is asserted to land within the
+/// estimator's `1 + ε` tolerance of the known true count — a run that
+/// drifts outside the guarantee fails loudly instead of writing a
+/// quietly wrong `BENCH_count.json`.
+fn count_scenarios(runs: usize) -> Vec<CountMeasurement> {
+    use llhsc_count::{approx_count, count_exact, sample_diverse, ApproxParams, SampleParams};
+
+    let quad_model = llhsc_fm::parse_model(llhsc::quadcore::MODEL).expect("quadcore model parses");
+    let quad = llhsc_fm::Analyzer::new(&quad_model).export_cnf();
+    let synth_model =
+        llhsc_fm::parse_model(&synthetic_feature_model(20)).expect("synthetic model parses");
+    let synth = llhsc_fm::Analyzer::new(&synth_model).export_cnf();
+    const SYNTH_TRUE: u64 = (1 << 20) - 1;
+
+    let within = |estimate: u64, truth: u64, epsilon: f64| {
+        let lo = (truth as f64 / (1.0 + epsilon)).floor() as u64;
+        let hi = (truth as f64 * (1.0 + epsilon)).ceil() as u64;
+        assert!(
+            (lo..=hi).contains(&estimate),
+            "estimate {estimate} outside [{lo}, {hi}] for true count {truth}"
+        );
+    };
+
+    vec![
+        CountMeasurement::time("quadcore_count_exact", runs, || {
+            let c = count_exact(&quad.0, &quad.1, 1 << 16);
+            assert!(c.exact, "quadcore fits the budget");
+            assert_eq!(c.models, 60, "quadcore has 60 products");
+            (
+                format!("count {} (exact)", c.models),
+                Json::obj([
+                    ("models", c.models.into()),
+                    ("exact", Json::Bool(c.exact)),
+                    ("components", (c.components as u64).into()),
+                    ("free_vars", (c.free_vars as u64).into()),
+                    ("enumerated", c.enumerated.into()),
+                    ("solves", c.solves.into()),
+                ]),
+            )
+        }),
+        CountMeasurement::time("quadcore_count_approx", runs, || {
+            let p = ApproxParams::default();
+            let a = approx_count(&quad.0, &quad.1, &p, None);
+            within(a.estimate, 60, p.epsilon);
+            (
+                format!("count ~{} (below pivot {})", a.estimate, a.pivot),
+                approx_json(&a),
+            )
+        }),
+        CountMeasurement::time("synth20_count_approx", runs, || {
+            let p = ApproxParams::default();
+            let a = approx_count(&synth.0, &synth.1, &p, None);
+            assert!(!a.exact, "2^20 - 1 models must take the hash path");
+            within(a.estimate, SYNTH_TRUE, p.epsilon);
+            (
+                format!("count ~{} (true {SYNTH_TRUE})", a.estimate),
+                approx_json(&a),
+            )
+        }),
+        CountMeasurement::time("quadcore_sample_k10", runs, || {
+            let s = sample_diverse(&quad.0, &quad.1, &SampleParams::new(10, 1), None);
+            assert_eq!(s.models.len(), 10, "60-model space yields 10 samples");
+            (
+                format!("10 samples, min Hamming {}", s.min_hamming),
+                sample_json(&s),
+            )
+        }),
+        CountMeasurement::time("synth20_sample_k10", runs, || {
+            let s = sample_diverse(&synth.0, &synth.1, &SampleParams::new(10, 1), None);
+            assert_eq!(s.models.len(), 10, "hash path yields 10 samples");
+            assert!(!s.exhaustive, "2^20 - 1 models exceed the exact cap");
+            (
+                format!("10 samples, min Hamming {}", s.min_hamming),
+                sample_json(&s),
+            )
+        }),
+    ]
+}
+
+fn approx_json(a: &llhsc_count::ApproxCount) -> Json {
+    Json::obj([
+        ("estimate", a.estimate.into()),
+        ("exact", Json::Bool(a.exact)),
+        ("pivot", a.pivot.into()),
+        ("trials", u64::from(a.trials).into()),
+        ("failed_trials", u64::from(a.failed_trials).into()),
+        ("xor_constraints", a.xor_constraints.into()),
+        ("solves", a.solves.into()),
+        ("epsilon", format!("{}", a.epsilon).as_str().into()),
+        ("delta", format!("{}", a.delta).as_str().into()),
+    ])
+}
+
+fn sample_json(s: &llhsc_count::SampleSet) -> Json {
+    Json::obj([
+        ("returned", (s.models.len() as u64).into()),
+        ("min_hamming", (s.min_hamming as u64).into()),
+        ("exhaustive", Json::Bool(s.exhaustive)),
+        ("xor_constraints", s.xor_constraints.into()),
+        ("solves", s.solves.into()),
+    ])
+}
+
+fn render_count_json(results: &[CountMeasurement]) -> String {
+    let doc = Json::obj([
+        ("schema_version", BENCH_SCHEMA_VERSION.into()),
+        ("kind", "bench".into()),
+        ("suite", "count".into()),
+        (
+            "scenarios",
+            Json::Arr(results.iter().map(CountMeasurement::to_json).collect()),
+        ),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+/// The `count` subcommand: model counting and sampling scenarios,
+/// writing `BENCH_count.json` with `--json`.
+fn cmd_count(mut args: Vec<String>) -> ExitCode {
+    let mut runs = DEFAULT_RUNS;
+    let mut json_path: Option<String> = None;
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--runs" if args.len() >= 2 => {
+                let Ok(n) = args[1].parse::<usize>() else {
+                    return usage();
+                };
+                runs = n.max(1);
+                args.drain(..2);
+            }
+            "--json" => {
+                args.remove(0);
+                json_path = Some(match args.first() {
+                    Some(next) if !next.starts_with("--") => args.remove(0),
+                    _ => "BENCH_count.json".to_string(),
+                });
+            }
+            _ => return usage(),
+        }
+    }
+    let results = count_scenarios(runs);
+    println!(
+        "{:<24} {:>10} {:>10}  result",
+        "scenario", "mean µs", "min µs"
+    );
+    for m in &results {
+        println!(
+            "{:<24} {:>10} {:>10}  {}",
+            m.name,
+            m.mean_us(),
+            m.min_us(),
+            m.summary
+        );
+    }
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_count_json(&results)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("scale") {
         return cmd_scale(args[1..].to_vec());
+    }
+    if args.first().map(String::as_str) == Some("count") {
+        return cmd_count(args[1..].to_vec());
     }
     let mut runs = DEFAULT_RUNS;
     let mut json_path: Option<String> = None;
@@ -528,5 +775,37 @@ mod tests {
         assert!(solves("quadcore_build_cold") > 0, "cold build must solve");
         assert_eq!(solves("quadcore_build_warm"), 0, "warm build replays");
         assert!(solves("synthetic_board_check_100") > 0);
+    }
+
+    #[test]
+    fn count_doc_shape_is_stable() {
+        // count_scenarios asserts the headline numbers internally: the
+        // quadcore exact count is 60 and every estimate lands within
+        // the (ε, δ) tolerance of the known true count.
+        let results = count_scenarios(1);
+        let text = render_count_json(&results);
+        let doc = Json::parse(&text).expect("count doc parses");
+        assert_eq!(doc.get("suite").and_then(Json::as_str), Some("count"));
+        let arr = match doc.get("scenarios") {
+            Some(Json::Arr(a)) => a,
+            other => panic!("scenarios must be an array, got {other:?}"),
+        };
+        assert_eq!(arr.len(), 5);
+        let result = |name: &str| {
+            arr.iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|s| s.get("result"))
+                .unwrap_or_else(|| panic!("missing scenario {name}"))
+                .clone()
+        };
+        let exact = result("quadcore_count_exact");
+        assert_eq!(exact.get("models").and_then(Json::as_int), Some(60));
+        assert_eq!(exact.get("exact").and_then(Json::as_bool), Some(true));
+        let hashed = result("synth20_count_approx");
+        assert_eq!(hashed.get("exact").and_then(Json::as_bool), Some(false));
+        assert!(hashed.get("trials").and_then(Json::as_int) > Some(0));
+        let sampled = result("quadcore_sample_k10");
+        assert_eq!(sampled.get("returned").and_then(Json::as_int), Some(10));
+        assert!(sampled.get("min_hamming").and_then(Json::as_int) >= Some(1));
     }
 }

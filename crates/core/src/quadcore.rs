@@ -133,6 +133,19 @@ mod tests {
     use crate::Pipeline;
 
     #[test]
+    fn fixture_has_sixty_products() {
+        // Pinned: 4 exclusive CPU choices × 15 non-empty UART subsets.
+        // All-SAT enumeration and the budgeted counter must agree.
+        let model = llhsc_fm::parse_model(MODEL).expect("model parses");
+        let mut an = llhsc_fm::Analyzer::new(&model);
+        assert_eq!(an.products().len(), 60);
+        let c = an.count_products_budgeted(1 << 16);
+        assert!(c.exact);
+        assert!(!c.approximate);
+        assert_eq!(c.models, 60);
+    }
+
+    #[test]
     fn fixture_is_clean() {
         let out = Pipeline::new()
             .run(&pipeline_input())

@@ -1,0 +1,112 @@
+//! A tiny deterministic PRNG (xorshift64* seeded through splitmix64).
+//!
+//! This is the workspace's one pseudo-random stream: the fuzz harness
+//! (`llhsc-fuzz` re-exports it) derives per-iteration generators from a
+//! `(seed, iteration)` pair, and the counting/sampling algorithms in
+//! this crate derive per-trial generators the same way so every
+//! estimate and sample is reproducible from its seed alone. No time,
+//! no global RNG state.
+
+/// splitmix64: turns correlated inputs (seed 1, seed 2, …) into
+/// well-mixed initial states.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xorshift64* generator. Not cryptographic; statistically fine for
+/// choosing mutations and hash constraints.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator for one `(seed, iteration)` pair.
+    pub fn for_iteration(seed: u64, iteration: u64) -> Rng {
+        let mixed = splitmix64(seed) ^ splitmix64(splitmix64(iteration ^ 0x5eed));
+        Rng {
+            // xorshift state must be non-zero.
+            state: if mixed == 0 { 0x9e37_79b9 } else { mixed },
+        }
+    }
+
+    /// The next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `0..n` (`n` must be non-zero).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// A pseudo-random byte.
+    pub fn byte(&mut self) -> u8 {
+        (self.next_u64() >> 32) as u8
+    }
+
+    /// A pseudo-random `u32`.
+    pub fn u32(&mut self) -> u32 {
+        (self.next_u64() >> 16) as u32
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// A fair coin flip.
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & (1 << 32) != 0
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_pair_same_stream() {
+        let mut a = Rng::for_iteration(1, 42);
+        let mut b = Rng::for_iteration(1, 42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_iterations_diverge() {
+        let mut a = Rng::for_iteration(1, 42);
+        let mut b = Rng::for_iteration(1, 43);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = Rng::for_iteration(7, 0);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+    }
+
+    #[test]
+    fn coin_is_roughly_fair() {
+        let mut r = Rng::for_iteration(3, 0);
+        let heads = (0..10_000).filter(|_| r.coin()).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}

@@ -1,0 +1,349 @@
+//! Near-uniform, diversity-ordered sampling of projected models.
+//!
+//! Small configuration spaces are enumerated outright and sampled
+//! without replacement. Large spaces go through the same XOR-hash
+//! machinery as [`crate::approx`]: an approximate count picks a hash
+//! density that leaves small cells, then each draw conjoins fresh
+//! random XORs, enumerates the resulting cell exactly and picks one of
+//! its models uniformly — each distinct model is hit with probability
+//! close to uniform because cells have near-equal expected size.
+//!
+//! The drawn set is then greedily re-ordered by pairwise Hamming
+//! distance on the projection (farthest-point ordering): a consumer
+//! taking the first j samples gets a maximally spread subset. The
+//! ordering only permutes the draws — it never biases which models are
+//! drawn.
+
+use crate::approx::{approx_count, ApproxParams};
+use crate::exact::distinct_vars;
+use crate::rng::Rng;
+use crate::xor::{encode_xor, random_xor};
+use llhsc_obs::TraceCtx;
+use llhsc_sat::{Cnf, Lit, ModelIter, Var};
+
+/// Parameters of a sampling run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleParams {
+    /// Number of distinct models requested.
+    pub k: usize,
+    /// RNG seed; identical seeds reproduce the sample bit-for-bit.
+    pub seed: u64,
+    /// Spaces with at most this many models are enumerated exhaustively
+    /// and sampled without replacement (exactly uniform).
+    pub exact_cap: u64,
+    /// Cell-size cap on the hash path; cells larger than this push the
+    /// hash density up.
+    pub cell_cap: u64,
+}
+
+impl SampleParams {
+    /// Default parameters for drawing `k` models under `seed`.
+    pub fn new(k: usize, seed: u64) -> SampleParams {
+        SampleParams {
+            k,
+            seed,
+            exact_cap: 1024,
+            cell_cap: 64,
+        }
+    }
+}
+
+/// Result of [`sample_diverse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleSet {
+    /// Distinct projected models in farthest-point order; value `i` of
+    /// a model is the truth value of `projection[i]` (literal signs
+    /// respected). Fewer than `k` models means the space was exhausted
+    /// or the draw budget ran out.
+    pub models: Vec<Vec<bool>>,
+    /// Minimum pairwise Hamming distance over the set (0 when fewer
+    /// than two models).
+    pub min_hamming: usize,
+    /// True when the space was small enough to enumerate exhaustively.
+    pub exhaustive: bool,
+    /// Total XOR constraints encoded across all cell draws.
+    pub xor_constraints: u64,
+    /// Total solver `solve` calls.
+    pub solves: u64,
+}
+
+fn hamming(a: &[bool], b: &[bool]) -> usize {
+    a.iter().zip(b).filter(|(x, y)| x != y).count()
+}
+
+/// Greedy farthest-point re-ordering, in place. The first element is
+/// kept as the anchor; each subsequent position takes the remaining
+/// model whose minimum distance to the already-placed prefix is
+/// largest. Returns the minimum pairwise distance of the whole set.
+fn diversify(models: &mut [Vec<bool>]) -> usize {
+    for i in 1..models.len() {
+        let mut best = i;
+        let mut best_d = usize::MIN;
+        for j in i..models.len() {
+            let d = models[..i]
+                .iter()
+                .map(|placed| hamming(placed, &models[j]))
+                .min()
+                .unwrap_or(0);
+            if d > best_d {
+                best_d = d;
+                best = j;
+            }
+        }
+        models.swap(i, best);
+    }
+    let mut min = usize::MAX;
+    for i in 0..models.len() {
+        for j in i + 1..models.len() {
+            min = min.min(hamming(&models[i], &models[j]));
+        }
+    }
+    if min == usize::MAX {
+        0
+    } else {
+        min
+    }
+}
+
+/// Maps a `(Var, bool)` enumeration model to projection-literal values.
+fn project(model: &[(Var, bool)], projection: &[Lit]) -> Vec<bool> {
+    projection
+        .iter()
+        .map(|l| {
+            model
+                .iter()
+                .find(|&&(v, _)| v == l.var())
+                .map(|&(_, val)| val == l.is_positive())
+                .unwrap_or(false)
+        })
+        .collect()
+}
+
+/// Draws up to `k` distinct models of `cnf` projected onto
+/// `projection`, near-uniformly, and re-orders them for diversity.
+///
+/// Deterministic for a fixed `(formula, projection, params)`. Pass a
+/// [`TraceCtx`] to record one `sample_cell` span per hash-cell draw,
+/// annotated with `xor_constraints` and `cells` counters.
+pub fn sample_diverse(
+    cnf: &Cnf,
+    projection: &[Lit],
+    params: &SampleParams,
+    trace: Option<&TraceCtx>,
+) -> SampleSet {
+    let vars = distinct_vars(projection);
+    let mut result = SampleSet {
+        models: Vec::new(),
+        min_hamming: 0,
+        exhaustive: false,
+        xor_constraints: 0,
+        solves: 0,
+    };
+    let mut rng = Rng::for_iteration(params.seed, 0);
+
+    // Exhaustive path: collect every model, then a partial
+    // Fisher-Yates picks k of them uniformly without replacement.
+    let mut solver = cnf.to_solver();
+    let mut all: Vec<Vec<(Var, bool)>> = Vec::new();
+    let mut iter = ModelIter::projected(&mut solver, vars.clone());
+    let mut exhausted = true;
+    loop {
+        if all.len() as u64 >= params.exact_cap {
+            exhausted = false;
+            break;
+        }
+        match iter.next() {
+            Some(m) => all.push(m),
+            None => break,
+        }
+    }
+    result.solves += solver.stats().solves;
+
+    if exhausted {
+        result.exhaustive = true;
+        let take = params.k.min(all.len());
+        for i in 0..take {
+            let j = i + rng.below(all.len() - i);
+            all.swap(i, j);
+        }
+        all.truncate(take);
+        result.models = all.iter().map(|m| project(m, projection)).collect();
+        result.min_hamming = diversify(&mut result.models);
+        return result;
+    }
+
+    // Hash path: aim for cells of about cell_cap/2 expected size. The
+    // estimate only steers the starting hash density (the draw loop
+    // self-corrects), so loose (ε, δ) keeps it cheap.
+    let est = approx_count(
+        cnf,
+        projection,
+        &ApproxParams {
+            epsilon: 2.0,
+            delta: 0.4,
+            seed: params.seed ^ 0xce11,
+        },
+        trace,
+    );
+    result.solves += est.solves;
+    result.xor_constraints += est.xor_constraints;
+    let target = (params.cell_cap / 2).max(1);
+    let mut m = (64 - est.estimate.max(1).leading_zeros() as usize)
+        .saturating_sub(64 - target.leading_zeros() as usize)
+        .min(vars.len());
+
+    let mut seen: Vec<Vec<bool>> = Vec::new();
+    let max_draws = 20 * params.k as u64 + 20;
+    for draw in 0..max_draws {
+        if seen.len() >= params.k {
+            break;
+        }
+        let mut cell_rng = Rng::for_iteration(params.seed, draw + 1);
+        let mut work = cnf.clone();
+        for _ in 0..m {
+            encode_xor(&mut work, &random_xor(&mut cell_rng, &vars));
+        }
+        result.xor_constraints += m as u64;
+        let mut cell_solver = work.to_solver();
+        let cell: Vec<Vec<(Var, bool)>> = ModelIter::projected(&mut cell_solver, vars.clone())
+            .take(params.cell_cap as usize + 1)
+            .collect();
+        result.solves += cell_solver.stats().solves;
+        if let Some(tc) = trace {
+            let span = tc.begin("sample_cell");
+            tc.tracer().add(span, "xor_constraints", m as u64);
+            tc.tracer().add(span, "cells", cell.len() as u64);
+            tc.finish(span);
+        }
+        if cell.is_empty() {
+            // Over-constrained: relax the density.
+            m = m.saturating_sub(1);
+            continue;
+        }
+        if cell.len() as u64 > params.cell_cap {
+            // Under-constrained: tighten the density.
+            m = (m + 1).min(vars.len());
+            continue;
+        }
+        let picked = project(&cell[rng.below(cell.len())], projection);
+        if !seen.contains(&picked) {
+            seen.push(picked);
+        }
+    }
+    result.models = seen;
+    result.min_hamming = diversify(&mut result.models);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(vars: &[Var]) -> Vec<Lit> {
+        vars.iter().map(|&v| Lit::pos(v)).collect()
+    }
+
+    fn or_formula(n: usize) -> (Cnf, Vec<Var>) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..n).map(|_| cnf.new_var()).collect();
+        cnf.add_clause(vars.iter().map(|&v| Lit::pos(v)));
+        (cnf, vars)
+    }
+
+    fn assert_valid(cnf: &Cnf, projection: &[Lit], model: &[bool]) {
+        // Re-check through the solver: assert each projection value and
+        // expect satisfiability.
+        let mut s = cnf.to_solver();
+        for (l, &val) in projection.iter().zip(model) {
+            let lit = if val { *l } else { !*l };
+            s.add_clause([lit]);
+        }
+        assert_eq!(s.solve(), llhsc_sat::SolveResult::Sat);
+    }
+
+    #[test]
+    fn small_space_samples_are_distinct_and_valid() {
+        let (cnf, vars) = or_formula(3);
+        let proj = lits(&vars);
+        let r = sample_diverse(&cnf, &proj, &SampleParams::new(5, 1), None);
+        assert_eq!(r.models.len(), 5);
+        assert!(r.exhaustive);
+        for m in &r.models {
+            assert_valid(&cnf, &proj, m);
+        }
+        let mut dedup = r.models.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5, "samples must be distinct");
+        assert!(r.min_hamming >= 1);
+    }
+
+    #[test]
+    fn requesting_more_than_the_space_returns_everything() {
+        let (cnf, vars) = or_formula(2);
+        let r = sample_diverse(&cnf, &lits(&vars), &SampleParams::new(10, 1), None);
+        assert_eq!(r.models.len(), 3);
+    }
+
+    #[test]
+    fn hash_path_yields_distinct_valid_models() {
+        let (cnf, vars) = or_formula(8); // 255 models
+        let proj = lits(&vars);
+        let params = SampleParams {
+            exact_cap: 16, // force the hash path
+            ..SampleParams::new(20, 3)
+        };
+        let r = sample_diverse(&cnf, &proj, &params, None);
+        assert!(!r.exhaustive);
+        assert_eq!(r.models.len(), 20);
+        for m in &r.models {
+            assert_valid(&cnf, &proj, m);
+        }
+        let mut dedup = r.models.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let (cnf, vars) = or_formula(6);
+        let p = SampleParams::new(4, 9);
+        let a = sample_diverse(&cnf, &lits(&vars), &p, None);
+        let b = sample_diverse(&cnf, &lits(&vars), &p, None);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn negative_projection_literals_flip_values() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([Lit::pos(a)]);
+        let r = sample_diverse(&cnf, &[Lit::neg(a)], &SampleParams::new(1, 1), None);
+        assert_eq!(r.models, vec![vec![false]]);
+    }
+
+    #[test]
+    fn diversify_orders_farthest_first() {
+        let mut models = vec![
+            vec![false, false, false],
+            vec![false, false, true],
+            vec![true, true, true],
+        ];
+        let min = diversify(&mut models);
+        assert_eq!(min, 1);
+        // The second placed model is the one farthest from the anchor.
+        assert_eq!(models[1], vec![true, true, true]);
+    }
+
+    #[test]
+    fn unsat_formula_samples_nothing() {
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        cnf.add_clause([Lit::pos(a)]);
+        cnf.add_clause([Lit::neg(a)]);
+        let r = sample_diverse(&cnf, &[Lit::pos(a)], &SampleParams::new(3, 1), None);
+        assert!(r.models.is_empty());
+        assert!(r.exhaustive);
+    }
+}

@@ -1,0 +1,141 @@
+//! Random XOR parity constraints and their Tseitin CNF encoding.
+//!
+//! An XOR constraint `v₁ ⊕ v₂ ⊕ … ⊕ vₖ = rhs` partitions the
+//! assignment space into two halves; conjoining `m` independent random
+//! XORs over a projection set carves it into `2^m` pseudo-random
+//! "cells" of near-equal expected size. The family drawn by
+//! [`random_xor`] — each variable included with probability ½, random
+//! right-hand side — is the standard pairwise-independent hash family
+//! behind XOR-hash approximate model counting.
+
+use crate::rng::Rng;
+use llhsc_sat::{Cnf, Lit, Var};
+
+/// A parity constraint: the XOR of `vars` must equal `rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorConstraint {
+    /// Variables in the parity (duplicates would cancel; [`random_xor`]
+    /// never produces them).
+    pub vars: Vec<Var>,
+    /// Required parity: `true` for odd, `false` for even.
+    pub rhs: bool,
+}
+
+/// Draws a random XOR over `pool`: each variable joins with
+/// probability ½ and the parity is a fair coin.
+pub fn random_xor(rng: &mut Rng, pool: &[Var]) -> XorConstraint {
+    let vars = pool.iter().copied().filter(|_| rng.coin()).collect();
+    XorConstraint {
+        vars,
+        rhs: rng.coin(),
+    }
+}
+
+/// Tseitin-encodes `xc` into `cnf` as a chain of fresh parity
+/// variables: `tᵢ ↔ tᵢ₋₁ ⊕ vᵢ` (four clauses per link) followed by a
+/// unit clause fixing the final parity. An empty constraint encodes to
+/// nothing when `rhs` is even and to the empty (unsatisfiable) clause
+/// when odd.
+pub fn encode_xor(cnf: &mut Cnf, xc: &XorConstraint) {
+    let mut acc: Option<Lit> = None;
+    for &v in &xc.vars {
+        let b = Lit::pos(v);
+        acc = Some(match acc {
+            None => b,
+            Some(a) => {
+                let t = Lit::pos(cnf.new_var());
+                // t ↔ a ⊕ b
+                cnf.add_clause([!t, a, b]);
+                cnf.add_clause([!t, !a, !b]);
+                cnf.add_clause([t, !a, b]);
+                cnf.add_clause([t, a, !b]);
+                t
+            }
+        });
+    }
+    match acc {
+        Some(a) => cnf.add_clause([if xc.rhs { a } else { !a }]),
+        None if xc.rhs => cnf.add_clause([]),
+        None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llhsc_sat::{ModelIter, SolveResult};
+
+    fn three_free_vars() -> (Cnf, Vec<Var>) {
+        let mut cnf = Cnf::new();
+        let vars: Vec<Var> = (0..3).map(|_| cnf.new_var()).collect();
+        (cnf, vars)
+    }
+
+    #[test]
+    fn one_xor_halves_the_space() {
+        let (mut cnf, vars) = three_free_vars();
+        encode_xor(
+            &mut cnf,
+            &XorConstraint {
+                vars: vars.clone(),
+                rhs: true,
+            },
+        );
+        let mut s = cnf.to_solver();
+        let bc = ModelIter::projected(&mut s, vars).count_up_to(8);
+        assert_eq!(bc.models, 4);
+        assert!(bc.is_exact());
+    }
+
+    #[test]
+    fn xor_models_have_the_right_parity() {
+        let (mut cnf, vars) = three_free_vars();
+        encode_xor(
+            &mut cnf,
+            &XorConstraint {
+                vars: vars.clone(),
+                rhs: false,
+            },
+        );
+        let mut s = cnf.to_solver();
+        for model in ModelIter::projected(&mut s, vars) {
+            let ones = model.iter().filter(|&&(_, v)| v).count();
+            assert_eq!(ones % 2, 0, "even parity required");
+        }
+    }
+
+    #[test]
+    fn empty_odd_xor_is_unsat() {
+        let mut cnf = Cnf::new();
+        encode_xor(
+            &mut cnf,
+            &XorConstraint {
+                vars: vec![],
+                rhs: true,
+            },
+        );
+        assert_eq!(cnf.to_solver().solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_even_xor_is_a_tautology() {
+        let mut cnf = Cnf::new();
+        encode_xor(
+            &mut cnf,
+            &XorConstraint {
+                vars: vec![],
+                rhs: false,
+            },
+        );
+        assert_eq!(cnf.num_clauses(), 0);
+    }
+
+    #[test]
+    fn random_xor_is_deterministic_per_seed() {
+        let mut cnf = Cnf::new();
+        let pool: Vec<Var> = (0..16).map(|_| cnf.new_var()).collect();
+        let a = random_xor(&mut Rng::for_iteration(5, 0), &pool);
+        let b = random_xor(&mut Rng::for_iteration(5, 0), &pool);
+        assert_eq!(a, b);
+    }
+}

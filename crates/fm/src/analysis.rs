@@ -2,12 +2,27 @@
 
 use std::collections::{BTreeSet, HashMap};
 
+use llhsc_count::{approx_count, count_exact, ApproxParams};
+use llhsc_sat::{Cnf, Lit};
 use llhsc_smt::{CheckResult, Context, TermId};
 
 use crate::model::{FeatureId, FeatureModel};
 
 /// A product: the set of selected features (always contains the root).
 pub type Product = BTreeSet<FeatureId>;
+
+/// Outcome of a [budgeted product count](Analyzer::count_products_budgeted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProductCount {
+    /// Number of valid products (exact, or an (ε, δ) estimate when
+    /// `approximate` is set and `exact` is not).
+    pub models: u64,
+    /// True when `models` is the exact count.
+    pub exact: bool,
+    /// True when the enumeration budget was exceeded and the count
+    /// came from XOR-hash estimation instead.
+    pub approximate: bool,
+}
 
 /// SAT-backed analyser for one feature model.
 ///
@@ -138,6 +153,48 @@ impl Analyzer {
     pub fn count_products(&mut self) -> usize {
         let over: Vec<TermId> = self.ordered.iter().map(|id| self.vars[id]).collect();
         self.ctx.count_models(&over)
+    }
+
+    /// Exports the model's propositional encoding (with the root
+    /// asserted) as a CNF plus the product projection: one positive
+    /// literal per feature, in [`FeatureModel::ids`] order.
+    ///
+    /// The export re-encodes the model into a fresh clause-logged
+    /// [`Context`], so the analyser's own incremental solver stays
+    /// untouched and pays no logging overhead on the hot query paths.
+    pub fn export_cnf(&self) -> (Cnf, Vec<Lit>) {
+        let mut ctx = Context::with_clause_log();
+        let vars = self.model.encode(&mut ctx, "");
+        ctx.assert(vars[&self.model.root()]);
+        let over: Vec<TermId> = self.ordered.iter().map(|id| vars[id]).collect();
+        ctx.export_cnf(&over, &[])
+            .expect("context was created with clause logging enabled")
+    }
+
+    /// Counts valid products with an explicit enumeration budget.
+    ///
+    /// Up to `budget` models are enumerated exactly (with component
+    /// decomposition, so the effective budget applies per independent
+    /// sub-model). When the space is larger, the count falls back to
+    /// XOR-hash approximate counting under the default (ε, δ) and the
+    /// result is flagged `approximate` — this is how family-level
+    /// counts stay tractable where naive enumeration would not.
+    pub fn count_products_budgeted(&mut self, budget: u64) -> ProductCount {
+        let (cnf, proj) = self.export_cnf();
+        let exact = count_exact(&cnf, &proj, budget);
+        if exact.exact {
+            return ProductCount {
+                models: exact.models,
+                exact: true,
+                approximate: false,
+            };
+        }
+        let est = approx_count(&cnf, &proj, &ApproxParams::default(), None);
+        ProductCount {
+            models: est.estimate,
+            exact: est.exact,
+            approximate: true,
+        }
     }
 
     /// Enumerates all valid products.
@@ -395,6 +452,52 @@ pub(crate) mod tests {
         assert!(!an.is_valid(&sel));
         let why = an.explain_invalid(&sel);
         assert!(why.iter().any(|n| n.contains("memory")), "{why:?}");
+    }
+
+    #[test]
+    fn budgeted_count_matches_enumeration() {
+        let fm = custom_sbc();
+        let mut an = Analyzer::new(&fm);
+        let c = an.count_products_budgeted(1 << 20);
+        assert!(c.exact);
+        assert!(!c.approximate);
+        assert_eq!(c.models, 12);
+        // The exported CNF agrees with the incremental context.
+        assert_eq!(an.count_products(), 12);
+    }
+
+    #[test]
+    fn budgeted_count_falls_back_to_approximation() {
+        let fm = custom_sbc();
+        let mut an = Analyzer::new(&fm);
+        // A budget of 1 cannot hold 12 products, so the count switches
+        // to the XOR-hash estimator; 12 models sit below the pivot, so
+        // the estimate itself is still exact.
+        let c = an.count_products_budgeted(1);
+        assert!(c.approximate);
+        assert!(c.exact);
+        assert_eq!(c.models, 12);
+    }
+
+    #[test]
+    fn budgeted_count_of_void_model_is_zero() {
+        let mut fm = FeatureModel::new("Root");
+        let r = fm.root();
+        let a = fm.add_mandatory(r, "a");
+        let b = fm.add_mandatory(r, "b");
+        fm.excludes(a, b);
+        let mut an = Analyzer::new(&fm);
+        let c = an.count_products_budgeted(16);
+        assert!(c.exact);
+        assert_eq!(c.models, 0);
+    }
+
+    #[test]
+    fn exported_cnf_projection_covers_every_feature() {
+        let fm = custom_sbc();
+        let an = Analyzer::new(&fm);
+        let (_, proj) = an.export_cnf();
+        assert_eq!(proj.len(), fm.ids().count());
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod model;
 mod multi;
 mod text;
 
-pub use analysis::{Analyzer, Product};
+pub use analysis::{Analyzer, Product, ProductCount};
 pub use model::{CrossConstraint, Feature, FeatureId, FeatureModel, Formula, GroupKind};
 pub use multi::{AllocationError, MultiModel, Partitioning};
 pub use text::{parse_model, ParseModelError};

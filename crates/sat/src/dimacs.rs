@@ -153,11 +153,18 @@ pub fn parse_dimacs<R: BufRead>(mut reader: R) -> Result<Cnf, DimacsError> {
 
 /// Writes a [`Cnf`] in DIMACS format.
 ///
+/// A `c`-comment header naming the producing tool and the variable and
+/// clause counts precedes the `p cnf` line, matching what external
+/// `#SAT` and model-counting tools emit; [`parse_dimacs`] (and any
+/// conforming reader) skips it.
+///
 /// # Errors
 ///
 /// Propagates I/O failures from the writer as [`DimacsError::Io`].
 pub fn write_dimacs<W: Write>(cnf: &Cnf, mut w: W) -> Result<(), DimacsError> {
     let io = |e: std::io::Error| DimacsError::Io(e.to_string());
+    writeln!(w, "c generated by llhsc-sat {}", env!("CARGO_PKG_VERSION")).map_err(io)?;
+    writeln!(w, "c vars {} clauses {}", cnf.num_vars(), cnf.num_clauses()).map_err(io)?;
     writeln!(w, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses()).map_err(io)?;
     for clause in cnf.clauses() {
         for l in clause {
@@ -282,6 +289,21 @@ mod tests {
         write_dimacs(&cnf, &mut out).unwrap();
         let cnf2 = parse_dimacs(out.as_slice()).unwrap();
         assert_eq!(cnf, cnf2);
+    }
+
+    #[test]
+    fn writer_emits_comment_header() {
+        let cnf = parse_dimacs("p cnf 2 1\n1 -2 0\n".as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_dimacs(&cnf, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            format!("c generated by llhsc-sat {}", env!("CARGO_PKG_VERSION"))
+        );
+        assert_eq!(lines[1], "c vars 2 clauses 1");
+        assert_eq!(lines[2], "p cnf 2 1");
     }
 
     #[test]

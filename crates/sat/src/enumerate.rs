@@ -10,12 +10,41 @@
 use crate::lit::{Lit, Var};
 use crate::solver::{SolveResult, Solver};
 
+/// How a bounded enumeration ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumOutcome {
+    /// Every projected model was seen; the count is exact.
+    Exhausted,
+    /// The cap was reached with at least one further model remaining;
+    /// the count is a lower bound.
+    Truncated,
+}
+
+/// Result of [`ModelIter::count_up_to`]: how many projected models were
+/// found and whether the enumeration ran to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedCount {
+    /// Distinct projected models found (at most the cap).
+    pub models: u64,
+    /// Whether `models` is exact or a truncated lower bound.
+    pub outcome: EnumOutcome,
+}
+
+impl BoundedCount {
+    /// True when the enumeration exhausted the model space, i.e.
+    /// [`BoundedCount::models`] is the exact projected model count.
+    pub fn is_exact(&self) -> bool {
+        self.outcome == EnumOutcome::Exhausted
+    }
+}
+
 /// Iterator over the models of a solver, projected onto a variable set.
 ///
-/// Created by [`ModelIter::new`]. Each yielded item is the projection of
-/// a model onto the relevant variables, in the order given. The solver is
-/// mutated: blocking clauses accumulate, so the solver is effectively
-/// consumed for other purposes.
+/// Created by [`ModelIter::new`] (or [`ModelIter::projected`], which
+/// additionally accepts an empty projection). Each yielded item is the
+/// projection of a model onto the relevant variables, in the order
+/// given. The solver is mutated: blocking clauses accumulate, so the
+/// solver is effectively consumed for other purposes.
 ///
 /// ```
 /// use llhsc_sat::{Solver, Lit, ModelIter};
@@ -47,6 +76,17 @@ impl<'a> ModelIter<'a> {
             !relevant.is_empty(),
             "model enumeration needs at least one relevant variable"
         );
+        ModelIter::projected(solver, relevant)
+    }
+
+    /// Starts enumeration over `relevant` variables, accepting an empty
+    /// projection.
+    ///
+    /// Unlike [`ModelIter::new`] this never panics: projecting onto
+    /// nothing yields exactly one (empty) model when the formula is
+    /// satisfiable and zero otherwise, which is the convention counting
+    /// code relies on (an empty product of domains is 1).
+    pub fn projected(solver: &'a mut Solver, relevant: Vec<Var>) -> ModelIter<'a> {
         ModelIter {
             solver,
             relevant,
@@ -55,8 +95,39 @@ impl<'a> ModelIter<'a> {
     }
 
     /// Counts remaining models without materialising them.
+    #[deprecated(
+        since = "0.1.0",
+        note = "unbounded enumeration can grow blocking clauses without limit; \
+                use `count_up_to` with an explicit cap"
+    )]
     pub fn count_models(self) -> usize {
         self.count()
+    }
+
+    /// Counts models up to `cap`, reporting whether the space was
+    /// exhausted.
+    ///
+    /// Performs at most `cap + 1` solver calls: after `cap` models have
+    /// been found, one extra solve distinguishes an exact count of `cap`
+    /// ([`EnumOutcome::Exhausted`]) from a truncated lower bound
+    /// ([`EnumOutcome::Truncated`]).
+    pub fn count_up_to(mut self, cap: u64) -> BoundedCount {
+        let mut models = 0u64;
+        while models < cap {
+            if self.next().is_none() {
+                return BoundedCount {
+                    models,
+                    outcome: EnumOutcome::Exhausted,
+                };
+            }
+            models += 1;
+        }
+        let outcome = if self.next().is_none() {
+            EnumOutcome::Exhausted
+        } else {
+            EnumOutcome::Truncated
+        };
+        BoundedCount { models, outcome }
     }
 }
 
@@ -123,7 +194,7 @@ mod tests {
         let a = s.new_var();
         s.add_clause([Lit::pos(a)]);
         s.add_clause([Lit::neg(a)]);
-        assert_eq!(ModelIter::new(&mut s, vec![a]).count_models(), 0);
+        assert_eq!(ModelIter::new(&mut s, vec![a]).count(), 0);
     }
 
     #[test]
@@ -133,7 +204,7 @@ mod tests {
         let _aux = s.new_var(); // free auxiliary variable
         s.add_clause([Lit::pos(a)]);
         // Without projection there would be 2 models; with it, 1.
-        assert_eq!(ModelIter::new(&mut s, vec![a]).count_models(), 1);
+        assert_eq!(ModelIter::new(&mut s, vec![a]).count(), 1);
     }
 
     #[test]
@@ -145,12 +216,84 @@ mod tests {
     }
 
     #[test]
+    fn empty_projection_yields_one_model_when_sat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        let models: Vec<_> = ModelIter::projected(&mut s, vec![]).collect();
+        assert_eq!(models, vec![vec![]]);
+    }
+
+    #[test]
+    fn empty_projection_yields_nothing_when_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        s.add_clause([Lit::neg(a)]);
+        assert_eq!(ModelIter::projected(&mut s, vec![]).count(), 0);
+    }
+
+    #[test]
+    fn deprecated_count_models_still_works() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        #[allow(deprecated)]
+        let n = ModelIter::new(&mut s, vec![a]).count_models();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
     fn xor_has_two_models() {
         let mut s = Solver::new();
         let a = s.new_var();
         let b = s.new_var();
         s.add_clause([Lit::pos(a), Lit::pos(b)]);
         s.add_clause([Lit::neg(a), Lit::neg(b)]);
-        assert_eq!(ModelIter::new(&mut s, vec![a, b]).count_models(), 2);
+        assert_eq!(ModelIter::new(&mut s, vec![a, b]).count(), 2);
+    }
+
+    #[test]
+    fn count_up_to_reports_exhausted_below_cap() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let bc = ModelIter::new(&mut s, vec![a, b]).count_up_to(10);
+        assert_eq!(bc.models, 3);
+        assert!(bc.is_exact());
+    }
+
+    #[test]
+    fn count_up_to_reports_exhausted_exactly_at_cap() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let bc = ModelIter::new(&mut s, vec![a, b]).count_up_to(3);
+        assert_eq!(bc.models, 3);
+        assert_eq!(bc.outcome, EnumOutcome::Exhausted);
+    }
+
+    #[test]
+    fn count_up_to_truncates_over_cap() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause([Lit::pos(a), Lit::pos(b)]);
+        let bc = ModelIter::new(&mut s, vec![a, b]).count_up_to(2);
+        assert_eq!(bc.models, 2);
+        assert_eq!(bc.outcome, EnumOutcome::Truncated);
+        assert!(!bc.is_exact());
+    }
+
+    #[test]
+    fn count_up_to_zero_cap_detects_any_model() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        s.add_clause([Lit::pos(a)]);
+        let bc = ModelIter::new(&mut s, vec![a]).count_up_to(0);
+        assert_eq!(bc.models, 0);
+        assert_eq!(bc.outcome, EnumOutcome::Truncated);
     }
 }

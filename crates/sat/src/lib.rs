@@ -46,6 +46,6 @@ mod solver;
 pub use clause::ClauseStats;
 pub use cnf::Cnf;
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, MAX_VARS};
-pub use enumerate::ModelIter;
+pub use enumerate::{BoundedCount, EnumOutcome, ModelIter};
 pub use lit::{Lit, Var};
 pub use solver::{AllocStats, SolveResult, Solver, SolverConfig, SolverStats};

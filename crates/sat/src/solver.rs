@@ -179,6 +179,10 @@ pub struct Solver {
     stats: SolverStats,
     /// Model of the last sat answer (assignment snapshot).
     model: Vec<LBool>,
+    /// When enabled, every problem clause handed to [`Solver::add_clause`]
+    /// is recorded verbatim (before root-level simplification), so the
+    /// accumulated formula can be exported as a [`crate::Cnf`].
+    clause_log: Option<Vec<Vec<Lit>>>,
 }
 
 impl Default for Solver {
@@ -218,7 +222,25 @@ impl Solver {
             clause_buf: Vec::new(),
             stats: SolverStats::default(),
             model: Vec::new(),
+            clause_log: None,
         }
+    }
+
+    /// Starts recording every problem clause added from now on.
+    ///
+    /// Clauses added before this call are not recorded, so enable the
+    /// log on a fresh solver when the goal is exporting the complete
+    /// formula. Learnt clauses are never recorded — the log is the
+    /// *problem*, not the solver's deductions.
+    pub fn enable_clause_log(&mut self) {
+        self.clause_log.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded problem clauses, or `None` when the log was never
+    /// enabled. Clauses appear exactly as handed to
+    /// [`Solver::add_clause`], in insertion order.
+    pub fn logged_clauses(&self) -> Option<&[Vec<Lit>]> {
+        self.clause_log.as_deref()
     }
 
     /// Number of variables created so far.
@@ -282,6 +304,9 @@ impl Solver {
             return false;
         }
         let mut c: Vec<Lit> = lits.into_iter().collect();
+        if let Some(log) = &mut self.clause_log {
+            log.push(c.clone());
+        }
         c.sort_unstable();
         c.dedup();
         // Tautology / falsified-literal pruning at root level.

@@ -63,8 +63,9 @@ proptest! {
         let expected = brute_force_models(n, &cnf).len();
         let mut solver = cnf.to_solver();
         let relevant: Vec<Var> = (0..n).map(Var::from_index).collect();
-        let got = ModelIter::new(&mut solver, relevant).count_models();
-        prop_assert_eq!(got, expected);
+        let got = ModelIter::new(&mut solver, relevant).count_up_to(1 << n);
+        prop_assert_eq!(got.models, expected as u64);
+        prop_assert!(got.is_exact());
     }
 
     /// Solving under assumptions equals solving the formula with the

@@ -1,0 +1,391 @@
+//! Configuration-space analytics: the `count` and `sample` ops.
+//!
+//! One builder computes the document and its text rendering for both
+//! the local `llhsc count`/`llhsc sample` subcommands and the daemon
+//! ops, so a daemon-served answer is byte-identical to a local run by
+//! construction ([`crate::json::Json`] renders objects with sorted
+//! keys). The documents are free of wall-clock times: identical inputs
+//! and parameters produce identical bytes, fresh or replayed from the
+//! daemon's analytics cache.
+//!
+//! Counting exports the feature model's propositional encoding through
+//! [`llhsc_fm::Analyzer::export_cnf`] and runs the budgeted exact
+//! counter ([`llhsc_count::count_exact`]); when the budget is exceeded
+//! (or `--approx` asks for it outright) the XOR-hash (ε, δ) estimator
+//! takes over. Sampling draws near-uniform configurations and orders
+//! them for diversity ([`llhsc_count::sample_diverse`]).
+
+use llhsc_count::{approx_count, count_exact, sample_diverse, ApproxParams, SampleParams};
+use llhsc_fm::{Analyzer, FeatureModel};
+use llhsc_obs::TraceCtx;
+
+use crate::json::Json;
+
+/// Version stamp of the analytics document layout. Bump on breaking
+/// changes.
+pub const ANALYTICS_SCHEMA_VERSION: u64 = 1;
+
+/// Default enumeration budget of the `count` op: spaces up to this many
+/// models (per independent component) are counted exactly.
+pub const DEFAULT_COUNT_BUDGET: u64 = 1 << 16;
+
+/// Default sample size of the `sample` op.
+pub const DEFAULT_SAMPLE_K: usize = 10;
+
+/// Parameters of a `count` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountParams {
+    /// Enumeration budget for the exact counter.
+    pub budget: u64,
+    /// Skip exact counting and estimate directly.
+    pub approx: bool,
+    /// Approximation tolerance ε (estimate within a 1+ε factor).
+    pub epsilon: f64,
+    /// Approximation failure probability δ.
+    pub delta: f64,
+    /// RNG seed of the estimator.
+    pub seed: u64,
+}
+
+impl Default for CountParams {
+    fn default() -> CountParams {
+        let a = ApproxParams::default();
+        CountParams {
+            budget: DEFAULT_COUNT_BUDGET,
+            approx: false,
+            epsilon: a.epsilon,
+            delta: a.delta,
+            seed: a.seed,
+        }
+    }
+}
+
+/// A computed analytics answer: the canonical document, its text
+/// rendering and the solver work it cost (zero on a cache replay).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyticsOutcome {
+    /// The machine-readable document (`--json`).
+    pub doc: Json,
+    /// The human rendering (stdout of the text mode).
+    pub text: String,
+    /// Solver `solve` calls performed.
+    pub solves: u64,
+    /// XOR constraints encoded (0 on a purely exact run).
+    pub xor_constraints: u64,
+}
+
+/// FNV-1a 64-bit over the op name, the model source and the rendered
+/// parameters — the analytics cache key.
+pub fn analytics_key(op: &str, model: &str, params: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for chunk in [op, "\u{1f}", model, "\u{1f}", params] {
+        for b in chunk.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// A canonical rendering of [`CountParams`] for cache keys.
+pub fn count_params_key(p: &CountParams) -> String {
+    format!(
+        "budget={} approx={} epsilon={} delta={} seed={}",
+        p.budget, p.approx, p.epsilon, p.delta, p.seed
+    )
+}
+
+/// A canonical rendering of the sample parameters for cache keys.
+pub fn sample_params_key(k: usize, seed: u64) -> String {
+    format!("k={k} seed={seed}")
+}
+
+/// Counts the valid configurations of a feature model.
+///
+/// Pass a [`TraceCtx`] to record one `count_cell` span per XOR-hash
+/// cell (annotated with `xor_constraints` and `cells` counters) on the
+/// approximate path.
+pub fn count_model(
+    model: &FeatureModel,
+    params: &CountParams,
+    trace: Option<&TraceCtx>,
+) -> AnalyticsOutcome {
+    let analyzer = Analyzer::new(model);
+    let (cnf, proj) = analyzer.export_cnf();
+    let features = proj.len();
+    let name = model.name(model.root()).to_string();
+
+    let mut fields: Vec<(&str, Json)> = vec![
+        ("schema_version", ANALYTICS_SCHEMA_VERSION.into()),
+        ("kind", "count".into()),
+        ("model", name.as_str().into()),
+        ("features", features.into()),
+        ("budget", params.budget.into()),
+    ];
+
+    let exact = if params.approx {
+        None
+    } else {
+        Some(count_exact(&cnf, &proj, params.budget))
+    };
+    match exact {
+        Some(e) if e.exact => {
+            let text = format!(
+                "model: {name} ({features} features)\n\
+                 count: {} (exact; {} components, {} free variables, {} enumerated)\n",
+                e.models, e.components, e.free_vars, e.enumerated
+            );
+            fields.extend([
+                ("method", "exact".into()),
+                ("exact", Json::Bool(true)),
+                ("models", e.models.into()),
+                ("components", e.components.into()),
+                ("free_vars", e.free_vars.into()),
+                ("enumerated", e.enumerated.into()),
+            ]);
+            AnalyticsOutcome {
+                doc: obj(fields),
+                text,
+                solves: e.solves,
+                xor_constraints: 0,
+            }
+        }
+        _ => {
+            // Budget exceeded (or --approx): XOR-hash estimation.
+            let exact_solves = exact.as_ref().map_or(0, |e| e.solves);
+            let a = approx_count(
+                &cnf,
+                &proj,
+                &ApproxParams {
+                    epsilon: params.epsilon,
+                    delta: params.delta,
+                    seed: params.seed,
+                },
+                trace,
+            );
+            let text = if a.exact {
+                format!(
+                    "model: {name} ({features} features)\n\
+                     count: {} (exact; below the estimator's pivot {})\n",
+                    a.estimate, a.pivot
+                )
+            } else {
+                format!(
+                    "model: {name} ({features} features)\n\
+                     count: ~{} (approximate; epsilon {}, delta {}, {} trials, pivot {}, seed {})\n",
+                    a.estimate, a.epsilon, a.delta, a.trials, a.pivot, params.seed
+                )
+            };
+            fields.extend([
+                ("method", "approx".into()),
+                ("exact", Json::Bool(a.exact)),
+                ("models", a.estimate.into()),
+                ("pivot", a.pivot.into()),
+                ("trials", u64::from(a.trials).into()),
+                ("failed_trials", u64::from(a.failed_trials).into()),
+                ("xor_constraints", a.xor_constraints.into()),
+                ("epsilon", format!("{}", a.epsilon).into()),
+                ("delta", format!("{}", a.delta).into()),
+                ("seed", params.seed.into()),
+            ]);
+            AnalyticsOutcome {
+                doc: obj(fields),
+                text,
+                solves: exact_solves + a.solves,
+                xor_constraints: a.xor_constraints,
+            }
+        }
+    }
+}
+
+/// Draws `k` distinct valid configurations of a feature model,
+/// near-uniformly, ordered for diversity.
+///
+/// Pass a [`TraceCtx`] to record one `sample_cell` span per hash-cell
+/// draw on the non-exhaustive path.
+pub fn sample_model(
+    model: &FeatureModel,
+    k: usize,
+    seed: u64,
+    trace: Option<&TraceCtx>,
+) -> AnalyticsOutcome {
+    let analyzer = Analyzer::new(model);
+    let (cnf, proj) = analyzer.export_cnf();
+    let names: Vec<&str> = model.ids().map(|id| model.name(id)).collect();
+    let name = model.name(model.root()).to_string();
+
+    let set = sample_diverse(&cnf, &proj, &SampleParams::new(k, seed), trace);
+    let configurations: Vec<Vec<&str>> = set
+        .models
+        .iter()
+        .map(|m| {
+            names
+                .iter()
+                .zip(m)
+                .filter(|(_, &sel)| sel)
+                .map(|(&n, _)| n)
+                .collect()
+        })
+        .collect();
+
+    let mut text = format!(
+        "model: {name} ({} features)\n\
+         sample: {} configurations (requested {k}, seed {seed}, {}, min pairwise Hamming distance {})\n",
+        names.len(),
+        configurations.len(),
+        if set.exhaustive {
+            "exhaustive"
+        } else {
+            "hash-cell draws"
+        },
+        set.min_hamming
+    );
+    for (i, c) in configurations.iter().enumerate() {
+        text.push_str(&format!("  {:2}: {}\n", i + 1, c.join(", ")));
+    }
+
+    let doc = obj(vec![
+        ("schema_version", ANALYTICS_SCHEMA_VERSION.into()),
+        ("kind", "sample".into()),
+        ("model", name.as_str().into()),
+        ("features", names.len().into()),
+        ("k", k.into()),
+        ("seed", seed.into()),
+        ("returned", configurations.len().into()),
+        ("exhaustive", Json::Bool(set.exhaustive)),
+        ("min_hamming", set.min_hamming.into()),
+        (
+            "configurations",
+            Json::Arr(
+                configurations
+                    .iter()
+                    .map(|c| Json::Arr(c.iter().map(|&n| n.into()).collect()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    AnalyticsOutcome {
+        doc,
+        text,
+        solves: set.solves,
+        xor_constraints: set.xor_constraints,
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cpu_model() -> FeatureModel {
+        let mut fm = FeatureModel::new("Board");
+        let root = fm.root();
+        fm.add_mandatory(root, "memory");
+        let cpus = fm.add_mandatory(root, "cpus");
+        fm.set_group(cpus, llhsc_fm::GroupKind::Xor);
+        fm.add_optional(cpus, "cpu@0");
+        fm.add_optional(cpus, "cpu@1");
+        fm
+    }
+
+    #[test]
+    fn count_document_is_versioned_and_exact() {
+        let fm = two_cpu_model();
+        let out = count_model(&fm, &CountParams::default(), None);
+        assert_eq!(
+            out.doc.get("schema_version").and_then(Json::as_int),
+            Some(ANALYTICS_SCHEMA_VERSION as i64)
+        );
+        assert_eq!(out.doc.get("kind").and_then(Json::as_str), Some("count"));
+        assert_eq!(out.doc.get("models").and_then(Json::as_int), Some(2));
+        assert_eq!(out.doc.get("method").and_then(Json::as_str), Some("exact"));
+        assert!(out.text.contains("count: 2 (exact"));
+        assert!(out.solves > 0);
+    }
+
+    #[test]
+    fn tiny_budget_switches_to_the_estimator() {
+        let fm = two_cpu_model();
+        let params = CountParams {
+            budget: 1,
+            ..CountParams::default()
+        };
+        let out = count_model(&fm, &params, None);
+        assert_eq!(out.doc.get("method").and_then(Json::as_str), Some("approx"));
+        // 2 models sit far below the pivot: still exact.
+        assert_eq!(out.doc.get("exact"), Some(&Json::Bool(true)));
+        assert_eq!(out.doc.get("models").and_then(Json::as_int), Some(2));
+    }
+
+    #[test]
+    fn explicit_approx_skips_enumeration() {
+        let fm = two_cpu_model();
+        let params = CountParams {
+            approx: true,
+            ..CountParams::default()
+        };
+        let out = count_model(&fm, &params, None);
+        assert_eq!(out.doc.get("method").and_then(Json::as_str), Some("approx"));
+        assert_eq!(out.doc.get("models").and_then(Json::as_int), Some(2));
+    }
+
+    #[test]
+    fn documents_are_deterministic() {
+        let fm = two_cpu_model();
+        let a = count_model(&fm, &CountParams::default(), None);
+        let b = count_model(&fm, &CountParams::default(), None);
+        assert_eq!(a, b);
+        let s = sample_model(&fm, 2, 7, None);
+        let t = sample_model(&fm, 2, 7, None);
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn sample_configurations_name_selected_features() {
+        let fm = two_cpu_model();
+        let out = sample_model(&fm, 2, 1, None);
+        assert_eq!(out.doc.get("returned").and_then(Json::as_int), Some(2));
+        let configs = out
+            .doc
+            .get("configurations")
+            .and_then(Json::as_arr)
+            .expect("configurations array");
+        assert_eq!(configs.len(), 2);
+        for c in configs {
+            let names: Vec<&str> = c
+                .as_arr()
+                .expect("config array")
+                .iter()
+                .filter_map(Json::as_str)
+                .collect();
+            assert!(names.contains(&"Board"));
+            assert!(names.contains(&"memory"));
+            assert!(
+                names.contains(&"cpu@0") ^ names.contains(&"cpu@1"),
+                "exactly one CPU: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_keys_separate_ops_and_params() {
+        let p = CountParams::default();
+        let k1 = analytics_key("count", "m", &count_params_key(&p));
+        let k2 = analytics_key("sample", "m", &count_params_key(&p));
+        let k3 = analytics_key(
+            "count",
+            "m",
+            &count_params_key(&CountParams { seed: 9, ..p }),
+        );
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+    }
+}

@@ -70,15 +70,31 @@ fn usage() -> ExitCode {
            llhsc dtb <file.dts> <out>    compile DTS to a DTB blob\n\
            llhsc dts <file.dtb>          decompile a DTB blob\n\
            llhsc model <file.fm>         analyse a feature-model file\n\
+           llhsc count [options] <file.fm>\n\
+                                         count the valid configurations\n\
+           llhsc sample [options] <file.fm>\n\
+                                         draw diverse valid configurations\n\
            llhsc build <project-dir>     run the full pipeline on a project\n\
            llhsc products                analyse the CustomSBC feature model\n\
            llhsc demo                    run the paper's running example\n\
            llhsc serve [--addr A] [--workers N] [--max-request-bytes N]\n\
                                          run the check daemon (default {DEFAULT_ADDR})\n\
            llhsc client [--addr A] check [--report-json F] <file.dts>\n\
+           llhsc client [--addr A] count|sample [options] <file.fm>\n\
            llhsc client [--addr A] stats [--json]\n\
            llhsc client [--addr A] ping|metrics|shutdown\n\
                                          talk to a running daemon\n\
+         \n\
+         count/sample options:\n\
+           --fixture quadcore    use the built-in quad-core fixture model\n\
+                                 instead of a file\n\
+           --json                print the machine-readable document\n\
+           --budget N            exact-enumeration budget (count)\n\
+           --approx              estimate directly, skip exact counting (count)\n\
+           --epsilon E           approximation tolerance (count)\n\
+           --delta D             approximation failure probability (count)\n\
+           -k N                  number of configurations to draw (sample)\n\
+           --seed S              RNG seed (count, sample)\n\
          \n\
          options:\n\
            --stats            print per-stage wall times and solver statistics\n\
@@ -107,6 +123,8 @@ fn main() -> ExitCode {
         Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
         Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
         Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
+        Some("count") => cmd_count(args[1..].to_vec()),
+        Some("sample") => cmd_sample(args[1..].to_vec()),
         Some("build") => cmd_build(args[1..].to_vec(), stats),
         Some("products") if args.len() == 1 => cmd_products(),
         Some("demo") => cmd_demo(args[1..].to_vec(), stats),
@@ -268,6 +286,8 @@ fn cmd_client(mut args: Vec<String>) -> ExitCode {
     };
     match args.first().map(String::as_str) {
         Some("check") => client_check(&addr, args[1..].to_vec()),
+        Some("count") => client_count(&addr, args[1..].to_vec()),
+        Some("sample") => client_sample(&addr, args[1..].to_vec()),
         Some("ping") if args.len() == 1 => client_simple(&addr, "ping", "pong"),
         Some("shutdown") if args.len() == 1 => {
             client_simple(&addr, "shutdown", "server is shutting down")
@@ -544,6 +564,205 @@ fn cmd_model(path: &Path) -> ExitCode {
         }
     );
     ExitCode::SUCCESS
+}
+
+// ---- configuration-space analytics ---------------------------------
+
+/// Resolves the model operand of `count`/`sample`: the source text of
+/// `--fixture quadcore` or of the one positional `.fm` file. The outer
+/// `Err(())` is a usage error; the inner `Err(String)` a tool failure.
+fn take_model_source(args: &mut Vec<String>) -> Result<Result<String, String>, ()> {
+    if let Some(fixture) = take_flag(args, "--fixture")? {
+        if !args.is_empty() {
+            return Err(());
+        }
+        return Ok(match fixture.as_str() {
+            "quadcore" => Ok(llhsc::quadcore::MODEL.to_string()),
+            other => Err(format!("unknown fixture {other:?} (try \"quadcore\")")),
+        });
+    }
+    if args.len() != 1 {
+        return Err(());
+    }
+    let path = args.remove(0);
+    Ok(std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}")))
+}
+
+/// Parses a strictly positive finite fraction argument.
+fn parse_fraction(s: &str) -> Result<f64, ()> {
+    s.parse::<f64>()
+        .ok()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .ok_or(())
+}
+
+/// The `count` flags shared by the local subcommand and the client
+/// verb, plus `--json`.
+fn take_count_flags(args: &mut Vec<String>) -> Result<(llhsc_service::CountParams, bool), ()> {
+    let mut p = llhsc_service::CountParams::default();
+    if let Some(b) = take_flag(args, "--budget")? {
+        p.budget = b.parse().map_err(|_| ())?;
+    }
+    p.approx = take_switch(args, "--approx");
+    if let Some(e) = take_flag(args, "--epsilon")? {
+        p.epsilon = parse_fraction(&e)?;
+    }
+    if let Some(d) = take_flag(args, "--delta")? {
+        p.delta = parse_fraction(&d)?;
+        if p.delta >= 1.0 {
+            return Err(());
+        }
+    }
+    if let Some(s) = take_flag(args, "--seed")? {
+        p.seed = s.parse().map_err(|_| ())?;
+    }
+    Ok((p, take_switch(args, "--json")))
+}
+
+/// The `sample` flags: `(k, seed, json)`.
+fn take_sample_flags(args: &mut Vec<String>) -> Result<(usize, u64, bool), ()> {
+    let mut k = llhsc_service::analytics::DEFAULT_SAMPLE_K;
+    let mut seed = 1u64;
+    if let Some(v) = take_flag(args, "-k")? {
+        k = v.parse().map_err(|_| ())?;
+    }
+    if let Some(s) = take_flag(args, "--seed")? {
+        seed = s.parse().map_err(|_| ())?;
+    }
+    Ok((k, seed, take_switch(args, "--json")))
+}
+
+/// Prints an analytics outcome in the selected mode. The bytes equal
+/// the daemon's `text`/`doc` fields for the same input and parameters.
+fn print_analytics(outcome: &llhsc_service::AnalyticsOutcome, json: bool) -> ExitCode {
+    if json {
+        println!("{}", outcome.doc);
+    } else {
+        print!("{}", outcome.text);
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_model_source(source: Result<String, String>) -> Result<llhsc_fm::FeatureModel, ExitCode> {
+    let src = source.map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(EXIT_FAILURE)
+    })?;
+    llhsc_fm::parse_model(&src).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::from(EXIT_FAILURE)
+    })
+}
+
+fn cmd_count(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, ()> {
+        let (params, json) = take_count_flags(&mut args)?;
+        Ok((params, json, take_model_source(&mut args)?))
+    })();
+    let Ok((params, json, source)) = parsed else {
+        return usage();
+    };
+    let model = match load_model_source(source) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    print_analytics(&llhsc_service::count_model(&model, &params, None), json)
+}
+
+fn cmd_sample(mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, ()> {
+        let (k, seed, json) = take_sample_flags(&mut args)?;
+        Ok((k, seed, json, take_model_source(&mut args)?))
+    })();
+    let Ok((k, seed, json, source)) = parsed else {
+        return usage();
+    };
+    let model = match load_model_source(source) {
+        Ok(m) => m,
+        Err(code) => return code,
+    };
+    print_analytics(&llhsc_service::sample_model(&model, k, seed, None), json)
+}
+
+/// `llhsc client count`: ship the model source, print the daemon's
+/// rendering — byte-identical to the local `llhsc count` because both
+/// sides render through the same builder.
+fn client_count(addr: &str, mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, ()> {
+        let (params, json) = take_count_flags(&mut args)?;
+        Ok((params, json, take_model_source(&mut args)?))
+    })();
+    let Ok((params, json, source)) = parsed else {
+        return usage();
+    };
+    let model = match source {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let request = Json::obj([
+        ("op", "count".into()),
+        ("model", model.into()),
+        ("budget", params.budget.into()),
+        ("approx", Json::Bool(params.approx)),
+        ("epsilon", format!("{}", params.epsilon).into()),
+        ("delta", format!("{}", params.delta).into()),
+        ("seed", params.seed.into()),
+    ]);
+    client_print_analytics(addr, &request, json)
+}
+
+/// `llhsc client sample`: the daemon-side counterpart of `llhsc sample`.
+fn client_sample(addr: &str, mut args: Vec<String>) -> ExitCode {
+    let parsed = (|| -> Result<_, ()> {
+        let (k, seed, json) = take_sample_flags(&mut args)?;
+        Ok((k, seed, json, take_model_source(&mut args)?))
+    })();
+    let Ok((k, seed, json, source)) = parsed else {
+        return usage();
+    };
+    let model = match source {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let request = Json::obj([
+        ("op", "sample".into()),
+        ("model", model.into()),
+        ("k", k.into()),
+        ("seed", seed.into()),
+    ]);
+    client_print_analytics(addr, &request, json)
+}
+
+fn client_print_analytics(addr: &str, request: &Json, json: bool) -> ExitCode {
+    match client::request_ok(addr, request) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Ok(response) => {
+            if json {
+                match response.get("doc") {
+                    Some(doc) => println!("{doc}"),
+                    None => {
+                        eprintln!("error: daemon response carries no document");
+                        return ExitCode::from(EXIT_FAILURE);
+                    }
+                }
+            } else {
+                print!(
+                    "{}",
+                    response.get("text").and_then(Json::as_str).unwrap_or("")
+                );
+            }
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 /// Why `build` did not produce outputs — the distinction drives the

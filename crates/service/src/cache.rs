@@ -63,10 +63,12 @@ impl ClassCounters {
 pub struct ServiceCache {
     entries: Mutex<HashMap<(CacheClass, u64), CacheEntry>>,
     trees: Mutex<HashMap<u64, CachedTreeCheck>>,
+    analytics: Mutex<HashMap<u64, crate::analytics::AnalyticsOutcome>>,
     allocation: ClassCounters,
     product_check: ClassCounters,
     coverage: ClassCounters,
     tree_check: ClassCounters,
+    analytics_counters: ClassCounters,
 }
 
 impl ServiceCache {
@@ -98,8 +100,32 @@ impl ServiceCache {
         self.trees.lock().expect("cache lock").insert(key, check);
     }
 
+    /// A cached analytics (`count`/`sample`) answer. Replayed answers
+    /// are byte-identical to the fresh run and cost zero solver calls.
+    pub fn get_analytics(&self, key: u64) -> Option<crate::analytics::AnalyticsOutcome> {
+        let hit = self
+            .analytics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+            .cloned();
+        match &hit {
+            Some(_) => self.analytics_counters.hit(),
+            None => self.analytics_counters.miss(),
+        }
+        hit
+    }
+
+    /// Stores an analytics answer.
+    pub fn put_analytics(&self, key: u64, outcome: crate::analytics::AnalyticsOutcome) {
+        self.analytics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, outcome);
+    }
+
     /// `(class name, hits, misses)` for every class, in a stable order.
-    pub fn counters(&self) -> [(&'static str, u64, u64); 4] {
+    pub fn counters(&self) -> [(&'static str, u64, u64); 5] {
         let snap = |name, c: &ClassCounters| {
             let (h, m) = c.snapshot();
             (name, h, m)
@@ -109,6 +135,7 @@ impl ServiceCache {
             snap("product_check", &self.product_check),
             snap("coverage", &self.coverage),
             snap("tree_check", &self.tree_check),
+            snap("analytics", &self.analytics_counters),
         ]
     }
 }
@@ -194,6 +221,22 @@ mod tests {
         );
         assert!(cache.get(CacheClass::Coverage, 7).is_none());
         assert!(cache.get(CacheClass::ProductCheck, 7).is_some());
+    }
+
+    #[test]
+    fn analytics_answers_roundtrip() {
+        let cache = ServiceCache::new();
+        assert!(cache.get_analytics(3).is_none());
+        let outcome = crate::analytics::AnalyticsOutcome {
+            doc: crate::json::Json::Null,
+            text: "count: 60 (exact)\n".into(),
+            solves: 61,
+            xor_constraints: 0,
+        };
+        cache.put_analytics(3, outcome.clone());
+        assert_eq!(cache.get_analytics(3), Some(outcome));
+        let (name, hits, misses) = cache.counters()[4];
+        assert_eq!((name, hits, misses), ("analytics", 1, 1));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! byte-identical to a local `llhsc check` — both render through
 //! [`check::check_tree`].
 
+pub mod analytics;
 pub mod cache;
 pub mod check;
 pub mod client;
@@ -22,6 +23,9 @@ pub mod proto;
 pub mod report;
 pub mod server;
 
+pub use analytics::{
+    count_model, sample_model, AnalyticsOutcome, CountParams, ANALYTICS_SCHEMA_VERSION,
+};
 pub use cache::{CachedTreeCheck, ServiceCache, ServiceStats};
 pub use check::{check_tree, check_tree_traced, CheckOutcome, CheckReport};
 pub use json::{Json, JsonError};

@@ -15,7 +15,7 @@ use crate::check::CheckReport;
 use crate::json::Json;
 
 /// A parsed request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -29,6 +29,22 @@ pub enum Request {
     },
     /// Run the full pipeline.
     Build(Box<BuildRequest>),
+    /// Count the valid configurations of a feature model.
+    Count {
+        /// The feature-model source.
+        model: String,
+        /// Counting parameters (budget, mode, (ε, δ), seed).
+        params: crate::analytics::CountParams,
+    },
+    /// Draw diverse near-uniform configurations of a feature model.
+    Sample {
+        /// The feature-model source.
+        model: String,
+        /// Number of configurations requested.
+        k: usize,
+        /// RNG seed.
+        seed: u64,
+    },
     /// Service counters.
     Stats,
     /// Prometheus text-format metrics.
@@ -59,6 +75,29 @@ fn str_field(obj: &Json, key: &str) -> Result<String, String> {
         .ok_or_else(|| format!("missing or non-string field {key:?}"))
 }
 
+fn u64_field_or(obj: &Json, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_int()
+            .and_then(|i| u64::try_from(i).ok())
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+/// Fractions travel as decimal strings — the wire format carries only
+/// integers (see [`crate::json`]).
+fn fraction_field_or(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_str()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|x| x.is_finite() && *x > 0.0)
+            .ok_or_else(|| format!("field {key:?} must be a positive decimal string")),
+    }
+}
+
 impl Request {
     /// Parses a request object. The error string is ready for an
     /// [`error_frame`].
@@ -75,6 +114,33 @@ impl Request {
             "check" => Ok(Request::Check {
                 dts: str_field(j, "dts")?,
                 report: j.get("report").and_then(Json::as_bool).unwrap_or(false),
+            }),
+            "count" => {
+                let d = crate::analytics::CountParams::default();
+                let delta = fraction_field_or(j, "delta", d.delta)?;
+                if delta >= 1.0 {
+                    return Err("field \"delta\" must be below 1".to_string());
+                }
+                Ok(Request::Count {
+                    model: str_field(j, "model")?,
+                    params: crate::analytics::CountParams {
+                        budget: u64_field_or(j, "budget", d.budget)?,
+                        approx: j.get("approx").and_then(Json::as_bool).unwrap_or(false),
+                        epsilon: fraction_field_or(j, "epsilon", d.epsilon)?,
+                        delta,
+                        seed: u64_field_or(j, "seed", d.seed)?,
+                    },
+                })
+            }
+            "sample" => Ok(Request::Sample {
+                model: str_field(j, "model")?,
+                k: usize::try_from(u64_field_or(
+                    j,
+                    "k",
+                    crate::analytics::DEFAULT_SAMPLE_K as u64,
+                )?)
+                .map_err(|_| "field \"k\" is out of range".to_string())?,
+                seed: u64_field_or(j, "seed", 1)?,
             }),
             "build" => {
                 let schemas = match j.get("schemas") {
@@ -193,6 +259,24 @@ pub fn check_frame(report: &CheckReport, cached: bool, report_doc: Option<Json>)
         map.insert("report".to_string(), doc);
     }
     frame
+}
+
+/// The `count`/`sample` response: the text rendering, the canonical
+/// document and whether the answer was replayed from the analytics
+/// cache. Fresh and replayed answers carry identical `text` and `doc`
+/// bytes.
+pub fn analytics_frame(
+    op: &str,
+    outcome: &crate::analytics::AnalyticsOutcome,
+    cached: bool,
+) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", op.into()),
+        ("text", outcome.text.as_str().into()),
+        ("doc", outcome.doc.clone()),
+        ("cached", Json::Bool(cached)),
+    ])
 }
 
 /// The `metrics` response: the Prometheus text exposition as one
@@ -315,6 +399,55 @@ mod tests {
             }
             other => panic!("expected build, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_count_and_sample_ops() {
+        let parse = |s: &str| Request::from_json(&Json::parse(s).unwrap());
+        let d = crate::analytics::CountParams::default();
+        assert_eq!(
+            parse(r#"{"op":"count","model":"feature A { }"}"#),
+            Ok(Request::Count {
+                model: "feature A { }".into(),
+                params: d.clone(),
+            })
+        );
+        assert_eq!(
+            parse(
+                r#"{"op":"count","model":"m","budget":4,"approx":true,
+                    "epsilon":"1.5","delta":"0.1","seed":9}"#
+            ),
+            Ok(Request::Count {
+                model: "m".into(),
+                params: crate::analytics::CountParams {
+                    budget: 4,
+                    approx: true,
+                    epsilon: 1.5,
+                    delta: 0.1,
+                    seed: 9,
+                },
+            })
+        );
+        assert_eq!(
+            parse(r#"{"op":"sample","model":"m","k":5,"seed":3}"#),
+            Ok(Request::Sample {
+                model: "m".into(),
+                k: 5,
+                seed: 3,
+            })
+        );
+        assert!(parse(r#"{"op":"count"}"#)
+            .unwrap_err()
+            .contains("\"model\""));
+        assert!(parse(r#"{"op":"count","model":"m","epsilon":"nope"}"#)
+            .unwrap_err()
+            .contains("\"epsilon\""));
+        assert!(parse(r#"{"op":"count","model":"m","delta":"1.5"}"#)
+            .unwrap_err()
+            .contains("\"delta\""));
+        assert!(parse(r#"{"op":"sample","model":"m","k":-1}"#)
+            .unwrap_err()
+            .contains("\"k\""));
     }
 
     #[test]

@@ -24,12 +24,15 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use llhsc::{Pipeline, SolverStats};
 use llhsc_obs::{Logger, Registry, TraceCtx, Tracer};
 
+use crate::analytics::{
+    analytics_key, count_model, count_params_key, sample_model, sample_params_key, AnalyticsOutcome,
+};
 use crate::cache::{CachedTreeCheck, ServiceCache, ServiceStats};
 use crate::check::check_tree_traced;
 use crate::json::Json;
 use crate::proto::{
-    build_ok_frame, build_rejected_frame, check_frame, error_frame, metrics_frame, ping_frame,
-    shutdown_frame, Request,
+    analytics_frame, build_ok_frame, build_rejected_frame, check_frame, error_frame, metrics_frame,
+    ping_frame, shutdown_frame, Request,
 };
 use crate::report::{check_report_json, session_json, solver_json};
 
@@ -475,6 +478,22 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
             };
             (frame, "check")
         }
+        Request::Count { model, params } => (
+            serve_analytics(state, "count", &model, &count_params_key(&params), |tc| {
+                llhsc_fm::parse_model(&model)
+                    .map(|fm| count_model(&fm, &params, Some(tc)))
+                    .map_err(|e| format!("model.fm: {e}"))
+            }),
+            "count",
+        ),
+        Request::Sample { model, k, seed } => (
+            serve_analytics(state, "sample", &model, &sample_params_key(k, seed), |tc| {
+                llhsc_fm::parse_model(&model)
+                    .map(|fm| sample_model(&fm, k, seed, Some(tc)))
+                    .map_err(|e| format!("model.fm: {e}"))
+            }),
+            "sample",
+        ),
         Request::Build(b) => {
             let frame = match b.to_pipeline_input() {
                 Err(e) => error_frame(e),
@@ -488,6 +507,69 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                 },
             };
             (frame, "build")
+        }
+    }
+}
+
+/// Computes or replays a `count`/`sample` answer. The analytics cache
+/// is keyed on (op, model source, canonical parameters), so a warm
+/// repeat performs zero solver calls and returns byte-identical `text`
+/// and `doc` fields; only the frame's `cached` flag differs.
+fn serve_analytics(
+    state: &ServiceState,
+    op: &str,
+    model: &str,
+    params_key: &str,
+    compute: impl FnOnce(&TraceCtx) -> Result<AnalyticsOutcome, String>,
+) -> Json {
+    let key = analytics_key(op, model, params_key);
+    if let Some(hit) = state.cache.get_analytics(key) {
+        return analytics_frame(op, &hit, true);
+    }
+    // Traced against a zeroed clock: the count/sample machinery records
+    // one span per XOR-hash cell, annotated with `xor_constraints` and
+    // `cells` counters.
+    let tracer = Arc::new(Tracer::zeroed());
+    let ctx = TraceCtx::new(Arc::clone(&tracer));
+    match compute(&ctx) {
+        Err(e) => error_frame(e),
+        Ok(outcome) => {
+            state.solver.add(&SolverStats {
+                solves: outcome.solves,
+                ..SolverStats::default()
+            });
+            state
+                .metrics
+                .counter(
+                    "llhsc_count_solves_total",
+                    "SAT-solver invocations spent on analytics (count/sample) ops.",
+                    &[("op", op)],
+                )
+                .add(outcome.solves);
+            state
+                .metrics
+                .counter(
+                    "llhsc_count_xor_constraints_total",
+                    "Random XOR parity constraints encoded by analytics ops.",
+                    &[("op", op)],
+                )
+                .add(outcome.xor_constraints);
+            state
+                .metrics
+                .counter(
+                    "llhsc_count_cells_total",
+                    "XOR-hash cells enumerated by analytics ops.",
+                    &[("op", op)],
+                )
+                .add(
+                    tracer
+                        .spans()
+                        .iter()
+                        .filter(|s| s.name == "count_cell" || s.name == "sample_cell")
+                        .count() as u64,
+                );
+            state.cache.put_analytics(key, outcome.clone());
+            analytics_frame(op, &outcome, false)
         }
     }
 }
@@ -703,6 +785,88 @@ mod tests {
         assert!(solves > 0, "fresh check must solve");
         assert!(
             text.contains(&format!("llhsc_solver_solves_total {solves}")),
+            "{text}"
+        );
+
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn count_and_sample_ops_cache_and_replay() {
+        let handle = start(&ServerConfig::default()).expect("server starts");
+        let addr = handle.local_addr().to_string();
+        let solves = |addr: &str| {
+            client::request(addr, &Json::obj([("op", "stats".into())]))
+                .unwrap()
+                .get("solver")
+                .and_then(|s| s.get("solves"))
+                .and_then(Json::as_int)
+                .expect("solver totals")
+        };
+
+        let count_req = Json::obj([
+            ("op", "count".into()),
+            ("model", llhsc::quadcore::MODEL.into()),
+        ]);
+        let first = client::request(&addr, &count_req).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        let doc = first.get("doc").expect("count doc");
+        assert_eq!(doc.get("models").and_then(Json::as_int), Some(60));
+        assert_eq!(doc.get("method").and_then(Json::as_str), Some("exact"));
+        let after_fresh = solves(&addr);
+        assert!(after_fresh > 0, "fresh count must solve");
+
+        // Warm repeat: byte-identical answer, zero additional solver
+        // calls — only the cached flag differs.
+        let second = client::request(&addr, &count_req).unwrap();
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("text"), second.get("text"));
+        assert_eq!(
+            first.get("doc").map(ToString::to_string),
+            second.get("doc").map(ToString::to_string)
+        );
+        assert_eq!(solves(&addr), after_fresh);
+
+        let sample_req = Json::obj([
+            ("op", "sample".into()),
+            ("model", llhsc::quadcore::MODEL.into()),
+            ("k", 5u64.into()),
+            ("seed", 7u64.into()),
+        ]);
+        let fresh = client::request(&addr, &sample_req).unwrap();
+        assert_eq!(fresh.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            fresh
+                .get("doc")
+                .and_then(|d| d.get("returned"))
+                .and_then(Json::as_int),
+            Some(5)
+        );
+        let replay = client::request(&addr, &sample_req).unwrap();
+        assert_eq!(replay.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(fresh.get("text"), replay.get("text"));
+
+        // A bad model is a protocol error, not a cached verdict.
+        let bad = client::request(
+            &addr,
+            &Json::obj([("op", "count".into()), ("model", "not a model".into())]),
+        )
+        .unwrap();
+        assert_eq!(bad.get("ok"), Some(&Json::Bool(false)));
+
+        let metrics = client::request(&addr, &Json::obj([("op", "metrics".into())])).unwrap();
+        let text = metrics
+            .get("text")
+            .and_then(Json::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains("llhsc_count_solves_total{op=\"count\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("llhsc_cache_hits_total{class=\"analytics\"} 2"),
             "{text}"
         );
 

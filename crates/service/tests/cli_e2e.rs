@@ -378,3 +378,92 @@ fn client_reports_transport_errors_with_exit_2() {
         "{out:?}"
     );
 }
+
+/// `count` and `sample` render byte-identically whether computed
+/// locally or served by the daemon, on both fresh and cached passes,
+/// in text and `--json` modes.
+#[test]
+fn client_count_and_sample_are_byte_identical_to_local() {
+    let daemon = Daemon::start();
+
+    let invocations: &[&[&str]] = &[
+        &["count", "--fixture", "quadcore"],
+        &["count", "--fixture", "quadcore", "--json"],
+        &[
+            "count",
+            "--fixture",
+            "quadcore",
+            "--approx",
+            "--epsilon",
+            "0.8",
+            "--delta",
+            "0.2",
+            "--seed",
+            "11",
+        ],
+        &["sample", "--fixture", "quadcore", "-k", "5", "--seed", "7"],
+        &[
+            "sample",
+            "--fixture",
+            "quadcore",
+            "-k",
+            "5",
+            "--seed",
+            "7",
+            "--json",
+        ],
+    ];
+
+    for args in invocations {
+        let local = Command::new(bin())
+            .args(*args)
+            .output()
+            .expect("local analytics runs");
+        assert_eq!(local.status.code(), Some(0), "local exit for {args:?}");
+
+        // Fresh pass computes, second pass replays from the cache; both
+        // must render the same bytes as the local run.
+        for pass in ["fresh", "cached"] {
+            let remote = daemon.client(args);
+            assert_eq!(
+                remote.status.code(),
+                Some(0),
+                "{pass} client exit for {args:?}"
+            );
+            assert_eq!(
+                remote.stdout,
+                local.stdout,
+                "{pass} stdout differs for {args:?}:\n local: {:?}\nremote: {:?}",
+                String::from_utf8_lossy(&local.stdout),
+                String::from_utf8_lossy(&remote.stdout)
+            );
+            assert_eq!(remote.stderr, local.stderr, "{pass} stderr for {args:?}");
+        }
+    }
+
+    // Pin the headline numbers: the quad-core space holds exactly 60
+    // configurations, and the sample returns the 5 requested.
+    let count = Command::new(bin())
+        .args(["count", "--fixture", "quadcore"])
+        .output()
+        .expect("count runs");
+    assert!(
+        String::from_utf8_lossy(&count.stdout).contains("count: 60 (exact;"),
+        "{count:?}"
+    );
+    let sample = Command::new(bin())
+        .args(["sample", "--fixture", "quadcore", "-k", "5", "--seed", "7"])
+        .output()
+        .expect("sample runs");
+    assert!(
+        String::from_utf8_lossy(&sample.stdout).contains("sample: 5 configurations"),
+        "{sample:?}"
+    );
+
+    // The warm repeats above were answered from the analytics cache.
+    let stats = daemon.client(&["stats"]);
+    let rendered = String::from_utf8_lossy(&stats.stdout).into_owned();
+    assert!(rendered.contains("analytics"), "{rendered}");
+
+    daemon.shutdown();
+}

@@ -4,7 +4,7 @@ use std::cell::Cell;
 use std::collections::HashMap;
 
 use llhsc_obs::{SpanId, TraceCtx};
-use llhsc_sat::{Lit, SolveResult, Solver, SolverStats};
+use llhsc_sat::{Cnf, Lit, SolveResult, Solver, SolverStats};
 
 use crate::bitblast::{eval_in_model, Blaster, EvalValue, STR_WIDTH};
 use crate::term::{mask, Sort, TermData, TermId, TermPool};
@@ -94,6 +94,67 @@ impl Context {
             trace_base: Cell::new(SolverStats::default()),
             last_solve: Cell::new(None),
         }
+    }
+
+    /// Creates a context whose solver records every problem clause, so
+    /// the accumulated bit-blasted formula can later be exported with
+    /// [`Context::export_cnf`]. Costs one extra copy of each clause;
+    /// use [`Context::new`] when export is not needed.
+    pub fn with_clause_log() -> Context {
+        let mut ctx = Context::new();
+        ctx.solver.enable_clause_log();
+        ctx
+    }
+
+    /// Exports the bit-blasted formula as a standalone [`Cnf`] plus the
+    /// projection literals encoding `over`, for the counting/sampling
+    /// layer (`llhsc-count`).
+    ///
+    /// The export reproduces the context's current assertion state:
+    /// clauses belonging to open scopes stay guarded by their
+    /// activation literal, and each open scope's activation literal is
+    /// pinned true by a unit clause — exactly the assumption set a
+    /// [`Context::check`] would use. `guards` names additional Boolean
+    /// terms (e.g. a [`crate::SolverSession`] slice's activation
+    /// guards) to pin true the same way, which is how projected
+    /// analytics run over a single slice of a shared session. Terms in
+    /// `over` that appear in no assertion are force-encoded so the
+    /// projection is always complete.
+    ///
+    /// Returns `None` unless the context was created with
+    /// [`Context::with_clause_log`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any term in `over` or `guards` is not Boolean.
+    pub fn export_cnf(&mut self, over: &[TermId], guards: &[TermId]) -> Option<(Cnf, Vec<Lit>)> {
+        for &t in over {
+            self.expect_bool(t, "export_cnf");
+        }
+        for &t in guards {
+            self.expect_bool(t, "export_cnf");
+        }
+        let projection: Vec<Lit> = over
+            .iter()
+            .map(|&t| self.blaster.bool_lit(&self.pool, &mut self.solver, t))
+            .collect();
+        let guard_lits: Vec<Lit> = guards
+            .iter()
+            .map(|&t| self.blaster.bool_lit(&self.pool, &mut self.solver, t))
+            .collect();
+        let logged = self.solver.logged_clauses()?;
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.solver.num_vars());
+        for clause in logged {
+            cnf.add_clause(clause.iter().copied());
+        }
+        for &act in &self.scopes {
+            cnf.add_clause([act]);
+        }
+        for &g in &guard_lits {
+            cnf.add_clause([g]);
+        }
+        Some((cnf, projection))
     }
 
     /// Attaches a trace context: from now on each solver call records a
@@ -1069,6 +1130,57 @@ impl Model<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn export_cnf_mirrors_the_context() {
+        use llhsc_sat::ModelIter;
+
+        let mut ctx = Context::with_clause_log();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.or([a, b]);
+        ctx.assert(ab);
+        let (cnf, proj) = ctx.export_cnf(&[a, b], &[]).expect("logged context");
+        assert_eq!(proj.len(), 2);
+        let vars: Vec<_> = proj.iter().map(|l| l.var()).collect();
+        let mut solver = cnf.to_solver();
+        let bc = ModelIter::projected(&mut solver, vars).count_up_to(8);
+        assert_eq!(bc.models, 3, "export must count like count_models");
+        assert_eq!(ctx.count_models(&[a, b]), 3);
+    }
+
+    #[test]
+    fn export_cnf_pins_open_scopes_and_drops_popped_ones() {
+        use llhsc_sat::SolveResult;
+
+        let mut ctx = Context::with_clause_log();
+        let a = ctx.bool_var("a");
+        ctx.push();
+        let na = ctx.not(a);
+        ctx.assert(na); // scoped: ¬a
+        let (cnf, proj) = ctx.export_cnf(&[a], &[]).expect("logged context");
+        let mut solver = cnf.to_solver();
+        solver.add_clause([proj[0]]); // a, against the pinned scope's ¬a
+        assert_eq!(solver.solve(), SolveResult::Unsat);
+
+        ctx.pop();
+        let (cnf, proj) = ctx.export_cnf(&[a], &[]).expect("logged context");
+        let mut solver = cnf.to_solver();
+        solver.add_clause([proj[0]]);
+        assert_eq!(
+            solver.solve(),
+            SolveResult::Sat,
+            "popped scope must not bind"
+        );
+    }
+
+    #[test]
+    fn export_cnf_needs_the_log() {
+        let mut ctx = Context::new();
+        let a = ctx.bool_var("a");
+        ctx.assert(a);
+        assert!(ctx.export_cnf(&[a], &[]).is_none());
+    }
 
     #[test]
     fn bool_logic_sat() {

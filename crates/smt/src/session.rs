@@ -23,6 +23,8 @@
 
 use std::collections::{HashMap, HashSet};
 
+use llhsc_sat::{Cnf, Lit};
+
 use crate::context::{CheckResult, Context, Model};
 use crate::term::TermId;
 
@@ -118,6 +120,34 @@ impl SolverSession {
     /// Creates an empty session around a fresh [`Context`].
     pub fn new() -> SolverSession {
         SolverSession::default()
+    }
+
+    /// Creates a session whose context records every problem clause
+    /// (see [`Context::with_clause_log`]), enabling
+    /// [`SolverSession::export_projected`].
+    pub fn with_logged_context() -> SolverSession {
+        SolverSession {
+            ctx: Context::with_clause_log(),
+            ..SolverSession::default()
+        }
+    }
+
+    /// Exports the session's formula as a standalone CNF restricted to
+    /// the given slices: every activation guard in `active` is pinned
+    /// true, so the exported formula holds exactly the constraints a
+    /// [`SolverSession::check`] with those slices would see. `over`
+    /// lists the Boolean terms defining the projection (see
+    /// [`Context::export_cnf`]); the returned literals align with it.
+    ///
+    /// Returns `None` unless the session was created with
+    /// [`SolverSession::with_logged_context`].
+    pub fn export_projected(
+        &mut self,
+        active: &[Slice],
+        over: &[TermId],
+    ) -> Option<(Cnf, Vec<Lit>)> {
+        let guards: Vec<TermId> = active.iter().map(|s| s.guard).collect();
+        self.ctx.export_cnf(over, &guards)
     }
 
     /// The underlying context, for term building and model inspection.
@@ -313,6 +343,48 @@ mod tests {
         // bound terms (`x < 7`, `x < 1`) across 4 queries.
         assert_eq!(s.stats().asserts_encoded, 2);
         assert_eq!(s.stats().asserts_reused, 2);
+    }
+
+    #[test]
+    fn export_projected_respects_active_slices() {
+        use llhsc_sat::ModelIter;
+
+        let mut s = SolverSession::with_logged_context();
+        let p = s.ctx_mut().bool_var("p");
+        let q = s.ctx_mut().bool_var("q");
+        let pq = s.ctx_mut().or([p, q]);
+        let np = s.ctx_mut().not(p);
+        let a = s.slice(1);
+        s.assert_in(a, pq); // p ∨ q
+        let b = s.slice(2);
+        s.assert_in(b, np); // ¬p
+
+        // With only slice a active: 3 models of (p, q).
+        let (cnf, proj) = s.export_projected(&[a], &[p, q]).expect("logged session");
+        let vars: Vec<_> = proj.iter().map(|l| l.var()).collect();
+        let mut solver = cnf.to_solver();
+        let bc = ModelIter::projected(&mut solver, vars).count_up_to(8);
+        assert_eq!(bc.models, 3);
+        assert!(bc.is_exact());
+
+        // Both slices: ¬p forces p false, leaving q true — 1 model.
+        let (cnf, proj) = s
+            .export_projected(&[a, b], &[p, q])
+            .expect("logged session");
+        let vars: Vec<_> = proj.iter().map(|l| l.var()).collect();
+        let mut solver = cnf.to_solver();
+        let bc = ModelIter::projected(&mut solver, vars).count_up_to(8);
+        assert_eq!(bc.models, 1);
+
+        // The session itself is untouched by the exports.
+        assert_eq!(s.check(&[a], &[]), CheckResult::Sat);
+    }
+
+    #[test]
+    fn export_requires_a_logged_context() {
+        let mut s = SolverSession::new();
+        let p = s.ctx_mut().bool_var("p");
+        assert!(s.export_projected(&[], &[p]).is_none());
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! E14 — configuration-space analytics end to end: exact counting
+//! agrees with All-SAT enumeration, and `sample -k 50` on the
+//! quad-core fixture yields 50 distinct valid configurations, each
+//! re-verified through the full check pipeline (EXPERIMENTS.md, E14).
+
+use std::collections::BTreeSet;
+
+use llhsc::quadcore::{self, MODEL};
+use llhsc::{Pipeline, VmSpec};
+use llhsc_service::{count_model, sample_model, CountParams, Json};
+
+#[test]
+fn exact_count_matches_allsat_enumeration() {
+    let model = llhsc_fm::parse_model(MODEL).expect("model parses");
+    let outcome = count_model(&model, &CountParams::default(), None);
+    assert_eq!(
+        outcome.doc.get("models").and_then(Json::as_int),
+        Some(60),
+        "{}",
+        outcome.doc
+    );
+    assert_eq!(
+        outcome.doc.get("method").and_then(Json::as_str),
+        Some("exact")
+    );
+    let mut an = llhsc_fm::Analyzer::new(&model);
+    assert_eq!(an.products().len(), 60);
+}
+
+#[test]
+fn fifty_samples_are_distinct_valid_and_pass_the_pipeline() {
+    let model = llhsc_fm::parse_model(MODEL).expect("model parses");
+    let outcome = sample_model(&model, 50, 7, None);
+    let doc = &outcome.doc;
+    assert_eq!(
+        doc.get("returned").and_then(Json::as_int),
+        Some(50),
+        "{doc}"
+    );
+    let min_hamming = doc
+        .get("min_hamming")
+        .and_then(Json::as_int)
+        .expect("sample doc reports min_hamming");
+    assert!(min_hamming >= 1, "distinct models differ in ≥ 1 feature");
+    let configs = match doc.get("configurations") {
+        Some(Json::Arr(a)) => a.clone(),
+        other => panic!("configurations must be an array, got {other:?}"),
+    };
+    assert_eq!(configs.len(), 50);
+
+    // Ground truth: the 60 enumerated products, as feature-name sets.
+    let mut an = llhsc_fm::Analyzer::new(&model);
+    let products: BTreeSet<BTreeSet<String>> = an
+        .products()
+        .iter()
+        .map(|p| p.iter().map(|id| model.name(*id).to_string()).collect())
+        .collect();
+    assert_eq!(products.len(), 60);
+
+    let mut seen: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for cfg in &configs {
+        let names: BTreeSet<String> = match cfg {
+            Json::Arr(items) => items
+                .iter()
+                .map(|j| j.as_str().expect("feature name").to_string())
+                .collect(),
+            other => panic!("configuration must be an array, got {other:?}"),
+        };
+        assert!(
+            products.contains(&names),
+            "sampled configuration is not a valid product: {names:?}"
+        );
+        assert!(seen.insert(names.clone()), "duplicate sample: {names:?}");
+
+        // Full-pipeline re-verification: one VM requesting exactly the
+        // configuration's concrete devices must build cleanly.
+        let features: Vec<String> = names
+            .iter()
+            .filter(|n| *n == "memory" || n.starts_with("cpu@") || n.starts_with("uart@"))
+            .cloned()
+            .collect();
+        let vm = VmSpec {
+            name: "probe".into(),
+            features,
+        };
+        let out = Pipeline::new()
+            .run(&quadcore::input(vec![vm]))
+            .unwrap_or_else(|e| {
+                panic!("sampled configuration fails the pipeline: {names:?}: {e:?}")
+            });
+        assert_eq!(out.vm_trees.len(), 1);
+    }
+}
