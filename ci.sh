@@ -12,7 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Panic-freedom: no unwrap/expect may creep into non-test code of the
 # untrusted-input crates (see tools/unwrap_allowlist.txt), and a bounded
-# fuzz run over all four input surfaces must come back clean
+# fuzz run over all five drivers (four input surfaces plus the
+# differential SAT driver) must come back clean
 # (docs/FUZZING.md).
 tools/check_unwraps.sh
 target/release/llhsc-fuzz --iters 20000 --seed 1
@@ -91,6 +92,37 @@ for key, total in report["solver"].items():
     assert summed == total, f"{key}: span sum {summed} != total {total}"
 print(f"trace ok: {len(spans)} spans, {len(solves)} solves")
 EOF
+
+# Proof certification smoke: a board with a genuine address collision
+# must yield finding-exit 1 with a certified UNSAT verdict, write a
+# DIMACS/DRAT pair for the semantic stage, and the in-tree backward
+# checker must verify that refutation standalone — in both default
+# (last-lemma) and --all modes (docs/SOLVER.md).
+cat > "$SMOKE_DIR/collide.dts" <<'EOF'
+/ {
+    #address-cells = <2>;
+    #size-cells = <2>;
+    memory@40000000 { device_type = "memory"; reg = <0x0 0x40000000 0x0 0x20000000>; };
+    uart@40000000 { compatible = "ns16550a"; reg = <0x0 0x40000000 0x0 0x1000>; };
+};
+EOF
+PROOF_RC=0
+"$LLHSC" check --proof "$SMOKE_DIR/proof" "$SMOKE_DIR/collide.dts" \
+    > "$SMOKE_DIR/proof.out" || PROOF_RC=$?
+test "$PROOF_RC" -eq 1
+grep -q '^certified: 1 UNSAT verdict(s)' "$SMOKE_DIR/proof.out"
+test -s "$SMOKE_DIR/proof.semantic.cnf"
+test -s "$SMOKE_DIR/proof.semantic.drat"
+"$LLHSC" drat "$SMOKE_DIR/proof.semantic.cnf" "$SMOKE_DIR/proof.semantic.drat"
+"$LLHSC" drat --all "$SMOKE_DIR/proof.semantic.cnf" "$SMOKE_DIR/proof.semantic.drat"
+
+# Ablation smoke: every combination of the CDCL in-processing flags
+# (chronological backtracking, vivification, subsumption, stable
+# restarts) must leave pipeline verdicts bit-identical; the bench
+# binary asserts this in-process and prints one ok line.
+target/release/llhsc-bench ablate > "$SMOKE_DIR/ablate.out"
+grep -q '^ok: verdicts identical across all 16 in-processing combinations$' \
+    "$SMOKE_DIR/ablate.out"
 
 # Bench smoke: the scale suite at a small board size must produce a
 # well-formed BENCH_scale.json in which session reuse never performs

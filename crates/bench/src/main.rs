@@ -17,7 +17,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use llhsc::{Pipeline, SemanticChecker, SolverStats};
+use llhsc::{CertStats, Pipeline, SemanticChecker, SolverConfig, SolverStats};
 use llhsc_bench::{synthetic_board, synthetic_vm_board};
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 use llhsc_service::cache::ServiceCache;
@@ -40,8 +40,11 @@ struct Measurement {
 
 impl Measurement {
     /// Times `runs` executions of `work`, which returns the run's
-    /// fresh solver work.
+    /// fresh solver work. One untimed warmup execution precedes the
+    /// timed loop, so first-run noise (allocator growth, page faults,
+    /// lazily built fixtures) never lands in a sample.
     fn time(name: &'static str, runs: usize, mut work: impl FnMut() -> SolverStats) -> Measurement {
+        work();
         let mut wall_us = Vec::with_capacity(runs);
         let mut solver = SolverStats::default();
         for _ in 0..runs {
@@ -68,6 +71,10 @@ impl Measurement {
         }
     }
 
+    fn median_us(&self) -> u64 {
+        median(&self.wall_us)
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", self.name.into()),
@@ -76,6 +83,7 @@ impl Measurement {
                 "wall_us",
                 Json::obj([
                     ("mean", self.mean_us().into()),
+                    ("median", self.median_us().into()),
                     ("min", self.min_us().into()),
                     (
                         "samples",
@@ -85,6 +93,23 @@ impl Measurement {
             ),
             ("solver", solver_json(&self.solver)),
         ])
+    }
+}
+
+/// The median of a sample set: the middle value, or the mean of the
+/// two middle values for even counts. Robust to the occasional
+/// scheduler hiccup that skews the mean.
+fn median(samples: &[u64]) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    } else {
+        sorted[mid]
     }
 }
 
@@ -148,6 +173,8 @@ struct ModeCost {
     alloc_vars: u64,
     alloc_clauses: u64,
     alloc_arena_lits: u64,
+    /// DRAT certification counters (all zero unless `--certify`).
+    cert: CertStats,
 }
 
 impl ModeCost {
@@ -163,12 +190,17 @@ impl ModeCost {
         }
     }
 
+    fn median_us(&self) -> u64 {
+        median(&self.wall_us)
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             (
                 "wall_us",
                 Json::obj([
                     ("mean", self.mean_us().into()),
+                    ("median", self.median_us().into()),
                     ("min", self.min_us().into()),
                 ]),
             ),
@@ -187,6 +219,25 @@ impl ModeCost {
             ),
         ])
     }
+
+    /// [`ModeCost::to_json`] plus a `proof` object when the mode ran
+    /// certified; the uncertified document shape is unchanged.
+    fn to_json_certified(&self) -> Json {
+        let mut doc = self.to_json();
+        if self.cert.proofs > 0 {
+            if let Json::Obj(map) = &mut doc {
+                map.insert(
+                    "proof".to_string(),
+                    Json::obj([
+                        ("proofs", self.cert.proofs.into()),
+                        ("steps", self.cert.steps.into()),
+                        ("checked", self.cert.checked.into()),
+                    ]),
+                );
+            }
+        }
+        doc
+    }
 }
 
 /// The verdicts of one mode, used to assert fresh/session equivalence.
@@ -194,13 +245,23 @@ type Verdicts = Vec<(usize, usize)>;
 
 /// Checks every VM tree with a fresh syntactic and semantic checker
 /// (fresh solver contexts throughout) — the pre-session baseline.
-fn scale_fresh(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCost, Verdicts) {
+fn scale_fresh(
+    trees: &[llhsc_dts::DeviceTree],
+    schemas: &SchemaSet,
+    certify: bool,
+) -> (ModeCost, Verdicts) {
     let mut cost = ModeCost::default();
     let mut verdicts = Vec::new();
     for tree in trees {
-        let mut syn = SyntacticChecker::new(tree, schemas);
+        let syn_session = if certify {
+            SolverSession::with_certification()
+        } else {
+            SolverSession::new()
+        };
+        let mut syn = SyntacticChecker::with_session(tree, schemas, syn_session);
         let report = syn.check();
         cost.solves += syn.solver_stats().solves;
+        cost.cert.merge(&syn.cert_stats());
         let session = syn.into_session();
         let (hits, misses) = session.ctx().encode_counts();
         cost.terms_encoded += misses;
@@ -213,9 +274,14 @@ fn scale_fresh(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCos
         cost.asserts_encoded += stats.asserts_encoded;
         cost.asserts_reused += stats.asserts_reused;
 
-        let mut sem = SemanticChecker::new();
+        let mut sem = if certify {
+            SemanticChecker::with_certification()
+        } else {
+            SemanticChecker::new()
+        };
         let sem_report = sem.check_tree(tree).expect("board is interpretable");
         cost.solves += sem.session_stats().checks;
+        cost.cert.merge(&sem.cert_stats());
         let (hits, misses) = sem.encode_counts();
         cost.terms_encoded += misses;
         cost.terms_reused += hits;
@@ -234,11 +300,23 @@ fn scale_fresh(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCos
 /// Checks every VM tree through one shared syntactic session and one
 /// persistent semantic checker: later trees re-activate the slices and
 /// learnt clauses of earlier ones.
-fn scale_session(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeCost, Verdicts) {
+fn scale_session(
+    trees: &[llhsc_dts::DeviceTree],
+    schemas: &SchemaSet,
+    certify: bool,
+) -> (ModeCost, Verdicts) {
     let mut cost = ModeCost::default();
     let mut verdicts = Vec::new();
-    let mut session = SolverSession::new();
-    let mut sem = SemanticChecker::new();
+    let mut session = if certify {
+        SolverSession::with_certification()
+    } else {
+        SolverSession::new()
+    };
+    let mut sem = if certify {
+        SemanticChecker::with_certification()
+    } else {
+        SemanticChecker::new()
+    };
     for tree in trees {
         let mut syn = SyntacticChecker::with_session(tree, schemas, session);
         let report = syn.check();
@@ -265,6 +343,8 @@ fn scale_session(trees: &[llhsc_dts::DeviceTree], schemas: &SchemaSet) -> (ModeC
     stats.merge(&sem.session_stats());
     cost.asserts_encoded = stats.asserts_encoded;
     cost.asserts_reused = stats.asserts_reused;
+    cost.cert.merge(&session.cert_stats());
+    cost.cert.merge(&sem.cert_stats());
     (cost, verdicts)
 }
 
@@ -277,22 +357,26 @@ struct ScaleMeasurement {
 }
 
 impl ScaleMeasurement {
-    fn run(devices: usize, runs: usize) -> ScaleMeasurement {
+    fn run(devices: usize, runs: usize, certify: bool) -> ScaleMeasurement {
         let schemas = SchemaSet::standard();
         let trees: Vec<llhsc_dts::DeviceTree> = (0..SCALE_VMS)
             .map(|vm| llhsc_dts::parse(&synthetic_vm_board(devices, vm)).expect("vm board parses"))
             .collect();
+        // Untimed warmup pass of both modes: first-touch costs (page
+        // faults, allocator growth) stay out of every sample.
+        scale_fresh(&trees, &schemas, certify);
+        scale_session(&trees, &schemas, certify);
         let mut fresh = ModeCost::default();
         let mut session = ModeCost::default();
         for _ in 0..runs {
             let started = Instant::now();
-            let (mut cost, fresh_verdicts) = scale_fresh(&trees, &schemas);
+            let (mut cost, fresh_verdicts) = scale_fresh(&trees, &schemas, certify);
             cost.wall_us.push(started.elapsed().as_micros() as u64);
             cost.wall_us.append(&mut fresh.wall_us);
             fresh = cost;
 
             let started = Instant::now();
-            let (mut cost, session_verdicts) = scale_session(&trees, &schemas);
+            let (mut cost, session_verdicts) = scale_session(&trees, &schemas, certify);
             cost.wall_us.push(started.elapsed().as_micros() as u64);
             cost.wall_us.append(&mut session.wall_us);
             session = cost;
@@ -322,8 +406,8 @@ impl ScaleMeasurement {
             ("devices", (self.devices as u64).into()),
             ("vms", (SCALE_VMS as u64).into()),
             ("runs", (self.fresh.wall_us.len() as u64).into()),
-            ("fresh", self.fresh.to_json()),
-            ("session", self.session.to_json()),
+            ("fresh", self.fresh.to_json_certified()),
+            ("session", self.session.to_json_certified()),
             ("speedup_x1000", self.speedup_x1000().into()),
         ])
     }
@@ -365,14 +449,23 @@ fn usage() -> ExitCode {
          \n\
          usage:\n\
            llhsc-bench [--runs N] [--json [FILE]]\n\
-           llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--json [FILE]]\n\
+           llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--certify]\n\
+                             [--json [FILE]]\n\
            llhsc-bench count [--runs N] [--json [FILE]]\n\
+           llhsc-bench ablate\n\
          \n\
          --runs N      timed iterations per scenario (default {DEFAULT_RUNS})\n\
          --sizes LIST  scale-suite board sizes (default 64,128,256,512)\n\
+         --certify     run the scale suite over certifying sessions: every\n\
+                       UNSAT verdict's DRAT proof is replayed through the\n\
+                       in-tree checker inside the timed region\n\
          --json FILE   write machine-readable results\n\
                        (default BENCH_pipeline.json / BENCH_scale.json /\n\
-                        BENCH_count.json)"
+                        BENCH_count.json)\n\
+         \n\
+         ablate        check the quad-core fixture under all 16 combinations\n\
+                       of the solver's in-processing flags and assert the\n\
+                       verdicts never change"
     );
     ExitCode::FAILURE
 }
@@ -383,8 +476,13 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
     let mut runs = DEFAULT_RUNS;
     let mut sizes: Vec<usize> = SCALE_SIZES.to_vec();
     let mut json_path: Option<String> = None;
+    let mut certify = false;
     while let Some(arg) = args.first().cloned() {
         match arg.as_str() {
+            "--certify" => {
+                certify = true;
+                args.remove(0);
+            }
             "--runs" if args.len() >= 2 => {
                 let Ok(n) = args[1].parse::<usize>() else {
                     return usage();
@@ -416,7 +514,7 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
     }
     let results: Vec<ScaleMeasurement> = sizes
         .iter()
-        .map(|&n| ScaleMeasurement::run(n, runs))
+        .map(|&n| ScaleMeasurement::run(n, runs, certify))
         .collect();
     println!(
         "{:<14} {:>12} {:>12} {:>9} {:>13} {:>13} {:>8}",
@@ -433,6 +531,15 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
             m.session.terms_encoded,
             m.session.terms_reused,
         );
+        if certify {
+            println!(
+                "  certified: fresh {} proofs/{} checked, session {} proofs/{} checked",
+                m.fresh.cert.proofs,
+                m.fresh.cert.checked,
+                m.session.cert.proofs,
+                m.session.cert.checked,
+            );
+        }
     }
     if let Some(path) = json_path {
         if let Err(e) = std::fs::write(&path, render_scale_json(&results)) {
@@ -441,6 +548,111 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
         }
         println!("wrote {path}");
     }
+    ExitCode::SUCCESS
+}
+
+// ---- in-processing ablation suite ----------------------------------
+
+/// One ablation combo: which in-processing features were on, the
+/// verdicts over the fixture trees, and the solver work counters that
+/// show what each pass did.
+struct AblationRow {
+    combo: u32,
+    verdicts: Vec<(usize, usize)>,
+    solver: SolverStats,
+}
+
+/// The trees the ablation checks: the quad-core fixture's four VM
+/// trees plus its platform tree — a mix of clean and solver-heavy
+/// inputs whose verdicts are known.
+fn ablation_trees() -> Vec<llhsc_dts::DeviceTree> {
+    let out = Pipeline::new()
+        .run(&llhsc::quadcore::pipeline_input())
+        .expect("quadcore fixture builds");
+    let mut trees = out.vm_trees;
+    trees.push(out.platform_tree);
+    trees
+}
+
+/// The solver configuration of one 4-bit combo (chrono backtracking,
+/// vivification, subsumption, stabilizing restarts).
+fn ablation_config(combo: u32) -> SolverConfig {
+    SolverConfig {
+        chrono_backtrack: combo & 1 != 0,
+        vivify: combo & 2 != 0,
+        subsume: combo & 4 != 0,
+        stable_restarts: combo & 8 != 0,
+        ..SolverConfig::default()
+    }
+}
+
+fn ablation_run(trees: &[llhsc_dts::DeviceTree], combo: u32) -> AblationRow {
+    let schemas = SchemaSet::standard();
+    let mut verdicts = Vec::new();
+    let mut solver = SolverStats::default();
+    for tree in trees {
+        let config = ablation_config(combo);
+        let mut syn = SyntacticChecker::with_session(
+            tree,
+            &schemas,
+            SolverSession::with_solver_config(config.clone()),
+        );
+        let report = syn.check();
+        solver.merge(&syn.solver_stats());
+        let mut sem = SemanticChecker::with_solver_config(config);
+        let (sem_report, stats) = sem
+            .check_tree_with_stats(tree)
+            .expect("fixture is interpretable");
+        solver.merge(&stats.solver);
+        verdicts.push((report.violations.len(), sem_report.collisions.len()));
+    }
+    AblationRow {
+        combo,
+        verdicts,
+        solver,
+    }
+}
+
+/// The `ablate` subcommand: every combination of the in-processing
+/// flags over the quad-core fixture, asserting verdict equality — the
+/// passes may change the work, never the answer.
+fn cmd_ablate(args: Vec<String>) -> ExitCode {
+    if !args.is_empty() {
+        return usage();
+    }
+    let trees = ablation_trees();
+    let rows: Vec<AblationRow> = (0u32..16).map(|c| ablation_run(&trees, c)).collect();
+    println!(
+        "{:<6} {:>8} {:>9} {:>8} {:>9} {:>8} {:>11}  verdicts",
+        "combo", "solves", "conflicts", "chrono", "vivified", "subsumed", "strengthened"
+    );
+    for row in &rows {
+        let flags = format!(
+            "{}{}{}{}",
+            if row.combo & 1 != 0 { "c" } else { "-" },
+            if row.combo & 2 != 0 { "v" } else { "-" },
+            if row.combo & 4 != 0 { "s" } else { "-" },
+            if row.combo & 8 != 0 { "r" } else { "-" },
+        );
+        let findings: usize = row.verdicts.iter().map(|(a, b)| a + b).sum();
+        println!(
+            "{:<6} {:>8} {:>9} {:>8} {:>9} {:>8} {:>11}  {} finding(s)",
+            flags,
+            row.solver.solves,
+            row.solver.conflicts,
+            row.solver.chrono_backtracks,
+            row.solver.vivified,
+            row.solver.subsumed,
+            row.solver.strengthened,
+            findings,
+        );
+        assert_eq!(
+            row.verdicts, rows[0].verdicts,
+            "in-processing combo {:#06b} changed a verdict",
+            row.combo
+        );
+    }
+    println!("ok: verdicts identical across all 16 in-processing combinations");
     ExitCode::SUCCESS
 }
 
@@ -474,6 +686,7 @@ impl CountMeasurement {
         runs: usize,
         mut work: impl FnMut() -> (String, Json),
     ) -> CountMeasurement {
+        work(); // untimed warmup, as in Measurement::time
         let mut wall_us = Vec::with_capacity(runs);
         let mut out = (String::new(), Json::Null);
         for _ in 0..runs {
@@ -501,6 +714,10 @@ impl CountMeasurement {
         }
     }
 
+    fn median_us(&self) -> u64 {
+        median(&self.wall_us)
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("name", self.name.into()),
@@ -509,6 +726,7 @@ impl CountMeasurement {
                 "wall_us",
                 Json::obj([
                     ("mean", self.mean_us().into()),
+                    ("median", self.median_us().into()),
                     ("min", self.min_us().into()),
                 ]),
             ),
@@ -693,6 +911,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("count") {
         return cmd_count(args[1..].to_vec());
+    }
+    if args.first().map(String::as_str) == Some("ablate") {
+        return cmd_ablate(args[1..].to_vec());
     }
     let mut runs = DEFAULT_RUNS;
     let mut json_path: Option<String> = None;

@@ -22,8 +22,10 @@
 use llhsc_dts::cells::{collect_regions, collect_regions_translated, RegEntry};
 use llhsc_dts::{DeviceTree, DtsError};
 use llhsc_obs::TraceCtx;
+use llhsc_sat::{Cnf, ProofStep};
 use llhsc_smt::{
-    slice_key, AllocStats, CheckResult, SessionStats, Slice, SolverSession, SolverStats, TermId,
+    slice_key, AllocStats, CertStats, CheckResult, SessionStats, Slice, SolverConfig,
+    SolverSession, SolverStats, TermId,
 };
 
 use crate::sweep;
@@ -147,6 +149,39 @@ impl SemanticChecker {
             trace: None,
             session: SolverSession::new(),
         }
+    }
+
+    /// Creates a checker over a *certifying* session: every `Unsat` the
+    /// disjointness queries produce (which on a clean board is every
+    /// query) is accompanied by a DRAT proof replayed through the
+    /// in-tree checker, and the formula/proof pair can be exported via
+    /// [`SemanticChecker::export_proof`].
+    pub fn with_certification() -> SemanticChecker {
+        SemanticChecker {
+            session: SolverSession::with_certification(),
+            ..SemanticChecker::new()
+        }
+    }
+
+    /// Creates a checker whose session solver uses the given
+    /// configuration (in-processing/restart ablation).
+    pub fn with_solver_config(config: SolverConfig) -> SemanticChecker {
+        SemanticChecker {
+            session: SolverSession::with_solver_config(config),
+            ..SemanticChecker::new()
+        }
+    }
+
+    /// Certification counters of the session (zero unless created with
+    /// [`SemanticChecker::with_certification`]).
+    pub fn cert_stats(&self) -> CertStats {
+        self.session.cert_stats()
+    }
+
+    /// The session's accumulated formula and DRAT proof; `None` for
+    /// non-certifying checkers.
+    pub fn export_proof(&self) -> Option<(Cnf, Vec<ProofStep>)> {
+        self.session.export_proof()
     }
 
     /// Reuse counters of the checker's persistent solver session.
@@ -371,7 +406,7 @@ impl SemanticChecker {
                 Vec::new(),
                 RegionCheckStats {
                     regions: refs.len(),
-                    pairs_considered: refs.len() * refs.len().saturating_sub(1) / 2,
+                    pairs_considered: pair_count(refs.len()),
                     ..RegionCheckStats::default()
                 },
             );
@@ -502,7 +537,7 @@ impl SemanticChecker {
         let (hits_now, misses_now) = self.session.ctx().encode_counts();
         let stats = RegionCheckStats {
             regions: refs.len(),
-            pairs_considered: refs.len() * refs.len().saturating_sub(1) / 2,
+            pairs_considered: pair_count(refs.len()),
             pairs_encoded: pairs.len(),
             terms: self.session.ctx().num_terms() - terms_before,
             terms_encoded: misses_now - misses_before,
@@ -517,6 +552,19 @@ impl SemanticChecker {
             self.session.ctx_mut().clear_trace();
         }
         (collisions, stats)
+    }
+}
+
+/// `n·(n−1)/2` without the intermediate `n·(n−1)` product: dividing the
+/// even factor by 2 first keeps the computation in range for any `n`
+/// whose result fits, and an adversarial region count that still
+/// overflows saturates instead of panicking in debug builds (the PR 3
+/// hardening rule for untrusted-input arithmetic).
+fn pair_count(n: usize) -> usize {
+    if n.is_multiple_of(2) {
+        (n / 2).saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1) / 2)
     }
 }
 
@@ -888,6 +936,19 @@ mod tests {
     use llhsc_dts::parse;
 
     #[test]
+    fn pair_count_matches_formula_and_never_overflows() {
+        for n in 0..2000usize {
+            assert_eq!(pair_count(n), n * (n - n.min(1)) / 2, "n={n}");
+        }
+        // The naive n·(n−1) product overflows here even in release; the
+        // halved form stays exact.
+        let n = (1usize << (usize::BITS / 2)) + 3;
+        assert_eq!(pair_count(n), n / 2 * (n - 1) + n / 2);
+        // Truly adversarial counts saturate instead of panicking.
+        assert_eq!(pair_count(usize::MAX), usize::MAX);
+    }
+
+    #[test]
     fn running_example_without_mistake_is_ok() {
         let t = parse(
             r#"/ {
@@ -906,6 +967,74 @@ mod tests {
         let r = SemanticChecker::new().check_tree(&t).unwrap();
         assert!(r.is_ok(), "{:?}", r.collisions);
         assert_eq!(r.regions_checked, 4);
+    }
+
+    #[test]
+    fn certified_checker_proves_collision_verdicts() {
+        use llhsc_sat::{check_drat, CheckMode};
+
+        // A collision makes the disjointness assumptions UNSAT, and the
+        // witness minimization adds further UNSAT probes — every one
+        // must produce (and pass) a DRAT certificate.
+        let t = parse(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@40000000 {
+                    device_type = "memory";
+                    reg = <0x0 0x40000000 0x0 0x20000000
+                           0x0 0x60000000 0x0 0x20000000>;
+                };
+                uart@60000000 { reg = <0x0 0x60000000 0x0 0x1000>; };
+            };"#,
+        )
+        .unwrap();
+        let mut checker = SemanticChecker::with_certification();
+        let (r, _stats) = checker.check_tree_with_stats(&t).unwrap();
+        assert_eq!(r.collisions.len(), 1, "{:?}", r.collisions);
+        let cert = checker.cert_stats();
+        assert!(cert.proofs > 0, "the UNSAT verdict must carry a proof");
+        assert!(cert.checked > 0);
+        let (cnf, proof) = checker.export_proof().expect("certifying checker exports");
+        assert!(check_drat(&cnf, &proof, CheckMode::Last).is_ok());
+    }
+
+    #[test]
+    fn verdicts_are_config_independent_on_the_running_example() {
+        // The in-processing/restart flags must never change a verdict,
+        // only the work done to reach it.
+        let t = parse(
+            r#"/ {
+                #address-cells = <2>;
+                #size-cells = <2>;
+                memory@40000000 {
+                    device_type = "memory";
+                    reg = <0x0 0x40000000 0x0 0x20000000
+                           0x0 0x60000000 0x0 0x20000000>;
+                };
+                uart@60000000 { reg = <0x0 0x60000000 0x0 0x1000>; };
+            };"#,
+        )
+        .unwrap();
+        let baseline = SemanticChecker::new().check_tree(&t).unwrap();
+        for combo in 0u32..16 {
+            let config = SolverConfig {
+                chrono_backtrack: combo & 1 != 0,
+                vivify: combo & 2 != 0,
+                subsume: combo & 4 != 0,
+                stable_restarts: combo & 8 != 0,
+                ..SolverConfig::default()
+            };
+            let r = SemanticChecker::with_solver_config(config)
+                .check_tree(&t)
+                .unwrap();
+            assert_eq!(
+                r.collisions.len(),
+                baseline.collisions.len(),
+                "combo {combo}"
+            );
+            assert_eq!(r.regions_checked, baseline.regions_checked, "combo {combo}");
+        }
     }
 
     #[test]

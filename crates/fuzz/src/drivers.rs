@@ -8,7 +8,9 @@
 
 use llhsc_dts::cells::{decode_reg, MAX_CELLS};
 use llhsc_dts::{Cell, Node, NodePath, PropValue, Property};
-use llhsc_sat::DimacsError;
+use llhsc_sat::{
+    check_drat, CheckMode, Cnf, DimacsError, Lit, SolveResult, Solver, SolverConfig, Var,
+};
 use llhsc_service::Json;
 
 /// DTS text: parse is total; on success, print → parse is a fixpoint
@@ -149,6 +151,87 @@ pub fn dimacs(input: &[u8]) -> Result<(), String> {
             }
         }
     }
+}
+
+/// Differential testing of the CDCL solver itself: the input bytes
+/// encode a small random CNF (≤ 10 variables, short clauses, so an
+/// exhaustive truth-table check stays cheap), solved under an
+/// *aggressive* configuration — tiny restart interval, eager clause-db
+/// reduction, hair-trigger chronological backtracking — so the
+/// in-processing passes (vivification, subsumption, stabilizing
+/// restarts) actually fire on toy instances. The verdict is checked
+/// against brute-force enumeration, a `Sat` model is evaluated against
+/// every clause, and an `Unsat` verdict's DRAT proof is replayed
+/// through [`check_drat`]: a refutation the in-tree checker rejects is
+/// an invariant violation, not just a wrong answer.
+pub fn sat(input: &[u8]) -> Result<(), String> {
+    let mut it = input.iter().copied();
+    let num_vars = 1 + usize::from(it.next().unwrap_or(3)) % 10;
+    let num_clauses = 1 + usize::from(it.next().unwrap_or(7)) % 24;
+    let mut clauses: Vec<Vec<Lit>> = Vec::with_capacity(num_clauses);
+    for _ in 0..num_clauses {
+        let len = 1 + usize::from(it.next().unwrap_or(0)) % 3;
+        let mut clause = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = usize::from(it.next().unwrap_or(0)) % num_vars;
+            let positive = it.next().unwrap_or(0) & 1 != 0;
+            clause.push(Lit::new(Var::from_index(v), positive));
+        }
+        clauses.push(clause);
+    }
+
+    // Exhaustive reference verdict over all 2^num_vars assignments.
+    let satisfied = |clause: &[Lit], bits: u32| {
+        clause
+            .iter()
+            .any(|l| (bits >> l.var().index()) & 1 == u32::from(l.is_positive()))
+    };
+    let reference_sat =
+        (0u32..1 << num_vars).any(|bits| clauses.iter().all(|c| satisfied(c, bits)));
+
+    let mut solver = Solver::with_config(SolverConfig {
+        restart_base: 1,
+        learnt_size_factor: 0.05,
+        chrono_threshold: 2,
+        ..SolverConfig::default()
+    });
+    solver.enable_proof();
+    for _ in 0..num_vars {
+        solver.new_var();
+    }
+    for clause in &clauses {
+        solver.add_clause(clause.iter().copied());
+    }
+    match solver.solve() {
+        SolveResult::Sat => {
+            if !reference_sat {
+                return Err("solver answered Sat on an unsatisfiable formula".into());
+            }
+            let bits = (0..num_vars).fold(0u32, |acc, i| {
+                acc | u32::from(solver.value(Var::from_index(i)) == Some(true)) << i
+            });
+            if let Some(i) = clauses.iter().position(|c| !satisfied(c, bits)) {
+                return Err(format!(
+                    "model does not satisfy clause {i}: {:?}",
+                    clauses[i]
+                ));
+            }
+        }
+        SolveResult::Unsat => {
+            if reference_sat {
+                return Err("solver answered Unsat on a satisfiable formula".into());
+            }
+            let mut cnf = Cnf::new();
+            cnf.reserve_vars(num_vars);
+            for clause in &clauses {
+                cnf.add_clause(clause.iter().copied());
+            }
+            let proof = solver.proof().expect("proof logging was enabled");
+            check_drat(&cnf, proof, CheckMode::Last)
+                .map_err(|e| format!("UNSAT verdict's DRAT proof fails to check: {e}"))?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

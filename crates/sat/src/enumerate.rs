@@ -94,16 +94,6 @@ impl<'a> ModelIter<'a> {
         }
     }
 
-    /// Counts remaining models without materialising them.
-    #[deprecated(
-        since = "0.1.0",
-        note = "unbounded enumeration can grow blocking clauses without limit; \
-                use `count_up_to` with an explicit cap"
-    )]
-    pub fn count_models(self) -> usize {
-        self.count()
-    }
-
     /// Counts models up to `cap`, reporting whether the space was
     /// exhausted.
     ///
@@ -234,13 +224,13 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_count_models_still_works() {
+    fn bounded_count_replaces_unbounded_counting() {
         let mut s = Solver::new();
         let a = s.new_var();
         s.add_clause([Lit::pos(a)]);
-        #[allow(deprecated)]
-        let n = ModelIter::new(&mut s, vec![a]).count_models();
-        assert_eq!(n, 1);
+        let n = ModelIter::new(&mut s, vec![a]).count_up_to(8);
+        assert_eq!(n.models, 1);
+        assert_eq!(n.outcome, EnumOutcome::Exhausted);
     }
 
     #[test]

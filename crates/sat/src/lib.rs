@@ -39,6 +39,7 @@
 mod clause;
 mod cnf;
 mod dimacs;
+mod drat;
 mod enumerate;
 mod lit;
 mod solver;
@@ -46,6 +47,7 @@ mod solver;
 pub use clause::ClauseStats;
 pub use cnf::Cnf;
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, MAX_VARS};
+pub use drat::{check_drat, parse_drat, write_drat, CheckMode, DratError, DratOutcome, ProofStep};
 pub use enumerate::{BoundedCount, EnumOutcome, ModelIter};
 pub use lit::{Lit, Var};
 pub use solver::{AllocStats, SolveResult, Solver, SolverConfig, SolverStats};

@@ -30,7 +30,9 @@ use std::fmt;
 
 use llhsc_dts::cells::{cell_counts, DEFAULT_ADDRESS_CELLS, DEFAULT_SIZE_CELLS};
 use llhsc_dts::{DeviceTree, Node, Property};
-use llhsc_smt::{slice_key, CheckResult, Context, SessionStats, Slice, SolverSession, TermId};
+use llhsc_smt::{
+    slice_key, CertStats, CheckResult, Context, SessionStats, Slice, SolverSession, TermId,
+};
 
 use crate::schema::{PropRule, PropType, Schema, SchemaSet};
 
@@ -159,6 +161,18 @@ impl SyntacticChecker {
     /// Solver counters accumulated by this checker's SMT context.
     pub fn solver_stats(&self) -> llhsc_smt::SolverStats {
         self.session.ctx().solver_stats()
+    }
+
+    /// Certification counters of the session (zero unless the checker
+    /// was built over [`SolverSession::with_certification`]).
+    pub fn cert_stats(&self) -> CertStats {
+        self.session.cert_stats()
+    }
+
+    /// The session's accumulated formula and DRAT proof; `None` unless
+    /// the checker was built over a certifying session.
+    pub fn export_proof(&self) -> Option<(llhsc_smt::Cnf, Vec<llhsc_smt::ProofStep>)> {
+        self.session.export_proof()
     }
 }
 

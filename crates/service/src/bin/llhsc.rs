@@ -35,13 +35,16 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use llhsc::Pipeline;
+use llhsc::{check_drat, parse_dimacs, parse_drat, write_dimacs, write_drat, CheckMode, Pipeline};
 use llhsc_dts::{parse_with_includes, FileProvider};
 use llhsc_fm::Analyzer;
 use llhsc_obs::{TraceCtx, Tracer};
 use llhsc_schema::SchemaSet;
 use llhsc_service::json::Json;
-use llhsc_service::{check_report_json, check_tree_traced, client, server, ServerConfig};
+use llhsc_service::{
+    check_report_json_with_proof, check_tree_certified, check_tree_traced, client, server,
+    ServerConfig,
+};
 
 /// Where `llhsc serve` listens and `llhsc client` connects unless
 /// `--addr` says otherwise.
@@ -67,6 +70,8 @@ fn usage() -> ExitCode {
          \n\
          usage:\n\
            llhsc check <file.dts>        check a DTS file\n\
+           llhsc drat <f.cnf> <f.drat>   verify a DRAT refutation of a DIMACS\n\
+                                         formula with the in-tree checker\n\
            llhsc dtb <file.dts> <out>    compile DTS to a DTB blob\n\
            llhsc dts <file.dtb>          decompile a DTB blob\n\
            llhsc model <file.fm>         analyse a feature-model file\n\
@@ -104,6 +109,12 @@ fn usage() -> ExitCode {
                               zeroes timestamps for reproducible output)\n\
            --report-json <file>  write the machine-readable check report\n\
                               (check, client check)\n\
+           --certify          replay every UNSAT verdict's DRAT proof through\n\
+                              the in-tree checker before reporting (check)\n\
+           --proof <prefix>   --certify, plus write each stage's formula and\n\
+                              proof to <prefix>.<stage>.cnf/.drat (check)\n\
+           --all              verify every lemma, not just the refutation's\n\
+                              dependency cone (drat)\n\
          \n\
          exit codes:\n\
            0  the input is clean\n\
@@ -120,6 +131,7 @@ fn main() -> ExitCode {
     let stats = args.len() != before;
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(args[1..].to_vec(), stats),
+        Some("drat") => cmd_drat(args[1..].to_vec()),
         Some("dtb") if args.len() == 3 => cmd_dtb(Path::new(&args[1]), Path::new(&args[2])),
         Some("dts") if args.len() == 2 => cmd_dts(Path::new(&args[1])),
         Some("model") if args.len() == 2 => cmd_model(Path::new(&args[1])),
@@ -928,17 +940,22 @@ fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
     parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Parsed `check` flags: `--trace`, `--report-json`, `--proof`, `--certify`.
+type CheckFlags = (Option<String>, Option<String>, Option<String>, bool);
+
 fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
-    let parsed = (|| -> Result<(Option<String>, Option<String>), ()> {
+    let parsed = (|| -> Result<CheckFlags, ()> {
         let trace = take_flag(&mut args, "--trace")?;
         let report = take_flag(&mut args, "--report-json")?;
+        let proof = take_flag(&mut args, "--proof")?;
+        let certify = take_switch(&mut args, "--certify") || proof.is_some();
         if args.len() == 1 {
-            Ok((trace, report))
+            Ok((trace, report, proof, certify))
         } else {
             Err(())
         }
     })();
-    let Ok((trace_path, report_path)) = parsed else {
+    let Ok((trace_path, report_path, proof_prefix, certify)) = parsed else {
         return usage();
     };
     let path = Path::new(&args[0]);
@@ -959,9 +976,44 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
         None => None,
     };
     let ctx = tracer.as_ref().map(|t| TraceCtx::new(Arc::clone(t)));
-    let outcome = check_tree_traced(&tree, ctx.as_ref());
+    let (outcome, bundles) = if certify {
+        check_tree_certified(&tree, ctx.as_ref())
+    } else {
+        (check_tree_traced(&tree, ctx.as_ref()), Vec::new())
+    };
     eprint!("{}", outcome.report.stderr);
     print!("{}", outcome.report.stdout);
+    if let Some(cert) = &outcome.cert {
+        // Reaching this line *is* the certificate: a proof that fails
+        // to check panics inside the solver session instead.
+        println!(
+            "certified: {} UNSAT verdict(s), {} proof step(s), {} lemma(s) checked",
+            cert.proofs, cert.steps, cert.checked
+        );
+    }
+    if let Some(prefix) = &proof_prefix {
+        // A stage that never answered Unsat has nothing to refute: no
+        // files, rather than a vacuous proof `llhsc drat` would reject.
+        for b in bundles.iter().filter(|b| !b.proof.is_empty()) {
+            let cnf_path = format!("{prefix}.{}.cnf", b.stage);
+            let drat_path = format!("{prefix}.{}.drat", b.stage);
+            let mut cnf_bytes = Vec::new();
+            let mut drat_bytes = Vec::new();
+            if write_dimacs(&b.cnf, &mut cnf_bytes).is_err()
+                || write_drat(&b.proof, &mut drat_bytes).is_err()
+                || write_output(Path::new(&cnf_path), &cnf_bytes).is_err()
+                || write_output(Path::new(&drat_path), &drat_bytes).is_err()
+            {
+                return ExitCode::from(EXIT_FAILURE);
+            }
+            println!(
+                "proof[{}]: {} clauses, {} steps -> {cnf_path}, {drat_path}",
+                b.stage,
+                b.cnf.num_clauses(),
+                b.proof.len()
+            );
+        }
+    }
     if let Some(sink) = sink {
         if sink.write().is_err() {
             return ExitCode::from(EXIT_FAILURE);
@@ -969,12 +1021,13 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
     }
     if let Some(report_path) = report_path {
         let spans = tracer.as_ref().map(|t| t.spans()).unwrap_or_default();
-        let doc = check_report_json(
+        let doc = check_report_json_with_proof(
             &outcome.report,
             &outcome.stats,
             &outcome.solver,
             &outcome.session,
             &spans,
+            outcome.cert.as_ref(),
         );
         let mut bytes = doc.to_string();
         bytes.push('\n');
@@ -996,6 +1049,56 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(EXIT_FINDINGS)
+    }
+}
+
+/// `llhsc drat <f.cnf> <f.drat>` — standalone proof verification: the
+/// counterpart of `llhsc check --proof`, and usable on any DIMACS/DRAT
+/// pair (e.g. to cross-check another solver's refutation).
+fn cmd_drat(mut args: Vec<String>) -> ExitCode {
+    let all = take_switch(&mut args, "--all");
+    if args.len() != 2 {
+        return usage();
+    }
+    let cnf = match std::fs::read(&args[0]) {
+        Ok(text) => match parse_dimacs(text.as_slice()) {
+            Ok(cnf) => cnf,
+            Err(e) => {
+                eprintln!("error[dimacs]: {}: {e}", args[0]);
+                return ExitCode::from(EXIT_FAILURE);
+            }
+        },
+        Err(e) => {
+            eprintln!("error[io]: {}: {e}", args[0]);
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let proof = match std::fs::read(&args[1]) {
+        Ok(bytes) => match parse_drat(&bytes) {
+            Ok(steps) => steps,
+            Err(e) => {
+                eprintln!("error[drat]: {}: {e}", args[1]);
+                return ExitCode::from(EXIT_FAILURE);
+            }
+        },
+        Err(e) => {
+            eprintln!("error[io]: {}: {e}", args[1]);
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let mode = if all { CheckMode::All } else { CheckMode::Last };
+    match check_drat(&cnf, &proof, mode) {
+        Ok(out) => {
+            println!(
+                "verified: {} steps ({} adds, {} deletes), {} lemma(s) checked",
+                out.steps, out.adds, out.deletes, out.checked
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error[drat]: {e}");
+            ExitCode::from(EXIT_FINDINGS)
+        }
     }
 }
 

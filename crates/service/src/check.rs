@@ -7,7 +7,10 @@
 
 use std::time::{Duration, Instant};
 
-use llhsc::{RegionCheckStats, SemanticChecker, SessionStats, SolverStats};
+use llhsc::{
+    CertStats, Cnf, ProofStep, RegionCheckStats, SemanticChecker, SessionStats, SolverSession,
+    SolverStats,
+};
 use llhsc_dts::DeviceTree;
 use llhsc_obs::TraceCtx;
 use llhsc_schema::{SchemaSet, SyntacticChecker};
@@ -45,6 +48,25 @@ pub struct CheckOutcome {
     pub session: SessionStats,
     /// Wall-clock time of the semantic check.
     pub elapsed: Duration,
+    /// DRAT certification counters, summed over the syntactic and
+    /// semantic sessions. `None` unless the check ran through
+    /// [`check_tree_certified`]. When present, every `Unsat` verdict the
+    /// check produced was replayed through the in-tree DRAT checker
+    /// before being reported (an invalid proof panics — a verdict never
+    /// silently survives a failed certification).
+    pub cert: Option<CertStats>,
+}
+
+/// One stage's exported refutation material: the accumulated formula
+/// and the DRAT proof the stage's solver emitted over it.
+#[derive(Debug, Clone)]
+pub struct ProofBundle {
+    /// `"syntactic"` or `"semantic"`.
+    pub stage: &'static str,
+    /// Every problem clause the stage's solver was given.
+    pub cnf: Cnf,
+    /// The DRAT derivation over `cnf`.
+    pub proof: Vec<ProofStep>,
 }
 
 /// Runs the syntactic + semantic checkers over one tree against the
@@ -60,6 +82,28 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
 /// checker's solver calls. The rendered bytes are identical to an
 /// untraced run.
 pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOutcome {
+    check_tree_inner(tree, trace, false).0
+}
+
+/// [`check_tree_traced`] over *certifying* solver sessions: every
+/// `Unsat` verdict either checker produces emits a DRAT proof that is
+/// replayed through the in-tree backward checker before the verdict is
+/// reported. The rendered bytes are identical to an uncertified run;
+/// the outcome's [`CheckOutcome::cert`] counters are populated and the
+/// per-stage formula/proof pairs are returned for archival (e.g.
+/// `llhsc check --proof`).
+pub fn check_tree_certified(
+    tree: &DeviceTree,
+    trace: Option<&TraceCtx>,
+) -> (CheckOutcome, Vec<ProofBundle>) {
+    check_tree_inner(tree, trace, true)
+}
+
+fn check_tree_inner(
+    tree: &DeviceTree,
+    trace: Option<&TraceCtx>,
+    certify: bool,
+) -> (CheckOutcome, Vec<ProofBundle>) {
     use std::fmt::Write as _;
     let mut stdout = String::new();
     let mut stderr = String::new();
@@ -73,7 +117,12 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
     let mut session = SessionStats::default();
 
     let syn_span = trace.map(|t| (t, t.begin("syntactic")));
-    let mut syn_checker = SyntacticChecker::new(tree, &SchemaSet::standard());
+    let syn_session = if certify {
+        SolverSession::with_certification()
+    } else {
+        SolverSession::new()
+    };
+    let mut syn_checker = SyntacticChecker::with_session(tree, &SchemaSet::standard(), syn_session);
     if let Some((t, id)) = &syn_span {
         syn_checker.attach_trace(t.at(*id));
     }
@@ -96,7 +145,11 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
     let mut stats = RegionCheckStats::default();
     let mut elapsed = Duration::ZERO;
     let sem_span = trace.map(|t| (t, t.begin("semantic")));
-    let mut sem_checker = SemanticChecker::new();
+    let mut sem_checker = if certify {
+        SemanticChecker::with_certification()
+    } else {
+        SemanticChecker::new()
+    };
     if let Some((t, id)) = &sem_span {
         sem_checker.set_trace(t.at(*id));
     }
@@ -153,18 +206,43 @@ pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOu
     if let Some((t, id)) = root {
         t.finish(id);
     }
-    CheckOutcome {
-        report: CheckReport {
-            stdout,
-            stderr,
-            clean: !failed,
-            input_error,
-        },
-        stats,
-        solver,
-        session,
-        elapsed,
+    let mut cert = None;
+    let mut bundles = Vec::new();
+    if certify {
+        let mut c = syn_checker.cert_stats();
+        c.merge(&sem_checker.cert_stats());
+        cert = Some(c);
+        if let Some((cnf, proof)) = syn_checker.export_proof() {
+            bundles.push(ProofBundle {
+                stage: "syntactic",
+                cnf,
+                proof,
+            });
+        }
+        if let Some((cnf, proof)) = sem_checker.export_proof() {
+            bundles.push(ProofBundle {
+                stage: "semantic",
+                cnf,
+                proof,
+            });
+        }
     }
+    (
+        CheckOutcome {
+            report: CheckReport {
+                stdout,
+                stderr,
+                clean: !failed,
+                input_error,
+            },
+            stats,
+            solver,
+            session,
+            elapsed,
+            cert,
+        },
+        bundles,
+    )
 }
 
 #[cfg(test)]
@@ -218,6 +296,47 @@ mod tests {
         assert_eq!(sum("decisions"), traced.solver.decisions);
         assert_eq!(sum("propagations"), traced.solver.propagations);
         assert_eq!(sum("conflicts"), traced.solver.conflicts);
+    }
+
+    #[test]
+    fn certified_check_renders_identically_and_proves_unsat_verdicts() {
+        use llhsc::{check_drat, CheckMode};
+
+        // A colliding board: the semantic stage's disjointness check is
+        // UNSAT, so the certified run must carry a verified proof.
+        let tree = llhsc_dts::parse(
+            "/ {\n\
+             \x20   #address-cells = <2>; #size-cells = <2>;\n\
+             \x20   memory@40000000 { device_type = \"memory\";\n\
+             \x20       reg = <0x0 0x40000000 0x0 0x20000000>; };\n\
+             \x20   uart@40000000 { reg = <0x0 0x40000000 0x0 0x1000>; };\n\
+             };",
+        )
+        .unwrap();
+        let plain = check_tree(&tree);
+        let (certified, bundles) = check_tree_certified(&tree, None);
+        assert_eq!(certified.report, plain.report, "bytes must not change");
+        let cert = certified.cert.expect("certified run populates counters");
+        assert!(cert.proofs > 0, "UNSAT verdicts must be certified");
+        assert!(cert.checked > 0);
+        assert_eq!(bundles.len(), 2, "one bundle per stage");
+        for b in &bundles {
+            check_drat(&b.cnf, &b.proof, CheckMode::Last)
+                .map(|_| ())
+                .or_else(|e| match e {
+                    // A stage that never answered Unsat has no lemma to
+                    // certify — its (possibly empty) proof is vacuous.
+                    llhsc::DratError::NoLemma => Ok(()),
+                    other => Err(other),
+                })
+                .unwrap_or_else(|e| panic!("stage {} proof rejected: {e:?}", b.stage));
+        }
+        assert!(
+            bundles
+                .iter()
+                .any(|b| check_drat(&b.cnf, &b.proof, CheckMode::Last).is_ok()),
+            "at least one stage carries a real refutation"
+        );
     }
 
     #[test]

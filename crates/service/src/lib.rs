@@ -27,8 +27,12 @@ pub use analytics::{
     count_model, sample_model, AnalyticsOutcome, CountParams, ANALYTICS_SCHEMA_VERSION,
 };
 pub use cache::{CachedTreeCheck, ServiceCache, ServiceStats};
-pub use check::{check_tree, check_tree_traced, CheckOutcome, CheckReport};
+pub use check::{
+    check_tree, check_tree_certified, check_tree_traced, CheckOutcome, CheckReport, ProofBundle,
+};
 pub use json::{Json, JsonError};
 pub use proto::{BuildRequest, Request};
-pub use report::{check_report_json, solver_json, REPORT_SCHEMA_VERSION};
+pub use report::{
+    check_report_json, check_report_json_with_proof, proof_json, solver_json, REPORT_SCHEMA_VERSION,
+};
 pub use server::{start, ServerConfig, ServerHandle};

@@ -16,7 +16,7 @@
 //! entries of the document's own `spans` array, which carries the span
 //! tree (names, parent links, counters) without timestamps.
 
-use llhsc::{RegionCheckStats, SessionStats, SolverStats};
+use llhsc::{CertStats, RegionCheckStats, SessionStats, SolverStats};
 use llhsc_obs::SpanRecord;
 
 use crate::check::CheckReport;
@@ -27,6 +27,48 @@ pub const REPORT_SCHEMA_VERSION: u64 = 1;
 
 /// Builds the `check` report document.
 pub fn check_report_json(
+    report: &CheckReport,
+    stats: &RegionCheckStats,
+    solver: &SolverStats,
+    session: &SessionStats,
+    spans: &[SpanRecord],
+) -> Json {
+    check_report_json_with_proof(report, stats, solver, session, spans, None)
+}
+
+/// [`check_report_json`], optionally carrying the certification
+/// counters of a proof-emitting run (`llhsc check --certify`/`--proof`).
+/// The `proof` object is only present when `cert` is: an uncertified
+/// report renders byte-identically to what it always did.
+pub fn check_report_json_with_proof(
+    report: &CheckReport,
+    stats: &RegionCheckStats,
+    solver: &SolverStats,
+    session: &SessionStats,
+    spans: &[SpanRecord],
+    cert: Option<&CertStats>,
+) -> Json {
+    let mut doc = check_report_fields(report, stats, solver, session, spans);
+    if let (Json::Obj(map), Some(c)) = (&mut doc, cert) {
+        map.insert("proof".to_string(), proof_json(c));
+    }
+    doc
+}
+
+/// The DRAT certification counters: how many `Unsat` verdicts carried a
+/// proof, the total proof length, and how many lemmas the backward
+/// checker actually had to verify. `verified` is definitionally `true` —
+/// a failed certification panics the check instead of reporting.
+pub fn proof_json(c: &CertStats) -> Json {
+    Json::obj([
+        ("proofs", c.proofs.into()),
+        ("steps", c.steps.into()),
+        ("checked", c.checked.into()),
+        ("verified", Json::Bool(true)),
+    ])
+}
+
+fn check_report_fields(
     report: &CheckReport,
     stats: &RegionCheckStats,
     solver: &SolverStats,
@@ -168,5 +210,38 @@ mod tests {
         );
         // Parse → print round-trips to the same canonical bytes.
         assert_eq!(parsed.to_string(), a);
+    }
+
+    #[test]
+    fn proof_object_appears_only_when_certified() {
+        let report = CheckReport {
+            stdout: "checked 3 nodes: ok\n".into(),
+            stderr: String::new(),
+            clean: true,
+            input_error: false,
+        };
+        let stats = RegionCheckStats::default();
+        let solver = SolverStats::default();
+        let session = SessionStats::default();
+        let plain = check_report_json(&report, &stats, &solver, &session, &[]);
+        assert!(plain.get("proof").is_none(), "uncertified report is as-was");
+        let cert = CertStats {
+            proofs: 3,
+            steps: 120,
+            checked: 7,
+        };
+        let certified =
+            check_report_json_with_proof(&report, &stats, &solver, &session, &[], Some(&cert));
+        let p = certified.get("proof").expect("certified report has proof");
+        assert_eq!(p.get("proofs").and_then(Json::as_int), Some(3));
+        assert_eq!(p.get("steps").and_then(Json::as_int), Some(120));
+        assert_eq!(p.get("checked").and_then(Json::as_int), Some(7));
+        assert_eq!(p.get("verified"), Some(&Json::Bool(true)));
+        // Everything else is untouched.
+        let mut stripped = certified.clone();
+        if let Json::Obj(m) = &mut stripped {
+            m.remove("proof");
+        }
+        assert_eq!(stripped.to_string(), plain.to_string());
     }
 }

@@ -4,7 +4,10 @@ use std::cell::Cell;
 use std::collections::HashMap;
 
 use llhsc_obs::{SpanId, TraceCtx};
-use llhsc_sat::{Cnf, Lit, SolveResult, Solver, SolverStats};
+use llhsc_sat::{
+    check_drat, CheckMode, Cnf, DratOutcome, Lit, ProofStep, SolveResult, Solver, SolverConfig,
+    SolverStats,
+};
 
 use crate::bitblast::{eval_in_model, Blaster, EvalValue, STR_WIDTH};
 use crate::term::{mask, Sort, TermData, TermId, TermPool};
@@ -19,6 +22,29 @@ pub enum CheckResult {
     /// unsatisfiable; [`Context::unsat_core`] names the guilty
     /// assumptions.
     Unsat,
+}
+
+/// Certification counters of a proof-recording context
+/// ([`Context::with_certification`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertStats {
+    /// Unsat verdicts certified — each one replayed through the in-tree
+    /// DRAT checker before being reported.
+    pub proofs: u64,
+    /// DRAT steps currently recorded (the proof log is cumulative across
+    /// solves, so this is a snapshot, not a sum of deltas).
+    pub steps: u64,
+    /// Lemmas RUP-verified across all certifications.
+    pub checked: u64,
+}
+
+impl CertStats {
+    /// Accumulates counters from another context's certification work.
+    pub fn merge(&mut self, other: &CertStats) {
+        self.proofs += other.proofs;
+        self.steps += other.steps;
+        self.checked += other.checked;
+    }
 }
 
 /// A snapshot of a context's cost counters: how many terms were built
@@ -70,6 +96,11 @@ pub struct Context {
     /// a scope) is folded into this span's counters when the stats are
     /// next read, keeping span sums equal to the totals.
     last_solve: Cell<Option<SpanId>>,
+    /// When true, every `Unsat` answer is replayed through the in-tree
+    /// DRAT checker before being reported.
+    certify: bool,
+    /// Counters of the certification work done so far.
+    cert: CertStats,
 }
 
 impl Default for Context {
@@ -81,9 +112,16 @@ impl Default for Context {
 impl Context {
     /// Creates an empty context.
     pub fn new() -> Context {
+        Context::with_solver_config(SolverConfig::default())
+    }
+
+    /// Creates an empty context over a solver with the given
+    /// configuration — the ablation entry point for the benchmark
+    /// harness (in-processing flags, restart policy, …).
+    pub fn with_solver_config(config: SolverConfig) -> Context {
         Context {
             pool: TermPool::new(),
-            solver: Solver::new(),
+            solver: Solver::with_config(config),
             blaster: Blaster::new(),
             scopes: Vec::new(),
             asserted: vec![Vec::new()],
@@ -93,6 +131,8 @@ impl Context {
             trace: None,
             trace_base: Cell::new(SolverStats::default()),
             last_solve: Cell::new(None),
+            certify: false,
+            cert: CertStats::default(),
         }
     }
 
@@ -103,6 +143,23 @@ impl Context {
     pub fn with_clause_log() -> Context {
         let mut ctx = Context::new();
         ctx.solver.enable_clause_log();
+        ctx
+    }
+
+    /// Creates a *certifying* context: the solver records the
+    /// bit-blasted formula and a DRAT proof of every deduction, and each
+    /// `Unsat` answer is replayed through the in-tree backward checker
+    /// ([`llhsc_sat::check_drat`]) before being reported. An answer
+    /// whose proof does not verify panics — an UNSAT verdict is exactly
+    /// the one a user cannot cross-examine, so a broken proof must never
+    /// be reported as a clean refutation. Costs one copy of each clause
+    /// plus the proof log and a checker replay per refutation; use
+    /// [`Context::new`] when certification is not requested.
+    pub fn with_certification() -> Context {
+        let mut ctx = Context::new();
+        ctx.solver.enable_clause_log();
+        ctx.solver.enable_proof();
+        ctx.certify = true;
         ctx
     }
 
@@ -973,6 +1030,7 @@ impl Context {
             .trace
             .as_ref()
             .map(|t| (t.clone(), t.begin("solve"), self.trace_base.get()));
+        let mut certified: Option<DratOutcome> = None;
         let result = match self.solver.solve_with(&lits) {
             SolveResult::Sat => {
                 self.last_model = Some(self.solver.model());
@@ -987,6 +1045,9 @@ impl Context {
                     .filter_map(|cl| self.assumption_lits.get(&!*cl).copied())
                     .collect();
                 self.last_core = core;
+                if self.certify {
+                    certified = Some(self.certify_last());
+                }
                 CheckResult::Unsat
             }
         };
@@ -1001,9 +1062,72 @@ impl Context {
             trace.add(span, "conflicts", delta.conflicts);
             trace.add(span, "restarts", delta.restarts);
             trace.add(span, "sat", u64::from(result == CheckResult::Sat));
+            // Only certifying contexts carry proof counters, so default
+            // traces (and the golden report file) are unchanged.
+            if let Some(out) = certified {
+                trace.add(span, "proof_steps", out.steps as u64);
+                trace.add(span, "proof_checked", out.checked as u64);
+            }
             trace.finish(span);
         }
         result
+    }
+
+    /// Replays the proof of the refutation just produced through the
+    /// in-tree backward DRAT checker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the proof does not verify — that would mean the solver
+    /// reported an `Unsat` verdict its own deduction log cannot justify,
+    /// and certification exists precisely to stop such a verdict from
+    /// leaving the building.
+    fn certify_last(&mut self) -> DratOutcome {
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.solver.num_vars());
+        let logged = self
+            .solver
+            .logged_clauses()
+            .expect("certifying context records its formula");
+        for clause in logged {
+            cnf.add_clause(clause.iter().copied());
+        }
+        let proof = self
+            .solver
+            .proof()
+            .expect("certifying context records a proof");
+        let steps = proof.len() as u64;
+        let outcome = match check_drat(&cnf, proof, CheckMode::Last) {
+            Ok(out) => out,
+            Err(err) => {
+                panic!("soundness violation: UNSAT verdict failed DRAT certification: {err}")
+            }
+        };
+        self.cert.proofs += 1;
+        self.cert.steps = steps;
+        self.cert.checked += outcome.checked as u64;
+        outcome
+    }
+
+    /// Counters of the certification work done so far (zero for
+    /// non-certifying contexts).
+    pub fn cert_stats(&self) -> CertStats {
+        self.cert
+    }
+
+    /// The accumulated formula and DRAT proof of a proof-recording
+    /// context, for writing out as independently checkable artifacts
+    /// (`llhsc check --proof`). `None` unless the context was created
+    /// with [`Context::with_certification`].
+    pub fn export_proof(&self) -> Option<(Cnf, Vec<ProofStep>)> {
+        let proof = self.solver.proof()?;
+        let logged = self.solver.logged_clauses()?;
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(self.solver.num_vars());
+        for clause in logged {
+            cnf.add_clause(clause.iter().copied());
+        }
+        Some((cnf, proof.to_vec()))
     }
 
     /// After an `Unsat` [`Context::check_assuming`], the subset of the
@@ -1180,6 +1304,65 @@ mod tests {
         let a = ctx.bool_var("a");
         ctx.assert(a);
         assert!(ctx.export_cnf(&[a], &[]).is_none());
+    }
+
+    #[test]
+    fn certified_unsat_checks_its_own_proof() {
+        let mut ctx = Context::with_certification();
+        let a = ctx.bool_var("a");
+        let b = ctx.bool_var("b");
+        let ab = ctx.or([a, b]);
+        let na = ctx.not(a);
+        let nb = ctx.not(b);
+        ctx.assert(ab);
+        ctx.assert(na);
+        ctx.assert(nb);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        let cert = ctx.cert_stats();
+        assert_eq!(cert.proofs, 1, "one UNSAT verdict, one certified proof");
+        assert!(cert.steps > 0);
+        assert!(cert.checked > 0);
+    }
+
+    #[test]
+    fn certified_proof_replays_through_a_fresh_checker() {
+        use llhsc_sat::{check_drat, CheckMode};
+
+        let mut ctx = Context::with_certification();
+        let x = ctx.bv_var("x", 8);
+        let lo = ctx.bv_const(10, 8);
+        let hi = ctx.bv_const(5, 8);
+        let ge = ctx.bv_ule(lo, x); // x >= 10
+        let lt = ctx.bv_ult(x, hi); // x < 5
+        ctx.assert(ge);
+        ctx.assert(lt);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        let (cnf, proof) = ctx.export_proof().expect("certified context logs both");
+        let out = check_drat(&cnf, &proof, CheckMode::Last).expect("exported proof verifies");
+        assert!(out.checked > 0);
+    }
+
+    #[test]
+    fn certification_counts_accumulate_across_unsat_scopes() {
+        let mut ctx = Context::with_certification();
+        let a = ctx.bool_var("a");
+        ctx.assert(a);
+        ctx.push();
+        let na = ctx.not(a);
+        ctx.assert(na);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+        assert_eq!(
+            ctx.check(),
+            CheckResult::Sat,
+            "sat checks are not certified"
+        );
+        ctx.push();
+        let na = ctx.not(a);
+        ctx.assert(na);
+        assert_eq!(ctx.check(), CheckResult::Unsat);
+        ctx.pop();
+        assert_eq!(ctx.cert_stats().proofs, 2);
     }
 
     #[test]

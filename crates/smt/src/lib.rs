@@ -45,7 +45,10 @@ mod context;
 mod session;
 mod term;
 
-pub use context::{CheckResult, Context, ContextStats, Model};
-pub use llhsc_sat::{AllocStats, SolverStats};
+pub use context::{CertStats, CheckResult, Context, ContextStats, Model};
+pub use llhsc_sat::{
+    check_drat, parse_dimacs, parse_drat, write_dimacs, write_drat, AllocStats, CheckMode, Cnf,
+    DratError, DratOutcome, ProofStep, SolverConfig, SolverStats,
+};
 pub use session::{slice_key, SessionStats, Slice, SolverSession};
 pub use term::{Sort, TermId};

@@ -23,9 +23,9 @@
 
 use std::collections::{HashMap, HashSet};
 
-use llhsc_sat::{Cnf, Lit};
+use llhsc_sat::{Cnf, Lit, ProofStep, SolverConfig};
 
-use crate::context::{CheckResult, Context, Model};
+use crate::context::{CertStats, CheckResult, Context, Model};
 use crate::term::TermId;
 
 /// Stable FNV-1a hash of arbitrary bytes, for deriving slice keys from
@@ -130,6 +130,40 @@ impl SolverSession {
             ctx: Context::with_clause_log(),
             ..SolverSession::default()
         }
+    }
+
+    /// Creates a *certifying* session (see
+    /// [`Context::with_certification`]): every `Unsat` verdict any check
+    /// produces carries a DRAT proof that is replayed through the
+    /// in-tree checker before the verdict is reported, and the formula +
+    /// proof pair can be exported with [`SolverSession::export_proof`].
+    pub fn with_certification() -> SolverSession {
+        SolverSession {
+            ctx: Context::with_certification(),
+            ..SolverSession::default()
+        }
+    }
+
+    /// Creates a session over a solver with the given configuration,
+    /// for in-processing/restart ablation runs.
+    pub fn with_solver_config(config: SolverConfig) -> SolverSession {
+        SolverSession {
+            ctx: Context::with_solver_config(config),
+            ..SolverSession::default()
+        }
+    }
+
+    /// Certification counters of the underlying context (zero unless
+    /// the session was created with
+    /// [`SolverSession::with_certification`]).
+    pub fn cert_stats(&self) -> CertStats {
+        self.ctx.cert_stats()
+    }
+
+    /// The accumulated formula and DRAT proof (see
+    /// [`Context::export_proof`]); `None` for non-certifying sessions.
+    pub fn export_proof(&self) -> Option<(Cnf, Vec<ProofStep>)> {
+        self.ctx.export_proof()
     }
 
     /// Exports the session's formula as a standalone CNF restricted to
@@ -296,6 +330,29 @@ mod tests {
         assert!(core.contains(&a.guard()));
         assert!(core.contains(&b.guard()));
         assert!(!core.contains(&c.guard()));
+    }
+
+    #[test]
+    fn certifying_session_proves_every_unsat_check() {
+        use llhsc_sat::{check_drat, CheckMode};
+
+        let mut s = SolverSession::with_certification();
+        let x = s.ctx_mut().bv_var("x", 8);
+        let lo = s.ctx_mut().bv_const(10, 8);
+        let hi = s.ctx_mut().bv_const(5, 8);
+        let above = s.ctx_mut().bv_ugt(x, lo); // x > 10
+        let below = s.ctx_mut().bv_ult(x, hi); // x < 5
+        let a = s.slice(1);
+        s.assert_in(a, above);
+        let b = s.slice(2);
+        s.assert_in(b, below);
+        assert_eq!(s.check(&[a], &[]), CheckResult::Sat);
+        assert_eq!(s.check(&[a, b], &[]), CheckResult::Unsat);
+        let cert = s.cert_stats();
+        assert_eq!(cert.proofs, 1);
+        assert!(cert.checked > 0);
+        let (cnf, proof) = s.export_proof().expect("certifying session exports");
+        assert!(check_drat(&cnf, &proof, CheckMode::Last).is_ok());
     }
 
     #[test]
