@@ -25,7 +25,8 @@ LLHSC=target/release/llhsc
 SMOKE_DIR=$(mktemp -d)
 SERVE_PID=""
 SERVE2_PID=""
-trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" "$SERVE2_PID" 2>/dev/null || true' EXIT
+SERVE3_PID=""
+trap 'rm -rf "$SMOKE_DIR"; kill "$SERVE_PID" "$SERVE2_PID" "$SERVE3_PID" 2>/dev/null || true' EXIT
 
 cat > "$SMOKE_DIR/board.dts" <<'EOF'
 / {
@@ -255,3 +256,92 @@ for name in ("quadcore_sample_k10", "synth20_sample_k10"):
     assert s["returned"] == 10 and s["min_hamming"] >= 1, (name, s)
 print("bench count ok: 5 scenario(s)")
 EOF
+
+# Flight-recorder smoke: a daemon with the slow threshold at zero must
+# auto-capture every request — one Chrome-trace dump per request, a warn
+# line naming the trace_id, a histogram exemplar carrying it, and a
+# flightdump ring entry flagged slow (docs/OBSERVABILITY.md).
+mkdir -p "$SMOKE_DIR/slow"
+"$LLHSC" serve --addr 127.0.0.1:0 --slow-threshold-us 0 \
+    --slow-trace-dir "$SMOKE_DIR/slow" --flight-capacity 16 \
+    > "$SMOKE_DIR/serve3.log" 2> "$SMOKE_DIR/serve3.err" &
+SERVE3_PID=$!
+ADDR3=""
+for _ in $(seq 1 100); do
+    ADDR3=$(awk '/listening on/ { print $4; exit }' "$SMOKE_DIR/serve3.log")
+    [ -n "$ADDR3" ] && break
+    sleep 0.05
+done
+test -n "$ADDR3"
+
+"$LLHSC" client --addr "$ADDR3" check "$SMOKE_DIR/board.dts" > /dev/null
+"$LLHSC" client --addr "$ADDR3" metrics > "$SMOKE_DIR/metrics3.prom"
+"$LLHSC" client --addr "$ADDR3" flightdump --json > "$SMOKE_DIR/flight.json"
+python3 - "$SMOKE_DIR" <<'EOF'
+import json, re, sys
+d = sys.argv[1]
+
+# The check's warn line names the trace_id and the dump path.
+warns = [l for l in open(f"{d}/serve3.err")
+         if "slow request" in l and " check " in l]
+assert len(warns) == 1, warns
+m = re.search(r"([0-9a-f]{8}-[0-9a-f]{6}) check slow request: "
+              r"\d+us >= 0us, trace dumped to (\S+)", warns[0])
+assert m, warns[0]
+trace_id, path = m.group(1), m.group(2)
+
+# The dump is a well-formed Chrome trace with a complete check span.
+events = json.load(open(path))
+spans = [e for e in events if e.get("ph") == "X"]
+assert any(s["name"] == "check" for s in spans), spans
+
+# The p99 story: the same trace_id rides the latency histogram as an
+# exemplar, linking the slow bucket to this capture.
+prom = open(f"{d}/metrics3.prom").read()
+assert f'trace_id="{trace_id}"' in prom, trace_id
+
+# And the flight ring remembers the request, flagged slow.
+flight = json.load(open(f"{d}/flight.json"))
+records = [r for r in flight["records"] if r["trace_id"] == trace_id]
+assert records and records[0]["slow"] and records[0]["op"] == "check", flight
+print(f"flight ok: trace {trace_id} dumped, exemplared and ringed")
+EOF
+
+"$LLHSC" client --addr "$ADDR3" shutdown
+wait "$SERVE3_PID"
+SERVE3_PID=""
+
+# Progress determinism: on the zero clock, two `--progress` runs of the
+# same input must emit byte-identical stderr (the heartbeat cadence is
+# conflict-count based, the rate column pinned to `-`).
+LLHSC_TRACE_ZERO_TIME=1 "$LLHSC" check --progress "$SMOKE_DIR/board.dts" \
+    > /dev/null 2> "$SMOKE_DIR/progress1.err"
+LLHSC_TRACE_ZERO_TIME=1 "$LLHSC" check --progress "$SMOKE_DIR/board.dts" \
+    > /dev/null 2> "$SMOKE_DIR/progress2.err"
+cmp "$SMOKE_DIR/progress1.err" "$SMOKE_DIR/progress2.err"
+
+# Bench regression gate: re-running every committed baseline's suite
+# must reproduce its counters exactly (wall times are gated on the
+# capture machine only, so --skip-wall here), twice back to back; a
+# fresh same-machine baseline must also pass with the wall gate on; and
+# a seeded counter perturbation must make the gate fail.
+BENCH=target/release/llhsc-bench
+"$BENCH" compare --runs 1 --skip-wall \
+    BENCH_pipeline.json BENCH_scale.json BENCH_count.json
+"$BENCH" compare --runs 1 --skip-wall \
+    BENCH_pipeline.json BENCH_scale.json BENCH_count.json
+"$BENCH" --runs 3 --json "$SMOKE_DIR/fresh_pipeline.json" > /dev/null
+"$BENCH" compare --runs 3 "$SMOKE_DIR/fresh_pipeline.json"
+python3 - "$SMOKE_DIR" <<'EOF'
+import json, sys
+d = sys.argv[1]
+doc = json.load(open("BENCH_pipeline.json"))
+doc["scenarios"][0]["solver"]["solves"] += 1
+json.dump(doc, open(f"{d}/perturbed.json", "w"))
+print("perturbed one solver counter")
+EOF
+PERTURB_RC=0
+"$BENCH" compare --runs 1 --skip-wall "$SMOKE_DIR/perturbed.json" \
+    > "$SMOKE_DIR/perturbed.out" || PERTURB_RC=$?
+test "$PERTURB_RC" -ne 0
+grep -q 'REGRESSION' "$SMOKE_DIR/perturbed.out"

@@ -12,6 +12,8 @@
 //! llhsc-bench                 print a human-readable table
 //! llhsc-bench --json [FILE]   also write FILE (default BENCH_pipeline.json)
 //! llhsc-bench --runs N        timed iterations per scenario (default 5)
+//! llhsc-bench compare FILE..  re-run each baseline's suite and fail on
+//!                             counter drift or wall-time regressions
 //! ```
 
 use std::process::ExitCode;
@@ -452,6 +454,8 @@ fn usage() -> ExitCode {
            llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--certify]\n\
                              [--json [FILE]]\n\
            llhsc-bench count [--runs N] [--json [FILE]]\n\
+           llhsc-bench compare [--runs N] [--tolerance-pct P] [--skip-wall]\n\
+                               <baseline.json>..\n\
            llhsc-bench ablate\n\
          \n\
          --runs N      timed iterations per scenario (default {DEFAULT_RUNS})\n\
@@ -463,11 +467,287 @@ fn usage() -> ExitCode {
                        (default BENCH_pipeline.json / BENCH_scale.json /\n\
                         BENCH_count.json)\n\
          \n\
+         compare       re-run each baseline file's suite and diff the\n\
+                       results: every counter must match exactly, wall\n\
+                       medians must stay within --tolerance-pct (default\n\
+                       {COMPARE_TOLERANCE_PCT}%, plus a {COMPARE_WALL_FLOOR_US} µs noise floor);\n\
+                       --skip-wall gates on counters only. Exit 1 on drift.\n\
          ablate        check the quad-core fixture under all 16 combinations\n\
                        of the solver's in-processing flags and assert the\n\
                        verdicts never change"
     );
     ExitCode::FAILURE
+}
+
+// ---- the regression gate (`compare`) -------------------------------
+
+/// Default relative wall-time tolerance of `compare`, in percent.
+const COMPARE_TOLERANCE_PCT: u64 = 50;
+
+/// Absolute wall-time slack of `compare`: drift below this many µs
+/// never fails the gate, however small the baseline. Tiny scenarios
+/// are pure scheduler noise.
+const COMPARE_WALL_FLOOR_US: u64 = 2_000;
+
+/// Keys `compare` ignores everywhere: run counts differ freely between
+/// the baseline capture and the gate run, per-run samples with them,
+/// and the speedup ratio is derived from the walls it already checks.
+const COMPARE_IGNORED_KEYS: &[&str] = &["runs", "samples", "speedup_x1000"];
+
+/// Recursively diffs a re-run result against the baseline. Counters
+/// (every number outside a `wall_us` object) must match exactly;
+/// `wall_us` objects compare median (falling back to mean) within the
+/// tolerance; [`COMPARE_IGNORED_KEYS`] are skipped. Appends one line
+/// per divergence to `problems`.
+fn diff_json(
+    path: &str,
+    base: &Json,
+    current: &Json,
+    tolerance_pct: u64,
+    skip_wall: bool,
+    problems: &mut Vec<String>,
+) {
+    match (base, current) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            let keys: std::collections::BTreeSet<&String> = b.keys().chain(c.keys()).collect();
+            for key in keys {
+                if COMPARE_IGNORED_KEYS.contains(&key.as_str()) {
+                    continue;
+                }
+                let sub = format!("{path}.{key}");
+                match (b.get(key), c.get(key)) {
+                    (Some(bv), Some(cv)) if key == "wall_us" => {
+                        if !skip_wall {
+                            diff_wall(&sub, bv, cv, tolerance_pct, problems);
+                        }
+                    }
+                    (Some(bv), Some(cv)) => {
+                        diff_json(&sub, bv, cv, tolerance_pct, skip_wall, problems)
+                    }
+                    (Some(_), None) => problems.push(format!("{sub}: missing from the re-run")),
+                    (None, Some(_)) => problems.push(format!("{sub}: not in the baseline")),
+                    (None, None) => unreachable!("key came from one of the maps"),
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            if b.len() != c.len() {
+                problems.push(format!(
+                    "{path}: length changed from {} to {}",
+                    b.len(),
+                    c.len()
+                ));
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                diff_json(
+                    &format!("{path}[{i}]"),
+                    bv,
+                    cv,
+                    tolerance_pct,
+                    skip_wall,
+                    problems,
+                );
+            }
+        }
+        _ if base == current => {}
+        _ => problems.push(format!("{path}: baseline {base}, re-run {current}")),
+    }
+}
+
+/// The wall-time leg of the gate: median-if-present-else-mean, within
+/// `tolerance_pct` percent of the baseline or [`COMPARE_WALL_FLOOR_US`],
+/// whichever is larger. Only slowdowns fail — getting faster is fine.
+fn diff_wall(
+    path: &str,
+    base: &Json,
+    current: &Json,
+    tolerance_pct: u64,
+    problems: &mut Vec<String>,
+) {
+    let central = |v: &Json| {
+        v.get("median")
+            .or_else(|| v.get("mean"))
+            .and_then(Json::as_int)
+            .map(|us| us.max(0) as u64)
+    };
+    let (Some(base_us), Some(current_us)) = (central(base), central(current)) else {
+        problems.push(format!("{path}: no median or mean to compare"));
+        return;
+    };
+    let allowed = base_us + (base_us * tolerance_pct / 100).max(COMPARE_WALL_FLOOR_US);
+    if current_us > allowed {
+        problems.push(format!(
+            "{path}: {current_us} µs exceeds {allowed} µs \
+             (baseline {base_us} µs + {tolerance_pct}% tolerance)"
+        ));
+    }
+}
+
+/// Scenario arrays compare by name, not position, so reordering a
+/// baseline file is not a regression; added/removed scenarios are.
+fn diff_scenarios(
+    base: &Json,
+    current: &Json,
+    tolerance_pct: u64,
+    skip_wall: bool,
+    problems: &mut Vec<String>,
+) {
+    let list = |doc: &Json| -> Vec<(String, Json)> {
+        doc.get("scenarios")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|s| {
+                let name = s.get("name").and_then(Json::as_str).unwrap_or("?");
+                (name.to_string(), s.clone())
+            })
+            .collect()
+    };
+    let base_scenarios = list(base);
+    let current_scenarios = list(current);
+    for (name, b) in &base_scenarios {
+        match current_scenarios.iter().find(|(n, _)| n == name) {
+            None => problems.push(format!("scenario {name}: missing from the re-run")),
+            Some((_, c)) => diff_json(name, b, c, tolerance_pct, skip_wall, problems),
+        }
+    }
+    for (name, _) in &current_scenarios {
+        if !base_scenarios.iter().any(|(n, _)| n == name) {
+            problems.push(format!("scenario {name}: not in the baseline"));
+        }
+    }
+    for key in ["schema_version", "kind", "suite"] {
+        if base.get(key) != current.get(key) {
+            problems.push(format!(
+                "{key}: baseline {:?}, re-run {:?}",
+                base.get(key),
+                current.get(key)
+            ));
+        }
+    }
+}
+
+/// Re-runs the suite a baseline document describes and renders the
+/// fresh result through the same writer that produced the baseline.
+/// `Err` is a malformed baseline, not a regression.
+fn rerun_suite(baseline: &Json, runs: usize) -> Result<String, String> {
+    match baseline.get("suite").and_then(Json::as_str) {
+        Some("pipeline") => Ok(render_json(&scenarios(runs))),
+        Some("scale") => {
+            let scenario_list = baseline
+                .get("scenarios")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[]);
+            let sizes: Vec<usize> = scenario_list
+                .iter()
+                .filter_map(|s| s.get("devices").and_then(Json::as_int))
+                .map(|n| n.max(0) as usize)
+                .collect();
+            if sizes.is_empty() {
+                return Err("scale baseline names no board sizes".to_string());
+            }
+            // A baseline captured with --certify carries `proof`
+            // objects; replay it the same way so the counters line up.
+            let certify = scenario_list
+                .iter()
+                .any(|s| s.get("fresh").is_some_and(|f| f.get("proof").is_some()));
+            let results: Vec<ScaleMeasurement> = sizes
+                .iter()
+                .map(|&n| ScaleMeasurement::run(n, runs, certify))
+                .collect();
+            Ok(render_scale_json(&results))
+        }
+        Some("count") => Ok(render_count_json(&count_scenarios(runs))),
+        Some(other) => Err(format!("unknown suite {other:?}")),
+        None => Err("baseline has no \"suite\" field".to_string()),
+    }
+}
+
+/// The `compare` subcommand: the perf regression gate. Re-runs every
+/// baseline file's suite on this machine and diffs the documents —
+/// deterministic counters exactly, wall medians within tolerance.
+fn cmd_compare(mut args: Vec<String>) -> ExitCode {
+    let mut runs = DEFAULT_RUNS;
+    let mut tolerance_pct = COMPARE_TOLERANCE_PCT;
+    let mut skip_wall = false;
+    let mut paths: Vec<String> = Vec::new();
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--runs" if args.len() >= 2 => {
+                let Ok(n) = args[1].parse::<usize>() else {
+                    return usage();
+                };
+                runs = n.max(1);
+                args.drain(..2);
+            }
+            "--tolerance-pct" if args.len() >= 2 => {
+                let Ok(p) = args[1].parse::<u64>() else {
+                    return usage();
+                };
+                tolerance_pct = p;
+                args.drain(..2);
+            }
+            "--skip-wall" => {
+                skip_wall = true;
+                args.remove(0);
+            }
+            other if !other.starts_with("--") => {
+                paths.push(args.remove(0));
+            }
+            _ => return usage(),
+        }
+    }
+    if paths.is_empty() {
+        return usage();
+    }
+    let mut regressed = false;
+    for path in &paths {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(text) => match Json::parse(&text) {
+                Ok(doc) => doc,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let suite = baseline
+            .get("suite")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let current = match rerun_suite(&baseline, runs) {
+            Ok(text) => Json::parse(&text).expect("our own writer emits valid JSON"),
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut problems = Vec::new();
+        diff_scenarios(&baseline, &current, tolerance_pct, skip_wall, &mut problems);
+        if problems.is_empty() {
+            println!("ok: {path} ({suite} suite) matches the re-run");
+        } else {
+            regressed = true;
+            println!(
+                "REGRESSION: {path} ({suite} suite), {} divergence(s):",
+                problems.len()
+            );
+            for p in &problems {
+                println!("  {p}");
+            }
+        }
+    }
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// The `scale` subcommand: N devices × M VMs, session reuse vs fresh
@@ -912,6 +1192,9 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("count") {
         return cmd_count(args[1..].to_vec());
     }
+    if args.first().map(String::as_str) == Some("compare") {
+        return cmd_compare(args[1..].to_vec());
+    }
     if args.first().map(String::as_str) == Some("ablate") {
         return cmd_ablate(args[1..].to_vec());
     }
@@ -996,6 +1279,89 @@ mod tests {
         assert!(solves("quadcore_build_cold") > 0, "cold build must solve");
         assert_eq!(solves("quadcore_build_warm"), 0, "warm build replays");
         assert!(solves("synthetic_board_check_100") > 0);
+    }
+
+    /// Helper: diff two parsed documents the way `compare` does.
+    fn diff(base: &str, current: &str, skip_wall: bool) -> Vec<String> {
+        let mut problems = Vec::new();
+        diff_scenarios(
+            &Json::parse(base).unwrap(),
+            &Json::parse(current).unwrap(),
+            COMPARE_TOLERANCE_PCT,
+            skip_wall,
+            &mut problems,
+        );
+        problems
+    }
+
+    #[test]
+    fn compare_flags_counter_drift_exactly() {
+        let base = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","runs":5,"solver":{"solves":10,"conflicts":3},
+             "wall_us":{"median":100,"mean":110}}]}"#;
+        let same_counters_different_runs = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","runs":2,"solver":{"solves":10,"conflicts":3},
+             "wall_us":{"median":120,"mean":130}}]}"#;
+        assert_eq!(
+            diff(base, same_counters_different_runs, false),
+            Vec::<String>::new(),
+            "runs is ignored and 20 µs of wall drift is under the noise floor"
+        );
+        let one_more_solve = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","runs":5,"solver":{"solves":11,"conflicts":3},
+             "wall_us":{"median":100,"mean":110}}]}"#;
+        let problems = diff(base, one_more_solve, false);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("a.solver.solves"), "{problems:?}");
+    }
+
+    #[test]
+    fn compare_gates_wall_time_with_tolerance() {
+        let base = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","solver":{"solves":1},"wall_us":{"median":100000}}]}"#;
+        let slower = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","solver":{"solves":1},"wall_us":{"median":140000}}]}"#;
+        let much_slower = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","solver":{"solves":1},"wall_us":{"median":200000}}]}"#;
+        let faster = r#"{"suite":"pipeline","scenarios":[
+            {"name":"a","solver":{"solves":1},"wall_us":{"median":10}}]}"#;
+        assert!(diff(base, slower, false).is_empty(), "within 50%");
+        let problems = diff(base, much_slower, false);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("a.wall_us"), "{problems:?}");
+        assert!(diff(base, faster, false).is_empty(), "speedups never fail");
+        assert!(
+            diff(base, much_slower, true).is_empty(),
+            "--skip-wall gates on counters only"
+        );
+    }
+
+    #[test]
+    fn compare_matches_scenarios_by_name() {
+        let base = r#"{"suite":"scale","scenarios":[
+            {"name":"scale_n64","fresh":{"solves":4}},
+            {"name":"scale_n128","fresh":{"solves":8}}]}"#;
+        let reordered = r#"{"suite":"scale","scenarios":[
+            {"name":"scale_n128","fresh":{"solves":8}},
+            {"name":"scale_n64","fresh":{"solves":4}}]}"#;
+        let missing = r#"{"suite":"scale","scenarios":[
+            {"name":"scale_n64","fresh":{"solves":4}}]}"#;
+        assert!(diff(base, reordered, false).is_empty(), "order is free");
+        let problems = diff(base, missing, false);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].contains("scale_n128"), "{problems:?}");
+    }
+
+    #[test]
+    fn compare_pipeline_rerun_agrees_with_itself() {
+        // The real gate, in miniature: capture a baseline, re-run the
+        // suite, and require a pass. Counters are deterministic, so
+        // only a genuine behavior change can fail this.
+        let baseline_text = render_json(&scenarios(1));
+        let baseline = Json::parse(&baseline_text).unwrap();
+        let rerun_text = rerun_suite(&baseline, 1).expect("pipeline suite reruns");
+        let problems = diff(&baseline_text, &rerun_text, true);
+        assert_eq!(problems, Vec::<String>::new());
     }
 
     #[test]

@@ -134,6 +134,31 @@ impl std::fmt::Display for PipelineError {
 
 impl std::error::Error for PipelineError {}
 
+/// A cloneable, Debug-opaque handle around a shared in-solve progress
+/// sink (see [`llhsc_sat::ProgressSink`]). The pipeline clones it into
+/// every solver session it creates, so heartbeats from concurrent
+/// product checks all reach the same sink.
+#[derive(Clone)]
+pub struct PipelineProgress(std::sync::Arc<dyn llhsc_sat::ProgressSink>);
+
+impl PipelineProgress {
+    /// Wraps a shared sink.
+    pub fn new(sink: std::sync::Arc<dyn llhsc_sat::ProgressSink>) -> PipelineProgress {
+        PipelineProgress(sink)
+    }
+
+    /// A fresh handle on the underlying sink.
+    pub fn sink(&self) -> std::sync::Arc<dyn llhsc_sat::ProgressSink> {
+        std::sync::Arc::clone(&self.0)
+    }
+}
+
+impl std::fmt::Debug for PipelineProgress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PipelineProgress(..)")
+    }
+}
+
 /// The llhsc tool: runs the Fig. 2 workflow.
 #[derive(Debug)]
 pub struct Pipeline {
@@ -149,6 +174,11 @@ pub struct Pipeline {
     /// diagnostics are merged in VM order (platform last), making the
     /// output byte-identical to a serial run.
     pub parallel: bool,
+    /// In-solve progress sink threaded into every solver session the
+    /// run creates (syntactic rule slices, semantic disjointness,
+    /// cross-tree coverage). Observation-only: attaching a sink changes
+    /// no verdict, diagnostic byte or solver counter.
+    pub progress: Option<PipelineProgress>,
 }
 
 impl Default for Pipeline {
@@ -158,6 +188,7 @@ impl Default for Pipeline {
             skip_syntactic: false,
             page_alignment: Some(0x1000),
             parallel: true,
+            progress: None,
         }
     }
 }
@@ -502,6 +533,9 @@ impl Pipeline {
         match SemanticChecker::memory_regions(&platform_product.tree) {
             Ok(platform_memory) => {
                 let mut checker = SemanticChecker::new();
+                if let Some(p) = &self.progress {
+                    checker.set_progress(p.sink());
+                }
                 if let Some(span) = &cov_span {
                     checker.set_trace(span.child());
                 }
@@ -650,7 +684,10 @@ impl Pipeline {
         let mut session_work = llhsc_smt::SessionStats::default();
         if !self.skip_syntactic {
             let span = StageSpan::begin(trace, "syntactic");
-            let session = syn_session.take().unwrap_or_default();
+            let mut session = syn_session.take().unwrap_or_default();
+            if let Some(p) = &self.progress {
+                session.set_progress(p.sink());
+            }
             let session_base = session.stats();
             let mut checker = SyntacticChecker::with_session(&product.tree, schemas, session);
             if let Some(span) = &span {
@@ -691,6 +728,9 @@ impl Pipeline {
         if !self.skip_semantic {
             let span = StageSpan::begin(trace, "semantic");
             let mut checker = SemanticChecker::new();
+            if let Some(p) = &self.progress {
+                checker.set_progress(p.sink());
+            }
             if let Some(span) = &span {
                 checker.set_trace(span.child());
             }

@@ -205,6 +205,13 @@ impl SemanticChecker {
         self.trace = Some(trace);
     }
 
+    /// Attaches a progress sink to the session solver: subsequent
+    /// checks emit [`llhsc_sat::Heartbeat`]s every
+    /// `SolverConfig::heartbeat_every` conflicts.
+    pub fn set_progress(&mut self, sink: std::sync::Arc<dyn llhsc_sat::ProgressSink>) {
+        self.session.set_progress(sink);
+    }
+
     /// Builder form of [`set_trace`](SemanticChecker::set_trace).
     #[must_use]
     pub fn with_trace(mut self, trace: TraceCtx) -> SemanticChecker {

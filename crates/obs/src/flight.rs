@@ -1,0 +1,173 @@
+//! Flight recorder: a bounded, lock-light ring of recent request
+//! records.
+//!
+//! The daemon keeps one [`FlightRecorder`] always on: every completed
+//! request appends a [`FlightRecord`] (trace ID, op, duration, outcome),
+//! and the recent ring can be retrieved at any time through the
+//! `flightdump` op. The ring is the "what just happened" half of the
+//! observability story — slow-request capture (Chrome-trace dumps of
+//! offending requests) and histogram exemplars both hang off it.
+//!
+//! Concurrency model: a single atomic sequence counter claims slots;
+//! each slot is guarded by its own tiny mutex, so concurrent writers
+//! only contend when they hash to the same slot (i.e. the ring has
+//! already wrapped past itself). A writer never blocks on the whole
+//! ring and a snapshot never blocks writers for longer than one slot
+//! copy.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed request, as remembered by the flight ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// Monotonic sequence number, assigned by [`FlightRecorder::record`]
+    /// (the ring slot is `seq % capacity`).
+    pub seq: u64,
+    /// The request's trace ID (the daemon envelope ID).
+    pub trace_id: String,
+    /// Operation name (`check`, `build`, `count`, …).
+    pub op: String,
+    /// Wall duration of the request in microseconds.
+    pub dur_us: u64,
+    /// Whether the request exceeded the slow threshold (and therefore
+    /// had its span tree dumped as a Chrome-trace file).
+    pub slow: bool,
+    /// Whether the request was answered with an error frame.
+    pub error: bool,
+}
+
+/// A bounded ring of the most recent [`FlightRecord`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Next sequence number; also the lifetime record count.
+    next: AtomicU64,
+    slots: Vec<Mutex<Option<FlightRecord>>>,
+}
+
+impl FlightRecorder {
+    /// Creates a ring holding the last `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "flight ring needs at least one slot");
+        FlightRecorder {
+            capacity,
+            next: AtomicU64::new(0),
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Appends a record (its `seq` field is overwritten with the claimed
+    /// sequence number, which is also returned). When the ring has
+    /// wrapped, the oldest record in the slot is replaced — but never by
+    /// an *older* one, so a snapshot always shows the latest `capacity`
+    /// records even under racing writers.
+    pub fn record(&self, mut record: FlightRecord) -> u64 {
+        let seq = self.next.fetch_add(1, Ordering::Relaxed);
+        record.seq = seq;
+        let slot = (seq % self.capacity as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|e| e.into_inner());
+        if guard.as_ref().is_none_or(|old| old.seq < seq) {
+            *guard = Some(record);
+        }
+        seq
+    }
+
+    /// The ring's contents, oldest first. At most `capacity` records;
+    /// fewer while the ring is still filling.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let mut out: Vec<FlightRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Lifetime number of records ever written (not capped).
+    pub fn total(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The ring size this recorder was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: &str) -> FlightRecord {
+        FlightRecord {
+            seq: 0,
+            trace_id: id.to_string(),
+            op: "check".to_string(),
+            dur_us: 42,
+            slow: false,
+            error: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let ring = FlightRecorder::new(4);
+        assert!(ring.snapshot().is_empty());
+        for i in 0..3 {
+            ring.record(rec(&format!("t{i}")));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 3, "partial ring shows what it has");
+        assert_eq!(snap[0].trace_id, "t0");
+
+        for i in 3..10 {
+            ring.record(rec(&format!("t{i}")));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4, "full ring is bounded");
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "oldest records were evicted");
+        assert_eq!(snap[3].trace_id, "t9");
+        assert_eq!(ring.total(), 10);
+    }
+
+    #[test]
+    fn wraparound_under_concurrent_writers_keeps_the_latest_records() {
+        const WRITERS: usize = 8;
+        const PER_WRITER: u64 = 200;
+        const CAP: usize = 16;
+        let ring = FlightRecorder::new(CAP);
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        ring.record(rec(&format!("w{w}-{i}")));
+                    }
+                });
+            }
+        });
+        let total = WRITERS as u64 * PER_WRITER;
+        assert_eq!(ring.total(), total);
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), CAP);
+        // The "never replace newer with older" guard makes the outcome
+        // deterministic even though writers raced: exactly the last CAP
+        // sequence numbers survive, in order.
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        let expect: Vec<u64> = (total - CAP as u64..total).collect();
+        assert_eq!(seqs, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+}

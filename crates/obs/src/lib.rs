@@ -1,12 +1,15 @@
 //! Zero-dependency observability primitives for llhsc.
 //!
-//! Three small, independent pieces share this crate:
+//! Four small, independent pieces share this crate:
 //!
 //! * [`trace`] — a thread-safe [`Tracer`] recording hierarchical spans
 //!   (pipeline → stage → per-VM product check → individual solver call)
 //!   with attached `u64` counters, exportable as Chrome trace-event JSON.
 //! * [`metrics`] — a [`Registry`] of labelled [`Counter`]s and fixed-bucket
-//!   [`Histogram`]s rendered in the Prometheus text exposition format.
+//!   [`Histogram`]s (with per-bucket [`Exemplar`]s) rendered in the
+//!   Prometheus text exposition format.
+//! * [`flight`] — a bounded, lock-light [`FlightRecorder`] ring of recent
+//!   request records, always on in the daemon.
 //! * [`log`] — a leveled, timestamped stderr logger gated by the
 //!   `LLHSC_LOG=error|warn|info|debug` environment variable.
 //!
@@ -18,14 +21,16 @@
 //! over the same input serialize to identical bytes.
 
 pub mod clock;
+pub mod flight;
 pub mod log;
 pub mod metrics;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, WallClock, ZeroClock};
+pub use flight::{FlightRecord, FlightRecorder};
 pub use log::{LogLevel, Logger};
-pub use metrics::{Counter, Histogram, MetricKind, Registry};
-pub use trace::{SpanId, SpanRecord, TraceCtx, Tracer};
+pub use metrics::{Counter, Exemplar, Histogram, MetricKind, Registry};
+pub use trace::{chrome_trace_of, SpanId, SpanRecord, TraceCtx, Tracer};
 
 /// Name of the environment variable that switches tracers built with
 /// [`Tracer::from_env`] onto the zero clock, making span timestamps and

@@ -72,6 +72,17 @@ impl Counter {
     }
 }
 
+/// A representative observation remembered for one histogram bucket —
+/// typically the trace ID of a captured outlier, so a p99 bucket links
+/// straight to the flight-recorder dump that explains it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The `trace_id` label value.
+    pub trace_id: String,
+    /// The observed value (same unit as the histogram).
+    pub value: u64,
+}
+
 /// Fixed-bound histogram in whatever unit the caller observes
 /// (microseconds throughout llhsc). Buckets are non-cumulative
 /// internally and rendered cumulatively, per the Prometheus format.
@@ -82,6 +93,9 @@ pub struct Histogram {
     overflow: AtomicU64,
     sum: AtomicU64,
     count: AtomicU64,
+    /// One optional exemplar per bucket (last slot = `+Inf`), written
+    /// only by [`Histogram::observe_exemplar`]; the latest write wins.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl Histogram {
@@ -92,16 +106,47 @@ impl Histogram {
             overflow: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplars: Mutex::new(vec![None; bounds.len() + 1]),
         }
     }
 
+    fn bucket_index(&self, value: u64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
     pub fn observe(&self, value: u64) {
-        match self.bounds.iter().position(|&b| value <= b) {
-            Some(i) => self.buckets[i].fetch_add(1, Ordering::Relaxed),
+        let i = self.bucket_index(value);
+        match self.buckets.get(i) {
+            Some(bucket) => bucket.fetch_add(1, Ordering::Relaxed),
             None => self.overflow.fetch_add(1, Ordering::Relaxed),
         };
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// [`observe`](Histogram::observe), additionally remembering
+    /// `trace_id` as the exemplar of the bucket the value lands in
+    /// (OpenMetrics-style: rendered as a `# {trace_id="…"} value`
+    /// suffix on that bucket's line). Use for noteworthy observations —
+    /// a slow request captured by the flight recorder — so the latency
+    /// tail stays traceable to concrete evidence.
+    pub fn observe_exemplar(&self, value: u64, trace_id: &str) {
+        self.observe(value);
+        let i = self.bucket_index(value);
+        let mut exemplars = self.exemplars.lock().unwrap_or_else(|e| e.into_inner());
+        exemplars[i] = Some(Exemplar {
+            trace_id: trace_id.to_string(),
+            value,
+        });
+    }
+
+    /// The exemplar currently attached to the bucket `value` falls into.
+    pub fn exemplar_for(&self, value: u64) -> Option<Exemplar> {
+        let i = self.bucket_index(value);
+        self.exemplars.lock().unwrap_or_else(|e| e.into_inner())[i].clone()
     }
 
     pub fn count(&self) -> u64 {
@@ -122,6 +167,15 @@ impl Histogram {
         }
         out.push(total + self.overflow.load(Ordering::Relaxed));
         out
+    }
+
+    /// Clones of the per-bucket exemplars, aligned with
+    /// [`cumulative`](Histogram::cumulative).
+    fn exemplars(&self) -> Vec<Option<Exemplar>> {
+        self.exemplars
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 }
 
@@ -224,12 +278,22 @@ impl Registry {
             }
             for (labels, histogram) in &family.histograms {
                 let cumulative = histogram.cumulative();
+                let exemplars = histogram.exemplars();
                 for (i, count) in cumulative.iter().enumerate() {
                     let le = match histogram.bounds.get(i) {
                         Some(bound) => bound.to_string(),
                         None => "+Inf".to_string(),
                     };
-                    let _ = writeln!(out, "{name}_bucket{} {count}", merge_label(labels, &le));
+                    let _ = write!(out, "{name}_bucket{} {count}", merge_label(labels, &le));
+                    if let Some(Some(ex)) = exemplars.get(i) {
+                        let _ = write!(
+                            out,
+                            " # {{trace_id=\"{}\"}} {}",
+                            escape_label(&ex.trace_id),
+                            ex.value
+                        );
+                    }
+                    out.push('\n');
                 }
                 let _ = writeln!(out, "{name}_sum{labels} {}", histogram.sum());
                 let _ = writeln!(out, "{name}_count{labels} {}", histogram.count());
@@ -330,6 +394,29 @@ mod tests {
         assert!(text.contains("llhsc_request_duration_us_bucket{op=\"check\",le=\"+Inf\"} 4"));
         assert!(text.contains("llhsc_request_duration_us_sum{op=\"check\"} 5600"));
         assert!(text.contains("llhsc_request_duration_us_count{op=\"check\"} 4"));
+    }
+
+    #[test]
+    fn exemplars_attach_to_their_bucket_line() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat_us", "Latency.", &[("op", "check")], &[100, 1000]);
+        h.observe(50);
+        h.observe_exemplar(900, "00000001-000007");
+        assert_eq!(h.exemplar_for(500).unwrap().trace_id, "00000001-000007");
+        assert!(h.exemplar_for(50).is_none(), "other buckets stay bare");
+        let text = reg.render();
+        assert!(text.contains(
+            "lat_us_bucket{op=\"check\",le=\"1000\"} 2 # {trace_id=\"00000001-000007\"} 900"
+        ));
+        assert!(text.contains("lat_us_bucket{op=\"check\",le=\"100\"} 1\n"));
+        // A later exemplar in the same bucket replaces the earlier one.
+        h.observe_exemplar(901, "00000001-000009");
+        assert_eq!(h.exemplar_for(901).unwrap().trace_id, "00000001-000009");
+        // Overflow observations land in the +Inf slot.
+        h.observe_exemplar(50_000, "00000001-00000a");
+        assert!(reg.render().contains(
+            "lat_us_bucket{op=\"check\",le=\"+Inf\"} 4 # {trace_id=\"00000001-00000a\"} 50000"
+        ));
     }
 
     #[test]

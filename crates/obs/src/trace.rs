@@ -169,39 +169,45 @@ impl Tracer {
     /// The output is plain ASCII, integers only, keys sorted — parseable
     /// by the service's own minimal JSON reader.
     pub fn chrome_trace(&self) -> String {
-        let spans = self.spans();
-        let mut out = String::from("[");
-        for (i, span) in spans.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str("\n  {\"args\":{");
-            let mut first = true;
-            if let Some(parent) = span.parent {
-                let _ = write!(out, "\"parent\":{}", parent.0);
-                first = false;
-            }
-            let _ = write!(
-                out,
-                "{}\"span_id\":{}",
-                if first { "" } else { "," },
-                span.id.0
-            );
-            for (key, value) in &span.counters {
-                let _ = write!(out, ",{}:{}", json_string(key), value);
-            }
-            let _ = write!(
-                out,
-                "}},\"dur\":{},\"name\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
-                span.dur_us.unwrap_or(0),
-                json_string(&span.name),
-                span.tid,
-                span.start_us
-            );
-        }
-        out.push_str("\n]\n");
-        out
+        chrome_trace_of(&self.spans())
     }
+}
+
+/// Renders a span snapshot (e.g. from [`Tracer::spans`], possibly
+/// retained long after the tracer is gone) as Chrome trace-event JSON.
+/// Same format as [`Tracer::chrome_trace`].
+pub fn chrome_trace_of(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"args\":{");
+        let mut first = true;
+        if let Some(parent) = span.parent {
+            let _ = write!(out, "\"parent\":{}", parent.0);
+            first = false;
+        }
+        let _ = write!(
+            out,
+            "{}\"span_id\":{}",
+            if first { "" } else { "," },
+            span.id.0
+        );
+        for (key, value) in &span.counters {
+            let _ = write!(out, ",{}:{}", json_string(key), value);
+        }
+        let _ = write!(
+            out,
+            "}},\"dur\":{},\"name\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{}}}",
+            span.dur_us.unwrap_or(0),
+            json_string(&span.name),
+            span.tid,
+            span.start_us
+        );
+    }
+    out.push_str("\n]\n");
+    out
 }
 
 /// Whether `LLHSC_TRACE_ZERO_TIME=1` is set (shared by CLI and daemon so

@@ -50,4 +50,6 @@ pub use dimacs::{parse_dimacs, write_dimacs, DimacsError, MAX_VARS};
 pub use drat::{check_drat, parse_drat, write_drat, CheckMode, DratError, DratOutcome, ProofStep};
 pub use enumerate::{BoundedCount, EnumOutcome, ModelIter};
 pub use lit::{Lit, Var};
-pub use solver::{AllocStats, SolveResult, Solver, SolverConfig, SolverStats};
+pub use solver::{
+    AllocStats, Heartbeat, ProgressSink, SolveResult, Solver, SolverConfig, SolverStats,
+};

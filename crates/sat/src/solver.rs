@@ -1,5 +1,7 @@
 //! The CDCL solver.
 
+use std::sync::Arc;
+
 use crate::clause::{ClauseDb, ClauseRef, ClauseStats};
 use crate::drat::ProofStep;
 use crate::lit::{LBool, Lit, Var};
@@ -56,6 +58,12 @@ pub struct SolverConfig {
     /// intervals), doubling the phase length each switch, in the style of
     /// glucose/CaDiCaL mode alternation.
     pub stable_restarts: bool,
+    /// Conflict interval between in-solve [`ProgressSink`] heartbeats.
+    /// Purely observational — a heartbeat never feeds back into the
+    /// search — and event-count-based, so the emission *points* are
+    /// deterministic for a given formula regardless of wall clock.
+    /// `0` disables heartbeats even when a sink is installed.
+    pub heartbeat_every: u64,
 }
 
 impl Default for SolverConfig {
@@ -73,7 +81,54 @@ impl Default for SolverConfig {
             vivify: true,
             subsume: true,
             stable_restarts: true,
+            heartbeat_every: 1024,
         }
+    }
+}
+
+/// One in-solve progress snapshot, emitted through a [`ProgressSink`]
+/// every [`SolverConfig::heartbeat_every`] conflicts.
+///
+/// All fields are cumulative solver totals (not deltas), so a sink can
+/// compute rates by differencing consecutive beats against its own
+/// clock. The solver deliberately reads no clock itself: given the same
+/// formula and assumptions, the *sequence* of heartbeats is identical
+/// run to run, which is what makes progress telemetry testable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// `solve` calls so far (identifies which solve this beat belongs to).
+    pub solves: u64,
+    /// Conflicts analysed so far.
+    pub conflicts: u64,
+    /// Current assignment-trail depth.
+    pub trail_depth: u64,
+    /// Restarts performed so far.
+    pub restarts: u64,
+    /// Current learnt-clause database size.
+    pub learnt: u64,
+    /// DRAT proof steps emitted so far (0 unless proof recording is on).
+    pub proof_steps: u64,
+}
+
+/// Receiver of in-solve [`Heartbeat`]s.
+///
+/// Installed with [`Solver::set_progress`]; shared (`Arc`) so the
+/// producer (the solver, deep in its search loop) and consumers (a CLI
+/// progress line, a daemon per-request status table) can observe the
+/// same sink concurrently. Implementations must be cheap and must not
+/// panic — they run on the solver's hot path.
+pub trait ProgressSink: Send + Sync {
+    /// Called every [`SolverConfig::heartbeat_every`] conflicts.
+    fn heartbeat(&self, beat: &Heartbeat);
+}
+
+/// Wrapper giving the trait object a `Debug` so `Solver` keeps deriving.
+#[derive(Clone)]
+struct ProgressHook(Arc<dyn ProgressSink>);
+
+impl std::fmt::Debug for ProgressHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ProgressSink")
     }
 }
 
@@ -233,6 +288,8 @@ pub struct Solver {
     /// is recorded as a DRAT step; each `Unsat` answer appends its final
     /// lemma, making the refutation independently checkable.
     proof: Option<Vec<ProofStep>>,
+    /// In-solve heartbeat receiver (see [`Solver::set_progress`]).
+    progress: Option<ProgressHook>,
 }
 
 impl Default for Solver {
@@ -274,7 +331,38 @@ impl Solver {
             model: Vec::new(),
             clause_log: None,
             proof: None,
+            progress: None,
         }
+    }
+
+    /// Installs an in-solve progress sink: from now on the search loop
+    /// emits a [`Heartbeat`] every [`SolverConfig::heartbeat_every`]
+    /// conflicts. Heartbeats are observation-only — installing, removing
+    /// or swapping a sink never changes any verdict, model or counter
+    /// (the ablation suite pins verdict identity with heartbeats on).
+    pub fn set_progress(&mut self, sink: Arc<dyn ProgressSink>) {
+        self.progress = Some(ProgressHook(sink));
+    }
+
+    /// Removes the progress sink, if any.
+    pub fn clear_progress(&mut self) {
+        self.progress = None;
+    }
+
+    fn heartbeat_if_due(&self) {
+        let every = self.config.heartbeat_every;
+        if every == 0 || !self.stats.conflicts.is_multiple_of(every) {
+            return;
+        }
+        let Some(hook) = &self.progress else { return };
+        hook.0.heartbeat(&Heartbeat {
+            solves: self.stats.solves,
+            conflicts: self.stats.conflicts,
+            trail_depth: self.trail.len() as u64,
+            restarts: self.stats.restarts,
+            learnt: self.db.num_learnt() as u64,
+            proof_steps: self.stats.proof_steps,
+        });
     }
 
     /// Starts recording every problem clause added from now on.
@@ -1166,6 +1254,7 @@ impl Solver {
         loop {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
+                self.heartbeat_if_due();
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.proof_add(&[]);
@@ -1437,6 +1526,103 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    /// PHP(n+1, n) with `config`: the classic conflict generator.
+    fn pigeonhole_solver(n: usize, config: SolverConfig) -> Solver {
+        let mut s = Solver::with_config(config);
+        let p: Vec<Vec<Lit>> = (0..=n)
+            .map(|_| (0..n).map(|_| Lit::pos(s.new_var())).collect())
+            .collect();
+        for row in &p {
+            s.add_clause(row.iter().copied());
+        }
+        for i in 0..=n {
+            for j in (i + 1)..=n {
+                for (&a, &b) in p[i].iter().zip(&p[j]) {
+                    s.add_clause([!a, !b]);
+                }
+            }
+        }
+        s
+    }
+
+    #[derive(Default)]
+    struct CollectSink(std::sync::Mutex<Vec<Heartbeat>>);
+
+    impl ProgressSink for CollectSink {
+        fn heartbeat(&self, beat: &Heartbeat) {
+            self.0.lock().unwrap().push(*beat);
+        }
+    }
+
+    #[test]
+    fn heartbeats_fire_every_n_conflicts_and_are_deterministic() {
+        let run = || {
+            let config = SolverConfig {
+                heartbeat_every: 8,
+                ..SolverConfig::default()
+            };
+            let mut s = pigeonhole_solver(6, config);
+            let sink = Arc::new(CollectSink::default());
+            s.set_progress(Arc::clone(&sink) as Arc<dyn ProgressSink>);
+            assert_eq!(s.solve(), SolveResult::Unsat);
+            let beats = sink.0.lock().unwrap().clone();
+            (beats, s.stats())
+        };
+        let (beats, stats) = run();
+        assert!(
+            beats.len() >= 2,
+            "PHP(7,6) must produce enough conflicts for several beats"
+        );
+        for beat in &beats {
+            assert_eq!(beat.conflicts % 8, 0, "beats fire on the conflict grid");
+            assert_eq!(beat.solves, 1);
+        }
+        let conflicts: Vec<u64> = beats.iter().map(|b| b.conflicts).collect();
+        let mut sorted = conflicts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(conflicts, sorted, "beats arrive in order, no duplicates");
+        // Event-count-based cadence: a second identical run emits the
+        // identical beat sequence.
+        let (beats2, stats2) = run();
+        assert_eq!(beats, beats2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn heartbeats_are_observation_only() {
+        let mut plain = pigeonhole_solver(5, SolverConfig::default());
+        assert_eq!(plain.solve(), SolveResult::Unsat);
+
+        let config = SolverConfig {
+            heartbeat_every: 1,
+            ..SolverConfig::default()
+        };
+        let mut observed = pigeonhole_solver(5, config);
+        let sink = Arc::new(CollectSink::default());
+        observed.set_progress(Arc::clone(&sink) as Arc<dyn ProgressSink>);
+        assert_eq!(observed.solve(), SolveResult::Unsat);
+        assert_eq!(
+            plain.stats(),
+            observed.stats(),
+            "a heartbeat sink must never perturb the search"
+        );
+        assert_eq!(
+            sink.0.lock().unwrap().len() as u64,
+            observed.stats().conflicts,
+            "heartbeat_every=1 beats once per conflict"
+        );
+
+        observed.clear_progress();
+        let before = sink.0.lock().unwrap().len();
+        let _ = observed.solve();
+        assert_eq!(
+            sink.0.lock().unwrap().len(),
+            before,
+            "cleared sink is quiet"
+        );
     }
 
     #[test]

@@ -42,8 +42,8 @@ use llhsc_obs::{TraceCtx, Tracer};
 use llhsc_schema::SchemaSet;
 use llhsc_service::json::Json;
 use llhsc_service::{
-    check_report_json_with_proof, check_tree_certified, check_tree_traced, client, server,
-    ServerConfig,
+    check_report_json_with_proof, check_tree_certified, check_tree_observed, check_tree_traced,
+    client, server, ServerConfig, StderrProgress,
 };
 
 /// Where `llhsc serve` listens and `llhsc client` connects unless
@@ -83,10 +83,13 @@ fn usage() -> ExitCode {
            llhsc products                analyse the CustomSBC feature model\n\
            llhsc demo                    run the paper's running example\n\
            llhsc serve [--addr A] [--workers N] [--max-request-bytes N]\n\
+                       [--slow-threshold-us N] [--slow-trace-dir D]\n\
+                       [--flight-capacity N]\n\
                                          run the check daemon (default {DEFAULT_ADDR})\n\
            llhsc client [--addr A] check [--report-json F] <file.dts>\n\
            llhsc client [--addr A] count|sample [options] <file.fm>\n\
            llhsc client [--addr A] stats [--json]\n\
+           llhsc client [--addr A] flightdump [--json]\n\
            llhsc client [--addr A] ping|metrics|shutdown\n\
                                          talk to a running daemon\n\
          \n\
@@ -109,6 +112,9 @@ fn usage() -> ExitCode {
                               zeroes timestamps for reproducible output)\n\
            --report-json <file>  write the machine-readable check report\n\
                               (check, client check)\n\
+           --progress         print a live in-solve heartbeat line to stderr\n\
+                              every solver heartbeat (check; not emitted\n\
+                              during a --certify replay)\n\
            --certify          replay every UNSAT verdict's DRAT proof through\n\
                               the in-tree checker before reporting (check)\n\
            --proof <prefix>   --certify, plus write each stage's formula and\n\
@@ -256,6 +262,18 @@ fn cmd_serve(mut args: Vec<String>) -> ExitCode {
         if let Some(max) = take_flag(&mut args, "--max-request-bytes")? {
             config.max_request_bytes = max.parse().map_err(|_| ())?;
         }
+        if let Some(us) = take_flag(&mut args, "--slow-threshold-us")? {
+            config.slow_request_us = us.parse().map_err(|_| ())?;
+        }
+        if let Some(dir) = take_flag(&mut args, "--slow-trace-dir")? {
+            config.slow_trace_dir = PathBuf::from(dir);
+        }
+        if let Some(cap) = take_flag(&mut args, "--flight-capacity")? {
+            config.flight_capacity = cap.parse().map_err(|_| ())?;
+            if config.flight_capacity == 0 {
+                return Err(());
+            }
+        }
         if args.is_empty() {
             Ok(())
         } else {
@@ -305,6 +323,7 @@ fn cmd_client(mut args: Vec<String>) -> ExitCode {
             client_simple(&addr, "shutdown", "server is shutting down")
         }
         Some("stats") => client_stats(&addr, args[1..].to_vec()),
+        Some("flightdump") => client_flightdump(&addr, args[1..].to_vec()),
         Some("metrics") if args.len() == 1 => client_metrics(&addr),
         _ => usage(),
     }
@@ -444,6 +463,77 @@ fn client_stats(addr: &str, mut args: Vec<String>) -> ExitCode {
         println!("    propagations       {:>10}", get("propagations"));
         println!("    conflicts          {:>10}", get("conflicts"));
         println!("    restarts           {:>10}", get("restarts"));
+    }
+    if let Some(active) = response.get("active").and_then(Json::as_arr) {
+        if active.is_empty() {
+            println!("  in flight now: none");
+        } else {
+            println!("  in flight now        trace id          phase      conflicts");
+            for entry in active {
+                let s = |key: &str| entry.get(key).and_then(Json::as_str).unwrap_or("?");
+                let n = |key: &str| entry.get(key).and_then(Json::as_int).unwrap_or(0);
+                println!(
+                    "    {:<18} {:<17} {:<10} {:>9}",
+                    s("op"),
+                    s("trace_id"),
+                    s("phase"),
+                    n("conflicts")
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `llhsc client flightdump`: render the daemon's flight-recorder ring —
+/// the most recent requests, oldest first.
+fn client_flightdump(addr: &str, mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    if !args.is_empty() {
+        return usage();
+    }
+    let response = match client::request_ok(addr, &Json::obj([("op", "flightdump".into())])) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+        Ok(r) => r,
+    };
+    if json {
+        println!("{response}");
+        return ExitCode::SUCCESS;
+    }
+    let total = response.get("total").and_then(Json::as_int).unwrap_or(0);
+    let capacity = response.get("capacity").and_then(Json::as_int).unwrap_or(0);
+    println!("flight recorder at {addr}: {total} request(s) seen, ring capacity {capacity}");
+    let records = response
+        .get("records")
+        .and_then(Json::as_arr)
+        .unwrap_or(&[]);
+    if records.is_empty() {
+        println!("  (no requests recorded yet)");
+        return ExitCode::SUCCESS;
+    }
+    println!("     seq  trace id           op               µs  flags");
+    for r in records {
+        let s = |key: &str| r.get(key).and_then(Json::as_str).unwrap_or("?");
+        let n = |key: &str| r.get(key).and_then(Json::as_int).unwrap_or(0);
+        let b = |key: &str| r.get(key).and_then(Json::as_bool) == Some(true);
+        let mut flags = Vec::new();
+        if b("slow") {
+            flags.push("slow");
+        }
+        if b("error") {
+            flags.push("error");
+        }
+        println!(
+            "  {:>6}  {:<17} {:<10} {:>10}  {}",
+            n("seq"),
+            s("trace_id"),
+            s("op"),
+            n("dur_us"),
+            flags.join(",")
+        );
     }
     ExitCode::SUCCESS
 }
@@ -940,8 +1030,9 @@ fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {
     parse_with_includes(&src, &provider).map_err(|e| format!("{}: {e}", path.display()))
 }
 
-/// Parsed `check` flags: `--trace`, `--report-json`, `--proof`, `--certify`.
-type CheckFlags = (Option<String>, Option<String>, Option<String>, bool);
+/// Parsed `check` flags: `--trace`, `--report-json`, `--proof`,
+/// `--certify`, `--progress`.
+type CheckFlags = (Option<String>, Option<String>, Option<String>, bool, bool);
 
 fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
     let parsed = (|| -> Result<CheckFlags, ()> {
@@ -949,13 +1040,14 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
         let report = take_flag(&mut args, "--report-json")?;
         let proof = take_flag(&mut args, "--proof")?;
         let certify = take_switch(&mut args, "--certify") || proof.is_some();
+        let progress = take_switch(&mut args, "--progress");
         if args.len() == 1 {
-            Ok((trace, report, proof, certify))
+            Ok((trace, report, proof, certify, progress))
         } else {
             Err(())
         }
     })();
-    let Ok((trace_path, report_path, proof_prefix, certify)) = parsed else {
+    let Ok((trace_path, report_path, proof_prefix, certify, progress)) = parsed else {
         return usage();
     };
     let path = Path::new(&args[0]);
@@ -978,6 +1070,12 @@ fn cmd_check(mut args: Vec<String>, stats: bool) -> ExitCode {
     let ctx = tracer.as_ref().map(|t| TraceCtx::new(Arc::clone(t)));
     let (outcome, bundles) = if certify {
         check_tree_certified(&tree, ctx.as_ref())
+    } else if progress {
+        let sink = Arc::new(StderrProgress::from_env());
+        (
+            check_tree_observed(&tree, ctx.as_ref(), sink as Arc<dyn llhsc::ProgressSink>),
+            Vec::new(),
+        )
     } else {
         (check_tree_traced(&tree, ctx.as_ref()), Vec::new())
     };

@@ -5,11 +5,12 @@
 //! byte-identical to `llhsc check` by construction — the bytes come
 //! from one function, only the transport differs.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use llhsc::{
-    CertStats, Cnf, ProofStep, RegionCheckStats, SemanticChecker, SessionStats, SolverSession,
-    SolverStats,
+    CertStats, Cnf, ProgressSink, ProofStep, RegionCheckStats, SemanticChecker, SessionStats,
+    SolverSession, SolverStats,
 };
 use llhsc_dts::DeviceTree;
 use llhsc_obs::TraceCtx;
@@ -82,7 +83,21 @@ pub fn check_tree(tree: &DeviceTree) -> CheckOutcome {
 /// checker's solver calls. The rendered bytes are identical to an
 /// untraced run.
 pub fn check_tree_traced(tree: &DeviceTree, trace: Option<&TraceCtx>) -> CheckOutcome {
-    check_tree_inner(tree, trace, false).0
+    check_tree_inner(tree, trace, false, None).0
+}
+
+/// [`check_tree_traced`] with in-solve progress telemetry: the sink
+/// receives a [`llhsc::Heartbeat`] every `heartbeat_every` conflicts
+/// from both stages' solvers (syntactic rule solves and semantic
+/// disjointness queries). Heartbeats are observation-only — the
+/// rendered bytes and every solver counter are identical to an
+/// unobserved run.
+pub fn check_tree_observed(
+    tree: &DeviceTree,
+    trace: Option<&TraceCtx>,
+    progress: Arc<dyn ProgressSink>,
+) -> CheckOutcome {
+    check_tree_inner(tree, trace, false, Some(progress)).0
 }
 
 /// [`check_tree_traced`] over *certifying* solver sessions: every
@@ -96,13 +111,14 @@ pub fn check_tree_certified(
     tree: &DeviceTree,
     trace: Option<&TraceCtx>,
 ) -> (CheckOutcome, Vec<ProofBundle>) {
-    check_tree_inner(tree, trace, true)
+    check_tree_inner(tree, trace, true, None)
 }
 
 fn check_tree_inner(
     tree: &DeviceTree,
     trace: Option<&TraceCtx>,
     certify: bool,
+    progress: Option<Arc<dyn ProgressSink>>,
 ) -> (CheckOutcome, Vec<ProofBundle>) {
     use std::fmt::Write as _;
     let mut stdout = String::new();
@@ -117,11 +133,14 @@ fn check_tree_inner(
     let mut session = SessionStats::default();
 
     let syn_span = trace.map(|t| (t, t.begin("syntactic")));
-    let syn_session = if certify {
+    let mut syn_session = if certify {
         SolverSession::with_certification()
     } else {
         SolverSession::new()
     };
+    if let Some(sink) = &progress {
+        syn_session.set_progress(Arc::clone(sink));
+    }
     let mut syn_checker = SyntacticChecker::with_session(tree, &SchemaSet::standard(), syn_session);
     if let Some((t, id)) = &syn_span {
         syn_checker.attach_trace(t.at(*id));
@@ -150,6 +169,9 @@ fn check_tree_inner(
     } else {
         SemanticChecker::new()
     };
+    if let Some(sink) = &progress {
+        sem_checker.set_progress(Arc::clone(sink));
+    }
     if let Some((t, id)) = &sem_span {
         sem_checker.set_trace(t.at(*id));
     }

@@ -19,6 +19,7 @@ pub mod cache;
 pub mod check;
 pub mod client;
 pub mod json;
+pub mod progress;
 pub mod proto;
 pub mod report;
 pub mod server;
@@ -28,9 +29,11 @@ pub use analytics::{
 };
 pub use cache::{CachedTreeCheck, ServiceCache, ServiceStats};
 pub use check::{
-    check_tree, check_tree_certified, check_tree_traced, CheckOutcome, CheckReport, ProofBundle,
+    check_tree, check_tree_certified, check_tree_observed, check_tree_traced, CheckOutcome,
+    CheckReport, ProofBundle,
 };
 pub use json::{Json, JsonError};
+pub use progress::{ProgressSnapshot, RequestProgress, StderrProgress};
 pub use proto::{BuildRequest, Request};
 pub use report::{
     check_report_json, check_report_json_with_proof, proof_json, solver_json, REPORT_SCHEMA_VERSION,

@@ -49,6 +49,8 @@ pub enum Request {
     Stats,
     /// Prometheus text-format metrics.
     Metrics,
+    /// The flight recorder's recent-request ring.
+    Flightdump,
     /// Drain in-flight work and stop the daemon.
     Shutdown,
 }
@@ -110,6 +112,7 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "flightdump" => Ok(Request::Flightdump),
             "shutdown" => Ok(Request::Shutdown),
             "check" => Ok(Request::Check {
                 dts: str_field(j, "dts")?,
@@ -279,6 +282,35 @@ pub fn analytics_frame(
     ])
 }
 
+/// The `flightdump` response: the flight ring's contents oldest first,
+/// plus the lifetime record count and the ring size.
+pub fn flightdump_frame(records: &[llhsc_obs::FlightRecord], total: u64, capacity: usize) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("op", "flightdump".into()),
+        ("total", total.into()),
+        ("capacity", Json::from(capacity as u64)),
+        (
+            "records",
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("seq", r.seq.into()),
+                            ("trace_id", r.trace_id.as_str().into()),
+                            ("op", r.op.as_str().into()),
+                            ("dur_us", r.dur_us.into()),
+                            ("slow", Json::Bool(r.slow)),
+                            ("error", Json::Bool(r.error)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// The `metrics` response: the Prometheus text exposition as one
 /// string field (the transport is JSON lines; a scraper unwraps it).
 pub fn metrics_frame(text: String) -> Json {
@@ -373,6 +405,7 @@ mod tests {
         assert_eq!(parse(r#"{"op":"stats"}"#), Ok(Request::Stats));
         assert_eq!(parse(r#"{"op":"shutdown"}"#), Ok(Request::Shutdown));
         assert_eq!(parse(r#"{"op":"metrics"}"#), Ok(Request::Metrics));
+        assert_eq!(parse(r#"{"op":"flightdump"}"#), Ok(Request::Flightdump));
         assert_eq!(
             parse(r#"{"op":"check","dts":"/ { };"}"#),
             Ok(Request::Check {

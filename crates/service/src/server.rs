@@ -13,32 +13,42 @@
 //! connections are served to completion, then the workers exit and
 //! [`ServerHandle::join`] returns.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use llhsc::{Pipeline, SolverStats};
-use llhsc_obs::{Logger, Registry, TraceCtx, Tracer};
+use llhsc::{Pipeline, PipelineProgress, ProgressSink, SolverStats};
+use llhsc_obs::{
+    chrome_trace_of, FlightRecord, FlightRecorder, Logger, Registry, SpanRecord, TraceCtx, Tracer,
+};
 
 use crate::analytics::{
     analytics_key, count_model, count_params_key, sample_model, sample_params_key, AnalyticsOutcome,
 };
 use crate::cache::{CachedTreeCheck, ServiceCache, ServiceStats};
-use crate::check::check_tree_traced;
+use crate::check::check_tree_observed;
 use crate::json::Json;
+use crate::progress::RequestProgress;
 use crate::proto::{
-    analytics_frame, build_ok_frame, build_rejected_frame, check_frame, error_frame, metrics_frame,
-    ping_frame, shutdown_frame, Request,
+    analytics_frame, build_ok_frame, build_rejected_frame, check_frame, error_frame,
+    flightdump_frame, metrics_frame, ping_frame, shutdown_frame, Request,
 };
 use crate::report::{check_report_json, session_json, solver_json};
 
-/// Bucket bounds (µs) of the per-op request-latency histogram: 100µs to
-/// 10s in decades.
-const DURATION_BOUNDS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+/// Bucket bounds (µs) of the per-op request-latency histogram:
+/// exponential, ×4 per bucket from 100µs to ~6.6s, so sub-millisecond
+/// pings and multi-second solver-bound builds both land in buckets that
+/// still resolve (the old decade ladder collapsed everything between
+/// 100ms and 10s into two buckets).
+const DURATION_BOUNDS_US: [u64; 9] = [
+    100, 400, 1_600, 6_400, 25_600, 102_400, 409_600, 1_638_400, 6_553_600,
+];
 
 /// How the daemon is brought up.
 #[derive(Debug, Clone)]
@@ -51,6 +61,17 @@ pub struct ServerConfig {
     /// Hard cap on one request line, in bytes; longer requests are
     /// answered with an error frame and the connection is closed.
     pub max_request_bytes: usize,
+    /// Latency (µs) at or above which a request counts as *slow*: its
+    /// span tree is dumped to `slow_trace_dir` as a Chrome-trace file,
+    /// a warn line carrying the trace ID is logged, and the latency
+    /// histogram records an exemplar linking the offending bucket to
+    /// that trace ID. `0` captures every request (useful in CI);
+    /// `u64::MAX` disables capture.
+    pub slow_request_us: u64,
+    /// Directory receiving `llhsc-slow-<trace_id>.trace.json` dumps.
+    pub slow_trace_dir: PathBuf,
+    /// Ring size of the always-on flight recorder (`flightdump` op).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +80,9 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             max_request_bytes: 16 * 1024 * 1024,
+            slow_request_us: 1_000_000,
+            slow_trace_dir: std::env::temp_dir(),
+            flight_capacity: 256,
         }
     }
 }
@@ -148,6 +172,17 @@ struct ServiceState {
     trace_epoch: u64,
     /// Per-request sequence number, the trace-ID suffix.
     trace_seq: AtomicU64,
+    /// The always-on recent-request ring (`flightdump` op).
+    flight: FlightRecorder,
+    /// Slow-capture threshold (µs); see [`ServerConfig::slow_request_us`].
+    slow_request_us: u64,
+    /// Where slow-request Chrome traces are written.
+    slow_trace_dir: PathBuf,
+    /// Daemon start time (`llhsc_uptime_seconds`).
+    started: Instant,
+    /// Live progress of in-flight solver-bearing requests, keyed by
+    /// trace ID; surfaced as the `stats` op's `"active"` array.
+    active: Mutex<BTreeMap<String, Arc<RequestProgress>>>,
 }
 
 impl ServiceState {
@@ -163,6 +198,34 @@ impl ServiceState {
     fn next_trace_id(&self) -> String {
         let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
         format!("{:08x}-{seq:06}", self.trace_epoch)
+    }
+
+    fn active_lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Arc<RequestProgress>>> {
+        self.active.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Registers a request in the live-progress table for its lifetime;
+/// deregistration happens on drop so every exit path (including error
+/// frames) cleans up.
+struct ActiveRequest<'a> {
+    state: &'a ServiceState,
+    progress: Arc<RequestProgress>,
+}
+
+impl<'a> ActiveRequest<'a> {
+    fn begin(state: &'a ServiceState, trace_id: &str, op: &str) -> ActiveRequest<'a> {
+        let progress = Arc::new(RequestProgress::new(trace_id, op));
+        state
+            .active_lock()
+            .insert(trace_id.to_string(), Arc::clone(&progress));
+        ActiveRequest { state, progress }
+    }
+}
+
+impl Drop for ActiveRequest<'_> {
+    fn drop(&mut self) {
+        self.state.active_lock().remove(self.progress.trace_id());
     }
 }
 
@@ -224,6 +287,11 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         workers,
         trace_epoch,
         trace_seq: AtomicU64::new(0),
+        flight: FlightRecorder::new(config.flight_capacity.max(1)),
+        slow_request_us: config.slow_request_us,
+        slow_trace_dir: config.slow_trace_dir.clone(),
+        started: Instant::now(),
+        active: Mutex::new(BTreeMap::new()),
     });
     state
         .logger
@@ -363,7 +431,7 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
             state.stats.requests.fetch_add(1, Ordering::Relaxed);
             let trace_id = state.next_trace_id();
             let started = Instant::now();
-            let (mut response, op) = respond(state, &line);
+            let (mut response, op, spans) = respond(state, &line, &trace_id);
             let elapsed_us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
             let failed = response.get("ok").and_then(Json::as_bool) == Some(false);
             if failed {
@@ -381,15 +449,29 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
                 .metrics
                 .counter("llhsc_requests_total", "Requests handled.", &[("op", op)])
                 .inc();
-            state
-                .metrics
-                .histogram(
-                    "llhsc_request_duration_us",
-                    "Request handling latency in microseconds.",
-                    &[("op", op)],
-                    &DURATION_BOUNDS_US,
-                )
-                .observe(elapsed_us);
+            let latency = state.metrics.histogram(
+                "llhsc_request_duration_us",
+                "Request handling latency in microseconds.",
+                &[("op", op)],
+                &DURATION_BOUNDS_US,
+            );
+            let slow = elapsed_us >= state.slow_request_us;
+            if slow {
+                // The exemplar ties the offending bucket to this
+                // request's trace ID, which also names the dump file.
+                latency.observe_exemplar(elapsed_us, &trace_id);
+                dump_slow_trace(state, &trace_id, op, elapsed_us, spans.as_deref());
+            } else {
+                latency.observe(elapsed_us);
+            }
+            state.flight.record(FlightRecord {
+                seq: 0,
+                trace_id: trace_id.clone(),
+                op: op.to_string(),
+                dur_us: elapsed_us,
+                slow,
+                error: failed,
+            });
             if let Json::Obj(map) = &mut response {
                 map.insert("trace_id".to_string(), Json::Str(trace_id.clone()));
             }
@@ -418,30 +500,84 @@ fn serve_connection(state: &ServiceState, stream: TcpStream, max_request_bytes: 
     in_flight.sub(1);
 }
 
-/// Parses and executes one request line. Returns the response frame
-/// and the op name used for metrics labels and log lines.
-fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
+/// Writes a slow request's span tree to
+/// `<slow_trace_dir>/llhsc-slow-<trace_id>.trace.json` and logs a warn
+/// line naming the trace ID. Requests without a recorded span tree
+/// (ping, stats, …) dump a single synthetic span so every capture is a
+/// well-formed, non-empty Chrome trace.
+fn dump_slow_trace(
+    state: &ServiceState,
+    trace_id: &str,
+    op: &str,
+    elapsed_us: u64,
+    spans: Option<&[SpanRecord]>,
+) {
+    let trace_json = match spans {
+        Some(spans) if !spans.is_empty() => chrome_trace_of(spans),
+        _ => {
+            let tracer = Tracer::zeroed();
+            let id = tracer.begin(op, None);
+            tracer.end(id);
+            chrome_trace_of(&tracer.spans())
+        }
+    };
+    let path = state
+        .slow_trace_dir
+        .join(format!("llhsc-slow-{trace_id}.trace.json"));
+    let threshold = state.slow_request_us;
+    match std::fs::write(&path, trace_json) {
+        Ok(()) => state.logger.warn(&format!(
+            "{trace_id} {op} slow request: {elapsed_us}us >= {threshold}us, trace dumped to {}",
+            path.display()
+        )),
+        Err(e) => state.logger.warn(&format!(
+            "{trace_id} {op} slow request: {elapsed_us}us >= {threshold}us, trace dump failed: {e}"
+        )),
+    }
+}
+
+/// Parses and executes one request line. Returns the response frame,
+/// the op name used for metrics labels and log lines, and the request's
+/// span tree when one was recorded (fed to slow-request capture).
+fn respond(
+    state: &ServiceState,
+    line: &str,
+    trace_id: &str,
+) -> (Json, &'static str, Option<Vec<SpanRecord>>) {
     let parsed = match Json::parse(line) {
         Ok(j) => j,
-        Err(e) => return (error_frame(e.to_string()), "invalid"),
+        Err(e) => return (error_frame(e.to_string()), "invalid", None),
     };
     let request = match Request::from_json(&parsed) {
         Ok(r) => r,
-        Err(e) => return (error_frame(e), "invalid"),
+        Err(e) => return (error_frame(e), "invalid", None),
     };
     match request {
-        Request::Ping => (ping_frame(), "ping"),
-        Request::Stats => (stats_frame(state), "stats"),
-        Request::Metrics => (metrics_frame(metrics_text(state)), "metrics"),
+        Request::Ping => (ping_frame(), "ping", None),
+        Request::Stats => (stats_frame(state), "stats", None),
+        Request::Metrics => (metrics_frame(metrics_text(state)), "metrics", None),
+        Request::Flightdump => (
+            flightdump_frame(
+                &state.flight.snapshot(),
+                state.flight.total(),
+                state.flight.capacity(),
+            ),
+            "flightdump",
+            None,
+        ),
         Request::Shutdown => {
             state.request_shutdown();
-            (shutdown_frame(), "shutdown")
+            (shutdown_frame(), "shutdown", None)
         }
         Request::Check { dts, report } => {
-            let frame = match llhsc_dts::parse(&dts) {
-                Err(e) => error_frame(format!("parse: {e}")),
+            let active = ActiveRequest::begin(state, trace_id, "check");
+            let progress = Arc::clone(&active.progress);
+            progress.set_phase("parse");
+            let (frame, spans) = match llhsc_dts::parse(&dts) {
+                Err(e) => (error_frame(format!("parse: {e}")), None),
                 Ok(tree) => {
                     let key = tree.stable_hash();
+                    progress.set_phase("check");
                     let (check, cached) = match state.cache.get_tree(key) {
                         Some(hit) => (hit, true),
                         None => {
@@ -450,7 +586,9 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                             // later `report: true` hit replays it.
                             let tracer = Arc::new(Tracer::zeroed());
                             let ctx = TraceCtx::new(Arc::clone(&tracer));
-                            let outcome = check_tree_traced(&tree, Some(&ctx));
+                            let sink: Arc<dyn ProgressSink> =
+                                Arc::clone(&progress) as Arc<dyn ProgressSink>;
+                            let outcome = check_tree_observed(&tree, Some(&ctx), sink);
                             state.solver.add(&outcome.solver);
                             state.session.add(&outcome.session);
                             let fresh = CachedTreeCheck {
@@ -464,6 +602,7 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                             (fresh, false)
                         }
                     };
+                    progress.set_phase("render");
                     let doc = report.then(|| {
                         check_report_json(
                             &check.report,
@@ -473,40 +612,61 @@ fn respond(state: &ServiceState, line: &str) -> (Json, &'static str) {
                             &check.spans,
                         )
                     });
-                    check_frame(&check.report, cached, doc)
+                    let frame = check_frame(&check.report, cached, doc);
+                    (frame, Some(check.spans))
                 }
             };
-            (frame, "check")
+            (frame, "check", spans)
         }
-        Request::Count { model, params } => (
-            serve_analytics(state, "count", &model, &count_params_key(&params), |tc| {
-                llhsc_fm::parse_model(&model)
-                    .map(|fm| count_model(&fm, &params, Some(tc)))
-                    .map_err(|e| format!("model.fm: {e}"))
-            }),
-            "count",
-        ),
-        Request::Sample { model, k, seed } => (
-            serve_analytics(state, "sample", &model, &sample_params_key(k, seed), |tc| {
-                llhsc_fm::parse_model(&model)
-                    .map(|fm| sample_model(&fm, k, seed, Some(tc)))
-                    .map_err(|e| format!("model.fm: {e}"))
-            }),
-            "sample",
-        ),
+        Request::Count { model, params } => {
+            let _active = ActiveRequest::begin(state, trace_id, "count");
+            let (frame, spans) =
+                serve_analytics(state, "count", &model, &count_params_key(&params), |tc| {
+                    llhsc_fm::parse_model(&model)
+                        .map(|fm| count_model(&fm, &params, Some(tc)))
+                        .map_err(|e| format!("model.fm: {e}"))
+                });
+            (frame, "count", spans)
+        }
+        Request::Sample { model, k, seed } => {
+            let _active = ActiveRequest::begin(state, trace_id, "sample");
+            let (frame, spans) =
+                serve_analytics(state, "sample", &model, &sample_params_key(k, seed), |tc| {
+                    llhsc_fm::parse_model(&model)
+                        .map(|fm| sample_model(&fm, k, seed, Some(tc)))
+                        .map_err(|e| format!("model.fm: {e}"))
+                });
+            (frame, "sample", spans)
+        }
         Request::Build(b) => {
-            let frame = match b.to_pipeline_input() {
-                Err(e) => error_frame(e),
-                Ok(input) => match Pipeline::new().run_with_cache(&input, Some(&state.cache)) {
-                    Ok(out) => {
-                        state.solver.add(&out.solver_stats);
-                        state.session.add(&out.session_stats);
-                        build_ok_frame(&out)
-                    }
-                    Err(e) => build_rejected_frame(&e),
-                },
+            let active = ActiveRequest::begin(state, trace_id, "build");
+            let progress = Arc::clone(&active.progress);
+            progress.set_phase("parse");
+            let (frame, spans) = match b.to_pipeline_input() {
+                Err(e) => (error_frame(e), None),
+                Ok(input) => {
+                    progress.set_phase("pipeline");
+                    let tracer = Arc::new(Tracer::zeroed());
+                    let ctx = TraceCtx::new(Arc::clone(&tracer));
+                    let sink: Arc<dyn ProgressSink> =
+                        Arc::clone(&progress) as Arc<dyn ProgressSink>;
+                    let pipeline = Pipeline {
+                        progress: Some(PipelineProgress::new(sink)),
+                        ..Pipeline::new()
+                    };
+                    let frame = match pipeline.run_observed(&input, Some(&state.cache), Some(&ctx))
+                    {
+                        Ok(out) => {
+                            state.solver.add(&out.solver_stats);
+                            state.session.add(&out.session_stats);
+                            build_ok_frame(&out)
+                        }
+                        Err(e) => build_rejected_frame(&e),
+                    };
+                    (frame, Some(tracer.spans()))
+                }
             };
-            (frame, "build")
+            (frame, "build", spans)
         }
     }
 }
@@ -521,10 +681,10 @@ fn serve_analytics(
     model: &str,
     params_key: &str,
     compute: impl FnOnce(&TraceCtx) -> Result<AnalyticsOutcome, String>,
-) -> Json {
+) -> (Json, Option<Vec<SpanRecord>>) {
     let key = analytics_key(op, model, params_key);
     if let Some(hit) = state.cache.get_analytics(key) {
-        return analytics_frame(op, &hit, true);
+        return (analytics_frame(op, &hit, true), None);
     }
     // Traced against a zeroed clock: the count/sample machinery records
     // one span per XOR-hash cell, annotated with `xor_constraints` and
@@ -532,7 +692,7 @@ fn serve_analytics(
     let tracer = Arc::new(Tracer::zeroed());
     let ctx = TraceCtx::new(Arc::clone(&tracer));
     match compute(&ctx) {
-        Err(e) => error_frame(e),
+        Err(e) => (error_frame(e), None),
         Ok(outcome) => {
             state.solver.add(&SolverStats {
                 solves: outcome.solves,
@@ -569,7 +729,7 @@ fn serve_analytics(
                         .count() as u64,
                 );
             state.cache.put_analytics(key, outcome.clone());
-            analytics_frame(op, &outcome, false)
+            (analytics_frame(op, &outcome, false), Some(tracer.spans()))
         }
     }
 }
@@ -588,10 +748,34 @@ fn stats_frame(state: &ServiceState) -> Json {
             })
             .collect(),
     );
+    // In-flight solver-bearing requests with their live heartbeat
+    // state. The stats request itself is never registered, so an idle
+    // daemon answers `"active": []`.
+    let active = Json::Arr(
+        state
+            .active_lock()
+            .values()
+            .map(|p| {
+                let s = p.snapshot();
+                Json::obj([
+                    ("trace_id", s.trace_id.as_str().into()),
+                    ("op", s.op.as_str().into()),
+                    ("phase", s.phase.as_str().into()),
+                    ("heartbeats", s.heartbeats.into()),
+                    ("conflicts", s.conflicts.into()),
+                    ("trail_depth", s.trail_depth.into()),
+                    ("restarts", s.restarts.into()),
+                    ("learnt", s.learnt.into()),
+                    ("proof_steps", s.proof_steps.into()),
+                ])
+            })
+            .collect(),
+    );
     let s = &state.stats;
     Json::obj([
         ("ok", Json::Bool(true)),
         ("workers", state.workers.into()),
+        ("active", active),
         ("requests", s.requests.load(Ordering::Relaxed).into()),
         ("errors", s.errors.load(Ordering::Relaxed).into()),
         ("connections", s.connections.load(Ordering::Relaxed).into()),
@@ -619,6 +803,20 @@ fn stats_frame(state: &ServiceState) -> Json {
 fn metrics_text(state: &ServiceState) -> String {
     let m = &state.metrics;
     let s = &state.stats;
+    // Version as a label, value constantly 1 — the standard Prometheus
+    // idiom for joining build metadata onto other series.
+    m.gauge(
+        "llhsc_build_info",
+        "Build metadata; the value is always 1.",
+        &[("version", env!("CARGO_PKG_VERSION"))],
+    )
+    .record_max(1);
+    m.gauge(
+        "llhsc_uptime_seconds",
+        "Seconds since the daemon started.",
+        &[],
+    )
+    .record_max(state.started.elapsed().as_secs());
     m.counter("llhsc_connections_total", "Connections accepted.", &[])
         .record_max(s.connections.load(Ordering::Relaxed));
     m.counter(
@@ -708,6 +906,7 @@ fn metrics_text(state: &ServiceState) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::check::check_tree_traced;
     use crate::client;
 
     #[test]
@@ -868,6 +1067,128 @@ mod tests {
         assert!(
             text.contains("llhsc_cache_hits_total{class=\"analytics\"} 2"),
             "{text}"
+        );
+
+        handle.shutdown();
+        handle.join();
+    }
+
+    #[test]
+    fn slow_capture_dumps_one_trace_per_offending_request() {
+        let dir = std::env::temp_dir().join(format!("llhsc-slowcap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let handle = start(&ServerConfig {
+            slow_request_us: 0, // every request is an outlier
+            slow_trace_dir: dir.clone(),
+            ..ServerConfig::default()
+        })
+        .expect("server starts");
+        let addr = handle.local_addr().to_string();
+        let dts = "/ { #address-cells = <1>; #size-cells = <1>;\n\
+                   \x20   memory@1000 { device_type = \"memory\"; reg = <0x1000 0x1000>; }; };";
+        let check_req = Json::obj([("op", "check".into()), ("dts", dts.into())]);
+
+        let first = client::request(&addr, &check_req).unwrap();
+        let tid1 = first
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("trace id")
+            .to_string();
+        let second = client::request(&addr, &check_req).unwrap();
+        let tid2 = second
+            .get("trace_id")
+            .and_then(Json::as_str)
+            .expect("trace id")
+            .to_string();
+        assert_ne!(tid1, tid2);
+
+        // Exactly one dump per offending request, named by its trace
+        // ID; both the fresh check and the cache hit carry the span
+        // tree (the hit replays the cached spans).
+        for tid in [&tid1, &tid2] {
+            let path = dir.join(format!("llhsc-slow-{tid}.trace.json"));
+            let dump = std::fs::read_to_string(&path).expect("dump written");
+            let parsed = Json::parse(&dump).expect("dump is valid JSON");
+            assert!(matches!(parsed, Json::Arr(_)), "Chrome trace is an array");
+            assert!(dump.contains("\"name\":\"check\""), "{dump}");
+        }
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            2,
+            "one dump per slow request, none extra"
+        );
+
+        // The latency histogram links the offending bucket to a
+        // captured outlier's trace ID via an exemplar.
+        let metrics = client::request(&addr, &Json::obj([("op", "metrics".into())])).unwrap();
+        let text = metrics
+            .get("text")
+            .and_then(Json::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains(&format!("trace_id=\"{tid2}\"")),
+            "exemplar names the outlier: {text}"
+        );
+
+        // The flight ring remembers both requests and flags them slow.
+        let dump = client::request(&addr, &Json::obj([("op", "flightdump".into())])).unwrap();
+        assert_eq!(dump.get("ok"), Some(&Json::Bool(true)));
+        let records = dump.get("records").and_then(Json::as_arr).expect("records");
+        for tid in [&tid1, &tid2] {
+            assert!(
+                records.iter().any(|r| {
+                    r.get("trace_id").and_then(Json::as_str) == Some(tid.as_str())
+                        && r.get("slow") == Some(&Json::Bool(true))
+                        && r.get("op").and_then(Json::as_str) == Some("check")
+                }),
+                "flight ring misses {tid}: {records:?}"
+            );
+        }
+
+        handle.shutdown();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_active_array_build_info_and_uptime() {
+        let handle = start(&ServerConfig::default()).expect("server starts");
+        let addr = handle.local_addr().to_string();
+
+        // An idle daemon has no in-flight solver-bearing requests (the
+        // stats op itself is never registered).
+        let stats = client::request(&addr, &Json::obj([("op", "stats".into())])).unwrap();
+        assert_eq!(
+            stats.get("active").map(ToString::to_string),
+            Some("[]".to_string())
+        );
+
+        let metrics = client::request(&addr, &Json::obj([("op", "metrics".into())])).unwrap();
+        let text = metrics
+            .get("text")
+            .and_then(Json::as_str)
+            .expect("metrics text");
+        assert!(
+            text.contains(&format!(
+                "llhsc_build_info{{version=\"{}\"}} 1",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE llhsc_uptime_seconds gauge"), "{text}");
+
+        // Fast requests under the default 1s threshold never dump.
+        let flight = client::request(&addr, &Json::obj([("op", "flightdump".into())])).unwrap();
+        let records = flight
+            .get("records")
+            .and_then(Json::as_arr)
+            .expect("records");
+        assert!(
+            records
+                .iter()
+                .all(|r| r.get("slow") == Some(&Json::Bool(false))),
+            "{records:?}"
         );
 
         handle.shutdown();

@@ -365,6 +365,93 @@ fn client_ping_and_stats_round_trip() {
     daemon.shutdown();
 }
 
+/// `check --progress` on the zero clock emits byte-identical stderr
+/// across runs: the heartbeat cadence counts conflicts, not time, and
+/// the rate column pins to `-` when the clock reads zero.
+#[test]
+fn check_progress_is_deterministic_on_the_zero_clock() {
+    let (dir, cases) = fixtures();
+    let (failing, expected_code) = &cases[2];
+    assert_eq!(*expected_code, 1, "fixture order changed");
+
+    let run = || -> Output {
+        Command::new(bin())
+            .args(["check", "--progress"])
+            .arg(failing)
+            .env("LLHSC_TRACE_ZERO_TIME", "1")
+            .output()
+            .expect("check --progress runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.status.code(), Some(1), "{a:?}");
+    assert_eq!(b.status.code(), a.status.code());
+    assert_eq!(
+        a.stderr,
+        b.stderr,
+        "progress stderr differs:\n  a: {:?}\n  b: {:?}",
+        String::from_utf8_lossy(&a.stderr),
+        String::from_utf8_lossy(&b.stderr)
+    );
+    assert_eq!(a.stdout, b.stdout, "stdout must be stable too");
+
+    // Attaching the sink is observation-only: the verdict and stdout
+    // match a plain check of the same input.
+    let plain = Command::new(bin())
+        .args(["check"])
+        .arg(failing)
+        .output()
+        .expect("plain check runs");
+    assert_eq!(plain.status.code(), a.status.code());
+    assert_eq!(plain.stdout, a.stdout, "--progress changed the verdict");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// The daemon's flight recorder is reachable through `llhsc client
+/// flightdump`: every served request lands in the ring, newest last.
+#[test]
+fn client_flightdump_round_trip() {
+    let (dir, _) = fixtures();
+    let quadcore = dir.join("quadcore.dts");
+    let daemon = Daemon::start();
+
+    let check = daemon.client(&["check", quadcore.to_str().expect("utf-8 path")]);
+    assert_eq!(check.status.code(), Some(0));
+
+    let dump = daemon.client(&["flightdump"]);
+    assert_eq!(dump.status.code(), Some(0));
+    let rendered = String::from_utf8_lossy(&dump.stdout).into_owned();
+    assert!(rendered.contains("flight recorder at"), "{rendered}");
+    assert!(rendered.contains(" check "), "{rendered}");
+
+    let raw = daemon.client(&["flightdump", "--json"]);
+    assert_eq!(raw.status.code(), Some(0));
+    let doc = llhsc_service::Json::parse(String::from_utf8_lossy(&raw.stdout).trim())
+        .expect("flightdump --json emits valid JSON");
+    assert_eq!(
+        doc.get("ok").and_then(llhsc_service::Json::as_bool),
+        Some(true)
+    );
+    let records = match doc.get("records") {
+        Some(llhsc_service::Json::Arr(r)) => r,
+        other => panic!("records must be an array, got {other:?}"),
+    };
+    // The check plus the first flightdump are in the ring by now; on a
+    // default-threshold daemon nothing is slow.
+    assert!(records.len() >= 2, "{doc}");
+    assert!(
+        records.iter().any(|r| {
+            r.get("op").and_then(llhsc_service::Json::as_str) == Some("check")
+                && r.get("slow").and_then(llhsc_service::Json::as_bool) == Some(false)
+        }),
+        "{doc}"
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 #[test]
 fn client_reports_transport_errors_with_exit_2() {
     // Nobody listens on this port (reserved, never assigned).

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 
 use llhsc_obs::{SpanId, TraceCtx};
 use llhsc_sat::{
-    check_drat, CheckMode, Cnf, DratOutcome, Lit, ProofStep, SolveResult, Solver, SolverConfig,
-    SolverStats,
+    check_drat, CheckMode, Cnf, DratOutcome, Lit, ProgressSink, ProofStep, SolveResult, Solver,
+    SolverConfig, SolverStats,
 };
 
 use crate::bitblast::{eval_in_model, Blaster, EvalValue, STR_WIDTH};
@@ -232,6 +232,20 @@ impl Context {
         self.trace = Some(trace);
         self.trace_base.set(self.solver.stats());
         self.last_solve.set(None);
+    }
+
+    /// Installs an in-solve progress sink on the underlying SAT solver:
+    /// every [`SolverConfig::heartbeat_every`] conflicts of any check
+    /// made through this context emits one
+    /// [`Heartbeat`](llhsc_sat::Heartbeat). Observation-only; verdicts,
+    /// models and counters are unaffected.
+    pub fn set_progress(&mut self, sink: std::sync::Arc<dyn ProgressSink>) {
+        self.solver.set_progress(sink);
+    }
+
+    /// Removes the progress sink, if any.
+    pub fn clear_progress(&mut self) {
+        self.solver.clear_progress();
     }
 
     /// Detaches the trace context, if any, after folding trailing

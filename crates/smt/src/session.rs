@@ -153,6 +153,18 @@ impl SolverSession {
         }
     }
 
+    /// Installs an in-solve progress sink on the shared context (see
+    /// [`Context::set_progress`]): every check made through this session
+    /// heartbeats through it. Observation-only.
+    pub fn set_progress(&mut self, sink: std::sync::Arc<dyn llhsc_sat::ProgressSink>) {
+        self.ctx.set_progress(sink);
+    }
+
+    /// Removes the progress sink, if any.
+    pub fn clear_progress(&mut self) {
+        self.ctx.clear_progress();
+    }
+
     /// Certification counters of the underlying context (zero unless
     /// the session was created with
     /// [`SolverSession::with_certification`]).
