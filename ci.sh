@@ -129,15 +129,21 @@ grep -q '^ok: verdicts identical across all 16 in-processing combinations$' \
 # well-formed BENCH_scale.json in which session reuse never performs
 # more solver calls than the fresh-context baseline (pinned: 20 solves
 # for 4 VMs at N=16) and strictly amortizes encoding and allocation.
-target/release/llhsc-bench scale --runs 1 --sizes 16 --json "$SMOKE_DIR/scale.json" > /dev/null
+# With --family it must also emit the family-checking scenarios, whose
+# lifted solve count stays flat while the enumerated product count
+# grows — the sublinear-scaling claim, gated on counters.
+target/release/llhsc-bench scale --runs 1 --sizes 16 --family \
+    --json "$SMOKE_DIR/scale.json" > /dev/null
 python3 - "$SMOKE_DIR/scale.json" <<'EOF'
 import json, sys
 
 doc = json.load(open(sys.argv[1]))
 assert doc["schema_version"] == 1, doc["schema_version"]
 assert doc["suite"] == "scale", doc["suite"]
-scenarios = doc["scenarios"]
-assert scenarios, "scale suite produced no scenarios"
+scenarios = [sc for sc in doc["scenarios"] if "features" not in sc]
+families = [sc for sc in doc["scenarios"] if "features" in sc]
+assert scenarios, "scale suite produced no device scenarios"
+assert families, "scale --family produced no family scenarios"
 for sc in scenarios:
     for mode in ("fresh", "session"):
         m = sc[mode]
@@ -157,8 +163,94 @@ for sc in scenarios:
     assert session["alloc"]["vars"] < fresh["alloc"]["vars"], sc["name"]
     assert session["alloc"]["arena_lits"] < fresh["alloc"]["arena_lits"], sc["name"]
     assert session["asserts_reused"] > 0, sc["name"]
-print(f"bench scale ok: {len(scenarios)} scenario(s)")
+for sc in families:
+    fam, enum = sc["family"], sc["enumerate"]
+    # One family-level query certifies the whole line: the lifted mode
+    # derives no products, while the oracle walks every one of them.
+    assert fam["family_solves"] == 1, sc["name"]
+    assert fam["products_checked"] == 0, sc["name"]
+    assert fam["witnesses_extracted"] == 0, sc["name"]
+    assert enum["products_checked"] == sc["products"], sc["name"]
+    assert fam["solves"] < enum["solves"], sc["name"]
+# Flat, not just smaller: the lifted solver work must not grow with the
+# product count (8 to 512 products across the default family sizes).
+lifted_solves = {sc["family"]["solves"] for sc in families}
+assert len(lifted_solves) == 1, lifted_solves
+print(f"bench scale ok: {len(scenarios)} device + {len(families)} family scenario(s)")
 EOF
+
+# Family-mode smoke: lifting the quad-core product line through the CLI
+# must agree with product-by-product enumeration — same clean verdict,
+# same exit code — check zero products in lifted mode, and certify the
+# clean verdict with a DRAT-checked proof under --certify.
+mkdir -p "$SMOKE_DIR/quadcore"
+cat > "$SMOKE_DIR/quadcore/core.dts" <<'EOF'
+/dts-v1/;
+/ {
+    #address-cells = <1>;
+    #size-cells = <1>;
+    memory@80000000 {
+        device_type = "memory";
+        reg = <0x80000000 0x40000000>;
+    };
+    cpus {
+        #address-cells = <1>;
+        #size-cells = <0>;
+        cpu@0 { compatible = "arm,cortex-a72"; device_type = "cpu";
+                enable-method = "psci"; reg = <0x0>; };
+        cpu@1 { compatible = "arm,cortex-a72"; device_type = "cpu";
+                enable-method = "psci"; reg = <0x1>; };
+        cpu@2 { compatible = "arm,cortex-a72"; device_type = "cpu";
+                enable-method = "psci"; reg = <0x2>; };
+        cpu@3 { compatible = "arm,cortex-a72"; device_type = "cpu";
+                enable-method = "psci"; reg = <0x3>; };
+    };
+    uart@10000000 { compatible = "ns16550a"; reg = <0x10000000 0x1000>; };
+    uart@10001000 { compatible = "ns16550a"; reg = <0x10001000 0x1000>; };
+    uart@10002000 { compatible = "ns16550a"; reg = <0x10002000 0x1000>; };
+    uart@10003000 { compatible = "ns16550a"; reg = <0x10003000 0x1000>; };
+};
+EOF
+cat > "$SMOKE_DIR/quadcore/deltas.delta" <<'EOF'
+delta drop_cpu0 when !cpu@0 { removes /cpus/cpu@0; }
+delta drop_uart0 when !uart@10000000 { removes /uart@10000000; }
+delta drop_cpu1 when !cpu@1 { removes /cpus/cpu@1; }
+delta drop_uart1 when !uart@10001000 { removes /uart@10001000; }
+delta drop_cpu2 when !cpu@2 { removes /cpus/cpu@2; }
+delta drop_uart2 when !uart@10002000 { removes /uart@10002000; }
+delta drop_cpu3 when !cpu@3 { removes /cpus/cpu@3; }
+delta drop_uart3 when !uart@10003000 { removes /uart@10003000; }
+EOF
+cat > "$SMOKE_DIR/quadcore/model.fm" <<'EOF'
+feature QuadSBC {
+    memory
+    cpus xor exclusive {
+        cpu@0?
+        cpu@1?
+        cpu@2?
+        cpu@3?
+    }
+    uarts abstract or {
+        uart@10000000?
+        uart@10001000?
+        uart@10002000?
+        uart@10003000?
+    }
+}
+EOF
+FAMILY_RC=0
+"$LLHSC" build --family --stats --certify "$SMOKE_DIR/quadcore" \
+    > "$SMOKE_DIR/family.out" || FAMILY_RC=$?
+ENUM_RC=0
+"$LLHSC" build --family-enumerate "$SMOKE_DIR/quadcore" \
+    > "$SMOKE_DIR/family_enum.out" || ENUM_RC=$?
+test "$FAMILY_RC" -eq "$ENUM_RC"
+test "$FAMILY_RC" -eq 0
+grep -q '^family check (lifted): 60 products, ' "$SMOKE_DIR/family.out"
+grep -q '^family check (enumerated): 60 products, 0 family solves, 0 findings$' \
+    "$SMOKE_DIR/family_enum.out"
+grep -q '^  products checked:            0$' "$SMOKE_DIR/family.out"
+grep -q '^certified: ' "$SMOKE_DIR/family.out"
 
 # Analytics smoke: `llhsc count` must report the quad-core fixture's
 # exact product count (60, pinned), `llhsc sample` must draw distinct

@@ -193,6 +193,69 @@ pub fn scaled_deltas(n: usize) -> (DeviceTree, Vec<llhsc_delta::DeltaModule>) {
     (core, deltas)
 }
 
+/// Fixed device nodes every [`family_board`] fixture carries,
+/// independent of its feature count.
+pub const FAMILY_FIXED_DEVICES: usize = 12;
+
+/// A synthetic product line for the family-checking suite with
+/// `2^(features + 1)` products: [`FAMILY_FIXED_DEVICES`] always-on
+/// devices with disjoint register windows, `features` independent
+/// optional devices (feature `u{i}` keeps `opt{i}`; a `when !u{i}
+/// removes` delta drops it otherwise), and one xor-exclusive pair
+/// `alt_a`/`alt_b` selecting between two UARTs at the *same* address.
+///
+/// The contended pair is the point: the family tree contains a numeric
+/// overlap, but the feature model proves no product selects both, so
+/// lifted checking certifies the whole line with one UNSAT solve while
+/// enumeration pays for every product. All other windows are disjoint,
+/// so both modes report the line clean.
+pub fn family_board(features: usize) -> llhsc::PipelineInput {
+    let mut dts = String::from(
+        "/dts-v1/;\n/ {\n    #address-cells = <1>;\n    #size-cells = <1>;\n\
+         \n    memory@80000000 {\n        device_type = \"memory\";\n\
+                 reg = <0x80000000 0x40000000>;\n    };\n",
+    );
+    for i in 0..FAMILY_FIXED_DEVICES {
+        let base = 0x1000_0000u64 + (i as u64) * 0x1000;
+        dts.push_str(&format!(
+            "\n    dev{i}@{base:x} {{\n        compatible = \"acme,dev\";\n\
+                     reg = <{base:#x} 0x1000>;\n        interrupts = <{irq}>;\n    }};\n",
+            irq = 32 + i
+        ));
+    }
+    for f in 0..features {
+        let base = 0x2000_0000u64 + (f as u64) * 0x1000;
+        dts.push_str(&format!(
+            "\n    opt{f}@{base:x} {{\n        compatible = \"acme,dev\";\n\
+                     reg = <{base:#x} 0x1000>;\n    }};\n",
+        ));
+    }
+    dts.push_str(
+        "\n    uarta@30000000 { compatible = \"ns16550a\"; reg = <0x30000000 0x1000>; };\n\
+         \n    uartb@30000000 { compatible = \"ns16550a\"; reg = <0x30000000 0x1000>; };\n};\n",
+    );
+    let mut deltas = String::from(
+        "delta drop_alt_a when !alt_a { removes /uarta@30000000; }\n\
+         delta drop_alt_b when !alt_b { removes /uartb@30000000; }\n",
+    );
+    let mut model = String::from("feature FamBench {\n    alt xor exclusive { alt_a? alt_b? }\n");
+    for f in 0..features {
+        let base = 0x2000_0000u64 + (f as u64) * 0x1000;
+        deltas.push_str(&format!(
+            "delta drop_u{f} when !u{f} {{ removes /opt{f}@{base:x}; }}\n"
+        ));
+        model.push_str(&format!("    u{f}?\n"));
+    }
+    model.push_str("}\n");
+    llhsc::PipelineInput {
+        core: llhsc_dts::parse(&dts).expect("family board parses"),
+        deltas: llhsc_delta::DeltaModule::parse_all(&deltas).expect("family deltas parse"),
+        model: llhsc_fm::parse_model(&model).expect("family model parses"),
+        schemas: llhsc_schema::SchemaSet::standard(),
+        vms: Vec::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +306,19 @@ mod tests {
             .is_empty());
         let dirty = regions(8, true);
         assert_eq!(llhsc::SemanticChecker::new().check_regions(&dirty).len(), 1);
+    }
+
+    #[test]
+    fn family_board_lifts_and_is_clean() {
+        let input = family_board(3);
+        let report = llhsc::family::FamilyChecker::new()
+            .check(&input, llhsc::family::CheckMode::Family)
+            .expect("family board is checkable");
+        assert!(report.lifted, "fixture must stay in the liftable class");
+        assert!(report.is_ok(), "fixture must be clean: {report}");
+        assert_eq!(report.products, 1 << 4); // 2 alternatives × 2^3 options
+        assert_eq!(report.stats.family_solves, 1);
+        assert_eq!(report.stats.products_checked, 0);
     }
 
     #[test]

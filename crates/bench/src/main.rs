@@ -19,8 +19,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use llhsc::family::{CheckMode, FamilyChecker, FamilyReport};
 use llhsc::{CertStats, Pipeline, SemanticChecker, SolverConfig, SolverStats};
-use llhsc_bench::{synthetic_board, synthetic_vm_board};
+use llhsc_bench::{family_board, synthetic_board, synthetic_vm_board};
 use llhsc_schema::{SchemaSet, SyntacticChecker};
 use llhsc_service::cache::ServiceCache;
 use llhsc_service::{check_tree, solver_json, Json};
@@ -415,15 +416,154 @@ impl ScaleMeasurement {
     }
 }
 
-fn render_scale_json(results: &[ScaleMeasurement]) -> String {
+// ---- the family-checking suite (`scale --family`) ------------------
+
+/// Default feature counts of the family suite: 2^(k+1) products each,
+/// so enumeration walks 8..512 products while lifting stays flat.
+const FAMILY_SIZES: &[usize] = &[2, 4, 6, 8];
+
+/// Cost counters of one family-checking mode over one fixture run.
+/// Everything but the wall times is deterministic, so `compare` gates
+/// on it exactly.
+#[derive(Default)]
+struct FamilyCost {
+    wall_us: Vec<u64>,
+    obligations_lifted: u64,
+    family_solves: u64,
+    witnesses_extracted: u64,
+    products_checked: u64,
+    solves: u64,
+}
+
+impl FamilyCost {
+    fn record(&mut self, report: &FamilyReport) {
+        self.obligations_lifted = report.stats.obligations_lifted;
+        self.family_solves = report.stats.family_solves;
+        self.witnesses_extracted = report.stats.witnesses_extracted;
+        self.products_checked = report.stats.products_checked;
+        self.solves = report.stats.solver.solves;
+    }
+
+    fn min_us(&self) -> u64 {
+        self.wall_us.iter().copied().min().unwrap_or(0)
+    }
+
+    fn mean_us(&self) -> u64 {
+        if self.wall_us.is_empty() {
+            0
+        } else {
+            self.wall_us.iter().sum::<u64>() / self.wall_us.len() as u64
+        }
+    }
+
+    fn median_us(&self) -> u64 {
+        median(&self.wall_us)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "wall_us",
+                Json::obj([
+                    ("mean", self.mean_us().into()),
+                    ("median", self.median_us().into()),
+                    ("min", self.min_us().into()),
+                ]),
+            ),
+            ("obligations_lifted", self.obligations_lifted.into()),
+            ("family_solves", self.family_solves.into()),
+            ("witnesses_extracted", self.witnesses_extracted.into()),
+            ("products_checked", self.products_checked.into()),
+            ("solves", self.solves.into()),
+        ])
+    }
+}
+
+/// One family scenario: the [`family_board`] fixture at `features`
+/// optional features, checked lifted and enumerated. Every run asserts
+/// verdict identity between the modes *before* any result is written —
+/// a lifting bug fails the bench instead of producing a fast wrong
+/// baseline.
+struct FamilyMeasurement {
+    features: usize,
+    products: u64,
+    family: FamilyCost,
+    enumerate: FamilyCost,
+}
+
+impl FamilyMeasurement {
+    fn run(features: usize, runs: usize) -> FamilyMeasurement {
+        let input = family_board(features);
+        let check = |mode: CheckMode| {
+            FamilyChecker::new()
+                .check(&input, mode)
+                .expect("family fixture is checkable")
+        };
+        // Untimed warmup of both modes, as everywhere else.
+        check(CheckMode::Family);
+        check(CheckMode::Enumerate);
+        let mut measurement = FamilyMeasurement {
+            features,
+            products: 0,
+            family: FamilyCost::default(),
+            enumerate: FamilyCost::default(),
+        };
+        for _ in 0..runs {
+            let started = Instant::now();
+            let lifted = check(CheckMode::Family);
+            measurement
+                .family
+                .wall_us
+                .push(started.elapsed().as_micros() as u64);
+
+            let started = Instant::now();
+            let enumerated = check(CheckMode::Enumerate);
+            measurement
+                .enumerate
+                .wall_us
+                .push(started.elapsed().as_micros() as u64);
+
+            assert!(
+                lifted.lifted,
+                "family fixture at k={features} fell back to enumeration: {:?}",
+                lifted.fallback
+            );
+            llhsc::family::assert_verdict_identity(&lifted, &enumerated);
+            measurement.products = lifted.products;
+            measurement.family.record(&lifted);
+            measurement.enumerate.record(&enumerated);
+        }
+        measurement
+    }
+
+    /// `min(enumerate) / min(family)` in thousandths (integer JSON).
+    fn speedup_x1000(&self) -> u64 {
+        (self.enumerate.min_us() * 1000)
+            .checked_div(self.family.min_us())
+            .unwrap_or(0)
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", format!("family_k{}", self.features).as_str().into()),
+            ("features", (self.features as u64).into()),
+            ("products", self.products.into()),
+            ("runs", (self.family.wall_us.len() as u64).into()),
+            ("family", self.family.to_json()),
+            ("enumerate", self.enumerate.to_json()),
+            ("speedup_x1000", self.speedup_x1000().into()),
+        ])
+    }
+}
+
+fn render_scale_json(results: &[ScaleMeasurement], family: &[FamilyMeasurement]) -> String {
+    let mut scenarios: Vec<Json> = results.iter().map(ScaleMeasurement::to_json).collect();
+    scenarios.extend(family.iter().map(FamilyMeasurement::to_json));
     let doc = Json::obj([
         ("schema_version", BENCH_SCHEMA_VERSION.into()),
         ("kind", "bench".into()),
         ("suite", "scale".into()),
-        (
-            "scenarios",
-            Json::Arr(results.iter().map(ScaleMeasurement::to_json).collect()),
-        ),
+        ("scenarios", Json::Arr(scenarios)),
     ]);
     let mut text = doc.to_string();
     text.push('\n');
@@ -452,7 +592,7 @@ fn usage() -> ExitCode {
          usage:\n\
            llhsc-bench [--runs N] [--json [FILE]]\n\
            llhsc-bench scale [--runs N] [--sizes N1,N2,..] [--certify]\n\
-                             [--json [FILE]]\n\
+                             [--family] [--json [FILE]]\n\
            llhsc-bench count [--runs N] [--json [FILE]]\n\
            llhsc-bench compare [--runs N] [--tolerance-pct P] [--skip-wall]\n\
                                <baseline.json>..\n\
@@ -463,6 +603,10 @@ fn usage() -> ExitCode {
          --certify     run the scale suite over certifying sessions: every\n\
                        UNSAT verdict's DRAT proof is replayed through the\n\
                        in-tree checker inside the timed region\n\
+         --family      also run the family-checking scenarios: one lifted\n\
+                       solve vs product-by-product enumeration over a\n\
+                       2^(k+1)-product line, verdict identity asserted\n\
+                       in-process before any result is written\n\
          --json FILE   write machine-readable results\n\
                        (default BENCH_pipeline.json / BENCH_scale.json /\n\
                         BENCH_count.json)\n\
@@ -639,12 +783,20 @@ fn rerun_suite(baseline: &Json, runs: usize) -> Result<String, String> {
                 .get("scenarios")
                 .and_then(Json::as_arr)
                 .unwrap_or(&[]);
+            // Device-scale rows carry `devices`; family rows carry
+            // `features` instead. Replay each kind with its own runner.
             let sizes: Vec<usize> = scenario_list
                 .iter()
+                .filter(|s| s.get("features").is_none())
                 .filter_map(|s| s.get("devices").and_then(Json::as_int))
                 .map(|n| n.max(0) as usize)
                 .collect();
-            if sizes.is_empty() {
+            let family_sizes: Vec<usize> = scenario_list
+                .iter()
+                .filter_map(|s| s.get("features").and_then(Json::as_int))
+                .map(|n| n.max(0) as usize)
+                .collect();
+            if sizes.is_empty() && family_sizes.is_empty() {
                 return Err("scale baseline names no board sizes".to_string());
             }
             // A baseline captured with --certify carries `proof`
@@ -656,7 +808,11 @@ fn rerun_suite(baseline: &Json, runs: usize) -> Result<String, String> {
                 .iter()
                 .map(|&n| ScaleMeasurement::run(n, runs, certify))
                 .collect();
-            Ok(render_scale_json(&results))
+            let family: Vec<FamilyMeasurement> = family_sizes
+                .iter()
+                .map(|&k| FamilyMeasurement::run(k, runs))
+                .collect();
+            Ok(render_scale_json(&results, &family))
         }
         Some("count") => Ok(render_count_json(&count_scenarios(runs))),
         Some(other) => Err(format!("unknown suite {other:?}")),
@@ -757,10 +913,15 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
     let mut sizes: Vec<usize> = SCALE_SIZES.to_vec();
     let mut json_path: Option<String> = None;
     let mut certify = false;
+    let mut family = false;
     while let Some(arg) = args.first().cloned() {
         match arg.as_str() {
             "--certify" => {
                 certify = true;
+                args.remove(0);
+            }
+            "--family" => {
+                family = true;
                 args.remove(0);
             }
             "--runs" if args.len() >= 2 => {
@@ -821,8 +982,40 @@ fn cmd_scale(mut args: Vec<String>) -> ExitCode {
             );
         }
     }
+    let family_results: Vec<FamilyMeasurement> = if family {
+        FAMILY_SIZES
+            .iter()
+            .map(|&k| FamilyMeasurement::run(k, runs))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    if family {
+        println!(
+            "\n{:<14} {:>9} {:>11} {:>14} {:>13} {:>12} {:>8}",
+            "scenario",
+            "products",
+            "family µs",
+            "enumerate µs",
+            "family slv",
+            "enum slv",
+            "speedup"
+        );
+        for m in &family_results {
+            println!(
+                "family_k{:<6} {:>9} {:>11} {:>14} {:>13} {:>12} {:>7.2}x",
+                m.features,
+                m.products,
+                m.family.min_us(),
+                m.enumerate.min_us(),
+                m.family.family_solves,
+                m.enumerate.solves,
+                m.speedup_x1000() as f64 / 1000.0,
+            );
+        }
+    }
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(&path, render_scale_json(&results)) {
+        if let Err(e) = std::fs::write(&path, render_scale_json(&results, &family_results)) {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
@@ -1361,6 +1554,36 @@ mod tests {
         let baseline = Json::parse(&baseline_text).unwrap();
         let rerun_text = rerun_suite(&baseline, 1).expect("pipeline suite reruns");
         let problems = diff(&baseline_text, &rerun_text, true);
+        assert_eq!(problems, Vec::<String>::new());
+    }
+
+    #[test]
+    fn family_scale_doc_shape_is_stable_and_reruns() {
+        // One family scenario at k=2: 2 alternatives × 2^2 options = 8
+        // products, certified by a single lifted solve. The rerun path
+        // must recognise the row by its `features` key and reproduce
+        // the counters exactly.
+        let family = vec![FamilyMeasurement::run(2, 1)];
+        let text = render_scale_json(&[], &family);
+        let doc = Json::parse(&text).expect("family doc parses");
+        let arr = doc.get("scenarios").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+        let sc = &arr[0];
+        assert_eq!(sc.get("name").and_then(Json::as_str), Some("family_k2"));
+        assert_eq!(sc.get("features").and_then(Json::as_int), Some(2));
+        assert_eq!(sc.get("products").and_then(Json::as_int), Some(8));
+        let field = |mode: &str, key: &str| {
+            sc.get(mode)
+                .and_then(|m| m.get(key))
+                .and_then(Json::as_int)
+                .unwrap_or_else(|| panic!("missing {mode}.{key}"))
+        };
+        assert_eq!(field("family", "family_solves"), 1);
+        assert_eq!(field("family", "products_checked"), 0);
+        assert_eq!(field("enumerate", "products_checked"), 8);
+        assert!(field("family", "solves") < field("enumerate", "solves"));
+        let rerun = rerun_suite(&doc, 1).expect("scale suite reruns");
+        let problems = diff(&text, &rerun, true);
         assert_eq!(problems, Vec::<String>::new());
     }
 

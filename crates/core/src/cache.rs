@@ -39,6 +39,11 @@ pub enum CacheClass {
     ProductCheck,
     /// Stage 4b: per-VM memory-coverage check results.
     Coverage,
+    /// Whole-line family verdicts ([`FamilyChecker`]), keyed on the
+    /// complete input (core, deltas, model, schemas) plus the mode.
+    ///
+    /// [`FamilyChecker`]: crate::family::FamilyChecker
+    Family,
 }
 
 impl CacheClass {
@@ -48,6 +53,7 @@ impl CacheClass {
             CacheClass::Allocation => "allocation",
             CacheClass::ProductCheck => "product_check",
             CacheClass::Coverage => "coverage",
+            CacheClass::Family => "family",
         }
     }
 }
@@ -84,6 +90,9 @@ pub enum CacheEntry {
     Allocation(Result<AllocationNames, String>),
     /// A per-product check result.
     Check(CachedCheck),
+    /// A whole-line family verdict (or the input error that aborted
+    /// it), stored under [`CacheClass::Family`].
+    Family(Result<crate::family::FamilyReport, Vec<Diagnostic>>),
 }
 
 /// A store for pipeline stage results, shared across runs (and across

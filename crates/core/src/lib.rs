@@ -53,6 +53,7 @@ mod report;
 mod semantic;
 
 pub mod cache;
+pub mod family;
 pub mod quadcore;
 pub mod running_example;
 pub mod sweep;

@@ -228,6 +228,34 @@ impl Pipeline {
         self.run_observed(input, cache, None)
     }
 
+    /// Family-level verification of the whole product line: one lifted
+    /// solver query per rule family over *all* derivable products
+    /// instead of the per-product stage loop (see [`crate::family`]).
+    /// No artifacts are generated — the family is the set of all valid
+    /// configurations, not any particular VM selection, so there is
+    /// nothing to emit; the result is a verdict with witnesses.
+    /// Verdicts are served from `cache` under
+    /// [`CacheClass::Family`](crate::cache::CacheClass::Family) when the
+    /// content-addressed key matches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError`] when the input itself is unusable —
+    /// the same failures [`Pipeline::run`] reports.
+    pub fn run_family(
+        &self,
+        input: &PipelineInput,
+        mode: crate::family::CheckMode,
+        cache: Option<&dyn PipelineCache>,
+        trace: Option<&TraceCtx>,
+    ) -> Result<crate::family::FamilyReport, PipelineError> {
+        let mut checker = crate::family::FamilyChecker::new();
+        if let Some(t) = trace {
+            checker.set_trace(t.clone());
+        }
+        checker.check_cached(input, mode, cache)
+    }
+
     /// [`Pipeline::run_with_cache`] with structured tracing: when
     /// `trace` is given, the run records a span tree
     /// `pipeline → stage → product_check → solve` on its tracer —
@@ -313,7 +341,7 @@ impl Pipeline {
         let cached_allocation =
             lookup(cache, CacheClass::Allocation, alloc_key).and_then(|e| match e {
                 CacheEntry::Allocation(r) => Some(r),
-                CacheEntry::Check(_) => None,
+                CacheEntry::Check(_) | CacheEntry::Family(_) => None,
             });
         if let Some(span) = &alloc_span {
             span.add("cache_hit", u64::from(cached_allocation.is_some()));

@@ -867,6 +867,21 @@ fn minimized_value(
 /// controller's `#interrupt-cells` (default 1), with the *first* cell
 /// treated as the line number.
 fn interrupt_conflicts(tree: &DeviceTree) -> Vec<(u32, Vec<String>)> {
+    interrupt_users(tree)
+        .into_iter()
+        .filter(|(_, paths)| paths.len() > 1)
+        .map(|((_, line), paths)| (line, paths))
+        .collect()
+}
+
+/// Every `(interrupt domain, line) → using node paths` group in the
+/// tree, before the ≥2-users conflict filter. The family checker lifts
+/// over these groups: a pair of users sharing a line only conflicts in
+/// products containing both, so it needs the per-user paths, not the
+/// merged verdict.
+pub(crate) fn interrupt_users(
+    tree: &DeviceTree,
+) -> std::collections::BTreeMap<(String, u32), Vec<String>> {
     use std::collections::BTreeMap;
 
     // Domain key: the resolved interrupt parent (label / raw phandle),
@@ -931,10 +946,6 @@ fn interrupt_conflicts(tree: &DeviceTree) -> Vec<(u32, Vec<String>)> {
     let mut users: BTreeMap<(String, u32), Vec<String>> = BTreeMap::new();
     rec(tree, &tree.root, "/".to_string(), "", &mut users);
     users
-        .into_iter()
-        .filter(|(_, paths)| paths.len() > 1)
-        .map(|((_, line), paths)| (line, paths))
-        .collect()
 }
 
 #[cfg(test)]

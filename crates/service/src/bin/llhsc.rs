@@ -80,6 +80,12 @@ fn usage() -> ExitCode {
            llhsc sample [options] <file.fm>\n\
                                          draw diverse valid configurations\n\
            llhsc build <project-dir>     run the full pipeline on a project\n\
+           llhsc build --family <project-dir>\n\
+                                         verify the whole product line with one\n\
+                                         lifted solver query per rule family\n\
+                                         (--family-enumerate: same verdict via\n\
+                                         product enumeration; --certify: DRAT-\n\
+                                         prove every clean family verdict)\n\
            llhsc products                analyse the CustomSBC feature model\n\
            llhsc demo                    run the paper's running example\n\
            llhsc serve [--addr A] [--workers N] [--max-request-bytes N]\n\
@@ -876,82 +882,108 @@ enum BuildFailure {
     Rejected(String),
 }
 
-fn cmd_build(mut args: Vec<String>, stats: bool) -> ExitCode {
-    let parsed = (|| -> Result<Option<String>, ()> {
-        let trace = take_flag(&mut args, "--trace")?;
-        if args.len() == 1 {
-            Ok(trace)
-        } else {
-            Err(())
-        }
-    })();
-    let Ok(trace_path) = parsed else {
-        return usage();
-    };
-    let dir = Path::new(&args[0]);
-    let sink = TraceSink::new(trace_path);
+/// Loads a `build` project directory into a [`llhsc::PipelineInput`].
+/// Family-mode runs verify the whole product line, not any VM
+/// selection, so they pass `require_vms: false` and tolerate a missing
+/// or empty `vms.cfg`.
+fn load_build_input(dir: &Path, require_vms: bool) -> Result<llhsc::PipelineInput, String> {
     let read = |name: &str| -> Result<String, String> {
         std::fs::read_to_string(dir.join(name))
             .map_err(|e| format!("cannot read {}: {e}", dir.join(name).display()))
     };
+    let core_src = read("core.dts")?;
+    let provider = DirProvider {
+        dir: dir.to_path_buf(),
+    };
+    let core = parse_with_includes(&core_src, &provider).map_err(|e| format!("core.dts: {e}"))?;
+    let deltas = llhsc_delta::DeltaModule::parse_all(&read("deltas.delta")?)
+        .map_err(|e| format!("deltas.delta: {e}"))?;
+    let model = llhsc_fm::parse_model(&read("model.fm")?).map_err(|e| format!("model.fm: {e}"))?;
+
+    let mut schemas = SchemaSet::standard();
+    if let Ok(entries) = std::fs::read_dir(dir.join("schemas")) {
+        for entry in entries.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "yaml") {
+                let text = std::fs::read_to_string(entry.path())
+                    .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                let schema = llhsc_schema::Schema::parse(&text)
+                    .map_err(|e| format!("{}: {e}", entry.path().display()))?;
+                schemas.push(schema);
+            }
+        }
+    }
+
+    let mut vms = Vec::new();
+    let vms_src = match read("vms.cfg") {
+        Ok(src) => src,
+        Err(e) if !require_vms => {
+            let _ = e;
+            String::new()
+        }
+        Err(e) => return Err(e),
+    };
+    for (i, line) in vms_src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, feats) = line
+            .split_once(':')
+            .ok_or_else(|| format!("vms.cfg line {}: expected 'name: features'", i + 1))?;
+        vms.push(llhsc::VmSpec {
+            name: name.trim().to_string(),
+            features: feats
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect(),
+        });
+    }
+    if vms.is_empty() && require_vms {
+        return Err("vms.cfg defines no VMs".to_string());
+    }
+
+    Ok(llhsc::PipelineInput {
+        core,
+        deltas,
+        model,
+        schemas,
+        vms,
+    })
+}
+
+fn cmd_build(mut args: Vec<String>, stats: bool) -> ExitCode {
+    let parsed = (|| -> Result<(Option<String>, bool, bool, bool), ()> {
+        let trace = take_flag(&mut args, "--trace")?;
+        let family = take_switch(&mut args, "--family");
+        let family_enumerate = take_switch(&mut args, "--family-enumerate");
+        let certify = take_switch(&mut args, "--certify");
+        if args.len() == 1 {
+            Ok((trace, family, family_enumerate, certify))
+        } else {
+            Err(())
+        }
+    })();
+    let Ok((trace_path, family, family_enumerate, certify)) = parsed else {
+        return usage();
+    };
+    if family && family_enumerate {
+        eprintln!("error: --family and --family-enumerate are mutually exclusive");
+        return usage();
+    }
+    let dir = Path::new(&args[0]);
+    let sink = TraceSink::new(trace_path);
+    if family || family_enumerate {
+        let mode = if family {
+            llhsc::family::CheckMode::Family
+        } else {
+            llhsc::family::CheckMode::Enumerate
+        };
+        return cmd_build_family(dir, mode, certify, stats, sink);
+    }
     let result = (|| -> Result<llhsc::PipelineOutput, BuildFailure> {
-        let input = (|| -> Result<llhsc::PipelineInput, String> {
-            let core_src = read("core.dts")?;
-            let provider = DirProvider {
-                dir: dir.to_path_buf(),
-            };
-            let core =
-                parse_with_includes(&core_src, &provider).map_err(|e| format!("core.dts: {e}"))?;
-            let deltas = llhsc_delta::DeltaModule::parse_all(&read("deltas.delta")?)
-                .map_err(|e| format!("deltas.delta: {e}"))?;
-            let model =
-                llhsc_fm::parse_model(&read("model.fm")?).map_err(|e| format!("model.fm: {e}"))?;
-
-            let mut schemas = SchemaSet::standard();
-            if let Ok(entries) = std::fs::read_dir(dir.join("schemas")) {
-                for entry in entries.flatten() {
-                    if entry.path().extension().is_some_and(|e| e == "yaml") {
-                        let text = std::fs::read_to_string(entry.path())
-                            .map_err(|e| format!("{}: {e}", entry.path().display()))?;
-                        let schema = llhsc_schema::Schema::parse(&text)
-                            .map_err(|e| format!("{}: {e}", entry.path().display()))?;
-                        schemas.push(schema);
-                    }
-                }
-            }
-
-            let mut vms = Vec::new();
-            for (i, line) in read("vms.cfg")?.lines().enumerate() {
-                let line = line.split('#').next().unwrap_or("").trim();
-                if line.is_empty() {
-                    continue;
-                }
-                let (name, feats) = line
-                    .split_once(':')
-                    .ok_or_else(|| format!("vms.cfg line {}: expected 'name: features'", i + 1))?;
-                vms.push(llhsc::VmSpec {
-                    name: name.trim().to_string(),
-                    features: feats
-                        .split(',')
-                        .map(str::trim)
-                        .filter(|s| !s.is_empty())
-                        .map(str::to_string)
-                        .collect(),
-                });
-            }
-            if vms.is_empty() {
-                return Err("vms.cfg defines no VMs".to_string());
-            }
-
-            Ok(llhsc::PipelineInput {
-                core,
-                deltas,
-                model,
-                schemas,
-                vms,
-            })
-        })()
-        .map_err(BuildFailure::Input)?;
+        let input = load_build_input(dir, true).map_err(BuildFailure::Input)?;
         let ctx = sink.as_ref().map(TraceSink::ctx);
         Pipeline::new()
             .run_observed(&input, None, ctx.as_ref())
@@ -1019,6 +1051,74 @@ fn cmd_build(mut args: Vec<String>, stats: bool) -> ExitCode {
             ExitCode::SUCCESS
         }
     }
+}
+
+/// `build --family` / `--family-enumerate`: verify the whole product
+/// line (no artifacts are generated — the family is every valid
+/// configuration, not a VM selection). Exit 0 when every product
+/// passes every rule family, 1 on findings, 2 on input failure.
+fn cmd_build_family(
+    dir: &Path,
+    mode: llhsc::family::CheckMode,
+    certify: bool,
+    stats: bool,
+    sink: Option<TraceSink>,
+) -> ExitCode {
+    let input = match load_build_input(dir, false) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    };
+    let mut checker = if certify {
+        llhsc::family::FamilyChecker::with_certification()
+    } else {
+        llhsc::family::FamilyChecker::new()
+    };
+    if let Some(s) = &sink {
+        checker.set_trace(s.ctx());
+    }
+    let result = checker.check(&input, mode);
+    if stats && certify {
+        let cert = checker.cert_stats();
+        println!(
+            "certified: {} UNSAT verdict(s), {} proof step(s), {} lemma(s) checked",
+            cert.proofs, cert.steps, cert.checked
+        );
+    }
+    if let Some(sink) = sink {
+        if sink.write().is_err() {
+            return ExitCode::from(EXIT_FAILURE);
+        }
+    }
+    match result {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(EXIT_FAILURE)
+        }
+        Ok(report) => {
+            print!("{report}");
+            if stats {
+                print_family_stats(&report.stats);
+            }
+            if report.is_ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(EXIT_FINDINGS)
+            }
+        }
+    }
+}
+
+fn print_family_stats(stats: &llhsc::family::FamilyStats) {
+    println!("family check:");
+    println!("  obligations lifted:   {:>8}", stats.obligations_lifted);
+    println!("  family solves:        {:>8}", stats.family_solves);
+    println!("  witnesses extracted:  {:>8}", stats.witnesses_extracted);
+    println!("  products checked:     {:>8}", stats.products_checked);
+    print_solver_totals(&stats.solver);
+    print_session_stats(&stats.session);
 }
 
 fn load_tree(path: &Path) -> Result<llhsc_dts::DeviceTree, String> {

@@ -69,6 +69,7 @@ pub struct ServiceCache {
     coverage: ClassCounters,
     tree_check: ClassCounters,
     analytics_counters: ClassCounters,
+    family: ClassCounters,
 }
 
 impl ServiceCache {
@@ -82,6 +83,7 @@ impl ServiceCache {
             CacheClass::Allocation => &self.allocation,
             CacheClass::ProductCheck => &self.product_check,
             CacheClass::Coverage => &self.coverage,
+            CacheClass::Family => &self.family,
         }
     }
 
@@ -124,8 +126,9 @@ impl ServiceCache {
             .insert(key, outcome);
     }
 
-    /// `(class name, hits, misses)` for every class, in a stable order.
-    pub fn counters(&self) -> [(&'static str, u64, u64); 5] {
+    /// `(class name, hits, misses)` for every class, in a stable order
+    /// (new classes are appended, so positional consumers stay valid).
+    pub fn counters(&self) -> [(&'static str, u64, u64); 6] {
         let snap = |name, c: &ClassCounters| {
             let (h, m) = c.snapshot();
             (name, h, m)
@@ -136,6 +139,7 @@ impl ServiceCache {
             snap("coverage", &self.coverage),
             snap("tree_check", &self.tree_check),
             snap("analytics", &self.analytics_counters),
+            snap("family", &self.family),
         ]
     }
 }
@@ -237,6 +241,32 @@ mod tests {
         assert_eq!(cache.get_analytics(3), Some(outcome));
         let (name, hits, misses) = cache.counters()[4];
         assert_eq!((name, hits, misses), ("analytics", 1, 1));
+    }
+
+    #[test]
+    fn family_verdicts_roundtrip() {
+        let cache = ServiceCache::new();
+        assert!(cache.get(CacheClass::Family, 5).is_none());
+        let report = llhsc::family::FamilyReport {
+            mode: llhsc::family::CheckMode::Family,
+            lifted: true,
+            fallback: None,
+            products: 60,
+            products_exact: true,
+            findings: Vec::new(),
+            stats: Default::default(),
+        };
+        cache.put(
+            CacheClass::Family,
+            5,
+            CacheEntry::Family(Ok(report.clone())),
+        );
+        assert_eq!(
+            cache.get(CacheClass::Family, 5),
+            Some(CacheEntry::Family(Ok(report)))
+        );
+        let (name, hits, misses) = cache.counters()[5];
+        assert_eq!((name, hits, misses), ("family", 1, 1));
     }
 
     #[test]

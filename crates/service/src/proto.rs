@@ -68,6 +68,10 @@ pub struct BuildRequest {
     pub schemas: Vec<String>,
     /// `(name, features)` per VM.
     pub vms: Vec<(String, Vec<String>)>,
+    /// Verify the whole product line family-level (one lifted solver
+    /// query per rule family) instead of building the listed VMs. The
+    /// family covers every valid configuration, so `vms` may be empty.
+    pub family: bool,
 }
 
 fn str_field(obj: &Json, key: &str) -> Result<String, String> {
@@ -159,10 +163,14 @@ impl Request {
                         })
                         .collect::<Result<_, _>>()?,
                 };
-                let vms_json = j
-                    .get("vms")
-                    .and_then(Json::as_arr)
-                    .ok_or("missing or non-array field \"vms\"")?;
+                let family = j.get("family").and_then(Json::as_bool).unwrap_or(false);
+                // Family-mode verification ranges over every valid
+                // configuration, so the VM list is optional there.
+                let vms_json = match (j.get("vms").and_then(Json::as_arr), family) {
+                    (Some(v), _) => v,
+                    (None, true) => &[],
+                    (None, false) => return Err("missing or non-array field \"vms\"".to_string()),
+                };
                 let mut vms = Vec::new();
                 for vm in vms_json {
                     let name = str_field(vm, "name").map_err(|e| format!("in \"vms\": {e}"))?;
@@ -185,6 +193,7 @@ impl Request {
                     model: str_field(j, "model")?,
                     schemas,
                     vms,
+                    family,
                 })))
             }
             other => Err(format!("unknown op {other:?}")),
@@ -394,6 +403,48 @@ pub fn build_rejected_frame(err: &PipelineError) -> Json {
     ])
 }
 
+/// The `build` response in family mode: the whole-line verdict, how it
+/// was decided, and the lifted-check counters — no artifacts.
+pub fn build_family_frame(report: &llhsc::family::FamilyReport, cached: bool) -> Json {
+    let findings = Json::Arr(
+        report
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj([
+                    ("family", f.family.name().into()),
+                    (
+                        "witness",
+                        Json::Arr(f.witness.iter().map(|w| w.as_str().into()).collect()),
+                    ),
+                    ("diagnostics", diagnostics_json(&f.diagnostics)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("clean", Json::Bool(report.is_ok())),
+        ("family", Json::Bool(true)),
+        ("lifted", Json::Bool(report.lifted)),
+        (
+            "fallback",
+            report.fallback.as_deref().map_or(Json::Null, |r| r.into()),
+        ),
+        ("products", report.products.into()),
+        ("products_exact", Json::Bool(report.products_exact)),
+        ("obligations_lifted", report.stats.obligations_lifted.into()),
+        ("family_solves", report.stats.family_solves.into()),
+        (
+            "witnesses_extracted",
+            report.stats.witnesses_extracted.into(),
+        ),
+        ("products_checked", report.stats.products_checked.into()),
+        ("findings", findings),
+        ("cached", Json::Bool(cached)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -517,6 +568,7 @@ mod tests {
             model: "feature A {\n}".into(),
             schemas: Vec::new(),
             vms: vec![("vm1".into(), vec!["A".into()])],
+            family: false,
         };
         let input = b.to_pipeline_input().expect("parses");
         assert_eq!(input.vms.len(), 1);

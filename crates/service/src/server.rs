@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use llhsc::{Pipeline, PipelineProgress, ProgressSink, SolverStats};
+use llhsc::{Pipeline, PipelineCache, PipelineProgress, ProgressSink, SolverStats};
 use llhsc_obs::{
     chrome_trace_of, FlightRecord, FlightRecorder, Logger, Registry, SpanRecord, TraceCtx, Tracer,
 };
@@ -36,8 +36,8 @@ use crate::check::check_tree_observed;
 use crate::json::Json;
 use crate::progress::RequestProgress;
 use crate::proto::{
-    analytics_frame, build_ok_frame, build_rejected_frame, check_frame, error_frame,
-    flightdump_frame, metrics_frame, ping_frame, shutdown_frame, Request,
+    analytics_frame, build_family_frame, build_ok_frame, build_rejected_frame, check_frame,
+    error_frame, flightdump_frame, metrics_frame, ping_frame, shutdown_frame, Request,
 };
 use crate::report::{check_report_json, session_json, solver_json};
 
@@ -156,12 +156,47 @@ impl SessionTotals {
     }
 }
 
+/// Accumulated family-mode checking counters (fresh verdicts only —
+/// cache hits replay the stored report without solver work), the
+/// daemon-scope view of [`llhsc::family::FamilyStats`].
+#[derive(Debug, Default)]
+struct FamilyTotals {
+    obligations_lifted: AtomicU64,
+    family_solves: AtomicU64,
+    witnesses_extracted: AtomicU64,
+    products_checked: AtomicU64,
+}
+
+impl FamilyTotals {
+    fn add(&self, s: &llhsc::family::FamilyStats) {
+        self.obligations_lifted
+            .fetch_add(s.obligations_lifted, Ordering::Relaxed);
+        self.family_solves
+            .fetch_add(s.family_solves, Ordering::Relaxed);
+        self.witnesses_extracted
+            .fetch_add(s.witnesses_extracted, Ordering::Relaxed);
+        self.products_checked
+            .fetch_add(s.products_checked, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> llhsc::family::FamilyStats {
+        llhsc::family::FamilyStats {
+            obligations_lifted: self.obligations_lifted.load(Ordering::Relaxed),
+            family_solves: self.family_solves.load(Ordering::Relaxed),
+            witnesses_extracted: self.witnesses_extracted.load(Ordering::Relaxed),
+            products_checked: self.products_checked.load(Ordering::Relaxed),
+            ..llhsc::family::FamilyStats::default()
+        }
+    }
+}
+
 /// Everything the worker threads share.
 struct ServiceState {
     cache: ServiceCache,
     stats: ServiceStats,
     solver: SolverTotals,
     session: SessionTotals,
+    family: FamilyTotals,
     metrics: Registry,
     logger: Logger,
     shutdown: AtomicBool,
@@ -280,6 +315,7 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         stats: ServiceStats::default(),
         solver: SolverTotals::default(),
         session: SessionTotals::default(),
+        family: FamilyTotals::default(),
         metrics: Registry::new(),
         logger: Logger::from_env("llhsc-service"),
         shutdown: AtomicBool::new(false),
@@ -644,6 +680,50 @@ fn respond(
             progress.set_phase("parse");
             let (frame, spans) = match b.to_pipeline_input() {
                 Err(e) => (error_frame(e), None),
+                Ok(input) if b.family => {
+                    // Family-level verification: one lifted solver query
+                    // per rule family over the whole product line, the
+                    // verdict content-addressed in the family cache.
+                    progress.set_phase("family");
+                    let tracer = Arc::new(Tracer::zeroed());
+                    let ctx = TraceCtx::new(Arc::clone(&tracer));
+                    let mode = llhsc::family::CheckMode::Family;
+                    let key = llhsc::family::family_key(&input, mode, false);
+                    let frame = match state.cache.get(llhsc::CacheClass::Family, key) {
+                        Some(llhsc::CacheEntry::Family(Ok(report))) => {
+                            build_family_frame(&report, true)
+                        }
+                        Some(llhsc::CacheEntry::Family(Err(diagnostics))) => {
+                            build_rejected_frame(&llhsc::PipelineError { diagnostics })
+                        }
+                        _ => {
+                            let mut checker = llhsc::family::FamilyChecker::new();
+                            checker.set_trace(ctx);
+                            match checker.check(&input, mode) {
+                                Ok(report) => {
+                                    state.family.add(&report.stats);
+                                    state.solver.add(&report.stats.solver);
+                                    state.session.add(&report.stats.session);
+                                    state.cache.put(
+                                        llhsc::CacheClass::Family,
+                                        key,
+                                        llhsc::CacheEntry::Family(Ok(report.clone())),
+                                    );
+                                    build_family_frame(&report, false)
+                                }
+                                Err(e) => {
+                                    state.cache.put(
+                                        llhsc::CacheClass::Family,
+                                        key,
+                                        llhsc::CacheEntry::Family(Err(e.diagnostics.clone())),
+                                    );
+                                    build_rejected_frame(&e)
+                                }
+                            }
+                        }
+                    };
+                    (frame, Some(tracer.spans()))
+                }
                 Ok(input) => {
                     progress.set_phase("pipeline");
                     let tracer = Arc::new(Tracer::zeroed());
@@ -899,6 +979,27 @@ fn metrics_text(state: &ServiceState) -> String {
         "llhsc_session_checks_total",
         "Assumption-guarded checks discharged against shared contexts.",
         session.checks,
+    );
+    let family = state.family.snapshot();
+    sync(
+        "llhsc_family_obligations_lifted_total",
+        "Obligation sites encoded into lifted family-level queries.",
+        family.obligations_lifted,
+    );
+    sync(
+        "llhsc_family_solves_total",
+        "Family-level satisfiability queries issued (one per rule family).",
+        family.family_solves,
+    );
+    sync(
+        "llhsc_family_witnesses_extracted_total",
+        "Satisfiable family verdicts turned into witness configurations.",
+        family.witnesses_extracted,
+    );
+    sync(
+        "llhsc_family_products_checked_total",
+        "Products derived and checked by family-mode runs (witness replays).",
+        family.products_checked,
     );
     m.render()
 }

@@ -46,6 +46,7 @@ fn running_build_request(deltas: &str) -> BuildRequest {
             .iter()
             .map(|v| (v.name.clone(), v.features.clone()))
             .collect(),
+        family: false,
     }
 }
 
@@ -59,6 +60,7 @@ fn quadcore_build_request() -> BuildRequest {
             .iter()
             .map(|v| (v.name.clone(), v.features.clone()))
             .collect(),
+        family: false,
     }
 }
 
@@ -68,6 +70,7 @@ fn build_json(b: &BuildRequest) -> Json {
         ("core", b.core.as_str().into()),
         ("deltas", b.deltas.as_str().into()),
         ("model", b.model.as_str().into()),
+        ("family", Json::Bool(b.family)),
         (
             "vms",
             Json::Arr(
@@ -161,6 +164,64 @@ fn build_over_the_wire_matches_local_run() {
         vm_dts,
         local.vm_dts.iter().map(String::as_str).collect::<Vec<_>>()
     );
+
+    handle.shutdown();
+    handle.join();
+}
+
+/// A family-mode build over the wire: the quadcore line is certified
+/// clean without enumerating its 60 products, the verdict agrees with
+/// the local lifted run, a repeat is a pure cache hit, and the lifted
+/// counters reach the metrics op.
+#[test]
+fn family_build_over_the_wire_is_lifted_and_cached() {
+    let mut request = quadcore_build_request();
+    request.family = true;
+    request.vms.clear(); // family mode needs no VM list
+    let local = {
+        let mut checker = llhsc::family::FamilyChecker::new();
+        checker
+            .check(
+                &request.to_pipeline_input().expect("inputs parse"),
+                llhsc::family::CheckMode::Family,
+            )
+            .expect("family check runs")
+    };
+    assert!(local.is_ok() && local.lifted);
+
+    let (handle, addr) = start();
+    let first = client::request_ok(&addr, &build_json(&request)).expect("cold family build");
+    assert_eq!(first.get("clean"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("family"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("lifted"), Some(&Json::Bool(true)));
+    assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+    assert_eq!(
+        first.get("products").and_then(Json::as_int),
+        Some(local.products as i64)
+    );
+    assert_eq!(
+        first.get("products_checked").and_then(Json::as_int),
+        Some(0),
+        "a clean lifted verdict derives no products"
+    );
+
+    let second = client::request_ok(&addr, &build_json(&request)).expect("warm family build");
+    assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+    let (hits, misses) = cache_counters(&stats_of(&addr), "family");
+    assert_eq!((hits, misses), (1, 1));
+
+    let metrics =
+        client::request_ok(&addr, &Json::obj([("op", "metrics".into())])).expect("metrics request");
+    let text = metrics.get("text").and_then(Json::as_str).expect("text");
+    assert!(text.contains(&format!(
+        "llhsc_family_solves_total {}",
+        local.stats.family_solves
+    )));
+    assert!(text.contains(&format!(
+        "llhsc_family_obligations_lifted_total {}",
+        local.stats.obligations_lifted
+    )));
+    assert!(text.contains("llhsc_family_witnesses_extracted_total 0"));
 
     handle.shutdown();
     handle.join();

@@ -196,6 +196,51 @@ impl SolverSession {
         self.ctx.export_cnf(over, &guards)
     }
 
+    /// Imports a propositional CNF — typically a feature-model export
+    /// from `llhsc_fm::Analyzer::export_cnf` — as a slice of this
+    /// session: every CNF variable `v` becomes the Boolean term
+    /// `bool_var_i(tag, v)` and every clause is asserted under the
+    /// slice's activation guard, so the formula binds exactly in checks
+    /// that activate the slice (the *family* constraint of lifted
+    /// checking). Returns the slice plus the term of each `projection`
+    /// literal, aligned with the input.
+    ///
+    /// Keyed like any slice: re-importing the same `key` skips the
+    /// clause walk and only rebuilds the (interned, free) projection
+    /// terms.
+    pub fn import_cnf(
+        &mut self,
+        tag: &str,
+        key: u64,
+        cnf: &Cnf,
+        projection: &[Lit],
+    ) -> (Slice, Vec<TermId>) {
+        let slice = self.slice(key);
+        if slice.is_fresh() {
+            for clause in cnf.clauses() {
+                let mut lits = Vec::with_capacity(clause.len());
+                for l in clause {
+                    let v = self.ctx.bool_var_i(tag, l.var().index() as u64);
+                    lits.push(if l.is_positive() { v } else { self.ctx.not(v) });
+                }
+                let c = self.ctx.or(lits);
+                self.assert_in(slice, c);
+            }
+        }
+        let proj = projection
+            .iter()
+            .map(|l| {
+                let v = self.ctx.bool_var_i(tag, l.var().index() as u64);
+                if l.is_positive() {
+                    v
+                } else {
+                    self.ctx.not(v)
+                }
+            })
+            .collect();
+        (slice, proj)
+    }
+
     /// The underlying context, for term building and model inspection.
     pub fn ctx(&self) -> &Context {
         &self.ctx
@@ -365,6 +410,42 @@ mod tests {
         assert!(cert.checked > 0);
         let (cnf, proof) = s.export_proof().expect("certifying session exports");
         assert!(check_drat(&cnf, &proof, CheckMode::Last).is_ok());
+    }
+
+    #[test]
+    fn import_cnf_binds_only_when_slice_is_active() {
+        use llhsc_sat::Var;
+
+        // (a ∨ b) ∧ (¬a ∨ b): any model has b = true.
+        let mut cnf = Cnf::new();
+        let a = cnf.new_var();
+        let b = cnf.new_var();
+        cnf.add_clause([Lit::pos(a), Lit::pos(b)]);
+        cnf.add_clause([Lit::neg(a), Lit::pos(b)]);
+
+        let mut s = SolverSession::new();
+        let (slice, proj) = s.import_cnf("fm", 7, &cnf, &[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(proj.len(), 2);
+        let nb = s.ctx_mut().not(proj[1]);
+        // Inactive slice: ¬b alone is satisfiable.
+        assert_eq!(s.check(&[], &[nb]), CheckResult::Sat);
+        // Active slice forces b.
+        assert_eq!(s.check(&[slice], &[nb]), CheckResult::Unsat);
+        assert_eq!(s.check(&[slice], &[]), CheckResult::Sat);
+        let m_b = s.model().unwrap().eval_bool(proj[1]);
+        assert_eq!(m_b, Some(true));
+
+        // Re-import with the same key: no new clause work, projection
+        // terms identical (negative literals map to negated terms).
+        let before = s.stats();
+        let (again, proj2) = s.import_cnf("fm", 7, &cnf, &[Lit::neg(a)]);
+        assert!(!again.is_fresh());
+        assert_eq!(s.stats().asserts_encoded, before.asserts_encoded);
+        let pa = s
+            .ctx_mut()
+            .bool_var_i("fm", Var::from_index(0).index() as u64);
+        let npa = s.ctx_mut().not(pa);
+        assert_eq!(proj2[0], npa);
     }
 
     #[test]
